@@ -1,0 +1,1 @@
+bench/ablation.ml: Citus Cluster Engine Float Harness List Printf Random Report Sim Sqlfront Storage Workloads

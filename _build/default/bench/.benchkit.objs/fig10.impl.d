@@ -1,0 +1,1 @@
+bench/fig10.ml: Citus Cluster Harness List Random Report Workloads

@@ -1,0 +1,1 @@
+bench/fig6.ml: Harness List Printf Random Report Workloads

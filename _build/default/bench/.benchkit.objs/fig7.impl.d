@@ -1,0 +1,1 @@
+bench/fig7.ml: Harness List Printf Report Workloads

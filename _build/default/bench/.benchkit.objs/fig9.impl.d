@@ -1,0 +1,1 @@
+bench/fig9.ml: Harness List Printf Random Report Workloads

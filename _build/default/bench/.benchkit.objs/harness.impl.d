@@ -1,0 +1,1 @@
+bench/harness.ml: Citus Cluster Engine Float List Option Sim Storage String Workloads

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Citus Engine Hashtbl Instance List Measure Printf Report Sqlfront Staged Test Time Toolkit Workloads

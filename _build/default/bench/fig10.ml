@@ -1,0 +1,82 @@
+(* Figure 10: YCSB workload A (50% reads, 50% updates, uniform keys) on a
+   table that exceeds one node's memory.
+
+   The paper runs every worker as a coordinator (metadata syncing) with
+   the client load-balancing across nodes, because the single coordinator's
+   CPU otherwise bottlenecks. Throughput then scales with the cluster's
+   aggregate I/O capacity. Citus 0+1 is slightly below plain PostgreSQL:
+   distributed planning overhead with no extra hardware. *)
+
+let cfg = { Workloads.Ycsb.rows = 12_000; fields = 10; field_length = 40 }
+
+let buffer_pages = 220 (* ~a third of the working set on one node *)
+
+let clients = 256
+
+let measured = 600
+
+let run_setup db =
+  Workloads.Ycsb.setup db cfg;
+  (match db.Workloads.Db.citus with
+   | Some api -> Citus.Api.enable_metadata_sync api
+   | None -> ());
+  (* sessions load-balanced across the data nodes (every node coordinates) *)
+  let sessions =
+    match db.Workloads.Db.citus with
+    | None -> [ db.Workloads.Db.session ]
+    | Some api ->
+      List.map
+        (fun (n : Cluster.Topology.node) -> Citus.Api.connect_via api n)
+        (Cluster.Topology.data_nodes db.Workloads.Db.cluster)
+  in
+  let n_sessions = List.length sessions in
+  let rng = Random.State.make [| 23 |] in
+  (* warmup: populate the buffer pools to steady state *)
+  for i = 1 to 400 do
+    ignore (Workloads.Ycsb.run_one (List.nth sessions (i mod n_sessions)) cfg rng)
+  done;
+  let updates = ref 0 in
+  let (), u =
+    Harness.measure db (fun () ->
+        for i = 1 to measured do
+          match
+            Workloads.Ycsb.run_one (List.nth sessions (i mod n_sessions)) cfg rng
+          with
+          | Workloads.Ycsb.Update -> incr updates
+          | Workloads.Ycsb.Read -> ()
+        done)
+  in
+  let closed =
+    Harness.closed_throughput db u ~n_txns:measured ~clients ~think_s:0.0
+  in
+  (closed.Harness.tps, closed.Harness.response, closed.Harness.bottleneck)
+
+let setups () =
+  [
+    Workloads.Db.postgres ~buffer_pages ();
+    Workloads.Db.citus ~buffer_pages ~workers:0 ();
+    Workloads.Db.citus ~buffer_pages ~workers:4 ();
+    Workloads.Db.citus ~buffer_pages ~workers:8 ();
+  ]
+
+let run () =
+  Report.section
+    "Figure 10: YCSB workload A (50/50 read-update, every node a coordinator)";
+  let results =
+    List.map (fun db -> (db.Workloads.Db.label, run_setup db)) (setups ())
+  in
+  let baseline = match results with (_, (t, _, _)) :: _ -> t | [] -> 1.0 in
+  Report.table ~title:"YCSB workload A (uniform, 256 threads)"
+    ~headers:[ "setup"; "ops/s"; "vs postgres"; "update response"; "bottleneck" ]
+    ~rows:
+      (List.map
+         (fun (label, (tps, resp, bn)) ->
+           [
+             label;
+             Report.fmt_rate tps;
+             Report.fmt_x (tps /. baseline);
+             Report.fmt_ms resp;
+             bn;
+           ])
+         results);
+  results

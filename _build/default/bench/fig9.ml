@@ -1,0 +1,61 @@
+(* Figure 9 (§4.1.1): distributed transaction overhead.
+
+   Two co-located tables, a two-update transaction with 250 connections.
+   Same random key -> both updates are on one node, single-node commit.
+   Independent random keys -> usually two nodes, two-phase commit. The
+   paper measures a 20-30% penalty that persists as the cluster scales. *)
+
+let cfg = { Workloads.Pgbench.rows = 2000 }
+
+let buffer_pages = 100_000 (* in-memory: isolate the commit-protocol cost *)
+
+let clients = 250
+
+let measured = 300
+
+let run_mode db mode =
+  let rng = Random.State.make [| 17 |] in
+  let session = db.Workloads.Db.session in
+  (* warmup *)
+  for _ = 1 to 50 do
+    ignore (Workloads.Pgbench.run_one db session cfg mode rng)
+  done;
+  let crossed = ref 0 in
+  let (), u =
+    Harness.measure db (fun () ->
+        for _ = 1 to measured do
+          if Workloads.Pgbench.run_one db session cfg mode rng then incr crossed
+        done)
+  in
+  let closed =
+    Harness.closed_throughput db u ~n_txns:measured ~clients ~think_s:0.0
+  in
+  (closed.Harness.tps, float_of_int !crossed /. float_of_int measured)
+
+let run_setup workers =
+  let db = Workloads.Db.citus ~buffer_pages ~workers () in
+  Workloads.Pgbench.setup db cfg;
+  let same_tps, _ = run_mode db Workloads.Pgbench.Same_key in
+  let diff_tps, crossed = run_mode db Workloads.Pgbench.Different_keys in
+  (db.Workloads.Db.label, same_tps, diff_tps, crossed)
+
+let run () =
+  Report.section
+    "Figure 9: two-update transactions, same key (1PC) vs different keys (2PC)";
+  let results = List.map run_setup [ 0; 4; 8 ] in
+  Report.table
+    ~title:"pgbench-style transactions (250 connections)"
+    ~headers:
+      [ "setup"; "same key tps"; "diff keys tps"; "2PC penalty"; "multi-node txns" ]
+    ~rows:
+      (List.map
+         (fun (label, same, diff, crossed) ->
+           [
+             label;
+             Report.fmt_rate same;
+             Report.fmt_rate diff;
+             Printf.sprintf "%.0f%%" ((1.0 -. (diff /. same)) *. 100.0);
+             Printf.sprintf "%.0f%%" (crossed *. 100.0);
+           ])
+         results);
+  results

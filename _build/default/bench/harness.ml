@@ -1,0 +1,256 @@
+(* Shared measurement machinery for the figure reproductions.
+
+   Workloads execute for real against the engines; this module converts
+   metered work (CPU units, buffer-pool misses, cross-node round trips)
+   into simulated elapsed time / throughput via Sim.Cost — the documented
+   substitution for the paper's Azure testbed. *)
+
+type probe = {
+  meters : (string * Engine.Meter.snapshot) list;
+  pools : (string * Storage.Buffer_pool.stats) list;
+  net : Cluster.Topology.net_stats;
+}
+
+let probe (db : Workloads.Db.t) =
+  let nodes = Cluster.Topology.all_nodes db.Workloads.Db.cluster in
+  {
+    meters =
+      List.map
+        (fun (n : Cluster.Topology.node) ->
+          (n.node_name, Engine.Meter.read (Engine.Instance.meter n.instance)))
+        nodes;
+    pools =
+      List.map
+        (fun (n : Cluster.Topology.node) ->
+          (n.node_name, Storage.Buffer_pool.stats (Engine.Instance.buffer_pool n.instance)))
+        nodes;
+    net = Cluster.Topology.net_snapshot db.Workloads.Db.cluster;
+  }
+
+type usage = {
+  per_node : (string * Sim.Cost.node_demand) list;
+  node_meters : (string * Engine.Meter.snapshot) list;
+  cross_rts : int;
+  rows_shipped : int;
+  connections : int;
+}
+
+let usage (db : Workloads.Db.t) ~before ~after =
+  let spec n =
+    (Cluster.Topology.find_node db.Workloads.Db.cluster n).Cluster.Topology.spec
+  in
+  let per_node =
+    List.map
+      (fun (name, m_after) ->
+        let m_before = List.assoc name before.meters in
+        let p_after = List.assoc name after.pools in
+        let p_before = List.assoc name before.pools in
+        let meter = Engine.Meter.diff ~after:m_after ~before:m_before in
+        let misses =
+          p_after.Storage.Buffer_pool.misses - p_before.Storage.Buffer_pool.misses
+        in
+        (name, Sim.Cost.demand_of ~spec:(spec name) ~meter ~misses))
+      after.meters
+  in
+  let net = Cluster.Topology.net_diff ~after:after.net ~before:before.net in
+  let node_meters =
+    List.map
+      (fun (name, m_after) ->
+        (name, Engine.Meter.diff ~after:m_after ~before:(List.assoc name before.meters)))
+      after.meters
+  in
+  {
+    per_node;
+    node_meters;
+    cross_rts = net.Cluster.Topology.cross_round_trips;
+    rows_shipped = net.Cluster.Topology.rows_shipped;
+    connections = net.Cluster.Topology.connections_opened;
+  }
+
+let measure db f =
+  let before = probe db in
+  let result = f () in
+  let after = probe db in
+  (result, usage db ~before ~after)
+
+let coordinator_name (db : Workloads.Db.t) =
+  db.Workloads.Db.cluster.Cluster.Topology.coordinator.Cluster.Topology.node_name
+
+let data_node_names (db : Workloads.Db.t) =
+  List.map
+    (fun (n : Cluster.Topology.node) -> n.Cluster.Topology.node_name)
+    (Cluster.Topology.data_nodes db.Workloads.Db.cluster)
+
+let spec_of (db : Workloads.Db.t) =
+  db.Workloads.Db.cluster.Cluster.Topology.coordinator.Cluster.Topology.spec
+
+let rtt (db : Workloads.Db.t) = db.Workloads.Db.cluster.Cluster.Topology.rtt
+
+(* Shards of [table] placed on [node] (parallelism available to one
+   operation on that node); 1 on the plain-PostgreSQL baseline. *)
+let shards_on (db : Workloads.Db.t) node =
+  match db.Workloads.Db.citus with
+  | None -> 1
+  | Some api ->
+    max 1
+      (List.length (Citus.Metadata.shards_on_node api.Citus.Api.metadata node))
+
+(* --- elapsed-time model for one parallel operation (COPY, a distributed
+   query, an INSERT..SELECT): worker phase runs shard-parallel per node,
+   the coordinator's own work is serial, cross-node round trips add
+   latency. On the baseline everything is serial on one node. --- *)
+
+let parallel_elapsed (db : Workloads.Db.t) (u : usage) =
+  let spec = spec_of db in
+  match db.Workloads.Db.citus with
+  | None ->
+    (* single-threaded PostgreSQL execution *)
+    List.fold_left
+      (fun acc (_, d) -> acc +. d.Sim.Cost.cpu_s +. d.Sim.Cost.io_s)
+      0.0 u.per_node
+  | Some _ ->
+    (* the coordinator merge phase is serial: pull it out of the node's
+       parallelizable CPU *)
+    let merge_s name =
+      match List.assoc_opt name u.node_meters with
+      | Some m ->
+        Engine.Meter.merge_row_weight
+        *. float_of_int m.Engine.Meter.merge_rows
+        *. spec.Sim.Cost.cpu_unit
+      | None -> 0.0
+    in
+    let node_time name =
+      let d =
+        Option.value ~default:Sim.Cost.zero_demand (List.assoc_opt name u.per_node)
+      in
+      let par = min spec.Sim.Cost.cores (shards_on db name) in
+      (Float.max 0.0 (d.Sim.Cost.cpu_s -. merge_s name)
+       /. float_of_int (max 1 par))
+      +. d.Sim.Cost.io_s
+    in
+    let worker_phase =
+      List.fold_left (fun acc n -> Float.max acc (node_time n)) 0.0
+        (data_node_names db)
+    in
+    let coord = coordinator_name db in
+    let coord_extra =
+      if List.mem coord (data_node_names db) then 0.0
+      else
+        let d =
+          Option.value ~default:Sim.Cost.zero_demand
+            (List.assoc_opt coord u.per_node)
+        in
+        (* the merge part is charged separately below *)
+        Float.max 0.0 (d.Sim.Cost.cpu_s -. merge_s coord) +. d.Sim.Cost.io_s
+    in
+    (* tasks are dispatched concurrently over the adaptive executor's
+       connections, so round trips overlap: latency is the depth of the
+       pipeline, not its width *)
+    let concurrency =
+      List.fold_left
+        (fun acc n -> acc + min spec.Sim.Cost.cores (shards_on db n))
+        0 (data_node_names db)
+      |> max 1
+    in
+    let net_delay =
+      rtt db
+      *. Float.max 1.0 (float_of_int u.cross_rts /. float_of_int concurrency)
+    in
+    let net_delay = if u.cross_rts = 0 then 0.0 else net_delay in
+    let merge_phase =
+      List.fold_left (fun acc (n, _) -> acc +. merge_s n) 0.0 u.per_node
+    in
+    worker_phase +. coord_extra +. merge_phase +. net_delay
+
+(* COPY-specific model: the coordinator parse is single-threaded even when
+   the coordinator is also a worker (§4.2 / Figure 7a). [rows] is the
+   number of lines fed to the one COPY session. *)
+let copy_elapsed (db : Workloads.Db.t) (u : usage) ~rows =
+  let spec = spec_of db in
+  match db.Workloads.Db.citus with
+  | None ->
+    List.fold_left
+      (fun acc (_, d) -> acc +. d.Sim.Cost.cpu_s +. d.Sim.Cost.io_s)
+      0.0 u.per_node
+  | Some _ ->
+    (* weight 1.5 per parsed row matches Engine.Meter.total_cpu_units *)
+    let parse_s = 1.5 *. float_of_int rows *. spec.Sim.Cost.cpu_unit in
+    let coord = coordinator_name db in
+    let node_time name =
+      let d =
+        Option.value ~default:Sim.Cost.zero_demand (List.assoc_opt name u.per_node)
+      in
+      let cpu =
+        if String.equal name coord then
+          Float.max 0.0 (d.Sim.Cost.cpu_s -. parse_s)
+        else d.Sim.Cost.cpu_s
+      in
+      (* local shard COPY streams on the parsing node contend with the
+         parse session: only partial parallelism (the paper's own words
+         for the 0+1 speedup) *)
+      let par =
+        if String.equal name coord then min 4 (shards_on db name)
+        else min spec.Sim.Cost.cores (shards_on db name)
+      in
+      (cpu /. float_of_int (max 1 par)) +. d.Sim.Cost.io_s
+    in
+    let apply_phase =
+      List.fold_left (fun acc n -> Float.max acc (node_time n)) 0.0
+        (data_node_names db)
+    in
+    (* per-shard COPY streams run concurrently: batches overlap *)
+    let concurrency =
+      List.fold_left
+        (fun acc n -> acc + min spec.Sim.Cost.cores (shards_on db n))
+        0 (data_node_names db)
+      |> max 1
+    in
+    let net_delay =
+      if u.cross_rts = 0 then 0.0
+      else
+        rtt db
+        *. Float.max 1.0 (float_of_int u.cross_rts /. float_of_int concurrency)
+    in
+    Float.max parse_s apply_phase +. net_delay
+
+(* --- closed-workload throughput for transaction benchmarks --- *)
+
+type closed = {
+  tps : float;
+  response : float;  (** seconds *)
+  bottleneck : string;
+}
+
+(* [u] is the usage of [n_txns] transactions; the model divides into
+   per-transaction demands and applies operational-analysis bounds with
+   [clients] concurrent connections. *)
+let closed_throughput (db : Workloads.Db.t) (u : usage) ~n_txns ~clients
+    ~think_s =
+  let spec = spec_of db in
+  let n = float_of_int n_txns in
+  let centers =
+    List.concat_map
+      (fun (name, d) ->
+        [
+          ( name ^ "/cpu",
+            {
+              Sim.Cost.demand_s = d.Sim.Cost.cpu_s /. n;
+              servers = float_of_int spec.Sim.Cost.cores;
+            } );
+          (name ^ "/disk", { Sim.Cost.demand_s = d.Sim.Cost.io_s /. n; servers = 1.0 });
+        ])
+      u.per_node
+  in
+  let delay_s = float_of_int u.cross_rts /. n *. rtt db in
+  let r =
+    Sim.Cost.closed_throughput ~clients ~think_s ~delay_s
+      ~centers:(List.map snd centers)
+  in
+  {
+    tps = r.Sim.Cost.throughput;
+    response = r.Sim.Cost.response_s;
+    bottleneck =
+      (match r.Sim.Cost.bottleneck with
+       | Some i -> fst (List.nth centers i)
+       | None -> "clients");
+  }

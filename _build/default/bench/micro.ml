@@ -1,0 +1,170 @@
+(* Real wall-clock microbenchmarks via Bechamel: one Test.make per paper
+   table/figure, measuring the engine work that underlies it (the figures
+   themselves report simulated cluster time; these measure this
+   implementation's actual speed). *)
+
+open Bechamel
+open Toolkit
+
+let small_citus () =
+  let db = Workloads.Db.citus ~workers:2 ~shard_count:8 () in
+  ignore
+    (Workloads.Db.exec db
+       "CREATE TABLE items (key bigint PRIMARY KEY, val text, qty bigint)");
+  (match db.Workloads.Db.citus with
+   | Some api ->
+     Citus.Api.create_distributed_table api ~table:"items" ~column:"key" ()
+   | None -> ());
+  for i = 1 to 200 do
+    ignore
+      (Workloads.Db.exec db
+         (Printf.sprintf "INSERT INTO items (key, val, qty) VALUES (%d, 'v', %d)" i
+            (i mod 5)))
+  done;
+  db
+
+let test_table2_capability_matrix =
+  Test.make ~name:"table2: capability matrix derivation"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun w ->
+             List.iter
+               (fun c -> ignore (Citus.Capability.requires w c))
+               Citus.Capability.capabilities)
+           Citus.Capability.workloads))
+
+let test_fig6_routed_txn =
+  let db = small_citus () in
+  let i = ref 0 in
+  Test.make ~name:"fig6: routed single-key update txn"
+    (Staged.stage (fun () ->
+         incr i;
+         let key = 1 + (!i mod 200) in
+         ignore
+           (Workloads.Db.exec db
+              (Printf.sprintf "UPDATE items SET qty = qty + 1 WHERE key = %d" key))))
+
+let test_fig7_pushdown_agg =
+  let db = small_citus () in
+  Test.make ~name:"fig7/8: multi-shard aggregate pushdown"
+    (Staged.stage (fun () ->
+         ignore (Workloads.Db.exec db "SELECT qty, count(*) FROM items GROUP BY qty")))
+
+let test_fig9_2pc_txn =
+  let db = small_citus () in
+  let i = ref 0 in
+  Test.make ~name:"fig9: cross-node 2PC transaction"
+    (Staged.stage (fun () ->
+         incr i;
+         let k1 = 1 + (!i mod 100) and k2 = 101 + (!i mod 100) in
+         let s = db.Workloads.Db.session in
+         ignore (Engine.Instance.exec s "BEGIN");
+         ignore
+           (Engine.Instance.exec s
+              (Printf.sprintf "UPDATE items SET qty = qty + 1 WHERE key = %d" k1));
+         ignore
+           (Engine.Instance.exec s
+              (Printf.sprintf "UPDATE items SET qty = qty - 1 WHERE key = %d" k2));
+         ignore (Engine.Instance.exec s "COMMIT")))
+
+let test_fig10_fastpath_read =
+  let db = small_citus () in
+  let i = ref 0 in
+  Test.make ~name:"fig10: fast-path key lookup"
+    (Staged.stage (fun () ->
+         incr i;
+         let key = 1 + (!i mod 200) in
+         ignore
+           (Workloads.Db.exec db
+              (Printf.sprintf "SELECT * FROM items WHERE key = %d" key))))
+
+let test_parser =
+  Test.make ~name:"substrate: parse+deparse round trip"
+    (Staged.stage (fun () ->
+         let ast =
+           Sqlfront.Parser.parse_statement
+             "SELECT a, count(*) FROM t JOIN u ON t.k = u.k WHERE t.v > 10 \
+              GROUP BY a ORDER BY 2 DESC LIMIT 5"
+         in
+         ignore (Sqlfront.Parser.parse_statement (Sqlfront.Deparse.statement ast))))
+
+let test_fig7_copy_routing =
+  let db = small_citus () in
+  (match db.Workloads.Db.citus with
+   | Some _ ->
+     ignore (Workloads.Db.exec db "CREATE TABLE stream (k bigint, v text)");
+     (match db.Workloads.Db.citus with
+      | Some api ->
+        Citus.Api.create_distributed_table api ~table:"stream" ~column:"k" ()
+      | None -> ())
+   | None -> ());
+  let i = ref 0 in
+  Test.make ~name:"fig7a: COPY batch routing (50 rows)"
+    (Staged.stage (fun () ->
+         incr i;
+         let base = !i * 50 in
+         let lines =
+           List.init 50 (fun j -> Printf.sprintf "%d\tv%d" (base + j) j)
+         in
+         ignore
+           (Engine.Instance.copy_in db.Workloads.Db.session ~table:"stream"
+              ~columns:None lines)))
+
+let test_rebalancer_move =
+  Test.make ~name:"rebalancer: move a 100-row shard group"
+    (Staged.stage (fun () ->
+         let db = Workloads.Db.citus ~workers:2 ~shard_count:4 () in
+         ignore (Workloads.Db.exec db "CREATE TABLE t (k bigint, v bigint)");
+         (match db.Workloads.Db.citus with
+          | Some api ->
+            Citus.Api.create_distributed_table api ~table:"t" ~column:"k" ();
+            let s = db.Workloads.Db.session in
+            ignore (Engine.Instance.exec s "BEGIN");
+            for i = 1 to 100 do
+              ignore
+                (Engine.Instance.exec s
+                   (Printf.sprintf "INSERT INTO t (k, v) VALUES (%d, %d)" i i))
+            done;
+            ignore (Engine.Instance.exec s "COMMIT");
+            let st = Citus.Api.coordinator_state api in
+            let meta = api.Citus.Api.metadata in
+            let sh = List.hd (Citus.Metadata.shards_of meta "t") in
+            let from = Citus.Metadata.placement meta sh.Citus.Metadata.shard_id in
+            let to_node = if from = "worker1" then "worker2" else "worker1" in
+            ignore
+              (Citus.Rebalancer.move_shard_group st
+                 ~shard_id:sh.Citus.Metadata.shard_id ~to_node)
+          | None -> ())))
+
+let tests =
+  [
+    test_table2_capability_matrix;
+    test_parser;
+    test_fig6_routed_txn;
+    test_fig7_pushdown_agg;
+    test_fig9_2pc_txn;
+    test_fig10_fastpath_read;
+    test_fig7_copy_routing;
+    test_rebalancer_move;
+  ]
+
+let run () =
+  Report.section "Bechamel microbenchmarks (real wall-clock of this implementation)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Report.note "  %-45s %12.0f ns/run" name est
+          | _ -> Report.note "  %-45s (no estimate)" name)
+        analyzed)
+    tests

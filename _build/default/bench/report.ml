@@ -1,0 +1,50 @@
+(* Fixed-width table rendering for the benchmark output. *)
+
+let rule widths =
+  "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+
+let pad w s =
+  let n = String.length s in
+  if n >= w then s else s ^ String.make (w - n) ' '
+
+let table ~title ~headers ~rows =
+  let all = headers :: rows in
+  let ncols = List.length headers in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left
+          (fun acc row ->
+            match List.nth_opt row i with
+            | Some cell -> max acc (String.length cell)
+            | None -> acc)
+          0 all)
+  in
+  Printf.printf "\n%s\n%s\n" title (rule widths);
+  let print_row row =
+    let cells =
+      List.mapi (fun i w -> pad w (Option.value ~default:"" (List.nth_opt row i))) widths
+    in
+    Printf.printf "| %s |\n" (String.concat " | " cells)
+  in
+  print_row headers;
+  print_endline (rule widths);
+  List.iter print_row rows;
+  print_endline (rule widths)
+
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" bar title bar
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
+
+let fmt_rate v =
+  if v >= 1_000_000.0 then Printf.sprintf "%.2fM" (v /. 1_000_000.0)
+  else if v >= 1000.0 then Printf.sprintf "%.1fk" (v /. 1000.0)
+  else Printf.sprintf "%.1f" v
+
+let fmt_ms s = Printf.sprintf "%.2fms" (s *. 1000.0)
+
+let fmt_s s =
+  if s >= 1.0 then Printf.sprintf "%.2fs" s else Printf.sprintf "%.1fms" (s *. 1000.0)
+
+let fmt_x v = Printf.sprintf "%.1fx" v

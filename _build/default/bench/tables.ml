@@ -1,0 +1,56 @@
+(* Tables 1–3 of the paper, regenerated from the capability model in
+   Citus.Capability so the matrix stays tied to the code that implements
+   each capability. *)
+
+let table1 () =
+  Report.table ~title:"Table 1: Scale requirements of workload patterns"
+    ~headers:[ "Scale requirements"; "MT"; "RA"; "HC"; "DW" ]
+    ~rows:
+      (let cells f =
+         List.map (fun w -> f (Citus.Capability.scale_requirements w))
+           Citus.Capability.workloads
+       in
+       [
+         "Typical query latency" :: cells (fun (l, _, _) -> l);
+         "Typical query throughput" :: cells (fun (_, t, _) -> t);
+         "Typical data size" :: cells (fun (_, _, s) -> s);
+       ])
+
+let table2 () =
+  Report.table
+    ~title:"Table 2: Workload patterns and required capabilities"
+    ~headers:("Feature requirements" :: List.map Citus.Capability.workload_abbrev Citus.Capability.workloads)
+    ~rows:
+      (List.map
+         (fun c ->
+           Citus.Capability.capability_name c
+           :: List.map
+                (fun w ->
+                  match Citus.Capability.requires w c with
+                  | Citus.Capability.Required -> "Yes"
+                  | Citus.Capability.Some_workloads -> "Some"
+                  | Citus.Capability.Not_required -> "")
+                Citus.Capability.workloads)
+         Citus.Capability.capabilities);
+  Report.note "Each capability maps to an implementation:";
+  List.iter
+    (fun c ->
+      Report.note "  %-34s -> %s"
+        (Citus.Capability.capability_name c)
+        (Citus.Capability.implemented_by c))
+    Citus.Capability.capabilities
+
+let table3 () =
+  Report.table ~title:"Table 3: Benchmarks used for the workload patterns"
+    ~headers:[ "Workload"; "Benchmark" ]
+    ~rows:
+      (List.map
+         (fun w ->
+           [ Citus.Capability.workload_name w; Citus.Capability.benchmark_for w ])
+         Citus.Capability.workloads)
+
+let run () =
+  Report.section "Tables 1-3 (workload requirements, capabilities, benchmarks)";
+  table1 ();
+  table2 ();
+  table3 ()

@@ -1,0 +1,1 @@
+examples/multi_tenant_saas.ml: Array Citus Cluster Datum Engine List Printf String

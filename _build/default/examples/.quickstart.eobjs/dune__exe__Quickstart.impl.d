@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Citus Cluster Datum Engine List Printf String

@@ -1,0 +1,1 @@
+examples/realtime_dashboard.ml: Array Datum Engine List Printf String Workloads

@@ -1,0 +1,1 @@
+examples/rebalance_demo.ml: Citus Cluster Datum Engine List Printf String

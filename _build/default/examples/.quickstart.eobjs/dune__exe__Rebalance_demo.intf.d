@@ -1,0 +1,1 @@
+examples/rebalance_demo.mli:

@@ -1,0 +1,1 @@
+examples/venicedb_rqv.ml: Array Citus Cluster Datum Engine List Printf Random String

@@ -1,0 +1,1 @@
+examples/venicedb_rqv.mli:

@@ -1,0 +1,1 @@
+lib/cluster/connection.ml: Engine List Sqlfront String Topology

@@ -1,0 +1,1 @@
+lib/cluster/connection.mli: Engine Sqlfront Topology

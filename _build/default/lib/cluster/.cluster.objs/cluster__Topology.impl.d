@@ -1,0 +1,1 @@
+lib/cluster/topology.ml: Engine List Printf Sim String

@@ -1,0 +1,45 @@
+type t = {
+  cluster : Topology.t;
+  conn_node : Topology.node;
+  origin : string option;  (** node name of the connecting side *)
+  sess : Engine.Instance.session;
+}
+
+let open_ ?origin (cluster : Topology.t) (node : Topology.node) =
+  cluster.Topology.net.connections_opened <-
+    cluster.Topology.net.connections_opened + 1;
+  { cluster; conn_node = node; origin; sess = Engine.Instance.connect node.instance }
+
+let node t = t.conn_node
+
+let session t = t.sess
+
+let count_round_trip t =
+  t.cluster.Topology.net.round_trips <- t.cluster.Topology.net.round_trips + 1;
+  let cross =
+    match t.origin with
+    | Some o -> not (String.equal o t.conn_node.Topology.node_name)
+    | None -> true
+  in
+  if cross then
+    t.cluster.Topology.net.cross_round_trips <-
+      t.cluster.Topology.net.cross_round_trips + 1
+
+let exec t sql =
+  count_round_trip t;
+  let r = Engine.Instance.exec t.sess sql in
+  t.cluster.Topology.net.rows_shipped <-
+    t.cluster.Topology.net.rows_shipped + List.length r.Engine.Instance.rows;
+  r
+
+let exec_ast t stmt = exec t (Sqlfront.Deparse.statement stmt)
+
+let copy t ~table ~columns lines =
+  count_round_trip t;
+  t.cluster.Topology.net.rows_shipped <-
+    t.cluster.Topology.net.rows_shipped + List.length lines;
+  Engine.Instance.copy_in t.sess ~table ~columns lines
+
+let in_transaction t = Engine.Instance.in_transaction t.sess
+
+let backend_xid t = Engine.Instance.current_xid t.sess

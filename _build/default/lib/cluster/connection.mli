@@ -1,0 +1,35 @@
+(** A coordinator-held connection to one node.
+
+    Statements travel as SQL text (the Citus planners deparse rewritten
+    ASTs and the remote node re-parses), and every call counts one network
+    round trip. Opening a connection has a cost too — the adaptive
+    executor's slow-start exists precisely to manage it (§3.6.1). *)
+
+type t
+
+(** [open_ cluster node] establishes a connection (counted). A connection
+    from the coordinator to itself still counts round trips, but they are
+    not {e cross}-node round trips when [origin] names the same node — only
+    cross traffic pays network latency in the simulation. *)
+val open_ : ?origin:string -> Topology.t -> Topology.node -> t
+
+val node : t -> Topology.node
+
+val session : t -> Engine.Instance.session
+
+(** Execute SQL text remotely; counts one round trip and ships the result
+    rows back (counted in [rows_shipped]). Raises whatever the remote
+    session raises ({!Engine.Executor.Would_block}, parse errors, ...). *)
+val exec : t -> string -> Engine.Instance.result
+
+(** Deparse and execute a statement AST. *)
+val exec_ast : t -> Sqlfront.Ast.statement -> Engine.Instance.result
+
+(** COPY a batch of data lines; one round trip per call. *)
+val copy : t -> table:string -> columns:string list option -> string list -> int
+
+(** True if the connection's session holds an open transaction block. *)
+val in_transaction : t -> bool
+
+(** Worker-side xid of the connection's open transaction, if any. *)
+val backend_xid : t -> int option

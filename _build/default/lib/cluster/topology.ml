@@ -1,0 +1,68 @@
+type node = {
+  node_name : string;
+  instance : Engine.Instance.t;
+  spec : Sim.Cost.node_spec;
+}
+
+type net_stats = {
+  mutable round_trips : int;
+  mutable cross_round_trips : int;  (** round trips that leave the node *)
+  mutable connections_opened : int;
+  mutable rows_shipped : int;
+}
+
+type t = {
+  coordinator : node;
+  workers : node list;
+  clock : Sim.Clock.t;
+  rtt : float;
+  net : net_stats;
+}
+
+let create ?(buffer_pages = 100_000) ?(spec = Sim.Cost.default_spec)
+    ?(rtt = Sim.Cost.default_rtt) ~workers () =
+  let make name seed =
+    {
+      node_name = name;
+      instance = Engine.Instance.create ~seed ~buffer_pages ~name ();
+      spec;
+    }
+  in
+  {
+    coordinator = make "coordinator" 1;
+    workers = List.init workers (fun i -> make (Printf.sprintf "worker%d" (i + 1)) (i + 2));
+    clock = Sim.Clock.create ();
+    rtt;
+    net =
+      {
+        round_trips = 0;
+        cross_round_trips = 0;
+        connections_opened = 0;
+        rows_shipped = 0;
+      };
+  }
+
+let data_nodes t = match t.workers with [] -> [ t.coordinator ] | ws -> ws
+
+let all_nodes t = t.coordinator :: t.workers
+
+let find_node t name =
+  match List.find_opt (fun n -> String.equal n.node_name name) (all_nodes t) with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "no node named %s" name)
+
+let net_snapshot t =
+  {
+    round_trips = t.net.round_trips;
+    cross_round_trips = t.net.cross_round_trips;
+    connections_opened = t.net.connections_opened;
+    rows_shipped = t.net.rows_shipped;
+  }
+
+let net_diff ~after ~before =
+  {
+    round_trips = after.round_trips - before.round_trips;
+    cross_round_trips = after.cross_round_trips - before.cross_round_trips;
+    connections_opened = after.connections_opened - before.connections_opened;
+    rows_shipped = after.rows_shipped - before.rows_shipped;
+  }

@@ -1,0 +1,54 @@
+(** Simulated cluster: named MiniPG nodes plus a network model.
+
+    Every node runs a full {!Engine.Instance.t}. The "network" is
+    in-process: a {!Connection.t} wraps a session on a remote node and
+    counts round trips and connection establishments, which the benchmark
+    harness prices via {!Sim.Cost}. A shared virtual {!Sim.Clock.t} drives
+    time-based behavior (slow-start, deadlock polling). *)
+
+type node = {
+  node_name : string;
+  instance : Engine.Instance.t;
+  spec : Sim.Cost.node_spec;
+}
+
+type net_stats = {
+  mutable round_trips : int;
+  mutable cross_round_trips : int;
+      (** round trips whose endpoints are different nodes: these pay the
+          network latency; a coordinator talking to its own shards does
+          not *)
+  mutable connections_opened : int;
+  mutable rows_shipped : int;  (** rows moved between nodes *)
+}
+
+type t = {
+  coordinator : node;
+  workers : node list;  (** empty = single-node cluster (Citus 0+1) *)
+  clock : Sim.Clock.t;
+  rtt : float;
+  net : net_stats;
+}
+
+(** [create ~workers:n ()] builds a coordinator plus [n] workers.
+    [buffer_pages] applies per node. *)
+val create :
+  ?buffer_pages:int ->
+  ?spec:Sim.Cost.node_spec ->
+  ?rtt:float ->
+  workers:int ->
+  unit ->
+  t
+
+(** Nodes that store shards: the workers, or the coordinator alone when
+    there are none (the paper's "coordinator also acts as worker"). *)
+val data_nodes : t -> node list
+
+val all_nodes : t -> node list
+
+val find_node : t -> string -> node
+
+(** Copy of the network counters (for before/after diffs). *)
+val net_snapshot : t -> net_stats
+
+val net_diff : after:net_stats -> before:net_stats -> net_stats

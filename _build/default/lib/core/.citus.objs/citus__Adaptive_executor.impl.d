@@ -1,0 +1,1 @@
+lib/core/adaptive_executor.ml: Array Ast Cluster Engine Float Hashtbl List Option Plan Sim Sqlfront State Storage

@@ -1,0 +1,1 @@
+lib/core/adaptive_executor.mli: Engine Plan State

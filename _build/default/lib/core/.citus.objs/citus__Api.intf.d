@@ -1,0 +1,1 @@
+lib/core/api.mli: Cluster Engine Hashtbl Metadata State

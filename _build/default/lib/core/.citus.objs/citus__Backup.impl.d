@@ -1,0 +1,1 @@
+lib/core/backup.ml: Cluster Engine Fun List Printf State String Twopc Txn

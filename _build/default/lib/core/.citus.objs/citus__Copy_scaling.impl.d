@@ -1,0 +1,1 @@
+lib/core/copy_scaling.ml: Array Cluster Datum Engine Hashtbl List Metadata Option Printf Sqlfront State String

@@ -1,0 +1,1 @@
+lib/core/copy_scaling.mli: Engine State

@@ -1,0 +1,1 @@
+lib/core/ddl.ml: Adaptive_executor Ast Engine List Metadata Plan Planner Printf Sqlfront State

@@ -1,0 +1,1 @@
+lib/core/ddl.mli: Engine Sqlfront State

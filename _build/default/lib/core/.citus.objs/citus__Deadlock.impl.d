@@ -1,0 +1,1 @@
+lib/core/deadlock.ml: Cluster Engine Hashtbl List Printf State String Txn

@@ -1,0 +1,1 @@
+lib/core/dist_executor.ml: Adaptive_executor Array Cluster Datum Engine Fun List Option Plan Planner Printf Sqlfront State Storage String Txn

@@ -1,0 +1,1 @@
+lib/core/dist_executor.mli: Adaptive_executor Engine Plan State

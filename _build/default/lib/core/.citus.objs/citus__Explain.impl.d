@@ -1,0 +1,1 @@
+lib/core/explain.ml: Buffer Cluster Engine Join_order List Plan Planner Printf Sqlfront State String

@@ -1,0 +1,1 @@
+lib/core/insert_select.ml: Adaptive_executor Array Ast Cluster Datum Dist_executor Engine Hashtbl List Metadata Plan Planner Printf Sqlfront State String

@@ -1,0 +1,1 @@
+lib/core/insert_select.mli: Engine Sqlfront State

@@ -1,0 +1,1 @@
+lib/core/join_order.ml: Array Ast Cluster Datum Dist_executor Engine Fun Hashtbl Int32 List Metadata Option Plan Planner Printf Sqlfront State String

@@ -1,0 +1,1 @@
+lib/core/join_order.mli: Adaptive_executor Engine Sqlfront State

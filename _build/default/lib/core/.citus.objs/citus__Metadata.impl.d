@@ -1,0 +1,1 @@
+lib/core/metadata.ml: Array Datum Hashtbl Int Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/core/planner.ml: Ast Datum Engine Hashtbl Int List Metadata Option Plan Printf Random Sqlfront String

@@ -1,0 +1,1 @@
+lib/core/planner.mli: Engine Metadata Plan Sqlfront

@@ -1,0 +1,1 @@
+lib/core/rebalancer.ml: Cluster Engine Hashtbl Int List Metadata Option Printf Sqlfront State Storage String Txn

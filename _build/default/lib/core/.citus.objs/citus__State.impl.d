@@ -1,0 +1,1 @@
+lib/core/state.ml: Cluster Engine Hashtbl List Metadata Option Printf Sqlfront String

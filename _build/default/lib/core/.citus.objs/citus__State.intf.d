@@ -1,0 +1,1 @@
+lib/core/state.mli: Cluster Engine Hashtbl Metadata Sqlfront

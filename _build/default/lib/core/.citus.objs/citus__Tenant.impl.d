@@ -1,0 +1,1 @@
+lib/core/tenant.ml: Array Cluster Datum Engine Int32 List Metadata Option Printf Rebalancer Sqlfront State String

@@ -1,0 +1,1 @@
+lib/core/tenant.mli: Datum Rebalancer State

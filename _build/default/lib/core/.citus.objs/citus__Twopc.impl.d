@@ -1,0 +1,1 @@
+lib/core/twopc.ml: Cluster Datum Engine Hashtbl List Printf Sqlfront State Txn

@@ -1,0 +1,1 @@
+lib/core/twopc.mli: Engine State

@@ -1,0 +1,200 @@
+open Sqlfront
+
+type report = {
+  makespan : float;
+  connections_used : (string * int) list;
+  round_trips : int;
+  serial_time : float;
+}
+
+let is_write (stmt : Ast.statement) =
+  match stmt with
+  | Ast.Insert _ | Ast.Update _ | Ast.Delete _ | Ast.Create_index _
+  | Ast.Truncate _ | Ast.Alter_table_add_column _ | Ast.Drop_table _
+  | Ast.Copy_from _ ->
+    true
+  | _ -> false
+
+(* Greedy list scheduling of task durations over connections that open at
+   k * slow_start (slow start, §3.6.1). Effective connections = those that
+   received at least one task. *)
+let simulate_timeline ~durations ~slow_start ~max_conns =
+  match durations with
+  | [] -> (0.0, 0)
+  | _ ->
+    let n_conns = max 1 (min max_conns (List.length durations)) in
+    let next_free =
+      Array.init n_conns (fun k -> float_of_int k *. slow_start)
+    in
+    let used = Array.make n_conns false in
+    List.iter
+      (fun d ->
+        (* earliest-available connection *)
+        let best = ref 0 in
+        for k = 1 to n_conns - 1 do
+          if next_free.(k) < next_free.(!best) then best := k
+        done;
+        used.(!best) <- true;
+        next_free.(!best) <- next_free.(!best) +. d)
+      durations;
+    (* only connections that ran a task count towards the makespan: an
+       unused ramp slot is never actually opened *)
+    let makespan = ref 0.0 and effective = ref 0 in
+    Array.iteri
+      (fun k u ->
+        if u then begin
+          incr effective;
+          if next_free.(k) > !makespan then makespan := next_free.(k)
+        end)
+      used;
+    (!makespan, !effective)
+
+(* Measure the resource demand of running [f] on [node]: meter + buffer
+   pool diffs converted to solo elapsed seconds. *)
+let measured (node : Cluster.Topology.node) f =
+  let inst = node.Cluster.Topology.instance in
+  let meter_before = Engine.Meter.read (Engine.Instance.meter inst) in
+  let pool_stats_before = Storage.Buffer_pool.stats (Engine.Instance.buffer_pool inst) in
+  let result = f () in
+  let meter_after = Engine.Meter.read (Engine.Instance.meter inst) in
+  let pool_stats_after = Storage.Buffer_pool.stats (Engine.Instance.buffer_pool inst) in
+  let meter = Engine.Meter.diff ~after:meter_after ~before:meter_before in
+  let misses =
+    pool_stats_after.Storage.Buffer_pool.misses
+    - pool_stats_before.Storage.Buffer_pool.misses
+  in
+  let demand =
+    Sim.Cost.demand_of ~spec:node.Cluster.Topology.spec ~meter ~misses
+  in
+  let duration =
+    Sim.Cost.solo_elapsed ~spec:node.Cluster.Topology.spec ~parallelism:1 demand
+  in
+  (result, duration)
+
+let register_backend st_state (t : State.t) conn coord_session =
+  match Cluster.Connection.backend_xid conn with
+  | Some worker_xid ->
+    let node = (Cluster.Connection.node conn).Cluster.Topology.node_name in
+    let coord_node =
+      Engine.Instance.name (Engine.Instance.session_instance coord_session)
+    in
+    (match Engine.Instance.current_xid coord_session with
+     | Some coord_xid ->
+       Hashtbl.replace t.State.registry (node, worker_xid)
+         (coord_node, coord_xid);
+       st_state.State.dist_xids <-
+         (node, worker_xid) :: st_state.State.dist_xids
+     | None -> ())
+  | None -> ()
+
+(* Pick / open the connection for a task. *)
+let connection_for (t : State.t) st ~in_txn ~assigned (task : Plan.task) =
+  let node = Cluster.Topology.find_node t.State.cluster task.Plan.task_node in
+  let node_name = node.Cluster.Topology.node_name in
+  let affinity_key = (0, task.Plan.task_group) in
+  let affinity_match =
+    if task.Plan.task_group >= 0 then
+      List.assoc_opt affinity_key st.State.affinity
+      |> Option.map (fun c -> (c, true))
+    else None
+  in
+  match affinity_match with
+  | Some (conn, _)
+    when (Cluster.Connection.node conn).Cluster.Topology.node_name
+         = node_name ->
+    conn
+  | _ ->
+    let pool = State.pool_of st node_name in
+    (* least-loaded existing connection, else try to open one *)
+    let load c =
+      List.length (List.filter (fun c' -> c' == c) assigned)
+    in
+    let pick_existing () =
+      match pool with
+      | [] -> None
+      | first :: rest ->
+        Some
+          (List.fold_left
+             (fun best c -> if load c < load best then c else best)
+             first rest)
+    in
+    let conn =
+      match pick_existing () with
+      | Some c when load c = 0 -> c
+      | maybe_busy ->
+        (match State.checkout t st node with
+         | Some fresh -> fresh
+         | None ->
+           (match maybe_busy with
+            | Some c -> c
+            | None ->
+              (* must have at least one connection *)
+              Option.get (State.checkout t st ~force:true node)))
+    in
+    if in_txn && task.Plan.task_group >= 0 then
+      st.State.affinity <- (affinity_key, conn) :: st.State.affinity;
+    conn
+
+let execute (t : State.t) coord_session (tasks : Plan.task list) =
+  let st = State.session_state t coord_session in
+  let explicit = Engine.Instance.in_transaction coord_session in
+  let net_before = Cluster.Topology.net_snapshot t.State.cluster in
+  let assigned : Cluster.Connection.t list ref = ref [] in
+  let node_durations : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  let results =
+    List.map
+      (fun (task : Plan.task) ->
+        let needs_txn_block = explicit || is_write task.Plan.task_stmt in
+        let conn = connection_for t st ~in_txn:needs_txn_block ~assigned:!assigned task in
+        assigned := conn :: !assigned;
+        let node = Cluster.Connection.node conn in
+        if needs_txn_block && not (List.memq conn st.State.txn_conns) then begin
+          ignore (State.exec_on t conn "BEGIN");
+          st.State.txn_conns <- conn :: st.State.txn_conns;
+          register_backend st t conn coord_session
+        end;
+        let result, duration =
+          measured node (fun () -> State.exec_ast_on t conn task.Plan.task_stmt)
+        in
+        let durs =
+          match Hashtbl.find_opt node_durations task.Plan.task_node with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Hashtbl.replace node_durations task.Plan.task_node r;
+            r
+        in
+        durs := duration :: !durs;
+        result)
+      tasks
+  in
+  let net_after = Cluster.Topology.net_snapshot t.State.cluster in
+  let net = Cluster.Topology.net_diff ~after:net_after ~before:net_before in
+  let per_node =
+    Hashtbl.fold (fun node durs acc -> (node, List.rev !durs) :: acc)
+      node_durations []
+  in
+  let timelines =
+    List.map
+      (fun (node, durations) ->
+        let makespan, conns =
+          simulate_timeline ~durations
+            ~slow_start:t.State.config.State.slow_start_interval
+            ~max_conns:
+              (min t.State.config.State.pool_size_per_node
+                 t.State.config.State.shared_connection_limit)
+        in
+        (node, makespan, conns, List.fold_left ( +. ) 0.0 durations))
+      per_node
+  in
+  let report =
+    {
+      makespan =
+        List.fold_left (fun acc (_, m, _, _) -> Float.max acc m) 0.0 timelines;
+      connections_used = List.map (fun (n, _, c, _) -> (n, c)) timelines;
+      round_trips = net.Cluster.Topology.round_trips;
+      serial_time =
+        List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0.0 timelines;
+    }
+  in
+  (results, report)

@@ -1,0 +1,46 @@
+(** The adaptive executor (§3.6.1).
+
+    Runs a distributed plan's tasks over per-session connection pools,
+    respecting:
+
+    - {b connection affinity}: inside a transaction, the same shard group
+      always reuses the same connection, so uncommitted writes and locks
+      stay visible to later statements;
+    - {b transaction blocks}: writes (and any statement inside an explicit
+      coordinator transaction) run inside [BEGIN] on the worker connection;
+      commit happens later through {!Twopc}'s transaction callbacks;
+    - {b the shared connection limit}: new connections are only opened
+      while the cluster-wide per-worker count is below the limit;
+    - {b slow start}: since this harness has no OS threads, parallelism is
+      simulated — tasks execute sequentially and their measured durations
+      feed a deterministic timeline (one connection at t=0, one more every
+      [slow_start_interval]) whose makespan and effective connection counts
+      are returned in the {!report}. *)
+
+type report = {
+  makespan : float;
+      (** simulated parallel elapsed time across nodes (excludes network) *)
+  connections_used : (string * int) list;
+      (** effective connections per node (after slow start) *)
+  round_trips : int;  (** network round trips incurred by the tasks *)
+  serial_time : float;  (** sum of all task durations (1-connection time) *)
+}
+
+(** Execute tasks in a deterministic order; returns per-task results
+    (aligned with the input order) and the timing report. Raises whatever
+    task execution raises ({!Engine.Executor.Would_block},
+    {!State.Network_error}, ...). *)
+val execute :
+  State.t ->
+  Engine.Instance.session ->
+  Plan.task list ->
+  Engine.Instance.result list * report
+
+(** Pure timeline simulation, exposed for unit tests: given task durations
+    per node and the slow-start interval, the resulting (makespan,
+    effective connections). [max_conns] caps the ramp-up. *)
+val simulate_timeline :
+  durations:float list ->
+  slow_start:float ->
+  max_conns:int ->
+  float * int

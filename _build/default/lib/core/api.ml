@@ -1,0 +1,615 @@
+open Sqlfront
+
+type t = {
+  cluster : Cluster.Topology.t;
+  metadata : Metadata.t;
+  registry : ((string * int), string * int) Hashtbl.t;
+  mutable states : State.t list;
+  mutable active_data_nodes : string list;
+  procedures : (string, int * string) Hashtbl.t;
+}
+
+let err fmt =
+  Printf.ksprintf (fun m -> raise (Engine.Instance.Session_error m)) fmt
+
+let coordinator_state t = List.hd t.states
+
+let state_for t session =
+  let name = Engine.Instance.name (Engine.Instance.session_instance session) in
+  match
+    List.find_opt
+      (fun (st : State.t) ->
+        String.equal st.State.local.Cluster.Topology.node_name name)
+      t.states
+  with
+  | Some st -> st
+  | None -> err "the Citus extension is not installed on node %s" name
+
+(* --- shard DDL helpers --- *)
+
+let admin_conn t node_name =
+  Cluster.Connection.open_
+    ~origin:t.cluster.Cluster.Topology.coordinator.Cluster.Topology.node_name
+    t.cluster
+    (Cluster.Topology.find_node t.cluster node_name)
+
+let table_def_of catalog name =
+  match Engine.Catalog.find_table_opt catalog name with
+  | Some tbl -> tbl
+  | None -> err "relation %s does not exist" name
+
+let create_shard_table ~conn ~(src : Engine.Catalog.table) ~shard_table =
+  let columnar =
+    match src.Engine.Catalog.store with
+    | Engine.Catalog.Columnar_store _ -> true
+    | Engine.Catalog.Heap_store _ -> false
+  in
+  ignore
+    (Cluster.Connection.exec_ast conn
+       (Ast.Create_table
+          {
+            name = shard_table;
+            columns = src.Engine.Catalog.columns;
+            primary_key = src.Engine.Catalog.primary_key;
+            if_not_exists = false;
+            using_columnar = columnar;
+          }));
+  (* secondary indexes (the pkey index is implicit in CREATE TABLE) *)
+  List.iter
+    (fun (idx : Engine.Catalog.index) ->
+      if not (String.equal idx.Engine.Catalog.idx_name
+                (src.Engine.Catalog.tbl_name ^ "_pkey"))
+      then
+        let stmt =
+          match idx.Engine.Catalog.kind with
+          | Engine.Catalog.Btree_index { columns; _ } ->
+            Ast.Create_index
+              {
+                name = idx.Engine.Catalog.idx_name ^ "_" ^ shard_table;
+                table = shard_table;
+                using = Ast.Btree;
+                key_columns = columns;
+                key_expr = None;
+                if_not_exists = false;
+              }
+          | Engine.Catalog.Gin_index { expr; _ } ->
+            Ast.Create_index
+              {
+                name = idx.Engine.Catalog.idx_name ^ "_" ^ shard_table;
+                table = shard_table;
+                using = Ast.Gin_trgm;
+                key_columns = [];
+                key_expr = Some expr;
+                if_not_exists = false;
+              }
+        in
+        ignore (Cluster.Connection.exec_ast conn stmt))
+    src.Engine.Catalog.indexes
+
+(* Move existing rows of the (about-to-be-converted) local table into the
+   new shards, then empty the local copy. *)
+let move_local_rows t session ~table ~(dt_kind : Metadata.kind) ~conns =
+  let ctx = Engine.Instance.make_ctx session in
+  let _cols, rows =
+    Engine.Executor.run_select ctx
+      {
+        Ast.distinct = false;
+        projections = [ Ast.Star ];
+        from = [ Ast.Table { name = table; alias = None } ];
+        where = None;
+        group_by = [];
+        having = None;
+        order_by = [];
+        limit = None;
+        offset = None;
+      }
+  in
+  if rows <> [] then begin
+    let insert_into conn shard_table tuples =
+      ignore
+        (Cluster.Connection.exec_ast conn
+           (Ast.Insert
+              {
+                table = shard_table;
+                columns = None;
+                source = Ast.Values tuples;
+                on_conflict_do_nothing = false;
+              }))
+    in
+    let tuple_of row = List.map (fun d -> Ast.Const d) (Array.to_list row) in
+    match dt_kind with
+    | Metadata.Reference ->
+      let shard = List.hd (Metadata.shards_of t.metadata table) in
+      let tuples = List.map tuple_of rows in
+      List.iter
+        (fun node ->
+          insert_into (List.assoc node conns) (Metadata.shard_name shard) tuples)
+        (Metadata.placements t.metadata shard.Metadata.shard_id)
+    | Metadata.Distributed ->
+      let dt = Option.get (Metadata.find t.metadata table) in
+      let dc = Option.get dt.Metadata.dist_column in
+      let catalog =
+        Engine.Instance.catalog (Engine.Instance.session_instance session)
+      in
+      let tbl = table_def_of catalog table in
+      let pos = Engine.Catalog.column_index tbl dc in
+      let by_shard = Hashtbl.create 16 in
+      List.iter
+        (fun (row : Datum.t array) ->
+          let shard = Metadata.shard_for_value t.metadata ~table row.(pos) in
+          let b =
+            match Hashtbl.find_opt by_shard shard.Metadata.shard_id with
+            | Some b -> b
+            | None ->
+              let b = ref [] in
+              Hashtbl.replace by_shard shard.Metadata.shard_id b;
+              b
+          in
+          b := tuple_of row :: !b)
+        rows;
+      Hashtbl.iter
+        (fun shard_id tuples ->
+          let shard =
+            List.find
+              (fun (s : Metadata.shard) -> s.Metadata.shard_id = shard_id)
+              (Metadata.shards_of t.metadata table)
+          in
+          let node = Metadata.placement t.metadata shard_id in
+          insert_into (List.assoc node conns) (Metadata.shard_name shard)
+            (List.rev !tuples))
+        by_shard
+  end;
+  ignore (Engine.Instance.exec_utility_local session (Ast.Truncate [ table ]))
+
+(* MX metadata sync ships "shell" copies of the logical tables to the
+   workers, so worker-side planning and DDL can resolve them. Shells hold
+   schema only — the data lives in the shards. *)
+let create_shell_table t ~(node : Cluster.Topology.node) ~table_name =
+  let coord_catalog =
+    Engine.Instance.catalog
+      t.cluster.Cluster.Topology.coordinator.Cluster.Topology.instance
+  in
+  match Engine.Catalog.find_table_opt coord_catalog table_name with
+  | None -> ()
+  | Some src ->
+    let cat = Engine.Instance.catalog node.Cluster.Topology.instance in
+    if Engine.Catalog.find_table_opt cat table_name = None then begin
+      let columnar =
+        match src.Engine.Catalog.store with
+        | Engine.Catalog.Columnar_store _ -> true
+        | Engine.Catalog.Heap_store _ -> false
+      in
+      ignore
+        (Engine.Catalog.add_table cat ~name:table_name
+           ~columns:src.Engine.Catalog.columns
+           ~primary_key:src.Engine.Catalog.primary_key ~columnar)
+    end
+
+let sync_shells_to_installed_nodes t =
+  List.iter
+    (fun (st : State.t) ->
+      let node = st.State.local in
+      if
+        not
+          (String.equal node.Cluster.Topology.node_name
+             t.cluster.Cluster.Topology.coordinator.Cluster.Topology.node_name)
+      then
+        List.iter
+          (fun (dt : Metadata.dist_table) ->
+            create_shell_table t ~node ~table_name:dt.Metadata.dt_name)
+          (Metadata.all_tables t.metadata))
+    t.states
+
+(* --- UDF implementations --- *)
+
+let text_arg = function
+  | Datum.Text s -> s
+  | d -> err "expected a table/column name, got %s" (Datum.to_display d)
+
+let do_create_distributed_table t session ~table ~column ~colocate_with =
+  let inst = Engine.Instance.session_instance session in
+  let catalog = Engine.Instance.catalog inst in
+  let tbl = table_def_of catalog table in
+  let dist_ty =
+    (Engine.Catalog.column_tys tbl).(Engine.Catalog.column_index tbl column)
+  in
+  let shards =
+    Metadata.register_distributed t.metadata ~table ~column ~ty:dist_ty
+      ~colocate_with ~nodes:t.active_data_nodes
+  in
+  (* physical shard tables *)
+  let node_names =
+    List.sort_uniq String.compare
+      (List.map (fun (s : Metadata.shard) ->
+           Metadata.placement t.metadata s.Metadata.shard_id)
+         shards)
+  in
+  let conns = List.map (fun n -> (n, admin_conn t n)) node_names in
+  List.iter
+    (fun (s : Metadata.shard) ->
+      let node = Metadata.placement t.metadata s.Metadata.shard_id in
+      create_shard_table ~conn:(List.assoc node conns) ~src:tbl
+        ~shard_table:(Metadata.shard_name s))
+    shards;
+  move_local_rows t session ~table ~dt_kind:Metadata.Distributed ~conns;
+  sync_shells_to_installed_nodes t
+
+let do_create_reference_table t session ~table =
+  let inst = Engine.Instance.session_instance session in
+  let catalog = Engine.Instance.catalog inst in
+  let tbl = table_def_of catalog table in
+  let nodes =
+    List.sort_uniq String.compare
+      (t.cluster.Cluster.Topology.coordinator.Cluster.Topology.node_name
+       :: t.active_data_nodes)
+  in
+  let shard = Metadata.register_reference t.metadata ~table ~nodes in
+  let conns = List.map (fun n -> (n, admin_conn t n)) nodes in
+  List.iter
+    (fun (node, conn) ->
+      ignore node;
+      create_shard_table ~conn ~src:tbl ~shard_table:(Metadata.shard_name shard))
+    conns;
+  move_local_rows t session ~table ~dt_kind:Metadata.Reference ~conns;
+  sync_shells_to_installed_nodes t
+
+(* --- planner hook --- *)
+
+let delegate_call (t : t) (st : State.t) session proc args =
+  match Hashtbl.find_opt t.procedures proc with
+  | None -> None
+  | Some (arg_position, table) ->
+    let ctx = Engine.Instance.make_ctx session in
+    let values =
+      List.map
+        (fun e -> Engine.Expr_eval.compile [] ctx.Engine.Executor.env e [||])
+        args
+    in
+    (match List.nth_opt values (arg_position - 1) with
+     | None -> err "CALL %s: no argument %d" proc arg_position
+     | Some v ->
+       let shard = Metadata.shard_for_value t.metadata ~table v in
+       let node = Metadata.placement t.metadata shard.Metadata.shard_id in
+       if String.equal node st.State.local.Cluster.Topology.node_name then
+         None (* local: run the procedure here *)
+       else begin
+         let sst = State.session_state st session in
+         let conn =
+           match State.pool_of sst node with
+           | c :: _ -> c
+           | [] ->
+             Option.get
+               (State.checkout st sst ~force:true
+                  (Cluster.Topology.find_node t.cluster node))
+         in
+         let stmt = Ast.Call { proc; args } in
+         Some (State.exec_ast_on st conn stmt)
+       end)
+
+let planner_hook (t : t) (st : State.t) session (stmt : Ast.statement) :
+    Engine.Instance.result option =
+  match stmt with
+  | Ast.Call { proc; args } -> delegate_call t st session proc args
+  | _ ->
+    let citus = Planner.citus_tables t.metadata stmt in
+    if citus = [] then None
+    else begin
+      let catalog =
+        Engine.Instance.catalog st.State.local.Cluster.Topology.instance
+      in
+      try
+        match stmt with
+        | Ast.Insert { table; columns; source = Ast.Query select;
+                       on_conflict_do_nothing }
+          when Metadata.is_citus_table t.metadata table ->
+          let result, _strategy =
+            Insert_select.execute st session ~table ~columns ~select
+              ~on_conflict_do_nothing
+          in
+          Some result
+        | _ ->
+          let result =
+            match
+              Planner.plan t.metadata ~catalog
+                ~local_name:st.State.local.Cluster.Topology.node_name stmt
+            with
+            | plan, _tier -> fst (Dist_executor.execute st session plan)
+            | exception Planner.Unsupported first_error ->
+              (* last tier: the logical join-order planner for
+                 non-co-located joins *)
+              (match stmt with
+               | Ast.Select_stmt sel ->
+                 (try
+                    let result, _decision, _report =
+                      Join_order.execute st session sel
+                    in
+                    result
+                  with Join_order.Unsupported _ -> err "%s" first_error)
+               | _ -> err "%s" first_error)
+          in
+          Some result
+      with
+      | Planner.Unsupported m -> err "%s" m
+      | State.Network_error m ->
+        (* a node went away mid-statement: fail the statement cleanly so
+           the session aborts/retries like any other error *)
+        err "%s" m
+    end
+
+(* --- extension installation --- *)
+
+let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
+    ~is_coordinator =
+  let st =
+    State.create ~cluster:t.cluster ~metadata:t.metadata ~local:node
+      ~registry:t.registry ~coordinator_id
+  in
+  t.states <- t.states @ [ st ];
+  let inst = node.Cluster.Topology.instance in
+  Twopc.ensure_commit_records_table st;
+  Engine.Instance.set_planner_hook inst (fun session stmt ->
+      planner_hook t st session stmt);
+  Engine.Instance.set_utility_hook inst (fun session stmt ->
+      Ddl.utility_hook st session stmt);
+  Engine.Instance.set_copy_hook inst (fun session ~table ~columns lines ->
+      Copy_scaling.copy_hook st session ~table ~columns lines);
+  Engine.Instance.on_pre_commit inst (fun session -> Twopc.pre_commit st session);
+  Engine.Instance.on_post_commit inst (fun session ->
+      Twopc.post_commit st session);
+  Engine.Instance.on_abort inst (fun session -> Twopc.on_abort st session);
+  Engine.Instance.add_maintenance inst (fun _ -> ignore (Twopc.recover st));
+  if is_coordinator then
+    Engine.Instance.add_maintenance inst (fun _ ->
+        ignore (Deadlock.detect_and_cancel st));
+  (* UDFs *)
+  let user_errors f =
+    (* metadata-level misuse surfaces as a clean session error *)
+    try f () with Invalid_argument m -> err "%s" m
+  in
+  Engine.Instance.register_udf inst "create_distributed_table"
+    (fun session args ->
+      user_errors (fun () ->
+          match args with
+          | [ table; column ] ->
+            do_create_distributed_table t session ~table:(text_arg table)
+              ~column:(text_arg column) ~colocate_with:None
+          | [ table; column; colo ] ->
+            do_create_distributed_table t session ~table:(text_arg table)
+              ~column:(text_arg column)
+              ~colocate_with:(Some (text_arg colo))
+          | _ -> err "create_distributed_table(table, column [, colocate_with])");
+      Datum.Null);
+  Engine.Instance.register_udf inst "create_reference_table"
+    (fun session args ->
+      user_errors (fun () ->
+          match args with
+          | [ table ] ->
+            do_create_reference_table t session ~table:(text_arg table)
+          | _ -> err "create_reference_table(table)");
+      Datum.Null);
+  Engine.Instance.register_udf inst "create_distributed_function"
+    (fun _session args ->
+      (match args with
+       | [ proc; Datum.Int pos; table ] ->
+         Hashtbl.replace t.procedures (text_arg proc) (pos, text_arg table)
+       | _ -> err "create_distributed_function(proc, arg_position, table)");
+      Datum.Null);
+  Engine.Instance.register_udf inst "isolate_tenant_to_new_shard"
+    (fun _session args ->
+      match args with
+      | [ table; value ] ->
+        (match Tenant.isolate_tenant st ~table:(text_arg table) ~value with
+         | id :: _ -> Datum.Int id
+         | [] -> Datum.Null)
+      | _ -> err "isolate_tenant_to_new_shard(table, value)");
+  Engine.Instance.register_udf inst "citus_create_restore_point"
+    (fun _session args ->
+      (match args with
+       | [ name ] -> Backup.create_restore_point st (text_arg name)
+       | _ -> err "citus_create_restore_point(name)");
+      Datum.Null);
+  Engine.Instance.register_udf inst "citus_shards" (fun _session _args ->
+      (* introspection: the pg_dist metadata as a JSON document *)
+      let shards =
+        List.concat_map
+          (fun (dt : Metadata.dist_table) ->
+            List.map
+              (fun (sh : Metadata.shard) ->
+                Json.Obj
+                  [
+                    ("shard", Json.Str (Metadata.shard_name sh));
+                    ("table", Json.Str sh.Metadata.shard_of);
+                    ("min_hash", Json.Num (Int32.to_float sh.Metadata.min_hash));
+                    ("max_hash", Json.Num (Int32.to_float sh.Metadata.max_hash));
+                    ( "nodes",
+                      Json.Arr
+                        (List.map
+                           (fun n -> Json.Str n)
+                           (Metadata.placements t.metadata sh.Metadata.shard_id))
+                    );
+                  ])
+              (Metadata.shards_of t.metadata dt.Metadata.dt_name))
+          (Metadata.all_tables t.metadata)
+      in
+      Datum.Json (Json.Arr shards));
+  Engine.Instance.register_udf inst "citus_tables" (fun _session _args ->
+      let tables =
+        List.map
+          (fun (dt : Metadata.dist_table) ->
+            Json.Obj
+              [
+                ("table", Json.Str dt.Metadata.dt_name);
+                ( "kind",
+                  Json.Str
+                    (match dt.Metadata.kind with
+                     | Metadata.Distributed -> "distributed"
+                     | Metadata.Reference -> "reference") );
+                ( "distribution_column",
+                  match dt.Metadata.dist_column with
+                  | Some c -> Json.Str c
+                  | None -> Json.Null );
+                ("colocation_id", Json.Num (float_of_int dt.Metadata.colocation_id));
+                ( "shard_count",
+                  Json.Num
+                    (float_of_int
+                       (List.length (Metadata.shards_of t.metadata dt.Metadata.dt_name)))
+                );
+              ])
+          (Metadata.all_tables t.metadata)
+      in
+      Datum.Json (Json.Arr tables));
+  Engine.Instance.register_udf inst "citus_explain" (fun _session args ->
+      match args with
+      | [ q ] -> Datum.Text (Explain.explain st (text_arg q))
+      | _ -> err "citus_explain(query)");
+  Engine.Instance.register_udf inst "rebalance_table_shards" (fun _session _args ->
+      let moves = Rebalancer.rebalance st in
+      Datum.Int (List.length moves));
+  Engine.Instance.register_udf inst "citus_move_shard_placement"
+    (fun _session args ->
+      (match args with
+       | [ Datum.Int shard_id; to_node ] ->
+         ignore
+           (Rebalancer.move_shard_group st ~shard_id ~to_node:(text_arg to_node))
+       | _ -> err "citus_move_shard_placement(shard_id, to_node)");
+      Datum.Null);
+  Engine.Instance.register_udf inst "citus_add_node" (fun _session args ->
+      (match args with
+       | [ name ] ->
+         let name = text_arg name in
+         ignore (Cluster.Topology.find_node t.cluster name);
+         if not (List.mem name t.active_data_nodes) then begin
+           t.active_data_nodes <- t.active_data_nodes @ [ name ];
+           (* replicate reference tables to the new node *)
+           List.iter
+             (fun (dt : Metadata.dist_table) ->
+               if dt.Metadata.kind = Metadata.Reference then begin
+                 let shard =
+                   List.hd (Metadata.shards_of t.metadata dt.Metadata.dt_name)
+                 in
+                 let catalog = Engine.Instance.catalog inst in
+                 let tbl = table_def_of catalog dt.Metadata.dt_name in
+                 let conn = admin_conn t name in
+                 create_shard_table ~conn ~src:tbl
+                   ~shard_table:(Metadata.shard_name shard);
+                 (* copy current contents from the local replica *)
+                 let local_rows =
+                   (Engine.Instance.exec
+                      (Engine.Instance.connect inst)
+                      (Printf.sprintf "SELECT * FROM %s"
+                         (Metadata.shard_name shard)))
+                     .Engine.Instance.rows
+                 in
+                 if local_rows <> [] then begin
+                   let tuples =
+                     List.map
+                       (fun (row : Datum.t array) ->
+                         List.map (fun d -> Ast.Const d) (Array.to_list row))
+                       local_rows
+                   in
+                   ignore
+                     (Cluster.Connection.exec_ast conn
+                        (Ast.Insert
+                           {
+                             table = Metadata.shard_name shard;
+                             columns = None;
+                             source = Ast.Values tuples;
+                             on_conflict_do_nothing = false;
+                           }))
+                 end;
+                 Metadata.add_placement t.metadata
+                   ~shard_id:shard.Metadata.shard_id ~node:name
+               end)
+             (Metadata.all_tables t.metadata)
+         end
+       | _ -> err "citus_add_node(name)");
+      Datum.Null)
+
+let install ?(shard_count = 32) ?active_workers cluster =
+  let metadata = Metadata.create ~shard_count () in
+  let data =
+    List.map
+      (fun (n : Cluster.Topology.node) -> n.Cluster.Topology.node_name)
+      (Cluster.Topology.data_nodes cluster)
+  in
+  let active =
+    match active_workers with
+    | Some n -> List.filteri (fun i _ -> i < n) data
+    | None -> data
+  in
+  let t =
+    {
+      cluster;
+      metadata;
+      registry = Hashtbl.create 64;
+      states = [];
+      active_data_nodes = active;
+      procedures = Hashtbl.create 8;
+    }
+  in
+  install_on_node t cluster.Cluster.Topology.coordinator ~coordinator_id:0
+    ~is_coordinator:true;
+  t
+
+let enable_metadata_sync t =
+  List.iteri
+    (fun i (node : Cluster.Topology.node) ->
+      let installed =
+        List.exists
+          (fun (st : State.t) ->
+            String.equal st.State.local.Cluster.Topology.node_name
+              node.Cluster.Topology.node_name)
+          t.states
+      in
+      if not installed then
+        install_on_node t node ~coordinator_id:(i + 1) ~is_coordinator:false)
+    (Cluster.Topology.data_nodes t.cluster);
+  sync_shells_to_installed_nodes t
+
+let connect t =
+  Engine.Instance.connect
+    t.cluster.Cluster.Topology.coordinator.Cluster.Topology.instance
+
+let connect_via _t (node : Cluster.Topology.node) =
+  Engine.Instance.connect node.Cluster.Topology.instance
+
+let maintenance t =
+  List.iter
+    (fun (st : State.t) ->
+      Engine.Instance.maintenance_tick st.State.local.Cluster.Topology.instance)
+    t.states
+
+let create_distributed_table t ~table ~column ?colocate_with () =
+  let session = connect t in
+  let sql =
+    match colocate_with with
+    | None ->
+      Printf.sprintf "SELECT create_distributed_table('%s', '%s')" table column
+    | Some other ->
+      Printf.sprintf "SELECT create_distributed_table('%s', '%s', '%s')" table
+        column other
+  in
+  ignore (Engine.Instance.exec session sql)
+
+let create_reference_table t ~table =
+  let session = connect t in
+  ignore
+    (Engine.Instance.exec session
+       (Printf.sprintf "SELECT create_reference_table('%s')" table))
+
+let create_distributed_function t ~proc ~arg_position ~table =
+  Hashtbl.replace t.procedures proc (arg_position, table)
+
+(* Retry a statement that hits lock conflicts, running the maintenance
+   daemon between attempts so the deadlock detector can break cycles. In a
+   threaded client this waiting is implicit; in this deterministic harness
+   it is an explicit loop. *)
+let exec_with_retries t session ?(attempts = 20) sql =
+  let rec go n =
+    match Engine.Instance.exec session sql with
+    | r -> r
+    | exception Engine.Executor.Would_block _ when n > 1 ->
+      maintenance t;
+      go (n - 1)
+  in
+  go attempts

@@ -1,0 +1,69 @@
+(** The Citus extension entry point.
+
+    [install] loads the extension into a cluster's coordinator: it
+    registers the planner / utility / COPY hooks, the transaction
+    callbacks, the maintenance daemon (2PC recovery + distributed deadlock
+    detection), and the user-facing UDFs:
+
+    - [SELECT create_distributed_table('t', 'col')]
+    - [SELECT create_distributed_table('t', 'col', 'colocate_with_table')]
+    - [SELECT create_reference_table('t')]
+    - [SELECT create_distributed_function('proc', arg_position, 'table')]
+    - [SELECT citus_add_node('worker5')]
+    - [SELECT rebalance_table_shards()]
+
+    [enable_metadata_sync] installs the same hooks on every active worker
+    sharing the same metadata, turning each worker into a coordinator for
+    the queries it receives (§3.2.1); clients then load-balance with
+    {!connect_via}. *)
+
+type t = {
+  cluster : Cluster.Topology.t;
+  metadata : Metadata.t;
+  registry : ((string * int), string * int) Hashtbl.t;
+  mutable states : State.t list;  (** one per node running the extension *)
+  mutable active_data_nodes : string list;
+  procedures : (string, int * string) Hashtbl.t;
+      (** delegated procedures: name -> (1-based dist arg position, table) *)
+}
+
+(** Install on the coordinator. [active_workers] limits initial shard
+    placement to the first n workers (the rest join via [citus_add_node]).
+    [shard_count] defaults to 32. *)
+val install :
+  ?shard_count:int -> ?active_workers:int -> Cluster.Topology.t -> t
+
+val coordinator_state : t -> State.t
+
+(** Session on the coordinator (the normal client entry point). *)
+val connect : t -> Engine.Instance.session
+
+(** Session on an arbitrary node — requires metadata sync for that node to
+    plan distributed queries itself. *)
+val connect_via : t -> Cluster.Topology.node -> Engine.Instance.session
+
+(** Turn every active worker into a coordinator (§3.2.1). *)
+val enable_metadata_sync : t -> unit
+
+(** Run every node's maintenance daemon once (autovacuum, local deadlock
+    detection, 2PC recovery, distributed deadlock detection). *)
+val maintenance : t -> unit
+
+(** Direct API equivalents of the UDFs (used by OCaml callers). *)
+val create_distributed_table :
+  t -> table:string -> column:string -> ?colocate_with:string -> unit -> unit
+
+val create_reference_table : t -> table:string -> unit
+
+val create_distributed_function :
+  t -> proc:string -> arg_position:int -> table:string -> unit
+
+(** Execute, retrying on {!Engine.Executor.Would_block} with a maintenance
+    tick between attempts (the deadlock detector may abort a cycle member,
+    releasing the lock). Re-raises after [attempts]. *)
+val exec_with_retries :
+  t -> Engine.Instance.session -> ?attempts:int -> string ->
+  Engine.Instance.result
+
+(** State of the node a session is connected to (for tests). *)
+val state_for : t -> Engine.Instance.session -> State.t

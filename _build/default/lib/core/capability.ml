@@ -1,0 +1,136 @@
+type workload =
+  | Multi_tenant
+  | Real_time_analytics
+  | High_performance_crud
+  | Data_warehousing
+
+let workloads =
+  [ Multi_tenant; Real_time_analytics; High_performance_crud; Data_warehousing ]
+
+let workload_name = function
+  | Multi_tenant -> "Multi-tenant / SaaS"
+  | Real_time_analytics -> "Real-time analytics"
+  | High_performance_crud -> "High-performance CRUD"
+  | Data_warehousing -> "Data warehousing"
+
+let workload_abbrev = function
+  | Multi_tenant -> "MT"
+  | Real_time_analytics -> "RA"
+  | High_performance_crud -> "HC"
+  | Data_warehousing -> "DW"
+
+type capability =
+  | Distributed_tables
+  | Colocated_distributed_tables
+  | Reference_tables
+  | Local_tables
+  | Distributed_transactions
+  | Distributed_schema_changes
+  | Query_routing
+  | Parallel_distributed_select
+  | Parallel_distributed_dml
+  | Colocated_distributed_joins
+  | Non_colocated_distributed_joins
+  | Columnar_storage
+  | Parallel_bulk_loading
+  | Connection_scaling
+
+let capabilities =
+  [
+    Distributed_tables;
+    Colocated_distributed_tables;
+    Reference_tables;
+    Local_tables;
+    Distributed_transactions;
+    Distributed_schema_changes;
+    Query_routing;
+    Parallel_distributed_select;
+    Parallel_distributed_dml;
+    Colocated_distributed_joins;
+    Non_colocated_distributed_joins;
+    Columnar_storage;
+    Parallel_bulk_loading;
+    Connection_scaling;
+  ]
+
+let capability_name = function
+  | Distributed_tables -> "Distributed tables"
+  | Colocated_distributed_tables -> "Co-located distributed tables"
+  | Reference_tables -> "Reference tables"
+  | Local_tables -> "Local tables"
+  | Distributed_transactions -> "Distributed transactions"
+  | Distributed_schema_changes -> "Distributed schema changes"
+  | Query_routing -> "Query routing"
+  | Parallel_distributed_select -> "Parallel, distributed SELECT"
+  | Parallel_distributed_dml -> "Parallel, distributed DML"
+  | Colocated_distributed_joins -> "Co-located distributed joins"
+  | Non_colocated_distributed_joins -> "Non-co-located distributed joins"
+  | Columnar_storage -> "Columnar storage"
+  | Parallel_bulk_loading -> "Parallel bulk loading"
+  | Connection_scaling -> "Connection scaling"
+
+let implemented_by = function
+  | Distributed_tables -> "Citus.Metadata / Citus.Api.create_distributed_table"
+  | Colocated_distributed_tables -> "Citus.Metadata (colocation groups)"
+  | Reference_tables -> "Citus.Api.create_reference_table"
+  | Local_tables -> "Engine.Instance (tables not in Citus metadata)"
+  | Distributed_transactions -> "Citus.Twopc"
+  | Distributed_schema_changes -> "Citus.Ddl (utility hook propagation)"
+  | Query_routing -> "Citus.Planner (fast path + router)"
+  | Parallel_distributed_select -> "Citus.Planner (logical pushdown)"
+  | Parallel_distributed_dml -> "Citus.Insert_select / Citus.Planner"
+  | Colocated_distributed_joins -> "Citus.Planner (co-location check)"
+  | Non_colocated_distributed_joins -> "Citus.Join_order (re-partition/broadcast)"
+  | Columnar_storage -> "Storage.Columnar (USING COLUMNAR)"
+  | Parallel_bulk_loading -> "Citus.Copy_scaling"
+  | Connection_scaling -> "Citus.Api.enable_metadata_sync (multi-coordinator)"
+
+type requirement = Required | Some_workloads | Not_required
+
+(* Table 2 of the paper, verbatim. *)
+let requires w c =
+  let yes = Required and some = Some_workloads and no = Not_required in
+  match c with
+  | Distributed_tables | Colocated_distributed_tables | Reference_tables
+  | Distributed_transactions | Distributed_schema_changes ->
+    yes
+  | Local_tables ->
+    (match w with
+     | Multi_tenant | Real_time_analytics -> some
+     | High_performance_crud | Data_warehousing -> no)
+  | Query_routing -> (match w with Data_warehousing -> no | _ -> yes)
+  | Parallel_distributed_select ->
+    (match w with
+     | Real_time_analytics | Data_warehousing -> yes
+     | Multi_tenant | High_performance_crud -> no)
+  | Parallel_distributed_dml ->
+    (match w with Real_time_analytics -> yes | _ -> no)
+  | Colocated_distributed_joins ->
+    (match w with High_performance_crud -> no | _ -> yes)
+  | Non_colocated_distributed_joins ->
+    (match w with Data_warehousing -> yes | _ -> no)
+  | Columnar_storage ->
+    (match w with
+     | Real_time_analytics -> some
+     | Data_warehousing -> yes
+     | Multi_tenant | High_performance_crud -> no)
+  | Parallel_bulk_loading ->
+    (match w with
+     | Real_time_analytics | Data_warehousing -> yes
+     | Multi_tenant | High_performance_crud -> no)
+  | Connection_scaling ->
+    (match w with High_performance_crud -> yes | _ -> no)
+
+(* Table 1 of the paper. *)
+let scale_requirements = function
+  | Multi_tenant -> ("10ms", "10k/s", "1TB")
+  | Real_time_analytics -> ("100ms", "1k/s", "10TB")
+  | High_performance_crud -> ("1ms", "100k/s", "1TB")
+  | Data_warehousing -> ("10s+", "10/s", "10TB")
+
+(* Table 3 of the paper. *)
+let benchmark_for = function
+  | Multi_tenant -> "HammerDB TPC-C-based"
+  | Real_time_analytics -> "Custom microbenchmarks"
+  | High_performance_crud -> "YCSB"
+  | Data_warehousing -> "Queries from TPC-H"

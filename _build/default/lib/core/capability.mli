@@ -1,0 +1,51 @@
+(** The workload-pattern / capability model of §2 (Tables 1 and 2).
+
+    Each capability is tied to the part of this library that implements it,
+    so the benchmark harness regenerates Table 2 from code rather than
+    from a hand-written matrix. *)
+
+type workload =
+  | Multi_tenant
+  | Real_time_analytics
+  | High_performance_crud
+  | Data_warehousing
+
+val workloads : workload list
+
+val workload_name : workload -> string
+
+val workload_abbrev : workload -> string
+
+type capability =
+  | Distributed_tables
+  | Colocated_distributed_tables
+  | Reference_tables
+  | Local_tables
+  | Distributed_transactions
+  | Distributed_schema_changes
+  | Query_routing
+  | Parallel_distributed_select
+  | Parallel_distributed_dml
+  | Colocated_distributed_joins
+  | Non_colocated_distributed_joins
+  | Columnar_storage
+  | Parallel_bulk_loading
+  | Connection_scaling
+
+val capabilities : capability list
+
+val capability_name : capability -> string
+
+(** Module path in this repository that implements the capability. *)
+val implemented_by : capability -> string
+
+type requirement = Required | Some_workloads | Not_required
+
+(** Table 2 cell: does this workload pattern require this capability? *)
+val requires : workload -> capability -> requirement
+
+(** Table 1 row: (typical latency, typical throughput/s, typical data size). *)
+val scale_requirements : workload -> string * string * string
+
+(** Table 3: benchmark used for the workload pattern. *)
+val benchmark_for : workload -> string

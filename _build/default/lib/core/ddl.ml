@@ -1,0 +1,91 @@
+open Sqlfront
+
+let shard_tasks (t : State.t) table ~make_stmt =
+  List.map
+    (fun (s : Metadata.shard) ->
+      {
+        Plan.task_node = Metadata.placement t.State.metadata s.Metadata.shard_id;
+        task_stmt = make_stmt s;
+        task_group = s.Metadata.index_in_colocation;
+      })
+    (Metadata.shards_of t.State.metadata table)
+
+(* Reference tables: the statement must run on every replica. *)
+let replica_tasks (t : State.t) table ~make_stmt =
+  let shard = List.hd (Metadata.shards_of t.State.metadata table) in
+  List.map
+    (fun node ->
+      { Plan.task_node = node; task_stmt = make_stmt shard; task_group = -1 })
+    (Metadata.placements t.State.metadata shard.Metadata.shard_id)
+
+let tasks_for (t : State.t) table ~make_stmt =
+  match Metadata.find t.State.metadata table with
+  | Some { Metadata.kind = Metadata.Reference; _ } ->
+    replica_tasks t table ~make_stmt
+  | _ -> shard_tasks t table ~make_stmt
+
+let run_tasks (t : State.t) session tasks =
+  let results, _report = Adaptive_executor.execute t session tasks in
+  List.fold_left (fun acc r -> acc + r.Engine.Instance.affected) 0 results
+
+let utility_hook (t : State.t) session (stmt : Ast.statement) =
+  let meta = t.State.metadata in
+  let citus = Planner.citus_tables meta stmt in
+  if citus = [] then None
+  else
+    let apply_local () = Engine.Instance.exec_utility_local session stmt in
+    match stmt with
+    | Ast.Create_index ci ->
+      (* local schema copy first, then one index per shard *)
+      let local = apply_local () in
+      let make_stmt (s : Metadata.shard) =
+        Ast.Create_index
+          {
+            ci with
+            name = Printf.sprintf "%s_%d" ci.name s.Metadata.shard_id;
+            table = Metadata.shard_name s;
+          }
+      in
+      ignore (run_tasks t session (tasks_for t ci.table ~make_stmt));
+      Some local
+    | Ast.Alter_table_add_column a ->
+      let local = apply_local () in
+      let make_stmt (s : Metadata.shard) =
+        Ast.Alter_table_add_column { a with table = Metadata.shard_name s }
+      in
+      ignore (run_tasks t session (tasks_for t a.table ~make_stmt));
+      Some local
+    | Ast.Truncate tables ->
+      let citus_tables, local_tables =
+        List.partition (Metadata.is_citus_table meta) tables
+      in
+      if local_tables <> [] then
+        ignore (Engine.Instance.exec_utility_local session (Ast.Truncate local_tables));
+      List.iter
+        (fun table ->
+          (* also empty the coordinator's schema copy *)
+          ignore
+            (Engine.Instance.exec_utility_local session (Ast.Truncate [ table ]));
+          let make_stmt (s : Metadata.shard) =
+            Ast.Truncate [ Metadata.shard_name s ]
+          in
+          ignore (run_tasks t session (tasks_for t table ~make_stmt)))
+        citus_tables;
+      Some
+        { Engine.Instance.columns = []; rows = []; affected = 0; tag = "TRUNCATE" }
+    | Ast.Drop_table { name; if_exists } ->
+      let make_stmt (s : Metadata.shard) =
+        Ast.Drop_table { name = Metadata.shard_name s; if_exists = true }
+      in
+      ignore (run_tasks t session (tasks_for t name ~make_stmt));
+      Metadata.drop_table meta name;
+      Some (Engine.Instance.exec_utility_local session
+              (Ast.Drop_table { name; if_exists }))
+    | Ast.Vacuum (Some table) ->
+      let make_stmt (s : Metadata.shard) =
+        Ast.Vacuum (Some (Metadata.shard_name s))
+      in
+      let affected = run_tasks t session (tasks_for t table ~make_stmt) in
+      Some
+        { Engine.Instance.columns = []; rows = []; affected; tag = "VACUUM" }
+    | _ -> None

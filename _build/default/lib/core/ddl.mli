@@ -1,0 +1,14 @@
+(** Distributed schema changes (§3.8).
+
+    DDL on a Citus table is applied to the coordinator's local schema copy
+    first (keeping future shards consistent) and then propagated to every
+    shard through the adaptive executor inside the same distributed
+    transaction, so a multi-node DDL commits atomically via 2PC. *)
+
+(** Utility hook for {!Engine.Instance.set_utility_hook}: [None] when the
+    statement touches no Citus table. *)
+val utility_hook :
+  State.t ->
+  Engine.Instance.session ->
+  Sqlfront.Ast.statement ->
+  Engine.Instance.result option

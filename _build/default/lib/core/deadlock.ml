@@ -1,0 +1,98 @@
+type vertex =
+  | Dist_txn of string * int
+  | Local_txn of string * int
+
+let vertex_to_string = function
+  | Dist_txn (n, x) -> Printf.sprintf "dist:%s/%d" n x
+  | Local_txn (n, x) -> Printf.sprintf "local:%s/%d" n x
+
+let vertex_of (t : State.t) node xid =
+  match Hashtbl.find_opt t.State.registry (node, xid) with
+  | Some (coord_node, coord_xid) -> Dist_txn (coord_node, coord_xid)
+  | None -> Local_txn (node, xid)
+
+let gather_edges (t : State.t) =
+  List.concat_map
+    (fun (node : Cluster.Topology.node) ->
+      let name = node.Cluster.Topology.node_name in
+      if not (State.reachable t name) then []
+      else begin
+        (* polling a node for its lock graph costs a round trip *)
+        t.State.cluster.Cluster.Topology.net.Cluster.Topology.round_trips <-
+          t.State.cluster.Cluster.Topology.net.Cluster.Topology.round_trips + 1;
+        let mgr = Engine.Instance.txn_manager node.Cluster.Topology.instance in
+        Txn.Lock.wait_edges (Txn.Manager.locks mgr)
+        |> List.filter_map (fun (waiter, holder) ->
+               let v1 = vertex_of t name waiter in
+               let v2 = vertex_of t name holder in
+               (* merging collapses self-edges within one distributed txn *)
+               if v1 = v2 then None else Some (v1, v2))
+      end)
+    (Cluster.Topology.all_nodes t.State.cluster)
+
+let find_cycle edges =
+  let successors v =
+    List.filter_map (fun (a, b) -> if a = v then Some b else None) edges
+  in
+  let starts = List.sort_uniq compare (List.map fst edges) in
+  let rec dfs path v =
+    if List.mem v path then
+      (* path holds most-recent first: the cycle is everything from the
+         head down to (and including) the previous occurrence of v *)
+      let rec upto acc = function
+        | [] -> acc
+        | x :: rest -> if x = v then x :: acc else upto (x :: acc) rest
+      in
+      Some (upto [] path)
+    else
+      let rec try_successors = function
+        | [] -> None
+        | s :: rest ->
+          (match dfs (v :: path) s with
+           | Some c -> Some c
+           | None -> try_successors rest)
+      in
+      try_successors (successors v)
+  in
+  List.find_map (fun s -> dfs [] s) starts
+
+let cancel (t : State.t) victim =
+  match victim with
+  | Local_txn _ -> ()
+  | Dist_txn (coord_node, coord_xid) ->
+    (* abort the member worker transactions *)
+    Hashtbl.iter
+      (fun (node, wxid) (cn, cx) ->
+        if String.equal cn coord_node && cx = coord_xid then begin
+          let n = Cluster.Topology.find_node t.State.cluster node in
+          let mgr = Engine.Instance.txn_manager n.Cluster.Topology.instance in
+          if Txn.Manager.is_active mgr wxid then Txn.Manager.abort mgr wxid
+        end)
+      t.State.registry;
+    (* abort the coordinator-side transaction; its session will observe the
+       abort on its next statement *)
+    let n = Cluster.Topology.find_node t.State.cluster coord_node in
+    let mgr = Engine.Instance.txn_manager n.Cluster.Topology.instance in
+    if Txn.Manager.is_active mgr coord_xid then Txn.Manager.abort mgr coord_xid
+
+let detect_and_cancel (t : State.t) =
+  let edges = gather_edges t in
+  match find_cycle edges with
+  | None -> None
+  | Some cycle ->
+    let dist_members =
+      List.filter_map
+        (function Dist_txn (n, x) -> Some (Dist_txn (n, x), x) | Local_txn _ -> None)
+        cycle
+    in
+    (match dist_members with
+     | [] -> None
+     | members ->
+       (* the youngest distributed transaction has the largest xid *)
+       let victim, _ =
+         List.fold_left
+           (fun (bv, bx) (v, x) -> if x > bx then (v, x) else (bv, bx))
+           (List.hd members) (List.tl members)
+       in
+       cancel t victim;
+       Some victim)

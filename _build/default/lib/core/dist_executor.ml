@@ -1,0 +1,128 @@
+let intermediate_seq = ref 0
+
+let infer_column_types ncols (rows : Datum.t array list) =
+  Array.init ncols (fun i ->
+      let rec first_type = function
+        | [] -> Datum.TText
+        | (row : Datum.t array) :: rest ->
+          (match Datum.type_of row.(i) with
+           | Some ty -> ty
+           | None -> first_type rest)
+      in
+      first_type rows)
+
+(* Materialize collected rows and run the master query over them. *)
+let run_merge (t : State.t) coord_session (merge : Plan.merge)
+    (rows : Datum.t array list) : Engine.Instance.result =
+  let inst = t.State.local.Cluster.Topology.instance in
+  let catalog = Engine.Instance.catalog inst in
+  incr intermediate_seq;
+  let rel = Printf.sprintf "citus_intermediate_%d" !intermediate_seq in
+  let ncols = List.length merge.Plan.intermediate_columns in
+  let tys = infer_column_types ncols rows in
+  let columns =
+    List.mapi
+      (fun i name ->
+        {
+          Sqlfront.Ast.col_name = name;
+          col_ty = tys.(i);
+          col_default = None;
+          col_not_null = false;
+        })
+      merge.Plan.intermediate_columns
+  in
+  let table =
+    Engine.Catalog.add_table catalog ~name:rel ~columns ~primary_key:[]
+      ~columnar:false
+  in
+  let ctx0 = Engine.Instance.make_ctx coord_session in
+  (* direct callers may be outside a transaction: give the merge step an
+     internal one so the transient rows have an owner *)
+  let mgr = Engine.Instance.txn_manager inst in
+  let own_xid, finish =
+    match ctx0.Engine.Executor.xid with
+    | Some _ -> (ctx0.Engine.Executor.xid, fun ok -> ignore ok)
+    | None ->
+      let x = Txn.Manager.begin_txn mgr in
+      ( Some x,
+        fun ok ->
+          if ok then Txn.Manager.commit mgr x else Txn.Manager.abort mgr x )
+  in
+  (* the merge runs under a scratch meter: its cost is charged explicitly
+     as merge_rows so the simulation can treat it as a serial phase *)
+  let scratch = Engine.Meter.create () in
+  let ctx =
+    { ctx0 with Engine.Executor.xid = own_xid; meter = scratch }
+  in
+  Engine.Meter.add_merge_rows (Engine.Instance.meter inst) (List.length rows);
+  Fun.protect
+    ~finally:(fun () -> Engine.Catalog.drop_table catalog rel)
+    (fun () ->
+      (* materialize like a tuplestore: plain heap appends, no WAL, no
+         indexes — collected rows are transient (one unit of CPU each) *)
+      (try
+         let heap =
+           match table.Engine.Catalog.store with
+           | Engine.Catalog.Heap_store h -> h
+           | Engine.Catalog.Columnar_store _ -> assert false
+         in
+         let xid = Option.get ctx.Engine.Executor.xid in
+         List.iter
+           (fun row -> ignore (Storage.Heap.insert heap ~xid row))
+           rows
+       with e ->
+         finish false;
+         raise e);
+      let master =
+        Sqlfront.Ast.rename_tables_select
+          (fun name ->
+            if String.equal name Planner.intermediate_relation then rel
+            else name)
+          merge.Plan.master
+      in
+      let columns, out_rows =
+        try Engine.Executor.run_select ctx master
+        with e ->
+          finish false;
+          raise e
+      in
+      finish true;
+      {
+        Engine.Instance.columns;
+        rows = out_rows;
+        affected = List.length out_rows;
+        tag = "SELECT";
+      })
+
+let execute (t : State.t) coord_session (plan : Plan.t) =
+  match plan with
+  | Plan.Fast_path task | Plan.Router task ->
+    let results, report =
+      Adaptive_executor.execute t coord_session [ task ]
+    in
+    (List.hd results, report)
+  | Plan.Multi_shard_select { tasks; merge } ->
+    let results, report = Adaptive_executor.execute t coord_session tasks in
+    let rows = List.concat_map (fun r -> r.Engine.Instance.rows) results in
+    (run_merge t coord_session merge rows, report)
+  | Plan.Multi_shard_dml { tasks } ->
+    let results, report = Adaptive_executor.execute t coord_session tasks in
+    let affected =
+      List.fold_left (fun acc r -> acc + r.Engine.Instance.affected) 0 results
+    in
+    let tag =
+      match results with r :: _ -> r.Engine.Instance.tag | [] -> "UPDATE"
+    in
+    ({ Engine.Instance.columns = []; rows = []; affected; tag }, report)
+  | Plan.Reference_write { stmts_per_node = _ } ->
+    let tasks = Plan.tasks_of plan in
+    let results, report = Adaptive_executor.execute t coord_session tasks in
+    (* replicas apply the same write; report one of them *)
+    let r = List.hd results in
+    ( {
+        Engine.Instance.columns = r.Engine.Instance.columns;
+        rows = r.Engine.Instance.rows;
+        affected = r.Engine.Instance.affected;
+        tag = r.Engine.Instance.tag;
+      },
+      report )

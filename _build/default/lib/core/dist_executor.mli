@@ -1,0 +1,14 @@
+(** Executes distributed plans (§3.6).
+
+    Single-task plans (fast path / router) delegate entirely to one worker.
+    Multi-shard SELECTs run their tasks through the adaptive executor,
+    materialize the collected rows into a transient local relation, and run
+    the merge ("master") query over it — the CustomScan + merge-step
+    structure of Figure 5. *)
+
+(** Result plus the adaptive executor's timing report. *)
+val execute :
+  State.t ->
+  Engine.Instance.session ->
+  Plan.t ->
+  Engine.Instance.result * Adaptive_executor.report

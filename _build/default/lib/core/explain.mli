@@ -1,0 +1,11 @@
+(** EXPLAIN-style description of distributed plans.
+
+    Renders which planner tier handled a statement, the task fan-out with
+    target nodes and shards, and the merge step — the textual equivalent of
+    Figure 4's planning examples. Used by tests to pin planner behavior and
+    by users to understand routing. *)
+
+(** [explain state ~catalog sql] plans (without executing) and renders the
+    distributed plan. Falls back to describing join-order handling or
+    local execution. *)
+val explain : State.t -> string -> string

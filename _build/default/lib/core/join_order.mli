@@ -1,0 +1,49 @@
+(** The logical join-order planner (§3.5, planner D in Figure 4).
+
+    Handles SELECTs whose distributed tables are {e not} co-located (or not
+    joined on their distribution columns). The planner evaluates each
+    distributed table as the {b anchor}: every other distributed table must
+    either
+
+    - already be co-located with the anchor and joined on the distribution
+      column (free),
+    - join the anchor on the {e anchor's} distribution column, making a
+      {b re-partition join} possible (its filtered rows are hash-partitioned
+      into the anchor's shard ranges and shipped as per-group fragment
+      relations), or
+    - be small enough to {b broadcast} to every node holding anchor shards.
+
+    Among feasible anchors the one minimizing estimated network traffic
+    (rows shipped) wins — re-partition ships the rows once, broadcast ships
+    them once per node. The rewritten query then executes exactly like a
+    co-located pushdown: per-group tasks plus a coordinator merge.
+
+    Dual re-partition (both join sides moved) and subqueries under
+    non-co-located joins are unsupported, mirroring the paper's stated
+    data-warehouse limitations (§2.4, §7). *)
+
+exception Unsupported of string
+
+type move =
+  | Broadcast of { table : string; rows : int }
+  | Repartition of { table : string; rows : int }
+
+(** Chosen anchor and the relation moves, for tests/EXPLAIN. *)
+type decision = { anchor : string; moves : move list; est_shipped : int }
+
+(** Planning decision only (row estimates run, no data moves) — used by
+    EXPLAIN. Raises {!Unsupported} like {!execute}. *)
+val decide :
+  State.t -> Engine.Instance.session -> Sqlfront.Ast.select -> decision
+
+(** Plan and execute a non-co-located SELECT; returns the result, the
+    decision taken, and the adaptive-executor report of the final tasks. *)
+val execute :
+  State.t ->
+  Engine.Instance.session ->
+  Sqlfront.Ast.select ->
+  Engine.Instance.result * decision * Adaptive_executor.report
+
+(** Default broadcast threshold (rows); tables at or below it may be
+    broadcast even without a usable re-partition key. *)
+val broadcast_threshold : int ref

@@ -1,0 +1,331 @@
+type kind = Distributed | Reference
+
+type dist_table = {
+  dt_name : string;
+  dist_column : string option;
+  dist_column_ty : Datum.ty option;
+  colocation_id : int;
+  kind : kind;
+}
+
+type shard = {
+  shard_id : int;
+  shard_of : string;
+  min_hash : int32;
+  max_hash : int32;
+  index_in_colocation : int;
+}
+
+type t = {
+  shard_count : int;
+  mutable tables : dist_table list;
+  mutable shards : shard list;
+  (* shard_id -> node names *)
+  placement_tbl : (int, string list) Hashtbl.t;
+  mutable next_shard_id : int;
+  mutable next_colocation_id : int;
+}
+
+exception Not_distributed of string
+
+let create ?(shard_count = 32) () =
+  {
+    shard_count;
+    tables = [];
+    shards = [];
+    placement_tbl = Hashtbl.create 64;
+    next_shard_id = 102008;
+    next_colocation_id = 1;
+  }
+
+let default_shard_count t = t.shard_count
+
+let find t name =
+  List.find_opt (fun dt -> String.equal dt.dt_name name) t.tables
+
+let is_citus_table t name = find t name <> None
+
+let all_tables t = t.tables
+
+let fresh_shard_id t =
+  let id = t.next_shard_id in
+  t.next_shard_id <- id + 1;
+  id
+
+(* Divide the int32 hash space into [n] contiguous ranges, PostgreSQL/Citus
+   style: range i covers [min + i*step, min + (i+1)*step - 1], with the last
+   range absorbing the remainder. *)
+let hash_ranges n =
+  let span = Int64.sub (Int64.of_int32 Int32.max_int) (Int64.of_int32 Int32.min_int) in
+  let step = Int64.div (Int64.add span 1L) (Int64.of_int n) in
+  List.init n (fun i ->
+      let lo =
+        Int64.add (Int64.of_int32 Int32.min_int) (Int64.mul step (Int64.of_int i))
+      in
+      let hi =
+        if i = n - 1 then Int64.of_int32 Int32.max_int
+        else Int64.sub (Int64.add lo step) 1L
+      in
+      (Int64.to_int32 lo, Int64.to_int32 hi))
+
+let register_distributed t ~table ~column ~ty ~colocate_with ~nodes =
+  if find t table <> None then
+    invalid_arg (Printf.sprintf "table %s is already distributed" table);
+  if nodes = [] then invalid_arg "no nodes to place shards on";
+  match colocate_with with
+  | Some other ->
+    let other_dt =
+      match find t other with
+      | Some dt when dt.kind = Distributed -> dt
+      | Some _ -> invalid_arg (other ^ " is not a distributed table")
+      | None -> raise (Not_distributed other)
+    in
+    let other_shards =
+      List.filter (fun s -> String.equal s.shard_of other) t.shards
+      |> List.sort (fun a b -> Int32.compare a.min_hash b.min_hash)
+    in
+    let dt =
+      {
+        dt_name = table;
+        dist_column = Some column;
+        dist_column_ty = Some ty;
+        colocation_id = other_dt.colocation_id;
+        kind = Distributed;
+      }
+    in
+    t.tables <- t.tables @ [ dt ];
+    let new_shards =
+      List.map
+        (fun (os : shard) ->
+          let s =
+            {
+              shard_id = fresh_shard_id t;
+              shard_of = table;
+              min_hash = os.min_hash;
+              max_hash = os.max_hash;
+              index_in_colocation = os.index_in_colocation;
+            }
+          in
+          Hashtbl.replace t.placement_tbl s.shard_id
+            (Hashtbl.find t.placement_tbl os.shard_id);
+          s)
+        other_shards
+    in
+    t.shards <- t.shards @ new_shards;
+    new_shards
+  | None ->
+    let colocation_id = t.next_colocation_id in
+    t.next_colocation_id <- colocation_id + 1;
+    let dt =
+      {
+        dt_name = table;
+        dist_column = Some column;
+        dist_column_ty = Some ty;
+        colocation_id;
+        kind = Distributed;
+      }
+    in
+    t.tables <- t.tables @ [ dt ];
+    let node_array = Array.of_list nodes in
+    let new_shards =
+      List.mapi
+        (fun i (lo, hi) ->
+          let s =
+            {
+              shard_id = fresh_shard_id t;
+              shard_of = table;
+              min_hash = lo;
+              max_hash = hi;
+              index_in_colocation = i;
+            }
+          in
+          (* round-robin placement, §3.3.1 *)
+          Hashtbl.replace t.placement_tbl s.shard_id
+            [ node_array.(i mod Array.length node_array) ];
+          s)
+        (hash_ranges t.shard_count)
+    in
+    t.shards <- t.shards @ new_shards;
+    new_shards
+
+let register_reference t ~table ~nodes =
+  if find t table <> None then
+    invalid_arg (Printf.sprintf "table %s is already distributed" table);
+  let colocation_id = 0 in
+  let dt =
+    {
+      dt_name = table;
+      dist_column = None;
+      dist_column_ty = None;
+      colocation_id;
+      kind = Reference;
+    }
+  in
+  t.tables <- t.tables @ [ dt ];
+  let s =
+    {
+      shard_id = fresh_shard_id t;
+      shard_of = table;
+      min_hash = Int32.min_int;
+      max_hash = Int32.max_int;
+      index_in_colocation = 0;
+    }
+  in
+  Hashtbl.replace t.placement_tbl s.shard_id nodes;
+  t.shards <- t.shards @ [ s ];
+  s
+
+let drop_table t name =
+  t.tables <- List.filter (fun dt -> not (String.equal dt.dt_name name)) t.tables;
+  let dropped, kept =
+    List.partition (fun s -> String.equal s.shard_of name) t.shards
+  in
+  List.iter (fun s -> Hashtbl.remove t.placement_tbl s.shard_id) dropped;
+  t.shards <- kept
+
+let shards_of t name =
+  if find t name = None then raise (Not_distributed name);
+  List.filter (fun s -> String.equal s.shard_of name) t.shards
+  |> List.sort (fun a b -> Int32.compare a.min_hash b.min_hash)
+
+let shard_for_value t ~table value =
+  let h = Datum.hash32 value in
+  let shards = shards_of t table in
+  match
+    List.find_opt
+      (fun s -> Int32.compare h s.min_hash >= 0 && Int32.compare h s.max_hash <= 0)
+      shards
+  with
+  | Some s -> s
+  | None -> invalid_arg "hash value outside all shard ranges"
+
+let shard_name s = Printf.sprintf "%s_%d" s.shard_of s.shard_id
+
+let placements t shard_id =
+  match Hashtbl.find_opt t.placement_tbl shard_id with
+  | Some nodes -> nodes
+  | None -> invalid_arg (Printf.sprintf "no placements for shard %d" shard_id)
+
+let placement t shard_id =
+  match placements t shard_id with
+  | [ node ] -> node
+  | [] -> invalid_arg (Printf.sprintf "shard %d has no placement" shard_id)
+  | node :: _ -> node
+
+let update_placement t ~shard_id ~from_node ~to_node =
+  let nodes = placements t shard_id in
+  let updated =
+    List.map (fun n -> if String.equal n from_node then to_node else n) nodes
+  in
+  Hashtbl.replace t.placement_tbl shard_id updated
+
+let add_placement t ~shard_id ~node =
+  let nodes = placements t shard_id in
+  if not (List.mem node nodes) then
+    Hashtbl.replace t.placement_tbl shard_id (nodes @ [ node ])
+
+let colocated t names =
+  let ids =
+    List.filter_map
+      (fun n ->
+        match find t n with
+        | Some { kind = Reference; _ } -> None (* compatible with anything *)
+        | Some dt -> Some dt.colocation_id
+        | None -> None)
+      names
+  in
+  match List.sort_uniq Int.compare ids with [] | [ _ ] -> true | _ -> false
+
+let shard_groups t ~tables =
+  let dist_tables =
+    List.filter
+      (fun n ->
+        match find t n with Some { kind = Distributed; _ } -> true | _ -> false)
+      tables
+  in
+  match dist_tables with
+  | [] -> []
+  | anchor :: _ ->
+    let anchor_shards = shards_of t anchor in
+    List.map
+      (fun (a : shard) ->
+        let members =
+          List.map
+            (fun tbl ->
+              let s =
+                List.find
+                  (fun (s : shard) ->
+                    s.index_in_colocation = a.index_in_colocation)
+                  (shards_of t tbl)
+              in
+              (tbl, s))
+            dist_tables
+        in
+        (a.index_in_colocation, placement t a.shard_id, members))
+      anchor_shards
+
+let nodes_in_use t =
+  Hashtbl.fold (fun _ nodes acc -> nodes @ acc) t.placement_tbl []
+  |> List.sort_uniq String.compare
+
+let shards_on_node t node =
+  List.filter
+    (fun s ->
+      (match find t s.shard_of with
+       | Some { kind = Distributed; _ } -> true
+       | _ -> false)
+      && List.mem node (placements t s.shard_id))
+    t.shards
+
+(* --- shard splitting (tenant isolation) --- *)
+
+let replace_shard t ~shard_id ~ranges =
+  let old =
+    match List.find_opt (fun s -> s.shard_id = shard_id) t.shards with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "no shard %d" shard_id)
+  in
+  let placements = placements t shard_id in
+  let news =
+    List.map
+      (fun (lo, hi) ->
+        let s =
+          {
+            shard_id = fresh_shard_id t;
+            shard_of = old.shard_of;
+            min_hash = lo;
+            max_hash = hi;
+            index_in_colocation = old.index_in_colocation (* renumbered below *);
+          }
+        in
+        Hashtbl.replace t.placement_tbl s.shard_id placements;
+        s)
+      ranges
+  in
+  Hashtbl.remove t.placement_tbl shard_id;
+  t.shards <-
+    List.filter (fun s -> s.shard_id <> shard_id) t.shards @ news;
+  news
+
+(* Reassign index_in_colocation consistently across every table of a
+   colocation group after a split: shards are numbered by range order,
+   which is identical for all tables in the group. *)
+let renumber_colocation t ~colocation_id =
+  let tables =
+    List.filter
+      (fun dt -> dt.kind = Distributed && dt.colocation_id = colocation_id)
+      t.tables
+  in
+  List.iter
+    (fun dt ->
+      let shards =
+        List.filter (fun s -> String.equal s.shard_of dt.dt_name) t.shards
+        |> List.sort (fun a b -> Int32.compare a.min_hash b.min_hash)
+      in
+      let renumbered =
+        List.mapi (fun i s -> { s with index_in_colocation = i }) shards
+      in
+      t.shards <-
+        List.filter (fun s -> not (String.equal s.shard_of dt.dt_name)) t.shards
+        @ renumbered)
+    tables

@@ -1,0 +1,112 @@
+(** Citus distributed-table metadata: the pg_dist_* catalogs (§3.3).
+
+    Distributed tables are hash-partitioned on a distribution column into
+    shards owning contiguous int32 hash ranges. Co-located tables share a
+    colocation group: same shard count, same ranges, aligned placements, so
+    relational operations on the distribution column never cross nodes.
+    Reference tables have a single shard placed on every node. *)
+
+type kind = Distributed | Reference
+
+type dist_table = {
+  dt_name : string;
+  dist_column : string option;  (** [None] for reference tables *)
+  dist_column_ty : Datum.ty option;
+  colocation_id : int;
+  kind : kind;
+}
+
+type shard = {
+  shard_id : int;
+  shard_of : string;  (** logical table name *)
+  min_hash : int32;
+  max_hash : int32;  (** inclusive *)
+  index_in_colocation : int;  (** position among the table's shards *)
+}
+
+type t
+
+val create : ?shard_count:int -> unit -> t
+
+val default_shard_count : t -> int
+
+(** {2 Registration} *)
+
+exception Not_distributed of string
+
+(** [register_distributed t ~table ~column ~ty ~colocate_with ~nodes]
+    creates shard metadata and round-robin placements over [nodes].
+    With [colocate_with], ranges and placements are copied from the other
+    table so the shards align. Returns the new shards in range order. *)
+val register_distributed :
+  t ->
+  table:string ->
+  column:string ->
+  ty:Datum.ty ->
+  colocate_with:string option ->
+  nodes:string list ->
+  shard list
+
+(** Reference table: one shard placed on every node. *)
+val register_reference : t -> table:string -> nodes:string list -> shard
+
+val drop_table : t -> string -> unit
+
+(** {2 Lookup} *)
+
+val find : t -> string -> dist_table option
+
+val is_citus_table : t -> string -> bool
+
+val all_tables : t -> dist_table list
+
+val shards_of : t -> string -> shard list
+(** In hash-range order. Raises {!Not_distributed} for unknown tables. *)
+
+(** The shard of [table] owning [value]'s hash. *)
+val shard_for_value : t -> table:string -> Datum.t -> shard
+
+(** Physical table name of a shard on its node ("orders_102008"). *)
+val shard_name : shard -> string
+
+(** Node(s) holding a shard. Distributed shards have exactly one placement;
+    reference shards one per node. *)
+val placements : t -> int -> string list
+
+val placement : t -> int -> string
+(** Sole placement of a distributed shard. *)
+
+(** Move a shard's placement (rebalancer). *)
+val update_placement : t -> shard_id:int -> from_node:string -> to_node:string -> unit
+
+(** Add a placement (reference table on a new node). *)
+val add_placement : t -> shard_id:int -> node:string -> unit
+
+(** Do all these tables belong to one colocation group (reference tables
+    are compatible with anything)? *)
+val colocated : t -> string list -> bool
+
+(** Shard groups of a colocation id: for group index [i], the i-th shard of
+    every distributed table in the group lives on the same node.
+    Returns (group_index, node, (table, shard) list) per group. *)
+val shard_groups :
+  t -> tables:string list -> (int * string * (string * shard) list) list
+
+(** All nodes appearing in placements. *)
+val nodes_in_use : t -> string list
+
+(** Shards placed on a node (distributed tables only). *)
+val shards_on_node : t -> string -> shard list
+
+(** {2 Shard splitting (tenant isolation, §2.1)} *)
+
+(** Replace one shard with new shards covering [ranges] (placements
+    inherited). The caller moves the data and must call
+    {!renumber_colocation} afterwards. *)
+val replace_shard :
+  t -> shard_id:int -> ranges:(int32 * int32) list -> shard list
+
+(** Re-assign group indexes by range order across every table of the
+    colocation group (ranges are identical within a group, so this keeps
+    co-location intact). *)
+val renumber_colocation : t -> colocation_id:int -> unit

@@ -1,0 +1,46 @@
+(** Distributed query plans (§3.5).
+
+    A plan is a set of tasks — statements bound to shards on specific
+    nodes — plus an optional coordinator-side merge step. The planners in
+    {!Planner} produce these; {!Dist_executor} runs them through the
+    adaptive executor. *)
+
+type task = {
+  task_node : string;  (** target node name *)
+  task_stmt : Sqlfront.Ast.statement;  (** already shard-rewritten *)
+  task_group : int;  (** shard-group index; -1 when not shard-bound *)
+}
+
+(** Coordinator merge step for multi-shard SELECTs: collected task rows are
+    materialized into an intermediate relation and [master] runs over it. *)
+type merge = {
+  master : Sqlfront.Ast.select;
+  intermediate_columns : string list;
+}
+
+type t =
+  | Fast_path of task
+      (** single-shard CRUD; distribution value extracted directly *)
+  | Router of task
+      (** arbitrary single-shard-group query *)
+  | Multi_shard_select of { tasks : task list; merge : merge }
+      (** logical pushdown: parallel tasks + coordinator merge *)
+  | Multi_shard_dml of { tasks : task list }
+      (** parallel distributed DML (UPDATE/DELETE/INSERT split by shard) *)
+  | Reference_write of { stmts_per_node : (string * Sqlfront.Ast.statement) list }
+      (** write to a reference table: execute on every replica *)
+
+let planner_name = function
+  | Fast_path _ -> "fast path"
+  | Router _ -> "router"
+  | Multi_shard_select _ -> "logical pushdown"
+  | Multi_shard_dml _ -> "parallel DML"
+  | Reference_write _ -> "reference write"
+
+let tasks_of = function
+  | Fast_path t | Router t -> [ t ]
+  | Multi_shard_select { tasks; _ } | Multi_shard_dml { tasks } -> tasks
+  | Reference_write { stmts_per_node } ->
+    List.map
+      (fun (node, stmt) -> { task_node = node; task_stmt = stmt; task_group = -1 })
+      stmts_per_node

@@ -1,0 +1,73 @@
+(** The tiered distributed query planners of §3.5.
+
+    For each statement that references a Citus table, [plan] tries the
+    planners from lowest to highest overhead:
+
+    + {b fast path} — simple CRUD on one distributed table with an
+      equality filter (or VALUES) on the distribution column;
+    + {b router} — an arbitrarily complex query whose distributed tables
+      are co-located and all filtered to the same distribution value, so
+      the whole query can be rewritten to one set of co-located shards;
+    + {b logical pushdown} — multi-shard SELECT whose join tree is fully
+      pushdownable: per-shard-group tasks with decomposed aggregates plus
+      a coordinator merge query;
+    + parallel DML for multi-shard writes.
+
+    Queries that need the logical join-order planner (non-co-located
+    joins) raise {!Unsupported} here and are handled by {!Join_order}. *)
+
+exception Unsupported of string
+
+(** Citus tables referenced anywhere in a statement. *)
+val citus_tables : Metadata.t -> Sqlfront.Ast.statement -> string list
+
+(** Which planner produced a plan (for tests and EXPLAIN-style output). *)
+type tier = Tier_fast_path | Tier_router | Tier_pushdown | Tier_dml | Tier_reference
+
+val tier_name : tier -> string
+
+(** [plan meta ~catalog ~local_name stmt] produces a distributed plan.
+    [catalog] is the local node's catalog (used to expand [*] projections
+    from the schema of the converted local table); [local_name] is the node
+    running the planner (reference-table reads route there). Raises
+    {!Unsupported} when no tier applies. *)
+val plan :
+  Metadata.t ->
+  catalog:Engine.Catalog.t ->
+  local_name:string ->
+  Sqlfront.Ast.statement ->
+  Plan.t * tier
+
+(** Internal entry point reused by INSERT..SELECT: plan a SELECT for
+    pushdown execution. Raises {!Unsupported} if the select cannot be
+    fully pushed down. *)
+val plan_pushdown_select :
+  Metadata.t ->
+  catalog:Engine.Catalog.t ->
+  Sqlfront.Ast.select ->
+  Plan.task list * Plan.merge
+
+(** True when the select's distributed tables are co-located and the query
+    groups/joins on the distribution column so that INSERT..SELECT can run
+    entirely co-located (strategy 1 of §3.8). *)
+val select_is_colocated_with :
+  Metadata.t -> dest:string -> dest_dist_col_position:int option ->
+  Sqlfront.Ast.select -> bool
+
+(** Build the per-shard task select and merge query for a select, without
+    co-location validation — {!Join_order} reuses this after it has
+    re-partitioned or broadcast the non-co-located relations. *)
+val pushdown_parts :
+  Metadata.t ->
+  catalog:Engine.Catalog.t ->
+  Sqlfront.Ast.select ->
+  Sqlfront.Ast.select * Plan.merge
+
+(** Placeholder relation name in merge queries; {!Dist_executor} renames
+    it to a unique transient relation per execution. *)
+val intermediate_relation : string
+
+(** Rewrite every Citus table name to the shard of group [group_index];
+    reference tables go to their (single) shard name. *)
+val rewrite_to_group :
+  Metadata.t -> group_index:int -> Sqlfront.Ast.statement -> Sqlfront.Ast.statement

@@ -1,0 +1,290 @@
+type policy =
+  | By_shard_count
+  | By_size
+  | Custom of (node:string -> shards:Metadata.shard list -> float)
+
+type move = {
+  moved_shards : int list;
+  from_node : string;
+  to_node : string;
+  rows_copied : int;
+  catchup_records : int;
+}
+
+exception Move_blocked of int list
+
+let err fmt =
+  Printf.ksprintf (fun m -> raise (Engine.Instance.Session_error m)) fmt
+
+(* All shards that share a colocation group index with [shard] (including
+   itself): they must move together. *)
+let colocated_group (t : State.t) (shard : Metadata.shard) =
+  let meta = t.State.metadata in
+  let owner = Option.get (Metadata.find meta shard.Metadata.shard_of) in
+  List.filter_map
+    (fun (dt : Metadata.dist_table) ->
+      if
+        dt.Metadata.kind = Metadata.Distributed
+        && dt.Metadata.colocation_id = owner.Metadata.colocation_id
+      then
+        List.find_opt
+          (fun (s : Metadata.shard) ->
+            s.Metadata.index_in_colocation = shard.Metadata.index_in_colocation)
+          (Metadata.shards_of meta dt.Metadata.dt_name)
+      else None)
+    (Metadata.all_tables meta)
+
+(* Copy one shard's data from [src] node to [dst] node following the
+   logical-replication protocol. Returns (rows copied, catchup records). *)
+let move_one (t : State.t) (shard : Metadata.shard) ~from_node ~to_node =
+  let meta = t.State.metadata in
+  let src_node = Cluster.Topology.find_node t.State.cluster from_node in
+  let dst_node = Cluster.Topology.find_node t.State.cluster to_node in
+  let src_inst = src_node.Cluster.Topology.instance in
+  let dst_inst = dst_node.Cluster.Topology.instance in
+  let shard_table = Metadata.shard_name shard in
+  let src_catalog = Engine.Instance.catalog src_inst in
+  let src_tbl =
+    match Engine.Catalog.find_table_opt src_catalog shard_table with
+    | Some tbl -> tbl
+    | None -> err "shard %s missing on %s" shard_table from_node
+  in
+  let src_heap =
+    match src_tbl.Engine.Catalog.store with
+    | Engine.Catalog.Heap_store h -> h
+    | Engine.Catalog.Columnar_store _ ->
+      err "columnar shards cannot be rebalanced online"
+  in
+  (* 1. create the target shard with the same schema and indexes *)
+  let dst_conn =
+    Cluster.Connection.open_
+      ~origin:t.State.local.Cluster.Topology.node_name t.State.cluster dst_node
+  in
+  ignore
+    (Cluster.Connection.exec_ast dst_conn
+       (Sqlfront.Ast.Create_table
+          {
+            name = shard_table;
+            columns = src_tbl.Engine.Catalog.columns;
+            primary_key = src_tbl.Engine.Catalog.primary_key;
+            if_not_exists = false;
+            using_columnar = false;
+          }));
+  List.iter
+    (fun (idx : Engine.Catalog.index) ->
+      if
+        not
+          (String.equal idx.Engine.Catalog.idx_name (shard_table ^ "_pkey"))
+      then
+        let stmt =
+          match idx.Engine.Catalog.kind with
+          | Engine.Catalog.Btree_index { columns; _ } ->
+            Sqlfront.Ast.Create_index
+              {
+                name = idx.Engine.Catalog.idx_name ^ "_moved";
+                table = shard_table;
+                using = Sqlfront.Ast.Btree;
+                key_columns = columns;
+                key_expr = None;
+                if_not_exists = false;
+              }
+          | Engine.Catalog.Gin_index { expr; _ } ->
+            Sqlfront.Ast.Create_index
+              {
+                name = idx.Engine.Catalog.idx_name ^ "_moved";
+                table = shard_table;
+                using = Sqlfront.Ast.Gin_trgm;
+                key_columns = [];
+                key_expr = Some expr;
+                if_not_exists = false;
+              }
+        in
+        ignore (Cluster.Connection.exec_ast dst_conn stmt))
+    src_tbl.Engine.Catalog.indexes;
+  let dst_catalog = Engine.Instance.catalog dst_inst in
+  let dst_tbl = Engine.Catalog.find_table dst_catalog shard_table in
+  let dst_heap =
+    match dst_tbl.Engine.Catalog.store with
+    | Engine.Catalog.Heap_store h -> h
+    | Engine.Catalog.Columnar_store _ -> assert false
+  in
+  let src_mgr = Engine.Instance.txn_manager src_inst in
+  let dst_mgr = Engine.Instance.txn_manager dst_inst in
+  (* 2. record the WAL position, then copy a snapshot while writes continue *)
+  let lsn0 = Txn.Wal.current_lsn (Txn.Manager.wal src_mgr) in
+  let snapshot = Txn.Manager.take_snapshot src_mgr in
+  let dst_session = Engine.Instance.connect dst_inst in
+  let dst_ctx0 = Engine.Instance.make_ctx dst_session in
+  let apply_xid = Txn.Manager.begin_txn dst_mgr in
+  let dst_ctx = { dst_ctx0 with Engine.Executor.xid = Some apply_xid } in
+  let tid_map : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let rows_copied = ref 0 in
+  Storage.Heap.scan src_heap
+    ~status:(Txn.Manager.status src_mgr)
+    ~snapshot ~my_xid:None
+    ~f:(fun src_tid row ->
+      let dst_tid = Storage.Heap.insert dst_heap ~xid:apply_xid row in
+      Engine.Executor.index_insert dst_ctx dst_tbl dst_tid row;
+      Hashtbl.replace tid_map src_tid dst_tid;
+      incr rows_copied);
+  t.State.cluster.Cluster.Topology.net.Cluster.Topology.rows_shipped <-
+    t.State.cluster.Cluster.Topology.net.Cluster.Topology.rows_shipped
+    + !rows_copied;
+  (* 3. block writes to the source shard: the brief cutover window *)
+  let lock_xid = Txn.Manager.begin_txn src_mgr in
+  (match
+     Txn.Lock.acquire (Txn.Manager.locks src_mgr) ~owner:lock_xid
+       (Txn.Lock.Table shard_table) Txn.Lock.Access_exclusive
+   with
+   | Txn.Lock.Granted -> ()
+   | Txn.Lock.Blocked holders ->
+     Txn.Manager.abort src_mgr lock_xid;
+     Txn.Manager.abort dst_mgr apply_xid;
+     Engine.Catalog.drop_table dst_catalog shard_table;
+     raise (Move_blocked holders));
+  (* 4. apply the WAL delta; every xid in it has finished by now *)
+  let catchup = ref 0 in
+  let committed xid = Txn.Manager.status src_mgr xid = Txn.Manager.Committed in
+  List.iter
+    (fun (_lsn, record) ->
+      match record with
+      | Txn.Wal.Insert { xid; table; tid; row }
+        when String.equal table shard_table && committed xid
+             && not (Hashtbl.mem tid_map tid) ->
+        let dst_tid = Storage.Heap.insert dst_heap ~xid:apply_xid row in
+        Engine.Executor.index_insert dst_ctx dst_tbl dst_tid row;
+        Hashtbl.replace tid_map tid dst_tid;
+        incr catchup
+      | Txn.Wal.Update { xid; table; old_tid; new_tid; row }
+        when String.equal table shard_table && committed xid ->
+        (match Hashtbl.find_opt tid_map old_tid with
+         | Some dst_old ->
+           ignore (Storage.Heap.delete dst_heap ~xid:apply_xid ~tid:dst_old);
+           Hashtbl.remove tid_map old_tid
+         | None -> ());
+        if not (Hashtbl.mem tid_map new_tid) then begin
+          let dst_tid = Storage.Heap.insert dst_heap ~xid:apply_xid row in
+          Engine.Executor.index_insert dst_ctx dst_tbl dst_tid row;
+          Hashtbl.replace tid_map new_tid dst_tid
+        end;
+        incr catchup
+      | Txn.Wal.Delete { xid; table; tid }
+        when String.equal table shard_table && committed xid ->
+        (match Hashtbl.find_opt tid_map tid with
+         | Some dst_tid ->
+           ignore (Storage.Heap.delete dst_heap ~xid:apply_xid ~tid:dst_tid);
+           Hashtbl.remove tid_map tid;
+           incr catchup
+         | None -> ())
+      | _ -> ())
+    (Txn.Wal.records ~from:(lsn0 + 1) (Txn.Manager.wal src_mgr));
+  Txn.Manager.commit dst_mgr apply_xid;
+  (* 5. flip metadata, drop the source, release the lock *)
+  Metadata.update_placement meta ~shard_id:shard.Metadata.shard_id ~from_node
+    ~to_node;
+  Engine.Catalog.drop_table src_catalog shard_table;
+  Txn.Manager.commit src_mgr lock_xid;
+  (!rows_copied, !catchup)
+
+let move_shard_group (t : State.t) ~shard_id ~to_node =
+  let meta = t.State.metadata in
+  let shard =
+    match
+      List.find_opt
+        (fun (s : Metadata.shard) -> s.Metadata.shard_id = shard_id)
+        (List.concat_map
+           (fun (dt : Metadata.dist_table) ->
+             match dt.Metadata.kind with
+             | Metadata.Distributed -> Metadata.shards_of meta dt.Metadata.dt_name
+             | Metadata.Reference -> [])
+           (Metadata.all_tables meta))
+    with
+    | Some s -> s
+    | None -> err "no shard %d" shard_id
+  in
+  let from_node = Metadata.placement meta shard_id in
+  if String.equal from_node to_node then
+    { moved_shards = []; from_node; to_node; rows_copied = 0; catchup_records = 0 }
+  else begin
+    let group = colocated_group t shard in
+    let rows = ref 0 and catchup = ref 0 in
+    List.iter
+      (fun (s : Metadata.shard) ->
+        let r, c = move_one t s ~from_node ~to_node in
+        rows := !rows + r;
+        catchup := !catchup + c)
+      group;
+    {
+      moved_shards = List.map (fun (s : Metadata.shard) -> s.Metadata.shard_id) group;
+      from_node;
+      to_node;
+      rows_copied = !rows;
+      catchup_records = !catchup;
+    }
+  end
+
+let distribution (t : State.t) =
+  let meta = t.State.metadata in
+  let nodes = Metadata.nodes_in_use meta in
+  List.map (fun n -> (n, List.length (Metadata.shards_on_node meta n))) nodes
+
+let shard_rows (t : State.t) (s : Metadata.shard) node =
+  let inst = (Cluster.Topology.find_node t.State.cluster node).instance in
+  match
+    Engine.Catalog.find_table_opt (Engine.Instance.catalog inst)
+      (Metadata.shard_name s)
+  with
+  | Some { Engine.Catalog.store = Engine.Catalog.Heap_store h; _ } ->
+    Storage.Heap.live_estimate h
+  | _ -> 0
+
+let node_cost (t : State.t) policy node =
+  let shards = Metadata.shards_on_node t.State.metadata node in
+  match policy with
+  | By_shard_count -> float_of_int (List.length shards)
+  | By_size ->
+    float_of_int
+      (List.fold_left (fun acc s -> acc + shard_rows t s node) 0 shards)
+  | Custom f -> f ~node ~shards
+
+let rebalance ?(policy = By_shard_count) (t : State.t) =
+  (* nodes to balance over: all active data nodes (from metadata use +
+     any node the caller activated) *)
+  let nodes =
+    List.sort_uniq String.compare
+      (Metadata.nodes_in_use t.State.metadata
+      @ List.map
+          (fun (n : Cluster.Topology.node) -> n.Cluster.Topology.node_name)
+          (Cluster.Topology.data_nodes t.State.cluster))
+  in
+  let moves = ref [] in
+  let continue = ref true in
+  let guard = ref 0 in
+  while !continue && !guard < 1000 do
+    incr guard;
+    let costs = List.map (fun n -> (n, node_cost t policy n)) nodes in
+    let busiest, bc =
+      List.fold_left (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+        ("", neg_infinity) costs
+    in
+    let idlest, ic =
+      List.fold_left (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv))
+        ("", infinity) costs
+    in
+    (* moving one shard group changes each side by roughly one group's
+       cost; stop when the gap cannot be improved *)
+    let candidates = Metadata.shards_on_node t.State.metadata busiest in
+    (* only consider one shard per colocation group index *)
+    let group_heads =
+      List.sort_uniq
+        (fun (a : Metadata.shard) b ->
+          Int.compare a.Metadata.index_in_colocation b.Metadata.index_in_colocation)
+        candidates
+    in
+    match group_heads with
+    | head :: _ when bc -. ic > 1.0 && not (String.equal busiest idlest) ->
+      let m = move_shard_group t ~shard_id:head.Metadata.shard_id ~to_node:idlest in
+      moves := m :: !moves
+    | _ -> continue := false
+  done;
+  List.rev !moves

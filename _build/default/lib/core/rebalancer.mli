@@ -1,0 +1,42 @@
+(** The shard rebalancer (§3.4).
+
+    A shard move mimics logical replication: a snapshot of the source shard
+    is copied to the target while reads and writes continue; then writes
+    are blocked briefly (an [Access_exclusive] lock on the source shard),
+    the WAL delta accumulated since the copy started is applied to the
+    target, metadata flips to the new placement, and the source shard is
+    dropped. Co-located shards (same group index, other tables of the
+    colocation group) move together so co-location is preserved.
+
+    Policies: [By_shard_count] evens out the number of shards per node
+    (the default), [By_size] evens out row counts. Users can supply a
+    custom [cost] function, mirroring the SQL-definable policies of the
+    real rebalancer. *)
+
+type policy =
+  | By_shard_count
+  | By_size
+  | Custom of (node:string -> shards:Metadata.shard list -> float)
+      (** cost of a node given its shards; the rebalancer moves shards
+          from the costliest node to the cheapest *)
+
+type move = {
+  moved_shards : int list;  (** shard ids moved together (colocated) *)
+  from_node : string;
+  to_node : string;
+  rows_copied : int;
+  catchup_records : int;  (** WAL records applied during the blocked window *)
+}
+
+exception Move_blocked of int list
+(** A writer still holds locks on the shard; retry after it finishes. *)
+
+(** Move one shard group (the shard and its co-located siblings). *)
+val move_shard_group :
+  State.t -> shard_id:int -> to_node:string -> move
+
+(** Rebalance until the policy is satisfied; returns the moves performed. *)
+val rebalance : ?policy:policy -> State.t -> move list
+
+(** Shards per node (for tests and the rebalance report). *)
+val distribution : State.t -> (string * int) list

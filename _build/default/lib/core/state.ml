@@ -1,0 +1,170 @@
+type config = {
+  mutable pool_size_per_node : int;
+  mutable shared_connection_limit : int;
+  mutable slow_start_interval : float;
+  mutable binary_protocol : bool;
+}
+
+type session_state = {
+  skey : string * int;
+  mutable pools : (string * Cluster.Connection.t list) list;
+  mutable affinity : ((int * int) * Cluster.Connection.t) list;
+  mutable txn_conns : Cluster.Connection.t list;
+  mutable prepared : (Cluster.Connection.t * string) list;
+  mutable dist_xids : (string * int) list;
+}
+
+type t = {
+  cluster : Cluster.Topology.t;
+  metadata : Metadata.t;
+  local : Cluster.Topology.node;
+  config : config;
+  sessions : ((string * int), session_state) Hashtbl.t;
+  shared_counters : (string, int ref) Hashtbl.t;
+  registry : ((string * int), string * int) Hashtbl.t;
+  mutable partitioned : string list;
+  mutable injected_failures : (string * string) list;
+  mutable next_gid_seq : int;
+  mutable coordinator_id : int;
+}
+
+exception Network_error of string
+
+let default_config () =
+  {
+    pool_size_per_node = 16;
+    shared_connection_limit = 100;
+    slow_start_interval = 0.010;
+    binary_protocol = true;
+  }
+
+let create ~cluster ~metadata ~local ~registry ~coordinator_id =
+  {
+    cluster;
+    metadata;
+    local;
+    config = default_config ();
+    sessions = Hashtbl.create 64;
+    shared_counters = Hashtbl.create 8;
+    registry;
+    partitioned = [];
+    injected_failures = [];
+    next_gid_seq = 1;
+    coordinator_id;
+  }
+
+let session_state t (s : Engine.Instance.session) =
+  let key =
+    ( Engine.Instance.name (Engine.Instance.session_instance s),
+      Engine.Instance.session_id s )
+  in
+  match Hashtbl.find_opt t.sessions key with
+  | Some st -> st
+  | None ->
+    let st =
+      {
+        skey = key;
+        pools = [];
+        affinity = [];
+        txn_conns = [];
+        prepared = [];
+        dist_xids = [];
+      }
+    in
+    Hashtbl.replace t.sessions key st;
+    st
+
+let counter t node =
+  match Hashtbl.find_opt t.shared_counters node with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t.shared_counters node r;
+    r
+
+let shared_count t node = !(counter t node)
+
+let pool_of st node =
+  Option.value ~default:[] (List.assoc_opt node st.pools)
+
+let set_pool st node conns =
+  st.pools <- (node, conns) :: List.remove_assoc node st.pools
+
+(* Open one more connection to [node] if the per-session pool size and the
+   cluster-wide shared limit allow it ([force] bypasses both, for the first
+   connection a statement cannot do without). *)
+let checkout t st ?(force = false) (node : Cluster.Topology.node) =
+  let name = node.Cluster.Topology.node_name in
+  let existing = pool_of st name in
+  let cnt = counter t name in
+  let can_open =
+    force
+    || (List.length existing < t.config.pool_size_per_node
+        && !cnt < t.config.shared_connection_limit)
+  in
+  if can_open then begin
+    let conn =
+      Cluster.Connection.open_
+        ~origin:t.local.Cluster.Topology.node_name t.cluster node
+    in
+    incr cnt;
+    set_pool st name (existing @ [ conn ]);
+    Some conn
+  end
+  else None
+
+let check_reachable t node_name =
+  if List.mem node_name t.partitioned then
+    raise (Network_error (Printf.sprintf "node %s is unreachable" node_name))
+
+let check_injected t node sql =
+  List.iter
+    (fun (n, pattern) ->
+      if
+        String.equal n node
+        && Engine.Expr_eval.like_match ~pattern:("%" ^ pattern ^ "%") ~ci:false
+             sql
+      then
+        raise
+          (Network_error
+             (Printf.sprintf "injected failure on %s for %S" node pattern)))
+    t.injected_failures
+
+let exec_on t conn sql =
+  let node = (Cluster.Connection.node conn).Cluster.Topology.node_name in
+  check_reachable t node;
+  check_injected t node sql;
+  Cluster.Connection.exec conn sql
+
+let exec_ast_on t conn stmt =
+  exec_on t conn (Sqlfront.Deparse.statement stmt)
+
+let fresh_gid t ~coord_xid =
+  let seq = t.next_gid_seq in
+  t.next_gid_seq <- seq + 1;
+  Printf.sprintf "citus_%d_%d_%d" t.coordinator_id coord_xid seq
+
+let parse_gid gid =
+  match String.split_on_char '_' gid with
+  | [ "citus"; cid; xid; _seq ] ->
+    (match int_of_string_opt cid, int_of_string_opt xid with
+     | Some c, Some x -> Some (c, x)
+     | _ -> None)
+  | _ -> None
+
+let inject_failure t ~node ~matching =
+  t.injected_failures <- (node, matching) :: t.injected_failures
+
+let clear_failures t = t.injected_failures <- []
+
+let partition_node t name =
+  if not (List.mem name t.partitioned) then t.partitioned <- name :: t.partitioned
+
+let heal_node t name =
+  t.partitioned <- List.filter (fun n -> not (String.equal n name)) t.partitioned
+
+let reachable t name = not (List.mem name t.partitioned)
+
+let reset_sessions t =
+  Hashtbl.reset t.sessions;
+  Hashtbl.reset t.shared_counters

@@ -1,0 +1,108 @@
+(** Runtime state of the Citus extension on one node.
+
+    Holds the metadata reference, per-(coordinator-)session connection
+    pools with shard affinity, the cluster-wide shared connection counters
+    the adaptive executor respects (§3.6.1), the distributed-transaction
+    bookkeeping that 2PC and the distributed deadlock detector consume
+    (§3.7), and a network-partition switch used for failure-injection
+    tests. *)
+
+type config = {
+  mutable pool_size_per_node : int;
+      (** max connections one session opens to one worker *)
+  mutable shared_connection_limit : int;
+      (** cluster-wide cap of connections to one worker across sessions *)
+  mutable slow_start_interval : float;  (** seconds; paper: 10ms *)
+  mutable binary_protocol : bool;  (** placeholder knob, always true *)
+}
+
+type session_state = {
+  skey : string * int;  (** (node name, session id) *)
+  mutable pools : (string * Cluster.Connection.t list) list;
+      (** per target node, open connections *)
+  mutable affinity : ((int * int) * Cluster.Connection.t) list;
+      (** (colocation id, shard-group index) -> connection, §3.6.1 *)
+  mutable txn_conns : Cluster.Connection.t list;
+      (** connections with an open BEGIN for the current coordinator txn *)
+  mutable prepared : (Cluster.Connection.t * string) list;
+      (** prepared (conn, gid) pairs awaiting COMMIT PREPARED *)
+  mutable dist_xids : (string * int) list;
+      (** (node, backend xid) members of the current distributed txn *)
+}
+
+type t = {
+  cluster : Cluster.Topology.t;
+  metadata : Metadata.t;
+  local : Cluster.Topology.node;  (** node this extension instance runs on *)
+  config : config;
+  sessions : ((string * int), session_state) Hashtbl.t;
+  shared_counters : (string, int ref) Hashtbl.t;
+  registry : ((string * int), string * int) Hashtbl.t;
+      (** (worker node, backend xid) -> (coordinator node, coordinator xid):
+          which distributed transaction a worker transaction belongs to.
+          Shared cluster-wide; the distributed deadlock detector merges
+          per-node wait edges through it (§3.7.3). *)
+  mutable partitioned : string list;  (** unreachable nodes (failure injection) *)
+  mutable injected_failures : (string * string) list;
+      (** (node, SQL substring) pairs: matching statements fail with
+          {!Network_error} — lets tests break 2PC at exact points *)
+  mutable next_gid_seq : int;
+  mutable coordinator_id : int;  (** distinguishes coordinators in gids *)
+}
+
+exception Network_error of string
+
+val create :
+  cluster:Cluster.Topology.t ->
+  metadata:Metadata.t ->
+  local:Cluster.Topology.node ->
+  registry:((string * int), string * int) Hashtbl.t ->
+  coordinator_id:int ->
+  t
+
+val default_config : unit -> config
+
+(** Session bookkeeping, created on demand. *)
+val session_state : t -> Engine.Instance.session -> session_state
+
+(** Connections currently counted against a worker's shared limit. *)
+val shared_count : t -> string -> int
+
+(** [checkout t st node] opens one more connection to [node] and adds it
+    to the session pool, if the per-session pool size and the cluster-wide
+    shared limit allow; [force] bypasses the limits (the first connection a
+    statement cannot do without). Returns [None] when at a limit. *)
+val checkout :
+  t -> session_state -> ?force:bool -> Cluster.Topology.node -> Cluster.Connection.t option
+
+(** All pool connections of the session to [node]. *)
+val pool_of : session_state -> string -> Cluster.Connection.t list
+
+(** Execute on a connection, simulating the network: raises
+    {!Network_error} if the target node is partitioned away. *)
+val exec_on : t -> Cluster.Connection.t -> string -> Engine.Instance.result
+
+val exec_ast_on :
+  t -> Cluster.Connection.t -> Sqlfront.Ast.statement -> Engine.Instance.result
+
+(** Fresh global transaction identifier: citus_<coordinator>_<xid>_<seq>. *)
+val fresh_gid : t -> coord_xid:int -> string
+
+(** Parse a gid back into (coordinator id, coordinator xid). *)
+val parse_gid : string -> (int * int) option
+
+(** Fail statements containing [matching] sent to [node] (tests: break a
+    2PC between PREPARE and COMMIT PREPARED, etc.). *)
+val inject_failure : t -> node:string -> matching:string -> unit
+
+val clear_failures : t -> unit
+
+(** Sever / restore connectivity to a node (tests, §3.7.2 recovery). *)
+val partition_node : t -> string -> unit
+
+val heal_node : t -> string -> unit
+
+val reachable : t -> string -> bool
+
+(** Drop all session pools (used when simulating coordinator restart). *)
+val reset_sessions : t -> unit

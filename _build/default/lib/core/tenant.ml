@@ -1,0 +1,144 @@
+let err fmt =
+  Printf.ksprintf (fun m -> raise (Engine.Instance.Session_error m)) fmt
+
+(* hash ranges around the tenant: [min, h-1], [h, h], [h+1, max], with
+   empty subranges dropped *)
+let split_ranges ~min_hash ~max_hash h =
+  let before =
+    if Int32.compare min_hash h < 0 then [ (min_hash, Int32.pred h) ] else []
+  in
+  let after =
+    if Int32.compare h max_hash < 0 then [ (Int32.succ h, max_hash) ] else []
+  in
+  before @ [ (h, h) ] @ after
+
+let isolate_tenant (t : State.t) ~table ~value =
+  let meta = t.State.metadata in
+  let dt =
+    match Metadata.find meta table with
+    | Some ({ Metadata.kind = Metadata.Distributed; _ } as dt) -> dt
+    | Some _ -> err "%s is a reference table; tenants live in distributed tables" table
+    | None -> err "%s is not a distributed table" table
+  in
+  let h = Datum.hash32 value in
+  let anchor = Metadata.shard_for_value meta ~table value in
+  if Int32.equal anchor.Metadata.min_hash h && Int32.equal anchor.Metadata.max_hash h
+  then
+    (* already isolated *)
+    [ anchor.Metadata.shard_id ]
+  else begin
+    let group_index = anchor.Metadata.index_in_colocation in
+    let group_tables =
+      List.filter
+        (fun (d : Metadata.dist_table) ->
+          d.Metadata.kind = Metadata.Distributed
+          && d.Metadata.colocation_id = dt.Metadata.colocation_id)
+        (Metadata.all_tables meta)
+      (* the requested table first, so the returned ids line up *)
+      |> List.sort (fun (a : Metadata.dist_table) b ->
+             compare
+               (not (String.equal a.Metadata.dt_name table))
+               (not (String.equal b.Metadata.dt_name table)))
+    in
+    let catalog =
+      Engine.Instance.catalog t.State.local.Cluster.Topology.instance
+    in
+    let tenant_ids =
+      List.map
+        (fun (gt : Metadata.dist_table) ->
+          let gt_name = gt.Metadata.dt_name in
+          let old_shard =
+            List.find
+              (fun (s : Metadata.shard) ->
+                s.Metadata.index_in_colocation = group_index)
+              (Metadata.shards_of meta gt_name)
+          in
+          let node = Metadata.placement meta old_shard.Metadata.shard_id in
+          let ranges =
+            split_ranges ~min_hash:old_shard.Metadata.min_hash
+              ~max_hash:old_shard.Metadata.max_hash h
+          in
+          let news =
+            Metadata.replace_shard meta ~shard_id:old_shard.Metadata.shard_id
+              ~ranges
+          in
+          (* physical tables on the same node *)
+          let conn =
+            Cluster.Connection.open_
+              ~origin:t.State.local.Cluster.Topology.node_name t.State.cluster
+              (Cluster.Topology.find_node t.State.cluster node)
+          in
+          let src =
+            match Engine.Catalog.find_table_opt catalog gt_name with
+            | Some tbl -> tbl
+            | None -> err "no schema for %s on the coordinator" gt_name
+          in
+          List.iter
+            (fun (s : Metadata.shard) ->
+              ignore
+                (Cluster.Connection.exec_ast conn
+                   (Sqlfront.Ast.Create_table
+                      {
+                        name = Metadata.shard_name s;
+                        columns = src.Engine.Catalog.columns;
+                        primary_key = src.Engine.Catalog.primary_key;
+                        if_not_exists = false;
+                        using_columnar = false;
+                      })))
+            news;
+          (* move the rows by hash of this table's distribution column *)
+          let dist_col = Option.get gt.Metadata.dist_column in
+          let pos = Engine.Catalog.column_index src dist_col in
+          let rows =
+            (Cluster.Connection.exec conn
+               (Printf.sprintf "SELECT * FROM %s"
+                  (Metadata.shard_name old_shard)))
+              .Engine.Instance.rows
+          in
+          List.iter
+            (fun (s : Metadata.shard) ->
+              let mine (row : Datum.t array) =
+                let hv = Datum.hash32 row.(pos) in
+                Int32.compare hv s.Metadata.min_hash >= 0
+                && Int32.compare hv s.Metadata.max_hash <= 0
+              in
+              let bucket = List.filter mine rows in
+              if bucket <> [] then
+                ignore
+                  (Cluster.Connection.exec_ast conn
+                     (Sqlfront.Ast.Insert
+                        {
+                          table = Metadata.shard_name s;
+                          columns = None;
+                          source =
+                            Sqlfront.Ast.Values
+                              (List.map
+                                 (fun row ->
+                                   List.map
+                                     (fun d -> Sqlfront.Ast.Const d)
+                                     (Array.to_list row))
+                                 bucket);
+                          on_conflict_do_nothing = false;
+                        })))
+            news;
+          ignore
+            (Cluster.Connection.exec_ast conn
+               (Sqlfront.Ast.Drop_table
+                  { name = Metadata.shard_name old_shard; if_exists = false }));
+          (* the single-value shard is the tenant's *)
+          (List.find
+             (fun (s : Metadata.shard) ->
+               Int32.equal s.Metadata.min_hash h && Int32.equal s.Metadata.max_hash h)
+             news)
+            .Metadata.shard_id)
+        group_tables
+    in
+    Metadata.renumber_colocation meta
+      ~colocation_id:dt.Metadata.colocation_id;
+    tenant_ids
+  end
+
+let isolate_tenant_to_node (t : State.t) ~table ~value ~to_node =
+  match isolate_tenant t ~table ~value with
+  | [] -> err "nothing isolated"
+  | shard_id :: _ -> Rebalancer.move_shard_group t ~shard_id ~to_node

@@ -1,0 +1,207 @@
+let commit_records_table = "pg_dist_transaction"
+
+let admin_session (t : State.t) =
+  Engine.Instance.connect t.State.local.Cluster.Topology.instance
+
+let ensure_commit_records_table (t : State.t) =
+  let s = admin_session t in
+  ignore
+    (Engine.Instance.exec s
+       (Printf.sprintf "CREATE TABLE IF NOT EXISTS %s (gid text)"
+          commit_records_table))
+
+let insert_commit_records (t : State.t) coord_session gids =
+  (* inside the coordinator's own transaction: durable iff it commits *)
+  let ctx = Engine.Instance.make_ctx coord_session in
+  ignore
+    (Engine.Executor.run_insert ctx ~table:commit_records_table ~columns:None
+       ~source:
+         (Sqlfront.Ast.Values
+            (List.map (fun gid -> [ Sqlfront.Ast.Const (Datum.Text gid) ]) gids))
+       ~on_conflict_do_nothing:false);
+  ignore t
+
+let delete_commit_record (t : State.t) gid =
+  (* direct executor call: commit-record maintenance is lightweight, not a
+     full planned statement *)
+  let s = admin_session t in
+  ignore (Engine.Instance.exec s "BEGIN");
+  let ctx = Engine.Instance.make_ctx s in
+  (try
+     ignore
+       (Engine.Executor.run_delete ctx ~table:commit_records_table
+          ~where:
+            (Some
+               (Sqlfront.Ast.Cmp
+                  ( Sqlfront.Ast.Eq,
+                    Sqlfront.Ast.Column (None, "gid"),
+                    Sqlfront.Ast.Const (Datum.Text gid) ))))
+   with e ->
+     ignore (Engine.Instance.exec s "ROLLBACK");
+     raise e);
+  ignore (Engine.Instance.exec s "COMMIT")
+
+let commit_record_exists (t : State.t) gid =
+  let s = admin_session t in
+  let r =
+    Engine.Instance.exec s
+      (Printf.sprintf "SELECT count(*) FROM %s WHERE gid = '%s'"
+         commit_records_table gid)
+  in
+  match r.Engine.Instance.rows with
+  | [ [| Datum.Int n |] ] -> n > 0
+  | _ -> false
+
+let commit_record_count (t : State.t) =
+  let s = admin_session t in
+  let r =
+    Engine.Instance.exec s
+      (Printf.sprintf "SELECT count(*) FROM %s" commit_records_table)
+  in
+  match r.Engine.Instance.rows with
+  | [ [| Datum.Int n |] ] -> n
+  | _ -> 0
+
+let cleanup_session_txn_state (t : State.t) (st : State.session_state) =
+  List.iter
+    (fun key -> Hashtbl.remove t.State.registry key)
+    st.State.dist_xids;
+  st.State.dist_xids <- [];
+  st.State.txn_conns <- [];
+  st.State.prepared <- [];
+  st.State.affinity <- []
+
+let pre_commit (t : State.t) coord_session =
+  let st = State.session_state t coord_session in
+  match st.State.txn_conns with
+  | [] -> ()
+  | [ conn ] ->
+    (* single-node transaction: delegate the commit (§3.7.1) *)
+    ignore (State.exec_on t conn "COMMIT")
+  | conns ->
+    (* two-phase commit (§3.7.2) *)
+    let coord_xid =
+      match Engine.Instance.current_xid coord_session with
+      | Some x -> x
+      | None -> invalid_arg "pre_commit outside a transaction"
+    in
+    let prepared = ref [] in
+    (try
+       List.iter
+         (fun conn ->
+           let gid = State.fresh_gid t ~coord_xid in
+           ignore
+             (State.exec_on t conn
+                (Printf.sprintf "PREPARE TRANSACTION '%s'" gid));
+           prepared := (conn, gid) :: !prepared)
+         conns
+     with e ->
+       (* a prepare failed: roll back everything and abort the coordinator *)
+       List.iter
+         (fun (conn, gid) ->
+           try
+             ignore
+               (State.exec_on t conn
+                  (Printf.sprintf "ROLLBACK PREPARED '%s'" gid))
+           with _ -> ())
+         !prepared;
+       List.iter
+         (fun conn ->
+           if not (List.mem_assq conn !prepared) then
+             try ignore (State.exec_on t conn "ROLLBACK") with _ -> ())
+         conns;
+       st.State.prepared <- [];
+       raise e);
+    st.State.prepared <- !prepared;
+    (* durable commit records, in the same local transaction *)
+    insert_commit_records t coord_session (List.map snd !prepared)
+
+let post_commit (t : State.t) coord_session =
+  let st = State.session_state t coord_session in
+  List.iter
+    (fun (conn, gid) ->
+      (* best effort; failures are handled by recovery. Commit records are
+         cleaned up lazily by the maintenance daemon, off the hot path. *)
+      match
+        State.exec_on t conn (Printf.sprintf "COMMIT PREPARED '%s'" gid)
+      with
+      | _ -> ()
+      | exception _ -> ())
+    st.State.prepared;
+  cleanup_session_txn_state t st
+
+let on_abort (t : State.t) coord_session =
+  let st = State.session_state t coord_session in
+  List.iter
+    (fun conn ->
+      match List.assq_opt conn st.State.prepared with
+      | Some gid ->
+        (* prepared but the coordinator aborted before its commit record
+           became visible: roll it back *)
+        (try
+           ignore
+             (State.exec_on t conn
+                (Printf.sprintf "ROLLBACK PREPARED '%s'" gid))
+         with _ -> ())
+      | None -> (
+        try ignore (State.exec_on t conn "ROLLBACK") with _ -> ()))
+    st.State.txn_conns;
+  cleanup_session_txn_state t st
+
+(* §3.7.2: compare each node's pending prepared transactions against the
+   local commit records. A visible record means the coordinator committed,
+   so the prepared transaction must commit; a missing record for an ended
+   coordinator transaction means it must abort. *)
+let recover (t : State.t) =
+  let committed = ref 0 and rolled_back = ref 0 in
+  let local_mgr =
+    Engine.Instance.txn_manager t.State.local.Cluster.Topology.instance
+  in
+  List.iter
+    (fun (node : Cluster.Topology.node) ->
+      let name = node.Cluster.Topology.node_name in
+      if State.reachable t name then begin
+        (* polling a worker costs a round trip *)
+        t.State.cluster.Cluster.Topology.net.Cluster.Topology.round_trips <-
+          t.State.cluster.Cluster.Topology.net.Cluster.Topology.round_trips + 1;
+        let mgr = Engine.Instance.txn_manager node.Cluster.Topology.instance in
+        List.iter
+          (fun (gid, _xid) ->
+            match State.parse_gid gid with
+            | Some (cid, coord_xid) when cid = t.State.coordinator_id ->
+              if commit_record_exists t gid then begin
+                Txn.Manager.commit_prepared mgr ~gid;
+                delete_commit_record t gid;
+                incr committed
+              end
+              else if not (Txn.Manager.is_active local_mgr coord_xid) then begin
+                Txn.Manager.rollback_prepared mgr ~gid;
+                incr rolled_back
+              end
+            | _ -> ())
+          (Txn.Manager.prepared_transactions mgr)
+      end)
+    (Cluster.Topology.all_nodes t.State.cluster);
+  (* garbage-collect commit records whose prepared transactions are all
+     resolved: no node still lists a prepared transaction with that gid *)
+  let pending_gids =
+    List.concat_map
+      (fun (node : Cluster.Topology.node) ->
+        List.map fst
+          (Txn.Manager.prepared_transactions
+             (Engine.Instance.txn_manager node.Cluster.Topology.instance)))
+      (Cluster.Topology.all_nodes t.State.cluster)
+  in
+  let s = admin_session t in
+  let r =
+    Engine.Instance.exec s
+      (Printf.sprintf "SELECT gid FROM %s" commit_records_table)
+  in
+  List.iter
+    (fun row ->
+      match row with
+      | [| Datum.Text gid |] ->
+        if not (List.mem gid pending_gids) then delete_commit_record t gid
+      | _ -> ())
+    r.Engine.Instance.rows;
+  (!committed, !rolled_back)

@@ -1,0 +1,31 @@
+(** Distributed transactions (§3.7).
+
+    Transactions touching one worker are delegated to it (plain COMMIT).
+    Transactions touching several nodes run two-phase commit: at
+    pre-commit, every participating connection gets [PREPARE TRANSACTION
+    'citus_<coordinator>_<xid>_<seq>'] and a commit record is inserted into
+    the local [pg_dist_transaction] table inside the coordinator's own
+    transaction — so the records become durable exactly when the
+    coordinator commit does. After local commit, [COMMIT PREPARED] is sent
+    on a best-effort basis; {!recover} (run from the maintenance daemon)
+    finishes the job after failures by comparing each node's pending
+    prepared transactions against the commit records. *)
+
+val commit_records_table : string
+
+(** Create [pg_dist_transaction] on the local node if missing. *)
+val ensure_commit_records_table : State.t -> unit
+
+(** Transaction callbacks to register on the local instance. *)
+val pre_commit : State.t -> Engine.Instance.session -> unit
+
+val post_commit : State.t -> Engine.Instance.session -> unit
+
+val on_abort : State.t -> Engine.Instance.session -> unit
+
+(** 2PC recovery pass: resolve prepared transactions left behind by
+    failures. Returns (committed, rolled back) counts. *)
+val recover : State.t -> int * int
+
+(** Number of commit records currently stored (tests/monitoring). *)
+val commit_record_count : State.t -> int

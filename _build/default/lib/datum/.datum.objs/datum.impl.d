@@ -1,0 +1,1 @@
+lib/datum/datum.ml: Bool Buffer Char Float Format Int Int32 Json Printf String

@@ -1,0 +1,1 @@
+lib/datum/datum.mli: Format Json

@@ -1,0 +1,1 @@
+lib/datum/json.ml: Bool Buffer Char Float Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/datum/json.mli: Format

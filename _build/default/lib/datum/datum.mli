@@ -1,0 +1,66 @@
+(** SQL values and their PostgreSQL-like semantics.
+
+    A [Datum.t] is the runtime representation of a single SQL value. The
+    engine stores rows as [Datum.t array]. Comparison, arithmetic and
+    casting follow PostgreSQL conventions closely enough for the workloads
+    in this repository (notably: [Null] never compares equal to anything in
+    SQL expressions; the three-valued logic lives in the expression
+    evaluator, not here). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Text of string
+  | Json of Json.t
+  | Timestamp of float  (** seconds since epoch *)
+
+type ty = TBool | TInt | TFloat | TText | TJson | TTimestamp
+  (** Declared column types. *)
+
+val ty_name : ty -> string
+
+(** [ty_of_name s] parses a SQL type name ("int", "bigint", "text",
+    "jsonb", ...). Raises [Invalid_argument] on unknown names. *)
+val ty_of_name : string -> ty
+
+val type_of : t -> ty option
+  (** [None] for [Null]. *)
+
+(** Total order over non-null datums of the same type; numeric types
+    compare cross-type ([Int] vs [Float]). Datums of incomparable types
+    order by a fixed type rank so sorting is total. [Null] sorts last
+    (PostgreSQL's default NULLS LAST). *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+  (** Structural equality via [compare]; [Null] equals [Null] here (this is
+      identity, not SQL [=], which the evaluator handles). *)
+
+(** 32-bit FNV-1a hash of a canonical encoding. Used for hash partitioning:
+    the result is in the full int32 range [-2^31, 2^31-1], matching the
+    shard-range convention of the paper (§3.3.1). *)
+val hash32 : t -> int32
+
+val is_null : t -> bool
+
+(** Rendering used for CSV/COPY output and for embedding literals when
+    deparsing a query to SQL text. [to_sql_literal] quotes and escapes;
+    [to_display] is the bare textual form. *)
+val to_display : t -> string
+
+val to_sql_literal : t -> string
+
+(** [cast v ty] coerces a value to a declared type, following PostgreSQL
+    assignment-cast rules (text→int parses, int→float widens, ...).
+    Raises [Cast_error] when impossible. [Null] casts to any type. *)
+val cast : t -> ty -> t
+
+exception Cast_error of string
+
+(** [of_csv_field ty s] parses one COPY field into a typed datum.
+    The empty marker [\N] yields [Null]. *)
+val of_csv_field : ty -> string -> t
+
+val pp : Format.formatter -> t -> unit

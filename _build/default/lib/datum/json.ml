@@ -1,0 +1,293 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let rec equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Num x, Num y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Arr x, Arr y -> List.length x = List.length y && List.for_all2 equal x y
+  | Obj x, Obj y ->
+    List.length x = List.length y
+    && List.for_all2 (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2) x y
+  | (Null | Bool _ | Num _ | Str _ | Arr _ | Obj _), _ -> false
+
+let type_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Num _ -> 2
+  | Str _ -> 3
+  | Arr _ -> 4
+  | Obj _ -> 5
+
+let rec compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Num x, Num y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Arr x, Arr y -> compare_lists x y
+  | Obj x, Obj y ->
+    compare_lists
+      (List.concat_map (fun (k, v) -> [ Str k; v ]) x)
+      (List.concat_map (fun (k, v) -> [ Str k; v ]) y)
+  | _ -> Int.compare (type_rank a) (type_rank b)
+
+and compare_lists x y =
+  match x, y with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | xh :: xt, yh :: yt ->
+    let c = compare xh yh in
+    if c <> 0 then c else compare_lists xt yt
+
+(* --- Parser: hand-rolled recursive descent over a string with an index. *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') -> advance st; skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let parse_literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected '%s'" word)
+
+let parse_string_body st =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st; Buffer.contents buf
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+       | None -> fail st "unterminated escape"
+       | Some c ->
+         advance st;
+         (match c with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+            if st.pos + 4 > String.length st.src then fail st "bad \\u escape";
+            let hex = String.sub st.src st.pos 4 in
+            st.pos <- st.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with Failure _ -> fail st "bad \\u escape"
+            in
+            (* Encode the code point as UTF-8; surrogate pairs are not
+               recombined, which is sufficient for our synthetic data. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+          | _ -> fail st "bad escape");
+         loop ())
+    | Some c -> advance st; Buffer.add_char buf c; loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec loop () =
+    match peek st with
+    | Some c when is_num_char c -> advance st; loop ()
+    | _ -> ()
+  in
+  loop ();
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> Num f
+  | None -> fail st "bad number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' -> parse_object st
+  | Some '[' -> parse_array st
+  | Some '"' -> advance st; Str (parse_string_body st)
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character '%c'" c)
+
+and parse_object st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin advance st; Obj [] end
+  else begin
+    let rec members acc =
+      skip_ws st;
+      expect st '"';
+      let key = parse_string_body st in
+      skip_ws st;
+      expect st ':';
+      let value = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st; members ((key, value) :: acc)
+      | Some '}' -> advance st; Obj (List.rev ((key, value) :: acc))
+      | _ -> fail st "expected ',' or '}'"
+    in
+    members []
+  end
+
+and parse_array st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin advance st; Arr [] end
+  else begin
+    let rec elements acc =
+      let value = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st; elements (value :: acc)
+      | Some ']' -> advance st; Arr (List.rev (value :: acc))
+      | _ -> fail st "expected ',' or ']'"
+    in
+    elements []
+  end
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+(* --- Printing *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let to_string v =
+  let buf = Buffer.create 64 in
+  let rec emit = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool true -> Buffer.add_string buf "true"
+    | Bool false -> Buffer.add_string buf "false"
+    | Num f -> Buffer.add_string buf (number_to_string f)
+    | Str s -> escape_string buf s
+    | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri (fun i x -> if i > 0 then Buffer.add_char buf ','; emit x) items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          emit x)
+        fields;
+      Buffer.add_char buf '}'
+  in
+  emit v;
+  Buffer.contents buf
+
+(* --- Accessors *)
+
+let get_field j k =
+  match j with
+  | Obj fields -> List.assoc_opt k fields
+  | Null | Bool _ | Num _ | Str _ | Arr _ -> None
+
+let get_index j i =
+  match j with
+  | Arr items -> List.nth_opt items i
+  | Null | Bool _ | Num _ | Str _ | Obj _ -> None
+
+let rec get_path j path =
+  match path with
+  | [] -> Some j
+  | "*" :: rest ->
+    (* Wildcard over array elements, collecting the per-element results. *)
+    (match j with
+     | Arr items ->
+       let collected = List.filter_map (fun item -> get_path item rest) items in
+       Some (Arr collected)
+     | Null | Bool _ | Num _ | Str _ | Obj _ -> None)
+  | step :: rest ->
+    let child =
+      match int_of_string_opt step with
+      | Some i when (match j with Arr _ -> true | _ -> false) -> get_index j i
+      | Some _ | None -> get_field j step
+    in
+    (match child with None -> None | Some c -> get_path c rest)
+
+let array_length = function
+  | Arr items -> Some (List.length items)
+  | Null | Bool _ | Num _ | Str _ | Obj _ -> None
+
+let to_text = function
+  | Null -> None
+  | Str s -> Some s
+  | v -> Some (to_string v)
+
+let is_null = function Null -> true | _ -> false
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

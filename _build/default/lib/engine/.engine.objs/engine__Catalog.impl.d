@@ -1,0 +1,1 @@
+lib/engine/catalog.ml: Array Hashtbl List Printf Sqlfront Storage String

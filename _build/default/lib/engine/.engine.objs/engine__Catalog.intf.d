@@ -1,0 +1,1 @@
+lib/engine/catalog.mli: Datum Sqlfront Storage

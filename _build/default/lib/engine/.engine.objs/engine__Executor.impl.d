@@ -1,0 +1,1 @@
+lib/engine/executor.ml: Array Ast Catalog Datum Expr_eval Fun Hashtbl Int List Meter Option Printf Sqlfront Storage String Txn

@@ -1,0 +1,1 @@
+lib/engine/executor.mli: Catalog Datum Expr_eval Meter Sqlfront Storage Txn

@@ -1,0 +1,1 @@
+lib/engine/expr_eval.ml: Array Ast Buffer Datum Digest Float Hashtbl Json Lazy List Option Printf Random Sqlfront String

@@ -1,0 +1,1 @@
+lib/engine/expr_eval.mli: Datum Random Sqlfront

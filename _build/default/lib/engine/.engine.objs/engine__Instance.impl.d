@@ -1,0 +1,1 @@
+lib/engine/instance.ml: Array Ast Catalog Datum Executor Expr_eval Fun Hashtbl List Meter Option Parser Printf Random Sqlfront Storage String Txn

@@ -1,0 +1,1 @@
+lib/engine/instance.mli: Catalog Datum Executor Meter Sqlfront Storage Txn

@@ -1,0 +1,65 @@
+(** Single-node query executor.
+
+    Executes parsed statements against the catalog with full MVCC
+    semantics. The execution model is "semantic": the SELECT pipeline
+    (FROM → WHERE → GROUP/aggregate → HAVING → DISTINCT → ORDER →
+    LIMIT/OFFSET → project) is evaluated directly from the AST, with an
+    access-path decision per base table (primary-key / secondary B-tree
+    lookups, GIN trigram candidate + recheck, columnar projection scans,
+    otherwise sequential scan).
+
+    There are no OS threads. When a write conflicts with a lock held by
+    another transaction, the statement raises {!Would_block} with the
+    holders; the session layer surfaces that to the caller, who retries
+    after the holder finishes (or aborts). This is what makes lock waits
+    and deadlocks deterministic and testable. *)
+
+type ctx = {
+  catalog : Catalog.t;
+  mgr : Txn.Manager.t;
+  pool : Storage.Buffer_pool.t;
+  meter : Meter.t;
+  snapshot : Txn.Snapshot.t;
+  xid : int option;  (** current transaction for writes / own-write reads *)
+  env : Expr_eval.env;
+}
+
+exception Exec_error of string
+
+exception Would_block of int list  (** xids holding conflicting locks *)
+
+(** Column names and rows of a SELECT. *)
+val run_select : ctx -> Sqlfront.Ast.select -> string list * Datum.t array list
+
+(** Row-returning DML; all return the number of affected rows and require
+    [ctx.xid = Some _]. *)
+val run_insert :
+  ctx ->
+  table:string ->
+  columns:string list option ->
+  source:Sqlfront.Ast.insert_source ->
+  on_conflict_do_nothing:bool ->
+  int
+
+val run_update :
+  ctx ->
+  table:string ->
+  sets:(string * Sqlfront.Ast.expr) list ->
+  where:Sqlfront.Ast.expr option ->
+  int
+
+val run_delete : ctx -> table:string -> where:Sqlfront.Ast.expr option -> int
+
+(** Insert pre-built rows (COPY and replication paths); applies defaults,
+    casts, PK checks and index maintenance like a VALUES insert. *)
+val insert_rows :
+  ctx -> table:Catalog.table -> Datum.t array list -> on_conflict_do_nothing:bool -> int
+
+(** Index maintenance for a single tuple (used by the vacuum path and by
+    replication-style row application that bypasses SQL). *)
+val index_insert : ctx -> Catalog.table -> int -> Datum.t array -> unit
+
+val index_remove : ctx -> Catalog.table -> int -> Datum.t array -> unit
+
+(** Schema of a base table as the executor exposes it to expressions. *)
+val table_schema : alias:string option -> Catalog.table -> Expr_eval.schema

@@ -1,0 +1,472 @@
+open Sqlfront
+
+exception Eval_error of string
+
+type rcol = { rq : string option; rname : string }
+
+type schema = rcol list
+
+type env = {
+  rng : Random.State.t;
+  now : float;
+  subquery : Ast.select -> Datum.t array list;
+}
+
+let err fmt = Printf.ksprintf (fun m -> raise (Eval_error m)) fmt
+
+let resolve schema q name =
+  let matches i (c : rcol) =
+    let name_ok = String.equal c.rname name in
+    let qual_ok =
+      match q with
+      | None -> true
+      | Some q -> (match c.rq with Some cq -> String.equal cq q | None -> false)
+    in
+    if name_ok && qual_ok then Some i else None
+  in
+  match List.filteri (fun i c -> matches i c <> None) schema with
+  | [] ->
+    err "column %s%s does not exist"
+      (match q with Some q -> q ^ "." | None -> "")
+      name
+  | [ _ ] ->
+    (* recompute the index *)
+    let rec find i = function
+      | [] -> assert false
+      | c :: rest -> if matches i c <> None then i else find (i + 1) rest
+    in
+    find 0 schema
+  | _ :: _ :: _ -> err "column reference %s is ambiguous" name
+
+(* --- numeric helpers --- *)
+
+let as_float = function
+  | Datum.Int i -> float_of_int i
+  | Datum.Float f -> f
+  | Datum.Timestamp f -> f
+  | d -> err "expected a number, got %s" (Datum.to_display d)
+
+let arith op a b =
+  match a, b with
+  | Datum.Null, _ | _, Datum.Null -> Datum.Null
+  | _ ->
+    (match op, a, b with
+     | Ast.Add, Datum.Int x, Datum.Int y -> Datum.Int (x + y)
+     | Ast.Sub, Datum.Int x, Datum.Int y -> Datum.Int (x - y)
+     | Ast.Mul, Datum.Int x, Datum.Int y -> Datum.Int (x * y)
+     | Ast.Div, Datum.Int x, Datum.Int y ->
+       if y = 0 then err "division by zero" else Datum.Int (x / y)
+     | Ast.Mod, Datum.Int x, Datum.Int y ->
+       if y = 0 then err "division by zero" else Datum.Int (x mod y)
+     | Ast.Concat, _, _ ->
+       Datum.Text (Datum.to_display a ^ Datum.to_display b)
+     | Ast.Add, _, _ -> Datum.Float (as_float a +. as_float b)
+     | Ast.Sub, _, _ -> Datum.Float (as_float a -. as_float b)
+     | Ast.Mul, _, _ -> Datum.Float (as_float a *. as_float b)
+     | Ast.Div, _, _ ->
+       let d = as_float b in
+       if d = 0.0 then err "division by zero" else Datum.Float (as_float a /. d)
+     | Ast.Mod, _, _ -> Datum.Float (Float.rem (as_float a) (as_float b)))
+
+let compare_datums op a b =
+  match a, b with
+  | Datum.Null, _ | _, Datum.Null -> Datum.Null
+  | _ ->
+    let c = Datum.compare a b in
+    let r =
+      match op with
+      | Ast.Eq -> c = 0
+      | Ast.Ne -> c <> 0
+      | Ast.Lt -> c < 0
+      | Ast.Le -> c <= 0
+      | Ast.Gt -> c > 0
+      | Ast.Ge -> c >= 0
+    in
+    Datum.Bool r
+
+(* Kleene three-valued logic *)
+let sql_and a b =
+  match a, b with
+  | Datum.Bool false, _ | _, Datum.Bool false -> Datum.Bool false
+  | Datum.Bool true, Datum.Bool true -> Datum.Bool true
+  | _ -> Datum.Null
+
+let sql_or a b =
+  match a, b with
+  | Datum.Bool true, _ | _, Datum.Bool true -> Datum.Bool true
+  | Datum.Bool false, Datum.Bool false -> Datum.Bool false
+  | _ -> Datum.Null
+
+let sql_not = function
+  | Datum.Bool b -> Datum.Bool (not b)
+  | Datum.Null -> Datum.Null
+  | d -> err "NOT applied to %s" (Datum.to_display d)
+
+let truthy = function Datum.Bool true -> true | _ -> false
+
+(* --- LIKE --- *)
+
+let like_match ~pattern ~ci s =
+  let p = if ci then String.lowercase_ascii pattern else pattern in
+  let s = if ci then String.lowercase_ascii s else s in
+  let np = String.length p and ns = String.length s in
+  (* dynamic programming over (pattern index, string index) with
+     memoization; patterns are short so this is fine *)
+  let memo = Hashtbl.create 64 in
+  let rec go pi si =
+    match Hashtbl.find_opt memo (pi, si) with
+    | Some r -> r
+    | None ->
+      let r =
+        if pi >= np then si >= ns
+        else
+          match p.[pi] with
+          | '%' -> go (pi + 1) si || (si < ns && go pi (si + 1))
+          | '_' -> si < ns && go (pi + 1) (si + 1)
+          | c -> si < ns && s.[si] = c && go (pi + 1) (si + 1)
+      in
+      Hashtbl.replace memo (pi, si) r;
+      r
+  in
+  go 0 0
+
+(* --- jsonpath --- *)
+
+let jsonpath_steps path =
+  let path =
+    if String.length path >= 2 && String.sub path 0 2 = "$." then
+      String.sub path 2 (String.length path - 2)
+    else if String.length path >= 1 && path.[0] = '$' then
+      String.sub path 1 (String.length path - 1)
+    else path
+  in
+  if path = "" then []
+  else
+    String.split_on_char '.' path
+    |> List.concat_map (fun step ->
+           (* x[*] / x[3] -> "x"; "*" / "3" *)
+           match String.index_opt step '[' with
+           | None -> [ step ]
+           | Some i ->
+             let base = String.sub step 0 i in
+             let rest = String.sub step i (String.length step - i) in
+             let subscript =
+               if rest = "[*]" then "*"
+               else
+                 let inner = String.sub rest 1 (String.length rest - 2) in
+                 inner
+             in
+             [ base; subscript ])
+
+(* --- scalar functions --- *)
+
+let text_arg = function
+  | Datum.Text s -> s
+  | Datum.Null -> raise Exit
+  | d -> Datum.to_display d
+
+let json_arg = function
+  | Datum.Json j -> j
+  | Datum.Text s -> Json.parse s
+  | Datum.Null -> raise Exit
+  | d -> err "expected jsonb, got %s" (Datum.to_display d)
+
+let int_arg = function
+  | Datum.Int i -> i
+  | Datum.Float f -> int_of_float f
+  | Datum.Null -> raise Exit
+  | d -> err "expected integer, got %s" (Datum.to_display d)
+
+let sql_function env name (args : Datum.t list) : Datum.t =
+  let strict f = try f () with Exit -> Datum.Null in
+  match name, args with
+  | "coalesce", args ->
+    (try List.find (fun d -> not (Datum.is_null d)) args
+     with Not_found -> Datum.Null)
+  | "nullif", [ a; b ] -> if Datum.equal a b then Datum.Null else a
+  | "greatest", args ->
+    List.fold_left
+      (fun acc d ->
+        if Datum.is_null d then acc
+        else if Datum.is_null acc || Datum.compare d acc > 0 then d
+        else acc)
+      Datum.Null args
+  | "least", args ->
+    List.fold_left
+      (fun acc d ->
+        if Datum.is_null d then acc
+        else if Datum.is_null acc || Datum.compare d acc < 0 then d
+        else acc)
+      Datum.Null args
+  | "md5", [ a ] ->
+    strict (fun () -> Datum.Text (Digest.to_hex (Digest.string (text_arg a))))
+  | "random", [] -> Datum.Float (Random.State.float env.rng 1.0)
+  | "now", [] -> Datum.Timestamp env.now
+  | "to_timestamp", [ a ] ->
+    strict (fun () -> Datum.Timestamp (as_float a))
+  | "length", [ a ] | "char_length", [ a ] ->
+    strict (fun () -> Datum.Int (String.length (text_arg a)))
+  | "lower", [ a ] ->
+    strict (fun () -> Datum.Text (String.lowercase_ascii (text_arg a)))
+  | "upper", [ a ] ->
+    strict (fun () -> Datum.Text (String.uppercase_ascii (text_arg a)))
+  | "substr", [ s; start ] ->
+    strict (fun () ->
+        let s = text_arg s and start = int_arg start in
+        let from = max 0 (start - 1) in
+        if from >= String.length s then Datum.Text ""
+        else Datum.Text (String.sub s from (String.length s - from)))
+  | "substr", [ s; start; len ] ->
+    strict (fun () ->
+        let s = text_arg s and start = int_arg start and len = int_arg len in
+        let from = max 0 (start - 1) in
+        let len = min len (String.length s - from) in
+        if from >= String.length s || len <= 0 then Datum.Text ""
+        else Datum.Text (String.sub s from len))
+  | "strpos", [ s; sub ] ->
+    strict (fun () ->
+        let s = text_arg s and sub = text_arg sub in
+        let n = String.length s and m = String.length sub in
+        let rec go i =
+          if i + m > n then 0
+          else if String.sub s i m = sub then i + 1
+          else go (i + 1)
+        in
+        Datum.Int (go 0))
+  | "concat", args ->
+    Datum.Text
+      (String.concat ""
+         (List.map
+            (fun d -> if Datum.is_null d then "" else Datum.to_display d)
+            args))
+  | "repeat", [ s; n ] ->
+    strict (fun () ->
+        let s = text_arg s and n = int_arg n in
+        let buf = Buffer.create (String.length s * max 0 n) in
+        for _ = 1 to n do Buffer.add_string buf s done;
+        Datum.Text (Buffer.contents buf))
+  | "abs", [ a ] ->
+    strict (fun () ->
+        match a with
+        | Datum.Int i -> Datum.Int (abs i)
+        | d -> Datum.Float (Float.abs (as_float d)))
+  | "floor", [ a ] -> strict (fun () -> Datum.Float (Float.floor (as_float a)))
+  | "ceil", [ a ] | "ceiling", [ a ] ->
+    strict (fun () -> Datum.Float (Float.ceil (as_float a)))
+  | "round", [ a ] -> strict (fun () -> Datum.Float (Float.round (as_float a)))
+  | "mod", [ a; b ] -> arith Ast.Mod a b
+  | "power", [ a; b ] ->
+    strict (fun () -> Datum.Float (Float.pow (as_float a) (as_float b)))
+  | "sqrt", [ a ] -> strict (fun () -> Datum.Float (sqrt (as_float a)))
+  | "sql_date", [ a ] ->
+    (* ::date on an ISO-8601 text timestamp: keep YYYY-MM-DD *)
+    strict (fun () ->
+        let s = text_arg a in
+        Datum.Text (if String.length s >= 10 then String.sub s 0 10 else s))
+  | "jsonb_array_length", [ a ] ->
+    strict (fun () ->
+        match Json.array_length (json_arg a) with
+        | Some n -> Datum.Int n
+        | None -> err "jsonb_array_length on a non-array")
+  | "jsonb_path_query_array", [ a; path ] ->
+    strict (fun () ->
+        let j = json_arg a in
+        let steps = jsonpath_steps (text_arg path) in
+        match Json.get_path j steps with
+        | Some v -> Datum.Json (Json.Arr (match v with Json.Arr l -> l | v -> [ v ]))
+        | None -> Datum.Json (Json.Arr []))
+  | "jsonb_typeof", [ a ] ->
+    strict (fun () ->
+        let ty =
+          match json_arg a with
+          | Json.Null -> "null"
+          | Json.Bool _ -> "boolean"
+          | Json.Num _ -> "number"
+          | Json.Str _ -> "string"
+          | Json.Arr _ -> "array"
+          | Json.Obj _ -> "object"
+        in
+        Datum.Text ty)
+  | "jsonb_build_object", args ->
+    let rec pairs = function
+      | [] -> []
+      | k :: v :: rest ->
+        let key =
+          match k with Datum.Text s -> s | d -> Datum.to_display d
+        in
+        let value =
+          match v with
+          | Datum.Json j -> j
+          | Datum.Null -> Json.Null
+          | Datum.Int i -> Json.Num (float_of_int i)
+          | Datum.Float f -> Json.Num f
+          | Datum.Bool b -> Json.Bool b
+          | Datum.Text s -> Json.Str s
+          | Datum.Timestamp f -> Json.Num f
+        in
+        (key, value) :: pairs rest
+      | [ _ ] -> err "jsonb_build_object needs an even number of arguments"
+    in
+    Datum.Json (Json.Obj (pairs args))
+  | name, args -> err "unknown function %s/%d" name (List.length args)
+
+(* --- compilation --- *)
+
+let rec compile (schema : schema) (env : env) (e : Ast.expr) :
+    Datum.t array -> Datum.t =
+  let c e = compile schema env e in
+  match e with
+  | Ast.Const d -> fun _ -> d
+  | Ast.Param i -> fun _ -> err "unbound parameter $%d" i
+  | Ast.Column (q, name) ->
+    let idx = resolve schema q name in
+    fun row -> row.(idx)
+  | Ast.And (a, b) ->
+    let fa = c a and fb = c b in
+    fun row -> sql_and (fa row) (fb row)
+  | Ast.Or (a, b) ->
+    let fa = c a and fb = c b in
+    fun row -> sql_or (fa row) (fb row)
+  | Ast.Not a ->
+    let fa = c a in
+    fun row -> sql_not (fa row)
+  | Ast.Cmp (op, a, b) ->
+    let fa = c a and fb = c b in
+    fun row -> compare_datums op (fa row) (fb row)
+  | Ast.Bin (op, a, b) ->
+    let fa = c a and fb = c b in
+    fun row -> arith op (fa row) (fb row)
+  | Ast.Neg a ->
+    let fa = c a in
+    fun row ->
+      (match fa row with
+       | Datum.Null -> Datum.Null
+       | Datum.Int i -> Datum.Int (-i)
+       | d -> Datum.Float (-.as_float d))
+  | Ast.Is_null (a, positive) ->
+    let fa = c a in
+    fun row -> Datum.Bool (Datum.is_null (fa row) = positive)
+  | Ast.In_list (a, items, negated) ->
+    let fa = c a and fs = List.map c items in
+    fun row ->
+      let v = fa row in
+      if Datum.is_null v then Datum.Null
+      else begin
+        let found = ref false in
+        let saw_null = ref false in
+        List.iter
+          (fun f ->
+            let x = f row in
+            if Datum.is_null x then saw_null := true
+            else if Datum.equal v x then found := true)
+          fs;
+        if !found then Datum.Bool (not negated)
+        else if !saw_null then Datum.Null
+        else Datum.Bool negated
+      end
+  | Ast.Between (a, lo, hi) ->
+    let fa = c a and flo = c lo and fhi = c hi in
+    fun row ->
+      let v = fa row in
+      sql_and
+        (compare_datums Ast.Ge v (flo row))
+        (compare_datums Ast.Le v (fhi row))
+  | Ast.Like { subject; pattern; ci; negated } ->
+    let fs = c subject and fp = c pattern in
+    fun row ->
+      (match fs row, fp row with
+       | Datum.Null, _ | _, Datum.Null -> Datum.Null
+       | s, p ->
+         let m =
+           like_match ~pattern:(Datum.to_display p) ~ci (Datum.to_display s)
+         in
+         Datum.Bool (if negated then not m else m))
+  | Ast.Json_get (a, k, as_text) ->
+    let fa = c a and fk = c k in
+    fun row ->
+      (match fa row, fk row with
+       | Datum.Null, _ | _, Datum.Null -> Datum.Null
+       | j, key ->
+         let j =
+           match j with
+           | Datum.Json j -> j
+           | Datum.Text s -> Json.parse s
+           | d -> err "-> applied to %s" (Datum.to_display d)
+         in
+         let child =
+           match key with
+           | Datum.Int i -> Json.get_index j i
+           | Datum.Text k -> Json.get_field j k
+           | d -> err "bad json key %s" (Datum.to_display d)
+         in
+         (match child with
+          | None -> Datum.Null
+          | Some v ->
+            if as_text then
+              (match Json.to_text v with
+               | Some s -> Datum.Text s
+               | None -> Datum.Null)
+            else Datum.Json v))
+  | Ast.Cast (a, ty) ->
+    let fa = c a in
+    fun row ->
+      (try Datum.cast (fa row) ty
+       with Datum.Cast_error m -> raise (Eval_error m))
+  | Ast.Case (branches, else_) ->
+    let cbranches = List.map (fun (cond, v) -> (c cond, c v)) branches in
+    let celse = Option.map c else_ in
+    fun row ->
+      let rec go = function
+        | [] -> (match celse with Some f -> f row | None -> Datum.Null)
+        | (fc, fv) :: rest -> if truthy (fc row) then fv row else go rest
+      in
+      go cbranches
+  | Ast.Func (name, args) ->
+    let fs = List.map c args in
+    fun row -> sql_function env name (List.map (fun f -> f row) fs)
+  | Ast.Agg _ ->
+    err "aggregate functions are not allowed here"
+  | Ast.Exists (sel, negated) ->
+    (* uncorrelated subqueries evaluate once per statement (InitPlan) *)
+    let rows = lazy (env.subquery sel) in
+    fun _row ->
+      Datum.Bool
+        (if negated then Lazy.force rows = [] else Lazy.force rows <> [])
+  | Ast.In_subquery (a, sel, negated) ->
+    let fa = c a in
+    (* hash the (single-column) result set once *)
+    let table =
+      lazy
+        (let rows = env.subquery sel in
+         let seen = Hashtbl.create (List.length rows) in
+         let saw_null = ref false in
+         List.iter
+           (fun (r : Datum.t array) ->
+             if Array.length r <> 1 then err "subquery must return one column";
+             if Datum.is_null r.(0) then saw_null := true
+             else Hashtbl.replace seen (Datum.to_sql_literal r.(0)) ())
+           rows;
+         (seen, !saw_null))
+    in
+    fun row ->
+      let v = fa row in
+      if Datum.is_null v then Datum.Null
+      else begin
+        let seen, saw_null = Lazy.force table in
+        if Hashtbl.mem seen (Datum.to_sql_literal v) then
+          Datum.Bool (not negated)
+        else if saw_null then Datum.Null
+        else Datum.Bool negated
+      end
+  | Ast.Scalar_subquery sel ->
+    let value =
+      lazy
+        (match env.subquery sel with
+         | [] -> Datum.Null
+         | [ r ] when Array.length r = 1 -> r.(0)
+         | [ _ ] -> err "scalar subquery must return one column"
+         | _ -> err "scalar subquery returned more than one row")
+    in
+    fun _row -> Lazy.force value
+
+let eval_bool f row = truthy (f row)

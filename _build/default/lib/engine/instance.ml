@@ -1,0 +1,640 @@
+open Sqlfront
+
+type result = {
+  columns : string list;
+  rows : Datum.t array list;
+  affected : int;
+  tag : string;
+}
+
+exception Session_error of string
+
+type t = {
+  node_name : string;
+  catalog : Catalog.t;
+  mgr : Txn.Manager.t;
+  pool : Storage.Buffer_pool.t;
+  meter : Meter.t;
+  rng : Random.State.t;
+  mutable clock : float;
+  mutable next_session : int;
+  hooks : hooks;
+}
+
+and hooks = {
+  mutable planner_hook : (session -> Ast.statement -> result option) option;
+  mutable utility_hook : (session -> Ast.statement -> result option) option;
+  mutable copy_hook :
+    (session ->
+    table:string ->
+    columns:string list option ->
+    string list ->
+    int option)
+    option;
+  mutable pre_commit : (session -> unit) list;
+  mutable post_commit : (session -> unit) list;
+  mutable abort_cbs : (session -> unit) list;
+  mutable maintenance : (t -> unit) list;
+  udfs : (string, session -> Datum.t list -> Datum.t) Hashtbl.t;
+}
+
+and session = {
+  inst : t;
+  sid : int;
+  mutable xid : int option;
+  mutable explicit_block : bool;
+  mutable failed : bool;  (** aborted block awaiting ROLLBACK *)
+}
+
+let err fmt = Printf.ksprintf (fun m -> raise (Session_error m)) fmt
+
+let create ?(seed = 42) ?(buffer_pages = 100_000) ~name () =
+  {
+    node_name = name;
+    catalog = Catalog.create ();
+    mgr = Txn.Manager.create ();
+    pool = Storage.Buffer_pool.create ~capacity:buffer_pages;
+    meter = Meter.create ();
+    rng = Random.State.make [| seed |];
+    clock = 0.0;
+    next_session = 1;
+    hooks =
+      {
+        planner_hook = None;
+        utility_hook = None;
+        copy_hook = None;
+        pre_commit = [];
+        post_commit = [];
+        abort_cbs = [];
+        maintenance = [];
+        udfs = Hashtbl.create 16;
+      };
+  }
+
+let name t = t.node_name
+let catalog t = t.catalog
+let txn_manager t = t.mgr
+let buffer_pool t = t.pool
+let meter t = t.meter
+let now t = t.clock
+let set_now t f = t.clock <- f
+
+let connect t =
+  let sid = t.next_session in
+  t.next_session <- sid + 1;
+  { inst = t; sid; xid = None; explicit_block = false; failed = false }
+
+let session_instance s = s.inst
+let session_id s = s.sid
+let in_transaction s = s.explicit_block
+let current_xid s = s.xid
+
+(* --- executor context --- *)
+
+let make_ctx (s : session) : Executor.ctx =
+  let t = s.inst in
+  let rec ctx =
+    {
+      Executor.catalog = t.catalog;
+      mgr = t.mgr;
+      pool = t.pool;
+      meter = t.meter;
+      snapshot = Txn.Manager.take_snapshot t.mgr;
+      xid = s.xid;
+      env =
+        {
+          Expr_eval.rng = t.rng;
+          now = t.clock;
+          subquery = (fun sel -> snd (Executor.run_select ctx sel));
+        };
+    }
+  in
+  ctx
+
+
+(* --- transaction lifecycle --- *)
+
+let ensure_txn s =
+  match s.xid with
+  | Some x ->
+    (* the deadlock detector may have aborted us underneath *)
+    if not (Txn.Manager.is_active s.inst.mgr x) then begin
+      s.xid <- None;
+      s.explicit_block <- false;
+      s.failed <- false;
+      List.iter (fun cb -> cb s) s.inst.hooks.abort_cbs;
+      err "current transaction was aborted (deadlock or external abort)"
+    end;
+    x
+  | None ->
+    let x = Txn.Manager.begin_txn s.inst.mgr in
+    s.xid <- Some x;
+    x
+
+let do_commit s =
+  match s.xid with
+  | None -> ()
+  | Some x ->
+    if Txn.Manager.is_active s.inst.mgr x then begin
+      List.iter (fun cb -> cb s) s.inst.hooks.pre_commit;
+      Txn.Manager.commit s.inst.mgr x;
+      s.xid <- None;
+      s.explicit_block <- false;
+      List.iter (fun cb -> cb s) s.inst.hooks.post_commit
+    end
+    else begin
+      s.xid <- None;
+      s.explicit_block <- false
+    end
+
+let do_abort s =
+  (match s.xid with
+   | Some x when Txn.Manager.is_active s.inst.mgr x ->
+     Txn.Manager.abort s.inst.mgr x
+   | _ -> ());
+  s.xid <- None;
+  s.explicit_block <- false;
+  s.failed <- false;
+  List.iter (fun cb -> cb s) s.inst.hooks.abort_cbs
+
+let ok_result tag = { columns = []; rows = []; affected = 0; tag }
+
+(* --- COPY --- *)
+
+let split_tab line = String.split_on_char '\t' line
+
+let copy_rows_of_lines (table : Catalog.table) columns lines =
+  let tys = Catalog.column_tys table in
+  let positions =
+    match columns with
+    | None -> List.init (List.length table.columns) Fun.id
+    | Some cols -> List.map (Catalog.column_index table) cols
+  in
+  List.map
+    (fun line ->
+      let fields = split_tab line in
+      if List.length fields <> List.length positions then
+        err "COPY row has %d fields, expected %d" (List.length fields)
+          (List.length positions);
+      let row = Array.make (List.length table.columns) Datum.Null in
+      List.iter2
+        (fun pos field ->
+          row.(pos) <-
+            (try Datum.of_csv_field tys.(pos) field
+             with Datum.Cast_error m -> err "COPY: %s" m))
+        positions fields;
+      row)
+    lines
+
+let copy_in_local s ~table ~columns lines =
+  let t = s.inst in
+  let tbl =
+    match Catalog.find_table_opt t.catalog table with
+    | Some tbl -> tbl
+    | None -> err "relation %s does not exist" table
+  in
+  Meter.add_copy_rows t.meter (List.length lines);
+  let rows = copy_rows_of_lines tbl columns lines in
+  let ctx = make_ctx s in
+  Executor.insert_rows ctx ~table:tbl rows ~on_conflict_do_nothing:false
+
+(* --- DDL --- *)
+
+let auto_pk_index (t : t) (table : Catalog.table) =
+  match table.primary_key, table.store with
+  | [], _ | _, Catalog.Columnar_store _ -> ()
+  | pk, Catalog.Heap_store _ ->
+    let idx =
+      {
+        Catalog.idx_name = table.tbl_name ^ "_pkey";
+        idx_table = table.tbl_name;
+        kind =
+          Catalog.Btree_index
+            {
+              columns = pk;
+              tree = Storage.Btree.create ~name:(table.tbl_name ^ "_pkey") ();
+            };
+      }
+    in
+    Catalog.add_index t.catalog table idx
+
+let build_index_on_existing s (table : Catalog.table) (idx : Catalog.index) =
+  (* index creation scans the current contents *)
+  match table.store with
+  | Catalog.Columnar_store _ -> err "indexes on columnar tables are not supported"
+  | Catalog.Heap_store heap ->
+    let ctx = make_ctx s in
+    let schema = Executor.table_schema ~alias:None table in
+    Storage.Heap.scan heap
+      ~status:(Txn.Manager.status s.inst.mgr)
+      ~snapshot:ctx.Executor.snapshot ~my_xid:ctx.Executor.xid
+      ~f:(fun tid row ->
+        match idx.kind with
+        | Catalog.Btree_index { columns; tree } ->
+          let key =
+            Array.of_list
+              (List.map (fun c -> row.(Catalog.column_index table c)) columns)
+          in
+          Storage.Btree.insert tree key tid
+        | Catalog.Gin_index { expr; gin } ->
+          let v = Expr_eval.compile schema ctx.Executor.env expr row in
+          (match v with
+           | Datum.Null -> ()
+           | v -> ignore (Storage.Gin.add gin ~tid (Datum.to_display v))))
+
+let rec exec_utility s (stmt : Ast.statement) : result =
+  let t = s.inst in
+  let ctx () = make_ctx s in
+  match stmt with
+  | Ast.Create_table { name; columns; primary_key; if_not_exists; using_columnar }
+    ->
+    (match Catalog.find_table_opt t.catalog name with
+     | Some _ when if_not_exists -> ok_result "CREATE TABLE"
+     | Some _ -> err "relation %s already exists" name
+     | None ->
+       ignore (ensure_txn s);
+       let table =
+         Catalog.add_table t.catalog ~name ~columns ~primary_key
+           ~columnar:using_columnar
+       in
+       auto_pk_index t table;
+       ok_result "CREATE TABLE")
+  | Ast.Create_index { name; table; using; key_columns; key_expr; if_not_exists }
+    ->
+    let tbl =
+      match Catalog.find_table_opt t.catalog table with
+      | Some tbl -> tbl
+      | None -> err "relation %s does not exist" table
+    in
+    let exists =
+      List.exists (fun (i : Catalog.index) -> i.idx_name = name) tbl.indexes
+    in
+    if exists then
+      if if_not_exists then ok_result "CREATE INDEX"
+      else err "index %s already exists" name
+    else begin
+      ignore (ensure_txn s);
+      (match
+         Txn.Lock.acquire (Txn.Manager.locks t.mgr)
+           ~owner:(Option.get s.xid) (Txn.Lock.Table table)
+           Txn.Lock.Access_exclusive
+       with
+       | Txn.Lock.Granted -> ()
+       | Txn.Lock.Blocked holders -> raise (Executor.Would_block holders));
+      let kind =
+        match using, key_expr with
+        | Ast.Gin_trgm, Some expr ->
+          Catalog.Gin_index { expr; gin = Storage.Gin.create ~name () }
+        | Ast.Gin_trgm, None -> err "GIN index needs an expression key"
+        | Ast.Btree, _ ->
+          Catalog.Btree_index
+            { columns = key_columns; tree = Storage.Btree.create ~name () }
+      in
+      let idx = { Catalog.idx_name = name; idx_table = table; kind } in
+      build_index_on_existing s tbl idx;
+      Catalog.add_index t.catalog tbl idx;
+      ok_result "CREATE INDEX"
+    end
+  | Ast.Drop_table { name; if_exists } ->
+    (match Catalog.find_table_opt t.catalog name with
+     | None when if_exists -> ok_result "DROP TABLE"
+     | None -> err "relation %s does not exist" name
+     | Some _ ->
+       Catalog.drop_table t.catalog name;
+       ok_result "DROP TABLE")
+  | Ast.Alter_table_add_column { table; column } ->
+    let tbl =
+      match Catalog.find_table_opt t.catalog table with
+      | Some tbl -> tbl
+      | None -> err "relation %s does not exist" table
+    in
+    let default_value =
+      match column.col_default with
+      | Some e -> Expr_eval.compile [] (ctx ()).Executor.env e [||]
+      | None -> Datum.Null
+    in
+    Catalog.add_column tbl column;
+    (match tbl.store with
+     | Catalog.Heap_store heap ->
+       Storage.Heap.transform heap (fun row ->
+           Array.append row [| default_value |])
+     | Catalog.Columnar_store _ ->
+       err "ALTER on columnar tables is not supported");
+    ok_result "ALTER TABLE"
+  | Ast.Truncate tables ->
+    ignore (ensure_txn s);
+    List.iter
+      (fun name ->
+        let tbl =
+          match Catalog.find_table_opt t.catalog name with
+          | Some tbl -> tbl
+          | None -> err "relation %s does not exist" name
+        in
+        (match
+           Txn.Lock.acquire (Txn.Manager.locks t.mgr)
+             ~owner:(Option.get s.xid) (Txn.Lock.Table name)
+             Txn.Lock.Access_exclusive
+         with
+         | Txn.Lock.Granted -> ()
+         | Txn.Lock.Blocked holders -> raise (Executor.Would_block holders));
+        (match tbl.store with
+         | Catalog.Heap_store h -> Storage.Heap.clear h
+         | Catalog.Columnar_store c -> Storage.Columnar.clear c);
+        List.iter
+          (fun (idx : Catalog.index) ->
+            match idx.kind with
+            | Catalog.Btree_index { tree; _ } -> Storage.Btree.clear tree
+            | Catalog.Gin_index { gin; _ } -> Storage.Gin.clear gin)
+          tbl.indexes)
+      tables;
+    ok_result "TRUNCATE"
+  | Ast.Vacuum target ->
+    let names =
+      match target with
+      | Some n -> [ n ]
+      | None -> Catalog.table_names t.catalog
+    in
+    let vacuumed = List.fold_left (fun acc n -> acc + vacuum_table t n) 0 names in
+    { (ok_result "VACUUM") with affected = vacuumed }
+  | _ -> err "not a utility statement"
+
+and vacuum_table t name =
+  match Catalog.find_table_opt t.catalog name with
+  | None -> 0
+  | Some table ->
+    (match table.store with
+     | Catalog.Columnar_store _ -> 0
+     | Catalog.Heap_store heap ->
+       (* internal session for index maintenance expressions *)
+       let s = connect t in
+       let ctx = make_ctx s in
+       let reclaimed =
+         Storage.Heap.vacuum heap
+           ~on_reclaim:(fun tid row -> Executor.index_remove ctx table tid row)
+           ~oldest:(Txn.Manager.oldest_active_xid t.mgr)
+           ~status:(Txn.Manager.status t.mgr)
+       in
+       reclaimed)
+
+(* --- statement dispatch --- *)
+
+let is_utility = function
+  | Ast.Create_table _ | Ast.Create_index _ | Ast.Drop_table _
+  | Ast.Alter_table_add_column _ | Ast.Truncate _ | Ast.Vacuum _ ->
+    true
+  | _ -> false
+
+(* SELECT udf(...) with no FROM — the extension UDF calling convention. *)
+let udf_call (t : t) (stmt : Ast.statement) =
+  match stmt with
+  | Ast.Select_stmt
+      {
+        projections = [ Ast.Proj (Ast.Func (name, args), _) ];
+        from = [];
+        where = None;
+        group_by = [];
+        having = None;
+        order_by = [];
+        limit = None;
+        offset = None;
+        distinct = false;
+      }
+    when Hashtbl.mem t.hooks.udfs name ->
+    Some (name, Hashtbl.find t.hooks.udfs name, args)
+  | _ -> None
+
+(* Statement cost classes: transaction control is nearly free, the 2PC
+   verbs pay for durable transaction state, and anything a hook routes
+   elsewhere only costs parse + shard pruning locally. *)
+let charge_statement (s : session) (stmt : Ast.statement) =
+  let t = s.inst in
+  match stmt with
+  | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn ->
+    Meter.add_light_statement t.meter
+  | Ast.Prepare_transaction _ | Ast.Commit_prepared _ | Ast.Rollback_prepared _
+    ->
+    Meter.add_twopc_statement t.meter
+  | _ -> ()
+
+let rec exec_ast (s : session) (stmt : Ast.statement) : result =
+  let t = s.inst in
+  ignore t;
+  charge_statement s stmt;
+  if s.failed then begin
+    match stmt with
+    | Ast.Rollback_txn | Ast.Commit_txn ->
+      do_abort s;
+      ok_result "ROLLBACK"
+    | _ -> err "current transaction is aborted, commands ignored until ROLLBACK"
+  end
+  else
+    match stmt with
+    | Ast.Begin_txn ->
+      if s.explicit_block then err "already in a transaction block";
+      ignore (ensure_txn s);
+      s.explicit_block <- true;
+      ok_result "BEGIN"
+    | Ast.Commit_txn ->
+      do_commit s;
+      ok_result "COMMIT"
+    | Ast.Rollback_txn ->
+      do_abort s;
+      ok_result "ROLLBACK"
+    | Ast.Prepare_transaction gid ->
+      (match s.xid with
+       | None -> err "PREPARE TRANSACTION requires a transaction block"
+       | Some x ->
+         Txn.Manager.prepare t.mgr x ~gid;
+         s.xid <- None;
+         s.explicit_block <- false;
+         ok_result "PREPARE TRANSACTION")
+    | Ast.Commit_prepared gid ->
+      (try
+         Txn.Manager.commit_prepared t.mgr ~gid;
+         ok_result "COMMIT PREPARED"
+       with Txn.Manager.No_such_prepared g ->
+         err "prepared transaction %s does not exist" g)
+    | Ast.Rollback_prepared gid ->
+      (try
+         Txn.Manager.rollback_prepared t.mgr ~gid;
+         ok_result "ROLLBACK PREPARED"
+       with Txn.Manager.No_such_prepared g ->
+         err "prepared transaction %s does not exist" g)
+    | Ast.Copy_from { table; columns } ->
+      ignore table;
+      ignore columns;
+      err "COPY FROM STDIN requires copy_in with data"
+    | stmt -> exec_data_stmt s stmt
+
+and exec_data_stmt s stmt =
+  let t = s.inst in
+  let run () =
+    (* UDF interception first: SELECT create_distributed_table(...) *)
+    match udf_call t stmt with
+    | Some (name, f, args) ->
+      Meter.add_statement t.meter;
+      ignore (ensure_txn s);
+      let ctx = make_ctx s in
+      let values =
+        List.map (fun e -> Expr_eval.compile [] ctx.Executor.env e [||]) args
+      in
+      let v = f s values in
+      { columns = [ name ]; rows = [ [| v |] ]; affected = 0; tag = "SELECT" }
+    | None ->
+      if is_utility stmt then begin
+        Meter.add_statement t.meter;
+        match t.hooks.utility_hook with
+        | Some hook ->
+          (match hook s stmt with
+           | Some r -> r
+           | None -> exec_utility s stmt)
+        | None -> exec_utility s stmt
+      end
+      else begin
+        (* planner hook; a routed statement only costs the local node its
+           parse + shard pruning, the target executes it in full *)
+        ignore (ensure_txn s);
+        match t.hooks.planner_hook with
+        | Some hook ->
+          (match hook s stmt with
+           | Some r ->
+             Meter.add_routed_statement t.meter;
+             r
+           | None ->
+             Meter.add_statement t.meter;
+             exec_builtin s stmt)
+        | None ->
+          Meter.add_statement t.meter;
+          exec_builtin s stmt
+      end
+  in
+  try
+    let r = run () in
+    if not s.explicit_block then do_commit s;
+    r
+  with
+  | Executor.Would_block _ as e ->
+    (* statement can be retried; transaction stays open *)
+    raise e
+  | Executor.Exec_error m | Expr_eval.Eval_error m | Session_error m ->
+    if s.explicit_block then begin
+      s.failed <- true;
+      raise (Session_error m)
+    end
+    else begin
+      do_abort s;
+      raise (Session_error m)
+    end
+  | Catalog.No_such_table n ->
+    let m = Printf.sprintf "relation %s does not exist" n in
+    if s.explicit_block then begin
+      s.failed <- true;
+      raise (Session_error m)
+    end
+    else begin
+      do_abort s;
+      raise (Session_error m)
+    end
+
+and exec_builtin s stmt : result =
+  let ctx = make_ctx s in
+  match stmt with
+  | Ast.Select_stmt sel ->
+    let columns, rows = Executor.run_select ctx sel in
+    { columns; rows; affected = List.length rows; tag = "SELECT" }
+  | Ast.Insert { table; columns; source; on_conflict_do_nothing } ->
+    let n = Executor.run_insert ctx ~table ~columns ~source ~on_conflict_do_nothing in
+    { columns = []; rows = []; affected = n; tag = "INSERT" }
+  | Ast.Update { table; sets; where } ->
+    let n = Executor.run_update ctx ~table ~sets ~where in
+    { columns = []; rows = []; affected = n; tag = "UPDATE" }
+  | Ast.Delete { table; where } ->
+    let n = Executor.run_delete ctx ~table ~where in
+    { columns = []; rows = []; affected = n; tag = "DELETE" }
+  | Ast.Call { proc; args } ->
+    (* stored procedures are registered as UDFs; CALL is an alternative
+       calling convention for them *)
+    let t = s.inst in
+    (match Hashtbl.find_opt t.hooks.udfs proc with
+     | Some f ->
+       let values =
+         List.map (fun e -> Expr_eval.compile [] ctx.Executor.env e [||]) args
+       in
+       ignore (f s values);
+       ok_result "CALL"
+     | None -> err "procedure %s does not exist" proc)
+  | _ -> err "unsupported statement"
+
+let exec_utility_local s stmt = exec_utility s stmt
+
+let exec s sql = exec_ast s (Parser.parse_statement sql)
+
+let exec_params s sql params =
+  exec_ast s (Ast.bind_params params (Parser.parse_statement sql))
+
+let copy_in s ~table ~columns lines =
+  let t = s.inst in
+  ignore (ensure_txn s);
+  let handled =
+    match t.hooks.copy_hook with
+    | Some hook -> hook s ~table ~columns lines
+    | None -> None
+  in
+  let n =
+    match handled with
+    | Some n -> n
+    | None -> copy_in_local s ~table ~columns lines
+  in
+  if not s.explicit_block then do_commit s;
+  n
+
+(* --- hooks registration --- *)
+
+let set_planner_hook t f = t.hooks.planner_hook <- Some f
+let set_utility_hook t f = t.hooks.utility_hook <- Some f
+let set_copy_hook t f = t.hooks.copy_hook <- Some f
+let register_udf t name f = Hashtbl.replace t.hooks.udfs name f
+let on_pre_commit t f = t.hooks.pre_commit <- t.hooks.pre_commit @ [ f ]
+let on_post_commit t f = t.hooks.post_commit <- t.hooks.post_commit @ [ f ]
+let on_abort t f = t.hooks.abort_cbs <- t.hooks.abort_cbs @ [ f ]
+let add_maintenance t f = t.hooks.maintenance <- t.hooks.maintenance @ [ f ]
+
+(* --- maintenance --- *)
+
+let autovacuum_threshold = 50
+
+let maintenance_tick t =
+  (* 1. local deadlock detection: abort the youngest transaction in a cycle *)
+  (match Txn.Lock.detect_deadlock (Txn.Manager.locks t.mgr) with
+   | Some members ->
+     let youngest = List.fold_left max 0 members in
+     if Txn.Manager.is_active t.mgr youngest then
+       Txn.Manager.abort t.mgr youngest
+   | None -> ());
+  (* 2. autovacuum *)
+  List.iter
+    (fun name ->
+      match Catalog.find_table_opt t.catalog name with
+      | Some { store = Catalog.Heap_store heap; _ }
+        when Storage.Heap.dead_estimate heap > autovacuum_threshold ->
+        ignore (vacuum_table t name)
+      | _ -> ())
+    (Catalog.table_names t.catalog);
+  (* 3. registered daemons (Citus: 2PC recovery, distributed deadlocks) *)
+  List.iter (fun f -> f t) t.hooks.maintenance
+
+let create_restore_point t name =
+  ignore (Txn.Wal.append (Txn.Manager.wal t.mgr) (Txn.Wal.Restore_point name))
+
+let restart t =
+  (* running transactions are lost; prepared ones survive (their state is
+     WAL-logged); the buffer pool starts cold *)
+  List.iter
+    (fun xid ->
+      let prepared =
+        List.exists (fun (_, x) -> x = xid) (Txn.Manager.prepared_transactions t.mgr)
+      in
+      if (not prepared) && Txn.Manager.is_active t.mgr xid then
+        Txn.Manager.abort t.mgr xid)
+    (Txn.Manager.active_xids t.mgr);
+  Storage.Buffer_pool.clear t.pool

@@ -1,0 +1,123 @@
+(** One MiniPG database node: catalog + transactions + sessions + hooks.
+
+    This is the surface the Citus layer plugs into. Statement execution
+    mirrors PostgreSQL (§3.1 of the paper):
+
+    - a {b planner hook} may take over SELECT / DML statements,
+    - a {b utility hook} may take over DDL / COPY / other commands,
+    - {b UDFs} callable as [SELECT my_udf(...)] manipulate extension
+      metadata (this is how [create_distributed_table] arrives),
+    - {b transaction callbacks} fire at pre-commit / post-commit / abort,
+    - a {b maintenance tick} stands in for background workers.
+
+    Sessions never block: a statement that hits a conflicting lock raises
+    {!Executor.Would_block}; the caller retries once the holder finishes.
+    Each statement runs under a fresh snapshot (READ COMMITTED). *)
+
+type t
+
+type session
+
+type result = {
+  columns : string list;
+  rows : Datum.t array list;
+  affected : int;
+  tag : string;  (** command tag, e.g. "SELECT", "INSERT" *)
+}
+
+exception Session_error of string
+
+(** [create ~name ~buffer_pages ()] builds a node whose buffer pool holds
+    [buffer_pages] logical pages (the memory-fit lever of every benchmark). *)
+val create : ?seed:int -> ?buffer_pages:int -> name:string -> unit -> t
+
+val name : t -> string
+
+val catalog : t -> Catalog.t
+
+val txn_manager : t -> Txn.Manager.t
+
+val buffer_pool : t -> Storage.Buffer_pool.t
+
+val meter : t -> Meter.t
+
+(** Logical wall clock, advanced by the simulation layer. *)
+val now : t -> float
+
+val set_now : t -> float -> unit
+
+(** {2 Sessions} *)
+
+val connect : t -> session
+
+val session_instance : session -> t
+
+val session_id : session -> int
+
+(** Execute one SQL statement. May raise {!Session_error},
+    {!Executor.Would_block} (retry later), or parse errors. *)
+val exec : session -> string -> result
+
+val exec_ast : session -> Sqlfront.Ast.statement -> result
+
+(** Execute with [$n] parameters bound. *)
+val exec_params : session -> string -> Datum.t list -> result
+
+(** Feed COPY data rows (tab-separated text format, [\N] = NULL) into a
+    table, inside the session's transaction. *)
+val copy_in :
+  session -> table:string -> columns:string list option -> string list -> int
+
+(** True while the session is inside an explicit BEGIN block. *)
+val in_transaction : session -> bool
+
+(** Transaction id of the session's open transaction, if any. *)
+val current_xid : session -> int option
+
+(** Run the built-in utility implementation directly, bypassing the
+    utility hook (extensions call this to apply DDL locally before
+    propagating it). *)
+val exec_utility_local : session -> Sqlfront.Ast.statement -> result
+
+(** {2 Extension hooks} *)
+
+val set_planner_hook :
+  t -> (session -> Sqlfront.Ast.statement -> result option) -> unit
+
+val set_utility_hook :
+  t -> (session -> Sqlfront.Ast.statement -> result option) -> unit
+
+val set_copy_hook :
+  t ->
+  (session -> table:string -> columns:string list option -> string list -> int option) ->
+  unit
+
+val register_udf : t -> string -> (session -> Datum.t list -> Datum.t) -> unit
+
+val on_pre_commit : t -> (session -> unit) -> unit
+
+val on_post_commit : t -> (session -> unit) -> unit
+
+val on_abort : t -> (session -> unit) -> unit
+
+val add_maintenance : t -> (t -> unit) -> unit
+
+(** Run the maintenance daemon once: local deadlock detection (aborts the
+    youngest transaction in a cycle), autovacuum, then registered hooks. *)
+val maintenance_tick : t -> unit
+
+(** {2 Administration} *)
+
+(** VACUUM one table: reclaim dead versions and drop their index entries. *)
+val vacuum_table : t -> string -> int
+
+(** Write a named restore point into the WAL (§3.9). *)
+val create_restore_point : t -> string -> unit
+
+(** Simulate a crash/restart: running (non-prepared) transactions abort,
+    the buffer pool empties, prepared transactions survive. *)
+val restart : t -> unit
+
+(** Build an executor context for internal work (used by the Citus layer
+    for shard operations that bypass SQL). *)
+val make_ctx : session -> Executor.ctx

@@ -1,0 +1,99 @@
+type snapshot = {
+  rows_scanned : int;
+  rows_written : int;
+  index_probes : int;
+  index_updates : int;
+  rows_sorted : int;
+  rows_aggregated : int;
+  statements : int;
+  light_statements : int;
+  routed_statements : int;
+  twopc_statements : int;
+  copy_rows : int;
+  merge_rows : int;
+}
+
+type t = { mutable s : snapshot }
+
+let zero =
+  {
+    rows_scanned = 0;
+    rows_written = 0;
+    index_probes = 0;
+    index_updates = 0;
+    rows_sorted = 0;
+    rows_aggregated = 0;
+    statements = 0;
+    light_statements = 0;
+    routed_statements = 0;
+    twopc_statements = 0;
+    copy_rows = 0;
+    merge_rows = 0;
+  }
+
+let create () = { s = zero }
+
+let read t = t.s
+
+let diff ~after ~before =
+  {
+    rows_scanned = after.rows_scanned - before.rows_scanned;
+    rows_written = after.rows_written - before.rows_written;
+    index_probes = after.index_probes - before.index_probes;
+    index_updates = after.index_updates - before.index_updates;
+    rows_sorted = after.rows_sorted - before.rows_sorted;
+    rows_aggregated = after.rows_aggregated - before.rows_aggregated;
+    statements = after.statements - before.statements;
+    light_statements = after.light_statements - before.light_statements;
+    routed_statements = after.routed_statements - before.routed_statements;
+    twopc_statements = after.twopc_statements - before.twopc_statements;
+    copy_rows = after.copy_rows - before.copy_rows;
+    merge_rows = after.merge_rows - before.merge_rows;
+  }
+
+let add_scanned t n = t.s <- { t.s with rows_scanned = t.s.rows_scanned + n }
+let add_written t n = t.s <- { t.s with rows_written = t.s.rows_written + n }
+let add_probe t n = t.s <- { t.s with index_probes = t.s.index_probes + n }
+
+let add_index_update t n =
+  t.s <- { t.s with index_updates = t.s.index_updates + n }
+
+let add_sorted t n = t.s <- { t.s with rows_sorted = t.s.rows_sorted + n }
+
+let add_aggregated t n =
+  t.s <- { t.s with rows_aggregated = t.s.rows_aggregated + n }
+
+let add_statement t = t.s <- { t.s with statements = t.s.statements + 1 }
+
+let add_light_statement t =
+  t.s <- { t.s with light_statements = t.s.light_statements + 1 }
+
+let add_routed_statement t =
+  t.s <- { t.s with routed_statements = t.s.routed_statements + 1 }
+
+let add_twopc_statement t =
+  t.s <- { t.s with twopc_statements = t.s.twopc_statements + 1 }
+let add_copy_rows t n = t.s <- { t.s with copy_rows = t.s.copy_rows + n }
+
+let add_merge_rows t n = t.s <- { t.s with merge_rows = t.s.merge_rows + n }
+
+let merge_row_weight = 0.1
+
+(* Abstract CPU weights, calibrated against Sim.Cost.cpu_unit = 20 µs:
+   a planned statement costs ~0.4 ms (parse + plan + executor setup), an
+   in-memory tuple operation a few µs, a durable row write ~20 µs, a COPY
+   line (JSON parse) ~30 µs. Only ratios matter for the reproduced
+   shapes. *)
+let total_cpu_units s =
+  (0.15 *. float_of_int s.rows_scanned)
+  +. (1.0 *. float_of_int s.rows_written)
+  +. (0.25 *. float_of_int s.index_probes)
+  +. (0.5 *. float_of_int s.index_updates)
+  +. (0.1 *. float_of_int s.rows_sorted)
+  +. (0.15 *. float_of_int s.rows_aggregated)
+  +. (20.0 *. float_of_int s.statements)
+  +. (2.0 *. float_of_int s.light_statements)
+  +. (3.0 *. float_of_int s.routed_statements)
+  +. (5.0 *. float_of_int s.twopc_statements)
+  +. (1.5 *. float_of_int s.copy_rows)
+  +. (merge_row_weight *. float_of_int s.merge_rows)

@@ -1,0 +1,69 @@
+(** Per-node work counters.
+
+    The executor reports logical work here; the simulation layer combines
+    these with buffer-pool miss counts and connection round trips to compute
+    resource demands. Counters are cumulative; callers snapshot and diff. *)
+
+type t
+
+type snapshot = {
+  rows_scanned : int;  (** tuples examined by scans *)
+  rows_written : int;  (** tuples inserted / deleted / updated *)
+  index_probes : int;  (** B-tree / GIN lookups *)
+  index_updates : int;  (** index entry insertions/removals *)
+  rows_sorted : int;
+  rows_aggregated : int;
+  statements : int;
+  light_statements : int;
+      (** BEGIN/COMMIT/ROLLBACK: much cheaper than a planned statement *)
+  routed_statements : int;
+      (** statements the extension routed elsewhere: the local node only
+          paid parse + shard pruning *)
+  twopc_statements : int;
+      (** PREPARE TRANSACTION / COMMIT PREPARED / ROLLBACK PREPARED:
+          moderately expensive (durable transaction state) *)
+  copy_rows : int;  (** rows parsed by COPY (coordinator-side CPU) *)
+  merge_rows : int;
+      (** partial rows materialized + merged by the coordinator's merge
+          step — inherently serial (the CustomScan of Figure 5) *)
+}
+
+val create : unit -> t
+
+val read : t -> snapshot
+
+val diff : after:snapshot -> before:snapshot -> snapshot
+
+val zero : snapshot
+
+val add_scanned : t -> int -> unit
+
+val add_written : t -> int -> unit
+
+val add_probe : t -> int -> unit
+
+val add_index_update : t -> int -> unit
+
+val add_sorted : t -> int -> unit
+
+val add_aggregated : t -> int -> unit
+
+val add_statement : t -> unit
+
+val add_light_statement : t -> unit
+
+val add_routed_statement : t -> unit
+
+val add_twopc_statement : t -> unit
+
+val add_copy_rows : t -> int -> unit
+
+val add_merge_rows : t -> int -> unit
+
+(** CPU units charged per merged row (used by the simulation layer to
+    separate the serial merge phase). *)
+val merge_row_weight : float
+
+val total_cpu_units : snapshot -> float
+(** Weighted sum of counters in abstract CPU units (used by the sim layer;
+    weights documented in the implementation). *)

@@ -1,0 +1,9 @@
+type t = { mutable now : float }
+
+let create () = { now = 0.0 }
+
+let now t = t.now
+
+let advance t dt = t.now <- t.now +. dt
+
+let set t v = t.now <- v

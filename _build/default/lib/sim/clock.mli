@@ -1,0 +1,16 @@
+(** Virtual wall clock shared by a simulated cluster.
+
+    Nothing in the system reads the real time: the adaptive executor's
+    slow-start ramp, the deadlock detector's polling interval, and the
+    benchmark harness all consult this clock, which only the harness
+    advances. That keeps every run deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+
+val advance : t -> float -> unit
+
+val set : t -> float -> unit

@@ -1,0 +1,1 @@
+lib/sqlfront/ast.ml: Datum List Option Printf

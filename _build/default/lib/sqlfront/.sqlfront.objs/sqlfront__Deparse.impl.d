@@ -1,0 +1,1 @@
+lib/sqlfront/deparse.ml: Ast Buffer Datum List Printf String

@@ -1,0 +1,1 @@
+lib/sqlfront/deparse.mli: Ast

@@ -1,0 +1,1 @@
+lib/sqlfront/parser.ml: Array Ast Datum Lexer List Option Printf String

@@ -1,0 +1,337 @@
+(** Abstract syntax of the SQL dialect.
+
+    The dialect is the PostgreSQL subset the four workload patterns need:
+    full SELECT with joins / subqueries / grouping / ordering, DML,
+    DDL, COPY, transaction control including the 2PC verbs, and CALL for
+    delegated stored procedures (§3.8). The Citus layer rewrites these
+    trees (shard name substitution, aggregate decomposition) and deparses
+    them back to SQL text to ship to workers. *)
+
+type ty = Datum.ty
+
+type binop = Add | Sub | Mul | Div | Mod | Concat
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Const of Datum.t
+  | Column of string option * string  (** optional qualifier *)
+  | Param of int  (** [$1] is [Param 1] *)
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Cmp of cmpop * expr * expr
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Is_null of expr * bool  (** true = IS NULL, false = IS NOT NULL *)
+  | In_list of expr * expr list * bool  (** negated? *)
+  | Between of expr * expr * expr
+  | Like of { subject : expr; pattern : expr; ci : bool; negated : bool }
+  | Json_get of expr * expr * bool  (** [->] = false, [->>] = true *)
+  | Cast of expr * ty
+  | Case of (expr * expr) list * expr option
+  | Func of string * expr list
+  | Agg of agg
+  | Exists of select * bool  (** negated? *)
+  | In_subquery of expr * select * bool  (** negated? *)
+  | Scalar_subquery of select
+
+and agg = {
+  agg_name : string;  (** count | sum | avg | min | max *)
+  agg_arg : expr option;  (** [None] = COUNT star *)
+  agg_distinct : bool;
+}
+
+and projection =
+  | Star
+  | Star_of of string
+  | Proj of expr * string option  (** expression with optional alias *)
+
+and from_item =
+  | Table of { name : string; alias : string option }
+  | Subselect of select * string
+  | Join of {
+      left : from_item;
+      right : from_item;
+      kind : join_kind;
+      cond : expr option;  (** None = CROSS JOIN *)
+    }
+
+and join_kind = Inner | Left_outer
+
+and select = {
+  distinct : bool;
+  projections : projection list;
+  from : from_item list;  (** comma-separated items = cross join *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * order_dir) list;
+  limit : expr option;
+  offset : expr option;
+}
+
+and order_dir = Asc | Desc
+
+type index_method = Btree | Gin_trgm
+
+type insert_source = Values of expr list list | Query of select
+
+type column_def = {
+  col_name : string;
+  col_ty : ty;
+  col_default : expr option;
+  col_not_null : bool;
+}
+
+type statement =
+  | Select_stmt of select
+  | Insert of {
+      table : string;
+      columns : string list option;
+      source : insert_source;
+      on_conflict_do_nothing : bool;
+    }
+  | Update of { table : string; sets : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Create_table of {
+      name : string;
+      columns : column_def list;
+      primary_key : string list;
+      if_not_exists : bool;
+      using_columnar : bool;
+    }
+  | Create_index of {
+      name : string;
+      table : string;
+      using : index_method;
+      key_columns : string list;  (** for Btree *)
+      key_expr : expr option;  (** for Gin_trgm over an expression *)
+      if_not_exists : bool;
+    }
+  | Drop_table of { name : string; if_exists : bool }
+  | Alter_table_add_column of { table : string; column : column_def }
+  | Truncate of string list
+  | Copy_from of { table : string; columns : string list option }
+  | Begin_txn
+  | Commit_txn
+  | Rollback_txn
+  | Prepare_transaction of string
+  | Commit_prepared of string
+  | Rollback_prepared of string
+  | Vacuum of string option
+  | Call of { proc : string; args : expr list }
+
+(** Structural helpers used across planners. *)
+
+let rec fold_expr (f : 'a -> expr -> 'a) (acc : 'a) (e : expr) : 'a =
+  let acc = f acc e in
+  match e with
+  | Const _ | Column _ | Param _ -> acc
+  | And (a, b) | Or (a, b) | Cmp (_, a, b) | Bin (_, a, b) | Json_get (a, b, _)
+    ->
+    fold_expr f (fold_expr f acc a) b
+  | Not a | Neg a | Is_null (a, _) | Cast (a, _) -> fold_expr f acc a
+  | In_list (a, items, _) -> List.fold_left (fold_expr f) (fold_expr f acc a) items
+  | Between (a, lo, hi) ->
+    fold_expr f (fold_expr f (fold_expr f acc a) lo) hi
+  | Like { subject; pattern; _ } -> fold_expr f (fold_expr f acc subject) pattern
+  | Case (branches, else_) ->
+    let acc =
+      List.fold_left
+        (fun acc (c, v) -> fold_expr f (fold_expr f acc c) v)
+        acc branches
+    in
+    (match else_ with Some e -> fold_expr f acc e | None -> acc)
+  | Func (_, args) -> List.fold_left (fold_expr f) acc args
+  | Agg { agg_arg; _ } ->
+    (match agg_arg with Some a -> fold_expr f acc a | None -> acc)
+  | In_subquery (a, _, _) -> fold_expr f acc a
+  | Exists _ | Scalar_subquery _ -> acc
+
+(** [map_expr f e] rewrites bottom-up; [f] sees each rebuilt node. *)
+let rec map_expr (f : expr -> expr) (e : expr) : expr =
+  let r = map_expr f in
+  let rebuilt =
+    match e with
+    | Const _ | Column _ | Param _ -> e
+    | And (a, b) -> And (r a, r b)
+    | Or (a, b) -> Or (r a, r b)
+    | Not a -> Not (r a)
+    | Cmp (op, a, b) -> Cmp (op, r a, r b)
+    | Bin (op, a, b) -> Bin (op, r a, r b)
+    | Neg a -> Neg (r a)
+    | Is_null (a, p) -> Is_null (r a, p)
+    | In_list (a, items, neg) -> In_list (r a, List.map r items, neg)
+    | Between (a, lo, hi) -> Between (r a, r lo, r hi)
+    | Like l -> Like { l with subject = r l.subject; pattern = r l.pattern }
+    | Json_get (a, b, text) -> Json_get (r a, r b, text)
+    | Cast (a, ty) -> Cast (r a, ty)
+    | Case (branches, else_) ->
+      Case
+        ( List.map (fun (c, v) -> (r c, r v)) branches,
+          Option.map r else_ )
+    | Func (name, args) -> Func (name, List.map r args)
+    | Agg a -> Agg { a with agg_arg = Option.map r a.agg_arg }
+    | Exists _ | In_subquery _ | Scalar_subquery _ -> e
+  in
+  f rebuilt
+
+(** Conjuncts of a WHERE clause: [a AND b AND c] -> [a; b; c]. *)
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> None
+  | e :: rest -> Some (List.fold_left (fun acc c -> And (acc, c)) e rest)
+
+(** All table names referenced in a FROM tree (not subquery internals). *)
+let rec from_tables = function
+  | Table { name; _ } -> [ name ]
+  | Subselect _ -> []
+  | Join { left; right; _ } -> from_tables left @ from_tables right
+
+let contains_aggregate e =
+  fold_expr (fun acc n -> acc || match n with Agg _ -> true | _ -> false) false e
+
+(** Map [f] over every expression in a select, including nested FROM
+    subselects (used for parameter binding and shard-name rewriting). *)
+let rec map_select_exprs (f : expr -> expr) (s : select) : select =
+  let me e = map_expr f e in
+  {
+    s with
+    projections =
+      List.map
+        (function
+          | Star -> Star
+          | Star_of q -> Star_of q
+          | Proj (e, a) -> Proj (me e, a))
+        s.projections;
+    from = List.map (map_from_item_exprs f) s.from;
+    where = Option.map me s.where;
+    group_by = List.map me s.group_by;
+    having = Option.map me s.having;
+    order_by = List.map (fun (e, d) -> (me e, d)) s.order_by;
+    limit = Option.map me s.limit;
+    offset = Option.map me s.offset;
+  }
+
+and map_from_item_exprs f = function
+  | Table t -> Table t
+  | Subselect (sel, alias) -> Subselect (map_select_exprs f sel, alias)
+  | Join { left; right; kind; cond } ->
+    Join
+      {
+        left = map_from_item_exprs f left;
+        right = map_from_item_exprs f right;
+        kind;
+        cond = Option.map (map_expr f) cond;
+      }
+
+let map_statement_exprs (f : expr -> expr) (st : statement) : statement =
+  let me e = map_expr f e in
+  match st with
+  | Select_stmt s -> Select_stmt (map_select_exprs f s)
+  | Insert i ->
+    let source =
+      match i.source with
+      | Values tuples -> Values (List.map (List.map me) tuples)
+      | Query s -> Query (map_select_exprs f s)
+    in
+    Insert { i with source }
+  | Update u ->
+    Update
+      {
+        u with
+        sets = List.map (fun (c, e) -> (c, me e)) u.sets;
+        where = Option.map me u.where;
+      }
+  | Delete d -> Delete { d with where = Option.map me d.where }
+  | Call c -> Call { c with args = List.map me c.args }
+  | Create_table _ | Create_index _ | Drop_table _ | Alter_table_add_column _
+  | Truncate _ | Copy_from _ | Begin_txn | Commit_txn | Rollback_txn
+  | Prepare_transaction _ | Commit_prepared _ | Rollback_prepared _ | Vacuum _
+    ->
+    st
+
+(** Substitute [$n] parameters with constants. *)
+let bind_params (params : Datum.t list) (st : statement) : statement =
+  map_statement_exprs
+    (function
+      | Param i ->
+        (match List.nth_opt params (i - 1) with
+         | Some d -> Const d
+         | None -> invalid_arg (Printf.sprintf "no value for parameter $%d" i))
+      | e -> e)
+    st
+
+(** Rename table references (FROM items, DML targets) via [f] — the core
+    mechanism of shard-name rewriting in the Citus planners. *)
+let rec rename_tables_from f = function
+  | Table { name; alias } ->
+    (* keep the original name visible as the alias so column qualifiers
+       keep resolving after the rename *)
+    let alias = Some (Option.value ~default:name alias) in
+    Table { name = f name; alias }
+  | Subselect (sel, a) -> Subselect (rename_tables_select f sel, a)
+  | Join { left; right; kind; cond } ->
+    Join
+      { left = rename_tables_from f left;
+        right = rename_tables_from f right;
+        kind;
+        cond }
+
+and rename_tables_select f (s : select) : select =
+  let in_expr e =
+    map_expr
+      (function
+        | Exists (sel, n) -> Exists (rename_tables_select f sel, n)
+        | In_subquery (e, sel, n) -> In_subquery (e, rename_tables_select f sel, n)
+        | Scalar_subquery sel -> Scalar_subquery (rename_tables_select f sel)
+        | e -> e)
+      e
+  in
+  {
+    s with
+    from = List.map (rename_tables_from f) s.from;
+    where = Option.map in_expr s.where;
+    having = Option.map in_expr s.having;
+    projections =
+      List.map
+        (function
+          | Star -> Star
+          | Star_of q -> Star_of q
+          | Proj (e, a) -> Proj (in_expr e, a))
+        s.projections;
+  }
+
+let rename_in_expr f e =
+  map_expr
+    (function
+      | Exists (sel, n) -> Exists (rename_tables_select f sel, n)
+      | In_subquery (e, sel, n) -> In_subquery (e, rename_tables_select f sel, n)
+      | Scalar_subquery sel -> Scalar_subquery (rename_tables_select f sel)
+      | e -> e)
+    e
+
+let rename_tables_statement f (st : statement) : statement =
+  match st with
+  | Select_stmt s -> Select_stmt (rename_tables_select f s)
+  | Insert i ->
+    let source =
+      match i.source with
+      | Values v -> Values v
+      | Query s -> Query (rename_tables_select f s)
+    in
+    Insert { i with table = f i.table; source }
+  | Update u ->
+    Update
+      { u with table = f u.table; where = Option.map (rename_in_expr f) u.where }
+  | Delete d ->
+    Delete
+      { table = f d.table; where = Option.map (rename_in_expr f) d.where }
+  | Copy_from c -> Copy_from { c with table = f c.table }
+  | Truncate ts -> Truncate (List.map f ts)
+  | Create_index ci -> Create_index { ci with table = f ci.table }
+  | _ -> st

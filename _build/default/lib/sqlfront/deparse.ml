@@ -1,0 +1,236 @@
+open Ast
+
+let binop_text = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Concat -> "||"
+
+let cmpop_text = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let ty_text (ty : Datum.ty) =
+  match ty with
+  | Datum.TBool -> "boolean"
+  | Datum.TInt -> "bigint"
+  | Datum.TFloat -> "double precision"
+  | Datum.TText -> "text"
+  | Datum.TJson -> "jsonb"
+  | Datum.TTimestamp -> "timestamp"
+
+(* Everything below parenthesizes children aggressively: the goal is a
+   faithful round trip, not minimal output. *)
+let rec expr (e : Ast.expr) : string =
+  match e with
+  | Const d -> Datum.to_sql_literal d
+  | Column (None, c) -> c
+  | Column (Some q, c) -> q ^ "." ^ c
+  | Param i -> Printf.sprintf "$%d" i
+  | And (a, b) -> Printf.sprintf "(%s AND %s)" (expr a) (expr b)
+  | Or (a, b) -> Printf.sprintf "(%s OR %s)" (expr a) (expr b)
+  | Not a -> Printf.sprintf "(NOT %s)" (expr a)
+  | Cmp (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr a) (cmpop_text op) (expr b)
+  | Bin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr a) (binop_text op) (expr b)
+  | Neg a -> Printf.sprintf "(- %s)" (expr a)
+  | Is_null (a, positive) ->
+    Printf.sprintf "(%s IS %sNULL)" (expr a) (if positive then "" else "NOT ")
+  | In_list (a, items, negated) ->
+    Printf.sprintf "(%s %sIN (%s))" (expr a)
+      (if negated then "NOT " else "")
+      (String.concat ", " (List.map expr items))
+  | Between (a, lo, hi) ->
+    Printf.sprintf "(%s BETWEEN %s AND %s)" (expr a) (expr lo) (expr hi)
+  | Like { subject; pattern; ci; negated } ->
+    Printf.sprintf "(%s %s%s %s)" (expr subject)
+      (if negated then "NOT " else "")
+      (if ci then "ILIKE" else "LIKE")
+      (expr pattern)
+  | Json_get (a, b, as_text) ->
+    Printf.sprintf "(%s %s %s)" (expr a) (if as_text then "->>" else "->") (expr b)
+  | Cast (a, ty) -> Printf.sprintf "(%s)::%s" (expr a) (ty_text ty)
+  | Case (branches, else_) ->
+    let b =
+      List.map
+        (fun (c, v) -> Printf.sprintf "WHEN %s THEN %s" (expr c) (expr v))
+        branches
+    in
+    let e =
+      match else_ with Some v -> Printf.sprintf " ELSE %s" (expr v) | None -> ""
+    in
+    Printf.sprintf "(CASE %s%s END)" (String.concat " " b) e
+  | Func (name, args) ->
+    Printf.sprintf "%s(%s)" name (String.concat ", " (List.map expr args))
+  | Agg { agg_name; agg_arg = None; _ } ->
+    Printf.sprintf "%s(*)" agg_name
+  | Agg { agg_name; agg_arg = Some a; agg_distinct } ->
+    Printf.sprintf "%s(%s%s)" agg_name
+      (if agg_distinct then "DISTINCT " else "")
+      (expr a)
+  | Exists (sel, negated) ->
+    Printf.sprintf "(%sEXISTS (%s))" (if negated then "NOT " else "") (select sel)
+  | In_subquery (a, sel, negated) ->
+    Printf.sprintf "(%s %sIN (%s))" (expr a)
+      (if negated then "NOT " else "")
+      (select sel)
+  | Scalar_subquery sel -> Printf.sprintf "(%s)" (select sel)
+
+and projection = function
+  | Star -> "*"
+  | Star_of t -> t ^ ".*"
+  | Proj (e, None) -> expr e
+  | Proj (e, Some a) -> Printf.sprintf "%s AS %s" (expr e) a
+
+and from_item = function
+  | Table { name; alias = None } -> name
+  | Table { name; alias = Some a } -> Printf.sprintf "%s AS %s" name a
+  | Subselect (sel, alias) -> Printf.sprintf "(%s) AS %s" (select sel) alias
+  | Join { left; right; kind; cond } ->
+    let right_text =
+      match right with
+      | Join _ -> Printf.sprintf "(%s)" (from_item right)
+      | Table _ | Subselect _ -> from_item right
+    in
+    (match cond with
+     | None -> Printf.sprintf "%s CROSS JOIN %s" (from_item left) right_text
+     | Some c ->
+       let kw = match kind with Inner -> "JOIN" | Left_outer -> "LEFT JOIN" in
+       Printf.sprintf "%s %s %s ON %s" (from_item left) kw right_text (expr c))
+
+and select (s : Ast.select) : string =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if s.distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf
+    (String.concat ", " (List.map projection s.projections));
+  if s.from <> [] then begin
+    Buffer.add_string buf " FROM ";
+    Buffer.add_string buf (String.concat ", " (List.map from_item s.from))
+  end;
+  (match s.where with
+   | Some w -> Buffer.add_string buf (" WHERE " ^ expr w)
+   | None -> ());
+  if s.group_by <> [] then
+    Buffer.add_string buf
+      (" GROUP BY " ^ String.concat ", " (List.map expr s.group_by));
+  (match s.having with
+   | Some h -> Buffer.add_string buf (" HAVING " ^ expr h)
+   | None -> ());
+  if s.order_by <> [] then begin
+    let item (e, dir) =
+      expr e ^ (match dir with Asc -> " ASC" | Desc -> " DESC")
+    in
+    Buffer.add_string buf
+      (" ORDER BY " ^ String.concat ", " (List.map item s.order_by))
+  end;
+  (match s.limit with
+   | Some l -> Buffer.add_string buf (" LIMIT " ^ expr l)
+   | None -> ());
+  (match s.offset with
+   | Some o -> Buffer.add_string buf (" OFFSET " ^ expr o)
+   | None -> ());
+  Buffer.contents buf
+
+let column_def (c : column_def) =
+  let parts =
+    [ c.col_name; ty_text c.col_ty ]
+    @ (if c.col_not_null then [ "NOT NULL" ] else [])
+    @
+    match c.col_default with
+    | Some e -> [ "DEFAULT " ^ expr e ]
+    | None -> []
+  in
+  String.concat " " parts
+
+let statement (st : Ast.statement) : string =
+  match st with
+  | Select_stmt s -> select s
+  | Insert { table; columns; source; on_conflict_do_nothing } ->
+    let cols =
+      match columns with
+      | Some cs -> Printf.sprintf " (%s)" (String.concat ", " cs)
+      | None -> ""
+    in
+    let src =
+      match source with
+      | Values tuples ->
+        "VALUES "
+        ^ String.concat ", "
+            (List.map
+               (fun t ->
+                 Printf.sprintf "(%s)" (String.concat ", " (List.map expr t)))
+               tuples)
+      | Query s -> select s
+    in
+    Printf.sprintf "INSERT INTO %s%s %s%s" table cols src
+      (if on_conflict_do_nothing then " ON CONFLICT DO NOTHING" else "")
+  | Update { table; sets; where } ->
+    let sets_text =
+      String.concat ", "
+        (List.map (fun (c, e) -> Printf.sprintf "%s = %s" c (expr e)) sets)
+    in
+    let where_text =
+      match where with Some w -> " WHERE " ^ expr w | None -> ""
+    in
+    Printf.sprintf "UPDATE %s SET %s%s" table sets_text where_text
+  | Delete { table; where } ->
+    let where_text =
+      match where with Some w -> " WHERE " ^ expr w | None -> ""
+    in
+    Printf.sprintf "DELETE FROM %s%s" table where_text
+  | Create_table { name; columns; primary_key; if_not_exists; using_columnar }
+    ->
+    let defs = List.map column_def columns in
+    let pk =
+      match primary_key with
+      | [] -> []
+      | cols -> [ Printf.sprintf "PRIMARY KEY (%s)" (String.concat ", " cols) ]
+    in
+    Printf.sprintf "CREATE TABLE %s%s (%s)%s"
+      (if if_not_exists then "IF NOT EXISTS " else "")
+      name
+      (String.concat ", " (defs @ pk))
+      (if using_columnar then " USING COLUMNAR" else "")
+  | Create_index { name; table; using; key_columns; key_expr; if_not_exists }
+    ->
+    let using_text =
+      match using with Btree -> " USING BTREE" | Gin_trgm -> " USING GIN"
+    in
+    let keys =
+      match key_expr with
+      | Some e -> Printf.sprintf "(%s)" (expr e)
+      | None -> String.concat ", " key_columns
+    in
+    Printf.sprintf "CREATE INDEX %s%s ON %s%s (%s)"
+      (if if_not_exists then "IF NOT EXISTS " else "")
+      name table using_text keys
+  | Drop_table { name; if_exists } ->
+    Printf.sprintf "DROP TABLE %s%s" (if if_exists then "IF EXISTS " else "") name
+  | Alter_table_add_column { table; column } ->
+    Printf.sprintf "ALTER TABLE %s ADD COLUMN %s" table (column_def column)
+  | Truncate tables -> "TRUNCATE " ^ String.concat ", " tables
+  | Copy_from { table; columns } ->
+    let cols =
+      match columns with
+      | Some cs -> Printf.sprintf " (%s)" (String.concat ", " cs)
+      | None -> ""
+    in
+    Printf.sprintf "COPY %s%s FROM STDIN" table cols
+  | Begin_txn -> "BEGIN"
+  | Commit_txn -> "COMMIT"
+  | Rollback_txn -> "ROLLBACK"
+  | Prepare_transaction gid -> Printf.sprintf "PREPARE TRANSACTION '%s'" gid
+  | Commit_prepared gid -> Printf.sprintf "COMMIT PREPARED '%s'" gid
+  | Rollback_prepared gid -> Printf.sprintf "ROLLBACK PREPARED '%s'" gid
+  | Vacuum None -> "VACUUM"
+  | Vacuum (Some t) -> "VACUUM " ^ t
+  | Call { proc; args } ->
+    Printf.sprintf "CALL %s(%s)" proc (String.concat ", " (List.map expr args))

@@ -1,0 +1,12 @@
+(** Deparser: AST back to SQL text.
+
+    The Citus planners rewrite table names to shard names and then ship
+    the query as text to worker sessions, exactly as the real extension
+    does. The round trip [Parser.parse_statement (Deparse.statement s) = s]
+    is property-tested. *)
+
+val expr : Ast.expr -> string
+
+val select : Ast.select -> string
+
+val statement : Ast.statement -> string

@@ -1,0 +1,161 @@
+type token =
+  | Ident of string
+  | Keyword of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Param_tok of int
+  | Lparen
+  | Rparen
+  | Comma
+  | Semicolon
+  | Star
+  | Dot
+  | Op of string
+  | Eof
+
+exception Lex_error of string
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER"; "LIMIT";
+    "OFFSET"; "ASC"; "DESC"; "DISTINCT"; "AS"; "AND"; "OR"; "NOT"; "IS";
+    "NULL"; "TRUE"; "FALSE"; "IN"; "BETWEEN"; "LIKE"; "ILIKE"; "EXISTS";
+    "JOIN"; "INNER"; "LEFT"; "OUTER"; "CROSS"; "ON"; "INSERT"; "INTO";
+    "VALUES"; "UPDATE"; "SET"; "DELETE"; "CREATE"; "TABLE"; "INDEX"; "DROP";
+    "ALTER"; "ADD"; "COLUMN"; "PRIMARY"; "KEY"; "DEFAULT"; "USING";
+    "TRUNCATE"; "COPY"; "STDIN"; "BEGIN"; "COMMIT"; "ROLLBACK"; "ABORT";
+    "PREPARE"; "PREPARED"; "TRANSACTION"; "VACUUM"; "CALL"; "IF"; "CASE";
+    "WHEN"; "THEN"; "ELSE"; "END"; "CAST"; "COUNT"; "SUM"; "AVG"; "MIN";
+    "MAX"; "CONFLICT"; "DO"; "NOTHING"; "COLUMNAR"; "GIN"; "BTREE"; "WITH";
+    "RECURSIVE";
+  ]
+
+let is_keyword s = List.mem (String.uppercase_ascii s) keywords
+
+let is_ident_start c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+
+let is_ident_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+let is_digit c = match c with '0' .. '9' -> true | _ -> false
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let out = ref [] in
+  let emit t = out := t :: !out in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let fail msg = raise (Lex_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  while !pos < n do
+    let c = src.[!pos] in
+    match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr pos
+    | '-' when peek 1 = Some '-' ->
+      (* line comment *)
+      while !pos < n && src.[!pos] <> '\n' do incr pos done
+    | '(' -> emit Lparen; incr pos
+    | ')' -> emit Rparen; incr pos
+    | ',' -> emit Comma; incr pos
+    | ';' -> emit Semicolon; incr pos
+    | '*' -> emit Star; incr pos
+    | '.' when not (match peek 1 with Some d -> is_digit d | None -> false) ->
+      emit Dot; incr pos
+    | '\'' ->
+      (* string literal with '' escaping *)
+      incr pos;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else if src.[!pos] = '\'' then
+          if peek 1 = Some '\'' then begin
+            Buffer.add_char buf '\'';
+            pos := !pos + 2;
+            go ()
+          end
+          else incr pos
+        else begin
+          Buffer.add_char buf src.[!pos];
+          incr pos;
+          go ()
+        end
+      in
+      go ();
+      emit (String_lit (Buffer.contents buf))
+    | '"' ->
+      incr pos;
+      let start = !pos in
+      while !pos < n && src.[!pos] <> '"' do incr pos done;
+      if !pos >= n then fail "unterminated quoted identifier";
+      emit (Ident (String.sub src start (!pos - start)));
+      incr pos
+    | '$' ->
+      incr pos;
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do incr pos done;
+      if !pos = start then fail "bad parameter";
+      emit (Param_tok (int_of_string (String.sub src start (!pos - start))))
+    | c when is_digit c || (c = '.' && (match peek 1 with Some d -> is_digit d | None -> false)) ->
+      let start = !pos in
+      let seen_dot = ref false in
+      let seen_exp = ref false in
+      let rec go () =
+        if !pos < n then
+          match src.[!pos] with
+          | '0' .. '9' -> incr pos; go ()
+          | '.' when not !seen_dot && not !seen_exp ->
+            seen_dot := true; incr pos; go ()
+          | 'e' | 'E' when not !seen_exp ->
+            seen_exp := true;
+            incr pos;
+            (match peek 0 with
+             | Some ('+' | '-') -> incr pos
+             | _ -> ());
+            go ()
+          | _ -> ()
+      in
+      go ();
+      let text = String.sub src start (!pos - start) in
+      if !seen_dot || !seen_exp then emit (Float_lit (float_of_string text))
+      else emit (Int_lit (int_of_string text))
+    | c when is_ident_start c ->
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do incr pos done;
+      let word = String.sub src start (!pos - start) in
+      if is_keyword word then emit (Keyword (String.uppercase_ascii word))
+      else emit (Ident (String.lowercase_ascii word))
+    | _ ->
+      (* multi-character operators, longest first *)
+      let try_ops = [ "->>"; "->"; "::"; "<="; ">="; "<>"; "!="; "||"; "="; "<"; ">"; "+"; "-"; "/"; "%" ] in
+      let rec attempt = function
+        | [] -> fail (Printf.sprintf "unexpected character '%c'" c)
+        | op :: rest ->
+          let len = String.length op in
+          if !pos + len <= n && String.sub src !pos len = op then begin
+            pos := !pos + len;
+            emit (Op (if op = "!=" then "<>" else op))
+          end
+          else attempt rest
+      in
+      attempt try_ops
+  done;
+  List.rev (Eof :: !out)
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Keyword s -> s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | String_lit s -> Printf.sprintf "'%s'" s
+  | Param_tok i -> Printf.sprintf "$%d" i
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Semicolon -> ";"
+  | Star -> "*"
+  | Dot -> "."
+  | Op s -> s
+  | Eof -> "<eof>"

@@ -1,0 +1,13 @@
+(** Recursive-descent SQL parser.
+
+    [parse_statement] accepts exactly one statement (with an optional
+    trailing semicolon); [parse_select] and [parse_expression] expose the
+    sub-grammars for tests and for planners that synthesize fragments. *)
+
+exception Parse_error of string
+
+val parse_statement : string -> Ast.statement
+
+val parse_select : string -> Ast.select
+
+val parse_expression : string -> Ast.expr

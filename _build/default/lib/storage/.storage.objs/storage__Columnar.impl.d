@@ -1,0 +1,1 @@
+lib/storage/columnar.ml: Array Buffer_pool Datum List Txn

@@ -1,0 +1,1 @@
+lib/storage/columnar.mli: Buffer_pool Datum Txn

@@ -1,0 +1,1 @@
+lib/storage/gin.ml: Buffer Buffer_pool Char Hashtbl Int List Set String

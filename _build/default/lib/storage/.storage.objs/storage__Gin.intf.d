@@ -1,0 +1,1 @@
+lib/storage/gin.mli: Buffer_pool

@@ -1,0 +1,1 @@
+lib/storage/heap.ml: Array Buffer_pool Datum List Txn

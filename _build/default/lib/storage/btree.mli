@@ -1,0 +1,51 @@
+(** B+tree secondary index over composite datum keys.
+
+    Keys are datum arrays compared lexicographically (a shorter key that is
+    a prefix of a longer one sorts first, which is what makes prefix scans
+    work). Values are heap tuple ids; duplicates are kept in per-key
+    posting lists, so the index is MVCC-agnostic — visibility is checked
+    against the heap by the executor, as PostgreSQL does.
+
+    Deletion is lazy (no node merging); vacuumed tids are removed from
+    posting lists and empty keys dropped from leaves. Node visits are
+    reported to an optional buffer pool, one logical page per node. *)
+
+type key = Datum.t array
+
+val compare_keys : key -> key -> int
+
+type t
+
+type bound = Incl of key | Excl of key | Unbounded
+
+val create : name:string -> ?order:int -> unit -> t
+
+val name : t -> string
+
+val insert : t -> key -> int -> unit
+
+(** [remove t key tid] removes one (key, tid) pairing; no-op if absent. *)
+val remove : t -> key -> int -> unit
+
+(** Tuple ids with exactly this key. *)
+val find_eq : ?pool:Buffer_pool.t -> t -> key -> int list
+
+(** Entries in key order within the bounds. *)
+val range :
+  ?pool:Buffer_pool.t -> t -> lower:bound -> upper:bound -> (key * int) list
+
+(** Entries whose key starts with [prefix], in key order. *)
+val prefix : ?pool:Buffer_pool.t -> t -> key -> (key * int) list
+
+(** Fold over all entries in key order (index-only scans). *)
+val fold :
+  ?pool:Buffer_pool.t -> t -> init:'a -> f:('a -> key -> int -> 'a) -> 'a
+
+val entry_count : t -> int
+
+val depth : t -> int
+
+val page_count : t -> int
+
+(** Drop all entries. *)
+val clear : t -> unit

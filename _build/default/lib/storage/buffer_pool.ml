@@ -1,0 +1,83 @@
+type page_id = { relation : string; page_no : int }
+
+type stats = { hits : int; misses : int; evictions : int }
+
+(* Doubly-linked LRU list with a hash index for O(1) access. *)
+type node = {
+  page : page_id;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  cap : int;
+  index : (page_id, node) Hashtbl.t;
+  mutable head : node option;  (** most recently used *)
+  mutable tail : node option;  (** least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be > 0";
+  {
+    cap = capacity;
+    index = Hashtbl.create (min capacity 4096);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.index n.page;
+    t.evictions <- t.evictions + 1
+
+let access t page =
+  match Hashtbl.find_opt t.index page with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    unlink t n;
+    push_front t n;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    if Hashtbl.length t.index >= t.cap then evict_lru t;
+    let n = { page; prev = None; next = None } in
+    Hashtbl.replace t.index page n;
+    push_front t n;
+    false
+
+let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
+
+let clear t =
+  Hashtbl.reset t.index;
+  t.head <- None;
+  t.tail <- None
+
+let cached_pages t = Hashtbl.length t.index

@@ -1,0 +1,1 @@
+lib/txn/manager.ml: Hashtbl Int List Lock Printf Snapshot Wal

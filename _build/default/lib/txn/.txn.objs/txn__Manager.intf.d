@@ -1,0 +1,1 @@
+lib/txn/manager.mli: Lock Snapshot Wal

@@ -1,0 +1,121 @@
+type xid = int
+
+type target = Table of string | Row of string * int
+
+type mode = Access_share | Row_exclusive | Access_exclusive | Row_lock
+
+type outcome = Granted | Blocked of xid list
+
+let conflicts a b =
+  match a, b with
+  | Access_exclusive, _ | _, Access_exclusive -> true
+  | Row_lock, Row_lock -> true
+  | (Access_share | Row_exclusive | Row_lock), _ -> false
+
+type t = {
+  (* target -> holders: (owner, mode) list *)
+  held : (target, (xid * mode) list) Hashtbl.t;
+  (* owner -> pending blocked request *)
+  waiting : (xid, target * mode) Hashtbl.t;
+}
+
+let create () = { held = Hashtbl.create 64; waiting = Hashtbl.create 16 }
+
+let holders t target = Option.value ~default:[] (Hashtbl.find_opt t.held target)
+
+let acquire t ~owner target mode =
+  let current = holders t target in
+  if List.exists (fun (o, m) -> o = owner && m = mode) current then begin
+    Hashtbl.remove t.waiting owner;
+    Granted
+  end
+  else begin
+    let conflicting =
+      List.filter (fun (o, m) -> o <> owner && conflicts mode m) current
+    in
+    match conflicting with
+    | [] ->
+      Hashtbl.remove t.waiting owner;
+      Hashtbl.replace t.held target ((owner, mode) :: current);
+      Granted
+    | _ ->
+      Hashtbl.replace t.waiting owner (target, mode);
+      Blocked (List.map fst conflicting)
+  end
+
+let cancel_wait t ~owner = Hashtbl.remove t.waiting owner
+
+let release_all t ~owner =
+  Hashtbl.remove t.waiting owner;
+  let updates =
+    Hashtbl.fold
+      (fun target holders acc ->
+        if List.exists (fun (o, _) -> o = owner) holders then
+          (target, List.filter (fun (o, _) -> o <> owner) holders) :: acc
+        else acc)
+      t.held []
+  in
+  let apply (target, remaining) =
+    if remaining = [] then Hashtbl.remove t.held target
+    else Hashtbl.replace t.held target remaining
+  in
+  List.iter apply updates
+
+let wait_edges t =
+  Hashtbl.fold
+    (fun waiter (target, mode) acc ->
+      let conflicting =
+        List.filter
+          (fun (o, m) -> o <> waiter && conflicts mode m)
+          (holders t target)
+      in
+      List.fold_left (fun acc (holder, _) -> (waiter, holder) :: acc) acc
+        conflicting)
+    t.waiting []
+
+let held_by t owner =
+  Hashtbl.fold
+    (fun target holders acc ->
+      List.fold_left
+        (fun acc (o, m) -> if o = owner then (target, m) :: acc else acc)
+        acc holders)
+    t.held []
+
+(* Cycle search over the wait-for graph: depth-first from each waiter,
+   following waiter->holder edges. Returns the nodes of the first cycle. *)
+let detect_deadlock t =
+  let edges = wait_edges t in
+  let successors x = List.filter_map (fun (w, h) -> if w = x then Some h else None) edges in
+  let rec dfs path visited x =
+    if List.mem x path then Some (x :: path)
+    else if List.mem x visited then None
+    else
+      let rec try_succ = function
+        | [] -> None
+        | s :: rest ->
+          (match dfs (x :: path) visited s with
+           | Some cycle -> Some cycle
+           | None -> try_succ rest)
+      in
+      try_succ (successors x)
+  in
+  let starts = List.sort_uniq Int.compare (List.map fst edges) in
+  let rec scan visited = function
+    | [] -> None
+    | s :: rest ->
+      (match dfs [] visited s with
+       | Some cycle ->
+         (* Trim the path prefix that leads into the cycle: keep from the
+            first occurrence of the repeated node. *)
+         let repeated = List.hd cycle in
+         let rec keep_until acc = function
+           | [] -> acc
+           | x :: rest ->
+             if x = repeated && acc <> [] then List.rev (x :: acc)
+             else keep_until (x :: acc) rest
+         in
+         let members = keep_until [] cycle in
+         Some (List.sort_uniq Int.compare members)
+       | None -> scan (s :: visited) rest)
+  in
+  scan [] starts

@@ -1,0 +1,100 @@
+type xid = int
+
+type status = In_progress | Committed | Aborted
+
+exception No_such_prepared of string
+
+type t = {
+  mutable next_xid : xid;
+  clog : (xid, status) Hashtbl.t;
+  mutable running : xid list;  (** begun, not yet finished or prepared *)
+  prepared : (string, xid) Hashtbl.t;
+  wal : Wal.t;
+  locks : Lock.t;
+}
+
+let create () =
+  {
+    next_xid = 1;
+    clog = Hashtbl.create 256;
+    running = [];
+    prepared = Hashtbl.create 16;
+    wal = Wal.create ();
+    locks = Lock.create ();
+  }
+
+let wal t = t.wal
+
+let locks t = t.locks
+
+let begin_txn t =
+  let xid = t.next_xid in
+  t.next_xid <- xid + 1;
+  Hashtbl.replace t.clog xid In_progress;
+  t.running <- xid :: t.running;
+  ignore (Wal.append t.wal (Wal.Begin xid));
+  xid
+
+let status t xid =
+  match Hashtbl.find_opt t.clog xid with
+  | Some s -> s
+  | None -> Aborted (* unknown xids are treated as crashed, hence aborted *)
+
+let is_active t xid = status t xid = In_progress
+
+let active_xids t =
+  let prepared = Hashtbl.fold (fun _ xid acc -> xid :: acc) t.prepared [] in
+  List.sort_uniq Int.compare (t.running @ prepared)
+
+let take_snapshot t =
+  let active = active_xids t in
+  let xmin = match active with [] -> t.next_xid | x :: _ -> x in
+  { Snapshot.xmin; xmax = t.next_xid; active }
+
+let check_running t xid =
+  if not (List.mem xid t.running) then
+    invalid_arg (Printf.sprintf "xid %d is not a running transaction" xid)
+
+let finish t xid st record =
+  check_running t xid;
+  ignore (Wal.append t.wal record);
+  Hashtbl.replace t.clog xid st;
+  t.running <- List.filter (fun x -> x <> xid) t.running;
+  Lock.release_all t.locks ~owner:xid
+
+let commit t xid = finish t xid Committed (Wal.Commit xid)
+
+let abort t xid = finish t xid Aborted (Wal.Abort xid)
+
+let prepare t xid ~gid =
+  check_running t xid;
+  if Hashtbl.mem t.prepared gid then
+    invalid_arg (Printf.sprintf "prepared transaction %S already exists" gid);
+  ignore (Wal.append t.wal (Wal.Prepare { xid; gid }));
+  (* Detach from the session: no longer "running" but still in progress,
+     and its locks stay held. *)
+  t.running <- List.filter (fun x -> x <> xid) t.running;
+  Hashtbl.replace t.prepared gid xid
+
+let take_prepared t gid =
+  match Hashtbl.find_opt t.prepared gid with
+  | Some xid -> Hashtbl.remove t.prepared gid; xid
+  | None -> raise (No_such_prepared gid)
+
+let commit_prepared t ~gid =
+  let xid = take_prepared t gid in
+  ignore (Wal.append t.wal (Wal.Commit_prepared { xid; gid }));
+  Hashtbl.replace t.clog xid Committed;
+  Lock.release_all t.locks ~owner:xid
+
+let rollback_prepared t ~gid =
+  let xid = take_prepared t gid in
+  ignore (Wal.append t.wal (Wal.Rollback_prepared { xid; gid }));
+  Hashtbl.replace t.clog xid Aborted;
+  Lock.release_all t.locks ~owner:xid
+
+let prepared_transactions t =
+  Hashtbl.fold (fun gid xid acc -> (gid, xid) :: acc) t.prepared []
+
+let oldest_active_xid t =
+  match active_xids t with [] -> t.next_xid | x :: _ -> x

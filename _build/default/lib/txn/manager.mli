@@ -1,0 +1,57 @@
+(** Per-node transaction manager: xid assignment, commit log, snapshots,
+    locks, WAL, and prepared (2PC) transactions.
+
+    One [Manager.t] exists per database node. The Citus coordinator drives
+    worker-side transactions through sessions that ultimately call into
+    this module on each node. *)
+
+type xid = int
+
+type status = In_progress | Committed | Aborted
+
+type t
+
+val create : unit -> t
+
+val wal : t -> Wal.t
+
+val locks : t -> Lock.t
+
+(** Start a transaction: assigns an xid, logs [Begin]. *)
+val begin_txn : t -> xid
+
+(** Snapshot for a running transaction (or a standalone read). *)
+val take_snapshot : t -> Snapshot.t
+
+val status : t -> xid -> status
+
+val is_active : t -> xid -> bool
+
+(** Commit/abort: write the WAL record, flip the clog entry, release
+    locks. Raise [Invalid_argument] if the xid is not in progress. *)
+val commit : t -> xid -> unit
+
+val abort : t -> xid -> unit
+
+(** {2 Two-phase commit primitives (PREPARE TRANSACTION et al.)} *)
+
+(** [prepare t xid ~gid] detaches the running transaction into the prepared
+    state: its locks remain held, its tuples stay in-progress, and the
+    prepared record is WAL-logged so it survives restart. *)
+val prepare : t -> xid -> gid:string -> unit
+
+val commit_prepared : t -> gid:string -> unit
+
+val rollback_prepared : t -> gid:string -> unit
+
+(** Pending prepared transactions as (gid, xid) pairs. The Citus recovery
+    daemon compares these against its commit records (§3.7.2). *)
+val prepared_transactions : t -> (string * xid) list
+
+exception No_such_prepared of string
+
+(** All xids currently in progress (running or prepared). *)
+val active_xids : t -> xid list
+
+(** Oldest xid that any snapshot could still need, for vacuum. *)
+val oldest_active_xid : t -> xid

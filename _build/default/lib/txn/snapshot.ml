@@ -1,0 +1,12 @@
+type xid = int
+
+type t = { xmin : xid; xmax : xid; active : xid list }
+
+let sees t xid =
+  if xid >= t.xmax then false
+  else if xid < t.xmin then true
+  else not (List.mem xid t.active)
+
+let pp fmt t =
+  Format.fprintf fmt "snapshot{xmin=%d;xmax=%d;active=[%s]}" t.xmin t.xmax
+    (String.concat ";" (List.map string_of_int t.active))

@@ -1,0 +1,20 @@
+(** MVCC snapshots, as in PostgreSQL.
+
+    A snapshot captures which transactions were in progress at the moment it
+    was taken. Combined with the commit log it decides tuple visibility. *)
+
+type xid = int
+
+type t = {
+  xmin : xid;  (** all xids below this are finished *)
+  xmax : xid;  (** first xid not yet assigned when the snapshot was taken *)
+  active : xid list;  (** xids in [xmin, xmax) that were still running *)
+}
+
+(** [sees t xid] is true when transaction [xid]'s effects are potentially
+    visible to this snapshot (it finished before the snapshot was taken).
+    The caller still has to check the commit log: an aborted transaction is
+    "seen" here but its tuples are dead. *)
+val sees : t -> xid -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type lsn = int
+
+type record =
+  | Begin of int
+  | Insert of { xid : int; table : string; tid : int; row : Datum.t array }
+  | Update of {
+      xid : int;
+      table : string;
+      old_tid : int;
+      new_tid : int;
+      row : Datum.t array;
+    }
+  | Delete of { xid : int; table : string; tid : int }
+  | Commit of int
+  | Abort of int
+  | Prepare of { xid : int; gid : string }
+  | Commit_prepared of { xid : int; gid : string }
+  | Rollback_prepared of { xid : int; gid : string }
+  | Restore_point of string
+  | Checkpoint
+
+type t = { mutable entries : (lsn * record) list; mutable next_lsn : lsn }
+(* entries kept newest-first; [records] reverses. *)
+
+let create () = { entries = []; next_lsn = 1 }
+
+let append t record =
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  t.entries <- (lsn, record) :: t.entries;
+  lsn
+
+let current_lsn t = t.next_lsn - 1
+
+let records ?(from = 0) ?upto t =
+  let upto = Option.value ~default:t.next_lsn upto in
+  List.rev
+    (List.filter (fun (lsn, _) -> lsn >= from && lsn < upto) t.entries)
+
+let find_restore_point t name =
+  let matches (_, r) =
+    match r with Restore_point n -> String.equal n name | _ -> false
+  in
+  Option.map fst (List.find_opt matches t.entries)
+
+let size t = List.length t.entries

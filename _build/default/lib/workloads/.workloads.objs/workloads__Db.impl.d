@@ -1,0 +1,1 @@
+lib/workloads/db.ml: Citus Cluster Datum Engine List Printf

@@ -1,0 +1,1 @@
+lib/workloads/gharchive.ml: Array Db Engine Json List Printf Random String

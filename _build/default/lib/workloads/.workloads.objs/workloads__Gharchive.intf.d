@@ -1,0 +1,1 @@
+lib/workloads/gharchive.mli: Db

@@ -1,0 +1,1 @@
+lib/workloads/pgbench.ml: Citus Datum Db Engine List Printf Random String

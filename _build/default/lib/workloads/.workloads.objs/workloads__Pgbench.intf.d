@@ -1,0 +1,1 @@
+lib/workloads/pgbench.mli: Db Engine Random

@@ -1,0 +1,1 @@
+lib/workloads/tpcc.ml: Citus Datum Db Engine List Printf Random

@@ -1,0 +1,1 @@
+lib/workloads/tpch.ml: Array Db Engine List Printf Random

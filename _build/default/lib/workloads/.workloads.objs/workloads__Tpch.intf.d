@@ -1,0 +1,1 @@
+lib/workloads/tpch.mli: Db

@@ -1,0 +1,1 @@
+lib/workloads/ycsb.ml: Char Db Engine List Printf Random String

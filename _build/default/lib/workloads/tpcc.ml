@@ -1,0 +1,352 @@
+type config = {
+  warehouses : int;
+  districts_per_warehouse : int;
+  customers_per_district : int;
+  items : int;
+  remote_txn_fraction : float;
+}
+
+let default_config =
+  {
+    warehouses = 8;
+    districts_per_warehouse = 4;
+    customers_per_district = 20;
+    items = 100;
+    remote_txn_fraction = 0.07;
+  }
+
+let exec = Db.exec_on
+
+let setup_schema db =
+  let ddl =
+    [
+      "CREATE TABLE warehouse (w_id bigint PRIMARY KEY, w_name text, w_ytd double precision)";
+      "CREATE TABLE district (d_w_id bigint, d_id bigint, d_name text, \
+       d_ytd double precision, d_next_o_id bigint, PRIMARY KEY (d_w_id, d_id))";
+      "CREATE TABLE customer (c_w_id bigint, c_d_id bigint, c_id bigint, \
+       c_name text, c_balance double precision, PRIMARY KEY (c_w_id, c_d_id, c_id))";
+      "CREATE TABLE stock (s_w_id bigint, s_i_id bigint, s_quantity bigint, \
+       PRIMARY KEY (s_w_id, s_i_id))";
+      "CREATE TABLE orders (o_w_id bigint, o_d_id bigint, o_id bigint, \
+       o_c_id bigint, o_entry_d double precision, PRIMARY KEY (o_w_id, o_d_id, o_id))";
+      "CREATE TABLE new_order (no_w_id bigint, no_d_id bigint, no_o_id bigint, \
+       PRIMARY KEY (no_w_id, no_d_id, no_o_id))";
+      "CREATE TABLE order_line (ol_w_id bigint, ol_d_id bigint, ol_o_id bigint, \
+       ol_number bigint, ol_i_id bigint, ol_supply_w_id bigint, ol_quantity bigint, \
+       ol_amount double precision, PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number))";
+      "CREATE TABLE item (i_id bigint PRIMARY KEY, i_name text, i_price double precision)";
+    ]
+  in
+  List.iter (fun sql -> ignore (Db.exec db sql)) ddl;
+  (* items is shared across tenants: reference table; the rest co-locate on
+     the warehouse id *)
+  Db.reference db ~table:"item";
+  Db.distribute db ~table:"warehouse" ~column:"w_id" ();
+  Db.distribute db ~table:"district" ~column:"d_w_id" ~colocate_with:"warehouse" ();
+  Db.distribute db ~table:"customer" ~column:"c_w_id" ~colocate_with:"warehouse" ();
+  Db.distribute db ~table:"stock" ~column:"s_w_id" ~colocate_with:"warehouse" ();
+  Db.distribute db ~table:"orders" ~column:"o_w_id" ~colocate_with:"warehouse" ();
+  Db.distribute db ~table:"new_order" ~column:"no_w_id" ~colocate_with:"warehouse" ();
+  Db.distribute db ~table:"order_line" ~column:"ol_w_id" ~colocate_with:"warehouse" ()
+
+let load db cfg =
+  let s = db.Db.session in
+  let copy table lines =
+    ignore (Engine.Instance.copy_in s ~table ~columns:None lines)
+  in
+  copy "item"
+    (List.init cfg.items (fun i ->
+         Printf.sprintf "%d\titem%d\t%.2f" (i + 1) (i + 1)
+           (1.0 +. float_of_int (i mod 90))));
+  copy "warehouse"
+    (List.init cfg.warehouses (fun w ->
+         Printf.sprintf "%d\twh%d\t0" (w + 1) (w + 1)));
+  let districts =
+    List.concat
+      (List.init cfg.warehouses (fun w ->
+           List.init cfg.districts_per_warehouse (fun d ->
+               Printf.sprintf "%d\t%d\td%d\t0\t1" (w + 1) (d + 1) (d + 1))))
+  in
+  copy "district" districts;
+  let customers =
+    List.concat
+      (List.init cfg.warehouses (fun w ->
+           List.concat
+             (List.init cfg.districts_per_warehouse (fun d ->
+                  List.init cfg.customers_per_district (fun c ->
+                      Printf.sprintf "%d\t%d\t%d\tcust%d\t0" (w + 1) (d + 1)
+                        (c + 1) (c + 1))))))
+  in
+  copy "customer" customers;
+  let stock =
+    List.concat
+      (List.init cfg.warehouses (fun w ->
+           List.init cfg.items (fun i ->
+               Printf.sprintf "%d\t%d\t%d" (w + 1) (i + 1) (50 + (i mod 50)))))
+  in
+  copy "stock" stock
+
+(* --- stored procedures --- *)
+
+let int_arg = function
+  | Datum.Int i -> i
+  | d -> failwith ("expected int argument, got " ^ Datum.to_display d)
+
+let one_int s sql =
+  match (exec s sql).Engine.Instance.rows with
+  | [ [| Datum.Int i |] ] -> i
+  | _ -> failwith ("no row from " ^ sql)
+
+let one_float s sql =
+  match (exec s sql).Engine.Instance.rows with
+  | [ [| Datum.Float f |] ] -> f
+  | [ [| Datum.Int i |] ] -> float_of_int i
+  | _ -> failwith ("no row from " ^ sql)
+
+(* NEW-ORDER: read the district counter, insert the order, its order lines
+   and the new_order entry, update stock (possibly on remote warehouses).
+   The item list is derived deterministically from [seed]. *)
+let new_order_proc cfg session args =
+  match List.map int_arg args with
+  | [ w_id; d_id; c_id; seed ] ->
+    let rng = Random.State.make [| seed |] in
+    let in_block = Engine.Instance.in_transaction session in
+    if not in_block then ignore (exec session "BEGIN");
+    (try
+       let o_id =
+         one_int session
+           (Printf.sprintf
+              "SELECT d_next_o_id FROM district WHERE d_w_id = %d AND d_id = %d"
+              w_id d_id)
+       in
+       ignore
+         (exec session
+            (Printf.sprintf
+               "UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE \
+                d_w_id = %d AND d_id = %d"
+               w_id d_id));
+       ignore
+         (exec session
+            (Printf.sprintf
+               "INSERT INTO orders (o_w_id, o_d_id, o_id, o_c_id, o_entry_d) \
+                VALUES (%d, %d, %d, %d, 0)"
+               w_id d_id o_id c_id));
+       ignore
+         (exec session
+            (Printf.sprintf
+               "INSERT INTO new_order (no_w_id, no_d_id, no_o_id) VALUES (%d, %d, %d)"
+               w_id d_id o_id));
+       let n_lines = 8 + Random.State.int rng 7 in
+       for line = 1 to n_lines do
+         let i_id = 1 + Random.State.int rng cfg.items in
+         let qty = 1 + Random.State.int rng 10 in
+         (* the seed's low bit says whether this transaction is remote:
+            if so, its first line is supplied by the next warehouse *)
+         let supply_w =
+           if seed land 1 = 1 && line = 1 && cfg.warehouses > 1 then
+             1 + (w_id mod cfg.warehouses)
+           else w_id
+         in
+         let price =
+           one_float session
+             (Printf.sprintf "SELECT i_price FROM item WHERE i_id = %d" i_id)
+         in
+         ignore
+           (exec session
+              (Printf.sprintf
+                 "UPDATE stock SET s_quantity = s_quantity - %d WHERE \
+                  s_w_id = %d AND s_i_id = %d"
+                 qty supply_w i_id));
+         ignore
+           (exec session
+              (Printf.sprintf
+                 "INSERT INTO order_line (ol_w_id, ol_d_id, ol_o_id, ol_number, \
+                  ol_i_id, ol_supply_w_id, ol_quantity, ol_amount) VALUES \
+                  (%d, %d, %d, %d, %d, %d, %d, %f)"
+                 w_id d_id o_id line i_id supply_w qty
+                 (float_of_int qty *. price)))
+       done;
+       if not in_block then ignore (exec session "COMMIT")
+     with e ->
+       if not in_block then ignore (exec session "ROLLBACK");
+       raise e);
+    Datum.Null
+  | _ -> failwith "tpcc_new_order(w_id, d_id, c_id, seed)"
+
+(* PAYMENT: warehouse + district ytd, customer balance; the customer may
+   belong to a different (remote) warehouse. *)
+let payment_proc _cfg session args =
+  match args with
+  | [ w; d; cw; cd; c; amount ] ->
+    let w_id = int_arg w and d_id = int_arg d in
+    let c_w_id = int_arg cw and c_d_id = int_arg cd and c_id = int_arg c in
+    let amount = match amount with Datum.Float f -> f | d -> float_of_int (int_arg d) in
+    let in_block = Engine.Instance.in_transaction session in
+    if not in_block then ignore (exec session "BEGIN");
+    (try
+       ignore
+         (exec session
+            (Printf.sprintf
+               "UPDATE warehouse SET w_ytd = w_ytd + %f WHERE w_id = %d" amount w_id));
+       ignore
+         (exec session
+            (Printf.sprintf
+               "UPDATE district SET d_ytd = d_ytd + %f WHERE d_w_id = %d AND d_id = %d"
+               amount w_id d_id));
+       ignore
+         (exec session
+            (Printf.sprintf
+               "UPDATE customer SET c_balance = c_balance - %f WHERE \
+                c_w_id = %d AND c_d_id = %d AND c_id = %d"
+               amount c_w_id c_d_id c_id));
+       if not in_block then ignore (exec session "COMMIT")
+     with e ->
+       if not in_block then ignore (exec session "ROLLBACK");
+       raise e);
+    Datum.Null
+  | _ -> failwith "tpcc_payment(w, d, c_w, c_d, c, amount)"
+
+(* DELIVERY: per district, take the oldest undelivered order, remove its
+   new_order entry, and credit the customer with the order's total. *)
+let delivery_proc cfg session args =
+  match List.map int_arg args with
+  | [ w_id ] ->
+    let in_block = Engine.Instance.in_transaction session in
+    if not in_block then ignore (exec session "BEGIN");
+    (try
+       for d_id = 1 to cfg.districts_per_warehouse do
+         let oldest =
+           (exec session
+              (Printf.sprintf
+                 "SELECT min(no_o_id) FROM new_order WHERE no_w_id = %d AND no_d_id = %d"
+                 w_id d_id))
+             .Engine.Instance.rows
+         in
+         match oldest with
+         | [ [| Datum.Int o_id |] ] ->
+           ignore
+             (exec session
+                (Printf.sprintf
+                   "DELETE FROM new_order WHERE no_w_id = %d AND no_d_id = %d                     AND no_o_id = %d"
+                   w_id d_id o_id));
+           let c_id =
+             one_int session
+               (Printf.sprintf
+                  "SELECT o_c_id FROM orders WHERE o_w_id = %d AND o_d_id = %d                    AND o_id = %d"
+                  w_id d_id o_id)
+           in
+           let total =
+             one_float session
+               (Printf.sprintf
+                  "SELECT sum(ol_amount) FROM order_line WHERE ol_w_id = %d                    AND ol_d_id = %d AND ol_o_id = %d"
+                  w_id d_id o_id)
+           in
+           ignore
+             (exec session
+                (Printf.sprintf
+                   "UPDATE customer SET c_balance = c_balance + %f WHERE                     c_w_id = %d AND c_d_id = %d AND c_id = %d"
+                   total w_id d_id c_id))
+         | _ -> () (* district has no undelivered orders *)
+       done;
+       if not in_block then ignore (exec session "COMMIT")
+     with e ->
+       if not in_block then ignore (exec session "ROLLBACK");
+       raise e);
+    Datum.Null
+  | _ -> failwith "tpcc_delivery(w_id)"
+
+let register_procs db cfg =
+  Db.register_procedure db "tpcc_new_order" (fun session args ->
+      new_order_proc cfg session args);
+  Db.register_procedure db "tpcc_payment" (fun session args ->
+      payment_proc cfg session args);
+  Db.register_procedure db "tpcc_delivery" (fun session args ->
+      delivery_proc cfg session args)
+
+let setup db cfg =
+  setup_schema db;
+  load db cfg;
+  register_procs db cfg
+
+let enable_delegation db =
+  match db.Db.citus with
+  | None -> ()
+  | Some api ->
+    Citus.Api.enable_metadata_sync api;
+    Citus.Api.create_distributed_function api ~proc:"tpcc_new_order"
+      ~arg_position:1 ~table:"warehouse";
+    Citus.Api.create_distributed_function api ~proc:"tpcc_payment"
+      ~arg_position:1 ~table:"warehouse";
+    Citus.Api.create_distributed_function api ~proc:"tpcc_delivery"
+      ~arg_position:1 ~table:"warehouse"
+
+type txn_kind = New_order | Payment | Delivery | Order_status | Stock_level
+
+let run_one db session cfg rng =
+  let w_id = 1 + Random.State.int rng cfg.warehouses in
+  let d_id = 1 + Random.State.int rng cfg.districts_per_warehouse in
+  let c_id = 1 + Random.State.int rng cfg.customers_per_district in
+  let remote =
+    cfg.warehouses > 1 && Random.State.float rng 1.0 < cfg.remote_txn_fraction
+  in
+  let other_w =
+    if remote then 1 + ((w_id + Random.State.int rng (cfg.warehouses - 1)) mod cfg.warehouses)
+    else w_id
+  in
+  let pick = Random.State.float rng 1.0 in
+  ignore db;
+  if pick < 0.45 then begin
+    (* a remote new-order touches a remote stock row via its seed *)
+    let seed = (Random.State.int rng 1_000_000 * 2) + (if remote then 1 else 0) in
+    ignore
+      (exec session
+         (Printf.sprintf "CALL tpcc_new_order(%d, %d, %d, %d)" w_id d_id c_id seed));
+    (New_order, remote)
+  end
+  else if pick < 0.88 then begin
+    let amount = 1.0 +. Random.State.float rng 100.0 in
+    ignore
+      (exec session
+         (Printf.sprintf "CALL tpcc_payment(%d, %d, %d, %d, %d, %f)" w_id d_id
+            other_w d_id c_id amount));
+    (Payment, remote)
+  end
+  else if pick < 0.92 then begin
+    ignore (exec session (Printf.sprintf "CALL tpcc_delivery(%d)" w_id));
+    (Delivery, false)
+  end
+  else if pick < 0.96 then begin
+    ignore
+      (exec session
+         (Printf.sprintf
+            "SELECT count(*) FROM orders WHERE o_w_id = %d AND o_d_id = %d AND o_c_id = %d"
+            w_id d_id c_id));
+    (Order_status, false)
+  end
+  else begin
+    ignore
+      (exec session
+         (Printf.sprintf
+            "SELECT count(*) FROM stock WHERE s_w_id = %d AND s_quantity < 25"
+            w_id));
+    (Stock_level, false)
+  end
+
+let total_customer_balance db =
+  match (Db.exec db "SELECT sum(c_balance) FROM customer").Engine.Instance.rows with
+  | [ [| Datum.Float f |] ] -> f
+  | [ [| Datum.Int i |] ] -> float_of_int i
+  | [ [| Datum.Null |] ] -> 0.0
+  | _ -> nan
+
+let orders_match_district_counters db cfg =
+  let orders = Db.count db "orders" in
+  let counters =
+    match
+      (Db.exec db "SELECT sum(d_next_o_id) FROM district").Engine.Instance.rows
+    with
+    | [ [| Datum.Int n |] ] -> n
+    | _ -> -1
+  in
+  (* every district started at 1: sum(d_next_o_id) - #districts = #orders *)
+  counters - (cfg.warehouses * cfg.districts_per_warehouse) = orders

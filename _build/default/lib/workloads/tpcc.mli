@@ -1,0 +1,40 @@
+(** TPC-C-derived multi-tenant workload (HammerDB style, §4.1).
+
+    Warehouses are the tenants: every table carries a warehouse id, all
+    tables are distributed and co-located on it, and [item] is a reference
+    table. A configurable fraction of transactions touches a second
+    warehouse, which under Citus usually means a second node — the source
+    of the paper's sublinear 4→8 scaling. Transaction logic runs as stored
+    procedures so Citus can delegate the call to the warehouse's node. *)
+
+type config = {
+  warehouses : int;
+  districts_per_warehouse : int;
+  customers_per_district : int;
+  items : int;
+  remote_txn_fraction : float;  (** ~0.07 in the paper's workload *)
+}
+
+val default_config : config
+
+(** Create schema, distribute (when under Citus), bulk-load, and register
+    the [tpcc_new_order] / [tpcc_payment] procedures on every node. *)
+val setup : Db.t -> config -> unit
+
+(** Enable procedure delegation (requires a Citus handle; no-op
+    otherwise). Mirrors §4.1's configuration. *)
+val enable_delegation : Db.t -> unit
+
+type txn_kind = New_order | Payment | Delivery | Order_status | Stock_level
+
+(** Run one transaction of the standard mix on a session; returns the kind
+    and whether it touched more than one warehouse. *)
+val run_one :
+  Db.t -> Engine.Instance.session -> config -> Random.State.t ->
+  txn_kind * bool
+
+(** Sum of all customer balances (consistency invariant for tests). *)
+val total_customer_balance : Db.t -> float
+
+(** Next order ids are dense per district (invariant for tests). *)
+val orders_match_district_counters : Db.t -> config -> bool

@@ -1,0 +1,58 @@
+type config = { rows : int; fields : int; field_length : int }
+
+let default_config = { rows = 1000; fields = 10; field_length = 20 }
+
+let field_names cfg = List.init cfg.fields (fun i -> Printf.sprintf "field%d" i)
+
+let payload cfg rng =
+  String.init cfg.field_length (fun _ ->
+      Char.chr (Char.code 'a' + Random.State.int rng 26))
+
+let setup db cfg =
+  let cols =
+    String.concat ", "
+      (List.map (fun f -> f ^ " text") (field_names cfg))
+  in
+  ignore
+    (Db.exec db
+       (Printf.sprintf "CREATE TABLE usertable (ycsb_key bigint PRIMARY KEY, %s)"
+          cols));
+  Db.distribute db ~table:"usertable" ~column:"ycsb_key" ();
+  let rng = Random.State.make [| 7 |] in
+  let lines =
+    List.init cfg.rows (fun i ->
+        String.concat "\t"
+          (string_of_int (i + 1)
+           :: List.init cfg.fields (fun _ -> payload cfg rng)))
+  in
+  (* load in batches to bound statement sizes *)
+  let rec batches = function
+    | [] -> ()
+    | lines ->
+      let batch = List.filteri (fun i _ -> i < 500) lines in
+      let rest = List.filteri (fun i _ -> i >= 500) lines in
+      ignore (Engine.Instance.copy_in db.Db.session ~table:"usertable" ~columns:None batch);
+      batches rest
+  in
+  batches lines
+
+type op = Read | Update
+
+let next_op cfg rng =
+  let key = 1 + Random.State.int rng cfg.rows in
+  ((if Random.State.bool rng then Read else Update), key)
+
+let run_one session cfg rng =
+  let op, key = next_op cfg rng in
+  (match op with
+   | Read ->
+     ignore
+       (Db.exec_on session
+          (Printf.sprintf "SELECT * FROM usertable WHERE ycsb_key = %d" key))
+   | Update ->
+     let f = Random.State.int rng cfg.fields in
+     ignore
+       (Db.exec_on session
+          (Printf.sprintf "UPDATE usertable SET field%d = '%s' WHERE ycsb_key = %d"
+             f (payload cfg rng) key)));
+  op

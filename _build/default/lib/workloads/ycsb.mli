@@ -1,0 +1,20 @@
+(** YCSB-style high-performance CRUD workload (§4.3).
+
+    One [usertable] keyed by an integer, ten text payload fields. Workload
+    A is a 50/50 read/update mix with uniform key selection, each operation
+    a single-key statement — the fast-path planner's home turf. *)
+
+type config = { rows : int; fields : int; field_length : int }
+
+val default_config : config
+
+val setup : Db.t -> config -> unit
+
+type op = Read | Update
+
+(** One workload-A operation on a session. *)
+val run_one : Engine.Instance.session -> config -> Random.State.t -> op
+
+(** Key drawn by the last [run_one] is uniform in [1, rows]; exposed for
+    tests via a pure generator. *)
+val next_op : config -> Random.State.t -> op * int

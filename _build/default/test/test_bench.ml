@@ -1,0 +1,99 @@
+(* Guard the benchmark harness against bitrot: run the fast experiments
+   end-to-end and sanity-check that the reproduced shapes hold. The slow
+   figures (7, 8 at full size) are covered by their underlying workload
+   tests; the full set runs via `dune exec bench/main.exe`. *)
+
+let test_tables_render () = Tables.run ()
+
+let test_fig9_shapes () =
+  let results = Fig9.run () in
+  (* (label, same_tps, diff_tps, crossed) per setup 0+1 / 4+1 / 8+1 *)
+  match results with
+  | [ (_, same0, diff0, cross0); (_, same4, diff4, cross4); (_, same8, diff8, _) ]
+    ->
+    Alcotest.(check bool) "no cross-node txns on one node" true (cross0 = 0.0);
+    Alcotest.(check bool) "no 2PC penalty on one node" true
+      (diff0 >= same0 *. 0.95);
+    Alcotest.(check bool) "most diff-key txns are multi-node" true (cross4 > 0.5);
+    Alcotest.(check bool) "2PC penalty at 4+1" true (diff4 < same4 *. 0.95);
+    Alcotest.(check bool) "same-key scales with nodes" true
+      (same4 > same0 *. 2.0 && same8 > same4);
+    Alcotest.(check bool) "diff-key also scales" true
+      (diff4 > diff0 *. 2.0 && diff8 >= diff4 *. 0.95)
+  | _ -> Alcotest.fail "expected three setups"
+
+let test_fig6_shapes () =
+  let results = Fig6.run () in
+  match List.map (fun (_, (nopm, _, _)) -> nopm) results with
+  | [ pg; c0; c4; c8 ] ->
+    (* the paper's qualitative claims *)
+    Alcotest.(check bool) "0+1 slightly below postgres" true
+      (c0 < pg && c0 > pg *. 0.5);
+    Alcotest.(check bool) "4+1 well above postgres (memory fit)" true
+      (c4 > pg *. 4.0);
+    Alcotest.(check bool) "8+1 above 4+1 but sublinear" true
+      (c8 > c4 && c8 < c4 *. 2.0)
+  | _ -> Alcotest.fail "expected four setups"
+
+let test_fig10_shapes () =
+  let results = Fig10.run () in
+  match List.map (fun (_, (tps, _, _)) -> tps) results with
+  | [ pg; c0; c4; c8 ] ->
+    Alcotest.(check bool) "0+1 slightly below postgres" true
+      (c0 < pg && c0 > pg *. 0.5);
+    Alcotest.(check bool) "4+1 far above postgres" true (c4 > pg *. 4.0);
+    Alcotest.(check bool) "8+1 above 4+1" true (c8 > c4)
+  | _ -> Alcotest.fail "expected four setups"
+
+let test_closed_model_consistency () =
+  (* the harness-level wrapper must agree with the raw solver *)
+  let db = Workloads.Db.postgres () in
+  let u =
+    {
+      Harness.per_node =
+        [ ("coordinator", { Sim.Cost.cpu_s = 1.0; io_s = 2.0 }) ];
+      node_meters = [ ("coordinator", Engine.Meter.zero) ];
+      cross_rts = 0;
+      rows_shipped = 0;
+      connections = 0;
+    }
+  in
+  let c = Harness.closed_throughput db u ~n_txns:1000 ~clients:1000 ~think_s:0.0 in
+  (* io demand 2ms/txn on one disk: X = 500/s *)
+  Alcotest.(check (float 1.0)) "disk-bound tps" 500.0 c.Harness.tps;
+  Alcotest.(check bool) "bottleneck is the disk" true
+    (c.Harness.bottleneck = "coordinator/disk")
+
+let test_ablation_slow_start_shape () =
+  (* fast tasks: 1 connection under slow start; long tasks: full fan-out *)
+  let _, c_fast =
+    Citus.Adaptive_executor.simulate_timeline
+      ~durations:(List.init 16 (fun _ -> 0.0003))
+      ~slow_start:0.010 ~max_conns:16
+  in
+  let m_long, c_long =
+    Citus.Adaptive_executor.simulate_timeline
+      ~durations:(List.init 16 (fun _ -> 0.2))
+      ~slow_start:0.010 ~max_conns:16
+  in
+  Alcotest.(check int) "fast: one connection" 1 c_fast;
+  Alcotest.(check int) "long: sixteen" 16 c_long;
+  Alcotest.(check bool) "long: parallel" true (m_long < 0.5)
+
+let () =
+  Alcotest.run "bench"
+    [
+      ( "smoke",
+        [
+          Alcotest.test_case "tables render" `Quick test_tables_render;
+          Alcotest.test_case "fig6 shapes hold" `Slow test_fig6_shapes;
+          Alcotest.test_case "fig9 shapes hold" `Slow test_fig9_shapes;
+          Alcotest.test_case "fig10 shapes hold" `Slow test_fig10_shapes;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "closed model" `Quick test_closed_model_consistency;
+          Alcotest.test_case "slow start shape" `Quick
+            test_ablation_slow_start_shape;
+        ] );
+    ]

@@ -1,0 +1,447 @@
+(* Tenant isolation, consistent restore points, EXPLAIN, adaptive-executor
+   timeline, and the sim cost model. *)
+
+let make ?(workers = 2) ?(shard_count = 8) () =
+  let cluster = Cluster.Topology.create ~workers () in
+  let citus = Citus.Api.install ~shard_count cluster in
+  let s = Citus.Api.connect citus in
+  (cluster, citus, s)
+
+let exec s sql = Engine.Instance.exec s sql
+
+let one_int s sql =
+  match (exec s sql).Engine.Instance.rows with
+  | [ [| Datum.Int i |] ] -> i
+  | _ -> Alcotest.fail ("no int from " ^ sql)
+
+let check_int s msg expected sql = Alcotest.(check int) msg expected (one_int s sql)
+
+(* --- tenant isolation --- *)
+
+let setup_tenants s =
+  ignore (exec s "CREATE TABLE accounts (tenant bigint, id bigint, v text)");
+  ignore (exec s "SELECT create_distributed_table('accounts', 'tenant')");
+  ignore (exec s "CREATE TABLE notes (tenant bigint, note text)");
+  ignore (exec s "SELECT create_distributed_table('notes', 'tenant', 'accounts')");
+  ignore (exec s "BEGIN");
+  for tenant = 1 to 10 do
+    for i = 1 to 5 do
+      ignore
+        (exec s
+           (Printf.sprintf
+              "INSERT INTO accounts (tenant, id, v) VALUES (%d, %d, 't%d')" tenant
+              i tenant));
+      ignore
+        (exec s
+           (Printf.sprintf "INSERT INTO notes (tenant, note) VALUES (%d, 'n')" tenant))
+    done
+  done;
+  ignore (exec s "COMMIT")
+
+let test_isolate_tenant () =
+  let _, citus, s = make () in
+  setup_tenants s;
+  let st = Citus.Api.coordinator_state citus in
+  let before_shards =
+    List.length (Citus.Metadata.shards_of citus.Citus.Api.metadata "accounts")
+  in
+  let ids = Citus.Tenant.isolate_tenant st ~table:"accounts" ~value:(Datum.Int 7) in
+  Alcotest.(check int) "one new shard per colocated table" 2 (List.length ids);
+  let meta = citus.Citus.Api.metadata in
+  (* the tenant's shard now covers exactly its hash *)
+  let tenant_shard =
+    Citus.Metadata.shard_for_value meta ~table:"accounts" (Datum.Int 7)
+  in
+  Alcotest.(check int) "tenant shard id" (List.hd ids)
+    tenant_shard.Citus.Metadata.shard_id;
+  Alcotest.(check int32) "point range" tenant_shard.Citus.Metadata.min_hash
+    tenant_shard.Citus.Metadata.max_hash;
+  Alcotest.(check bool) "more shards than before" true
+    (List.length (Citus.Metadata.shards_of meta "accounts") > before_shards);
+  (* all data is still reachable and correct *)
+  check_int s "tenant rows intact" 5
+    "SELECT count(*) FROM accounts WHERE tenant = 7";
+  check_int s "all rows intact" 50 "SELECT count(*) FROM accounts";
+  check_int s "colocated join still works" 25
+    "SELECT count(*) FROM accounts JOIN notes ON accounts.tenant = notes.tenant \
+     WHERE accounts.tenant = 7";
+  (* colocation invariant: ranges still tile and groups still align *)
+  Alcotest.(check bool) "still colocated" true
+    (Citus.Metadata.colocated meta [ "accounts"; "notes" ])
+
+let test_isolate_then_move () =
+  let _, citus, s = make () in
+  setup_tenants s;
+  let st = Citus.Api.coordinator_state citus in
+  let meta = citus.Citus.Api.metadata in
+  let before =
+    Citus.Metadata.placement meta
+      (Citus.Metadata.shard_for_value meta ~table:"accounts" (Datum.Int 3))
+        .Citus.Metadata.shard_id
+  in
+  let to_node = if before = "worker1" then "worker2" else "worker1" in
+  let m =
+    Citus.Tenant.isolate_tenant_to_node st ~table:"accounts" ~value:(Datum.Int 3)
+      ~to_node
+  in
+  Alcotest.(check string) "moved" to_node m.Citus.Rebalancer.to_node;
+  check_int s "data intact after isolate+move" 5
+    "SELECT count(*) FROM accounts WHERE tenant = 3";
+  check_int s "all rows" 50 "SELECT count(*) FROM accounts"
+
+let test_isolate_via_udf () =
+  let _, _, s = make () in
+  setup_tenants s;
+  match
+    (exec s "SELECT isolate_tenant_to_new_shard('accounts', 5)").Engine.Instance.rows
+  with
+  | [ [| Datum.Int _ |] ] ->
+    check_int s "data intact" 50 "SELECT count(*) FROM accounts"
+  | _ -> Alcotest.fail "udf failed"
+
+(* --- consistent restore points --- *)
+
+let test_restore_point_on_all_nodes () =
+  let _, citus, s = make () in
+  ignore (exec s "CREATE TABLE t (k bigint)");
+  ignore (exec s "SELECT create_distributed_table('t', 'k')");
+  ignore (exec s "SELECT citus_create_restore_point('backup1')");
+  let st = Citus.Api.coordinator_state citus in
+  Alcotest.(check bool) "consistent" true
+    (Citus.Backup.restore_point_is_consistent st "backup1");
+  List.iter
+    (fun (_node, pos) ->
+      Alcotest.(check bool) "present" true (pos <> None))
+    (Citus.Backup.restore_point_positions st "backup1")
+
+let test_restore_point_fails_when_partitioned () =
+  let _, citus, s = make () in
+  ignore (exec s "CREATE TABLE t (k bigint)");
+  ignore (exec s "SELECT create_distributed_table('t', 'k')");
+  let st = Citus.Api.coordinator_state citus in
+  Citus.State.partition_node st "worker2";
+  (match exec s "SELECT citus_create_restore_point('backup2')" with
+   | exception _ -> ()
+   | _ -> Alcotest.fail "restore point must fail with an unreachable node");
+  Citus.State.heal_node st "worker2";
+  Alcotest.(check bool) "not consistent" false
+    (Citus.Backup.restore_point_is_consistent st "backup2")
+
+(* --- node failures during queries --- *)
+
+let test_worker_failure_mid_query () =
+  let _, citus, s = make () in
+  ignore (exec s "CREATE TABLE t (k bigint, v bigint)");
+  ignore (exec s "SELECT create_distributed_table('t', 'k')");
+  ignore (exec s "BEGIN");
+  for i = 1 to 20 do
+    ignore (exec s (Printf.sprintf "INSERT INTO t (k, v) VALUES (%d, %d)" i i))
+  done;
+  ignore (exec s "COMMIT");
+  let st = Citus.Api.coordinator_state citus in
+  Citus.State.partition_node st "worker2";
+  (* a multi-shard query must fail with a clean session error, not a stuck
+     session *)
+  (match exec s "SELECT count(*) FROM t" with
+   | exception Engine.Instance.Session_error _ -> ()
+   | _ -> Alcotest.fail "query should fail while a worker is down");
+  Citus.State.heal_node st "worker2";
+  (* the session recovers and answers correctly *)
+  check_int s "after heal" 20 "SELECT count(*) FROM t";
+  (* and writes still work *)
+  ignore (exec s "INSERT INTO t (k, v) VALUES (100, 1)");
+  check_int s "write after heal" 21 "SELECT count(*) FROM t"
+
+(* --- EXPLAIN --- *)
+
+let contains ~needle hay =
+  Engine.Expr_eval.like_match ~pattern:("%" ^ needle ^ "%") ~ci:true hay
+
+let test_explain_tiers () =
+  let _, _citus, s = make () in
+  ignore (exec s "CREATE TABLE t (k bigint PRIMARY KEY, v bigint)");
+  ignore (exec s "SELECT create_distributed_table('t', 'k')");
+  let explain sql =
+    match
+      (exec s (Printf.sprintf "SELECT citus_explain('%s')" sql))
+        .Engine.Instance.rows
+    with
+    | [ [| Datum.Text e |] ] -> e
+    | _ -> Alcotest.fail "no explain output"
+  in
+  Alcotest.(check bool) "fast path" true
+    (contains ~needle:"fast path" (explain "SELECT * FROM t WHERE k = 1"));
+  Alcotest.(check bool) "pushdown" true
+    (contains ~needle:"logical pushdown" (explain "SELECT count(*) FROM t"));
+  Alcotest.(check bool) "merge shown" true
+    (contains ~needle:"Merge step" (explain "SELECT count(*) FROM t"));
+  Alcotest.(check bool) "task fanout" true
+    (contains ~needle:"Tasks: 8" (explain "SELECT count(*) FROM t"));
+  Alcotest.(check bool) "local" true
+    (contains ~needle:"Local execution" (explain "SELECT 1"))
+
+let test_explain_join_order () =
+  let _, citus, s = make () in
+  ignore (exec s "CREATE TABLE big (k bigint, cat bigint)");
+  ignore (exec s "SELECT create_distributed_table('big', 'k')");
+  ignore (exec s "CREATE TABLE small (id bigint, cat bigint)");
+  ignore (exec s "SELECT create_distributed_table('small', 'id')");
+  ignore (exec s "INSERT INTO small (id, cat) VALUES (1, 1), (2, 2)");
+  let st = Citus.Api.coordinator_state citus in
+  let out =
+    Citus.Explain.explain st
+      "SELECT count(*) FROM big JOIN small ON big.cat = small.cat"
+  in
+  Alcotest.(check bool) "names the planner" true
+    (contains ~needle:"join-order" out);
+  Alcotest.(check bool) "names the anchor" true (contains ~needle:"Anchor" out)
+
+(* --- introspection --- *)
+
+let test_citus_shards_introspection () =
+  let _, _, s = make () in
+  ignore (exec s "CREATE TABLE t (k bigint)");
+  ignore (exec s "SELECT create_distributed_table('t', 'k')");
+  ignore (exec s "CREATE TABLE d (id bigint)");
+  ignore (exec s "SELECT create_reference_table('d')");
+  (match (exec s "SELECT citus_shards()").Engine.Instance.rows with
+   | [ [| Datum.Json (Json.Arr shards) |] ] ->
+     Alcotest.(check int) "8 dist shards + 1 reference shard" 9
+       (List.length shards)
+   | _ -> Alcotest.fail "citus_shards failed");
+  match (exec s "SELECT citus_tables()").Engine.Instance.rows with
+  | [ [| Datum.Json (Json.Arr tables) |] ] ->
+    Alcotest.(check int) "two citus tables" 2 (List.length tables);
+    let kinds =
+      List.filter_map
+        (fun t ->
+          match Json.get_field t "kind" with
+          | Some (Json.Str k) -> Some k
+          | _ -> None)
+        tables
+      |> List.sort String.compare
+    in
+    Alcotest.(check (list string)) "kinds" [ "distributed"; "reference" ] kinds
+  | _ -> Alcotest.fail "citus_tables failed"
+
+let test_subquery_on_reference_table_allowed () =
+  (* subqueries over reference tables are shard-local (every node has the
+     replica) and therefore fine inside multi-shard queries *)
+  let _, _, s = make () in
+  ignore (exec s "CREATE TABLE t (k bigint, cat bigint)");
+  ignore (exec s "SELECT create_distributed_table('t', 'k')");
+  ignore (exec s "CREATE TABLE allowed (cat bigint)");
+  ignore (exec s "SELECT create_reference_table('allowed')");
+  ignore (exec s "INSERT INTO allowed VALUES (1), (3)");
+  ignore (exec s "BEGIN");
+  for i = 1 to 20 do
+    ignore (exec s (Printf.sprintf "INSERT INTO t (k, cat) VALUES (%d, %d)" i (i mod 5)))
+  done;
+  ignore (exec s "COMMIT");
+  check_int s "IN over reference" 8
+    "SELECT count(*) FROM t WHERE cat IN (SELECT cat FROM allowed)"
+
+(* --- adaptive executor timeline --- *)
+
+let test_slow_start_single_fast_task () =
+  (* one sub-millisecond task finishes before a second connection would
+     open: effective connections = 1 *)
+  let makespan, conns =
+    Citus.Adaptive_executor.simulate_timeline ~durations:[ 0.0005 ]
+      ~slow_start:0.010 ~max_conns:16
+  in
+  Alcotest.(check int) "one connection" 1 conns;
+  Alcotest.(check (float 0.0001)) "makespan" 0.0005 makespan
+
+let test_slow_start_many_fast_tasks_stay_serial () =
+  (* 8 tasks of 1ms each: the first connection clears them before the ramp
+     opens many more *)
+  let durations = List.init 8 (fun _ -> 0.001) in
+  let makespan, conns =
+    Citus.Adaptive_executor.simulate_timeline ~durations ~slow_start:0.010
+      ~max_conns:16
+  in
+  Alcotest.(check bool) "few connections" true (conns <= 2);
+  Alcotest.(check bool) "mostly serial" true (makespan >= 0.007)
+
+let test_slow_start_long_tasks_ramp_up () =
+  (* 8 tasks of 100ms: the ramp opens connections and they run in
+     parallel *)
+  let durations = List.init 8 (fun _ -> 0.1) in
+  let makespan, conns =
+    Citus.Adaptive_executor.simulate_timeline ~durations ~slow_start:0.010
+      ~max_conns:16
+  in
+  Alcotest.(check int) "all parallel" 8 conns;
+  Alcotest.(check bool) "ramp-up cost only" true
+    (makespan < 0.2 && makespan >= 0.1)
+
+let test_shared_limit_caps_connections () =
+  let durations = List.init 32 (fun _ -> 0.1) in
+  let _, conns =
+    Citus.Adaptive_executor.simulate_timeline ~durations ~slow_start:0.010
+      ~max_conns:4
+  in
+  Alcotest.(check int) "capped" 4 conns
+
+let test_connection_affinity_within_txn () =
+  (* §3.6.1: inside a transaction, later statements touching the same
+     shard group must reuse the connection that holds its uncommitted
+     writes *)
+  let _, citus, s = make () in
+  ignore (exec s "CREATE TABLE t (k bigint PRIMARY KEY, v bigint)");
+  ignore (exec s "SELECT create_distributed_table('t', 'k')");
+  ignore (exec s "INSERT INTO t (k, v) VALUES (1, 0), (2, 0), (3, 0)");
+  let st = Citus.Api.coordinator_state citus in
+  ignore (exec s "BEGIN");
+  ignore (exec s "UPDATE t SET v = 1 WHERE k = 1");
+  let sst = Citus.State.session_state st s in
+  let affinity_before = List.length sst.Citus.State.affinity in
+  Alcotest.(check bool) "affinity recorded" true (affinity_before >= 1);
+  (* the own uncommitted write is visible through the same connection *)
+  check_int s "own write visible" 1 "SELECT v FROM t WHERE k = 1";
+  ignore (exec s "UPDATE t SET v = v + 1 WHERE k = 1");
+  check_int s "chained" 2 "SELECT v FROM t WHERE k = 1";
+  (* the number of distinct txn connections equals nodes touched, not
+     statements executed *)
+  Alcotest.(check bool) "bounded txn connections" true
+    (List.length sst.Citus.State.txn_conns <= 2);
+  ignore (exec s "COMMIT");
+  check_int s "committed" 2 "SELECT v FROM t WHERE k = 1"
+
+let test_multi_shard_select_inside_txn_sees_own_writes () =
+  let _, _, s = make () in
+  ignore (exec s "CREATE TABLE t (k bigint, v bigint)");
+  ignore (exec s "SELECT create_distributed_table('t', 'k')");
+  ignore (exec s "BEGIN");
+  for i = 1 to 10 do
+    ignore (exec s (Printf.sprintf "INSERT INTO t (k, v) VALUES (%d, 1)" i))
+  done;
+  (* a multi-shard aggregate inside the same transaction must see the
+     uncommitted rows (per-connection affinity makes that possible) *)
+  check_int s "sees own uncommitted rows" 10 "SELECT count(*) FROM t";
+  ignore (exec s "ROLLBACK");
+  check_int s "gone after rollback" 0 "SELECT count(*) FROM t"
+
+(* --- sim cost model --- *)
+
+let test_closed_throughput_client_bound () =
+  (* light work, few clients: client-population-bound *)
+  let r =
+    Sim.Cost.closed_throughput ~clients:10 ~think_s:0.0 ~delay_s:0.001
+      ~centers:[ { Sim.Cost.demand_s = 0.0001; servers = 16.0 } ]
+  in
+  Alcotest.(check bool) "not saturated" true (r.Sim.Cost.bottleneck = None);
+  Alcotest.(check (float 1.0)) "X = N/R" (10.0 /. 0.0011) r.Sim.Cost.throughput
+
+let test_closed_throughput_resource_bound () =
+  let r =
+    Sim.Cost.closed_throughput ~clients:1000 ~think_s:0.0 ~delay_s:0.0
+      ~centers:
+        [
+          { Sim.Cost.demand_s = 0.001; servers = 16.0 };
+          { Sim.Cost.demand_s = 0.004; servers = 1.0 };
+        ]
+  in
+  (* the disk (center 1) saturates first: X = 1/0.004 = 250 *)
+  Alcotest.(check (option int)) "disk bottleneck" (Some 1) r.Sim.Cost.bottleneck;
+  Alcotest.(check (float 0.1)) "throughput" 250.0 r.Sim.Cost.throughput
+
+let test_solo_elapsed_overlap () =
+  let spec = Sim.Cost.default_spec in
+  let d = { Sim.Cost.cpu_s = 0.8; io_s = 0.5 } in
+  (* CPU spread over 8 cores = 0.1 < io 0.5: io dominates *)
+  Alcotest.(check (float 0.001)) "io bound" 0.5
+    (Sim.Cost.solo_elapsed ~spec ~parallelism:8 d);
+  (* serial CPU dominates *)
+  Alcotest.(check (float 0.001)) "cpu bound" 0.8
+    (Sim.Cost.solo_elapsed ~spec ~parallelism:1 d)
+
+let test_demand_of_uses_weights () =
+  let spec = Sim.Cost.default_spec in
+  let m = { Engine.Meter.zero with Engine.Meter.statements = 10 } in
+  let d = Sim.Cost.demand_of ~spec ~meter:m ~misses:75 in
+  Alcotest.(check (float 1e-9)) "cpu" (10.0 *. 20.0 *. spec.Sim.Cost.cpu_unit)
+    d.Sim.Cost.cpu_s;
+  Alcotest.(check (float 1e-9)) "io" (75.0 /. 7500.0) d.Sim.Cost.io_s
+
+(* --- capability model --- *)
+
+let test_capability_matrix_matches_paper () =
+  let open Citus.Capability in
+  (* spot-check the distinctive cells of Table 2 *)
+  Alcotest.(check bool) "HC needs connection scaling" true
+    (requires High_performance_crud Connection_scaling = Required);
+  Alcotest.(check bool) "MT does not" true
+    (requires Multi_tenant Connection_scaling = Not_required);
+  Alcotest.(check bool) "DW needs non-colocated joins" true
+    (requires Data_warehousing Non_colocated_distributed_joins = Required);
+  Alcotest.(check bool) "DW no routing" true
+    (requires Data_warehousing Query_routing = Not_required);
+  Alcotest.(check bool) "RA columnar is Some" true
+    (requires Real_time_analytics Columnar_storage = Some_workloads);
+  (* every capability names an implementation site *)
+  List.iter
+    (fun c -> Alcotest.(check bool) "impl non-empty" true (implemented_by c <> ""))
+    capabilities
+
+let () =
+  Alcotest.run "citus_features"
+    [
+      ( "tenant_isolation",
+        [
+          Alcotest.test_case "isolate" `Quick test_isolate_tenant;
+          Alcotest.test_case "isolate + move" `Quick test_isolate_then_move;
+          Alcotest.test_case "via udf" `Quick test_isolate_via_udf;
+        ] );
+      ( "restore_points",
+        [
+          Alcotest.test_case "all nodes" `Quick test_restore_point_on_all_nodes;
+          Alcotest.test_case "partitioned fails" `Quick
+            test_restore_point_fails_when_partitioned;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "worker down mid-query" `Quick
+            test_worker_failure_mid_query;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "tiers" `Quick test_explain_tiers;
+          Alcotest.test_case "join order" `Quick test_explain_join_order;
+        ] );
+      ( "introspection",
+        [
+          Alcotest.test_case "citus_shards/tables" `Quick
+            test_citus_shards_introspection;
+          Alcotest.test_case "reference subquery" `Quick
+            test_subquery_on_reference_table_allowed;
+        ] );
+      ( "adaptive_executor",
+        [
+          Alcotest.test_case "single fast task" `Quick
+            test_slow_start_single_fast_task;
+          Alcotest.test_case "fast tasks stay serial" `Quick
+            test_slow_start_many_fast_tasks_stay_serial;
+          Alcotest.test_case "long tasks ramp up" `Quick
+            test_slow_start_long_tasks_ramp_up;
+          Alcotest.test_case "shared limit" `Quick test_shared_limit_caps_connections;
+        ] );
+      ( "affinity",
+        [
+          Alcotest.test_case "within txn" `Quick
+            test_connection_affinity_within_txn;
+          Alcotest.test_case "multi-shard sees own writes" `Quick
+            test_multi_shard_select_inside_txn_sees_own_writes;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "client bound" `Quick test_closed_throughput_client_bound;
+          Alcotest.test_case "resource bound" `Quick
+            test_closed_throughput_resource_bound;
+          Alcotest.test_case "solo elapsed" `Quick test_solo_elapsed_overlap;
+          Alcotest.test_case "demand weights" `Quick test_demand_of_uses_weights;
+        ] );
+      ( "capabilities",
+        [ Alcotest.test_case "table 2 cells" `Quick test_capability_matrix_matches_paper ] );
+    ]

@@ -1,0 +1,99 @@
+(* Cluster topology and connection accounting: the counters the benchmark
+   harness prices must mean what they claim. *)
+
+let test_topology_shapes () =
+  let c0 = Cluster.Topology.create ~workers:0 () in
+  Alcotest.(check int) "0 workers: coordinator is the data node" 1
+    (List.length (Cluster.Topology.data_nodes c0));
+  Alcotest.(check string) "it is the coordinator" "coordinator"
+    (List.hd (Cluster.Topology.data_nodes c0)).Cluster.Topology.node_name;
+  let c4 = Cluster.Topology.create ~workers:4 () in
+  Alcotest.(check int) "4 workers" 4 (List.length (Cluster.Topology.data_nodes c4));
+  Alcotest.(check int) "5 nodes total" 5 (List.length (Cluster.Topology.all_nodes c4));
+  (match Cluster.Topology.find_node c4 "worker3" with
+   | n -> Alcotest.(check string) "lookup" "worker3" n.Cluster.Topology.node_name);
+  match Cluster.Topology.find_node c4 "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown node must raise"
+
+let test_connection_round_trip_accounting () =
+  let c = Cluster.Topology.create ~workers:2 () in
+  let w1 = Cluster.Topology.find_node c "worker1" in
+  let before = Cluster.Topology.net_snapshot c in
+  let conn = Cluster.Connection.open_ ~origin:"coordinator" c w1 in
+  ignore (Cluster.Connection.exec conn "CREATE TABLE t (a bigint)");
+  ignore (Cluster.Connection.exec conn "INSERT INTO t VALUES (1)");
+  ignore (Cluster.Connection.exec conn "SELECT * FROM t");
+  let after = Cluster.Topology.net_snapshot c in
+  let d = Cluster.Topology.net_diff ~after ~before in
+  Alcotest.(check int) "one connection opened" 1 d.Cluster.Topology.connections_opened;
+  Alcotest.(check int) "three round trips" 3 d.Cluster.Topology.round_trips;
+  Alcotest.(check int) "all cross-node" 3 d.Cluster.Topology.cross_round_trips;
+  Alcotest.(check int) "one row shipped back" 1 d.Cluster.Topology.rows_shipped
+
+let test_local_connection_not_cross () =
+  let c = Cluster.Topology.create ~workers:2 () in
+  let coord = c.Cluster.Topology.coordinator in
+  let before = Cluster.Topology.net_snapshot c in
+  let conn = Cluster.Connection.open_ ~origin:"coordinator" c coord in
+  ignore (Cluster.Connection.exec conn "SELECT 1");
+  let d =
+    Cluster.Topology.net_diff ~after:(Cluster.Topology.net_snapshot c) ~before
+  in
+  Alcotest.(check int) "counts as a round trip" 1 d.Cluster.Topology.round_trips;
+  Alcotest.(check int) "but not cross-node" 0 d.Cluster.Topology.cross_round_trips
+
+let test_copy_counts_rows_shipped () =
+  let c = Cluster.Topology.create ~workers:1 () in
+  let w = Cluster.Topology.find_node c "worker1" in
+  let conn = Cluster.Connection.open_ ~origin:"coordinator" c w in
+  ignore (Cluster.Connection.exec conn "CREATE TABLE t (a bigint)");
+  let before = Cluster.Topology.net_snapshot c in
+  ignore (Cluster.Connection.copy conn ~table:"t" ~columns:None [ "1"; "2"; "3" ]);
+  let d =
+    Cluster.Topology.net_diff ~after:(Cluster.Topology.net_snapshot c) ~before
+  in
+  Alcotest.(check int) "one batch round trip" 1 d.Cluster.Topology.round_trips;
+  Alcotest.(check int) "three rows shipped" 3 d.Cluster.Topology.rows_shipped
+
+let test_exec_ast_ships_text () =
+  (* the statement travels as deparsed SQL: the remote engine re-parses *)
+  let c = Cluster.Topology.create ~workers:1 () in
+  let w = Cluster.Topology.find_node c "worker1" in
+  let conn = Cluster.Connection.open_ c w in
+  ignore (Cluster.Connection.exec conn "CREATE TABLE t (a bigint, b text)");
+  let stmt =
+    Sqlfront.Parser.parse_statement
+      "INSERT INTO t (a, b) VALUES (1, 'it''s quoted')"
+  in
+  ignore (Cluster.Connection.exec_ast conn stmt);
+  match
+    (Cluster.Connection.exec conn "SELECT b FROM t WHERE a = 1").Engine.Instance.rows
+  with
+  | [ [| Datum.Text "it's quoted" |] ] -> ()
+  | _ -> Alcotest.fail "text did not survive the wire"
+
+let test_clock () =
+  let clk = Sim.Clock.create () in
+  Alcotest.(check (float 0.0)) "starts at zero" 0.0 (Sim.Clock.now clk);
+  Sim.Clock.advance clk 1.5;
+  Sim.Clock.advance clk 0.5;
+  Alcotest.(check (float 1e-9)) "advances" 2.0 (Sim.Clock.now clk);
+  Sim.Clock.set clk 10.0;
+  Alcotest.(check (float 1e-9)) "set" 10.0 (Sim.Clock.now clk)
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "topology",
+        [ Alcotest.test_case "shapes" `Quick test_topology_shapes ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "round trips" `Quick
+            test_connection_round_trip_accounting;
+          Alcotest.test_case "local not cross" `Quick test_local_connection_not_cross;
+          Alcotest.test_case "copy rows" `Quick test_copy_counts_rows_shipped;
+          Alcotest.test_case "text wire format" `Quick test_exec_ast_ships_text;
+        ] );
+      ( "clock", [ Alcotest.test_case "basics" `Quick test_clock ] );
+    ]

@@ -1,0 +1,167 @@
+(* Unit and property tests for the datum and JSON substrate. *)
+
+let check_datum = Alcotest.testable Datum.pp Datum.equal
+
+let test_compare_numeric () =
+  Alcotest.(check int) "int vs int" (-1) (compare (Datum.compare (Int 1) (Int 2)) 0);
+  Alcotest.(check bool) "int vs float eq" true (Datum.equal (Int 3) (Float 3.0));
+  Alcotest.(check bool) "float vs int lt" true (Datum.compare (Float 2.5) (Int 3) < 0)
+
+let test_null_sorts_last () =
+  let sorted = List.sort Datum.compare [ Datum.Null; Int 1; Text "a" ] in
+  match List.rev sorted with
+  | Datum.Null :: _ -> ()
+  | _ -> Alcotest.fail "NULL should sort last"
+
+let test_hash_consistency () =
+  (* equal datums must hash equal, notably Int vs integral Float *)
+  Alcotest.(check int32) "int/float" (Datum.hash32 (Int 42))
+    (Datum.hash32 (Float 42.0));
+  Alcotest.(check bool) "different values differ" true
+    (Datum.hash32 (Int 1) <> Datum.hash32 (Int 2))
+
+let test_hash_range () =
+  (* hash32 must span negative and positive int32 values over a sample *)
+  let neg = ref false and pos = ref false in
+  for i = 0 to 999 do
+    let h = Datum.hash32 (Int i) in
+    if Int32.compare h 0l < 0 then neg := true else pos := true
+  done;
+  Alcotest.(check bool) "covers both signs" true (!neg && !pos)
+
+let test_sql_literal_roundtrip_text () =
+  Alcotest.(check string) "quotes escaped" "'it''s'"
+    (Datum.to_sql_literal (Text "it's"))
+
+let test_cast_text_int () =
+  Alcotest.(check check_datum) "parses" (Datum.Int 42)
+    (Datum.cast (Text " 42 ") TInt);
+  Alcotest.check_raises "garbage" (Datum.Cast_error "cannot cast xyz to bigint")
+    (fun () -> ignore (Datum.cast (Text "xyz") TInt))
+
+let test_cast_null () =
+  List.iter
+    (fun ty -> Alcotest.(check check_datum) "null" Datum.Null (Datum.cast Null ty))
+    [ Datum.TBool; TInt; TFloat; TText; TJson; TTimestamp ]
+
+let test_csv_null_marker () =
+  Alcotest.(check check_datum) "backslash-N" Datum.Null
+    (Datum.of_csv_field TInt "\\N")
+
+let test_json_parse_basic () =
+  let j = Json.parse {|{"a": 1, "b": [true, null, "x"], "c": {"d": 2.5}}|} in
+  Alcotest.(check bool) "field a" true
+    (Json.equal (Option.get (Json.get_field j "a")) (Json.Num 1.0));
+  Alcotest.(check bool) "nested" true
+    (Json.equal (Option.get (Json.get_path j [ "c"; "d" ])) (Json.Num 2.5));
+  Alcotest.(check (option int)) "array length" (Some 3)
+    (Json.array_length (Option.get (Json.get_field j "b")))
+
+let test_json_roundtrip () =
+  let src = {|{"k":"v","n":3,"arr":[1,2,{"x":null}],"t":true}|} in
+  let j = Json.parse src in
+  Alcotest.(check bool) "parse . to_string . parse = parse" true
+    (Json.equal j (Json.parse (Json.to_string j)))
+
+let test_json_escapes () =
+  let j = Json.parse {|{"s": "line\nbreak \"quoted\" \\ A"}|} in
+  match Json.get_field j "s" with
+  | Some (Json.Str s) ->
+    Alcotest.(check string) "unescaped" "line\nbreak \"quoted\" \\ A" s
+  | _ -> Alcotest.fail "expected string"
+
+let test_json_wildcard_path () =
+  let j =
+    Json.parse
+      {|{"payload": {"commits": [{"message": "fix"}, {"message": "feat"}]}}|}
+  in
+  match Json.get_path j [ "payload"; "commits"; "*"; "message" ] with
+  | Some (Json.Arr [ Json.Str "fix"; Json.Str "feat" ]) -> ()
+  | _ -> Alcotest.fail "wildcard path failed"
+
+let test_json_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "should reject %S" bad))
+    [ "{"; "[1,"; {|{"a" 1}|}; "tru"; ""; "1 2" ]
+
+(* --- property tests --- *)
+
+let datum_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      return Datum.Null;
+      map (fun b -> Datum.Bool b) bool;
+      map (fun i -> Datum.Int i) (int_range (-1000000) 1000000);
+      map (fun f -> Datum.Float f) (float_range (-1e6) 1e6);
+      map (fun s -> Datum.Text s) (string_size ~gen:printable (int_range 0 20));
+    ]
+
+let prop_compare_total =
+  QCheck2.Test.make ~name:"datum compare is antisymmetric" ~count:500
+    QCheck2.Gen.(pair datum_gen datum_gen)
+    (fun (a, b) ->
+      let c1 = Datum.compare a b and c2 = Datum.compare b a in
+      (c1 = 0 && c2 = 0) || (c1 > 0 && c2 < 0) || (c1 < 0 && c2 > 0))
+
+let prop_literal_roundtrip =
+  QCheck2.Test.make ~name:"text literal quoting is reversible" ~count:500
+    QCheck2.Gen.(string_size ~gen:printable (int_range 0 30))
+    (fun s ->
+      let lit = Datum.to_sql_literal (Text s) in
+      let body = String.sub lit 1 (String.length lit - 2) in
+      let buf = Buffer.create (String.length body) in
+      let i = ref 0 in
+      while !i < String.length body do
+        if
+          body.[!i] = '\''
+          && !i + 1 < String.length body
+          && body.[!i + 1] = '\''
+        then begin
+          Buffer.add_char buf '\'';
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf body.[!i];
+          incr i
+        end
+      done;
+      String.equal (Buffer.contents buf) s)
+
+let prop_hash_equal_consistent =
+  QCheck2.Test.make ~name:"equal datums hash equal" ~count:500
+    QCheck2.Gen.(pair datum_gen datum_gen)
+    (fun (a, b) ->
+      if Datum.equal a b then Datum.hash32 a = Datum.hash32 b else true)
+
+let () =
+  Alcotest.run "datum"
+    [
+      ( "datum",
+        [
+          Alcotest.test_case "compare numeric" `Quick test_compare_numeric;
+          Alcotest.test_case "null sorts last" `Quick test_null_sorts_last;
+          Alcotest.test_case "hash consistency" `Quick test_hash_consistency;
+          Alcotest.test_case "hash covers int32 range" `Quick test_hash_range;
+          Alcotest.test_case "sql literal escaping" `Quick
+            test_sql_literal_roundtrip_text;
+          Alcotest.test_case "cast text to int" `Quick test_cast_text_int;
+          Alcotest.test_case "cast null" `Quick test_cast_null;
+          Alcotest.test_case "csv null marker" `Quick test_csv_null_marker;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parse basic" `Quick test_json_parse_basic;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "wildcard path" `Quick test_json_wildcard_path;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_compare_total; prop_literal_roundtrip; prop_hash_equal_consistent ]
+      );
+    ]

@@ -1,0 +1,512 @@
+(* Engine edge cases: SQL NULL semantics, error paths, type coercion,
+   LIKE corner cases, index maintenance under churn, autovacuum, COPY
+   errors, cross-session visibility subtleties. *)
+
+open Engine
+
+let fresh () =
+  let inst = Instance.create ~name:"pg" () in
+  (inst, Instance.connect inst)
+
+let exec s sql = Instance.exec s sql
+
+let rows s sql = (exec s sql).Instance.rows
+
+let one s sql =
+  match rows s sql with
+  | [ [| d |] ] -> d
+  | _ -> Alcotest.fail ("expected one cell from " ^ sql)
+
+let one_int s sql =
+  match one s sql with
+  | Datum.Int i -> i
+  | d -> Alcotest.fail ("expected int, got " ^ Datum.to_display d)
+
+let expect_error s sql =
+  match exec s sql with
+  | exception Instance.Session_error _ -> ()
+  | exception Executor.Exec_error _ -> ()
+  | _ -> Alcotest.fail ("should have failed: " ^ sql)
+
+(* --- NULL semantics --- *)
+
+let setup_nulls s =
+  ignore (exec s "CREATE TABLE n (a bigint, b bigint)");
+  ignore (exec s "INSERT INTO n VALUES (1, 10), (2, NULL), (NULL, 30), (NULL, NULL)")
+
+let test_null_comparisons () =
+  let _, s = fresh () in
+  setup_nulls s;
+  Alcotest.(check int) "= NULL matches nothing" 0
+    (one_int s "SELECT count(*) FROM n WHERE a = NULL");
+  Alcotest.(check int) "IS NULL" 2 (one_int s "SELECT count(*) FROM n WHERE a IS NULL");
+  Alcotest.(check int) "IS NOT NULL" 2
+    (one_int s "SELECT count(*) FROM n WHERE a IS NOT NULL");
+  Alcotest.(check int) "<> skips nulls" 1
+    (one_int s "SELECT count(*) FROM n WHERE a <> 1")
+
+let test_null_three_valued_logic () =
+  let _, s = fresh () in
+  setup_nulls s;
+  (* NULL OR TRUE = TRUE; NULL AND TRUE = NULL (rejected by WHERE) *)
+  Alcotest.(check int) "null or true" 4
+    (one_int s "SELECT count(*) FROM n WHERE a = NULL OR TRUE");
+  Alcotest.(check int) "null and true" 0
+    (one_int s "SELECT count(*) FROM n WHERE a = NULL AND TRUE");
+  (* NOT NULL is NULL *)
+  Alcotest.(check int) "not null-cmp" 0
+    (one_int s "SELECT count(*) FROM n WHERE NOT (a = NULL)")
+
+let test_null_in_aggregates () =
+  let _, s = fresh () in
+  setup_nulls s;
+  Alcotest.(check int) "count(*) counts all" 4 (one_int s "SELECT count(*) FROM n");
+  Alcotest.(check int) "count(a) skips nulls" 2 (one_int s "SELECT count(a) FROM n");
+  Alcotest.(check int) "sum skips nulls" 3 (one_int s "SELECT sum(a) FROM n");
+  (* avg over non-null values only *)
+  (match one s "SELECT avg(b) FROM n" with
+   | Datum.Float f -> Alcotest.(check (float 0.001)) "avg" 20.0 f
+   | _ -> Alcotest.fail "avg type");
+  (* min/max ignore nulls *)
+  Alcotest.(check int) "min" 1 (one_int s "SELECT min(a) FROM n")
+
+let test_null_in_group_by () =
+  let _, s = fresh () in
+  setup_nulls s;
+  (* NULL forms its own group *)
+  Alcotest.(check int) "3 groups" 3
+    (List.length (rows s "SELECT a, count(*) FROM n GROUP BY a"))
+
+let test_null_ordering () =
+  let _, s = fresh () in
+  setup_nulls s;
+  (* NULLS LAST on ascending order *)
+  match rows s "SELECT a FROM n ORDER BY a ASC" with
+  | [ [| Datum.Int 1 |]; [| Datum.Int 2 |]; [| Datum.Null |]; [| Datum.Null |] ]
+    -> ()
+  | _ -> Alcotest.fail "nulls last failed"
+
+let test_in_list_with_null () =
+  let _, s = fresh () in
+  setup_nulls s;
+  (* x IN (1, NULL): true for 1, NULL (not true) otherwise *)
+  Alcotest.(check int) "in with null" 1
+    (one_int s "SELECT count(*) FROM n WHERE a IN (1, NULL)");
+  (* NOT IN with NULL matches nothing *)
+  Alcotest.(check int) "not in with null" 0
+    (one_int s "SELECT count(*) FROM n WHERE a NOT IN (1, NULL)")
+
+(* --- errors --- *)
+
+let test_division_by_zero () =
+  let _, s = fresh () in
+  ignore (exec s "CREATE TABLE t (a bigint)");
+  ignore (exec s "INSERT INTO t VALUES (1)");
+  expect_error s "SELECT a / 0 FROM t"
+
+let test_unknown_column_and_table () =
+  let _, s = fresh () in
+  ignore (exec s "CREATE TABLE t (a bigint)");
+  expect_error s "SELECT nope FROM t";
+  expect_error s "SELECT * FROM missing";
+  expect_error s "INSERT INTO missing VALUES (1)"
+
+let test_ambiguous_column () =
+  let _, s = fresh () in
+  ignore (exec s "CREATE TABLE x (v bigint)");
+  ignore (exec s "CREATE TABLE y (v bigint)");
+  ignore (exec s "INSERT INTO x VALUES (1)");
+  ignore (exec s "INSERT INTO y VALUES (1)");
+  expect_error s "SELECT v FROM x, y"
+
+let test_cast_error_aborts_autocommit_txn () =
+  let _, s = fresh () in
+  ignore (exec s "CREATE TABLE t (a bigint)");
+  expect_error s "INSERT INTO t VALUES ('not-a-number')";
+  Alcotest.(check int) "nothing inserted" 0 (one_int s "SELECT count(*) FROM t")
+
+let test_error_inside_block_keeps_prior_writes_pending () =
+  let _, s = fresh () in
+  ignore (exec s "CREATE TABLE t (a bigint)");
+  ignore (exec s "BEGIN");
+  ignore (exec s "INSERT INTO t VALUES (1)");
+  expect_error s "SELECT 1 / 0";
+  (* block failed: COMMIT acts as rollback *)
+  ignore (exec s "COMMIT");
+  Alcotest.(check int) "rolled back" 0 (one_int s "SELECT count(*) FROM t")
+
+(* --- coercion / expressions --- *)
+
+let test_int_float_mixing () =
+  let _, s = fresh () in
+  (match one s "SELECT 1 + 2.5" with
+   | Datum.Float f -> Alcotest.(check (float 0.001)) "promote" 3.5 f
+   | _ -> Alcotest.fail "type");
+  (* integer division truncates *)
+  Alcotest.(check int) "int div" 2 (one_int s "SELECT 7 / 3");
+  Alcotest.(check int) "modulo" 1 (one_int s "SELECT 7 % 3")
+
+let test_text_concat () =
+  let _, s = fresh () in
+  match one s "SELECT 'a' || 'b' || 42" with
+  | Datum.Text "ab42" -> ()
+  | d -> Alcotest.fail (Datum.to_display d)
+
+let test_case_without_else_is_null () =
+  let _, s = fresh () in
+  match one s "SELECT CASE WHEN FALSE THEN 1 END" with
+  | Datum.Null -> ()
+  | d -> Alcotest.fail (Datum.to_display d)
+
+let test_coalesce_nullif () =
+  let _, s = fresh () in
+  Alcotest.(check int) "coalesce" 5 (one_int s "SELECT coalesce(NULL, NULL, 5, 9)");
+  (match one s "SELECT nullif(3, 3)" with
+   | Datum.Null -> ()
+   | _ -> Alcotest.fail "nullif equal");
+  Alcotest.(check int) "nullif different" 3 (one_int s "SELECT nullif(3, 4)")
+
+let test_like_corner_cases () =
+  let m pattern str = Expr_eval.like_match ~pattern ~ci:false str in
+  Alcotest.(check bool) "empty pattern empty string" true (m "" "");
+  Alcotest.(check bool) "empty pattern" false (m "" "x");
+  Alcotest.(check bool) "pure percent" true (m "%" "");
+  Alcotest.(check bool) "underscore" true (m "a_c" "abc");
+  Alcotest.(check bool) "underscore strict" false (m "a_c" "ac");
+  Alcotest.(check bool) "multi percent" true (m "%a%b%" "xxaxxbxx");
+  Alcotest.(check bool) "anchored" false (m "a%" "ba");
+  Alcotest.(check bool) "repeated pattern" true (m "%ab%ab%" "abab")
+
+let test_between_inclusive () =
+  let _, s = fresh () in
+  ignore (exec s "CREATE TABLE t (a bigint)");
+  ignore (exec s "INSERT INTO t VALUES (1), (2), (3)");
+  Alcotest.(check int) "inclusive" 3
+    (one_int s "SELECT count(*) FROM t WHERE a BETWEEN 1 AND 3")
+
+let test_offset_beyond_rows () =
+  let _, s = fresh () in
+  ignore (exec s "CREATE TABLE t (a bigint)");
+  ignore (exec s "INSERT INTO t VALUES (1), (2)");
+  Alcotest.(check int) "empty past end" 0
+    (List.length (rows s "SELECT a FROM t ORDER BY a OFFSET 10"));
+  Alcotest.(check int) "limit zero" 0
+    (List.length (rows s "SELECT a FROM t LIMIT 0"))
+
+let test_multi_key_ordering () =
+  let _, s = fresh () in
+  ignore (exec s "CREATE TABLE t (a bigint, b bigint)");
+  ignore (exec s "INSERT INTO t VALUES (1, 2), (1, 1), (2, 1), (2, 2)");
+  match rows s "SELECT a, b FROM t ORDER BY a ASC, b DESC" with
+  | [
+   [| Datum.Int 1; Datum.Int 2 |];
+   [| Datum.Int 1; Datum.Int 1 |];
+   [| Datum.Int 2; Datum.Int 2 |];
+   [| Datum.Int 2; Datum.Int 1 |];
+  ] ->
+    ()
+  | _ -> Alcotest.fail "mixed-direction ordering failed"
+
+(* --- index maintenance under churn --- *)
+
+let test_secondary_index_sees_updates () =
+  let _, s = fresh () in
+  ignore (exec s "CREATE TABLE t (k bigint PRIMARY KEY, v bigint)");
+  ignore (exec s "CREATE INDEX t_v ON t USING BTREE (v)");
+  for i = 1 to 50 do
+    ignore (exec s (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" i (i mod 5)))
+  done;
+  ignore (exec s "UPDATE t SET v = 99 WHERE v = 3");
+  Alcotest.(check int) "moved rows found via index" 10
+    (one_int s "SELECT count(*) FROM t WHERE v = 99");
+  Alcotest.(check int) "old value gone" 0
+    (one_int s "SELECT count(*) FROM t WHERE v = 3")
+
+let test_index_correct_after_vacuum () =
+  let inst, s = fresh () in
+  ignore (exec s "CREATE TABLE t (k bigint PRIMARY KEY, v bigint)");
+  ignore (exec s "CREATE INDEX t_v ON t USING BTREE (v)");
+  for i = 1 to 30 do
+    ignore (exec s (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" i i))
+  done;
+  ignore (exec s "DELETE FROM t WHERE v <= 20");
+  ignore (exec s "VACUUM t");
+  (* slots are reused; index lookups must not resurrect old rows *)
+  for i = 101 to 110 do
+    ignore (exec s (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" i i))
+  done;
+  Alcotest.(check int) "no ghosts" 0
+    (one_int s "SELECT count(*) FROM t WHERE v = 5");
+  Alcotest.(check int) "new rows found" 1
+    (one_int s "SELECT count(*) FROM t WHERE v = 105");
+  Alcotest.(check int) "total" 20 (one_int s "SELECT count(*) FROM t");
+  ignore inst
+
+let test_autovacuum_via_maintenance () =
+  let inst, s = fresh () in
+  ignore (exec s "CREATE TABLE t (k bigint PRIMARY KEY)");
+  ignore (exec s "BEGIN");
+  for i = 1 to 100 do
+    ignore (exec s (Printf.sprintf "INSERT INTO t VALUES (%d)" i))
+  done;
+  ignore (exec s "COMMIT");
+  ignore (exec s "DELETE FROM t WHERE k <= 80");
+  let catalog = Instance.catalog inst in
+  let heap =
+    match (Catalog.find_table catalog "t").Catalog.store with
+    | Catalog.Heap_store h -> h
+    | _ -> assert false
+  in
+  Alcotest.(check bool) "dead tuples before" true (Storage.Heap.dead_estimate heap > 50);
+  Instance.maintenance_tick inst;
+  Alcotest.(check int) "autovacuum reclaimed" 0 (Storage.Heap.dead_estimate heap)
+
+(* --- COPY --- *)
+
+let test_copy_field_count_mismatch () =
+  let _, s = fresh () in
+  ignore (exec s "CREATE TABLE t (a bigint, b text)");
+  (match Instance.copy_in s ~table:"t" ~columns:None [ "1\tx\textra" ] with
+   | exception Instance.Session_error _ -> ()
+   | _ -> Alcotest.fail "should reject wrong field count");
+  (match Instance.copy_in s ~table:"t" ~columns:None [ "oops\tx" ] with
+   | exception Instance.Session_error _ -> ()
+   | _ -> Alcotest.fail "should reject bad int")
+
+let test_copy_column_subset () =
+  let _, s = fresh () in
+  ignore (exec s "CREATE TABLE t (a bigint, b text DEFAULT 'd', c bigint)");
+  ignore (Instance.copy_in s ~table:"t" ~columns:(Some [ "a"; "c" ]) [ "1\t2" ]);
+  match rows s "SELECT a, b, c FROM t" with
+  | [ [| Datum.Int 1; Datum.Null; Datum.Int 2 |] ] ->
+    (* COPY does not apply defaults (like PostgreSQL): unlisted columns are NULL *)
+    ()
+  | _ -> Alcotest.fail "copy subset failed"
+
+(* --- visibility subtleties --- *)
+
+let test_own_uncommitted_update_chain () =
+  let _, s = fresh () in
+  ignore (exec s "CREATE TABLE t (k bigint PRIMARY KEY, v bigint)");
+  ignore (exec s "INSERT INTO t VALUES (1, 0)");
+  ignore (exec s "BEGIN");
+  ignore (exec s "UPDATE t SET v = v + 1 WHERE k = 1");
+  ignore (exec s "UPDATE t SET v = v + 1 WHERE k = 1");
+  ignore (exec s "UPDATE t SET v = v + 1 WHERE k = 1");
+  Alcotest.(check int) "sees own chain" 3 (one_int s "SELECT v FROM t WHERE k = 1");
+  Alcotest.(check int) "single visible version" 1
+    (one_int s "SELECT count(*) FROM t");
+  ignore (exec s "COMMIT");
+  Alcotest.(check int) "after commit" 3 (one_int s "SELECT v FROM t WHERE k = 1")
+
+let test_read_committed_sees_new_data_per_statement () =
+  let inst, s1 = fresh () in
+  let s2 = Instance.connect inst in
+  ignore (exec s1 "CREATE TABLE t (k bigint)");
+  ignore (exec s2 "BEGIN");
+  Alcotest.(check int) "empty" 0 (one_int s2 "SELECT count(*) FROM t");
+  ignore (exec s1 "INSERT INTO t VALUES (1)");
+  (* read committed: the next statement takes a fresh snapshot *)
+  Alcotest.(check int) "sees committed insert" 1
+    (one_int s2 "SELECT count(*) FROM t");
+  ignore (exec s2 "COMMIT")
+
+let test_delete_then_insert_same_pk_in_txn () =
+  let _, s = fresh () in
+  ignore (exec s "CREATE TABLE t (k bigint PRIMARY KEY, v text)");
+  ignore (exec s "INSERT INTO t VALUES (1, 'old')");
+  ignore (exec s "BEGIN");
+  ignore (exec s "DELETE FROM t WHERE k = 1");
+  ignore (exec s "INSERT INTO t VALUES (1, 'new')");
+  ignore (exec s "COMMIT");
+  match rows s "SELECT v FROM t WHERE k = 1" with
+  | [ [| Datum.Text "new" |] ] -> ()
+  | _ -> Alcotest.fail "replace within txn failed"
+
+(* --- function library --- *)
+
+let test_string_functions () =
+  let _, s = fresh () in
+  (match one s "SELECT substr('postgresql', 1, 8)" with
+   | Datum.Text "postgres" -> ()
+   | d -> Alcotest.fail (Datum.to_display d));
+  (match one s "SELECT substr('abc', 10)" with
+   | Datum.Text "" -> ()
+   | d -> Alcotest.fail (Datum.to_display d));
+  Alcotest.(check int) "strpos hit" 5 (one_int s "SELECT strpos('distributed', 'r')");
+  Alcotest.(check int) "strpos miss" 0 (one_int s "SELECT strpos('abc', 'z')");
+  (match one s "SELECT upper('mixED') || lower('CaSe')" with
+   | Datum.Text "MIXEDcase" -> ()
+   | d -> Alcotest.fail (Datum.to_display d));
+  Alcotest.(check int) "length" 5 (one_int s "SELECT length('citus')");
+  match one s "SELECT md5('x')" with
+  | Datum.Text h -> Alcotest.(check int) "md5 hex length" 32 (String.length h)
+  | d -> Alcotest.fail (Datum.to_display d)
+
+let test_numeric_functions () =
+  let _, s = fresh () in
+  Alcotest.(check int) "abs int" 7 (one_int s "SELECT abs(0 - 7)");
+  (match one s "SELECT floor(3.7)" with
+   | Datum.Float f -> Alcotest.(check (float 0.001)) "floor" 3.0 f
+   | d -> Alcotest.fail (Datum.to_display d));
+  (match one s "SELECT power(2.0, 10.0)" with
+   | Datum.Float f -> Alcotest.(check (float 0.001)) "power" 1024.0 f
+   | d -> Alcotest.fail (Datum.to_display d));
+  Alcotest.(check int) "greatest" 9 (one_int s "SELECT greatest(3, 9, NULL, 1)");
+  Alcotest.(check int) "least" 1 (one_int s "SELECT least(3, 9, NULL, 1)");
+  Alcotest.(check int) "mod function" 2 (one_int s "SELECT mod(17, 5)")
+
+let test_json_builders () =
+  let _, s = fresh () in
+  match one s "SELECT jsonb_build_object('a', 1, 'b', 'x')" with
+  | Datum.Json j ->
+    Alcotest.(check bool) "field a" true
+      (Json.equal (Option.get (Json.get_field j "a")) (Json.Num 1.0));
+    Alcotest.(check bool) "field b" true
+      (Json.equal (Option.get (Json.get_field j "b")) (Json.Str "x"))
+  | d -> Alcotest.fail (Datum.to_display d)
+
+let test_unknown_function_errors () =
+  let _, s = fresh () in
+  expect_error s "SELECT no_such_function(1)"
+
+let test_strict_functions_propagate_null () =
+  let _, s = fresh () in
+  (match one s "SELECT length(NULL)" with
+   | Datum.Null -> ()
+   | d -> Alcotest.fail (Datum.to_display d));
+  match one s "SELECT md5(NULL)" with
+  | Datum.Null -> ()
+  | d -> Alcotest.fail (Datum.to_display d)
+
+(* --- subqueries --- *)
+
+let test_uncorrelated_subquery_evaluated_once () =
+  (* InitPlan semantics: the filter subquery must not re-execute per row.
+     With 2000 outer rows and a 500-row inner table, per-row re-execution
+     would do ~1M row visits; the meter proves it stays linear. *)
+  let inst, s = fresh () in
+  ignore (exec s "CREATE TABLE big (k bigint)");
+  ignore (exec s "CREATE TABLE lookup (k bigint)");
+  ignore (exec s "BEGIN");
+  for i = 1 to 2000 do
+    ignore (exec s (Printf.sprintf "INSERT INTO big VALUES (%d)" i))
+  done;
+  for i = 1 to 500 do
+    ignore (exec s (Printf.sprintf "INSERT INTO lookup VALUES (%d)" (i * 2)))
+  done;
+  ignore (exec s "COMMIT");
+  let before = Meter.read (Instance.meter inst) in
+  Alcotest.(check int) "result" 500
+    (one_int s "SELECT count(*) FROM big WHERE k IN (SELECT k FROM lookup)");
+  let d = Meter.diff ~after:(Meter.read (Instance.meter inst)) ~before in
+  Alcotest.(check bool) "linear work, not quadratic" true
+    (d.Meter.rows_scanned < 6000)
+
+let test_scalar_subquery_in_filter () =
+  let _, s = fresh () in
+  ignore (exec s "CREATE TABLE t (v bigint)");
+  ignore (exec s "INSERT INTO t VALUES (1), (5), (9)");
+  Alcotest.(check int) "above average" 1
+    (one_int s
+       "SELECT count(*) FROM t WHERE v > (SELECT avg(v) FROM t) + 1")
+
+(* --- json --- *)
+
+let test_json_null_propagation () =
+  let _, s = fresh () in
+  ignore (exec s "CREATE TABLE t (d jsonb)");
+  ignore (exec s {|INSERT INTO t VALUES ('{"a": {"b": 1}}'), (NULL)|});
+  Alcotest.(check int) "missing key is sql null" 1
+    (one_int s "SELECT count(*) FROM t WHERE d->'missing' IS NULL AND d IS NOT NULL");
+  Alcotest.(check int) "chained access" 1
+    (one_int s "SELECT count(*) FROM t WHERE (d->'a'->>'b')::bigint = 1")
+
+let test_json_deep_nesting () =
+  let _, s = fresh () in
+  ignore (exec s "CREATE TABLE t (d jsonb)");
+  ignore
+    (exec s {|INSERT INTO t VALUES ('{"a": [{"b": [1, 2, {"c": "deep"}]}]}')|});
+  match rows s "SELECT d->'a'->0->'b'->2->>'c' FROM t" with
+  | [ [| Datum.Text "deep" |] ] -> ()
+  | _ -> Alcotest.fail "deep access failed"
+
+let () =
+  Alcotest.run "engine_edge"
+    [
+      ( "nulls",
+        [
+          Alcotest.test_case "comparisons" `Quick test_null_comparisons;
+          Alcotest.test_case "three-valued logic" `Quick
+            test_null_three_valued_logic;
+          Alcotest.test_case "aggregates" `Quick test_null_in_aggregates;
+          Alcotest.test_case "group by" `Quick test_null_in_group_by;
+          Alcotest.test_case "ordering" `Quick test_null_ordering;
+          Alcotest.test_case "in-list" `Quick test_in_list_with_null;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "unknown names" `Quick test_unknown_column_and_table;
+          Alcotest.test_case "ambiguous column" `Quick test_ambiguous_column;
+          Alcotest.test_case "cast error aborts" `Quick
+            test_cast_error_aborts_autocommit_txn;
+          Alcotest.test_case "error in block" `Quick
+            test_error_inside_block_keeps_prior_writes_pending;
+        ] );
+      ( "expressions",
+        [
+          Alcotest.test_case "int/float mixing" `Quick test_int_float_mixing;
+          Alcotest.test_case "concat" `Quick test_text_concat;
+          Alcotest.test_case "case without else" `Quick
+            test_case_without_else_is_null;
+          Alcotest.test_case "coalesce/nullif" `Quick test_coalesce_nullif;
+          Alcotest.test_case "like corners" `Quick test_like_corner_cases;
+          Alcotest.test_case "between inclusive" `Quick test_between_inclusive;
+          Alcotest.test_case "offset beyond rows" `Quick test_offset_beyond_rows;
+          Alcotest.test_case "multi-key order" `Quick test_multi_key_ordering;
+        ] );
+      ( "index_churn",
+        [
+          Alcotest.test_case "updates visible via index" `Quick
+            test_secondary_index_sees_updates;
+          Alcotest.test_case "correct after vacuum" `Quick
+            test_index_correct_after_vacuum;
+          Alcotest.test_case "autovacuum" `Quick test_autovacuum_via_maintenance;
+        ] );
+      ( "copy",
+        [
+          Alcotest.test_case "field mismatch" `Quick test_copy_field_count_mismatch;
+          Alcotest.test_case "column subset" `Quick test_copy_column_subset;
+        ] );
+      ( "visibility",
+        [
+          Alcotest.test_case "own update chain" `Quick
+            test_own_uncommitted_update_chain;
+          Alcotest.test_case "read committed" `Quick
+            test_read_committed_sees_new_data_per_statement;
+          Alcotest.test_case "delete+insert same pk" `Quick
+            test_delete_then_insert_same_pk_in_txn;
+        ] );
+      ( "functions",
+        [
+          Alcotest.test_case "strings" `Quick test_string_functions;
+          Alcotest.test_case "numerics" `Quick test_numeric_functions;
+          Alcotest.test_case "json builders" `Quick test_json_builders;
+          Alcotest.test_case "unknown errors" `Quick test_unknown_function_errors;
+          Alcotest.test_case "strict null" `Quick
+            test_strict_functions_propagate_null;
+        ] );
+      ( "subqueries",
+        [
+          Alcotest.test_case "initplan once" `Quick
+            test_uncorrelated_subquery_evaluated_once;
+          Alcotest.test_case "scalar in filter" `Quick
+            test_scalar_subquery_in_filter;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "null propagation" `Quick test_json_null_propagation;
+          Alcotest.test_case "deep nesting" `Quick test_json_deep_nesting;
+        ] );
+    ]

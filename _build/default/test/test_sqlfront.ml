@@ -1,0 +1,536 @@
+(* Parser / deparser tests, including the round-trip property the Citus
+   planners depend on (they deparse rewritten trees and workers re-parse). *)
+
+open Sqlfront
+
+let roundtrip_stmt src =
+  let ast = Parser.parse_statement src in
+  let text = Deparse.statement ast in
+  let ast2 = Parser.parse_statement text in
+  if ast <> ast2 then
+    Alcotest.fail
+      (Printf.sprintf "round trip changed AST:\n  src: %s\n  deparsed: %s" src
+         text)
+
+let test_select_simple () =
+  match Parser.parse_statement "SELECT a, b FROM t WHERE a = 1" with
+  | Ast.Select_stmt s ->
+    Alcotest.(check int) "projections" 2 (List.length s.projections);
+    Alcotest.(check bool) "has where" true (s.where <> None)
+  | _ -> Alcotest.fail "expected select"
+
+let test_select_star () =
+  match Parser.parse_statement "SELECT * FROM t" with
+  | Ast.Select_stmt { projections = [ Ast.Star ]; _ } -> ()
+  | _ -> Alcotest.fail "expected star projection"
+
+let test_qualified_star () =
+  match Parser.parse_statement "SELECT t.* FROM t" with
+  | Ast.Select_stmt { projections = [ Ast.Star_of "t" ]; _ } -> ()
+  | _ -> Alcotest.fail "expected qualified star"
+
+let test_operator_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3) *)
+  match Parser.parse_expression "1 + 2 * 3" with
+  | Ast.Bin (Add, Const (Int 1), Bin (Mul, Const (Int 2), Const (Int 3))) -> ()
+  | e -> Alcotest.fail (Deparse.expr e)
+
+let test_and_or_precedence () =
+  match Parser.parse_expression "a = 1 OR b = 2 AND c = 3" with
+  | Ast.Or (_, Ast.And (_, _)) -> ()
+  | e -> Alcotest.fail (Deparse.expr e)
+
+let test_json_operators () =
+  match Parser.parse_expression "data->'payload'->>'size'" with
+  | Ast.Json_get (Ast.Json_get (Ast.Column (None, "data"), _, false), _, true)
+    -> ()
+  | e -> Alcotest.fail (Deparse.expr e)
+
+let test_cast_chain () =
+  match Parser.parse_expression "(data->>'n')::bigint" with
+  | Ast.Cast (Ast.Json_get _, Datum.TInt) -> ()
+  | e -> Alcotest.fail (Deparse.expr e)
+
+let test_date_cast_becomes_function () =
+  match Parser.parse_expression "(data->>'created_at')::date" with
+  | Ast.Func ("sql_date", [ Ast.Json_get _ ]) -> ()
+  | e -> Alcotest.fail (Deparse.expr e)
+
+let test_count_star () =
+  match Parser.parse_expression "count(*)" with
+  | Ast.Agg { agg_name = "count"; agg_arg = None; agg_distinct = false } -> ()
+  | e -> Alcotest.fail (Deparse.expr e)
+
+let test_agg_distinct () =
+  match Parser.parse_expression "count(DISTINCT user_id)" with
+  | Ast.Agg { agg_name = "count"; agg_arg = Some _; agg_distinct = true } -> ()
+  | e -> Alcotest.fail (Deparse.expr e)
+
+let test_joins () =
+  match
+    Parser.parse_statement
+      "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id"
+  with
+  | Ast.Select_stmt
+      {
+        from =
+          [
+            Ast.Join
+              { kind = Ast.Left_outer; left = Ast.Join { kind = Ast.Inner; _ }; _ };
+          ];
+        _;
+      } ->
+    ()
+  | _ -> Alcotest.fail "expected nested joins"
+
+let test_subquery_in_from () =
+  match
+    Parser.parse_statement
+      "SELECT x FROM (SELECT a AS x FROM t GROUP BY a) AS sub"
+  with
+  | Ast.Select_stmt { from = [ Ast.Subselect (_, "sub") ]; _ } -> ()
+  | _ -> Alcotest.fail "expected subselect"
+
+let test_insert_values () =
+  match
+    Parser.parse_statement "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')"
+  with
+  | Ast.Insert { columns = Some [ "a"; "b" ]; source = Ast.Values [ _; _ ]; _ }
+    -> ()
+  | _ -> Alcotest.fail "expected insert values"
+
+let test_insert_select () =
+  match
+    Parser.parse_statement
+      "INSERT INTO rollup (day, total) SELECT sql_date(d), count(*) FROM raw GROUP BY sql_date(d)"
+  with
+  | Ast.Insert { source = Ast.Query _; _ } -> ()
+  | _ -> Alcotest.fail "expected insert..select"
+
+let test_create_table_pk () =
+  match
+    Parser.parse_statement
+      "CREATE TABLE t (id bigint PRIMARY KEY, v text NOT NULL, d jsonb DEFAULT '{}')"
+  with
+  | Ast.Create_table { primary_key = [ "id" ]; columns; _ } ->
+    Alcotest.(check int) "columns" 3 (List.length columns)
+  | _ -> Alcotest.fail "expected create table"
+
+let test_create_table_composite_pk () =
+  match
+    Parser.parse_statement
+      "CREATE TABLE t (w bigint, d bigint, v text, PRIMARY KEY (w, d))"
+  with
+  | Ast.Create_table { primary_key = [ "w"; "d" ]; _ } -> ()
+  | _ -> Alcotest.fail "expected composite pk"
+
+let test_create_index_gin_expression () =
+  match
+    Parser.parse_statement
+      "CREATE INDEX idx ON github_events USING GIN ((jsonb_path_text(data, 'payload')) gin_trgm_ops)"
+  with
+  | Ast.Create_index { using = Ast.Gin_trgm; key_expr = Some _; _ } -> ()
+  | _ -> Alcotest.fail "expected gin expression index"
+
+let test_twophase_statements () =
+  (match Parser.parse_statement "PREPARE TRANSACTION 'citus_0_12'" with
+   | Ast.Prepare_transaction "citus_0_12" -> ()
+   | _ -> Alcotest.fail "prepare");
+  (match Parser.parse_statement "COMMIT PREPARED 'citus_0_12'" with
+   | Ast.Commit_prepared _ -> ()
+   | _ -> Alcotest.fail "commit prepared");
+  match Parser.parse_statement "ROLLBACK PREPARED 'citus_0_12'" with
+  | Ast.Rollback_prepared _ -> ()
+  | _ -> Alcotest.fail "rollback prepared"
+
+let test_copy () =
+  match Parser.parse_statement "COPY github_events (event_id, data) FROM STDIN" with
+  | Ast.Copy_from { table = "github_events"; columns = Some [ _; _ ] } -> ()
+  | _ -> Alcotest.fail "expected copy"
+
+let test_call () =
+  match Parser.parse_statement "CALL new_order(1, 5, 42)" with
+  | Ast.Call { proc = "new_order"; args = [ _; _; _ ] } -> ()
+  | _ -> Alcotest.fail "expected call"
+
+let test_case_expr () =
+  match Parser.parse_expression "CASE WHEN a = 1 THEN 'one' ELSE 'other' END" with
+  | Ast.Case ([ _ ], Some _) -> ()
+  | e -> Alcotest.fail (Deparse.expr e)
+
+let test_between_and_in () =
+  roundtrip_stmt "SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b IN (1, 2, 3)";
+  match Parser.parse_expression "x NOT IN (1, 2)" with
+  | Ast.In_list (_, _, true) -> ()
+  | e -> Alcotest.fail (Deparse.expr e)
+
+let test_ilike () =
+  match Parser.parse_expression "msg ILIKE '%postgres%'" with
+  | Ast.Like { ci = true; negated = false; _ } -> ()
+  | e -> Alcotest.fail (Deparse.expr e)
+
+let test_exists_subquery () =
+  match
+    Parser.parse_expression "EXISTS (SELECT 1 FROM t WHERE t.id = o.id)"
+  with
+  | Ast.Exists (_, false) -> ()
+  | e -> Alcotest.fail (Deparse.expr e)
+
+let test_scalar_subquery () =
+  match Parser.parse_expression "(SELECT max(v) FROM t)" with
+  | Ast.Scalar_subquery _ -> ()
+  | e -> Alcotest.fail (Deparse.expr e)
+
+let test_params () =
+  match Parser.parse_statement "SELECT * FROM t WHERE id = $1 AND v > $2" with
+  | Ast.Select_stmt { where = Some w; _ } ->
+    let count =
+      Ast.fold_expr
+        (fun acc e -> match e with Ast.Param _ -> acc + 1 | _ -> acc)
+        0 w
+    in
+    Alcotest.(check int) "two params" 2 count
+  | _ -> Alcotest.fail "expected select"
+
+let test_cte_desugars_to_subselect () =
+  match
+    Parser.parse_statement
+      "WITH top AS (SELECT a FROM t WHERE a > 5) SELECT count(*) FROM top"
+  with
+  | Ast.Select_stmt { from = [ Ast.Subselect (inner, "top") ]; _ } ->
+    Alcotest.(check bool) "inner where kept" true (inner.Ast.where <> None)
+  | _ -> Alcotest.fail "cte not desugared"
+
+let test_cte_multiple_and_alias () =
+  match
+    Parser.parse_statement
+      "WITH x AS (SELECT 1 AS v), y AS (SELECT 2 AS w)        SELECT * FROM x AS xx JOIN y ON xx.v = y.w"
+  with
+  | Ast.Select_stmt
+      {
+        from =
+          [ Ast.Join { left = Ast.Subselect (_, "xx"); right = Ast.Subselect (_, "y"); _ } ];
+        _;
+      } ->
+    ()
+  | _ -> Alcotest.fail "multi-cte failed"
+
+let test_recursive_cte_rejected () =
+  match
+    Parser.parse_statement
+      "WITH RECURSIVE r AS (SELECT 1) SELECT * FROM r"
+  with
+  | exception Parser.Parse_error m ->
+    Alcotest.(check bool) "clear message" true
+      (Sqlfront.Deparse.expr (Ast.Const (Datum.Text m)) <> "")
+  | _ -> Alcotest.fail "recursive CTE should be rejected"
+
+let test_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Parser.parse_statement bad with
+      | exception Parser.Parse_error _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "should reject %S" bad))
+    [
+      "SELECT FROM";
+      "SELECT * FROM";
+      "INSERT t VALUES (1)";
+      "UPDATE t SET";
+      "SELECT * FROM t WHERE";
+      "SELECT * FROM t GROUP";
+      "CREATE TABLE t";
+      "SELECT 1 2";
+    ]
+
+(* --- lexer --- *)
+
+let test_lexer_comments_and_whitespace () =
+  match Parser.parse_statement "SELECT 1 -- trailing comment\n -- another\n" with
+  | Ast.Select_stmt _ -> ()
+  | _ -> Alcotest.fail "comments not skipped"
+
+let test_lexer_quoted_identifier () =
+  (* quoted identifiers preserve case and may collide with keywords *)
+  match Parser.parse_expression "\"Select\"" with
+  | Ast.Column (None, "Select") -> ()
+  | e -> Alcotest.fail (Deparse.expr e)
+
+let test_lexer_string_escapes () =
+  match Parser.parse_expression "'it''s ''quoted'''" with
+  | Ast.Const (Datum.Text "it's 'quoted'") -> ()
+  | e -> Alcotest.fail (Deparse.expr e)
+
+let test_lexer_numbers () =
+  (match Parser.parse_expression "3.25" with
+   | Ast.Const (Datum.Float f) -> Alcotest.(check (float 0.0001)) "float" 3.25 f
+   | e -> Alcotest.fail (Deparse.expr e));
+  (match Parser.parse_expression "2e3" with
+   | Ast.Const (Datum.Float f) -> Alcotest.(check (float 0.1)) "exponent" 2000.0 f
+   | e -> Alcotest.fail (Deparse.expr e));
+  match Parser.parse_expression "1.5e-2" with
+  | Ast.Const (Datum.Float f) -> Alcotest.(check (float 0.0001)) "neg exp" 0.015 f
+  | e -> Alcotest.fail (Deparse.expr e)
+
+let test_lexer_errors () =
+  List.iter
+    (fun bad ->
+      match Lexer.tokenize bad with
+      | exception Lexer.Lex_error _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "should reject %S" bad))
+    [ "'unterminated"; "\"unterminated"; "SELECT @" ]
+
+let test_operator_tokenization () =
+  (* != normalizes to <>; multi-char ops are not split *)
+  (match Parser.parse_expression "a != b" with
+   | Ast.Cmp (Ast.Ne, _, _) -> ()
+   | e -> Alcotest.fail (Deparse.expr e));
+  match Parser.parse_expression "a->>'k'" with
+  | Ast.Json_get (_, _, true) -> ()
+  | e -> Alcotest.fail (Deparse.expr e)
+
+let roundtrip_corpus =
+  [
+    "SELECT 1";
+    "SELECT a, b AS bee FROM t";
+    "SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 10 OFFSET 5";
+    "SELECT count(*) FROM t GROUP BY a HAVING count(*) > 5";
+    "SELECT * FROM a JOIN b ON a.x = b.x WHERE a.y <> 3";
+    "SELECT * FROM a CROSS JOIN b";
+    "SELECT avg(v) FROM a JOIN b ON a.key = b.key";
+    "SELECT sum(x + y * 2) FROM t WHERE NOT (a OR b)";
+    "INSERT INTO t VALUES (1, 2.5, 'x', NULL, TRUE)";
+    "INSERT INTO t (a) SELECT b FROM u WHERE b IS NOT NULL";
+    "UPDATE t SET v = v + 1, w = 'x' WHERE key = 42";
+    "DELETE FROM t WHERE key = 1";
+    "CREATE TABLE t (a bigint, b text)";
+    "DROP TABLE IF EXISTS t";
+    "ALTER TABLE t ADD COLUMN c jsonb";
+    "TRUNCATE t, u";
+    "BEGIN";
+    "COMMIT";
+    "ROLLBACK";
+    "VACUUM t";
+    "CALL p(1, 'x')";
+    "SELECT (data->>'created_at')::date FROM e GROUP BY (data->>'created_at')::date";
+    "SELECT deviceid, avg(metric) AS device_avg FROM reports \
+     WHERE build = 'x' GROUP BY deviceid, day";
+    "SELECT CASE WHEN a = 1 THEN 1 ELSE 0 END FROM t";
+    "SELECT * FROM t WHERE msg ILIKE '%postgres%'";
+    "SELECT x FROM (SELECT a AS x FROM t) AS s WHERE x BETWEEN 1 AND 2";
+    "WITH recent AS (SELECT a FROM t WHERE a > 5) SELECT count(*) FROM recent";
+    "SELECT * FROM t WHERE NOT EXISTS (SELECT 1 FROM u)";
+    "SELECT * FROM t WHERE name NOT ILIKE '%test%'";
+    "SELECT CASE WHEN a = 1 THEN CASE WHEN b = 2 THEN 'x' END ELSE 'y' END FROM t";
+    "INSERT INTO t VALUES (1) ON CONFLICT DO NOTHING";
+    "SELECT a FROM t ORDER BY b DESC, c ASC, a DESC OFFSET 3";
+    "SELECT sum(a) FROM t HAVING sum(a) > 100";
+  ]
+
+let test_roundtrip_corpus () = List.iter roundtrip_stmt roundtrip_corpus
+
+(* Property: generated random expressions round-trip through
+   deparse/parse. *)
+let rec expr_gen depth =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun i -> Ast.Const (Datum.Int i)) (int_range (-1000) 1000);
+        map (fun s -> Ast.Const (Datum.Text s))
+          (string_size ~gen:(char_range 'a' 'z') (int_range 0 8));
+        return (Ast.Const Datum.Null);
+        map (fun b -> Ast.Const (Datum.Bool b)) bool;
+        map (fun c -> Ast.Column (None, "c" ^ string_of_int c)) (int_range 0 5);
+        map (fun i -> Ast.Param (i + 1)) (int_range 0 3);
+      ]
+  in
+  if depth = 0 then leaf
+  else
+    let sub = expr_gen (depth - 1) in
+    oneof
+      [
+        leaf;
+        map2 (fun a b -> Ast.And (a, b)) sub sub;
+        map2 (fun a b -> Ast.Or (a, b)) sub sub;
+        map (fun a -> Ast.Not a) sub;
+        map2 (fun a b -> Ast.Cmp (Ast.Le, a, b)) sub sub;
+        map2 (fun a b -> Ast.Bin (Ast.Add, a, b)) sub sub;
+        map2 (fun a b -> Ast.Bin (Ast.Concat, a, b)) sub sub;
+        map (fun a -> Ast.Is_null (a, true)) sub;
+        map (fun a -> Ast.Cast (a, Datum.TInt)) sub;
+        map2
+          (fun a items -> Ast.In_list (a, items, false))
+          sub
+          (list_size (int_range 1 3) sub);
+        map (fun args -> Ast.Func ("coalesce", args)) (list_size (int_range 1 3) sub);
+        map (fun a ->
+            Ast.Agg { agg_name = "sum"; agg_arg = Some a; agg_distinct = false })
+          sub;
+      ]
+
+let select_gen =
+  let open QCheck2.Gen in
+  let col = map (fun c -> Ast.Column (None, "c" ^ string_of_int c)) (int_range 0 3) in
+  let lit = map (fun i -> Ast.Const (Datum.Int i)) (int_range 0 99) in
+  let filter =
+    oneof
+      [
+        map2 (fun a b -> Ast.Cmp (Ast.Eq, a, b)) col lit;
+        map2 (fun a b -> Ast.And (Ast.Cmp (Ast.Lt, a, b), Ast.Is_null (a, false)))
+          col lit;
+      ]
+  in
+  let agg =
+    oneofl
+      [
+        Ast.Agg { agg_name = "count"; agg_arg = None; agg_distinct = false };
+        Ast.Agg
+          {
+            agg_name = "sum";
+            agg_arg = Some (Ast.Column (None, "c1"));
+            agg_distinct = false;
+          };
+      ]
+  in
+  let* n_tables = int_range 1 2 in
+  let from =
+    if n_tables = 1 then [ Ast.Table { name = "t"; alias = None } ]
+    else
+      [
+        Ast.Join
+          {
+            left = Ast.Table { name = "t"; alias = None };
+            right = Ast.Table { name = "u"; alias = Some "uu" };
+            kind = Ast.Inner;
+            cond = Some (Ast.Cmp (Ast.Eq, Ast.Column (Some "t", "k"),
+                                  Ast.Column (Some "uu", "k")));
+          };
+      ]
+  in
+  let* where = opt filter in
+  let* grouped = bool in
+  let* proj_agg = agg in
+  let projections =
+    if grouped then
+      [ Ast.Proj (Ast.Column (None, "c0"), None); Ast.Proj (proj_agg, Some "agg") ]
+    else [ Ast.Proj (Ast.Column (None, "c0"), Some "x") ]
+  in
+  let group_by = if grouped then [ Ast.Column (None, "c0") ] else [] in
+  let* limit = opt (map (fun i -> Ast.Const (Datum.Int i)) (int_range 1 10)) in
+  let* desc = bool in
+  return
+    {
+      Ast.distinct = false;
+      projections;
+      from;
+      where;
+      group_by;
+      having = None;
+      order_by = [ (Ast.Column (None, "c0"), if desc then Ast.Desc else Ast.Asc) ];
+      limit;
+      offset = None;
+    }
+
+let statement_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun s -> Ast.Select_stmt s) select_gen;
+      map
+        (fun s ->
+          Ast.Insert
+            {
+              table = "t";
+              columns = Some [ "c0"; "c1" ];
+              source = Ast.Query s;
+              on_conflict_do_nothing = false;
+            })
+        select_gen;
+      map2
+        (fun v w ->
+          Ast.Update
+            {
+              table = "t";
+              sets = [ ("c0", Ast.Const (Datum.Int v)) ];
+              where = Some w;
+            })
+        (int_range 0 9)
+        (map (fun i -> Ast.Cmp (Ast.Eq, Ast.Column (None, "k"), Ast.Const (Datum.Int i)))
+           (int_range 0 9));
+    ]
+
+let prop_statement_roundtrip =
+  QCheck2.Test.make ~name:"statement deparse/parse round trip" ~count:200
+    ~print:(fun st -> Deparse.statement st)
+    statement_gen
+    (fun st ->
+      match Parser.parse_statement (Deparse.statement st) with
+      | ast -> ast = st
+      | exception Parser.Parse_error _ -> false)
+
+let prop_expr_roundtrip =
+  QCheck2.Test.make ~name:"expr deparse/parse round trip" ~count:300
+    ~print:(fun e -> Deparse.expr e)
+    (expr_gen 3) (fun e ->
+      let text = Deparse.expr e in
+      match Parser.parse_expression text with
+      | ast -> ast = e
+      | exception Parser.Parse_error _ -> false)
+
+let () =
+  Alcotest.run "sqlfront"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "select simple" `Quick test_select_simple;
+          Alcotest.test_case "select star" `Quick test_select_star;
+          Alcotest.test_case "qualified star" `Quick test_qualified_star;
+          Alcotest.test_case "operator precedence" `Quick test_operator_precedence;
+          Alcotest.test_case "and/or precedence" `Quick test_and_or_precedence;
+          Alcotest.test_case "json operators" `Quick test_json_operators;
+          Alcotest.test_case "cast chain" `Quick test_cast_chain;
+          Alcotest.test_case "date cast" `Quick test_date_cast_becomes_function;
+          Alcotest.test_case "count star" `Quick test_count_star;
+          Alcotest.test_case "agg distinct" `Quick test_agg_distinct;
+          Alcotest.test_case "joins" `Quick test_joins;
+          Alcotest.test_case "subquery in from" `Quick test_subquery_in_from;
+          Alcotest.test_case "insert values" `Quick test_insert_values;
+          Alcotest.test_case "insert select" `Quick test_insert_select;
+          Alcotest.test_case "create table pk" `Quick test_create_table_pk;
+          Alcotest.test_case "composite pk" `Quick test_create_table_composite_pk;
+          Alcotest.test_case "gin expression index" `Quick
+            test_create_index_gin_expression;
+          Alcotest.test_case "2pc statements" `Quick test_twophase_statements;
+          Alcotest.test_case "copy" `Quick test_copy;
+          Alcotest.test_case "call" `Quick test_call;
+          Alcotest.test_case "case expression" `Quick test_case_expr;
+          Alcotest.test_case "between/in" `Quick test_between_and_in;
+          Alcotest.test_case "ilike" `Quick test_ilike;
+          Alcotest.test_case "exists" `Quick test_exists_subquery;
+          Alcotest.test_case "scalar subquery" `Quick test_scalar_subquery;
+          Alcotest.test_case "params" `Quick test_params;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "cte desugaring" `Quick test_cte_desugars_to_subselect;
+          Alcotest.test_case "multiple ctes" `Quick test_cte_multiple_and_alias;
+          Alcotest.test_case "recursive cte rejected" `Quick
+            test_recursive_cte_rejected;
+        ] );
+      ( "lexer",
+        [
+          Alcotest.test_case "comments" `Quick test_lexer_comments_and_whitespace;
+          Alcotest.test_case "quoted identifiers" `Quick test_lexer_quoted_identifier;
+          Alcotest.test_case "string escapes" `Quick test_lexer_string_escapes;
+          Alcotest.test_case "numbers" `Quick test_lexer_numbers;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+          Alcotest.test_case "operators" `Quick test_operator_tokenization;
+        ] );
+      ( "deparse",
+        [
+          Alcotest.test_case "round trip corpus" `Quick test_roundtrip_corpus;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+          QCheck_alcotest.to_alcotest prop_statement_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,223 @@
+(* Substrate corners: datum typing, WAL filtering, B-tree bounds, GIN
+   fallbacks, columnar page accounting, buffer-pool admin. *)
+
+open Storage
+
+(* --- datum --- *)
+
+let test_ty_names_roundtrip () =
+  List.iter
+    (fun ty ->
+      Alcotest.(check bool) "ty_of_name . ty_name = id" true
+        (Datum.ty_of_name (Datum.ty_name ty) = ty))
+    [ Datum.TBool; TInt; TFloat; TText; TJson; TTimestamp ]
+
+let test_ty_of_name_aliases () =
+  List.iter
+    (fun (alias, ty) ->
+      Alcotest.(check bool) alias true (Datum.ty_of_name alias = ty))
+    [
+      ("serial", Datum.TInt); ("int4", Datum.TInt); ("numeric", Datum.TFloat);
+      ("varchar", Datum.TText); ("json", Datum.TJson); ("date", Datum.TTimestamp);
+    ];
+  match Datum.ty_of_name "geometry" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown type must raise"
+
+let test_timestamp_ordering () =
+  Alcotest.(check bool) "timestamps order" true
+    (Datum.compare (Timestamp 1.0) (Timestamp 2.0) < 0);
+  Alcotest.(check bool) "cast int to timestamp" true
+    (Datum.equal (Datum.cast (Int 5) TTimestamp) (Timestamp 5.0))
+
+let test_json_type_order () =
+  (* Null < Bool < Num < Str < Arr < Obj *)
+  let chain =
+    [ Json.Null; Json.Bool true; Json.Num 0.0; Json.Str ""; Json.Arr []; Json.Obj [] ]
+  in
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "type rank order" true (Json.compare a b < 0);
+      pairs rest
+    | _ -> ()
+  in
+  pairs chain
+
+(* --- txn / WAL --- *)
+
+let test_wal_range_filtering () =
+  let w = Txn.Wal.create () in
+  let lsns = List.init 5 (fun i -> Txn.Wal.append w (Txn.Wal.Begin i)) in
+  let l2 = List.nth lsns 1 and l4 = List.nth lsns 3 in
+  Alcotest.(check int) "window" 2
+    (List.length (Txn.Wal.records ~from:l2 ~upto:l4 w));
+  Alcotest.(check int) "suffix" 2 (List.length (Txn.Wal.records ~from:l4 w));
+  Alcotest.(check int) "all" 5 (List.length (Txn.Wal.records w))
+
+let test_snapshot_with_no_active () =
+  let m = Txn.Manager.create () in
+  let x = Txn.Manager.begin_txn m in
+  Txn.Manager.commit m x;
+  let s = Txn.Manager.take_snapshot m in
+  Alcotest.(check bool) "xmin = xmax when quiet" true
+    (s.Txn.Snapshot.xmin = s.Txn.Snapshot.xmax);
+  Alcotest.(check (list int)) "no active" [] s.Txn.Snapshot.active
+
+let test_cancel_wait () =
+  let l = Txn.Lock.create () in
+  let t = Txn.Lock.Row ("t", 1) in
+  ignore (Txn.Lock.acquire l ~owner:1 t Txn.Lock.Row_lock);
+  ignore (Txn.Lock.acquire l ~owner:2 t Txn.Lock.Row_lock);
+  Alcotest.(check int) "one wait edge" 1 (List.length (Txn.Lock.wait_edges l));
+  Txn.Lock.cancel_wait l ~owner:2;
+  Alcotest.(check int) "cleared" 0 (List.length (Txn.Lock.wait_edges l))
+
+let test_held_by () =
+  let l = Txn.Lock.create () in
+  ignore (Txn.Lock.acquire l ~owner:1 (Txn.Lock.Table "a") Txn.Lock.Row_exclusive);
+  ignore (Txn.Lock.acquire l ~owner:1 (Txn.Lock.Row ("a", 3)) Txn.Lock.Row_lock);
+  Alcotest.(check int) "two locks held" 2 (List.length (Txn.Lock.held_by l 1));
+  Alcotest.(check int) "none for other" 0 (List.length (Txn.Lock.held_by l 2))
+
+(* --- btree bounds --- *)
+
+let tree_with n =
+  let b = Btree.create ~name:"i" ~order:8 () in
+  for i = 1 to n do
+    Btree.insert b [| Datum.Int i |] i
+  done;
+  b
+
+let test_btree_bound_combinations () =
+  let b = tree_with 20 in
+  let count lower upper =
+    List.length (Btree.range b ~lower ~upper)
+  in
+  Alcotest.(check int) "incl-incl" 6
+    (count (Btree.Incl [| Datum.Int 5 |]) (Btree.Incl [| Datum.Int 10 |]));
+  Alcotest.(check int) "excl-excl" 4
+    (count (Btree.Excl [| Datum.Int 5 |]) (Btree.Excl [| Datum.Int 10 |]));
+  Alcotest.(check int) "unbounded-lower" 10
+    (count Btree.Unbounded (Btree.Incl [| Datum.Int 10 |]));
+  Alcotest.(check int) "unbounded-upper" 11
+    (count (Btree.Incl [| Datum.Int 10 |]) Btree.Unbounded);
+  Alcotest.(check int) "empty range" 0
+    (count (Btree.Excl [| Datum.Int 10 |]) (Btree.Excl [| Datum.Int 11 |]))
+
+let test_btree_clear () =
+  let b = tree_with 100 in
+  Btree.clear b;
+  Alcotest.(check int) "no entries" 0 (Btree.entry_count b);
+  Alcotest.(check (list int)) "empty lookup" [] (Btree.find_eq b [| Datum.Int 1 |]);
+  Btree.insert b [| Datum.Int 1 |] 1;
+  Alcotest.(check (list int)) "usable again" [ 1 ] (Btree.find_eq b [| Datum.Int 1 |])
+
+let test_btree_depth_grows () =
+  let small = tree_with 5 and big = tree_with 2000 in
+  Alcotest.(check int) "small is a leaf" 1 (Btree.depth small);
+  Alcotest.(check bool) "big is deeper" true (Btree.depth big >= 3);
+  Alcotest.(check bool) "page count grows" true
+    (Btree.page_count big > Btree.page_count small)
+
+(* --- gin fallbacks --- *)
+
+let test_gin_underscore_pattern_falls_back () =
+  let g = Gin.create ~name:"g" () in
+  ignore (Gin.add g ~tid:1 "hello world");
+  (* '_' wildcards cannot use trigram candidates *)
+  Alcotest.(check bool) "underscore inside" true (Gin.candidates g "he_lo" = None)
+
+let test_gin_multi_word_pattern () =
+  let g = Gin.create ~name:"g" () in
+  ignore (Gin.add g ~tid:1 "fix the query planner");
+  ignore (Gin.add g ~tid:2 "fix the parser");
+  match Gin.candidates g "query planner" with
+  | Some [ 1 ] -> ()
+  | Some l -> Alcotest.fail (Printf.sprintf "%d candidates" (List.length l))
+  | None -> Alcotest.fail "long pattern must use the index"
+
+(* --- columnar pages --- *)
+
+let test_columnar_page_accounting () =
+  let m = Txn.Manager.create () in
+  let c = Columnar.create ~name:"c" ~ncols:4 ~stripe_rows:100 ~values_per_page:50 () in
+  let x = Txn.Manager.begin_txn m in
+  Columnar.append c ~xid:x
+    (List.init 200 (fun i -> [| Datum.Int i; Datum.Int i; Datum.Int i; Datum.Int i |]));
+  Txn.Manager.commit m x;
+  (* 2 stripes x 100 rows / 50 per page = 2 pages per column per stripe *)
+  Alcotest.(check int) "1 col" 4 (Columnar.pages_for_columns c ~columns:[ 0 ]);
+  Alcotest.(check int) "all cols" 16
+    (Columnar.pages_for_columns c ~columns:[ 0; 1; 2; 3 ]);
+  (* the pool sees exactly that many distinct pages on a full scan *)
+  let pool = Buffer_pool.create ~capacity:1000 in
+  Columnar.scan ~pool c ~status:(Txn.Manager.status m)
+    ~snapshot:(Txn.Manager.take_snapshot m) ~my_xid:None ~columns:[ 0 ]
+    ~f:(fun _ -> ());
+  Alcotest.(check int) "pool misses" 4 (Buffer_pool.stats pool).Buffer_pool.misses
+
+(* --- buffer pool admin --- *)
+
+let test_pool_reset_and_clear () =
+  let p = Buffer_pool.create ~capacity:4 in
+  ignore (Buffer_pool.access p { Buffer_pool.relation = "t"; page_no = 0 });
+  ignore (Buffer_pool.access p { Buffer_pool.relation = "t"; page_no = 0 });
+  let s = Buffer_pool.stats p in
+  Alcotest.(check int) "one miss one hit" 1 s.Buffer_pool.hits;
+  Buffer_pool.reset_stats p;
+  Alcotest.(check int) "stats reset" 0 (Buffer_pool.stats p).Buffer_pool.hits;
+  Alcotest.(check int) "pages kept" 1 (Buffer_pool.cached_pages p);
+  Buffer_pool.clear p;
+  Alcotest.(check int) "cold after clear" 0 (Buffer_pool.cached_pages p);
+  Alcotest.(check bool) "miss after clear" false
+    (Buffer_pool.access p { Buffer_pool.relation = "t"; page_no = 0 })
+
+let test_heap_page_stats () =
+  let m = Txn.Manager.create () in
+  let h = Heap.create ~name:"t" ~rows_per_page:10 () in
+  let x = Txn.Manager.begin_txn m in
+  for i = 1 to 25 do
+    ignore (Heap.insert h ~xid:x [| Datum.Int i |])
+  done;
+  Txn.Manager.commit m x;
+  Alcotest.(check int) "3 pages" 3 (Heap.page_count h);
+  Alcotest.(check int) "25 live" 25 (Heap.live_estimate h);
+  Alcotest.(check int) "rows per page" 10 (Heap.rows_per_page h)
+
+let () =
+  Alcotest.run "substrate_extra"
+    [
+      ( "datum",
+        [
+          Alcotest.test_case "ty roundtrip" `Quick test_ty_names_roundtrip;
+          Alcotest.test_case "ty aliases" `Quick test_ty_of_name_aliases;
+          Alcotest.test_case "timestamps" `Quick test_timestamp_ordering;
+          Alcotest.test_case "json type order" `Quick test_json_type_order;
+        ] );
+      ( "txn",
+        [
+          Alcotest.test_case "wal ranges" `Quick test_wal_range_filtering;
+          Alcotest.test_case "quiet snapshot" `Quick test_snapshot_with_no_active;
+          Alcotest.test_case "cancel wait" `Quick test_cancel_wait;
+          Alcotest.test_case "held_by" `Quick test_held_by;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "bound combos" `Quick test_btree_bound_combinations;
+          Alcotest.test_case "clear" `Quick test_btree_clear;
+          Alcotest.test_case "depth" `Quick test_btree_depth_grows;
+        ] );
+      ( "gin",
+        [
+          Alcotest.test_case "underscore fallback" `Quick
+            test_gin_underscore_pattern_falls_back;
+          Alcotest.test_case "multi-word" `Quick test_gin_multi_word_pattern;
+        ] );
+      ( "columnar",
+        [ Alcotest.test_case "page accounting" `Quick test_columnar_page_accounting ] );
+      ( "buffer_pool",
+        [
+          Alcotest.test_case "reset/clear" `Quick test_pool_reset_and_clear;
+          Alcotest.test_case "heap page stats" `Quick test_heap_page_stats;
+        ] );
+    ]

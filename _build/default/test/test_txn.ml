@@ -1,0 +1,216 @@
+(* Transaction manager, snapshots, locks, WAL, prepared transactions. *)
+
+open Txn
+
+let test_snapshot_sees () =
+  let s = { Snapshot.xmin = 5; xmax = 10; active = [ 7 ] } in
+  Alcotest.(check bool) "below xmin" true (Snapshot.sees s 3);
+  Alcotest.(check bool) "active" false (Snapshot.sees s 7);
+  Alcotest.(check bool) "in window, finished" true (Snapshot.sees s 6);
+  Alcotest.(check bool) "at xmax" false (Snapshot.sees s 10);
+  Alcotest.(check bool) "beyond xmax" false (Snapshot.sees s 12)
+
+let test_begin_commit () =
+  let m = Manager.create () in
+  let x = Manager.begin_txn m in
+  Alcotest.(check bool) "active" true (Manager.is_active m x);
+  Manager.commit m x;
+  Alcotest.(check bool) "committed" true (Manager.status m x = Manager.Committed)
+
+let test_abort () =
+  let m = Manager.create () in
+  let x = Manager.begin_txn m in
+  Manager.abort m x;
+  Alcotest.(check bool) "aborted" true (Manager.status m x = Manager.Aborted)
+
+let test_snapshot_excludes_concurrent () =
+  let m = Manager.create () in
+  let x1 = Manager.begin_txn m in
+  let x2 = Manager.begin_txn m in
+  let snap = Manager.take_snapshot m in
+  Alcotest.(check bool) "x1 invisible" false (Snapshot.sees snap x1);
+  Manager.commit m x1;
+  (* snapshot taken before commit still does not see it *)
+  Alcotest.(check bool) "still invisible" false (Snapshot.sees snap x1);
+  let snap2 = Manager.take_snapshot m in
+  Alcotest.(check bool) "new snapshot sees x1" true (Snapshot.sees snap2 x1);
+  Manager.commit m x2
+
+let test_unknown_xid_is_aborted () =
+  let m = Manager.create () in
+  Alcotest.(check bool) "crashed xid" true (Manager.status m 999 = Manager.Aborted)
+
+let test_double_commit_rejected () =
+  let m = Manager.create () in
+  let x = Manager.begin_txn m in
+  Manager.commit m x;
+  match Manager.commit m x with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double commit should fail"
+
+(* --- locks --- *)
+
+let test_row_lock_conflict () =
+  let l = Lock.create () in
+  let t = Lock.Row ("t", 1) in
+  Alcotest.(check bool) "first grant" true
+    (Lock.acquire l ~owner:1 t Lock.Row_lock = Lock.Granted);
+  (match Lock.acquire l ~owner:2 t Lock.Row_lock with
+   | Lock.Blocked [ 1 ] -> ()
+   | _ -> Alcotest.fail "expected blocked by 1");
+  Lock.release_all l ~owner:1;
+  Alcotest.(check bool) "after release" true
+    (Lock.acquire l ~owner:2 t Lock.Row_lock = Lock.Granted)
+
+let test_reacquire_is_noop () =
+  let l = Lock.create () in
+  let t = Lock.Row ("t", 1) in
+  ignore (Lock.acquire l ~owner:1 t Lock.Row_lock);
+  Alcotest.(check bool) "reacquire" true
+    (Lock.acquire l ~owner:1 t Lock.Row_lock = Lock.Granted)
+
+let test_table_lock_modes () =
+  let l = Lock.create () in
+  let t = Lock.Table "t" in
+  ignore (Lock.acquire l ~owner:1 t Lock.Access_share);
+  ignore (Lock.acquire l ~owner:2 t Lock.Row_exclusive);
+  (* reads and writes coexist; DDL does not *)
+  (match Lock.acquire l ~owner:3 t Lock.Access_exclusive with
+   | Lock.Blocked holders ->
+     Alcotest.(check int) "two holders" 2 (List.length holders)
+   | Lock.Granted -> Alcotest.fail "DDL should block")
+
+let test_wait_edges () =
+  let l = Lock.create () in
+  let t = Lock.Row ("t", 7) in
+  ignore (Lock.acquire l ~owner:1 t Lock.Row_lock);
+  ignore (Lock.acquire l ~owner:2 t Lock.Row_lock);
+  Alcotest.(check (list (pair int int))) "edge 2->1" [ (2, 1) ] (Lock.wait_edges l);
+  (* granting clears the wait *)
+  Lock.release_all l ~owner:1;
+  ignore (Lock.acquire l ~owner:2 t Lock.Row_lock);
+  Alcotest.(check (list (pair int int))) "no edges" [] (Lock.wait_edges l)
+
+let test_local_deadlock_detection () =
+  let l = Lock.create () in
+  let r1 = Lock.Row ("t", 1) and r2 = Lock.Row ("t", 2) in
+  ignore (Lock.acquire l ~owner:1 r1 Lock.Row_lock);
+  ignore (Lock.acquire l ~owner:2 r2 Lock.Row_lock);
+  ignore (Lock.acquire l ~owner:1 r2 Lock.Row_lock);
+  (* 1 waits for 2 *)
+  Alcotest.(check bool) "no deadlock yet" true (Lock.detect_deadlock l = None);
+  ignore (Lock.acquire l ~owner:2 r1 Lock.Row_lock);
+  (* 2 waits for 1: cycle *)
+  match Lock.detect_deadlock l with
+  | Some members ->
+    Alcotest.(check (list int)) "cycle members" [ 1; 2 ]
+      (List.sort Int.compare members)
+  | None -> Alcotest.fail "deadlock not detected"
+
+(* --- WAL --- *)
+
+let test_wal_order_and_restore_point () =
+  let w = Wal.create () in
+  let l1 = Wal.append w (Wal.Begin 1) in
+  let _ = Wal.append w (Wal.Insert { xid = 1; table = "t"; tid = 0; row = [||] }) in
+  let l3 = Wal.append w (Wal.Restore_point "rp1") in
+  let _ = Wal.append w (Wal.Commit 1) in
+  Alcotest.(check bool) "lsn monotonic" true (l3 > l1);
+  Alcotest.(check (option int)) "restore point" (Some l3)
+    (Wal.find_restore_point w "rp1");
+  Alcotest.(check int) "records upto" 2
+    (List.length (Wal.records ~upto:l3 w))
+
+(* --- prepared transactions --- *)
+
+let test_prepare_commit_prepared () =
+  let m = Manager.create () in
+  let x = Manager.begin_txn m in
+  ignore (Lock.acquire (Manager.locks m) ~owner:x (Lock.Row ("t", 1)) Lock.Row_lock);
+  Manager.prepare m x ~gid:"citus_0_1_2";
+  (* still in progress, lock still held *)
+  Alcotest.(check bool) "in progress" true (Manager.status m x = Manager.In_progress);
+  (match Lock.acquire (Manager.locks m) ~owner:99 (Lock.Row ("t", 1)) Lock.Row_lock with
+   | Lock.Blocked _ -> ()
+   | Lock.Granted -> Alcotest.fail "prepared txn must keep its locks");
+  Alcotest.(check (list (pair string int))) "listed" [ ("citus_0_1_2", x) ]
+    (Manager.prepared_transactions m);
+  Manager.commit_prepared m ~gid:"citus_0_1_2";
+  Alcotest.(check bool) "committed" true (Manager.status m x = Manager.Committed);
+  (match Lock.acquire (Manager.locks m) ~owner:99 (Lock.Row ("t", 1)) Lock.Row_lock with
+   | Lock.Granted -> ()
+   | Lock.Blocked _ -> Alcotest.fail "locks must be released")
+
+let test_rollback_prepared () =
+  let m = Manager.create () in
+  let x = Manager.begin_txn m in
+  Manager.prepare m x ~gid:"g";
+  Manager.rollback_prepared m ~gid:"g";
+  Alcotest.(check bool) "aborted" true (Manager.status m x = Manager.Aborted)
+
+let test_prepared_missing_gid () =
+  let m = Manager.create () in
+  match Manager.commit_prepared m ~gid:"nope" with
+  | exception Manager.No_such_prepared "nope" -> ()
+  | () -> Alcotest.fail "should raise"
+
+let test_duplicate_gid_rejected () =
+  let m = Manager.create () in
+  let x1 = Manager.begin_txn m in
+  let x2 = Manager.begin_txn m in
+  Manager.prepare m x1 ~gid:"g";
+  match Manager.prepare m x2 ~gid:"g" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate gid should fail"
+
+let test_prepared_blocks_oldest_xid () =
+  let m = Manager.create () in
+  let x1 = Manager.begin_txn m in
+  Manager.prepare m x1 ~gid:"g";
+  let x2 = Manager.begin_txn m in
+  Manager.commit m x2;
+  Alcotest.(check int) "oldest is the prepared txn" x1 (Manager.oldest_active_xid m);
+  Manager.commit_prepared m ~gid:"g";
+  Alcotest.(check bool) "advances after resolve" true
+    (Manager.oldest_active_xid m > x1)
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "snapshots",
+        [
+          Alcotest.test_case "sees" `Quick test_snapshot_sees;
+          Alcotest.test_case "excludes concurrent" `Quick
+            test_snapshot_excludes_concurrent;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "begin/commit" `Quick test_begin_commit;
+          Alcotest.test_case "abort" `Quick test_abort;
+          Alcotest.test_case "unknown xid aborted" `Quick
+            test_unknown_xid_is_aborted;
+          Alcotest.test_case "double commit rejected" `Quick
+            test_double_commit_rejected;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "row conflict" `Quick test_row_lock_conflict;
+          Alcotest.test_case "reacquire" `Quick test_reacquire_is_noop;
+          Alcotest.test_case "table modes" `Quick test_table_lock_modes;
+          Alcotest.test_case "wait edges" `Quick test_wait_edges;
+          Alcotest.test_case "local deadlock" `Quick test_local_deadlock_detection;
+        ] );
+      ( "wal",
+        [ Alcotest.test_case "order and restore point" `Quick
+            test_wal_order_and_restore_point ] );
+      ( "prepared",
+        [
+          Alcotest.test_case "prepare then commit" `Quick
+            test_prepare_commit_prepared;
+          Alcotest.test_case "rollback prepared" `Quick test_rollback_prepared;
+          Alcotest.test_case "missing gid" `Quick test_prepared_missing_gid;
+          Alcotest.test_case "duplicate gid" `Quick test_duplicate_gid_rejected;
+          Alcotest.test_case "blocks oldest xid" `Quick
+            test_prepared_blocks_oldest_xid;
+        ] );
+    ]
