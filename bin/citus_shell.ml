@@ -8,6 +8,8 @@
      \tables           Citus tables
      \explain <query>  distributed plan without executing
      \maintenance      run the maintenance daemon once
+     \partition <node> cut a node off the network (failure injection)
+     \heal <node>      reconnect a partitioned node
      \q                quit
 
    Everything else is SQL, including the Citus UDFs:
@@ -58,7 +60,8 @@ let () =
   let st = Citus.Api.coordinator_state citus in
   Printf.printf
     "citus-ocaml shell — coordinator + %d workers, 32 shards per table\n\
-     \\q quits; \\shards, \\tables, \\explain <sql>, \\maintenance\n\n"
+     \\q quits; \\shards, \\tables, \\explain <sql>, \\maintenance, \
+     \\partition <node>, \\heal <node>\n\n"
     workers;
   let rec loop () =
     print_string "citus=# ";
@@ -92,6 +95,22 @@ let () =
              | Some c -> " by " ^ c
              | None -> ""))
         (Citus.Metadata.all_tables citus.Citus.Api.metadata);
+      loop ()
+    | line when String.length line > 11 && String.sub line 0 11 = {|\partition |} ->
+      let node = String.sub line 11 (String.length line - 11) in
+      (match Cluster.Topology.find_node cluster node with
+       | _ ->
+         Citus.State.partition_node st node;
+         Printf.printf "%s partitioned from the network\n" node
+       | exception Invalid_argument m -> Printf.printf "%s\n" m);
+      loop ()
+    | line when String.length line > 6 && String.sub line 0 6 = {|\heal |} ->
+      let node = String.sub line 6 (String.length line - 6) in
+      (match Cluster.Topology.find_node cluster node with
+       | _ ->
+         Citus.State.heal_node st node;
+         Printf.printf "%s reconnected\n" node
+       | exception Invalid_argument m -> Printf.printf "%s\n" m);
       loop ()
     | {|\maintenance|} ->
       Citus.Api.maintenance citus;

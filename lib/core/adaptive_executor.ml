@@ -87,23 +87,32 @@ let register_backend st_state (t : State.t) conn coord_session =
      | None -> ())
   | None -> ()
 
-(* Pick / open the connection for a task. *)
-let connection_for (t : State.t) st ~in_txn ~assigned (task : Plan.task) =
-  let node = Cluster.Topology.find_node t.State.cluster task.Plan.task_node in
-  let node_name = node.Cluster.Topology.node_name in
-  let affinity_key = (0, task.Plan.task_group) in
-  let affinity_match =
-    if task.Plan.task_group >= 0 then
-      List.assoc_opt affinity_key st.State.affinity
-      |> Option.map (fun c -> (c, true))
+(* Pick / open the connection for a task bound to [node_name].
+
+   Affinity is keyed (node, shard-group): inside a transaction, the same
+   shard group on the same node always reuses the same connection, so
+   uncommitted writes and locks stay visible to later statements. A read
+   may additionally reuse a group connection on {e another} replica
+   ([exact] = false): after a failover, the replica holding the
+   transaction's uncommitted writes is the one that must serve it. *)
+let connection_for (t : State.t) st ~in_txn ~exact ~assigned ~node_name
+    ~task_group =
+  let affinity_exact =
+    if task_group >= 0 then
+      List.assoc_opt (node_name, task_group) st.State.affinity
     else None
   in
-  match affinity_match with
-  | Some (conn, _)
-    when (Cluster.Connection.node conn).Cluster.Topology.node_name
-         = node_name ->
-    conn
-  | _ ->
+  let affinity_any_replica =
+    if in_txn && (not exact) && task_group >= 0 then
+      List.find_map
+        (fun ((_, g), c) -> if g = task_group then Some c else None)
+        st.State.affinity
+    else None
+  in
+  match affinity_exact, affinity_any_replica with
+  | Some conn, _ | None, Some conn -> conn
+  | None, None ->
+    let node = Cluster.Topology.find_node t.State.cluster node_name in
     let pool = State.pool_of st node_name in
     (* least-loaded existing connection, else try to open one *)
     let load c =
@@ -118,22 +127,52 @@ let connection_for (t : State.t) st ~in_txn ~assigned (task : Plan.task) =
              (fun best c -> if load c < load best then c else best)
              first rest)
     in
-    let conn =
-      match pick_existing () with
-      | Some c when load c = 0 -> c
-      | maybe_busy ->
-        (match State.checkout t st node with
-         | Some fresh -> fresh
-         | None ->
-           (match maybe_busy with
-            | Some c -> c
-            | None ->
-              (* must have at least one connection *)
-              Option.get (State.checkout t st ~force:true node)))
-    in
-    if in_txn && task.Plan.task_group >= 0 then
-      st.State.affinity <- (affinity_key, conn) :: st.State.affinity;
-    conn
+    (match pick_existing () with
+     | Some c when load c = 0 -> c
+     | maybe_busy ->
+       (match State.checkout t st node with
+        | Some fresh -> fresh
+        | None ->
+          (match maybe_busy with
+           | Some c -> c
+           | None ->
+             (* must have at least one connection *)
+             Option.get (State.checkout t st ~force:true node))))
+
+(* Active replicas that can serve [task], planned node first, circuit-open
+   nodes last. Falls back to the planned node when the shard is unknown or
+   has lost every active placement. *)
+let replica_nodes (t : State.t) (task : Plan.task) =
+  let fallback = [ task.Plan.task_node ] in
+  if task.Plan.task_shard < 0 then fallback
+  else
+    match Metadata.placements t.State.metadata task.Plan.task_shard with
+    | exception Invalid_argument _ -> fallback
+    | nodes ->
+      let score n =
+        (if State.node_available t n then 0 else 2)
+        + if String.equal n task.Plan.task_node then 0 else 1
+      in
+      List.stable_sort (fun a b -> Int.compare (score a) (score b)) nodes
+
+(* A replicated write lost one replica: mark that placement — and its
+   colocated siblings on the same node, so router planning stays aligned —
+   Inactive until the repair daemon re-copies them. *)
+let mark_placement_lost (t : State.t) ~shard_id ~node =
+  let meta = t.State.metadata in
+  match Metadata.shard_by_id meta shard_id with
+  | None -> ()
+  | Some shard ->
+    List.iter
+      (fun (s : Metadata.shard) ->
+        match
+          Metadata.placement_state_of meta ~shard_id:s.Metadata.shard_id ~node
+        with
+        | Some Metadata.Active ->
+          Metadata.mark_placement meta ~shard_id:s.Metadata.shard_id ~node
+            Metadata.Inactive
+        | _ -> ())
+      (Metadata.colocated_shards meta shard)
 
 let execute (t : State.t) coord_session (tasks : Plan.task list) =
   let st = State.session_state t coord_session in
@@ -141,33 +180,102 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
   let net_before = Cluster.Topology.net_snapshot t.State.cluster in
   let assigned : Cluster.Connection.t list ref = ref [] in
   let node_durations : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
-  let results =
-    List.map
-      (fun (task : Plan.task) ->
-        let needs_txn_block = explicit || is_write task.Plan.task_stmt in
-        let conn = connection_for t st ~in_txn:needs_txn_block ~assigned:!assigned task in
-        assigned := conn :: !assigned;
-        let node = Cluster.Connection.node conn in
-        if needs_txn_block && not (List.memq conn st.State.txn_conns) then begin
-          ignore (State.exec_on t conn "BEGIN");
-          st.State.txn_conns <- conn :: st.State.txn_conns;
-          register_backend st t conn coord_session
-        end;
-        let result, duration =
-          measured node (fun () -> State.exec_ast_on t conn task.Plan.task_stmt)
-        in
-        let durs =
-          match Hashtbl.find_opt node_durations task.Plan.task_node with
-          | Some r -> r
-          | None ->
-            let r = ref [] in
-            Hashtbl.replace node_durations task.Plan.task_node r;
-            r
-        in
-        durs := duration :: !durs;
-        result)
-      tasks
+  let record_duration node_name duration =
+    let durs =
+      match Hashtbl.find_opt node_durations node_name with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.replace node_durations node_name r;
+        r
+    in
+    durs := duration :: !durs
   in
+  (* One attempt of [task] on [node_name]. On Network_error the connection
+     is withdrawn from the coordinator transaction (its writes are lost;
+     committing the survivors must not touch it) before re-raising. *)
+  let run_on (task : Plan.task) node_name =
+    let write = is_write task.Plan.task_stmt in
+    let needs_txn_block = explicit || write in
+    let conn =
+      connection_for t st ~in_txn:needs_txn_block ~exact:write
+        ~assigned:!assigned ~node_name ~task_group:task.Plan.task_group
+    in
+    assigned := conn :: !assigned;
+    let node = Cluster.Connection.node conn in
+    try
+      if needs_txn_block && not (List.memq conn st.State.txn_conns) then begin
+        ignore (State.exec_on t conn "BEGIN");
+        st.State.txn_conns <- conn :: st.State.txn_conns;
+        register_backend st t conn coord_session
+      end;
+      let result, duration =
+        measured node (fun () -> State.exec_ast_on t conn task.Plan.task_stmt)
+      in
+      record_duration node.Cluster.Topology.node_name duration;
+      if needs_txn_block && task.Plan.task_group >= 0 then begin
+        let key = (node.Cluster.Topology.node_name, task.Plan.task_group) in
+        if not (List.mem_assoc key st.State.affinity) then
+          st.State.affinity <- (key, conn) :: st.State.affinity
+      end;
+      result
+    with State.Network_error _ as e ->
+      if List.memq conn st.State.txn_conns then begin
+        st.State.txn_conns <-
+          List.filter (fun c -> c != conn) st.State.txn_conns;
+        (try ignore (Cluster.Connection.exec conn "ROLLBACK") with _ -> ())
+      end;
+      raise e
+  in
+  let exec_task (task : Plan.task) =
+    let candidates = replica_nodes t task in
+    if is_write task.Plan.task_stmt && List.length candidates > 1 then begin
+      (* statement-based replication (§3.3): the write runs on every
+         active replica; replicas that fail are marked Inactive as long as
+         at least one replica took the write *)
+      let successes = ref [] and failed = ref [] and last_err = ref None in
+      List.iter
+        (fun node_name ->
+          match run_on task node_name with
+          | r -> successes := r :: !successes
+          | exception (State.Network_error _ as e) ->
+            failed := node_name :: !failed;
+            last_err := Some e)
+        candidates;
+      match List.rev !successes with
+      | [] -> raise (Option.get !last_err)
+      | r :: _ ->
+        List.iter
+          (fun node ->
+            mark_placement_lost t ~shard_id:task.Plan.task_shard ~node)
+          !failed;
+        r
+    end
+    else if (not (is_write task.Plan.task_stmt)) && not explicit then begin
+      (* read failover: outside an explicit transaction a lost replica is
+         transparent — try the next one; the last candidate gets bounded
+         retries with clock backoff *)
+      let rec try_nodes = function
+        | [] -> assert false
+        | [ node_name ] ->
+          State.with_retry t ~node:node_name (fun () -> run_on task node_name)
+        | node_name :: rest ->
+          (match run_on task node_name with
+           | r -> r
+           | exception State.Network_error _ -> try_nodes rest)
+      in
+      try_nodes candidates
+    end
+    else if not explicit then
+      (* single-placement write: bounded retries, no failover target *)
+      let node_name = List.hd candidates in
+      State.with_retry t ~node:node_name (fun () -> run_on task node_name)
+    else
+      (* inside an explicit transaction: one attempt on the planned node;
+         failing over mid-transaction would lose uncommitted state *)
+      run_on task (List.hd candidates)
+  in
+  let results = List.map exec_task tasks in
   let net_after = Cluster.Topology.net_snapshot t.State.cluster in
   let net = Cluster.Topology.net_diff ~after:net_after ~before:net_before in
   let per_node =

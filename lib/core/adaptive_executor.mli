@@ -4,8 +4,13 @@
     respecting:
 
     - {b connection affinity}: inside a transaction, the same shard group
-      always reuses the same connection, so uncommitted writes and locks
-      stay visible to later statements;
+      on the same node always reuses the same connection, so uncommitted
+      writes and locks stay visible to later statements;
+    - {b replication and failover}: a write whose shard has several active
+      placements runs on every replica (statement-based replication, §3.3);
+      replicas that fail are marked {!Metadata.Inactive} as long as one
+      succeeded. A read failing with {!State.Network_error} outside an
+      explicit transaction fails over to the next active replica;
     - {b transaction blocks}: writes (and any statement inside an explicit
       coordinator transaction) run inside [BEGIN] on the worker connection;
       commit happens later through {!Twopc}'s transaction callbacks;
@@ -25,6 +30,11 @@ type report = {
   round_trips : int;  (** network round trips incurred by the tasks *)
   serial_time : float;  (** sum of all task durations (1-connection time) *)
 }
+
+(** Mark the placement of [shard_id] on [node] — plus its colocated
+    siblings on that node — {!Metadata.Inactive}. Used when a replicated
+    write or COPY loses one replica but survives on another. *)
+val mark_placement_lost : State.t -> shard_id:int -> node:string -> unit
 
 (** Execute tasks in a deterministic order; returns per-task results
     (aligned with the input order) and the timing report. Raises whatever

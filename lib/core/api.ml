@@ -6,6 +6,7 @@ type t = {
   registry : ((string * int), string * int) Hashtbl.t;
   mutable states : State.t list;
   mutable active_data_nodes : string list;
+  mutable replication_factor : int;
   procedures : (string, int * string) Hashtbl.t;
 }
 
@@ -154,9 +155,11 @@ let move_local_rows t session ~table ~(dt_kind : Metadata.kind) ~conns =
               (fun (s : Metadata.shard) -> s.Metadata.shard_id = shard_id)
               (Metadata.shards_of t.metadata table)
           in
-          let node = Metadata.placement t.metadata shard_id in
-          insert_into (List.assoc node conns) (Metadata.shard_name shard)
-            (List.rev !tuples))
+          List.iter
+            (fun node ->
+              insert_into (List.assoc node conns) (Metadata.shard_name shard)
+                (List.rev !tuples))
+            (Metadata.placements t.metadata shard_id))
         by_shard
   end;
   ignore (Engine.Instance.exec_utility_local session (Ast.Truncate [ table ]))
@@ -214,22 +217,26 @@ let do_create_distributed_table t session ~table ~column ~colocate_with =
     (Engine.Catalog.column_tys tbl).(Engine.Catalog.column_index tbl column)
   in
   let shards =
-    Metadata.register_distributed t.metadata ~table ~column ~ty:dist_ty
+    Metadata.register_distributed t.metadata
+      ~replication_factor:t.replication_factor ~table ~column ~ty:dist_ty
       ~colocate_with ~nodes:t.active_data_nodes
   in
-  (* physical shard tables *)
+  (* physical shard tables, one per placement (all replicas) *)
   let node_names =
     List.sort_uniq String.compare
-      (List.map (fun (s : Metadata.shard) ->
-           Metadata.placement t.metadata s.Metadata.shard_id)
+      (List.concat_map
+         (fun (s : Metadata.shard) ->
+           Metadata.placements t.metadata s.Metadata.shard_id)
          shards)
   in
   let conns = List.map (fun n -> (n, admin_conn t n)) node_names in
   List.iter
     (fun (s : Metadata.shard) ->
-      let node = Metadata.placement t.metadata s.Metadata.shard_id in
-      create_shard_table ~conn:(List.assoc node conns) ~src:tbl
-        ~shard_table:(Metadata.shard_name s))
+      List.iter
+        (fun node ->
+          create_shard_table ~conn:(List.assoc node conns) ~src:tbl
+            ~shard_table:(Metadata.shard_name s))
+        (Metadata.placements t.metadata s.Metadata.shard_id))
     shards;
   move_local_rows t session ~table ~dt_kind:Metadata.Distributed ~conns;
   sync_shells_to_installed_nodes t
@@ -310,7 +317,11 @@ let planner_hook (t : t) (st : State.t) session (stmt : Ast.statement) :
         | _ ->
           let result =
             match
-              Planner.plan t.metadata ~catalog
+              (* steer reads away from nodes whose circuit breaker is
+                 open — planning uses health, not raw reachability, which
+                 a real system cannot observe *)
+              Planner.plan ~node_ok:(State.node_available st) t.metadata
+                ~catalog
                 ~local_name:st.State.local.Cluster.Topology.node_name stmt
             with
             | plan, _tier -> fst (Dist_executor.execute st session plan)
@@ -358,9 +369,13 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
       Twopc.post_commit st session);
   Engine.Instance.on_abort inst (fun session -> Twopc.on_abort st session);
   Engine.Instance.add_maintenance inst (fun _ -> ignore (Twopc.recover st));
-  if is_coordinator then
+  if is_coordinator then begin
     Engine.Instance.add_maintenance inst (fun _ ->
         ignore (Deadlock.detect_and_cancel st));
+    (* self-healing: re-copy Inactive placements from healthy replicas *)
+    Engine.Instance.add_maintenance inst (fun _ ->
+        ignore (Rebalancer.repair_inactive st))
+  end;
   (* UDFs *)
   let user_errors f =
     (* metadata-level misuse surfaces as a clean session error *)
@@ -473,6 +488,43 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
            (Rebalancer.move_shard_group st ~shard_id ~to_node:(text_arg to_node))
        | _ -> err "citus_move_shard_placement(shard_id, to_node)");
       Datum.Null);
+  Engine.Instance.register_udf inst "citus_set_replication_factor"
+    (fun _session args ->
+      (match args with
+       | [ Datum.Int n ] when n >= 1 -> t.replication_factor <- n
+       | _ -> err "citus_set_replication_factor(factor >= 1)");
+      Datum.Null);
+  Engine.Instance.register_udf inst "citus_health_report" (fun _session _args ->
+      let nodes =
+        List.map
+          (fun (r : Health.node_report) ->
+            Json.Obj
+              [
+                ("node", Json.Str r.Health.nr_node);
+                ("breaker", Json.Str (Health.breaker_name r.Health.nr_breaker));
+                ("failures", Json.Num (float_of_int r.Health.nr_failures));
+                ("successes", Json.Num (float_of_int r.Health.nr_successes));
+                ( "failed_commits",
+                  Json.Num (float_of_int r.Health.nr_failed_commits) );
+              ])
+          (Health.report st.State.health)
+      in
+      let inactive =
+        List.map
+          (fun ((sh : Metadata.shard), node) ->
+            Json.Obj
+              [
+                ("shard", Json.Str (Metadata.shard_name sh));
+                ("node", Json.Str node);
+              ])
+          (Metadata.inactive_placements t.metadata)
+      in
+      Datum.Json
+        (Json.Obj
+           [
+             ("nodes", Json.Arr nodes);
+             ("inactive_placements", Json.Arr inactive);
+           ]));
   Engine.Instance.register_udf inst "citus_add_node" (fun _session args ->
       (match args with
        | [ name ] ->
@@ -544,6 +596,7 @@ let install ?(shard_count = 32) ?active_workers cluster =
       registry = Hashtbl.create 64;
       states = [];
       active_data_nodes = active;
+      replication_factor = 1;
       procedures = Hashtbl.create 8;
     }
   in
@@ -600,16 +653,32 @@ let create_reference_table t ~table =
 let create_distributed_function t ~proc ~arg_position ~table =
   Hashtbl.replace t.procedures proc (arg_position, table)
 
+let set_replication_factor t n =
+  if n < 1 then err "replication factor must be >= 1";
+  t.replication_factor <- n
+
+let health_report t =
+  let st = coordinator_state t in
+  ( Health.report st.State.health,
+    Metadata.inactive_placements t.metadata )
+
 (* Retry a statement that hits lock conflicts, running the maintenance
-   daemon between attempts so the deadlock detector can break cycles. In a
-   threaded client this waiting is implicit; in this deterministic harness
-   it is an explicit loop. *)
-let exec_with_retries t session ?(attempts = 20) sql =
+   daemon between attempts so the deadlock detector can break cycles, and
+   waiting a deterministic interval on the simulated clock (a threaded
+   client would block on the lock instead). The loop is bounded: after
+   [attempts] tries the conflict propagates. Returns the number of
+   attempts consumed alongside the result. *)
+let exec_with_retries_report t session ?(attempts = 20) sql =
+  let attempts = max 1 attempts in
   let rec go n =
     match Engine.Instance.exec session sql with
-    | r -> r
+    | r -> (r, attempts - n + 1)
     | exception Engine.Executor.Would_block _ when n > 1 ->
       maintenance t;
+      Sim.Clock.advance t.cluster.Cluster.Topology.clock 0.05;
       go (n - 1)
   in
   go attempts
+
+let exec_with_retries t session ?attempts sql =
+  fst (exec_with_retries_report t session ?attempts sql)

@@ -23,6 +23,9 @@ type t = {
   registry : ((string * int), string * int) Hashtbl.t;
   mutable states : State.t list;  (** one per node running the extension *)
   mutable active_data_nodes : string list;
+  mutable replication_factor : int;
+      (** placements per shard for subsequently created distributed tables
+          (citus.shard_replication_factor); capped at the node count *)
   procedures : (string, int * string) Hashtbl.t;
       (** delegated procedures: name -> (1-based dist arg position, table) *)
 }
@@ -58,12 +61,29 @@ val create_reference_table : t -> table:string -> unit
 val create_distributed_function :
   t -> proc:string -> arg_position:int -> table:string -> unit
 
+(** Replication factor for tables created afterwards (also available as
+    [SELECT citus_set_replication_factor(n)]). *)
+val set_replication_factor : t -> int -> unit
+
+(** Cluster health snapshot: per-node breaker/failure stats and the
+    current Inactive placements (also available as
+    [SELECT citus_health_report()], which returns JSON). *)
+val health_report :
+  t -> Health.node_report list * (Metadata.shard * string) list
+
 (** Execute, retrying on {!Engine.Executor.Would_block} with a maintenance
-    tick between attempts (the deadlock detector may abort a cycle member,
-    releasing the lock). Re-raises after [attempts]. *)
+    tick and a deterministic {!Sim.Clock} backoff between attempts (the
+    deadlock detector may abort a cycle member, releasing the lock).
+    Re-raises after [attempts]. *)
 val exec_with_retries :
   t -> Engine.Instance.session -> ?attempts:int -> string ->
   Engine.Instance.result
+
+(** Like {!exec_with_retries}, also returning how many attempts the
+    statement took (1 = no conflict). *)
+val exec_with_retries_report :
+  t -> Engine.Instance.session -> ?attempts:int -> string ->
+  Engine.Instance.result * int
 
 (** State of the node a session is connected to (for tests). *)
 val state_for : t -> Engine.Instance.session -> State.t

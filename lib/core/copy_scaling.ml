@@ -21,6 +21,47 @@ let connection_to (t : State.t) st session node_name =
   end;
   conn
 
+(* Ship one batch to every active replica of [shard]. A replica that fails
+   is marked Inactive — together with its colocated siblings — as long as
+   at least one replica took the batch; with no survivors the COPY fails. *)
+let copy_replicated (t : State.t) st session ~(shard : Metadata.shard)
+    ~shard_table ~columns lines =
+  let nodes = Metadata.placements t.State.metadata shard.Metadata.shard_id in
+  let copied = ref None and failed = ref [] in
+  List.iter
+    (fun node ->
+      try
+        if not (State.reachable t node) then
+          raise (State.Network_error (node ^ " is unreachable"));
+        let conn = connection_to t st session node in
+        if Engine.Instance.in_transaction session then begin
+          (* later statements in this transaction must find the
+             uncommitted rows: record shard-group affinity (§3.6.1) *)
+          let key = (node, shard.Metadata.index_in_colocation) in
+          if not (List.mem_assoc key st.State.affinity) then
+            st.State.affinity <- (key, conn) :: st.State.affinity
+        end;
+        let n = Cluster.Connection.copy conn ~table:shard_table ~columns lines in
+        Health.record_success t.State.health node;
+        if !copied = None then copied := Some n
+      with State.Network_error _ ->
+        Health.record_failure t.State.health node;
+        failed := node :: !failed)
+    nodes;
+  match !copied with
+  | None ->
+    raise
+      (State.Network_error
+         (Printf.sprintf "no replica of shard %d reachable during COPY"
+            shard.Metadata.shard_id))
+  | Some n ->
+    List.iter
+      (fun node ->
+        Adaptive_executor.mark_placement_lost t
+          ~shard_id:shard.Metadata.shard_id ~node)
+      !failed;
+    n
+
 let copy_hook (t : State.t) session ~table ~columns lines =
   match Metadata.find t.State.metadata table with
   | None -> None
@@ -40,15 +81,8 @@ let copy_hook (t : State.t) session ~table ~columns lines =
      | Metadata.Reference ->
        let shard = List.hd (Metadata.shards_of t.State.metadata table) in
        let shard_table = Metadata.shard_name shard in
-       let nodes = Metadata.placements t.State.metadata shard.Metadata.shard_id in
        let n =
-         List.fold_left
-           (fun _acc node ->
-             let conn = connection_to t st session node in
-             if not (State.reachable t node) then
-               raise (State.Network_error (node ^ " is unreachable"));
-             Cluster.Connection.copy conn ~table:shard_table ~columns lines)
-           0 nodes
+         copy_replicated t st session ~shard ~shard_table ~columns lines
        in
        Some n
      | Metadata.Distributed ->
@@ -104,21 +138,10 @@ let copy_hook (t : State.t) session ~table ~columns lines =
                (fun (s : Metadata.shard) -> s.Metadata.shard_id = shard_id)
                (Metadata.shards_of t.State.metadata table)
            in
-           let node = Metadata.placement t.State.metadata shard_id in
-           if not (State.reachable t node) then
-             raise (State.Network_error (node ^ " is unreachable"));
-           let conn = connection_to t st session node in
-           (* later statements in this transaction must find the
-              uncommitted rows: record shard-group affinity (§3.6.1) *)
-           if Engine.Instance.in_transaction session then begin
-             let key = (0, shard.Metadata.index_in_colocation) in
-             if not (List.mem_assoc key st.State.affinity) then
-               st.State.affinity <- (key, conn) :: st.State.affinity
-           end;
            total :=
              !total
-             + Cluster.Connection.copy conn
-                 ~table:(Metadata.shard_name shard)
+             + copy_replicated t st session ~shard
+                 ~shard_table:(Metadata.shard_name shard)
                  ~columns (List.rev !batch))
          batches;
        Some !total)

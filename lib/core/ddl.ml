@@ -7,16 +7,22 @@ let shard_tasks (t : State.t) table ~make_stmt =
         Plan.task_node = Metadata.placement t.State.metadata s.Metadata.shard_id;
         task_stmt = make_stmt s;
         task_group = s.Metadata.index_in_colocation;
+        task_shard = s.Metadata.shard_id;
       })
     (Metadata.shards_of t.State.metadata table)
 
-(* Reference tables: the statement must run on every replica. *)
+(* Reference tables: one task; the executor replicates DDL writes across
+   every active placement of the reference shard. *)
 let replica_tasks (t : State.t) table ~make_stmt =
   let shard = List.hd (Metadata.shards_of t.State.metadata table) in
-  List.map
-    (fun node ->
-      { Plan.task_node = node; task_stmt = make_stmt shard; task_group = -1 })
-    (Metadata.placements t.State.metadata shard.Metadata.shard_id)
+  [
+    {
+      Plan.task_node = Metadata.placement t.State.metadata shard.Metadata.shard_id;
+      task_stmt = make_stmt shard;
+      task_group = -1;
+      task_shard = shard.Metadata.shard_id;
+    };
+  ]
 
 let tasks_for (t : State.t) table ~make_stmt =
   match Metadata.find t.State.metadata table with

@@ -114,15 +114,10 @@ let execute (t : State.t) coord_session (plan : Plan.t) =
       match results with r :: _ -> r.Engine.Instance.tag | [] -> "UPDATE"
     in
     ({ Engine.Instance.columns = []; rows = []; affected; tag }, report)
-  | Plan.Reference_write { stmts_per_node = _ } ->
-    let tasks = Plan.tasks_of plan in
-    let results, report = Adaptive_executor.execute t coord_session tasks in
-    (* replicas apply the same write; report one of them *)
-    let r = List.hd results in
-    ( {
-        Engine.Instance.columns = r.Engine.Instance.columns;
-        rows = r.Engine.Instance.rows;
-        affected = r.Engine.Instance.affected;
-        tag = r.Engine.Instance.tag;
-      },
-      report )
+  | Plan.Reference_write task ->
+    (* one task; the executor replicates it across the reference shard's
+       active placements and reports the first replica's result *)
+    let results, report =
+      Adaptive_executor.execute t coord_session [ task ]
+    in
+    (List.hd results, report)

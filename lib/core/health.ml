@@ -1,0 +1,119 @@
+type breaker = Closed | Open | Half_open
+
+let breaker_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type node_stats = {
+  mutable consecutive_failures : int;
+  mutable failures : int;
+  mutable successes : int;
+  mutable failed_commits : int;
+  mutable breaker : breaker;
+  mutable opened_at : float;
+  mutable backoff : float;
+}
+
+type t = {
+  clock : Sim.Clock.t;
+  nodes : (string, node_stats) Hashtbl.t;
+  mutable failure_threshold : int;
+  mutable base_backoff : float;
+  mutable max_backoff : float;
+}
+
+let create ?(failure_threshold = 3) ?(base_backoff = 1.0) ?(max_backoff = 30.0)
+    ~clock () =
+  {
+    clock;
+    nodes = Hashtbl.create 8;
+    failure_threshold;
+    base_backoff;
+    max_backoff;
+  }
+
+let stats t node =
+  match Hashtbl.find_opt t.nodes node with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        consecutive_failures = 0;
+        failures = 0;
+        successes = 0;
+        failed_commits = 0;
+        breaker = Closed;
+        opened_at = 0.0;
+        backoff = t.base_backoff;
+      }
+    in
+    Hashtbl.replace t.nodes node s;
+    s
+
+(* Resolve the time-dependent part of the state machine: an Open breaker
+   becomes Half_open once its backoff has elapsed, letting one probe
+   through. *)
+let breaker_state t node =
+  let s = stats t node in
+  (match s.breaker with
+   | Open when Sim.Clock.now t.clock -. s.opened_at >= s.backoff ->
+     s.breaker <- Half_open
+   | _ -> ());
+  s.breaker
+
+let record_success t node =
+  let s = stats t node in
+  s.successes <- s.successes + 1;
+  s.consecutive_failures <- 0;
+  s.breaker <- Closed;
+  s.backoff <- t.base_backoff
+
+let record_failure t node =
+  let s = stats t node in
+  s.failures <- s.failures + 1;
+  s.consecutive_failures <- s.consecutive_failures + 1;
+  match breaker_state t node with
+  | Half_open ->
+    (* the probe failed: re-open with a doubled backoff *)
+    s.breaker <- Open;
+    s.opened_at <- Sim.Clock.now t.clock;
+    s.backoff <- Float.min t.max_backoff (s.backoff *. 2.0)
+  | Closed when s.consecutive_failures >= t.failure_threshold ->
+    s.breaker <- Open;
+    s.opened_at <- Sim.Clock.now t.clock
+  | _ -> ()
+
+let record_failed_commit t node =
+  let s = stats t node in
+  s.failed_commits <- s.failed_commits + 1
+
+let failed_commits t node = (stats t node).failed_commits
+
+let available t node = breaker_state t node <> Open
+
+let retry_backoff t node = (stats t node).backoff
+
+type node_report = {
+  nr_node : string;
+  nr_breaker : breaker;
+  nr_consecutive_failures : int;
+  nr_failures : int;
+  nr_successes : int;
+  nr_failed_commits : int;
+}
+
+let report t =
+  Hashtbl.fold
+    (fun node s acc ->
+      {
+        nr_node = node;
+        nr_breaker = breaker_state t node;
+        nr_consecutive_failures = s.consecutive_failures;
+        nr_failures = s.failures;
+        nr_successes = s.successes;
+        nr_failed_commits = s.failed_commits;
+      }
+      :: acc)
+    t.nodes []
+  |> List.sort (fun a b -> String.compare a.nr_node b.nr_node)

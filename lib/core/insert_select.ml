@@ -74,6 +74,7 @@ let route_rows (t : State.t) session ~table ~cols ~dist_pos ~dist_ty
                 on_conflict_do_nothing = on_conflict;
               };
           task_group = shard.Metadata.index_in_colocation;
+          task_shard = shard_id;
         }
         :: acc)
       by_shard []
@@ -116,10 +117,9 @@ let execute (t : State.t) session ~table ~columns ~select ~on_conflict_do_nothin
   match Metadata.find meta table with
   | None -> err "%s is not a Citus table" table
   | Some { Metadata.kind = Metadata.Reference; _ } ->
-    (* pull, then write to every replica *)
+    (* pull, then write to every replica (the executor expands the task) *)
     let rows = materialize_select t session select in
     let shard = List.hd (Metadata.shards_of meta table) in
-    let nodes = Metadata.placements meta shard.Metadata.shard_id in
     let tuples =
       List.map
         (fun (row : Datum.t array) ->
@@ -129,20 +129,22 @@ let execute (t : State.t) session ~table ~columns ~select ~on_conflict_do_nothin
     let affected =
       if tuples = [] then 0
       else begin
-        let stmt node =
-          ignore node;
-          Ast.Insert
-            {
-              table = Metadata.shard_name shard;
-              columns = Some cols;
-              source = Ast.Values tuples;
-              on_conflict_do_nothing;
-            }
-        in
         let tasks =
-          List.map
-            (fun n -> { Plan.task_node = n; task_stmt = stmt n; task_group = -1 })
-            nodes
+          [
+            {
+              Plan.task_node = Metadata.placement meta shard.Metadata.shard_id;
+              task_stmt =
+                Ast.Insert
+                  {
+                    table = Metadata.shard_name shard;
+                    columns = Some cols;
+                    source = Ast.Values tuples;
+                    on_conflict_do_nothing;
+                  };
+              task_group = -1;
+              task_shard = shard.Metadata.shard_id;
+            };
+          ]
         in
         let results, _ = Adaptive_executor.execute t session tasks in
         (List.hd results).Engine.Instance.affected
@@ -203,6 +205,7 @@ let execute (t : State.t) session ~table ~columns ~select ~on_conflict_do_nothin
                     on_conflict_do_nothing;
                   };
               task_group = group_index;
+              task_shard = dest_shard.Metadata.shard_id;
             })
           groups
       in

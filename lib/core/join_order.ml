@@ -429,7 +429,7 @@ let execute (t : State.t) session (sel : Ast.select) =
       in
       let tasks =
         List.map
-          (fun (gi, node, _) ->
+          (fun (gi, node, _members) ->
             let rename name =
               match Hashtbl.find_opt bcast_map name with
               | Some temp -> temp
@@ -458,6 +458,9 @@ let execute (t : State.t) session (sel : Ast.select) =
                 Ast.rename_tables_statement rename
                   (Ast.Select_stmt task_select);
               task_group = gi;
+              (* the task reads node-local repartition/broadcast fragments:
+                 it cannot fail over to another replica of the anchor shard *)
+              task_shard = -1;
             })
           anchor_groups
       in

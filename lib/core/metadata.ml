@@ -16,12 +16,16 @@ type shard = {
   index_in_colocation : int;
 }
 
+type placement_state = Active | Inactive
+
+type placement = { pl_node : string; mutable pl_state : placement_state }
+
 type t = {
   shard_count : int;
   mutable tables : dist_table list;
   mutable shards : shard list;
-  (* shard_id -> node names *)
-  placement_tbl : (int, string list) Hashtbl.t;
+  (* shard_id -> placements (node + health state, Citus shardstate 1/3) *)
+  placement_tbl : (int, placement list) Hashtbl.t;
   mutable next_shard_id : int;
   mutable next_colocation_id : int;
 }
@@ -68,10 +72,17 @@ let hash_ranges n =
       in
       (Int64.to_int32 lo, Int64.to_int32 hi))
 
-let register_distributed t ~table ~column ~ty ~colocate_with ~nodes =
+let active_pl = List.filter (fun p -> p.pl_state = Active)
+
+let fresh_copies pls =
+  List.map (fun p -> { pl_node = p.pl_node; pl_state = p.pl_state }) pls
+
+let register_distributed ?(replication_factor = 1) t ~table ~column ~ty
+    ~colocate_with ~nodes =
   if find t table <> None then
     invalid_arg (Printf.sprintf "table %s is already distributed" table);
   if nodes = [] then invalid_arg "no nodes to place shards on";
+  if replication_factor < 1 then invalid_arg "replication_factor must be >= 1";
   match colocate_with with
   | Some other ->
     let other_dt =
@@ -106,8 +117,10 @@ let register_distributed t ~table ~column ~ty ~colocate_with ~nodes =
               index_in_colocation = os.index_in_colocation;
             }
           in
+          (* colocated shards get their own placement records (health is
+             tracked per placement), on the same nodes in the same state *)
           Hashtbl.replace t.placement_tbl s.shard_id
-            (Hashtbl.find t.placement_tbl os.shard_id);
+            (fresh_copies (Hashtbl.find t.placement_tbl os.shard_id));
           s)
         other_shards
     in
@@ -127,6 +140,8 @@ let register_distributed t ~table ~column ~ty ~colocate_with ~nodes =
     in
     t.tables <- t.tables @ [ dt ];
     let node_array = Array.of_list nodes in
+    let n_nodes = Array.length node_array in
+    let rf = min replication_factor n_nodes in
     let new_shards =
       List.mapi
         (fun i (lo, hi) ->
@@ -139,9 +154,12 @@ let register_distributed t ~table ~column ~ty ~colocate_with ~nodes =
               index_in_colocation = i;
             }
           in
-          (* round-robin placement, §3.3.1 *)
+          (* round-robin placement, §3.3.1; with statement-based
+             replication, each shard also lands on the next rf-1 nodes *)
           Hashtbl.replace t.placement_tbl s.shard_id
-            [ node_array.(i mod Array.length node_array) ];
+            (List.init rf (fun k ->
+                 { pl_node = node_array.((i + k) mod n_nodes);
+                   pl_state = Active }));
           s)
         (hash_ranges t.shard_count)
     in
@@ -171,7 +189,8 @@ let register_reference t ~table ~nodes =
       index_in_colocation = 0;
     }
   in
-  Hashtbl.replace t.placement_tbl s.shard_id nodes;
+  Hashtbl.replace t.placement_tbl s.shard_id
+    (List.map (fun n -> { pl_node = n; pl_state = Active }) nodes);
   t.shards <- t.shards @ [ s ];
   s
 
@@ -201,28 +220,80 @@ let shard_for_value t ~table value =
 
 let shard_name s = Printf.sprintf "%s_%d" s.shard_of s.shard_id
 
-let placements t shard_id =
+let all_placements t shard_id =
   match Hashtbl.find_opt t.placement_tbl shard_id with
-  | Some nodes -> nodes
+  | Some pls -> pls
   | None -> invalid_arg (Printf.sprintf "no placements for shard %d" shard_id)
 
-let placement t shard_id =
-  match placements t shard_id with
-  | [ node ] -> node
-  | [] -> invalid_arg (Printf.sprintf "shard %d has no placement" shard_id)
-  | node :: _ -> node
+let placements t shard_id =
+  match active_pl (all_placements t shard_id) with
+  | [] ->
+    invalid_arg (Printf.sprintf "shard %d has no active placement" shard_id)
+  | pls -> List.map (fun p -> p.pl_node) pls
+
+let placement t shard_id = List.hd (placements t shard_id)
+
+let placement_state_of t ~shard_id ~node =
+  List.find_opt (fun p -> String.equal p.pl_node node) (all_placements t shard_id)
+  |> Option.map (fun p -> p.pl_state)
+
+let mark_placement t ~shard_id ~node state =
+  match
+    List.find_opt (fun p -> String.equal p.pl_node node)
+      (all_placements t shard_id)
+  with
+  | Some p -> p.pl_state <- state
+  | None ->
+    invalid_arg
+      (Printf.sprintf "shard %d has no placement on %s" shard_id node)
+
+let shard_by_id t shard_id =
+  List.find_opt (fun s -> s.shard_id = shard_id) t.shards
+
+(* Shards that must stay aligned with [shard]: the same group index in
+   every other table of its colocation group (reference shards stand
+   alone). *)
+let colocated_shards t (shard : shard) =
+  match find t shard.shard_of with
+  | Some { kind = Reference; _ } | None -> [ shard ]
+  | Some owner ->
+    List.filter_map
+      (fun dt ->
+        if dt.kind = Distributed && dt.colocation_id = owner.colocation_id
+        then
+          List.find_opt
+            (fun s ->
+              s.index_in_colocation = shard.index_in_colocation
+              && String.equal s.shard_of dt.dt_name)
+            t.shards
+        else None)
+      t.tables
+
+let inactive_placements t =
+  List.concat_map
+    (fun s ->
+      match Hashtbl.find_opt t.placement_tbl s.shard_id with
+      | None -> []
+      | Some pls ->
+        List.filter_map
+          (fun p -> if p.pl_state = Inactive then Some (s, p.pl_node) else None)
+          pls)
+    t.shards
 
 let update_placement t ~shard_id ~from_node ~to_node =
-  let nodes = placements t shard_id in
-  let updated =
-    List.map (fun n -> if String.equal n from_node then to_node else n) nodes
-  in
-  Hashtbl.replace t.placement_tbl shard_id updated
+  Hashtbl.replace t.placement_tbl shard_id
+    (List.map
+       (fun p ->
+         if String.equal p.pl_node from_node then
+           { pl_node = to_node; pl_state = Active }
+         else p)
+       (all_placements t shard_id))
 
 let add_placement t ~shard_id ~node =
-  let nodes = placements t shard_id in
-  if not (List.mem node nodes) then
-    Hashtbl.replace t.placement_tbl shard_id (nodes @ [ node ])
+  let pls = all_placements t shard_id in
+  if not (List.exists (fun p -> String.equal p.pl_node node) pls) then
+    Hashtbl.replace t.placement_tbl shard_id
+      (pls @ [ { pl_node = node; pl_state = Active } ])
 
 let colocated t names =
   let ids =
@@ -236,7 +307,18 @@ let colocated t names =
   in
   match List.sort_uniq Int.compare ids with [] | [ _ ] -> true | _ -> false
 
-let shard_groups t ~tables =
+(* Pick the node serving a shard: the first active placement whose node
+   passes [node_ok] (a health predicate), else the first active one. *)
+let select_placement ?node_ok t shard_id =
+  let nodes = placements t shard_id in
+  match node_ok with
+  | None -> List.hd nodes
+  | Some ok ->
+    (match List.find_opt ok nodes with
+     | Some n -> n
+     | None -> List.hd nodes)
+
+let shard_groups ?node_ok t ~tables =
   let dist_tables =
     List.filter
       (fun n ->
@@ -261,11 +343,13 @@ let shard_groups t ~tables =
               (tbl, s))
             dist_tables
         in
-        (a.index_in_colocation, placement t a.shard_id, members))
+        (a.index_in_colocation, select_placement ?node_ok t a.shard_id, members))
       anchor_shards
 
 let nodes_in_use t =
-  Hashtbl.fold (fun _ nodes acc -> nodes @ acc) t.placement_tbl []
+  Hashtbl.fold
+    (fun _ pls acc -> List.map (fun p -> p.pl_node) pls @ acc)
+    t.placement_tbl []
   |> List.sort_uniq String.compare
 
 let shards_on_node t node =
@@ -274,7 +358,9 @@ let shards_on_node t node =
       (match find t s.shard_of with
        | Some { kind = Distributed; _ } -> true
        | _ -> false)
-      && List.mem node (placements t s.shard_id))
+      && List.exists
+           (fun p -> String.equal p.pl_node node)
+           (all_placements t s.shard_id))
     t.shards
 
 (* --- shard splitting (tenant isolation) --- *)
@@ -285,7 +371,7 @@ let replace_shard t ~shard_id ~ranges =
     | Some s -> s
     | None -> invalid_arg (Printf.sprintf "no shard %d" shard_id)
   in
-  let placements = placements t shard_id in
+  let pls = all_placements t shard_id in
   let news =
     List.map
       (fun (lo, hi) ->
@@ -298,7 +384,7 @@ let replace_shard t ~shard_id ~ranges =
             index_in_colocation = old.index_in_colocation (* renumbered below *);
           }
         in
-        Hashtbl.replace t.placement_tbl s.shard_id placements;
+        Hashtbl.replace t.placement_tbl s.shard_id (fresh_copies pls);
         s)
       ranges
   in

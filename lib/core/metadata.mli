@@ -24,6 +24,13 @@ type shard = {
   index_in_colocation : int;  (** position among the table's shards *)
 }
 
+(** Placement health, mirroring Citus shardstate 1 (active) / 3
+    (inactive): an [Inactive] placement missed a replicated write and must
+    not serve reads until the repair daemon re-copies it. *)
+type placement_state = Active | Inactive
+
+type placement = { pl_node : string; mutable pl_state : placement_state }
+
 type t
 
 val create : ?shard_count:int -> unit -> t
@@ -35,10 +42,13 @@ val default_shard_count : t -> int
 exception Not_distributed of string
 
 (** [register_distributed t ~table ~column ~ty ~colocate_with ~nodes]
-    creates shard metadata and round-robin placements over [nodes].
+    creates shard metadata and round-robin placements over [nodes]; with
+    [replication_factor] > 1 each shard is additionally placed on the next
+    rf-1 nodes (statement-based replication, capped at the node count).
     With [colocate_with], ranges and placements are copied from the other
     table so the shards align. Returns the new shards in range order. *)
 val register_distributed :
+  ?replication_factor:int ->
   t ->
   table:string ->
   column:string ->
@@ -69,17 +79,41 @@ val shard_for_value : t -> table:string -> Datum.t -> shard
 (** Physical table name of a shard on its node ("orders_102008"). *)
 val shard_name : shard -> string
 
-(** Node(s) holding a shard. Distributed shards have exactly one placement;
-    reference shards one per node. *)
+(** Nodes holding an {e active} placement of a shard. Raises if none is
+    active (every replica lost). *)
 val placements : t -> int -> string list
 
 val placement : t -> int -> string
-(** Sole placement of a distributed shard. *)
+(** First active placement of a shard. *)
 
-(** Move a shard's placement (rebalancer). *)
+(** Every placement record of a shard, regardless of state. *)
+val all_placements : t -> int -> placement list
+
+val placement_state_of :
+  t -> shard_id:int -> node:string -> placement_state option
+
+(** Flip a placement's health state (write failure marks it [Inactive];
+    shard repair marks it [Active] again). *)
+val mark_placement : t -> shard_id:int -> node:string -> placement_state -> unit
+
+val shard_by_id : t -> int -> shard option
+
+(** The shards colocated with [shard] (same group index across its
+    colocation group, itself included); a reference shard stands alone. *)
+val colocated_shards : t -> shard -> shard list
+
+(** Every [Inactive] placement, as (shard, node) pairs — the repair
+    daemon's work list. *)
+val inactive_placements : t -> (shard * string) list
+
+(** Pick the serving node for a shard: first active placement passing
+    [node_ok], else the first active one. *)
+val select_placement : ?node_ok:(string -> bool) -> t -> int -> string
+
+(** Move a shard's placement (rebalancer); the moved placement is Active. *)
 val update_placement : t -> shard_id:int -> from_node:string -> to_node:string -> unit
 
-(** Add a placement (reference table on a new node). *)
+(** Add an Active placement (reference table on a new node). *)
 val add_placement : t -> shard_id:int -> node:string -> unit
 
 (** Do all these tables belong to one colocation group (reference tables
@@ -88,8 +122,10 @@ val colocated : t -> string list -> bool
 
 (** Shard groups of a colocation id: for group index [i], the i-th shard of
     every distributed table in the group lives on the same node.
-    Returns (group_index, node, (table, shard) list) per group. *)
+    Returns (group_index, node, (table, shard) list) per group; the node is
+    chosen with {!select_placement}. *)
 val shard_groups :
+  ?node_ok:(string -> bool) ->
   t -> tables:string list -> (int * string * (string * shard) list) list
 
 (** All nodes appearing in placements. *)

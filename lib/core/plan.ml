@@ -9,6 +9,10 @@ type task = {
   task_node : string;  (** target node name *)
   task_stmt : Sqlfront.Ast.statement;  (** already shard-rewritten *)
   task_group : int;  (** shard-group index; -1 when not shard-bound *)
+  task_shard : int;
+      (** anchor shard id, or -1 when not shard-bound. Lets the executor
+          find the other replicas of the shard: reads fail over to them,
+          writes are replicated across them (statement-based replication). *)
 }
 
 (** Coordinator merge step for multi-shard SELECTs: collected task rows are
@@ -27,8 +31,9 @@ type t =
       (** logical pushdown: parallel tasks + coordinator merge *)
   | Multi_shard_dml of { tasks : task list }
       (** parallel distributed DML (UPDATE/DELETE/INSERT split by shard) *)
-  | Reference_write of { stmts_per_node : (string * Sqlfront.Ast.statement) list }
-      (** write to a reference table: execute on every replica *)
+  | Reference_write of task
+      (** write to a reference table: the executor replicates the single
+          task across every active replica of the reference shard *)
 
 let planner_name = function
   | Fast_path _ -> "fast path"
@@ -38,9 +43,5 @@ let planner_name = function
   | Reference_write _ -> "reference write"
 
 let tasks_of = function
-  | Fast_path t | Router t -> [ t ]
+  | Fast_path t | Router t | Reference_write t -> [ t ]
   | Multi_shard_select { tasks; _ } | Multi_shard_dml { tasks } -> tasks
-  | Reference_write { stmts_per_node } ->
-    List.map
-      (fun (node, stmt) -> { task_node = node; task_stmt = stmt; task_group = -1 })
-      stmts_per_node

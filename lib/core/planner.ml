@@ -271,7 +271,7 @@ let rewrite_reference_only meta stmt =
 
 (* Simple CRUD on one distributed table with a distribution-column value:
    single-table SELECT / UPDATE / DELETE, no subqueries. *)
-let try_fast_path meta stmt : Plan.task option =
+let try_fast_path ?node_ok meta stmt : Plan.task option =
   let simple_select sel =
     match sel.Ast.from with
     | [ Ast.Table { name; _ } ] ->
@@ -304,7 +304,7 @@ let try_fast_path meta stmt : Plan.task option =
        (match List.assoc_opt table (dist_filters meta stmt) with
         | Some value ->
           let shard = Metadata.shard_for_value meta ~table value in
-          let node = Metadata.placement meta shard.Metadata.shard_id in
+          let node = Metadata.select_placement ?node_ok meta shard.Metadata.shard_id in
           let stmt' =
             rewrite_to_group meta ~group_index:shard.Metadata.index_in_colocation
               stmt
@@ -314,13 +314,14 @@ let try_fast_path meta stmt : Plan.task option =
               Plan.task_node = node;
               task_stmt = stmt';
               task_group = shard.Metadata.index_in_colocation;
+              task_shard = shard.Metadata.shard_id;
             }
         | None -> None)
      | _ -> None)
 
 (* --- router --- *)
 
-let try_router meta ~local_name stmt : Plan.task option =
+let try_router ?node_ok meta ~local_name stmt : Plan.task option =
   let names = citus_tables meta stmt in
   let dists = dist_tables_of meta names in
   if not (Metadata.colocated meta names) then None
@@ -335,6 +336,7 @@ let try_router meta ~local_name stmt : Plan.task option =
              Plan.task_node = local_name;
              task_stmt = rewrite_reference_only meta stmt;
              task_group = -1;
+             task_shard = -1;
            }
        | _ -> None)
     | _ ->
@@ -361,12 +363,13 @@ let try_router meta ~local_name stmt : Plan.task option =
                (fun (s : Metadata.shard) -> s.index_in_colocation = g)
                (Metadata.shards_of meta anchor)
            in
-           let node = Metadata.placement meta shard.Metadata.shard_id in
+           let node = Metadata.select_placement ?node_ok meta shard.Metadata.shard_id in
            Some
              {
                Plan.task_node = node;
                task_stmt = rewrite_to_group meta ~group_index:g stmt;
                task_group = g;
+               task_shard = shard.Metadata.shard_id;
              }
          | _ -> None)
 
@@ -857,24 +860,28 @@ let build_pushdown meta ~catalog (sel0 : Ast.select) :
 
 let pushdown_parts meta ~catalog sel = build_pushdown meta ~catalog sel
 
-let pushdown_tasks ?only_groups meta task_select names =
-  let groups = Metadata.shard_groups meta ~tables:names in
+let pushdown_tasks ?only_groups ?node_ok meta task_select names =
+  let groups = Metadata.shard_groups ?node_ok meta ~tables:names in
   let groups =
     match only_groups with
     | None -> groups
     | Some keep -> List.filter (fun (gi, _, _) -> List.mem gi keep) groups
   in
   List.map
-    (fun (group_index, node, _members) ->
+    (fun (group_index, node, members) ->
       {
         Plan.task_node = node;
         task_stmt =
           rewrite_to_group meta ~group_index (Ast.Select_stmt task_select);
         task_group = group_index;
+        task_shard =
+          (match members with
+           | (_, (s : Metadata.shard)) :: _ -> s.Metadata.shard_id
+           | [] -> -1);
       })
     groups
 
-let plan_pushdown_select meta ~catalog (sel : Ast.select) =
+let plan_pushdown_select ?node_ok meta ~catalog (sel : Ast.select) =
   let names = List.map fst (tables_in_select [] sel) in
   let citus_names =
     List.filter (Metadata.is_citus_table meta) (List.sort_uniq String.compare names)
@@ -888,7 +895,7 @@ let plan_pushdown_select meta ~catalog (sel : Ast.select) =
   validate_pushdown_level meta ~is_top:true sel;
   let task_select, merge = build_pushdown meta ~catalog sel in
   let only_groups = pruned_groups meta (Ast.Select_stmt sel) in
-  (pushdown_tasks ?only_groups meta task_select citus_names, merge)
+  (pushdown_tasks ?only_groups ?node_ok meta task_select citus_names, merge)
 
 (* --- colocated INSERT..SELECT test (§3.8, strategy 1) --- *)
 
@@ -920,11 +927,15 @@ let plan_insert_values meta ~catalog stmt table columns tuples on_conflict =
   in
   match dt.Metadata.kind with
   | Metadata.Reference ->
-    let nodes = Metadata.placements meta
-        (List.hd (Metadata.shards_of meta table)).Metadata.shard_id in
+    let shard_id = (List.hd (Metadata.shards_of meta table)).Metadata.shard_id in
     let renamed = rewrite_reference_only meta stmt in
     (Plan.Reference_write
-       { stmts_per_node = List.map (fun n -> (n, renamed)) nodes },
+       {
+         Plan.task_node = Metadata.placement meta shard_id;
+         task_stmt = renamed;
+         task_group = -1;
+         task_shard = shard_id;
+       },
      Tier_reference)
   | Metadata.Distributed ->
     let dist_col = Option.get dt.Metadata.dist_column in
@@ -994,6 +1005,7 @@ let plan_insert_values meta ~catalog stmt table columns tuples on_conflict =
             Plan.task_node = Metadata.placement meta shard_id;
             task_stmt = stmt;
             task_group = shard.Metadata.index_in_colocation;
+            task_shard = shard_id;
           }
           :: acc)
         by_shard []
@@ -1006,13 +1018,17 @@ let plan_multi_shard_dml meta stmt table =
   let dt = Option.get (Metadata.find meta table) in
   match dt.Metadata.kind with
   | Metadata.Reference ->
-    let nodes =
-      Metadata.placements meta
-        (List.hd (Metadata.shards_of meta table)).Metadata.shard_id
+    let shard_id =
+      (List.hd (Metadata.shards_of meta table)).Metadata.shard_id
     in
     let renamed = rewrite_reference_only meta stmt in
     (Plan.Reference_write
-       { stmts_per_node = List.map (fun n -> (n, renamed)) nodes },
+       {
+         Plan.task_node = Metadata.placement meta shard_id;
+         task_stmt = renamed;
+         task_group = -1;
+         task_shard = shard_id;
+       },
      Tier_reference)
   | Metadata.Distributed ->
     (* every shard gets the rewritten statement, minus pruned groups *)
@@ -1032,6 +1048,7 @@ let plan_multi_shard_dml meta stmt table =
             Plan.task_node = Metadata.placement meta s.shard_id;
             task_stmt = rewrite_to_group meta ~group_index:s.index_in_colocation stmt;
             task_group = s.index_in_colocation;
+            task_shard = s.shard_id;
           })
         shards
     in
@@ -1039,16 +1056,16 @@ let plan_multi_shard_dml meta stmt table =
 
 (* --- entry point --- *)
 
-let plan meta ~catalog ~local_name stmt : Plan.t * tier =
-  match try_fast_path meta stmt with
+let plan ?node_ok meta ~catalog ~local_name stmt : Plan.t * tier =
+  match try_fast_path ?node_ok meta stmt with
   | Some task -> (Plan.Fast_path task, Tier_fast_path)
   | None ->
-    (match try_router meta ~local_name stmt with
+    (match try_router ?node_ok meta ~local_name stmt with
      | Some task -> (Plan.Router task, Tier_router)
      | None ->
        (match stmt with
         | Ast.Select_stmt sel ->
-          let tasks, merge = plan_pushdown_select meta ~catalog sel in
+          let tasks, merge = plan_pushdown_select ?node_ok meta ~catalog sel in
           (Plan.Multi_shard_select { tasks; merge }, Tier_pushdown)
         | Ast.Insert { table; columns; source = Ast.Values tuples;
                        on_conflict_do_nothing } ->

@@ -29,9 +29,12 @@ val tier_name : tier -> string
 (** [plan meta ~catalog ~local_name stmt] produces a distributed plan.
     [catalog] is the local node's catalog (used to expand [*] projections
     from the schema of the converted local table); [local_name] is the node
-    running the planner (reference-table reads route there). Raises
-    {!Unsupported} when no tier applies. *)
+    running the planner (reference-table reads route there). [node_ok]
+    steers placement choice for reads away from unhealthy nodes (circuit
+    breaker open); the first active placement is used when every candidate
+    fails the predicate. Raises {!Unsupported} when no tier applies. *)
 val plan :
+  ?node_ok:(string -> bool) ->
   Metadata.t ->
   catalog:Engine.Catalog.t ->
   local_name:string ->
@@ -42,6 +45,7 @@ val plan :
     pushdown execution. Raises {!Unsupported} if the select cannot be
     fully pushed down. *)
 val plan_pushdown_select :
+  ?node_ok:(string -> bool) ->
   Metadata.t ->
   catalog:Engine.Catalog.t ->
   Sqlfront.Ast.select ->

@@ -16,28 +16,14 @@ exception Move_blocked of int list
 let err fmt =
   Printf.ksprintf (fun m -> raise (Engine.Instance.Session_error m)) fmt
 
-(* All shards that share a colocation group index with [shard] (including
-   itself): they must move together. *)
-let colocated_group (t : State.t) (shard : Metadata.shard) =
-  let meta = t.State.metadata in
-  let owner = Option.get (Metadata.find meta shard.Metadata.shard_of) in
-  List.filter_map
-    (fun (dt : Metadata.dist_table) ->
-      if
-        dt.Metadata.kind = Metadata.Distributed
-        && dt.Metadata.colocation_id = owner.Metadata.colocation_id
-      then
-        List.find_opt
-          (fun (s : Metadata.shard) ->
-            s.Metadata.index_in_colocation = shard.Metadata.index_in_colocation)
-          (Metadata.shards_of meta dt.Metadata.dt_name)
-      else None)
-    (Metadata.all_tables meta)
-
 (* Copy one shard's data from [src] node to [dst] node following the
-   logical-replication protocol. Returns (rows copied, catchup records). *)
-let move_one (t : State.t) (shard : Metadata.shard) ~from_node ~to_node =
-  let meta = t.State.metadata in
+   logical-replication protocol: snapshot copy while writes continue, then
+   WAL catch-up under a brief write lock. [finish_metadata] runs inside the
+   cutover window (after the destination commit, before the lock release);
+   [drop_source] removes the source copy — a move does, a repair keeps the
+   source serving. Returns (rows copied, catchup records). *)
+let copy_shard_to (t : State.t) (shard : Metadata.shard) ~from_node ~to_node
+    ~drop_source ~finish_metadata =
   let src_node = Cluster.Topology.find_node t.State.cluster from_node in
   let dst_node = Cluster.Topology.find_node t.State.cluster to_node in
   let src_inst = src_node.Cluster.Topology.instance in
@@ -55,11 +41,19 @@ let move_one (t : State.t) (shard : Metadata.shard) ~from_node ~to_node =
     | Engine.Catalog.Columnar_store _ ->
       err "columnar shards cannot be rebalanced online"
   in
-  (* 1. create the target shard with the same schema and indexes *)
+  (* 1. create the target shard with the same schema and indexes; a repair
+     may find a stale copy from before the placement went inactive *)
   let dst_conn =
     Cluster.Connection.open_
       ~origin:t.State.local.Cluster.Topology.node_name t.State.cluster dst_node
   in
+  (match
+     Engine.Catalog.find_table_opt (Engine.Instance.catalog dst_inst)
+       shard_table
+   with
+   | Some _ ->
+     Engine.Catalog.drop_table (Engine.Instance.catalog dst_inst) shard_table
+   | None -> ());
   ignore
     (Cluster.Connection.exec_ast dst_conn
        (Sqlfront.Ast.Create_table
@@ -179,12 +173,18 @@ let move_one (t : State.t) (shard : Metadata.shard) ~from_node ~to_node =
       | _ -> ())
     (Txn.Wal.records ~from:(lsn0 + 1) (Txn.Manager.wal src_mgr));
   Txn.Manager.commit dst_mgr apply_xid;
-  (* 5. flip metadata, drop the source, release the lock *)
-  Metadata.update_placement meta ~shard_id:shard.Metadata.shard_id ~from_node
-    ~to_node;
-  Engine.Catalog.drop_table src_catalog shard_table;
+  (* 5. flip metadata, optionally drop the source, release the lock *)
+  finish_metadata ();
+  if drop_source then Engine.Catalog.drop_table src_catalog shard_table;
   Txn.Manager.commit src_mgr lock_xid;
   (!rows_copied, !catchup)
+
+(* Move = copy + metadata flip + source drop. *)
+let move_one (t : State.t) (shard : Metadata.shard) ~from_node ~to_node =
+  copy_shard_to t shard ~from_node ~to_node ~drop_source:true
+    ~finish_metadata:(fun () ->
+      Metadata.update_placement t.State.metadata
+        ~shard_id:shard.Metadata.shard_id ~from_node ~to_node)
 
 let move_shard_group (t : State.t) ~shard_id ~to_node =
   let meta = t.State.metadata in
@@ -206,7 +206,7 @@ let move_shard_group (t : State.t) ~shard_id ~to_node =
   if String.equal from_node to_node then
     { moved_shards = []; from_node; to_node; rows_copied = 0; catchup_records = 0 }
   else begin
-    let group = colocated_group t shard in
+    let group = Metadata.colocated_shards meta shard in
     let rows = ref 0 and catchup = ref 0 in
     List.iter
       (fun (s : Metadata.shard) ->
@@ -222,6 +222,43 @@ let move_shard_group (t : State.t) ~shard_id ~to_node =
       catchup_records = !catchup;
     }
   end
+
+(* --- self-healing shard repair --- *)
+
+(* Re-copy the Inactive placement of [shard_id] on [node] from a healthy
+   (active, reachable) replica, then mark it Active again. *)
+let repair_placement (t : State.t) ~shard_id ~node =
+  let meta = t.State.metadata in
+  let shard =
+    match Metadata.shard_by_id meta shard_id with
+    | Some s -> s
+    | None -> err "no shard %d" shard_id
+  in
+  let source =
+    match
+      List.find_opt (State.reachable t) (Metadata.placements meta shard_id)
+    with
+    | Some n -> n
+    | None -> err "shard %d has no reachable active placement" shard_id
+  in
+  copy_shard_to t shard ~from_node:source ~to_node:node ~drop_source:false
+    ~finish_metadata:(fun () ->
+      Metadata.mark_placement meta ~shard_id ~node Metadata.Active)
+
+(* Maintenance pass: walk every Inactive placement and repair the ones on
+   reachable nodes. Skips (rather than fails on) placements whose repair is
+   blocked or whose replicas are all unreachable. Returns how many
+   placements came back. *)
+let repair_inactive (t : State.t) =
+  let repaired = ref 0 in
+  List.iter
+    (fun ((shard : Metadata.shard), node) ->
+      if State.reachable t node then
+        match repair_placement t ~shard_id:shard.Metadata.shard_id ~node with
+        | _ -> incr repaired
+        | exception _ -> ())
+    (Metadata.inactive_placements t.State.metadata);
+  !repaired
 
 let distribution (t : State.t) =
   let meta = t.State.metadata in

@@ -38,5 +38,16 @@ val move_shard_group :
 (** Rebalance until the policy is satisfied; returns the moves performed. *)
 val rebalance : ?policy:policy -> State.t -> move list
 
+(** Re-copy the Inactive placement of a shard on [node] from a healthy
+    active replica (same snapshot + WAL catch-up machinery as a move, but
+    the source placement keeps serving) and mark it Active. Returns
+    (rows copied, catchup records). *)
+val repair_placement : State.t -> shard_id:int -> node:string -> int * int
+
+(** Self-healing maintenance pass: repair every Inactive placement whose
+    node is reachable; skips the ones that are blocked or sourceless.
+    Returns the number of placements repaired. *)
+val repair_inactive : State.t -> int
+
 (** Shards per node (for tests and the rebalance report). *)
 val distribution : State.t -> (string * int) list

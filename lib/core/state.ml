@@ -8,7 +8,7 @@ type config = {
 type session_state = {
   skey : string * int;
   mutable pools : (string * Cluster.Connection.t list) list;
-  mutable affinity : ((int * int) * Cluster.Connection.t) list;
+  mutable affinity : ((string * int) * Cluster.Connection.t) list;
   mutable txn_conns : Cluster.Connection.t list;
   mutable prepared : (Cluster.Connection.t * string) list;
   mutable dist_xids : (string * int) list;
@@ -19,6 +19,7 @@ type t = {
   metadata : Metadata.t;
   local : Cluster.Topology.node;
   config : config;
+  health : Health.t;
   sessions : ((string * int), session_state) Hashtbl.t;
   shared_counters : (string, int ref) Hashtbl.t;
   registry : ((string * int), string * int) Hashtbl.t;
@@ -44,6 +45,7 @@ let create ~cluster ~metadata ~local ~registry ~coordinator_id =
     metadata;
     local;
     config = default_config ();
+    health = Health.create ~clock:cluster.Cluster.Topology.clock ();
     sessions = Hashtbl.create 64;
     shared_counters = Hashtbl.create 8;
     registry;
@@ -132,12 +134,36 @@ let check_injected t node sql =
 
 let exec_on t conn sql =
   let node = (Cluster.Connection.node conn).Cluster.Topology.node_name in
-  check_reachable t node;
-  check_injected t node sql;
-  Cluster.Connection.exec conn sql
+  try
+    check_reachable t node;
+    check_injected t node sql;
+    let r = Cluster.Connection.exec conn sql in
+    Health.record_success t.health node;
+    r
+  with Network_error _ as e ->
+    Health.record_failure t.health node;
+    raise e
 
 let exec_ast_on t conn stmt =
   exec_on t conn (Sqlfront.Deparse.statement stmt)
+
+let node_available t node = Health.available t.health node
+
+(* Bounded retry for transient network errors against one node. Waits the
+   breaker's current backoff on the simulated clock between attempts, so
+   retried statements stay deterministic in tests. *)
+let with_retry ?(attempts = 3) t ~node f =
+  let rec go n =
+    try f ()
+    with Network_error _ as e ->
+      if n <= 1 then raise e
+      else begin
+        Sim.Clock.advance t.cluster.Cluster.Topology.clock
+          (Health.retry_backoff t.health node);
+        go (n - 1)
+      end
+  in
+  go (max 1 attempts)
 
 let fresh_gid t ~coord_xid =
   let seq = t.next_gid_seq in

@@ -20,8 +20,9 @@ type session_state = {
   skey : string * int;  (** (node name, session id) *)
   mutable pools : (string * Cluster.Connection.t list) list;
       (** per target node, open connections *)
-  mutable affinity : ((int * int) * Cluster.Connection.t) list;
-      (** (colocation id, shard-group index) -> connection, §3.6.1 *)
+  mutable affinity : ((string * int) * Cluster.Connection.t) list;
+      (** (node, shard-group index) -> connection, §3.6.1: a transaction
+          pins each shard group replica to one connection *)
   mutable txn_conns : Cluster.Connection.t list;
       (** connections with an open BEGIN for the current coordinator txn *)
   mutable prepared : (Cluster.Connection.t * string) list;
@@ -35,6 +36,9 @@ type t = {
   metadata : Metadata.t;
   local : Cluster.Topology.node;  (** node this extension instance runs on *)
   config : config;
+  health : Health.t;
+      (** per-node circuit breakers fed by {!exec_on}; the planner and
+          executors consult it for placement preference and retry backoff *)
   sessions : ((string * int), session_state) Hashtbl.t;
   shared_counters : (string, int ref) Hashtbl.t;
   registry : ((string * int), string * int) Hashtbl.t;
@@ -79,11 +83,20 @@ val checkout :
 val pool_of : session_state -> string -> Cluster.Connection.t list
 
 (** Execute on a connection, simulating the network: raises
-    {!Network_error} if the target node is partitioned away. *)
+    {!Network_error} if the target node is partitioned away. Every outcome
+    feeds the node's circuit breaker in {!field-health}. *)
 val exec_on : t -> Cluster.Connection.t -> string -> Engine.Instance.result
 
 val exec_ast_on :
   t -> Cluster.Connection.t -> Sqlfront.Ast.statement -> Engine.Instance.result
+
+(** [false] while the node's circuit breaker is open. *)
+val node_available : t -> string -> bool
+
+(** [with_retry t ~node f] runs [f], retrying up to [attempts] times on
+    {!Network_error} with the breaker's backoff advanced on the simulated
+    clock between attempts. Re-raises after the last attempt. *)
+val with_retry : ?attempts:int -> t -> node:string -> (unit -> 'a) -> 'a
 
 (** Fresh global transaction identifier: citus_<coordinator>_<xid>_<seq>. *)
 val fresh_gid : t -> coord_xid:int -> string

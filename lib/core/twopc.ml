@@ -41,16 +41,34 @@ let delete_commit_record (t : State.t) gid =
      raise e);
   ignore (Engine.Instance.exec s "COMMIT")
 
+(* Gids reach this query verbatim; going through the executor with a
+   [Datum.Text] constant keeps a hostile gid from escaping the string
+   literal (no SQL re-parse of interpolated input). *)
 let commit_record_exists (t : State.t) gid =
   let s = admin_session t in
-  let r =
-    Engine.Instance.exec s
-      (Printf.sprintf "SELECT count(*) FROM %s WHERE gid = '%s'"
-         commit_records_table gid)
+  let ctx = Engine.Instance.make_ctx s in
+  let _, rows =
+    Engine.Executor.run_select ctx
+      {
+        Sqlfront.Ast.distinct = false;
+        projections =
+          [ Sqlfront.Ast.Proj (Sqlfront.Ast.Column (None, "gid"), None) ];
+        from =
+          [ Sqlfront.Ast.Table { name = commit_records_table; alias = None } ];
+        where =
+          Some
+            (Sqlfront.Ast.Cmp
+               ( Sqlfront.Ast.Eq,
+                 Sqlfront.Ast.Column (None, "gid"),
+                 Sqlfront.Ast.Const (Datum.Text gid) ));
+        group_by = [];
+        having = None;
+        order_by = [];
+        limit = None;
+        offset = None;
+      }
   in
-  match r.Engine.Instance.rows with
-  | [ [| Datum.Int n |] ] -> n > 0
-  | _ -> false
+  rows <> []
 
 let commit_record_count (t : State.t) =
   let s = admin_session t in
@@ -126,7 +144,11 @@ let post_commit (t : State.t) coord_session =
         State.exec_on t conn (Printf.sprintf "COMMIT PREPARED '%s'" gid)
       with
       | _ -> ()
-      | exception _ -> ())
+      | exception _ ->
+        (* count it: tests and monitoring can assert recovery later
+           resolved exactly these *)
+        Health.record_failed_commit t.State.health
+          (Cluster.Connection.node conn).Cluster.Topology.node_name)
     st.State.prepared;
   cleanup_session_txn_state t st
 
@@ -193,9 +215,22 @@ let recover (t : State.t) =
       (Cluster.Topology.all_nodes t.State.cluster)
   in
   let s = admin_session t in
-  let r =
-    Engine.Instance.exec s
-      (Printf.sprintf "SELECT gid FROM %s" commit_records_table)
+  let ctx = Engine.Instance.make_ctx s in
+  let _, rows =
+    Engine.Executor.run_select ctx
+      {
+        Sqlfront.Ast.distinct = false;
+        projections =
+          [ Sqlfront.Ast.Proj (Sqlfront.Ast.Column (None, "gid"), None) ];
+        from =
+          [ Sqlfront.Ast.Table { name = commit_records_table; alias = None } ];
+        where = None;
+        group_by = [];
+        having = None;
+        order_by = [];
+        limit = None;
+        offset = None;
+      }
   in
   List.iter
     (fun row ->
@@ -203,5 +238,5 @@ let recover (t : State.t) =
       | [| Datum.Text gid |] ->
         if not (List.mem gid pending_gids) then delete_commit_record t gid
       | _ -> ())
-    r.Engine.Instance.rows;
+    rows;
   (!committed, !rolled_back)
