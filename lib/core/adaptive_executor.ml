@@ -135,9 +135,12 @@ let connection_for (t : State.t) st ~in_txn ~exact ~assigned ~node_name
         | None ->
           (match maybe_busy with
            | Some c -> c
-           | None ->
-             (* must have at least one connection *)
-             Option.get (State.checkout t st ~force:true node))))
+           | None -> (
+             (* must have at least one connection; a forced checkout
+                always opens one *)
+             match State.checkout t st ~force:true node with
+             | Some fresh -> fresh
+             | None -> assert false))))
 
 (* Active replicas that can serve [task], planned node first, circuit-open
    nodes last. Falls back to the planned node when the shard is unknown or
@@ -147,7 +150,7 @@ let replica_nodes (t : State.t) (task : Plan.task) =
   if task.Plan.task_shard < 0 then fallback
   else
     match Metadata.placements t.State.metadata task.Plan.task_shard with
-    | exception Invalid_argument _ -> fallback
+    | exception Metadata.Catalog_error _ -> fallback
     | nodes ->
       let score n =
         (if State.node_available t n then 0 else 2)
@@ -223,7 +226,12 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
       if List.memq conn st.State.txn_conns then begin
         st.State.txn_conns <-
           List.filter (fun c -> c != conn) st.State.txn_conns;
-        (try ignore (Cluster.Connection.exec conn "ROLLBACK") with _ -> ())
+        (try ignore (Cluster.Connection.exec conn "ROLLBACK")
+         with _ ->
+           (* the node just failed; the rollback failing too is expected,
+              but count it rather than lose it *)
+           Health.record_ignored t.State.health
+             node.Cluster.Topology.node_name)
       end;
       raise e
   in
@@ -242,9 +250,10 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
             failed := node_name :: !failed;
             last_err := Some e)
         candidates;
-      match List.rev !successes with
-      | [] -> raise (Option.get !last_err)
-      | r :: _ ->
+      match List.rev !successes, !last_err with
+      | [], Some e -> raise e
+      | [], None -> assert false (* no success implies a recorded error *)
+      | r :: _, _ ->
         List.iter
           (fun node ->
             mark_placement_lost t ~shard_id:task.Plan.task_shard ~node)
@@ -266,14 +275,19 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
       in
       try_nodes candidates
     end
-    else if not explicit then
-      (* single-placement write: bounded retries, no failover target *)
-      let node_name = List.hd candidates in
-      State.with_retry t ~node:node_name (fun () -> run_on task node_name)
     else
-      (* inside an explicit transaction: one attempt on the planned node;
-         failing over mid-transaction would lose uncommitted state *)
-      run_on task (List.hd candidates)
+      (* replica_nodes never returns []: it falls back to the planned node *)
+      match candidates with
+      | [] -> assert false
+      | node_name :: _ ->
+        if not explicit then
+          (* single-placement write: bounded retries, no failover target *)
+          State.with_retry t ~node:node_name (fun () -> run_on task node_name)
+        else
+          (* inside an explicit transaction: one attempt on the planned
+             node; failing over mid-transaction would lose uncommitted
+             state *)
+          run_on task node_name
   in
   let results = List.map exec_task tasks in
   let net_after = Cluster.Topology.net_snapshot t.State.cluster in

@@ -13,7 +13,10 @@ type t = {
 let err fmt =
   Printf.ksprintf (fun m -> raise (Engine.Instance.Session_error m)) fmt
 
-let coordinator_state t = List.hd t.states
+let coordinator_state t =
+  match t.states with
+  | st :: _ -> st
+  | [] -> err "the Citus extension is not installed anywhere"
 
 let state_for t session =
   let name = Engine.Instance.name (Engine.Instance.session_instance session) in
@@ -118,17 +121,34 @@ let move_local_rows t session ~table ~(dt_kind : Metadata.kind) ~conns =
               }))
     in
     let tuple_of row = List.map (fun d -> Ast.Const d) (Array.to_list row) in
+    let conn_for node =
+      match List.assoc_opt node conns with
+      | Some c -> c
+      | None -> err "no admin connection open to node %s" node
+    in
     match dt_kind with
     | Metadata.Reference ->
-      let shard = List.hd (Metadata.shards_of t.metadata table) in
+      let shard =
+        match Metadata.shards_of t.metadata table with
+        | s :: _ -> s
+        | [] -> err "reference table %s has no shard" table
+      in
       let tuples = List.map tuple_of rows in
       List.iter
         (fun node ->
-          insert_into (List.assoc node conns) (Metadata.shard_name shard) tuples)
+          insert_into (conn_for node) (Metadata.shard_name shard) tuples)
         (Metadata.placements t.metadata shard.Metadata.shard_id)
     | Metadata.Distributed ->
-      let dt = Option.get (Metadata.find t.metadata table) in
-      let dc = Option.get dt.Metadata.dist_column in
+      let dt =
+        match Metadata.find t.metadata table with
+        | Some dt -> dt
+        | None -> err "relation %s is not distributed" table
+      in
+      let dc =
+        match dt.Metadata.dist_column with
+        | Some c -> c
+        | None -> err "relation %s has no distribution column" table
+      in
       let catalog =
         Engine.Instance.catalog (Engine.Instance.session_instance session)
       in
@@ -157,7 +177,7 @@ let move_local_rows t session ~table ~(dt_kind : Metadata.kind) ~conns =
           in
           List.iter
             (fun node ->
-              insert_into (List.assoc node conns) (Metadata.shard_name shard)
+              insert_into (conn_for node) (Metadata.shard_name shard)
                 (List.rev !tuples))
             (Metadata.placements t.metadata shard_id))
         by_shard
@@ -230,11 +250,16 @@ let do_create_distributed_table t session ~table ~column ~colocate_with =
          shards)
   in
   let conns = List.map (fun n -> (n, admin_conn t n)) node_names in
+  let conn_for node =
+    match List.assoc_opt node conns with
+    | Some c -> c
+    | None -> err "no admin connection open to node %s" node
+  in
   List.iter
     (fun (s : Metadata.shard) ->
       List.iter
         (fun node ->
-          create_shard_table ~conn:(List.assoc node conns) ~src:tbl
+          create_shard_table ~conn:(conn_for node) ~src:tbl
             ~shard_table:(Metadata.shard_name s))
         (Metadata.placements t.metadata s.Metadata.shard_id))
     shards;
@@ -284,10 +309,13 @@ let delegate_call (t : t) (st : State.t) session proc args =
          let conn =
            match State.pool_of sst node with
            | c :: _ -> c
-           | [] ->
-             Option.get
-               (State.checkout st sst ~force:true
-                  (Cluster.Topology.find_node t.cluster node))
+           | [] -> (
+             match
+               State.checkout st sst ~force:true
+                 (Cluster.Topology.find_node t.cluster node)
+             with
+             | Some c -> c
+             | None -> assert false (* forced checkout always opens *))
          in
          let stmt = Ast.Call { proc; args } in
          Some (State.exec_ast_on st conn stmt)
@@ -506,6 +534,8 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
                 ("successes", Json.Num (float_of_int r.Health.nr_successes));
                 ( "failed_commits",
                   Json.Num (float_of_int r.Health.nr_failed_commits) );
+                ( "ignored_errors",
+                  Json.Num (float_of_int r.Health.nr_ignored_errors) );
               ])
           (Health.report st.State.health)
       in
@@ -537,7 +567,10 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
              (fun (dt : Metadata.dist_table) ->
                if dt.Metadata.kind = Metadata.Reference then begin
                  let shard =
-                   List.hd (Metadata.shards_of t.metadata dt.Metadata.dt_name)
+                   match Metadata.shards_of t.metadata dt.Metadata.dt_name with
+                   | s :: _ -> s
+                   | [] ->
+                     err "reference table %s has no shard" dt.Metadata.dt_name
                  in
                  let catalog = Engine.Instance.catalog inst in
                  let tbl = table_def_of catalog dt.Metadata.dt_name in

@@ -79,14 +79,22 @@ let copy_hook (t : State.t) session ~table ~columns lines =
       (List.length lines);
     (match dt.Metadata.kind with
      | Metadata.Reference ->
-       let shard = List.hd (Metadata.shards_of t.State.metadata table) in
+       let shard =
+         match Metadata.shards_of t.State.metadata table with
+         | s :: _ -> s
+         | [] -> err "reference table %s has no shard" table
+       in
        let shard_table = Metadata.shard_name shard in
        let n =
          copy_replicated t st session ~shard ~shard_table ~columns lines
        in
        Some n
      | Metadata.Distributed ->
-       let dist_col = Option.get dt.Metadata.dist_column in
+       let dist_col =
+         match dt.Metadata.dist_column with
+         | Some c -> c
+         | None -> err "relation %s has no distribution column" table
+       in
        let col_list =
          match columns with
          | Some cols -> cols

@@ -14,7 +14,14 @@ let shard_tasks (t : State.t) table ~make_stmt =
 (* Reference tables: one task; the executor replicates DDL writes across
    every active placement of the reference shard. *)
 let replica_tasks (t : State.t) table ~make_stmt =
-  let shard = List.hd (Metadata.shards_of t.State.metadata table) in
+  let shard =
+    match Metadata.shards_of t.State.metadata table with
+    | s :: _ -> s
+    | [] ->
+      raise
+        (Metadata.Catalog_error
+           (Printf.sprintf "reference table %s has no shard" table))
+  in
   [
     {
       Plan.task_node = Metadata.placement t.State.metadata shard.Metadata.shard_id;

@@ -87,12 +87,12 @@ let detect_and_cancel (t : State.t) =
     in
     (match dist_members with
      | [] -> None
-     | members ->
+     | first :: rest ->
        (* the youngest distributed transaction has the largest xid *)
        let victim, _ =
          List.fold_left
            (fun (bv, bx) (v, x) -> if x > bx then (v, x) else (bv, bx))
-           (List.hd members) (List.tl members)
+           first rest
        in
        cancel t victim;
        Some victim)

@@ -94,13 +94,17 @@ let run_merge (t : State.t) coord_session (merge : Plan.merge)
         tag = "SELECT";
       })
 
+(* Adaptive_executor.execute returns exactly one result per task, so a
+   single-task plan always yields a singleton list. *)
+let sole_result = function [ r ] -> r | _ -> assert false
+
 let execute (t : State.t) coord_session (plan : Plan.t) =
   match plan with
   | Plan.Fast_path task | Plan.Router task ->
     let results, report =
       Adaptive_executor.execute t coord_session [ task ]
     in
-    (List.hd results, report)
+    (sole_result results, report)
   | Plan.Multi_shard_select { tasks; merge } ->
     let results, report = Adaptive_executor.execute t coord_session tasks in
     let rows = List.concat_map (fun r -> r.Engine.Instance.rows) results in
@@ -120,4 +124,4 @@ let execute (t : State.t) coord_session (plan : Plan.t) =
     let results, report =
       Adaptive_executor.execute t coord_session [ task ]
     in
-    (List.hd results, report)
+    (sole_result results, report)

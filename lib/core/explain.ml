@@ -72,8 +72,7 @@ let explain (t : State.t) sql =
                       rows d.Join_order.anchor)
                 d.Join_order.moves
             in
-            String.concat "
-"
+            String.concat "\n"
               (Printf.sprintf "Distributed plan via logical join-order planner"
                :: Printf.sprintf "Anchor relation: %s" d.Join_order.anchor
                :: moves

@@ -10,6 +10,7 @@ type node_stats = {
   mutable failures : int;
   mutable successes : int;
   mutable failed_commits : int;
+  mutable ignored_errors : int;
   mutable breaker : breaker;
   mutable opened_at : float;
   mutable backoff : float;
@@ -43,6 +44,7 @@ let stats t node =
         failures = 0;
         successes = 0;
         failed_commits = 0;
+        ignored_errors = 0;
         breaker = Closed;
         opened_at = 0.0;
         backoff = t.base_backoff;
@@ -90,6 +92,15 @@ let record_failed_commit t node =
 
 let failed_commits t node = (stats t node).failed_commits
 
+(* Best-effort cleanup (ROLLBACK on a node already failing) deliberately
+   tolerates errors, but never silently: the count keeps swallowed
+   exceptions visible to monitoring and tests. *)
+let record_ignored t node =
+  let s = stats t node in
+  s.ignored_errors <- s.ignored_errors + 1
+
+let ignored_errors t node = (stats t node).ignored_errors
+
 let available t node = breaker_state t node <> Open
 
 let retry_backoff t node = (stats t node).backoff
@@ -101,6 +112,7 @@ type node_report = {
   nr_failures : int;
   nr_successes : int;
   nr_failed_commits : int;
+  nr_ignored_errors : int;
 }
 
 let report t =
@@ -113,6 +125,7 @@ let report t =
         nr_failures = s.failures;
         nr_successes = s.successes;
         nr_failed_commits = s.failed_commits;
+        nr_ignored_errors = s.ignored_errors;
       }
       :: acc)
     t.nodes []

@@ -23,6 +23,9 @@ type node_stats = {
   mutable successes : int;  (** total completed operations *)
   mutable failed_commits : int;
       (** best-effort COMMIT PREPARED sends that failed *)
+  mutable ignored_errors : int;
+      (** exceptions swallowed by best-effort cleanup (e.g. ROLLBACK on an
+          already-failing node), counted so they stay observable *)
   mutable breaker : breaker;
   mutable opened_at : float;  (** clock time the breaker last opened *)
   mutable backoff : float;  (** current open-interval / retry backoff *)
@@ -60,6 +63,14 @@ val record_failed_commit : t -> string -> unit
 
 val failed_commits : t -> string -> int
 
+(** Record an exception that best-effort cleanup deliberately swallowed;
+    the per-node count keeps it visible to monitoring and tests (lint rule
+    L5 requires every catch-all in the 2PC/health/deadlock paths to either
+    re-raise or record). *)
+val record_ignored : t -> string -> unit
+
+val ignored_errors : t -> string -> int
+
 (** [false] only while the breaker is [Open] (within its backoff):
     half-open nodes accept a probe. *)
 val available : t -> string -> bool
@@ -74,6 +85,7 @@ type node_report = {
   nr_failures : int;
   nr_successes : int;
   nr_failed_commits : int;
+  nr_ignored_errors : int;
 }
 
 (** Snapshot of every tracked node, sorted by name. *)

@@ -119,7 +119,11 @@ let execute (t : State.t) session ~table ~columns ~select ~on_conflict_do_nothin
   | Some { Metadata.kind = Metadata.Reference; _ } ->
     (* pull, then write to every replica (the executor expands the task) *)
     let rows = materialize_select t session select in
-    let shard = List.hd (Metadata.shards_of meta table) in
+    let shard =
+      match Metadata.shards_of meta table with
+      | s :: _ -> s
+      | [] -> err "reference table %s has no shard" table
+    in
     let tuples =
       List.map
         (fun (row : Datum.t array) ->
@@ -146,8 +150,9 @@ let execute (t : State.t) session ~table ~columns ~select ~on_conflict_do_nothin
             };
           ]
         in
-        let results, _ = Adaptive_executor.execute t session tasks in
-        (List.hd results).Engine.Instance.affected
+        match Adaptive_executor.execute t session tasks with
+        | [ r ], _ -> r.Engine.Instance.affected
+        | _ -> assert false (* one task, one result *)
       end
     in
     (dml_result affected, Pull)

@@ -79,8 +79,26 @@ let estimate_rows (t : State.t) session table =
   let catalog =
     Engine.Instance.catalog t.State.local.Cluster.Topology.instance
   in
+  (* built as an AST, not interpolated SQL text: [table] comes from the
+     catalog, but going through the printer/parser would still be the only
+     place in the tree where identifiers reach a parser as a string *)
   let sel =
-    Sqlfront.Parser.parse_select (Printf.sprintf "SELECT count(*) FROM %s" table)
+    {
+      Ast.distinct = false;
+      projections =
+        [
+          Ast.Proj
+            ( Ast.Agg { agg_name = "count"; agg_arg = None; agg_distinct = false },
+              None );
+        ];
+      from = [ Ast.Table { name = table; alias = None } ];
+      where = None;
+      group_by = [];
+      having = None;
+      order_by = [];
+      limit = None;
+      offset = None;
+    }
   in
   match
     Planner.plan t.State.metadata ~catalog
@@ -135,9 +153,10 @@ let choose_anchor (t : State.t) conjs dists rows_of =
               | None -> None)
             others
         in
-        if List.exists Option.is_none classified then None
+        let classified = List.filter_map Fun.id classified in
+        (* any [None] classification disqualifies this anchor *)
+        if List.compare_lengths classified others <> 0 then None
         else begin
-          let classified = List.map Option.get classified in
           let cost =
             List.fold_left
               (fun acc (_, _, rows, c) ->
@@ -435,7 +454,11 @@ let execute (t : State.t) session (sel : Ast.select) =
               | Some temp -> temp
               | None ->
                 (match Hashtbl.find_opt repart_map name with
-                 | Some frags -> Hashtbl.find frags gi
+                 | Some frags -> (
+                   match Hashtbl.find_opt frags gi with
+                   | Some frag -> frag
+                   | None ->
+                     unsupported "no fragment of %s for shard group %d" name gi)
                  | None ->
                    (match Metadata.find meta name with
                     | Some { Metadata.kind = Metadata.Reference; _ } ->

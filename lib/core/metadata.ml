@@ -32,6 +32,14 @@ type t = {
 
 exception Not_distributed of string
 
+(* Catalog lookups that fail indicate corrupted or inconsistent metadata
+   (an unknown shard id, a shard with every replica lost), not a node
+   failure: a typed exception keeps the two failure classes separate so
+   executors never retry a catalog bug against another replica. *)
+exception Catalog_error of string
+
+let catalog_error fmt = Printf.ksprintf (fun m -> raise (Catalog_error m)) fmt
+
 let create ?(shard_count = 32) () =
   {
     shard_count;
@@ -77,6 +85,21 @@ let active_pl = List.filter (fun p -> p.pl_state = Active)
 let fresh_copies pls =
   List.map (fun p -> { pl_node = p.pl_node; pl_state = p.pl_state }) pls
 
+let all_placements t shard_id =
+  match Hashtbl.find_opt t.placement_tbl shard_id with
+  | Some pls -> pls
+  | None -> catalog_error "no placements for shard %d" shard_id
+
+let placements t shard_id =
+  match active_pl (all_placements t shard_id) with
+  | [] -> catalog_error "shard %d has no active placement" shard_id
+  | pls -> List.map (fun p -> p.pl_node) pls
+
+let placement t shard_id =
+  match placements t shard_id with
+  | node :: _ -> node
+  | [] -> catalog_error "shard %d has no active placement" shard_id
+
 let register_distributed ?(replication_factor = 1) t ~table ~column ~ty
     ~colocate_with ~nodes =
   if find t table <> None then
@@ -120,7 +143,7 @@ let register_distributed ?(replication_factor = 1) t ~table ~column ~ty
           (* colocated shards get their own placement records (health is
              tracked per placement), on the same nodes in the same state *)
           Hashtbl.replace t.placement_tbl s.shard_id
-            (fresh_copies (Hashtbl.find t.placement_tbl os.shard_id));
+            (fresh_copies (all_placements t os.shard_id));
           s)
         other_shards
     in
@@ -220,19 +243,6 @@ let shard_for_value t ~table value =
 
 let shard_name s = Printf.sprintf "%s_%d" s.shard_of s.shard_id
 
-let all_placements t shard_id =
-  match Hashtbl.find_opt t.placement_tbl shard_id with
-  | Some pls -> pls
-  | None -> invalid_arg (Printf.sprintf "no placements for shard %d" shard_id)
-
-let placements t shard_id =
-  match active_pl (all_placements t shard_id) with
-  | [] ->
-    invalid_arg (Printf.sprintf "shard %d has no active placement" shard_id)
-  | pls -> List.map (fun p -> p.pl_node) pls
-
-let placement t shard_id = List.hd (placements t shard_id)
-
 let placement_state_of t ~shard_id ~node =
   List.find_opt (fun p -> String.equal p.pl_node node) (all_placements t shard_id)
   |> Option.map (fun p -> p.pl_state)
@@ -310,13 +320,15 @@ let colocated t names =
 (* Pick the node serving a shard: the first active placement whose node
    passes [node_ok] (a health predicate), else the first active one. *)
 let select_placement ?node_ok t shard_id =
-  let nodes = placements t shard_id in
-  match node_ok with
-  | None -> List.hd nodes
-  | Some ok ->
-    (match List.find_opt ok nodes with
-     | Some n -> n
-     | None -> List.hd nodes)
+  (* [placements] raises Catalog_error rather than return [], so the
+     match below is total without a partial List.hd *)
+  match placements t shard_id with
+  | [] -> catalog_error "shard %d has no active placement" shard_id
+  | first :: _ as nodes ->
+    (match node_ok with
+     | None -> first
+     | Some ok ->
+       (match List.find_opt ok nodes with Some n -> n | None -> first))
 
 let shard_groups ?node_ok t ~tables =
   let dist_tables =

@@ -41,6 +41,12 @@ val default_shard_count : t -> int
 
 exception Not_distributed of string
 
+(** Inconsistent catalog state: an unknown shard id, or a shard whose
+    every replica is lost. Typed so executors can tell a metadata bug
+    from a node failure (the former must never be retried on another
+    replica). *)
+exception Catalog_error of string
+
 (** [register_distributed t ~table ~column ~ty ~colocate_with ~nodes]
     creates shard metadata and round-robin placements over [nodes]; with
     [replication_factor] > 1 each shard is additionally placed on the next
@@ -79,14 +85,15 @@ val shard_for_value : t -> table:string -> Datum.t -> shard
 (** Physical table name of a shard on its node ("orders_102008"). *)
 val shard_name : shard -> string
 
-(** Nodes holding an {e active} placement of a shard. Raises if none is
-    active (every replica lost). *)
+(** Nodes holding an {e active} placement of a shard. Raises
+    {!Catalog_error} if none is active (every replica lost). *)
 val placements : t -> int -> string list
 
 val placement : t -> int -> string
-(** First active placement of a shard. *)
+(** First active placement of a shard. Raises {!Catalog_error} if none. *)
 
-(** Every placement record of a shard, regardless of state. *)
+(** Every placement record of a shard, regardless of state. Raises
+    {!Catalog_error} for an unknown shard id. *)
 val all_placements : t -> int -> placement list
 
 val placement_state_of :

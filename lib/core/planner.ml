@@ -156,10 +156,14 @@ let dist_filters meta stmt : (string * Datum.t) list =
   List.concat_map
     (fun conj ->
       match conj with
-      | Ast.Cmp (Ast.Eq, Ast.Column (q, c), rhs) when eval_const rhs <> None ->
-        List.map (fun t -> (t, Option.get (eval_const rhs))) (match_column q c)
-      | Ast.Cmp (Ast.Eq, lhs, Ast.Column (q, c)) when eval_const lhs <> None ->
-        List.map (fun t -> (t, Option.get (eval_const lhs))) (match_column q c)
+      | Ast.Cmp (Ast.Eq, Ast.Column (q, c), rhs) -> (
+        match eval_const rhs with
+        | Some v -> List.map (fun t -> (t, v)) (match_column q c)
+        | None -> [])
+      | Ast.Cmp (Ast.Eq, lhs, Ast.Column (q, c)) -> (
+        match eval_const lhs with
+        | Some v -> List.map (fun t -> (t, v)) (match_column q c)
+        | None -> [])
       | _ -> [])
     conjs
 
@@ -223,12 +227,14 @@ let pruned_groups meta stmt : int list option =
     dist_tables_of meta (List.sort_uniq String.compare (List.map fst aliases))
   in
   let per_table =
-    List.map (fun t -> Hashtbl.find_opt constraints t) dists
+    List.filter_map (fun t -> Hashtbl.find_opt constraints t) dists
   in
-  if List.exists Option.is_none per_table || per_table = [] then None
+  (* an unconstrained distributed table (missing from [constraints]) means
+     all groups must be visited *)
+  if List.compare_lengths per_table dists <> 0 then None
   else
     (* co-located tables share the group space: intersect *)
-    match List.map Option.get per_table with
+    match per_table with
     | [] -> None
     | first :: rest ->
       Some
@@ -355,9 +361,8 @@ let try_router ?node_ok meta ~local_name stmt : Plan.task option =
       in
       if List.length groups <> List.length dists then None
       else
-        (match List.sort_uniq Int.compare groups with
-         | [ g ] ->
-           let anchor = List.hd dists in
+        (match List.sort_uniq Int.compare groups, dists with
+         | [ g ], anchor :: _ ->
            let shard =
              List.find
                (fun (s : Metadata.shard) -> s.index_in_colocation = g)
@@ -371,7 +376,7 @@ let try_router ?node_ok meta ~local_name stmt : Plan.task option =
                task_group = g;
                task_shard = shard.Metadata.shard_id;
              }
-         | _ -> None)
+         | _, _ -> None)
 
 (* --- pushdown validation --- *)
 
@@ -734,12 +739,15 @@ let build_pushdown meta ~catalog (sel0 : Ast.select) :
                      | _ -> None)
                   | _ -> None)
              in
-             let mapped = List.map (fun (e, d) -> (map_order e, d)) order_by in
-             if order_by <> [] && List.for_all (fun (m, _) -> m <> None) mapped
-             then
-               Some
-                 ( List.map (fun (m, d) -> (Option.get m, d)) mapped,
-                   Ast.Const (Datum.Int (li + oi)) )
+             let mapped =
+               List.filter_map
+                 (fun (e, d) ->
+                   match map_order e with Some m -> Some (m, d) | None -> None)
+                 order_by
+             in
+             (* only push down when every order key mapped *)
+             if order_by <> [] && List.compare_lengths mapped order_by = 0
+             then Some (mapped, Ast.Const (Datum.Int (li + oi)))
              else None
            | _ -> None)
     in
@@ -927,7 +935,11 @@ let plan_insert_values meta ~catalog stmt table columns tuples on_conflict =
   in
   match dt.Metadata.kind with
   | Metadata.Reference ->
-    let shard_id = (List.hd (Metadata.shards_of meta table)).Metadata.shard_id in
+    let shard_id =
+      match Metadata.shards_of meta table with
+      | s :: _ -> s.Metadata.shard_id
+      | [] -> unsupported "reference table %s has no shard" table
+    in
     let renamed = rewrite_reference_only meta stmt in
     (Plan.Reference_write
        {
@@ -938,7 +950,11 @@ let plan_insert_values meta ~catalog stmt table columns tuples on_conflict =
        },
      Tier_reference)
   | Metadata.Distributed ->
-    let dist_col = Option.get dt.Metadata.dist_column in
+    let dist_col =
+      match dt.Metadata.dist_column with
+      | Some c -> c
+      | None -> unsupported "%s has no distribution column" table
+    in
     (* position of the distribution column among the insert columns *)
     let dist_pos =
       match columns with
@@ -1015,11 +1031,17 @@ let plan_insert_values meta ~catalog stmt table columns tuples on_conflict =
      | ts -> (Plan.Multi_shard_dml { tasks = ts }, Tier_dml))
 
 let plan_multi_shard_dml meta stmt table =
-  let dt = Option.get (Metadata.find meta table) in
+  let dt =
+    match Metadata.find meta table with
+    | Some dt -> dt
+    | None -> unsupported "%s is not a Citus table" table
+  in
   match dt.Metadata.kind with
   | Metadata.Reference ->
     let shard_id =
-      (List.hd (Metadata.shards_of meta table)).Metadata.shard_id
+      match Metadata.shards_of meta table with
+      | s :: _ -> s.Metadata.shard_id
+      | [] -> unsupported "reference table %s has no shard" table
     in
     let renamed = rewrite_reference_only meta stmt in
     (Plan.Reference_write

@@ -87,12 +87,19 @@ let isolate_tenant (t : State.t) ~table ~value =
                       })))
             news;
           (* move the rows by hash of this table's distribution column *)
-          let dist_col = Option.get gt.Metadata.dist_column in
+          let dist_col =
+            match gt.Metadata.dist_column with
+            | Some c -> c
+            | None -> err "%s has no distribution column" gt_name
+          in
           let pos = Engine.Catalog.column_index src dist_col in
+          (* [@lint.sql_static]: the only interpolant is Metadata.shard_name,
+             an internally generated "<table>_<id>" identifier — never
+             client input *)
           let rows =
             (Cluster.Connection.exec conn
                (Printf.sprintf "SELECT * FROM %s"
-                  (Metadata.shard_name old_shard)))
+                  (Metadata.shard_name old_shard)) [@lint.sql_static])
               .Engine.Instance.rows
           in
           List.iter

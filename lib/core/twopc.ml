@@ -3,12 +3,28 @@ let commit_records_table = "pg_dist_transaction"
 let admin_session (t : State.t) =
   Engine.Instance.connect t.State.local.Cluster.Topology.instance
 
+let node_name conn = (Cluster.Connection.node conn).Cluster.Topology.node_name
+
 let ensure_commit_records_table (t : State.t) =
   let s = admin_session t in
   ignore
-    (Engine.Instance.exec s
-       (Printf.sprintf "CREATE TABLE IF NOT EXISTS %s (gid text)"
-          commit_records_table))
+    (Engine.Instance.exec_ast s
+       (Sqlfront.Ast.Create_table
+          {
+            name = commit_records_table;
+            columns =
+              [
+                {
+                  Sqlfront.Ast.col_name = "gid";
+                  col_ty = Datum.TText;
+                  col_default = None;
+                  col_not_null = false;
+                };
+              ];
+            primary_key = [];
+            if_not_exists = true;
+            using_columnar = false;
+          }))
 
 let insert_commit_records (t : State.t) coord_session gids =
   (* inside the coordinator's own transaction: durable iff it commits *)
@@ -72,11 +88,29 @@ let commit_record_exists (t : State.t) gid =
 
 let commit_record_count (t : State.t) =
   let s = admin_session t in
-  let r =
-    Engine.Instance.exec s
-      (Printf.sprintf "SELECT count(*) FROM %s" commit_records_table)
+  let ctx = Engine.Instance.make_ctx s in
+  let _, rows =
+    Engine.Executor.run_select ctx
+      {
+        Sqlfront.Ast.distinct = false;
+        projections =
+          [
+            Sqlfront.Ast.Proj
+              ( Sqlfront.Ast.Agg
+                  { agg_name = "count"; agg_arg = None; agg_distinct = false },
+                None );
+          ];
+        from =
+          [ Sqlfront.Ast.Table { name = commit_records_table; alias = None } ];
+        where = None;
+        group_by = [];
+        having = None;
+        order_by = [];
+        limit = None;
+        offset = None;
+      }
   in
-  match r.Engine.Instance.rows with
+  match rows with
   | [ [| Datum.Int n |] ] -> n
   | _ -> 0
 
@@ -109,24 +143,25 @@ let pre_commit (t : State.t) coord_session =
          (fun conn ->
            let gid = State.fresh_gid t ~coord_xid in
            ignore
-             (State.exec_on t conn
-                (Printf.sprintf "PREPARE TRANSACTION '%s'" gid));
+             (State.exec_ast_on t conn (Sqlfront.Ast.Prepare_transaction gid));
            prepared := (conn, gid) :: !prepared)
          conns
      with e ->
-       (* a prepare failed: roll back everything and abort the coordinator *)
+       (* a prepare failed: roll back everything and abort the coordinator.
+          Cleanup is best effort — the node may be the one that just
+          failed — but swallowed errors are counted, never invisible. *)
        List.iter
          (fun (conn, gid) ->
            try
              ignore
-               (State.exec_on t conn
-                  (Printf.sprintf "ROLLBACK PREPARED '%s'" gid))
-           with _ -> ())
+               (State.exec_ast_on t conn (Sqlfront.Ast.Rollback_prepared gid))
+           with _ -> Health.record_ignored t.State.health (node_name conn))
          !prepared;
        List.iter
          (fun conn ->
            if not (List.mem_assq conn !prepared) then
-             try ignore (State.exec_on t conn "ROLLBACK") with _ -> ())
+             try ignore (State.exec_on t conn "ROLLBACK")
+             with _ -> Health.record_ignored t.State.health (node_name conn))
          conns;
        st.State.prepared <- [];
        raise e);
@@ -141,14 +176,13 @@ let post_commit (t : State.t) coord_session =
       (* best effort; failures are handled by recovery. Commit records are
          cleaned up lazily by the maintenance daemon, off the hot path. *)
       match
-        State.exec_on t conn (Printf.sprintf "COMMIT PREPARED '%s'" gid)
+        State.exec_ast_on t conn (Sqlfront.Ast.Commit_prepared gid)
       with
       | _ -> ()
       | exception _ ->
         (* count it: tests and monitoring can assert recovery later
            resolved exactly these *)
-        Health.record_failed_commit t.State.health
-          (Cluster.Connection.node conn).Cluster.Topology.node_name)
+        Health.record_failed_commit t.State.health (node_name conn))
     st.State.prepared;
   cleanup_session_txn_state t st
 
@@ -162,11 +196,11 @@ let on_abort (t : State.t) coord_session =
            became visible: roll it back *)
         (try
            ignore
-             (State.exec_on t conn
-                (Printf.sprintf "ROLLBACK PREPARED '%s'" gid))
-         with _ -> ())
+             (State.exec_ast_on t conn (Sqlfront.Ast.Rollback_prepared gid))
+         with _ -> Health.record_ignored t.State.health (node_name conn))
       | None -> (
-        try ignore (State.exec_on t conn "ROLLBACK") with _ -> ()))
+        try ignore (State.exec_on t conn "ROLLBACK")
+        with _ -> Health.record_ignored t.State.health (node_name conn)))
     st.State.txn_conns;
   cleanup_session_txn_state t st
 

@@ -524,7 +524,11 @@ let rec run_select ctx (sel : Ast.select) : string list * Datum.t array list =
       let post_rows =
         List.rev_map
           (fun key ->
-            let states, _ = Hashtbl.find groups key in
+            let states =
+              match Hashtbl.find_opt groups key with
+              | Some (states, _) -> states
+              | None -> assert false (* group_order only holds live keys *)
+            in
             let agg_values =
               List.mapi
                 (fun i st -> agg_result (List.nth aggs i).Ast.agg_name st)

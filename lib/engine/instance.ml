@@ -399,8 +399,10 @@ let udf_call (t : t) (stmt : Ast.statement) =
         offset = None;
         distinct = false;
       }
-    when Hashtbl.mem t.hooks.udfs name ->
-    Some (name, Hashtbl.find t.hooks.udfs name, args)
+    -> (
+    match Hashtbl.find_opt t.hooks.udfs name with
+    | Some udf -> Some (name, udf, args)
+    | None -> None)
   | _ -> None
 
 (* Statement cost classes: transaction control is nearly free, the 2PC

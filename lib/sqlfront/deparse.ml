@@ -227,9 +227,14 @@ let statement (st : Ast.statement) : string =
   | Begin_txn -> "BEGIN"
   | Commit_txn -> "COMMIT"
   | Rollback_txn -> "ROLLBACK"
-  | Prepare_transaction gid -> Printf.sprintf "PREPARE TRANSACTION '%s'" gid
-  | Commit_prepared gid -> Printf.sprintf "COMMIT PREPARED '%s'" gid
-  | Rollback_prepared gid -> Printf.sprintf "ROLLBACK PREPARED '%s'" gid
+  (* gids print as text literals (quoted, '' escaping): a hostile gid can
+     never escape the string and re-parse as SQL *)
+  | Prepare_transaction gid ->
+    "PREPARE TRANSACTION " ^ Datum.to_sql_literal (Datum.Text gid)
+  | Commit_prepared gid ->
+    "COMMIT PREPARED " ^ Datum.to_sql_literal (Datum.Text gid)
+  | Rollback_prepared gid ->
+    "ROLLBACK PREPARED " ^ Datum.to_sql_literal (Datum.Text gid)
   | Vacuum None -> "VACUUM"
   | Vacuum (Some t) -> "VACUUM " ^ t
   | Call { proc; args } ->

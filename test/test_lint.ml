@@ -1,0 +1,228 @@
+(* citus_lint: per-rule fixtures (violating and clean), baseline policy. *)
+
+let rule id =
+  match Registry.find id with
+  | Some r -> r
+  | None -> Alcotest.failf "no rule %s" id
+
+(* Run one rule over inline fixture sources. *)
+let run id sources = Lint_engine.run_sources ~rules:[ rule id ] sources
+
+let ids fs = List.map (fun (f : Rule.finding) -> f.Rule.rule_id) fs
+
+let lines fs = List.map (fun (f : Rule.finding) -> f.Rule.line) fs
+
+(* --- L1 sql-injection --- *)
+
+let l1_violating =
+  {|let run t conn user =
+  let q = Printf.sprintf "SELECT * FROM %s" user in
+  State.exec_on t conn q
+
+let direct t conn user =
+  State.exec_on t conn (Printf.sprintf "DELETE FROM %s" user)
+
+let concat conn x = Cluster.Connection.exec conn ("SELECT " ^ x)
+
+let parse x = Sqlfront.Parser.parse_select ("SELECT * FROM " ^ x)
+|}
+
+let l1_clean =
+  {|let ok t conn gid =
+  State.exec_ast_on t conn (Sqlfront.Ast.Prepare_transaction gid)
+
+let annotated conn shard =
+  (Cluster.Connection.exec conn
+     (Printf.sprintf "SELECT * FROM %s" shard) [@lint.sql_static])
+
+let static t conn = State.exec_on t conn "COMMIT"
+
+(* client-boundary senders are not sinks: workloads model client SQL *)
+let client db user = Db.exec db (Printf.sprintf "SELECT %s" user)
+|}
+
+let test_l1_violating () =
+  let fs = run "L1" [ ("lib/core/fx.ml", l1_violating) ] in
+  Alcotest.(check int) "four taint flows" 4 (List.length fs);
+  Alcotest.(check (list string)) "all L1" [ "L1"; "L1"; "L1"; "L1" ] (ids fs);
+  Alcotest.(check (list int)) "argument locations" [ 3; 6; 8; 10 ] (lines fs)
+
+let test_l1_clean () =
+  let fs = run "L1" [ ("lib/core/fx.ml", l1_clean) ] in
+  Alcotest.(check int) "clean" 0 (List.length fs)
+
+(* --- L2 determinism --- *)
+
+let l2_violating =
+  {|let now () = Unix.gettimeofday ()
+let later () = Unix.time ()
+let cpu () = Sys.time ()
+let roll () = Random.int 6
+let seed () = Random.self_init ()
+|}
+
+let l2_clean =
+  {|let now clock = Sim.Clock.now clock
+let roll st = Random.State.int st 6
+let seeded = Random.State.make [| 42 |]
+|}
+
+let test_l2_violating () =
+  let fs = run "L2" [ ("lib/core/fx.ml", l2_violating) ] in
+  Alcotest.(check int) "five ambient reads" 5 (List.length fs);
+  Alcotest.(check (list int)) "one per line" [ 1; 2; 3; 4; 5 ] (lines fs)
+
+let test_l2_clean () =
+  let fs = run "L2" [ ("lib/core/fx.ml", l2_clean) ] in
+  Alcotest.(check int) "seeded state is legal" 0 (List.length fs)
+
+let test_l2_sim_exempt () =
+  (* the sim layer is where time and randomness are implemented *)
+  let fs = run "L2" [ ("lib/sim/clock.ml", l2_violating) ] in
+  Alcotest.(check int) "lib/sim is out of scope" 0 (List.length fs)
+
+(* --- L3 exception-hygiene --- *)
+
+let l3_violating =
+  {|let f h k = Hashtbl.find h k
+let g l = List.hd l
+let a l k = List.assoc k l
+let o x = Option.get x
+|}
+
+let l3_clean =
+  {|let f h k = try Hashtbl.find h k with Not_found -> 0
+
+let g h k =
+  match Hashtbl.find h k with
+  | exception Not_found -> 0
+  | v -> v
+
+let h tbl k = match Hashtbl.find_opt tbl k with Some v -> v | None -> 0
+|}
+
+let test_l3_violating () =
+  let fs = run "L3" [ ("lib/core/fx.ml", l3_violating) ] in
+  Alcotest.(check int) "four partial lookups" 4 (List.length fs);
+  Alcotest.(check (list int)) "one per line" [ 1; 2; 3; 4 ] (lines fs)
+
+let test_l3_protected () =
+  let fs = run "L3" [ ("lib/core/fx.ml", l3_clean) ] in
+  Alcotest.(check int) "lexical handlers protect" 0 (List.length fs)
+
+let test_l3_scope () =
+  (* only lib/core and lib/cluster: workloads model client code *)
+  let fs = run "L3" [ ("lib/workloads/fx.ml", l3_violating) ] in
+  Alcotest.(check int) "lib/workloads is out of scope" 0 (List.length fs);
+  let fs = run "L3" [ ("lib/cluster/fx.ml", l3_violating) ] in
+  Alcotest.(check int) "lib/cluster is in scope" 4 (List.length fs)
+
+(* --- L4 mli-coverage --- *)
+
+let test_l4 () =
+  let fs =
+    run "L4"
+      [
+        ("lib/core/covered.ml", "");
+        ("lib/core/covered.mli", "");
+        ("lib/core/naked.ml", "");
+        ("bin/main.ml", "");
+      ]
+  in
+  Alcotest.(check int) "one uncovered module" 1 (List.length fs);
+  match fs with
+  | [ f ] ->
+    Alcotest.(check string) "rule id" "L4" f.Rule.rule_id;
+    Alcotest.(check string) "the naked module" "lib/core/naked.ml" f.Rule.file
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+(* --- L5 no-catch-all --- *)
+
+let l5_violating =
+  {|let f x = try x () with _ -> ()
+
+let j x = match x () with v -> v | exception _ -> 0
+|}
+
+let l5_clean =
+  {|let reraise x = try x () with e -> raise e
+
+let recorded t x = try x () with _ -> Health.record_ignored t "node"
+
+let logged x = try x () with _ -> log_warn "swallowed"
+
+let typed h k = try Hashtbl.find h k with Not_found -> 0
+|}
+
+let test_l5_violating () =
+  let fs = run "L5" [ ("lib/core/twopc.ml", l5_violating) ] in
+  Alcotest.(check int) "try and match-exception swallows" 2 (List.length fs);
+  Alcotest.(check (list int)) "handler locations" [ 1; 3 ] (lines fs)
+
+let test_l5_clean () =
+  let fs = run "L5" [ ("lib/core/twopc.ml", l5_clean) ] in
+  Alcotest.(check int) "re-raise/record/log/typed all pass" 0 (List.length fs)
+
+let test_l5_scope () =
+  (* only the reliability-critical files *)
+  let fs = run "L5" [ ("lib/core/planner.ml", l5_violating) ] in
+  Alcotest.(check int) "planner.ml is out of scope" 0 (List.length fs)
+
+(* --- registry and baseline --- *)
+
+let test_registry () =
+  Alcotest.(check int) "five rules" 5 (List.length Registry.all);
+  List.iter
+    (fun id ->
+      match Registry.find id with
+      | Some _ -> ()
+      | None -> Alcotest.failf "rule %s not registered" id)
+    [ "L1"; "L2"; "L3"; "L4"; "L5"; "sql-injection"; "determinism" ]
+
+let test_baseline_empty () =
+  (* the live baseline must stay empty: new findings are fixed, not
+     grandfathered (shrink-only policy, tools/lint/README.md) *)
+  let entries = Lint_engine.load_baseline "../tools/lint/baseline.sexp" in
+  Alcotest.(check int) "no grandfathered findings" 0 (List.length entries)
+
+let test_baseline_parse () =
+  let entries =
+    Lint_engine.parse_sexps
+      "; comment\n(L3 lib/core/api.ml 16)\n(L1 \"lib/core/tenant.ml\" 94)\n"
+  in
+  Alcotest.(check int) "two entries plus comment" 2 (List.length entries)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "l1-sql-injection",
+        [
+          Alcotest.test_case "violating" `Quick test_l1_violating;
+          Alcotest.test_case "clean" `Quick test_l1_clean;
+        ] );
+      ( "l2-determinism",
+        [
+          Alcotest.test_case "violating" `Quick test_l2_violating;
+          Alcotest.test_case "clean" `Quick test_l2_clean;
+          Alcotest.test_case "sim exempt" `Quick test_l2_sim_exempt;
+        ] );
+      ( "l3-exception-hygiene",
+        [
+          Alcotest.test_case "violating" `Quick test_l3_violating;
+          Alcotest.test_case "protected" `Quick test_l3_protected;
+          Alcotest.test_case "scope" `Quick test_l3_scope;
+        ] );
+      ("l4-mli-coverage", [ Alcotest.test_case "coverage" `Quick test_l4 ]);
+      ( "l5-no-catch-all",
+        [
+          Alcotest.test_case "violating" `Quick test_l5_violating;
+          Alcotest.test_case "clean" `Quick test_l5_clean;
+          Alcotest.test_case "scope" `Quick test_l5_scope;
+        ] );
+      ( "infrastructure",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "baseline empty" `Quick test_baseline_empty;
+          Alcotest.test_case "baseline parse" `Quick test_baseline_parse;
+        ] );
+    ]

@@ -1,0 +1,3 @@
+; citus_lint baseline — grandfathered findings, one (RULE FILE LINE) per
+; entry, e.g. (L1 lib/core/twopc.ml 144). This file may only ever shrink:
+; stale entries are themselves lint errors. It is empty — keep it that way.

@@ -1,0 +1,106 @@
+(** citus_lint — compiler-libs invariant checker for the Citus repro.
+
+    Usage: citus_lint [--baseline FILE] [--rule ID]... [--list-rules]
+                      PATH...
+
+    Parses every .ml under the given paths into Parsetrees and runs the
+    rule table ({!Registry.all}) over them. Exits non-zero when any
+    non-grandfathered finding (or stale baseline entry, or parse error)
+    remains. *)
+
+let usage =
+  "citus_lint [--baseline FILE] [--rule ID]... [--list-rules] PATH..."
+
+let () =
+  let baseline_file = ref None in
+  let rule_ids = ref [] in
+  let list_rules = ref false in
+  let roots = ref [] in
+  let spec =
+    [
+      ( "--baseline",
+        Arg.String (fun f -> baseline_file := Some f),
+        "FILE sexp allowlist of grandfathered findings (shrink-only)" );
+      ( "--rule",
+        Arg.String (fun r -> rule_ids := r :: !rule_ids),
+        "ID run only this rule (repeatable; id like L1 or name like \
+         sql-injection)" );
+      ("--list-rules", Arg.Set list_rules, " print the rule table and exit");
+    ]
+  in
+  Arg.parse spec (fun p -> roots := p :: !roots) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (rule : Rule.t) ->
+        let module R = (val rule) in
+        Printf.printf "%-4s %-20s %s\n" R.id R.name R.doc)
+      Registry.all;
+    exit 0
+  end;
+  let rules =
+    match !rule_ids with
+    | [] -> Registry.all
+    | ids ->
+      List.map
+        (fun id ->
+          match Registry.find id with
+          | Some r -> r
+          | None ->
+            prerr_endline ("citus_lint: unknown rule " ^ id);
+            exit 2)
+        (List.rev ids)
+  in
+  let roots = match List.rev !roots with [] -> [ "." ] | rs -> rs in
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        prerr_endline ("citus_lint: no such path " ^ r);
+        exit 2
+      end)
+    roots;
+  let baseline =
+    match !baseline_file with
+    | None -> []
+    | Some f -> Lint_engine.load_baseline f
+  in
+  let paths = Lint_engine.scan roots in
+  let outcome = Lint_engine.run ~baseline ~rules paths in
+  List.iter
+    (fun (file, msg) ->
+      Printf.printf "%s:1:0: [parse] %s\n" file msg)
+    outcome.Lint_engine.parse_errors;
+  let sorted =
+    List.sort
+      (fun (a : Rule.finding) b ->
+        match String.compare a.file b.file with
+        | 0 -> (
+          match Int.compare a.line b.line with
+          | 0 -> String.compare a.rule_id b.rule_id
+          | c -> c)
+        | c -> c)
+      outcome.Lint_engine.findings
+  in
+  List.iter
+    (fun (f : Rule.finding) ->
+      Printf.printf "%s:%d:%d: [%s] %s\n" f.file f.line f.col f.rule_id
+        f.message)
+    sorted;
+  List.iter
+    (fun (b : Lint_engine.baseline_entry) ->
+      Printf.printf
+        "%s:%d:0: [baseline] stale entry for %s: the finding is gone — \
+         delete the entry (the baseline may only shrink)\n"
+        b.Lint_engine.b_file b.Lint_engine.b_line b.Lint_engine.b_rule)
+    outcome.Lint_engine.stale;
+  let n_findings = List.length sorted in
+  let n_stale = List.length outcome.Lint_engine.stale in
+  let n_parse = List.length outcome.Lint_engine.parse_errors in
+  if n_findings + n_stale + n_parse > 0 then begin
+    Printf.printf "citus_lint: %d finding(s), %d stale baseline entr(ies), \
+                   %d parse error(s) over %d file(s)\n"
+      n_findings n_stale n_parse (List.length paths);
+    exit 1
+  end
+  else
+    Printf.printf "citus_lint: clean (%d files, %d rules, %d grandfathered)\n"
+      (List.length paths) (List.length rules) (List.length baseline)

@@ -1,0 +1,210 @@
+(** Driving machinery for citus_lint: source scanning, parsing, baseline
+    handling, and running the rule table over a file set. Kept separate
+    from the executable so the test suite can run rules against inline
+    fixture sources. *)
+
+(* --- parsing --- *)
+
+let parse_impl ~path (source : string) : Parsetree.structure =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  Parse.implementation lexbuf
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- source scanning --- *)
+
+let rec scan_path acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if
+          String.length entry > 0
+          && entry.[0] <> '.'
+          && not (String.equal entry "_build")
+        then scan_path acc (Filename.concat path entry)
+        else acc)
+      acc
+      (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+(** All [.ml]/[.mli] files under [roots], sorted, with '/'-separated
+    relative paths as given. *)
+let scan roots =
+  List.sort String.compare (List.fold_left scan_path [] roots)
+
+(* --- baseline --- *)
+
+(** One grandfathered finding: rule id, file, line. The baseline may only
+    ever shrink; an entry that no longer matches a live finding is itself
+    an error so stale grandfathering cannot linger. *)
+type baseline_entry = { b_rule : string; b_file : string; b_line : int }
+
+(* Minimal s-expression reader: atoms, double-quoted strings, ( ), and
+   ';' line comments — all this file format needs. *)
+type sexp = Atom of string | List of sexp list
+
+let parse_sexps (src : string) : sexp list =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | Some ';' ->
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done;
+      skip_ws ()
+    | _ -> ()
+  in
+  let atom () =
+    let start = !pos in
+    while
+      !pos < n
+      && not
+           (match src.[!pos] with
+            | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' -> true
+            | _ -> false)
+    do
+      incr pos
+    done;
+    Atom (String.sub src start (!pos - start))
+  in
+  let quoted () =
+    incr pos;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then failwith "unterminated string in baseline"
+      else
+        match src.[!pos] with
+        | '"' -> incr pos
+        | '\\' when !pos + 1 < n ->
+          Buffer.add_char buf src.[!pos + 1];
+          pos := !pos + 2;
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  in
+  let rec sexp () =
+    skip_ws ();
+    match peek () with
+    | Some '(' ->
+      incr pos;
+      let items = ref [] in
+      let rec items_loop () =
+        skip_ws ();
+        match peek () with
+        | Some ')' -> incr pos
+        | Some _ ->
+          items := sexp () :: !items;
+          items_loop ()
+        | None -> failwith "unterminated list in baseline"
+      in
+      items_loop ();
+      List (List.rev !items)
+    | Some '"' -> quoted ()
+    | Some _ -> atom ()
+    | None -> failwith "expected s-expression"
+  in
+  let rec top acc =
+    skip_ws ();
+    if !pos >= n then List.rev acc else top (sexp () :: acc)
+  in
+  top []
+
+let load_baseline path : baseline_entry list =
+  if not (Sys.file_exists path) then []
+  else
+    parse_sexps (read_file path)
+    |> List.map (function
+         | List [ Atom rule; Atom file; Atom line ] -> (
+           match int_of_string_opt line with
+           | Some l -> { b_rule = rule; b_file = file; b_line = l }
+           | None ->
+             failwith
+               (Printf.sprintf "baseline %s: bad line number %S" path line))
+         | _ ->
+           failwith
+             (Printf.sprintf
+                "baseline %s: each entry must be (RULE FILE LINE)" path))
+
+(* --- running --- *)
+
+type outcome = {
+  findings : Rule.finding list;  (** live, non-grandfathered findings *)
+  stale : baseline_entry list;  (** baseline entries matching nothing *)
+  parse_errors : (string * string) list;  (** file, message *)
+}
+
+let matches (b : baseline_entry) (f : Rule.finding) =
+  String.equal b.b_rule f.rule_id
+  && String.equal b.b_file f.file
+  && b.b_line = f.line
+
+(** Run [rules] over [files] (path, lazily read+parsed). Tree rules see
+    every path; per-file rules see each parsed [.ml]. *)
+let run ?(baseline = []) ~(rules : Rule.t list) (paths : string list) : outcome
+    =
+  let parse_errors = ref [] in
+  let parsed =
+    List.filter_map
+      (fun path ->
+        if Filename.check_suffix path ".ml" then
+          match parse_impl ~path (read_file path) with
+          | str -> Some (path, str)
+          | exception exn ->
+            parse_errors := (path, Printexc.to_string exn) :: !parse_errors;
+            None
+        else None)
+      paths
+  in
+  let all =
+    List.concat_map
+      (fun (rule : Rule.t) ->
+        let module R = (val rule) in
+        R.check_tree paths
+        @ List.concat_map
+            (fun (path, str) ->
+              if R.applies path then R.check ~path str else [])
+            parsed)
+      rules
+  in
+  let live, grandfathered =
+    List.partition (fun f -> not (List.exists (fun b -> matches b f) baseline)) all
+  in
+  let stale =
+    List.filter
+      (fun b -> not (List.exists (fun f -> matches b f) grandfathered))
+      baseline
+  in
+  { findings = live; stale; parse_errors = List.rev !parse_errors }
+
+(** Run rules directly over in-memory sources [(path, source)] — the test
+    harness entry point. Tree rules see the fixture paths only. *)
+let run_sources ~(rules : Rule.t list) (sources : (string * string) list) :
+    Rule.finding list =
+  let parsed =
+    List.map (fun (path, src) -> (path, parse_impl ~path src)) sources
+  in
+  List.concat_map
+    (fun (rule : Rule.t) ->
+      let module R = (val rule) in
+      R.check_tree (List.map fst sources)
+      @ List.concat_map
+          (fun (path, str) -> if R.applies path then R.check ~path str else [])
+          parsed)
+    rules

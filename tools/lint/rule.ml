@@ -1,0 +1,80 @@
+(** Shared surface of a lint rule.
+
+    A rule is a module (first-class, collected in {!Registry.all}) that
+    inspects either one parsed implementation at a time ([check]) or the
+    whole scanned file set at once ([check_tree], for rules about files
+    rather than syntax, e.g. interface coverage). Rules are pure: they
+    return findings and never print or exit. *)
+
+type finding = {
+  rule_id : string;
+  file : string;  (** repo-relative, '/'-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, like the compiler's own locations *)
+  message : string;
+}
+
+module type S = sig
+  val id : string
+  (** stable identifier, e.g. "L1"; baselines and [--rule] use it *)
+
+  val name : string
+  (** short kebab-case name, e.g. "sql-injection" *)
+
+  val doc : string
+  (** one-line description for [--list-rules] *)
+
+  val applies : string -> bool
+  (** does this rule look at the given [.ml] path at all? *)
+
+  val check : path:string -> Parsetree.structure -> finding list
+  (** per-file syntactic check; called only when [applies path] *)
+
+  val check_tree : string list -> finding list
+  (** whole-tree check over every scanned path (both [.ml] and [.mli]);
+      called once per run *)
+end
+
+type t = (module S)
+
+(* --- helpers shared by the rule implementations --- *)
+
+let finding ~id ~file ~(loc : Location.t) message =
+  let p = loc.Location.loc_start in
+  {
+    rule_id = id;
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    message;
+  }
+
+(** Flattened module path of an identifier: [Cluster.Connection.exec] ->
+    [["Cluster"; "Connection"; "exec"]]. [Lapply] cannot appear in value
+    identifiers we care about; it flattens to []. *)
+let ident_path (e : Parsetree.expression) : string list =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } ->
+    (try Longident.flatten txt with _ -> [])
+  | _ -> []
+
+let has_attr name (attrs : Parsetree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt name)
+    attrs
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+(** [expr_exists p e] — does any subexpression of [e] satisfy [p]? *)
+let expr_exists (p : Parsetree.expression -> bool) (e : Parsetree.expression) =
+  let found = ref false in
+  let super = Ast_iterator.default_iterator in
+  let expr it e =
+    if p e then found := true;
+    super.Ast_iterator.expr it e
+  in
+  let it = { super with Ast_iterator.expr } in
+  it.Ast_iterator.expr it e;
+  !found

@@ -1,0 +1,56 @@
+(** L2 determinism: wall-clock and ambient-randomness primitives are banned
+    outside [lib/sim/]. Deterministic replay of failure schedules (and
+    cross-replica agreement under statement-based replication) depends on
+    every time read going through {!Sim.Clock} and every random draw
+    through an explicitly seeded [Random.State]. A single
+    [Unix.gettimeofday] in a planner is enough to make two replicas of the
+    same shard diverge. *)
+
+let id = "L2"
+let name = "determinism"
+
+let doc =
+  "Unix.gettimeofday/Unix.time/Sys.time/Random.self_init and global-state \
+   Random draws are banned outside lib/sim/ (seeded Random.State is legal)"
+
+let applies path =
+  Filename.check_suffix path ".ml" && not (Rule.starts_with "lib/sim/" path)
+
+(* Draws on the implicitly shared global PRNG. [Random.State.*] has three
+   path components and never matches. *)
+let global_random =
+  [
+    "self_init"; "init"; "full_init"; "bits"; "int"; "full_int"; "int32";
+    "int64"; "nativeint"; "float"; "bool"; "bits32"; "bits64"; "get_state";
+  ]
+
+let banned = function
+  | [ "Unix"; ("gettimeofday" | "time") ] -> true
+  | [ "Sys"; "time" ] -> true
+  | [ "Random"; f ] -> List.mem f global_random
+  | _ -> false
+
+let check ~path (str : Parsetree.structure) =
+  let findings = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+     | Parsetree.Pexp_ident { txt; _ } ->
+       let comps = try Longident.flatten txt with _ -> [] in
+       if banned comps then
+         findings :=
+           Rule.finding ~id ~file:path ~loc:e.pexp_loc
+             (Printf.sprintf
+                "%s is nondeterministic outside the sim layer; read time \
+                 from Sim.Clock and draw randomness from a seeded \
+                 Random.State"
+                (String.concat "." comps))
+           :: !findings
+     | _ -> ());
+    super.Ast_iterator.expr it e
+  in
+  let it = { super with Ast_iterator.expr } in
+  it.Ast_iterator.structure it str;
+  List.rev !findings
+
+let check_tree _ = []

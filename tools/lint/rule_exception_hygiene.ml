@@ -1,0 +1,74 @@
+(** L3 exception-hygiene: partial stdlib lookups ([Hashtbl.find],
+    [List.assoc], [Option.get], [List.hd]) are banned in [lib/core] and
+    [lib/cluster] unless an enclosing [try]/[match ... with exception]
+    handles the failure. A bare [Not_found] thrown by a catalog lookup
+    crosses the adaptive-executor boundary and is indistinguishable from a
+    node failure — the failover path then retries a query that can never
+    succeed. Use the [_opt] variants with an explicit error path (a typed
+    catalog error beats [Not_found] every time). *)
+
+let id = "L3"
+let name = "exception-hygiene"
+
+let doc =
+  "Hashtbl.find/List.assoc/Option.get/List.hd in lib/core and lib/cluster \
+   need an enclosing try/match-exception or an _opt variant"
+
+let applies path =
+  Filename.check_suffix path ".ml"
+  && (Rule.starts_with "lib/core/" path || Rule.starts_with "lib/cluster/" path)
+
+let banned = function
+  | [ "Hashtbl"; "find" ] | [ "List"; "assoc" ] | [ "Option"; "get" ]
+  | [ "List"; "hd" ] ->
+    true
+  | _ -> false
+
+let rec has_exception_case (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_exception _ -> true
+  | Parsetree.Ppat_or (a, b) -> has_exception_case a || has_exception_case b
+  | _ -> false
+
+let check ~path (str : Parsetree.structure) =
+  let findings = ref [] in
+  (* > 0 while inside a [try] body or the scrutinee of a match that has an
+     [exception] case: the failure has a lexical handler *)
+  let protected = ref 0 in
+  let super = Ast_iterator.default_iterator in
+  let rec expr it (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_try (body, handlers) ->
+      incr protected;
+      expr it body;
+      decr protected;
+      List.iter (fun (c : Parsetree.case) -> case it c) handlers
+    | Parsetree.Pexp_match (scrut, cases)
+      when List.exists
+             (fun (c : Parsetree.case) -> has_exception_case c.pc_lhs)
+             cases ->
+      incr protected;
+      expr it scrut;
+      decr protected;
+      List.iter (fun c -> case it c) cases
+    | Parsetree.Pexp_ident { txt; _ } ->
+      let comps = try Longident.flatten txt with _ -> [] in
+      if !protected = 0 && banned comps then
+        findings :=
+          Rule.finding ~id ~file:path ~loc:e.pexp_loc
+            (Printf.sprintf
+               "partial %s can raise across the executor boundary and \
+                masquerade as a node failure; use the _opt variant with an \
+                explicit error path, or wrap in try/match-exception"
+               (String.concat "." comps))
+          :: !findings
+    | _ -> super.Ast_iterator.expr it e
+  and case it (c : Parsetree.case) =
+    Option.iter (expr it) c.pc_guard;
+    expr it c.pc_rhs
+  in
+  let it = { super with Ast_iterator.expr } in
+  it.Ast_iterator.structure it str;
+  List.rev !findings
+
+let check_tree _ = []

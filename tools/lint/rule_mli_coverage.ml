@@ -1,0 +1,36 @@
+(** L4 mli-coverage: every module under [lib/] must have an interface
+    file. An [.mli] is where the public surface of a subsystem is declared
+    and documented; a module without one leaks every helper and invites
+    cross-layer reach-ins the next refactor has to untangle. *)
+
+let id = "L4"
+let name = "mli-coverage"
+let doc = "every .ml under lib/ must have a matching .mli interface"
+let applies _ = false
+let check ~path:_ _ = []
+
+let check_tree paths =
+  let have = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace have p ()) paths;
+  List.filter_map
+    (fun p ->
+      if
+        Rule.starts_with "lib/" p
+        && Filename.check_suffix p ".ml"
+        && not (Hashtbl.mem have (p ^ "i"))
+      then
+        Some
+          {
+            Rule.rule_id = id;
+            file = p;
+            line = 1;
+            col = 0;
+            message =
+              Printf.sprintf
+                "module %s has no interface file; add %si documenting its \
+                 public surface"
+                (Filename.remove_extension (Filename.basename p))
+                p;
+          }
+      else None)
+    (List.sort String.compare paths)

@@ -1,0 +1,84 @@
+(** L5 no-catch-all: in the 2PC / health / deadlock paths, a
+    [try ... with _ -> ...] that neither re-raises nor records the failure
+    erases exactly the evidence recovery needs. A swallowed
+    [ROLLBACK PREPARED] failure leaves an orphaned prepared transaction
+    holding locks with no counter ticking anywhere; monitoring sees a
+    healthy cluster. Catch-alls must re-raise or feed a recorder such as
+    Health.record_ignored or a log function. *)
+
+let id = "L5"
+let name = "no-catch-all"
+
+let doc =
+  "catch-all exception handlers in 2PC/health/deadlock paths must re-raise \
+   or record (Health.record_*, log*) what they swallow"
+
+(* The reliability-critical files: the 2PC protocol itself, the failover
+   executor that withdraws broken connections from it, the circuit
+   breakers, and the deadlock detector. *)
+let applies path =
+  List.mem (Filename.basename path)
+    [ "twopc.ml"; "adaptive_executor.ml"; "health.ml"; "deadlock.ml" ]
+
+let is_catch_all (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_any | Parsetree.Ppat_var _ -> true
+  | Parsetree.Ppat_alias ({ ppat_desc = Parsetree.Ppat_any; _ }, _) -> true
+  | _ -> false
+
+(* Does the handler body re-raise or call something that records? *)
+let handles (rhs : Parsetree.expression) =
+  Rule.expr_exists
+    (fun e ->
+      match List.rev (Rule.ident_path e) with
+      | ("raise" | "raise_notrace") :: _ -> true
+      | last :: _ when Rule.starts_with "record_" last -> true
+      | last :: _ when Rule.starts_with "log" last -> true
+      | _ -> false)
+    rhs
+
+(* A handler case that swallows: catch-all pattern (either a [try] handler
+   or a [match]'s [exception _] case), no guard, body neither re-raises nor
+   records. *)
+let swallowing_case (c : Parsetree.case) =
+  let pat =
+    match c.Parsetree.pc_lhs.ppat_desc with
+    | Parsetree.Ppat_exception p -> Some p (* match ... with exception _ *)
+    | _ -> Some c.pc_lhs
+  in
+  match pat with
+  | Some p -> is_catch_all p && c.pc_guard = None && not (handles c.pc_rhs)
+  | None -> false
+
+let check ~path (str : Parsetree.structure) =
+  let findings = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let report (c : Parsetree.case) =
+    findings :=
+      Rule.finding ~id ~file:path ~loc:c.pc_lhs.ppat_loc
+        "catch-all handler swallows the exception; re-raise it or record it \
+         (e.g. Health.record_ignored) so recovery and monitoring can see \
+         the failure"
+      :: !findings
+  in
+  let expr it (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+     | Parsetree.Pexp_try (_, handlers) ->
+       List.iter
+         (fun (c : Parsetree.case) -> if swallowing_case c then report c)
+         handlers
+     | Parsetree.Pexp_match (_, cases) ->
+       List.iter
+         (fun (c : Parsetree.case) ->
+           match c.Parsetree.pc_lhs.ppat_desc with
+           | Parsetree.Ppat_exception _ -> if swallowing_case c then report c
+           | _ -> ())
+         cases
+     | _ -> ());
+    super.Ast_iterator.expr it e
+  in
+  let it = { super with Ast_iterator.expr } in
+  it.Ast_iterator.structure it str;
+  List.rev !findings
+
+let check_tree _ = []

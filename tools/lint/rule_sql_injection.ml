@@ -1,0 +1,109 @@
+(** L1 sql-injection: a string built with [Printf.sprintf] / [(^)] must not
+    flow into a SQL execution or parsing sink. Interior SQL is built from
+    {!Sqlfront.Ast} values and deparsed in exactly one place; interpolating
+    into SQL text re-opens the injection the executor-AST path closed
+    (hostile gids, shard names, datum text all re-parse as SQL).
+
+    Detection is syntactic: a sink argument is flagged when it is itself a
+    string-building expression, or an identifier let-bound to one anywhere
+    in the same compilation unit. The escape hatch is an
+    [[@lint.sql_static]] attribute on an enclosing expression, asserting
+    every interpolant is an internally generated identifier (never data,
+    never anything a client can influence). *)
+
+let id = "L1"
+let name = "sql-injection"
+
+let doc =
+  "sprintf/(^)-built strings must not reach State.exec_on, Connection.exec, \
+   Executor.run*, or Sqlfront.Parser.parse* (escape hatch: [@lint.sql_static])"
+
+let applies path = Filename.check_suffix path ".ml"
+
+let is_sink comps =
+  match List.rev comps with
+  | [ "exec_on" ] -> true (* unqualified, inside State itself *)
+  | last :: prev :: _ -> (
+    match prev with
+    | "State" -> String.equal last "exec_on"
+    | "Connection" -> String.equal last "exec"
+    | "Executor" -> Rule.starts_with "run" last
+    | "Parser" -> Rule.starts_with "parse" last
+    | _ -> false)
+  | _ -> false
+
+let is_string_builder comps =
+  match List.rev comps with
+  | [ "^" ] -> true
+  | last :: _ -> List.mem last [ "sprintf"; "ksprintf"; "asprintf" ]
+  | [] -> false
+
+let rec is_string_built (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_apply (f, _) -> is_string_builder (Rule.ident_path f)
+  | Parsetree.Pexp_constraint (e, _) -> is_string_built e
+  | _ -> false
+
+(* Names let-bound (at any depth) to a string-building expression. Coarse —
+   one namespace per file — but lint-grade: a false positive is silenced by
+   building the statement as an AST, which is the point. *)
+let tainted_names (str : Parsetree.structure) =
+  let names = Hashtbl.create 8 in
+  let super = Ast_iterator.default_iterator in
+  let value_binding it (vb : Parsetree.value_binding) =
+    (match vb.pvb_pat.ppat_desc with
+     | Parsetree.Ppat_var { txt; _ } when is_string_built vb.pvb_expr ->
+       Hashtbl.replace names txt ()
+     | _ -> ());
+    super.Ast_iterator.value_binding it vb
+  in
+  let it = { super with Ast_iterator.value_binding } in
+  it.Ast_iterator.structure it str;
+  names
+
+let escape_hatch = "lint.sql_static"
+
+let check ~path (str : Parsetree.structure) =
+  let tainted = tainted_names str in
+  let is_tainted_arg (e : Parsetree.expression) =
+    is_string_built e
+    ||
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt = Longident.Lident n; _ } ->
+      Hashtbl.mem tainted n
+    | _ -> false
+  in
+  let findings = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    if Rule.has_attr escape_hatch e.pexp_attributes then
+      () (* annotated: the author asserts the interpolants are static *)
+    else begin
+      (match e.pexp_desc with
+       | Parsetree.Pexp_apply (f, args) when is_sink (Rule.ident_path f) ->
+         List.iter
+           (fun ((_, arg) : Asttypes.arg_label * Parsetree.expression) ->
+             if
+               is_tainted_arg arg
+               && not (Rule.has_attr escape_hatch arg.pexp_attributes)
+             then
+               findings :=
+                 Rule.finding ~id ~file:path ~loc:arg.pexp_loc
+                   (Printf.sprintf
+                      "string built with sprintf/(^) flows into SQL sink %s; \
+                       construct the statement via Sqlfront.Ast (deparse is \
+                       the only sanctioned SQL printer) or annotate with \
+                       [@lint.sql_static] if every interpolant is an \
+                       internally generated identifier"
+                      (String.concat "." (Rule.ident_path f)))
+                 :: !findings)
+           args
+       | _ -> ());
+      super.Ast_iterator.expr it e
+    end
+  in
+  let it = { super with Ast_iterator.expr } in
+  it.Ast_iterator.structure it str;
+  List.rev !findings
+
+let check_tree _ = []
