@@ -5,7 +5,24 @@ type t = {
   sess : Engine.Instance.session;
 }
 
+exception Node_unavailable of { node : string; reason : string }
+
+let unavailable node reason = raise (Node_unavailable { node; reason })
+
+let origin_name t = Option.value ~default:"client" t.origin
+
 let open_ ?origin (cluster : Topology.t) (node : Topology.node) =
+  Topology.fault_tick cluster;
+  let to_ = node.Topology.node_name in
+  (match cluster.Topology.fault with
+   | None -> ()
+   | Some f ->
+     let from_ = Option.value ~default:"client" origin in
+     (match Sim.Fault.check_connect f ~from_ ~to_ with
+      | Sim.Fault.Deliver -> ()
+      | Sim.Fault.Unreachable r
+      | Sim.Fault.Drop_request r
+      | Sim.Fault.Drop_reply r -> unavailable to_ r));
   cluster.Topology.net.connections_opened <-
     cluster.Topology.net.connections_opened + 1;
   { cluster; conn_node = node; origin; sess = Engine.Instance.connect node.instance }
@@ -25,9 +42,41 @@ let count_round_trip t =
     t.cluster.Topology.net.cross_round_trips <-
       t.cluster.Topology.net.cross_round_trips + 1
 
-let exec t sql =
+(* One faulty round trip: consult the plan before running [run], fire
+   armed crash-after-statement triggers after. On [Drop_reply] (and on
+   armed crashes that lose the reply) the statement {e does} execute —
+   only the caller's view of it fails, which is exactly the ambiguity
+   2PC recovery has to resolve. *)
+let round_trip t ~sql run =
   count_round_trip t;
-  let r = Engine.Instance.exec t.sess sql in
+  Topology.fault_tick t.cluster;
+  let node_name = t.conn_node.Topology.node_name in
+  match t.cluster.Topology.fault with
+  | None -> run ()
+  | Some f ->
+    (match
+       Sim.Fault.check_round_trip f ~from_:(origin_name t) ~to_:node_name ~sql
+     with
+     | Sim.Fault.Deliver -> ()
+     | Sim.Fault.Unreachable r | Sim.Fault.Drop_request r ->
+       unavailable node_name r
+     | Sim.Fault.Drop_reply r ->
+       (* the request got through: execute, then lose the reply (even an
+          error reply is lost, hence the catch-all) *)
+       (try ignore (run ()) with _ -> ());
+       unavailable node_name r);
+    if not (Engine.Instance.session_alive t.sess) then
+      unavailable node_name "session died in a node crash";
+    let result = run () in
+    (match Sim.Fault.after_statement f ~node:node_name ~sql with
+     | `Proceed -> result
+     | `Crashed lose_reply ->
+       if lose_reply then
+         unavailable node_name "node crashed executing the statement"
+       else result)
+
+let exec t sql =
+  let r = round_trip t ~sql (fun () -> Engine.Instance.exec t.sess sql) in
   t.cluster.Topology.net.rows_shipped <-
     t.cluster.Topology.net.rows_shipped + List.length r.Engine.Instance.rows;
   r
@@ -35,10 +84,14 @@ let exec t sql =
 let exec_ast t stmt = exec t (Sqlfront.Deparse.statement stmt)
 
 let copy t ~table ~columns lines =
-  count_round_trip t;
+  let sql = Printf.sprintf "COPY %s FROM STDIN" table in
+  let n =
+    round_trip t ~sql (fun () ->
+        Engine.Instance.copy_in t.sess ~table ~columns lines)
+  in
   t.cluster.Topology.net.rows_shipped <-
     t.cluster.Topology.net.rows_shipped + List.length lines;
-  Engine.Instance.copy_in t.sess ~table ~columns lines
+  n
 
 let in_transaction t = Engine.Instance.in_transaction t.sess
 

@@ -7,10 +7,20 @@
 
 type t
 
+(** Raised instead of a generic failure when the fault plan says the
+    target cannot be talked to: the node is down, the route is
+    partitioned, a round trip was dropped, or the session died in a
+    crash. Distinguishable so {!Health} records an infrastructure
+    failure rather than misclassifying it as a statement error. On a
+    dropped {e reply} the statement did execute remotely. *)
+exception Node_unavailable of { node : string; reason : string }
+
 (** [open_ cluster node] establishes a connection (counted). A connection
     from the coordinator to itself still counts round trips, but they are
     not {e cross}-node round trips when [origin] names the same node — only
-    cross traffic pays network latency in the simulation. *)
+    cross traffic pays network latency in the simulation. With a fault
+    plan attached, raises {!Node_unavailable} when the node is down or
+    the connect path is cut. *)
 val open_ : ?origin:string -> Topology.t -> Topology.node -> t
 
 val node : t -> Topology.node
@@ -19,7 +29,8 @@ val session : t -> Engine.Instance.session
 
 (** Execute SQL text remotely; counts one round trip and ships the result
     rows back (counted in [rows_shipped]). Raises whatever the remote
-    session raises ({!Engine.Executor.Would_block}, parse errors, ...). *)
+    session raises ({!Engine.Executor.Would_block}, parse errors, ...),
+    or {!Node_unavailable} when the fault plan kills the round trip. *)
 val exec : t -> string -> Engine.Instance.result
 
 (** Deparse and execute a statement AST. *)

@@ -17,10 +17,11 @@ type t = {
   clock : Sim.Clock.t;
   rtt : float;
   net : net_stats;
+  fault : Sim.Fault.t option;
 }
 
 let create ?(buffer_pages = 100_000) ?(spec = Sim.Cost.default_spec)
-    ?(rtt = Sim.Cost.default_rtt) ~workers () =
+    ?(rtt = Sim.Cost.default_rtt) ?fault_seed ~workers () =
   let make name seed =
     {
       node_name = name;
@@ -28,19 +29,49 @@ let create ?(buffer_pages = 100_000) ?(spec = Sim.Cost.default_spec)
       spec;
     }
   in
-  {
-    coordinator = make "coordinator" 1;
-    workers = List.init workers (fun i -> make (Printf.sprintf "worker%d" (i + 1)) (i + 2));
-    clock = Sim.Clock.create ();
-    rtt;
-    net =
+  let coordinator = make "coordinator" 1 in
+  let workers =
+    List.init workers (fun i -> make (Printf.sprintf "worker%d" (i + 1)) (i + 2))
+  in
+  let clock = Sim.Clock.create () in
+  let fault =
+    match fault_seed with
+    | None -> None
+    | Some seed ->
+      let f = Sim.Fault.create ~seed ~clock () in
+      List.iter
+        (fun n -> Sim.Fault.register_node f ~name:n.node_name n.instance)
+        (coordinator :: workers);
+      Some f
+  in
+  { coordinator; workers; clock; rtt; net =
       {
         round_trips = 0;
         cross_round_trips = 0;
         connections_opened = 0;
         rows_shipped = 0;
       };
+    fault;
   }
+
+let fault t = t.fault
+
+(* Fire any scheduled faults whose virtual time has come. *)
+let fault_tick t =
+  match t.fault with None -> () | Some f -> Sim.Fault.tick f
+
+let node_up t name =
+  match t.fault with None -> true | Some f -> Sim.Fault.node_up f name
+
+(* Both the request and the reply path must be intact, and the
+   destination must be alive. [from_] is a node name or ["client"]. *)
+let route_up t ~from_ ~to_ =
+  match t.fault with
+  | None -> true
+  | Some f ->
+    Sim.Fault.node_up f to_
+    && Sim.Fault.link_up f ~from_ ~to_
+    && Sim.Fault.link_up f ~from_:to_ ~to_:from_
 
 let data_nodes t = match t.workers with [] -> [ t.coordinator ] | ws -> ws
 

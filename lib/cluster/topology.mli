@@ -28,17 +28,35 @@ type t = {
   clock : Sim.Clock.t;
   rtt : float;
   net : net_stats;
+  fault : Sim.Fault.t option;
+      (** fault-injection plan; [None] = perfect network, nothing fails *)
 }
 
 (** [create ~workers:n ()] builds a coordinator plus [n] workers.
-    [buffer_pages] applies per node. *)
+    [buffer_pages] applies per node. [fault_seed] attaches a
+    {!Sim.Fault.t} (sharing this cluster's clock, all nodes registered)
+    so connections consult it on every round trip. *)
 val create :
   ?buffer_pages:int ->
   ?spec:Sim.Cost.node_spec ->
   ?rtt:float ->
+  ?fault_seed:int ->
   workers:int ->
   unit ->
   t
+
+val fault : t -> Sim.Fault.t option
+
+(** Fire scheduled fault events that are due at the current virtual
+    time. Called by {!Connection} before each connect / round trip. *)
+val fault_tick : t -> unit
+
+(** Node liveness / directed-route health per the fault plan (always
+    [true] without one). [route_up] requires the destination alive and
+    both link directions intact. *)
+val node_up : t -> string -> bool
+
+val route_up : t -> from_:string -> to_:string -> bool
 
 (** Nodes that store shards: the workers, or the coordinator alone when
     there are none (the paper's "coordinator also acts as worker"). *)

@@ -158,6 +158,8 @@ let replica_nodes (t : State.t) (task : Plan.task) =
       in
       List.stable_sort (fun a b -> Int.compare (score a) (score b)) nodes
 
+exception Txn_replica_lost of string
+
 (* A replicated write lost one replica: mark that placement — and its
    colocated siblings on the same node, so router planning stays aligned —
    Inactive until the repair daemon re-copies them. *)
@@ -176,6 +178,56 @@ let mark_placement_lost (t : State.t) ~shard_id ~node =
             Metadata.Inactive
         | _ -> ())
       (Metadata.colocated_shards meta shard)
+
+(* Withdrawing a failed connection from a transaction discards EVERY
+   write the transaction made through it — the rollback (or the crash
+   that killed it) undoes them all, not only the failing statement's.
+   Any shard group pinned to the connection is therefore stale on that
+   node: mark each one Inactive so reads stop landing there until the
+   repair daemon re-copies it. A group with no other active replica
+   cannot be repaired — committing would silently lose its writes — so
+   that aborts the whole transaction ({!Txn_replica_lost}). *)
+let withdraw_txn_conn (t : State.t) st conn ~node =
+  st.State.txn_conns <- List.filter (fun c -> c != conn) st.State.txn_conns;
+  (try ignore (Cluster.Connection.exec conn "ROLLBACK")
+   with _ ->
+     (* the node just failed; the rollback failing too is expected,
+        but count it rather than lose it *)
+     Health.record_ignored t.State.health node);
+  let groups =
+    List.filter_map
+      (fun ((n, g), c) ->
+        if c == conn && String.equal n node && g >= 0 then Some g else None)
+      st.State.affinity
+  in
+  st.State.affinity <- List.filter (fun (_, c) -> c != conn) st.State.affinity;
+  let fatal = ref false in
+  if groups <> [] then
+    List.iter
+      (fun (dt : Metadata.dist_table) ->
+        match Metadata.shards_of t.State.metadata dt.Metadata.dt_name with
+        | exception Metadata.Not_distributed _ -> ()
+        | shards ->
+          List.iter
+            (fun (s : Metadata.shard) ->
+              if
+                List.mem s.Metadata.index_in_colocation groups
+                && Metadata.placement_state_of t.State.metadata
+                     ~shard_id:s.Metadata.shard_id ~node
+                   = Some Metadata.Active
+              then
+                if
+                  List.exists
+                    (fun n -> not (String.equal n node))
+                    (try
+                       Metadata.placements t.State.metadata
+                         s.Metadata.shard_id
+                     with Metadata.Catalog_error _ -> [])
+                then mark_placement_lost t ~shard_id:s.Metadata.shard_id ~node
+                else fatal := true)
+            shards)
+      (Metadata.all_tables t.State.metadata);
+  if !fatal then raise (Txn_replica_lost node)
 
 let execute (t : State.t) coord_session (tasks : Plan.task list) =
   let st = State.session_state t coord_session in
@@ -222,17 +274,10 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
           st.State.affinity <- (key, conn) :: st.State.affinity
       end;
       result
-    with State.Network_error _ as e ->
-      if List.memq conn st.State.txn_conns then begin
-        st.State.txn_conns <-
-          List.filter (fun c -> c != conn) st.State.txn_conns;
-        (try ignore (Cluster.Connection.exec conn "ROLLBACK")
-         with _ ->
-           (* the node just failed; the rollback failing too is expected,
-              but count it rather than lose it *)
-           Health.record_ignored t.State.health
-             node.Cluster.Topology.node_name)
-      end;
+    with
+      (State.Network_error _ | Cluster.Connection.Node_unavailable _) as e ->
+      if List.memq conn st.State.txn_conns then
+        withdraw_txn_conn t st conn ~node:node.Cluster.Topology.node_name;
       raise e
   in
   let exec_task (task : Plan.task) =
@@ -246,7 +291,9 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
         (fun node_name ->
           match run_on task node_name with
           | r -> successes := r :: !successes
-          | exception (State.Network_error _ as e) ->
+          | exception
+              ((State.Network_error _ | Cluster.Connection.Node_unavailable _)
+               as e) ->
             failed := node_name :: !failed;
             last_err := Some e)
         candidates;
@@ -271,7 +318,10 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
         | node_name :: rest ->
           (match run_on task node_name with
            | r -> r
-           | exception State.Network_error _ -> try_nodes rest)
+           | exception
+               (State.Network_error _ | Cluster.Connection.Node_unavailable _)
+             ->
+             try_nodes rest)
       in
       try_nodes candidates
     end

@@ -31,6 +31,12 @@ type report = {
   serial_time : float;  (** sum of all task durations (1-connection time) *)
 }
 
+(** A transaction connection failed and one of the shard groups it had
+    written has no other active replica: the transaction cannot continue
+    without silently losing those writes, so it must abort. Carries the
+    node name. *)
+exception Txn_replica_lost of string
+
 (** Mark the placement of [shard_id] on [node] — plus its colocated
     siblings on that node — {!Metadata.Inactive}. Used when a replicated
     write or COPY loses one replica but survives on another. *)

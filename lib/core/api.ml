@@ -373,6 +373,13 @@ let planner_hook (t : t) (st : State.t) session (stmt : Ast.statement) :
         (* a node went away mid-statement: fail the statement cleanly so
            the session aborts/retries like any other error *)
         err "%s" m
+      | Cluster.Connection.Node_unavailable { node; reason } ->
+        err "node %s unavailable: %s" node reason
+      | Adaptive_executor.Txn_replica_lost node ->
+        err
+          "node %s failed holding the only replica of data this \
+           transaction wrote; aborting to preserve atomicity"
+          node
     end
 
 (* --- extension installation --- *)
@@ -386,6 +393,16 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
   t.states <- t.states @ [ st ];
   let inst = node.Cluster.Topology.instance in
   Twopc.ensure_commit_records_table st;
+  (* fault-plan observers: when a remote node crashes its pooled
+     connections are dead; when *this* node crashes, workers abort the
+     transactions whose client just vanished and all session state dies *)
+  (match Cluster.Topology.fault t.cluster with
+   | None -> ()
+   | Some f ->
+     Sim.Fault.on_crash f (fun crashed ->
+         if String.equal crashed node.Cluster.Topology.node_name then
+           State.crash_local_sessions st
+         else State.purge_node_conns st crashed));
   Engine.Instance.set_planner_hook inst (fun session stmt ->
       planner_hook t st session stmt);
   Engine.Instance.set_utility_hook inst (fun session stmt ->
@@ -662,7 +679,10 @@ let connect_via _t (node : Cluster.Topology.node) =
 let maintenance t =
   List.iter
     (fun (st : State.t) ->
-      Engine.Instance.maintenance_tick st.State.local.Cluster.Topology.instance)
+      let name = st.State.local.Cluster.Topology.node_name in
+      (* a crashed node runs no background workers until it restarts *)
+      if Cluster.Topology.node_up t.cluster name then
+        Engine.Instance.maintenance_tick st.State.local.Cluster.Topology.instance)
     t.states
 
 let create_distributed_table t ~table ~column ?colocate_with () =

@@ -44,7 +44,7 @@ let copy_replicated (t : State.t) st session ~(shard : Metadata.shard)
         let n = Cluster.Connection.copy conn ~table:shard_table ~columns lines in
         Health.record_success t.State.health node;
         if !copied = None then copied := Some n
-      with State.Network_error _ ->
+      with State.Network_error _ | Cluster.Connection.Node_unavailable _ ->
         Health.record_failure t.State.health node;
         failed := node :: !failed)
     nodes;

@@ -104,6 +104,16 @@ let copy_shard_to (t : State.t) (shard : Metadata.shard) ~from_node ~to_node
   in
   let src_mgr = Engine.Instance.txn_manager src_inst in
   let dst_mgr = Engine.Instance.txn_manager dst_inst in
+  (* The copy writes the destination heap directly, below the executor, so
+     it must WAL-log each mutation itself: crash recovery replays the
+     destination WAL from scratch, and un-logged rows would vanish on
+     restart (worse, their tids could be re-assigned to later, logged
+     rows, corrupting the redo chain). The Truncate marker fences off any
+     records a stale pre-repair copy left in the destination WAL. *)
+  let log_dst record =
+    ignore (Txn.Wal.append (Txn.Manager.wal dst_mgr) record)
+  in
+  log_dst (Txn.Wal.Truncate shard_table);
   (* 2. record the WAL position, then copy a snapshot while writes continue *)
   let lsn0 = Txn.Wal.current_lsn (Txn.Manager.wal src_mgr) in
   let snapshot = Txn.Manager.take_snapshot src_mgr in
@@ -118,6 +128,9 @@ let copy_shard_to (t : State.t) (shard : Metadata.shard) ~from_node ~to_node
     ~snapshot ~my_xid:None
     ~f:(fun src_tid row ->
       let dst_tid = Storage.Heap.insert dst_heap ~xid:apply_xid row in
+      log_dst
+        (Txn.Wal.Insert
+           { xid = apply_xid; table = shard_table; tid = dst_tid; row });
       Engine.Executor.index_insert dst_ctx dst_tbl dst_tid row;
       Hashtbl.replace tid_map src_tid dst_tid;
       incr rows_copied);
@@ -146,6 +159,9 @@ let copy_shard_to (t : State.t) (shard : Metadata.shard) ~from_node ~to_node
         when String.equal table shard_table && committed xid
              && not (Hashtbl.mem tid_map tid) ->
         let dst_tid = Storage.Heap.insert dst_heap ~xid:apply_xid row in
+        log_dst
+          (Txn.Wal.Insert
+             { xid = apply_xid; table = shard_table; tid = dst_tid; row });
         Engine.Executor.index_insert dst_ctx dst_tbl dst_tid row;
         Hashtbl.replace tid_map tid dst_tid;
         incr catchup
@@ -154,10 +170,16 @@ let copy_shard_to (t : State.t) (shard : Metadata.shard) ~from_node ~to_node
         (match Hashtbl.find_opt tid_map old_tid with
          | Some dst_old ->
            ignore (Storage.Heap.delete dst_heap ~xid:apply_xid ~tid:dst_old);
+           log_dst
+             (Txn.Wal.Delete
+                { xid = apply_xid; table = shard_table; tid = dst_old });
            Hashtbl.remove tid_map old_tid
          | None -> ());
         if not (Hashtbl.mem tid_map new_tid) then begin
           let dst_tid = Storage.Heap.insert dst_heap ~xid:apply_xid row in
+          log_dst
+            (Txn.Wal.Insert
+               { xid = apply_xid; table = shard_table; tid = dst_tid; row });
           Engine.Executor.index_insert dst_ctx dst_tbl dst_tid row;
           Hashtbl.replace tid_map new_tid dst_tid
         end;
@@ -167,6 +189,9 @@ let copy_shard_to (t : State.t) (shard : Metadata.shard) ~from_node ~to_node
         (match Hashtbl.find_opt tid_map tid with
          | Some dst_tid ->
            ignore (Storage.Heap.delete dst_heap ~xid:apply_xid ~tid:dst_tid);
+           log_dst
+             (Txn.Wal.Delete
+                { xid = apply_xid; table = shard_table; tid = dst_tid });
            Hashtbl.remove tid_map tid;
            incr catchup
          | None -> ())

@@ -140,7 +140,9 @@ let exec_on t conn sql =
     let r = Cluster.Connection.exec conn sql in
     Health.record_success t.health node;
     r
-  with Network_error _ as e ->
+  with (Network_error _ | Cluster.Connection.Node_unavailable _) as e ->
+    (* both are infrastructure faults, not statement errors: they feed
+       the breaker and stay distinguishable for the executors *)
     Health.record_failure t.health node;
     raise e
 
@@ -155,7 +157,7 @@ let node_available t node = Health.available t.health node
 let with_retry ?(attempts = 3) t ~node f =
   let rec go n =
     try f ()
-    with Network_error _ as e ->
+    with (Network_error _ | Cluster.Connection.Node_unavailable _) as e ->
       if n <= 1 then raise e
       else begin
         Sim.Clock.advance t.cluster.Cluster.Topology.clock
@@ -189,8 +191,43 @@ let partition_node t name =
 let heal_node t name =
   t.partitioned <- List.filter (fun n -> not (String.equal n name)) t.partitioned
 
-let reachable t name = not (List.mem name t.partitioned)
+let reachable t name =
+  (not (List.mem name t.partitioned))
+  && Cluster.Topology.route_up t.cluster
+       ~from_:t.local.Cluster.Topology.node_name ~to_:name
 
 let reset_sessions t =
   Hashtbl.reset t.sessions;
   Hashtbl.reset t.shared_counters
+
+(* A node crashed: its pooled connections are dead, drop them and give
+   their slots back to the shared counters. Connections recorded in
+   [txn_conns] / [affinity] are deliberately kept — they belong to an
+   in-flight distributed transaction, and silently forgetting a
+   participant would let the survivors commit without it. The dead
+   connection fails the next statement instead, aborting the transaction
+   the honest way. *)
+let purge_node_conns t name =
+  Hashtbl.iter
+    (fun _ st ->
+      match List.assoc_opt name st.pools with
+      | None | Some [] -> ()
+      | Some conns ->
+        st.pools <- List.remove_assoc name st.pools;
+        let cnt = counter t name in
+        cnt := max 0 (!cnt - List.length conns))
+    t.sessions
+
+(* This extension's own node crashed: every worker holding an open
+   transaction for one of our sessions sees its client vanish and rolls
+   back server-side (prepared transactions are detached from sessions
+   and survive untouched). Then all session bookkeeping dies with us. *)
+let crash_local_sessions t =
+  Hashtbl.iter
+    (fun _ st ->
+      List.iter
+        (fun conn ->
+          Engine.Instance.abort_session (Cluster.Connection.session conn))
+        st.txn_conns)
+    t.sessions;
+  reset_sessions t

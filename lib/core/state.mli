@@ -83,8 +83,10 @@ val checkout :
 val pool_of : session_state -> string -> Cluster.Connection.t list
 
 (** Execute on a connection, simulating the network: raises
-    {!Network_error} if the target node is partitioned away. Every outcome
-    feeds the node's circuit breaker in {!field-health}. *)
+    {!Network_error} if the target node is partitioned away, and lets
+    {!Cluster.Connection.Node_unavailable} from the fault-injection layer
+    through unchanged. Every infrastructure-fault outcome feeds the
+    node's circuit breaker in {!field-health}; statement errors do not. *)
 val exec_on : t -> Cluster.Connection.t -> string -> Engine.Instance.result
 
 val exec_ast_on :
@@ -94,8 +96,9 @@ val exec_ast_on :
 val node_available : t -> string -> bool
 
 (** [with_retry t ~node f] runs [f], retrying up to [attempts] times on
-    {!Network_error} with the breaker's backoff advanced on the simulated
-    clock between attempts. Re-raises after the last attempt. *)
+    {!Network_error} / {!Cluster.Connection.Node_unavailable} with the
+    breaker's backoff advanced on the simulated clock between attempts.
+    Re-raises after the last attempt. *)
 val with_retry : ?attempts:int -> t -> node:string -> (unit -> 'a) -> 'a
 
 (** Fresh global transaction identifier: citus_<coordinator>_<xid>_<seq>. *)
@@ -115,7 +118,23 @@ val partition_node : t -> string -> unit
 
 val heal_node : t -> string -> unit
 
+(** Reachability of [name] from this node: not partitioned away by
+    {!partition_node} and, when the cluster has a fault plan attached,
+    alive with both link directions intact
+    ({!Cluster.Topology.route_up}). *)
 val reachable : t -> string -> bool
 
 (** Drop all session pools (used when simulating coordinator restart). *)
 val reset_sessions : t -> unit
+
+(** [purge_node_conns t node] drops pooled connections to a crashed
+    node and releases their shared-counter slots. Transaction-pinned
+    connections ([txn_conns] / [affinity]) are kept so in-flight
+    distributed transactions fail visibly instead of silently losing a
+    participant. *)
+val purge_node_conns : t -> string -> unit
+
+(** This node crashed: abort worker-side transactions whose client
+    sessions just died (prepared ones survive), then drop all session
+    bookkeeping. *)
+val crash_local_sessions : t -> unit

@@ -20,20 +20,34 @@ let ensure_commit_records_table (t : State.t) =
                   col_default = None;
                   col_not_null = false;
                 };
+                {
+                  (* participant node: a record may only be collected
+                     once this node confirms the gid is resolved *)
+                  Sqlfront.Ast.col_name = "node";
+                  col_ty = Datum.TText;
+                  col_default = None;
+                  col_not_null = false;
+                };
               ];
             primary_key = [];
             if_not_exists = true;
             using_columnar = false;
           }))
 
-let insert_commit_records (t : State.t) coord_session gids =
+let insert_commit_records (t : State.t) coord_session records =
   (* inside the coordinator's own transaction: durable iff it commits *)
   let ctx = Engine.Instance.make_ctx coord_session in
   ignore
     (Engine.Executor.run_insert ctx ~table:commit_records_table ~columns:None
        ~source:
          (Sqlfront.Ast.Values
-            (List.map (fun gid -> [ Sqlfront.Ast.Const (Datum.Text gid) ]) gids))
+            (List.map
+               (fun (gid, node) ->
+                 [
+                   Sqlfront.Ast.Const (Datum.Text gid);
+                   Sqlfront.Ast.Const (Datum.Text node);
+                 ])
+               records))
        ~on_conflict_do_nothing:false);
   ignore t
 
@@ -167,7 +181,8 @@ let pre_commit (t : State.t) coord_session =
        raise e);
     st.State.prepared <- !prepared;
     (* durable commit records, in the same local transaction *)
-    insert_commit_records t coord_session (List.map snd !prepared)
+    insert_commit_records t coord_session
+      (List.map (fun (conn, gid) -> (gid, node_name conn)) !prepared)
 
 let post_commit (t : State.t) coord_session =
   let st = State.session_state t coord_session in
@@ -204,50 +219,7 @@ let on_abort (t : State.t) coord_session =
     st.State.txn_conns;
   cleanup_session_txn_state t st
 
-(* §3.7.2: compare each node's pending prepared transactions against the
-   local commit records. A visible record means the coordinator committed,
-   so the prepared transaction must commit; a missing record for an ended
-   coordinator transaction means it must abort. *)
-let recover (t : State.t) =
-  let committed = ref 0 and rolled_back = ref 0 in
-  let local_mgr =
-    Engine.Instance.txn_manager t.State.local.Cluster.Topology.instance
-  in
-  List.iter
-    (fun (node : Cluster.Topology.node) ->
-      let name = node.Cluster.Topology.node_name in
-      if State.reachable t name then begin
-        (* polling a worker costs a round trip *)
-        t.State.cluster.Cluster.Topology.net.Cluster.Topology.round_trips <-
-          t.State.cluster.Cluster.Topology.net.Cluster.Topology.round_trips + 1;
-        let mgr = Engine.Instance.txn_manager node.Cluster.Topology.instance in
-        List.iter
-          (fun (gid, _xid) ->
-            match State.parse_gid gid with
-            | Some (cid, coord_xid) when cid = t.State.coordinator_id ->
-              if commit_record_exists t gid then begin
-                Txn.Manager.commit_prepared mgr ~gid;
-                delete_commit_record t gid;
-                incr committed
-              end
-              else if not (Txn.Manager.is_active local_mgr coord_xid) then begin
-                Txn.Manager.rollback_prepared mgr ~gid;
-                incr rolled_back
-              end
-            | _ -> ())
-          (Txn.Manager.prepared_transactions mgr)
-      end)
-    (Cluster.Topology.all_nodes t.State.cluster);
-  (* garbage-collect commit records whose prepared transactions are all
-     resolved: no node still lists a prepared transaction with that gid *)
-  let pending_gids =
-    List.concat_map
-      (fun (node : Cluster.Topology.node) ->
-        List.map fst
-          (Txn.Manager.prepared_transactions
-             (Engine.Instance.txn_manager node.Cluster.Topology.instance)))
-      (Cluster.Topology.all_nodes t.State.cluster)
-  in
+let all_commit_records (t : State.t) =
   let s = admin_session t in
   let ctx = Engine.Instance.make_ctx s in
   let _, rows =
@@ -255,7 +227,10 @@ let recover (t : State.t) =
       {
         Sqlfront.Ast.distinct = false;
         projections =
-          [ Sqlfront.Ast.Proj (Sqlfront.Ast.Column (None, "gid"), None) ];
+          [
+            Sqlfront.Ast.Proj (Sqlfront.Ast.Column (None, "gid"), None);
+            Sqlfront.Ast.Proj (Sqlfront.Ast.Column (None, "node"), None);
+          ];
         from =
           [ Sqlfront.Ast.Table { name = commit_records_table; alias = None } ];
         where = None;
@@ -266,11 +241,98 @@ let recover (t : State.t) =
         offset = None;
       }
   in
-  List.iter
+  List.filter_map
     (fun row ->
       match row with
-      | [| Datum.Text gid |] ->
-        if not (List.mem gid pending_gids) then delete_commit_record t gid
-      | _ -> ())
-    rows;
+      | [| Datum.Text gid; Datum.Text node |] -> Some (gid, node)
+      | _ -> None)
+    rows
+
+(* Garbage-collect commit records that have served their purpose: only
+   once the record's own participant is reachable {e and} no longer lists
+   the gid as prepared is it provably resolved. An unreachable or crashed
+   participant keeps its record — its WAL may still hold a prepared
+   transaction that recovery must commit after the node comes back, and
+   deleting the record early would make recovery roll it back instead
+   (an atomicity violation). Safe to re-run mid-partition any number of
+   times. *)
+let gc_resolved_records (t : State.t) =
+  List.iter
+    (fun (gid, node) ->
+      if State.reachable t node then begin
+        let mgr =
+          Engine.Instance.txn_manager
+            (Cluster.Topology.find_node t.State.cluster node)
+              .Cluster.Topology.instance
+        in
+        if not (List.mem_assoc gid (Txn.Manager.prepared_transactions mgr))
+        then delete_commit_record t gid
+      end)
+    (all_commit_records t)
+
+(* §3.7.2: compare each node's pending prepared transactions against the
+   local commit records. A visible record means the coordinator committed,
+   so the prepared transaction must commit; a missing record for an ended
+   coordinator transaction means it must abort. Resolution runs over real
+   connections, so an injected fault can kill any step — every step is
+   therefore idempotent and simply retried by the next pass. *)
+let recover (t : State.t) =
+  let committed = ref 0 and rolled_back = ref 0 in
+  let local_mgr =
+    Engine.Instance.txn_manager t.State.local.Cluster.Topology.instance
+  in
+  let local_name = t.State.local.Cluster.Topology.node_name in
+  List.iter
+    (fun (node : Cluster.Topology.node) ->
+      let name = node.Cluster.Topology.node_name in
+      if State.reachable t name then begin
+        match
+          Cluster.Connection.open_ ~origin:local_name t.State.cluster node
+        with
+        | exception Cluster.Connection.Node_unavailable _ ->
+          (* raced with a fresh crash/partition; next pass retries *)
+          Health.record_failure t.State.health name
+        | conn ->
+          (* polling the node's pg_prepared_xacts costs a round trip and
+             is itself subject to faults *)
+          (match State.exec_on t conn "SELECT 1" with
+           | _ ->
+             let mgr =
+               Engine.Instance.txn_manager node.Cluster.Topology.instance
+             in
+             List.iter
+               (fun (gid, _xid) ->
+                 match State.parse_gid gid with
+                 | Some (cid, coord_xid) when cid = t.State.coordinator_id ->
+                   if commit_record_exists t gid then begin
+                     match
+                       State.exec_ast_on t conn
+                         (Sqlfront.Ast.Commit_prepared gid)
+                     with
+                     | _ ->
+                       delete_commit_record t gid;
+                       incr committed
+                     | exception _ ->
+                       (* lost round trip or fresh crash; the commit
+                          record survives, so a later pass retries *)
+                       Health.record_ignored t.State.health name
+                   end
+                   else if not (Txn.Manager.is_active local_mgr coord_xid)
+                   then begin
+                     match
+                       State.exec_ast_on t conn
+                         (Sqlfront.Ast.Rollback_prepared gid)
+                     with
+                     | _ -> incr rolled_back
+                     | exception _ ->
+                       Health.record_ignored t.State.health name
+                   end
+                 | _ -> ())
+               (Txn.Manager.prepared_transactions mgr)
+           | exception _ ->
+             (* poll lost; exec_on already recorded the failure *)
+             Health.record_ignored t.State.health name)
+      end)
+    (Cluster.Topology.all_nodes t.State.cluster);
+  gc_resolved_records t;
   (!committed, !rolled_back)

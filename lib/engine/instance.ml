@@ -18,6 +18,7 @@ type t = {
   rng : Random.State.t;
   mutable clock : float;
   mutable next_session : int;
+  mutable epoch : int;  (** bumped on crash: sessions from older epochs are dead *)
   hooks : hooks;
 }
 
@@ -41,6 +42,7 @@ and hooks = {
 and session = {
   inst : t;
   sid : int;
+  sess_epoch : int;  (** instance epoch at connect time *)
   mutable xid : int option;
   mutable explicit_block : bool;
   mutable failed : bool;  (** aborted block awaiting ROLLBACK *)
@@ -58,6 +60,7 @@ let create ?(seed = 42) ?(buffer_pages = 100_000) ~name () =
     rng = Random.State.make [| seed |];
     clock = 0.0;
     next_session = 1;
+    epoch = 0;
     hooks =
       {
         planner_hook = None;
@@ -82,10 +85,18 @@ let set_now t f = t.clock <- f
 let connect t =
   let sid = t.next_session in
   t.next_session <- sid + 1;
-  { inst = t; sid; xid = None; explicit_block = false; failed = false }
+  {
+    inst = t;
+    sid;
+    sess_epoch = t.epoch;
+    xid = None;
+    explicit_block = false;
+    failed = false;
+  }
 
 let session_instance s = s.inst
 let session_id s = s.sid
+let session_alive s = s.sess_epoch = s.inst.epoch
 let in_transaction s = s.explicit_block
 let current_xid s = s.xid
 
@@ -338,7 +349,10 @@ let rec exec_utility s (stmt : Ast.statement) : result =
          | Txn.Lock.Granted -> ()
          | Txn.Lock.Blocked holders -> raise (Executor.Would_block holders));
         (match tbl.store with
-         | Catalog.Heap_store h -> Storage.Heap.clear h
+         | Catalog.Heap_store h ->
+           ignore
+             (Txn.Wal.append (Txn.Manager.wal t.mgr) (Txn.Wal.Truncate name));
+           Storage.Heap.clear h
          | Catalog.Columnar_store c -> Storage.Columnar.clear c);
         List.iter
           (fun (idx : Catalog.index) ->
@@ -421,6 +435,8 @@ let charge_statement (s : session) (stmt : Ast.statement) =
 let rec exec_ast (s : session) (stmt : Ast.statement) : result =
   let t = s.inst in
   ignore t;
+  if not (session_alive s) then
+    err "session %d on %s died with the node" s.sid t.node_name;
   charge_statement s stmt;
   if s.failed then begin
     match stmt with
@@ -576,6 +592,8 @@ let exec_params s sql params =
 
 let copy_in s ~table ~columns lines =
   let t = s.inst in
+  if not (session_alive s) then
+    err "session %d on %s died with the node" s.sid t.node_name;
   ignore (ensure_txn s);
   let handled =
     match t.hooks.copy_hook with
@@ -628,15 +646,109 @@ let maintenance_tick t =
 let create_restore_point t name =
   ignore (Txn.Wal.append (Txn.Manager.wal t.mgr) (Txn.Wal.Restore_point name))
 
-let restart t =
-  (* running transactions are lost; prepared ones survive (their state is
-     WAL-logged); the buffer pool starts cold *)
+(* --- crash / recovery --- *)
+
+let crash t = t.epoch <- t.epoch + 1
+
+let abort_session s =
+  (* Server-side abort: the client vanished (e.g. the coordinator crashed
+     mid-transaction), so the node rolls the open transaction back exactly
+     as PostgreSQL does when a backend loses its socket. *)
+  if session_alive s then do_abort s
+
+(* Replay rows logged before an ALTER TABLE ADD COLUMN are shorter than
+   the current schema; pad with NULLs (the engine logs rows as they were
+   at write time, and ALTER's backfill is a heap rewrite that is not
+   itself WAL-logged in this model). *)
+let pad_row (table : Catalog.table) row =
+  let want = List.length table.columns in
+  let have = Array.length row in
+  if have >= want then row
+  else Array.append row (Array.make (want - have) Datum.Null)
+
+let recover_from_wal t =
+  (* 1. transaction state (clog / prepared / locks) from the WAL *)
+  Txn.Manager.crash_recover t.mgr;
+  (* 2. wipe volatile storage. Heap contents are rebuilt from the log;
+     columnar stores model immutable stripes flushed straight to disk
+     (§2.5), so they are treated as durable and left intact. *)
   List.iter
-    (fun xid ->
-      let prepared =
-        List.exists (fun (_, x) -> x = xid) (Txn.Manager.prepared_transactions t.mgr)
-      in
-      if (not prepared) && Txn.Manager.is_active t.mgr xid then
-        Txn.Manager.abort t.mgr xid)
-    (Txn.Manager.active_xids t.mgr);
+    (fun name ->
+      match Catalog.find_table_opt t.catalog name with
+      | Some { store = Catalog.Heap_store heap; _ } -> Storage.Heap.clear heap
+      | Some { store = Catalog.Columnar_store _; _ } | None -> ())
+    (Catalog.table_names t.catalog);
+  List.iter
+    (fun name ->
+      match Catalog.find_table_opt t.catalog name with
+      | Some tbl ->
+        List.iter
+          (fun (idx : Catalog.index) ->
+            match idx.kind with
+            | Catalog.Btree_index { tree; _ } -> Storage.Btree.clear tree
+            | Catalog.Gin_index { gin; _ } -> Storage.Gin.clear gin)
+          tbl.indexes
+      | None -> ())
+    (Catalog.table_names t.catalog);
+  (* 3. redo pass: reapply every logged heap change at its original tid
+     (tids must be stable because later records and index entries refer
+     to them). Visibility still comes from the rebuilt clog, so rows from
+     crashed transactions replay but read as aborted. *)
+  let heap_of table_name =
+    match Catalog.find_table_opt t.catalog table_name with
+    | Some ({ store = Catalog.Heap_store heap; _ } as tbl) -> Some (tbl, heap)
+    | Some { store = Catalog.Columnar_store _; _ } | None -> None
+  in
+  List.iter
+    (fun (_, record) ->
+      match record with
+      | Txn.Wal.Insert { xid; table; tid; row } ->
+        (match heap_of table with
+         | Some (tbl, heap) ->
+           Storage.Heap.insert_at heap ~tid ~xid (pad_row tbl row)
+         | None -> ())
+      | Txn.Wal.Update { xid; table; old_tid; new_tid; row } ->
+        (match heap_of table with
+         | Some (tbl, heap) ->
+           Storage.Heap.insert_at heap ~tid:new_tid ~xid (pad_row tbl row);
+           ignore (Storage.Heap.delete heap ~xid ~tid:old_tid)
+         | None -> ())
+      | Txn.Wal.Delete { xid; table; tid } ->
+        (match heap_of table with
+         | Some (_, heap) -> ignore (Storage.Heap.delete heap ~xid ~tid)
+         | None -> ())
+      | Txn.Wal.Truncate table ->
+        (match heap_of table with
+         | Some (tbl, heap) ->
+           Storage.Heap.clear heap;
+           List.iter
+             (fun (idx : Catalog.index) ->
+               match idx.kind with
+               | Catalog.Btree_index { tree; _ } -> Storage.Btree.clear tree
+               | Catalog.Gin_index { gin; _ } -> Storage.Gin.clear gin)
+             tbl.indexes
+         | None -> ())
+      | Txn.Wal.Begin _ | Txn.Wal.Commit _ | Txn.Wal.Abort _
+      | Txn.Wal.Prepare _ | Txn.Wal.Commit_prepared _
+      | Txn.Wal.Rollback_prepared _ | Txn.Wal.Restore_point _
+      | Txn.Wal.Checkpoint -> ())
+    (Txn.Wal.records (Txn.Manager.wal t.mgr));
+  (* 4. rebuild indexes over the recovered heaps (all physical versions,
+     as in normal operation; vacuum prunes entries for dead ones later) *)
+  let s = connect t in
+  let ctx = make_ctx s in
+  List.iter
+    (fun name ->
+      match Catalog.find_table_opt t.catalog name with
+      | Some ({ store = Catalog.Heap_store heap; _ } as tbl)
+        when tbl.indexes <> [] ->
+        Storage.Heap.scan_physical heap ~f:(fun tid _hdr row ->
+            Executor.index_insert ctx tbl tid row)
+      | _ -> ())
+    (Catalog.table_names t.catalog);
+  (* 5. cold caches *)
   Storage.Buffer_pool.clear t.pool
+
+let restart t =
+  crash t;
+  recover_from_wal t

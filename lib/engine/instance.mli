@@ -54,6 +54,15 @@ val session_instance : session -> t
 
 val session_id : session -> int
 
+(** A session dies when its node crashes; using a dead session raises
+    {!Session_error}. The cluster layer checks this before each round
+    trip to raise its own distinguishable error. *)
+val session_alive : session -> bool
+
+(** Server-side abort of an open transaction (the client disconnected or
+    crashed). No-op on dead sessions and sessions with no open txn. *)
+val abort_session : session -> unit
+
 (** Execute one SQL statement. May raise {!Session_error},
     {!Executor.Would_block} (retry later), or parse errors. *)
 val exec : session -> string -> result
@@ -114,8 +123,24 @@ val vacuum_table : t -> string -> int
 (** Write a named restore point into the WAL (§3.9). *)
 val create_restore_point : t -> string -> unit
 
-(** Simulate a crash/restart: running (non-prepared) transactions abort,
-    the buffer pool empties, prepared transactions survive. *)
+(** {2 Crash and recovery}
+
+    [crash] kills the node: every session from the current epoch dies and
+    all in-memory state is considered lost (nothing is wiped eagerly —
+    the node is simply unusable until recovery, which rebuilds from
+    durable state). [recover_from_wal] brings it back: transaction state
+    is reconstructed by {!Txn.Manager.crash_recover}, heap contents are
+    replayed from the WAL at their original tids, indexes are rebuilt,
+    and the buffer pool starts cold. Running (non-prepared) transactions
+    vanish; prepared transactions survive with locks released (new
+    writers conflict on tuple headers instead). Catalog definitions and
+    columnar stripes are modeled as durable. *)
+
+val crash : t -> unit
+
+val recover_from_wal : t -> unit
+
+(** [restart t] = [crash t; recover_from_wal t]. *)
 val restart : t -> unit
 
 (** Build an executor context for internal work (used by the Citus layer

@@ -1,0 +1,227 @@
+type verdict =
+  | Deliver
+  | Unreachable of string
+  | Drop_request of string
+  | Drop_reply of string
+
+type armed = { matching : string; lose_reply : bool }
+
+type event =
+  | Ev_crash of { node : string; down_for : float option }
+  | Ev_restart of string
+  | Ev_partition of { from_ : string; to_ : string; heal_after : float option }
+  | Ev_heal of { from_ : string; to_ : string }
+
+type t = {
+  fault_seed : int;
+  rng : Random.State.t;
+  clock : Clock.t;
+  nodes : (string, Engine.Instance.t) Hashtbl.t;
+  down : (string, unit) Hashtbl.t;
+  cut_links : (string * string, unit) Hashtbl.t;  (** directed (from, to) *)
+  drop : (string, float * float) Hashtbl.t;  (** per-destination override *)
+  mutable default_drop : float * float;  (** (request, reply) *)
+  armed : (string, armed) Hashtbl.t;
+  mutable pending : (float * int * event) list;  (** sorted by (time, seq) *)
+  mutable next_seq : int;
+  mutable crash_obs : (string -> unit) list;
+  mutable restart_obs : (string -> unit) list;
+  mutable events : string list;  (** trace, newest first *)
+}
+
+let create ?(seed = 0) ~clock () =
+  {
+    fault_seed = seed;
+    rng = Random.State.make [| 0x5eed; seed |];
+    clock;
+    nodes = Hashtbl.create 8;
+    down = Hashtbl.create 4;
+    cut_links = Hashtbl.create 8;
+    drop = Hashtbl.create 4;
+    default_drop = (0.0, 0.0);
+    armed = Hashtbl.create 4;
+    pending = [];
+    next_seq = 0;
+    crash_obs = [];
+    restart_obs = [];
+    events = [];
+  }
+
+let seed t = t.fault_seed
+
+let note t fmt =
+  Printf.ksprintf
+    (fun m ->
+      t.events <- Printf.sprintf "%8.3f %s" (Clock.now t.clock) m :: t.events)
+    fmt
+
+let trace t = List.rev t.events
+
+let register_node t ~name inst = Hashtbl.replace t.nodes name inst
+
+let node_up t name = not (Hashtbl.mem t.down name)
+
+let on_crash t f = t.crash_obs <- t.crash_obs @ [ f ]
+let on_restart t f = t.restart_obs <- t.restart_obs @ [ f ]
+
+let crash_now t name =
+  if node_up t name then begin
+    Hashtbl.replace t.down name ();
+    (match Hashtbl.find_opt t.nodes name with
+     | Some inst -> Engine.Instance.crash inst
+     | None -> ());
+    note t "crash %s" name;
+    List.iter (fun f -> f name) t.crash_obs
+  end
+
+let restart_now t name =
+  if not (node_up t name) then begin
+    Hashtbl.remove t.down name;
+    (match Hashtbl.find_opt t.nodes name with
+     | Some inst -> Engine.Instance.recover_from_wal inst
+     | None -> ());
+    note t "restart %s (wal replayed)" name;
+    List.iter (fun f -> f name) t.restart_obs
+  end
+
+let partition_link t ~from_ ~to_ =
+  if not (Hashtbl.mem t.cut_links (from_, to_)) then begin
+    Hashtbl.replace t.cut_links (from_, to_) ();
+    note t "partition %s->%s" from_ to_
+  end
+
+let heal_link t ~from_ ~to_ =
+  if Hashtbl.mem t.cut_links (from_, to_) then begin
+    Hashtbl.remove t.cut_links (from_, to_);
+    note t "heal %s->%s" from_ to_
+  end
+
+let link_up t ~from_ ~to_ =
+  not
+    (Hashtbl.mem t.cut_links (from_, to_)
+    || Hashtbl.mem t.cut_links (from_, "*")
+    || Hashtbl.mem t.cut_links ("*", to_))
+
+let heal_all_links t =
+  if Hashtbl.length t.cut_links > 0 then begin
+    Hashtbl.reset t.cut_links;
+    note t "heal all links"
+  end
+
+let set_drop_rate ?node t ~request ~reply =
+  (match node with
+   | Some n -> Hashtbl.replace t.drop n (request, reply)
+   | None -> t.default_drop <- (request, reply));
+  note t "drop-rate %s req=%.2f reply=%.2f"
+    (Option.value ~default:"*" node)
+    request reply
+
+let arm_crash_after t ~node ~matching ?(lose_reply = false) () =
+  Hashtbl.replace t.armed node { matching; lose_reply };
+  note t "arm crash-after %s matching %S%s" node matching
+    (if lose_reply then " (reply lost)" else "")
+
+(* --- scheduled events --- *)
+
+let enqueue t ~at ev =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.pending <-
+    List.sort
+      (fun (ta, sa, _) (tb, sb, _) -> compare (ta, sa) (tb, sb))
+      ((at, seq, ev) :: t.pending)
+
+let schedule_crash t ~at ?down_for node =
+  enqueue t ~at (Ev_crash { node; down_for })
+
+let schedule_partition ?heal_after t ~at ~from_ ~to_ =
+  enqueue t ~at (Ev_partition { from_; to_; heal_after })
+
+let fire t at = function
+  | Ev_crash { node; down_for } ->
+    crash_now t node;
+    (match down_for with
+     | Some d -> enqueue t ~at:(at +. d) (Ev_restart node)
+     | None -> ())
+  | Ev_restart node -> restart_now t node
+  | Ev_partition { from_; to_; heal_after } ->
+    partition_link t ~from_ ~to_;
+    (match heal_after with
+     | Some d -> enqueue t ~at:(at +. d) (Ev_heal { from_; to_ })
+     | None -> ())
+  | Ev_heal { from_; to_ } -> heal_link t ~from_ ~to_
+
+let rec tick t =
+  match t.pending with
+  | (at, _, ev) :: rest when at <= Clock.now t.clock ->
+    t.pending <- rest;
+    fire t at ev;
+    tick t
+  | _ -> ()
+
+(* --- consultation --- *)
+
+let check_connect t ~from_ ~to_ =
+  if not (node_up t to_) then
+    Unreachable (Printf.sprintf "node %s is down" to_)
+  else if not (link_up t ~from_ ~to_) then
+    Unreachable (Printf.sprintf "network partition %s->%s" from_ to_)
+  else if not (link_up t ~from_:to_ ~to_:from_) then
+    Unreachable (Printf.sprintf "network partition %s->%s" to_ from_)
+  else Deliver
+
+let drop_rates t node =
+  match Hashtbl.find_opt t.drop node with
+  | Some r -> r
+  | None -> t.default_drop
+
+let check_round_trip t ~from_ ~to_ ~sql =
+  ignore sql;
+  (* Always burn exactly two draws so the random stream does not depend
+     on which faults happen to be active. *)
+  let r_req = Random.State.float t.rng 1.0 in
+  let r_reply = Random.State.float t.rng 1.0 in
+  let req_rate, reply_rate = drop_rates t to_ in
+  if not (node_up t to_) then
+    Unreachable (Printf.sprintf "node %s is down" to_)
+  else if not (link_up t ~from_ ~to_) then
+    Drop_request (Printf.sprintf "network partition %s->%s" from_ to_)
+  else if r_req < req_rate then begin
+    note t "drop request %s->%s" from_ to_;
+    Drop_request (Printf.sprintf "request %s->%s lost" from_ to_)
+  end
+  else if not (link_up t ~from_:to_ ~to_:from_) then
+    Drop_reply (Printf.sprintf "network partition %s->%s" to_ from_)
+  else if r_reply < reply_rate then begin
+    note t "drop reply %s->%s" to_ from_;
+    Drop_reply (Printf.sprintf "reply %s->%s lost" to_ from_)
+  end
+  else Deliver
+
+let contains_substring s sub =
+  let ls = String.length s and lsub = String.length sub in
+  lsub = 0
+  ||
+  let rec at i =
+    i + lsub <= ls && (String.sub s i lsub = sub || at (i + 1))
+  in
+  at 0
+
+let after_statement t ~node ~sql =
+  match Hashtbl.find_opt t.armed node with
+  | Some { matching; lose_reply } when contains_substring sql matching ->
+    Hashtbl.remove t.armed node;
+    note t "armed crash fires on %s after %S" node matching;
+    crash_now t node;
+    `Crashed lose_reply
+  | _ -> `Proceed
+
+let quiesce t =
+  t.pending <- [];
+  heal_all_links t;
+  t.default_drop <- (0.0, 0.0);
+  Hashtbl.reset t.drop;
+  Hashtbl.reset t.armed;
+  let downed = Hashtbl.fold (fun n () acc -> n :: acc) t.down [] in
+  List.iter (restart_now t) (List.sort compare downed);
+  note t "quiesce"

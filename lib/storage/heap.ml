@@ -56,6 +56,27 @@ let insert t ~xid row =
     t.slots.(tid) <- { xmin = xid; xmax = 0; data = Some row };
     tid
 
+(* Place a tuple version at an exact slot (WAL replay: the log records
+   the tid each version originally occupied, and index entries reference
+   tids, so replay must reproduce the layout exactly). *)
+let insert_at t ~tid ~xid row =
+  if tid < 0 then invalid_arg "Heap.insert_at: negative tid";
+  while tid >= Array.length t.slots do
+    let cap = Array.length t.slots in
+    let bigger =
+      Array.init (cap * 2) (fun i ->
+          if i < cap then t.slots.(i)
+          else { xmin = 0; xmax = 0; data = None })
+    in
+    t.slots <- bigger
+  done;
+  if tid >= t.used then t.used <- tid + 1;
+  t.freelist <- List.filter (fun f -> f <> tid) t.freelist;
+  let s = t.slots.(tid) in
+  s.xmin <- xid;
+  s.xmax <- 0;
+  s.data <- Some row
+
 let delete t ~xid ~tid =
   if tid < 0 || tid >= t.used then false
   else
@@ -121,6 +142,16 @@ let scan ?pool t ~status ~snapshot ~my_xid ~f =
     | Some row ->
       if version_visible ~status ~snapshot ~my_xid ~xmin:s.xmin ~xmax:s.xmax
       then f tid row
+  done
+
+(* Visit every stored version regardless of visibility (index rebuild
+   after crash recovery). *)
+let scan_physical t ~f =
+  for tid = 0 to t.used - 1 do
+    let s = t.slots.(tid) in
+    match s.data with
+    | None -> ()
+    | Some row -> f tid (s.xmin, s.xmax) row
   done
 
 let vacuum ?on_reclaim t ~oldest ~status =

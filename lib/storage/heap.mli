@@ -27,6 +27,15 @@ val insert : t -> xid:xid -> Datum.t array -> int
     overwritten. Returns [false] if the slot is empty/reclaimed. *)
 val delete : t -> xid:xid -> tid:int -> bool
 
+(** [insert_at t ~tid ~xid row] places a version at exactly slot [tid],
+    growing the heap as needed (WAL replay must reproduce tids because
+    index entries and later WAL records reference them). *)
+val insert_at : t -> tid:int -> xid:xid -> Datum.t array -> unit
+
+(** Visit every physically stored version, visible or not, as
+    [f tid (xmin, xmax) row] (index rebuild during crash recovery). *)
+val scan_physical : t -> f:(int -> xid * xid -> Datum.t array -> unit) -> unit
+
 (** Raw tuple header access (for write-conflict checks and the vacuum /
     rebalancer machinery). *)
 val header : t -> tid:int -> (xid * xid) option

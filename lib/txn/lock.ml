@@ -45,6 +45,10 @@ let acquire t ~owner target mode =
 
 let cancel_wait t ~owner = Hashtbl.remove t.waiting owner
 
+let reset t =
+  Hashtbl.reset t.held;
+  Hashtbl.reset t.waiting
+
 let release_all t ~owner =
   Hashtbl.remove t.waiting owner;
   let updates =

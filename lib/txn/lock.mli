@@ -43,6 +43,11 @@ val cancel_wait : t -> owner:xid -> unit
 (** Release every lock held by [owner] and any pending wait. *)
 val release_all : t -> owner:xid -> unit
 
+(** Drop all held locks and pending waits (node crash: lock state is
+    in-memory only, so it does not survive a restart; prepared
+    transactions reacquire theirs during WAL replay). *)
+val reset : t -> unit
+
 (** All current wait-for edges (waiter, holder), one per conflicting
     holder. This is what the Citus deadlock detector polls from workers. *)
 val wait_edges : t -> (xid * xid) list

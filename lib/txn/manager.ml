@@ -93,6 +93,52 @@ let rollback_prepared t ~gid =
   Hashtbl.replace t.clog xid Aborted;
   Lock.release_all t.locks ~owner:xid
 
+(* Rebuild all in-memory transaction state from the WAL after a crash.
+   The WAL itself is the only durable structure; clog, running set,
+   prepared table and locks are reconstructed. Transactions that were
+   running (Begin without a matching Commit/Abort/Prepare) simply vanish:
+   they are not entered into the clog, and [status] reports unknown xids
+   as Aborted, which is exactly PostgreSQL's crashed-transaction
+   semantics. Prepared transactions survive with their xid in progress;
+   their row locks are not reacquired here (the engine-level recovery
+   re-locks nothing — with no running sessions there is nobody to
+   conflict with until new sessions start, and new writers conflict on
+   tuple xmax instead). *)
+let crash_recover t =
+  Hashtbl.reset t.clog;
+  Hashtbl.reset t.prepared;
+  t.running <- [];
+  Lock.reset t.locks;
+  let max_xid = ref 0 in
+  let see_xid x = if x > !max_xid then max_xid := x in
+  let apply (_, record) =
+    match record with
+    | Wal.Begin xid -> see_xid xid
+    | Wal.Insert { xid; _ } | Wal.Update { xid; _ } | Wal.Delete { xid; _ } ->
+      see_xid xid
+    | Wal.Commit xid ->
+      see_xid xid;
+      Hashtbl.replace t.clog xid Committed
+    | Wal.Abort xid ->
+      see_xid xid;
+      Hashtbl.replace t.clog xid Aborted
+    | Wal.Prepare { xid; gid } ->
+      see_xid xid;
+      Hashtbl.replace t.clog xid In_progress;
+      Hashtbl.replace t.prepared gid xid
+    | Wal.Commit_prepared { xid; gid } ->
+      see_xid xid;
+      Hashtbl.remove t.prepared gid;
+      Hashtbl.replace t.clog xid Committed
+    | Wal.Rollback_prepared { xid; gid } ->
+      see_xid xid;
+      Hashtbl.remove t.prepared gid;
+      Hashtbl.replace t.clog xid Aborted
+    | Wal.Truncate _ | Wal.Restore_point _ | Wal.Checkpoint -> ()
+  in
+  List.iter apply (Wal.records t.wal);
+  t.next_xid <- !max_xid + 1
+
 let prepared_transactions t =
   Hashtbl.fold (fun gid xid acc -> (gid, xid) :: acc) t.prepared []
 

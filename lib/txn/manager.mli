@@ -48,6 +48,13 @@ val rollback_prepared : t -> gid:string -> unit
     daemon compares these against its commit records (§3.7.2). *)
 val prepared_transactions : t -> (string * xid) list
 
+(** Rebuild clog / running / prepared / locks from the WAL after a node
+    crash. Transactions that were running at crash time disappear (their
+    xids read as [Aborted]); prepared transactions survive as
+    [In_progress] and stay listed in [prepared_transactions]. The WAL is
+    kept as-is. *)
+val crash_recover : t -> unit
+
 exception No_such_prepared of string
 
 (** All xids currently in progress (running or prepared). *)

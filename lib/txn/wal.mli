@@ -24,6 +24,7 @@ type record =
   | Prepare of { xid : int; gid : string }
   | Commit_prepared of { xid : int; gid : string }
   | Rollback_prepared of { xid : int; gid : string }
+  | Truncate of string  (** table name; TRUNCATE is not MVCC, logged as-is *)
   | Restore_point of string
   | Checkpoint
 

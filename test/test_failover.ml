@@ -258,6 +258,67 @@ let test_2pc_drain_counts_failed_commits () =
   Alcotest.(check int) "commit records drained" 0
     (Citus.Twopc.commit_record_count st)
 
+let test_coordinator_crash_before_commit_fanout () =
+  (* The classic 2PC window: the coordinator has committed locally (commit
+     records durable in pg_dist_transaction) but dies before any COMMIT
+     PREPARED reaches the workers. After restart, recovery must push the
+     decision out from the surviving records. *)
+  let cluster, citus, s = make () in
+  setup_items s;
+  ignore (exec s "BEGIN");
+  load_items ~n:20 s;
+  ignore (exec s "COMMIT");
+  let st = Citus.Api.coordinator_state citus in
+  let k1, k2 = two_keys_on_different_nodes citus "items" in
+  let n1 = node_of citus "items" k1 and n2 = node_of citus "items" k2 in
+  Citus.State.inject_failure st ~node:n1 ~matching:"COMMIT PREPARED";
+  Citus.State.inject_failure st ~node:n2 ~matching:"COMMIT PREPARED";
+  ignore (exec s "BEGIN");
+  ignore (exec s (Printf.sprintf "UPDATE items SET qty = 777 WHERE key = %d" k1));
+  ignore (exec s (Printf.sprintf "UPDATE items SET qty = 777 WHERE key = %d" k2));
+  ignore (exec s "COMMIT");
+  (* the decision is durable but neither worker has heard it *)
+  Alcotest.(check bool) "commit records survive the lost fan-out" true
+    (Citus.Twopc.commit_record_count st > 0);
+  List.iter
+    (fun node ->
+      let inst =
+        (Cluster.Topology.find_node cluster node).Cluster.Topology.instance
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s still holds its prepared txn" node)
+        true
+        (Txn.Manager.prepared_transactions (Engine.Instance.txn_manager inst)
+         <> []))
+    [ n1; n2 ];
+  (* coordinator crashes and comes back: WAL replay restores the records *)
+  Citus.State.clear_failures st;
+  Engine.Instance.restart
+    (Cluster.Topology.find_node cluster "coordinator").Cluster.Topology.instance;
+  Citus.State.reset_sessions st;
+  let s = Citus.Api.connect citus in
+  Citus.Api.maintenance citus;
+  check_int s "k1 converged to the committed value" 777
+    (Printf.sprintf "SELECT qty FROM items WHERE key = %d" k1);
+  check_int s "k2 converged to the committed value" 777
+    (Printf.sprintf "SELECT qty FROM items WHERE key = %d" k2);
+  Alcotest.(check int) "commit records drained after recovery" 0
+    (Citus.Twopc.commit_record_count st);
+  List.iter
+    (fun node ->
+      let inst =
+        (Cluster.Topology.find_node cluster node).Cluster.Topology.instance
+      in
+      Alcotest.(check
+                  (list (pair string string)))
+        (Printf.sprintf "no prepared txn left on %s" node)
+        []
+        (List.map
+           (fun (gid, xid) -> (gid, string_of_int xid))
+           (Txn.Manager.prepared_transactions
+              (Engine.Instance.txn_manager inst))))
+    [ n1; n2 ]
+
 (* --- bounded lock-conflict retries --- *)
 
 let test_exec_with_retries_reports_attempts () =
@@ -309,6 +370,8 @@ let () =
         [
           Alcotest.test_case "drain counts failed commits" `Quick
             test_2pc_drain_counts_failed_commits;
+          Alcotest.test_case "coordinator crash before fan-out" `Quick
+            test_coordinator_crash_before_commit_fanout;
         ] );
       ( "retries",
         [

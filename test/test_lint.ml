@@ -168,16 +168,64 @@ let test_l5_scope () =
   let fs = run "L5" [ ("lib/core/planner.ml", l5_violating) ] in
   Alcotest.(check int) "planner.ml is out of scope" 0 (List.length fs)
 
+(* --- L6 twopc-state-machine --- *)
+
+let l6_violating =
+  {|let pre_commit t = ignore t
+
+let post_commit st =
+  st.State.prepared <- [];
+  st.State.txn_conns <- []
+
+let recover t =
+  exec t (Sqlfront.Ast.Commit_prepared "gid")
+|}
+
+let l6_clean =
+  {|let cleanup st =
+  st.State.prepared <- [];
+  st.State.txn_conns <- [];
+  st.State.dist_xids <- []
+
+let pre_commit st gids = st.State.prepared <- gids
+
+let post_commit st = cleanup st
+
+let on_abort st = cleanup st
+
+let recover t mgr gid =
+  if committed t gid then Txn.Manager.commit_prepared mgr gid
+  else Txn.Manager.rollback_prepared mgr gid
+|}
+
+let test_l6_violating () =
+  let fs = run "L6" [ ("lib/core/twopc.ml", l6_violating) ] in
+  (* missing on_abort; pre_commit never moves [prepared]; post_commit
+     leaks [dist_xids]; recover can only commit *)
+  Alcotest.(check int) "four lost transitions" 4 (List.length fs);
+  Alcotest.(check (list string)) "all L6" [ "L6"; "L6"; "L6"; "L6" ] (ids fs);
+  Alcotest.(check (list int)) "finding locations" [ 1; 1; 3; 7 ] (lines fs)
+
+let test_l6_clean () =
+  (* field writes through a shared helper count: the analysis is a
+     fixpoint over the local call graph *)
+  let fs = run "L6" [ ("lib/core/twopc.ml", l6_clean) ] in
+  Alcotest.(check int) "transitive writes satisfy the rule" 0 (List.length fs)
+
+let test_l6_scope () =
+  let fs = run "L6" [ ("lib/core/planner.ml", l6_violating) ] in
+  Alcotest.(check int) "only twopc.ml is in scope" 0 (List.length fs)
+
 (* --- registry and baseline --- *)
 
 let test_registry () =
-  Alcotest.(check int) "five rules" 5 (List.length Registry.all);
+  Alcotest.(check int) "six rules" 6 (List.length Registry.all);
   List.iter
     (fun id ->
       match Registry.find id with
       | Some _ -> ()
       | None -> Alcotest.failf "rule %s not registered" id)
-    [ "L1"; "L2"; "L3"; "L4"; "L5"; "sql-injection"; "determinism" ]
+    [ "L1"; "L2"; "L3"; "L4"; "L5"; "L6"; "sql-injection"; "determinism" ]
 
 let test_baseline_empty () =
   (* the live baseline must stay empty: new findings are fixed, not
@@ -218,6 +266,12 @@ let () =
           Alcotest.test_case "violating" `Quick test_l5_violating;
           Alcotest.test_case "clean" `Quick test_l5_clean;
           Alcotest.test_case "scope" `Quick test_l5_scope;
+        ] );
+      ( "l6-twopc-state-machine",
+        [
+          Alcotest.test_case "violating" `Quick test_l6_violating;
+          Alcotest.test_case "clean" `Quick test_l6_clean;
+          Alcotest.test_case "scope" `Quick test_l6_scope;
         ] );
       ( "infrastructure",
         [

@@ -8,6 +8,7 @@ let all : Rule.t list =
     (module Rule_exception_hygiene);
     (module Rule_mli_coverage);
     (module Rule_no_catch_all);
+    (module Rule_twopc_state);
   ]
 
 let find id =

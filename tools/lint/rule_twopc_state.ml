@@ -1,0 +1,186 @@
+(** L6 twopc-state-machine: the 2PC driver must handle every
+    [State.session_state] transition. Concretely, in [twopc.ml]:
+
+    - all four protocol entry points exist: [pre_commit], [post_commit],
+      [on_abort], [recover];
+    - [pre_commit], [post_commit] and [on_abort] each (transitively)
+      assign the [prepared] field — the prepared-gid list is the 2PC
+      state machine's core register, and an entry point that never
+      touches it has lost a transition (e.g. an abort path that forgets
+      prepared transactions leaves them holding locks forever);
+    - [post_commit] and [on_abort] (transitively) clear [txn_conns] and
+      [dist_xids] — a transaction end that leaks either keeps dead
+      connections in the next transaction and stale entries in the
+      distributed-deadlock registry;
+    - [recover] references both resolutions, [Commit_prepared] {e and}
+      [Rollback_prepared] — recovery that can only commit (or only roll
+      back) cannot drain the other half of the prepared-transaction
+      space.
+
+    "Transitively" means through calls to other top-level functions of
+    the same file ([cleanup_session_txn_state] etc.), computed as a
+    fixpoint over the local call graph. *)
+
+let id = "L6"
+let name = "twopc-state-machine"
+
+let doc =
+  "2PC state machine exhaustiveness: pre_commit/post_commit/on_abort/recover \
+   must exist, update the session_state fields they own, and recover must \
+   handle both COMMIT PREPARED and ROLLBACK PREPARED"
+
+let applies path = String.equal (Filename.basename path) "twopc.ml"
+
+(* (name, binding) for every top-level [let] in the file *)
+let top_bindings (str : Parsetree.structure) =
+  List.concat_map
+    (fun (si : Parsetree.structure_item) ->
+      match si.Parsetree.pstr_desc with
+      | Parsetree.Pstr_value (_, vbs) ->
+        List.filter_map
+          (fun (vb : Parsetree.value_binding) ->
+            match vb.Parsetree.pvb_pat.ppat_desc with
+            | Parsetree.Ppat_var { txt; _ } -> Some (txt, vb)
+            | _ -> None)
+          vbs
+      | _ -> [])
+    str
+
+(* last components of record fields assigned anywhere in [e]
+   (e.g. [st.State.prepared <- []] yields "prepared") *)
+let fields_written (e : Parsetree.expression) =
+  let acc = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+     | Parsetree.Pexp_setfield (_, { txt; _ }, _) ->
+       (try acc := Longident.last txt :: !acc with _ -> ())
+     | _ -> ());
+    super.Ast_iterator.expr it e
+  in
+  let it = { super with Ast_iterator.expr } in
+  it.Ast_iterator.expr it e;
+  !acc
+
+(* unqualified identifiers referencing other top-level bindings *)
+let local_calls names (e : Parsetree.expression) =
+  let acc = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+     | Parsetree.Pexp_ident { txt = Longident.Lident n; _ }
+       when List.mem n names ->
+       acc := n :: !acc
+     | _ -> ());
+    super.Ast_iterator.expr it e
+  in
+  let it = { super with Ast_iterator.expr } in
+  it.Ast_iterator.expr it e;
+  !acc
+
+(* Does [fn] write [field], directly or through calls to other top-level
+   functions? Fixpoint over the local call graph. *)
+let writes_transitively bindings field fn =
+  let names = List.map fst bindings in
+  let direct =
+    List.map
+      (fun (n, (vb : Parsetree.value_binding)) ->
+        (n, List.mem field (fields_written vb.Parsetree.pvb_expr)))
+      bindings
+  in
+  let writes = Hashtbl.create 16 in
+  List.iter (fun (n, w) -> Hashtbl.replace writes n w) direct;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (n, (vb : Parsetree.value_binding)) ->
+        if not (Hashtbl.find writes n) then
+          let callees = local_calls names vb.Parsetree.pvb_expr in
+          if
+            List.exists
+              (fun c -> (not (String.equal c n)) && Hashtbl.find writes c)
+              callees
+          then begin
+            Hashtbl.replace writes n true;
+            changed := true
+          end)
+      bindings
+  done;
+  match Hashtbl.find_opt writes fn with Some w -> w | None -> false
+
+(* Does [e] mention the given 2PC resolution, as the AST constructor
+   ([Commit_prepared]) or the manager primitive ([commit_prepared])? *)
+let mentions_resolution (e : Parsetree.expression) ~constr ~fn =
+  Rule.expr_exists
+    (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_construct ({ txt; _ }, _) ->
+        (try String.equal (Longident.last txt) constr with _ -> false)
+      | Parsetree.Pexp_ident _ ->
+        (match List.rev (Rule.ident_path e) with
+         | last :: _ -> String.equal last fn
+         | [] -> false)
+      | _ -> false)
+    e
+
+let check ~path (str : Parsetree.structure) =
+  let bindings = top_bindings str in
+  let file_loc =
+    match str with
+    | (si : Parsetree.structure_item) :: _ -> si.Parsetree.pstr_loc
+    | [] -> Location.none
+  in
+  let findings = ref [] in
+  let add ~loc msg = findings := Rule.finding ~id ~file:path ~loc msg :: !findings in
+  let entry_points = [ "pre_commit"; "post_commit"; "on_abort"; "recover" ] in
+  List.iter
+    (fun fn ->
+      if not (List.mem_assoc fn bindings) then
+        add ~loc:file_loc
+          (Printf.sprintf
+             "2PC entry point %s is missing: every session_state transition \
+              (commit, abort, recovery) needs its handler"
+             fn))
+    entry_points;
+  let require_write fn field =
+    match List.assoc_opt fn bindings with
+    | None -> ()
+    | Some vb ->
+      if not (writes_transitively bindings field fn) then
+        add ~loc:vb.Parsetree.pvb_loc
+          (Printf.sprintf
+             "%s never updates session_state.%s (directly or via a helper): \
+              a 2PC transition that does not move this field loses protocol \
+              state"
+             fn field)
+  in
+  List.iter (fun fn -> require_write fn "prepared") [ "pre_commit"; "post_commit"; "on_abort" ];
+  List.iter
+    (fun fn ->
+      require_write fn "txn_conns";
+      require_write fn "dist_xids")
+    [ "post_commit"; "on_abort" ];
+  (match List.assoc_opt "recover" bindings with
+   | None -> ()
+   | Some vb ->
+     let body = vb.Parsetree.pvb_expr in
+     if
+       not
+         (mentions_resolution body ~constr:"Commit_prepared"
+            ~fn:"commit_prepared")
+     then
+       add ~loc:vb.Parsetree.pvb_loc
+         "recover never issues COMMIT PREPARED: prepared transactions whose \
+          coordinator committed can never be resolved";
+     if
+       not
+         (mentions_resolution body ~constr:"Rollback_prepared"
+            ~fn:"rollback_prepared")
+     then
+       add ~loc:vb.Parsetree.pvb_loc
+         "recover never issues ROLLBACK PREPARED: prepared transactions whose \
+          coordinator aborted can never be resolved");
+  List.rev !findings
+
+let check_tree _ = []
