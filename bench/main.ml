@@ -19,6 +19,7 @@ let experiments =
     ("fig9", "Figure 9: distributed transaction overhead", fun () -> ignore (Fig9.run ()));
     ("fig10", "Figure 10: YCSB high-performance CRUD", fun () -> ignore (Fig10.run ()));
     ("ablation", "Ablations: columnar, delegation, slow start, join order", fun () -> Ablation.run ());
+    ("obs", "Observability overhead: per-tier latency, tracing off vs on", fun () -> Obs_bench.run ());
     ("micro", "Bechamel wall-clock microbenchmarks", fun () -> Micro.run ());
   ]
 

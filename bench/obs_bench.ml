@@ -1,0 +1,130 @@
+(* Observability overhead benchmark.
+
+   Measures real wall-clock per-statement latency of this implementation
+   for each planner tier, with the trace sink disabled and enabled, and
+   writes the percentiles to BENCH_obs.json. The interesting number is
+   the relative overhead column: the disabled sink is supposed to be
+   near-free (a single branch per would-be span), so "off" and "on minus
+   span cost" should be close. Absolute numbers are this OCaml model's
+   speed, not PostgreSQL's. *)
+
+let samples = 300
+let warmup = 20
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  let idx = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) idx))
+
+let setup () =
+  let db = Workloads.Db.citus ~workers:2 ~shard_count:8 () in
+  ignore
+    (Workloads.Db.exec db
+       "CREATE TABLE items (key bigint PRIMARY KEY, val text, qty bigint)");
+  ignore (Workloads.Db.exec db "CREATE TABLE dims (id bigint, name text)");
+  (match db.Workloads.Db.citus with
+   | Some api ->
+     Citus.Api.create_distributed_table api ~table:"items" ~column:"key" ()
+   | None -> ());
+  ignore (Workloads.Db.exec db "SELECT create_reference_table('dims')");
+  for i = 1 to 200 do
+    ignore
+      (Workloads.Db.exec db
+         (Printf.sprintf "INSERT INTO items (key, val, qty) VALUES (%d, 'v', %d)"
+            i (i mod 5)))
+  done;
+  for d = 0 to 4 do
+    ignore
+      (Workloads.Db.exec db
+         (Printf.sprintf "INSERT INTO dims (id, name) VALUES (%d, 'd%d')" d d))
+  done;
+  db
+
+(* One statement per planner tier; keyed statements rotate to avoid
+   measuring a hot row. *)
+let tiers =
+  [
+    ( "fast_path",
+      fun i -> Printf.sprintf "SELECT * FROM items WHERE key = %d" (1 + (i mod 200)) );
+    ( "router",
+      fun i ->
+        Printf.sprintf
+          "SELECT items.val, dims.name FROM items JOIN dims ON items.qty = \
+           dims.id WHERE items.key = %d"
+          (1 + (i mod 200)) );
+    ("pushdown", fun _ -> "SELECT qty, count(*) FROM items GROUP BY qty");
+    ("dml", fun _ -> "UPDATE items SET qty = qty + 1 WHERE qty >= 0");
+  ]
+
+let run_mode ~tracing =
+  let db = setup () in
+  let trace =
+    match db.Workloads.Db.citus with
+    | Some api ->
+      let st = Citus.Api.coordinator_state api in
+      Cluster.Topology.trace st.Citus.State.cluster
+    | None -> invalid_arg "obs bench needs a citus cluster"
+  in
+  Obs.Trace.set_enabled trace tracing;
+  List.map
+    (fun (tier, stmt) ->
+      for i = 1 to warmup do
+        ignore (Workloads.Db.exec db (stmt i))
+      done;
+      let lat =
+        Array.init samples (fun i ->
+            (* keep the retained span list short so we measure the span
+               machinery, not an ever-growing buffer *)
+            if tracing && i mod 50 = 0 then Obs.Trace.reset trace;
+            let t0 = Unix.gettimeofday () in
+            ignore (Workloads.Db.exec db (stmt (warmup + i)));
+            (Unix.gettimeofday () -. t0) *. 1e6)
+      in
+      Array.sort Float.compare lat;
+      (tier, percentile lat 50.0, percentile lat 95.0))
+    tiers
+
+let json_out off on =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"obs_overhead\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"samples_per_tier\": %d,\n" samples);
+  Buffer.add_string buf "  \"unit\": \"microseconds\",\n";
+  Buffer.add_string buf "  \"tiers\": [\n";
+  let n = List.length off in
+  List.iteri
+    (fun i ((tier, off50, off95), (_, on50, on95)) ->
+      let pct =
+        if off50 > 0.0 then (on50 -. off50) /. off50 *. 100.0 else 0.0
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"tier\": %S, \"off\": {\"p50\": %.2f, \"p95\": %.2f}, \
+            \"on\": {\"p50\": %.2f, \"p95\": %.2f}, \"overhead_p50_pct\": \
+            %.1f}%s\n"
+           tier off50 off95 on50 on95 pct
+           (if i = n - 1 then "" else ",")))
+    (List.combine off on);
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let run () =
+  Report.section "Observability overhead: per-tier latency, tracing off vs on";
+  let off = run_mode ~tracing:false in
+  let on = run_mode ~tracing:true in
+  Report.note "  %-10s %14s %14s %14s %14s %10s" "tier" "off p50 (us)"
+    "off p95 (us)" "on p50 (us)" "on p95 (us)" "p50 ovh%";
+  List.iter2
+    (fun (tier, off50, off95) (_, on50, on95) ->
+      let pct =
+        if off50 > 0.0 then (on50 -. off50) /. off50 *. 100.0 else 0.0
+      in
+      Report.note "  %-10s %14.1f %14.1f %14.1f %14.1f %9.1f%%" tier off50
+        off95 on50 on95 pct)
+    off on;
+  let json = json_out off on in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc json;
+  close_out oc;
+  Report.note "  wrote BENCH_obs.json"

@@ -1,0 +1,43 @@
+(* Observability: trace a query through the planner tiers with
+   citus_explain(..., 'analyze'), then read the cluster's counters.
+
+     dune exec examples/observability.exe
+*)
+
+let () =
+  let cluster = Cluster.Topology.create ~workers:2 () in
+  let citus = Citus.Api.install ~shard_count:8 cluster in
+  let s = Citus.Api.connect citus in
+  let exec sql =
+    Printf.printf "citus=# %s\n" sql;
+    let r = Engine.Instance.exec s sql in
+    List.iter
+      (fun row ->
+        List.iter
+          (fun line -> print_endline ("  " ^ line))
+          (String.split_on_char '\n'
+             (String.concat " | "
+                (Array.to_list (Array.map Datum.to_display row)))))
+      r.Engine.Instance.rows;
+    r
+  in
+  ignore (exec "CREATE TABLE events (device_id bigint, at bigint, payload text)");
+  ignore (exec "SELECT create_distributed_table('events', 'device_id')");
+  ignore
+    (exec
+       "INSERT INTO events (device_id, at, payload) VALUES (1, 10, 'boot'), \
+        (2, 11, 'ping'), (1, 12, 'metric'), (3, 13, 'ping'), (2, 14, 'halt')");
+  (* run the query traced and print the span tree: the statement span on
+     the coordinator, the plan span tagged with the winning tier, and one
+     fragment span per shard task (with the cost model's duration) *)
+  ignore
+    (exec
+       "SELECT citus_explain('SELECT device_id, count(*) FROM events GROUP \
+        BY device_id', 'analyze')");
+  (* and a single-key query stays on the fast path: one shard, no merge *)
+  ignore
+    (exec
+       "SELECT citus_explain('SELECT count(*) FROM events WHERE device_id = \
+        1', 'analyze')");
+  (* every subsystem feeds the same counter families *)
+  ignore (exec "SELECT citus_stat_counters()")

@@ -14,6 +14,7 @@ let origin_name t = Option.value ~default:"client" t.origin
 let open_ ?origin (cluster : Topology.t) (node : Topology.node) =
   Topology.fault_tick cluster;
   let to_ = node.Topology.node_name in
+  let metrics = Topology.metrics cluster in
   (match cluster.Topology.fault with
    | None -> ()
    | Some f ->
@@ -22,7 +23,10 @@ let open_ ?origin (cluster : Topology.t) (node : Topology.node) =
       | Sim.Fault.Deliver -> ()
       | Sim.Fault.Unreachable r
       | Sim.Fault.Drop_request r
-      | Sim.Fault.Drop_reply r -> unavailable to_ r));
+      | Sim.Fault.Drop_reply r ->
+        Obs.Metrics.inc metrics "net.connect_failed";
+        unavailable to_ r));
+  Obs.Metrics.inc metrics ("net.connect_to." ^ to_);
   cluster.Topology.net.connections_opened <-
     cluster.Topology.net.connections_opened + 1;
   { cluster; conn_node = node; origin; sess = Engine.Instance.connect node.instance }
@@ -51,6 +55,7 @@ let round_trip t ~sql run =
   count_round_trip t;
   Topology.fault_tick t.cluster;
   let node_name = t.conn_node.Topology.node_name in
+  let metrics = Topology.metrics t.cluster in
   match t.cluster.Topology.fault with
   | None -> run ()
   | Some f ->
@@ -59,10 +64,12 @@ let round_trip t ~sql run =
      with
      | Sim.Fault.Deliver -> ()
      | Sim.Fault.Unreachable r | Sim.Fault.Drop_request r ->
+       Obs.Metrics.inc metrics "net.round_trip_lost";
        unavailable node_name r
      | Sim.Fault.Drop_reply r ->
        (* the request got through: execute, then lose the reply (even an
           error reply is lost, hence the catch-all) *)
+       Obs.Metrics.inc metrics "net.reply_lost";
        (try ignore (run ()) with _ -> ());
        unavailable node_name r);
     if not (Engine.Instance.session_alive t.sess) then

@@ -30,7 +30,13 @@ val session : t -> Engine.Instance.session
 (** Execute SQL text remotely; counts one round trip and ships the result
     rows back (counted in [rows_shipped]). Raises whatever the remote
     session raises ({!Engine.Executor.Would_block}, parse errors, ...),
-    or {!Node_unavailable} when the fault plan kills the round trip. *)
+    or {!Node_unavailable} when the fault plan kills the round trip.
+
+    Deprecated as a public boundary: new call sites above the Citus
+    layer should use [Citus.Exec.raw_on_conn] (or [Citus.Exec.on_conn]
+    to also feed the circuit breaker), which return typed results
+    instead of raising. This raising form remains as the internal
+    implementation. *)
 val exec : t -> string -> Engine.Instance.result
 
 (** Deparse and execute a statement AST. *)

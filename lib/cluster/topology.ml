@@ -18,14 +18,16 @@ type t = {
   rtt : float;
   net : net_stats;
   fault : Sim.Fault.t option;
+  obs : Obs.t;  (** cluster-wide metrics registry + trace sink *)
 }
 
 let create ?(buffer_pages = 100_000) ?(spec = Sim.Cost.default_spec)
     ?(rtt = Sim.Cost.default_rtt) ?fault_seed ~workers () =
+  let obs = Obs.create () in
   let make name seed =
     {
       node_name = name;
-      instance = Engine.Instance.create ~seed ~buffer_pages ~name ();
+      instance = Engine.Instance.create ~seed ~buffer_pages ~obs ~name ();
       spec;
     }
   in
@@ -44,15 +46,33 @@ let create ?(buffer_pages = 100_000) ?(spec = Sim.Cost.default_spec)
         (coordinator :: workers);
       Some f
   in
-  { coordinator; workers; clock; rtt; net =
-      {
-        round_trips = 0;
-        cross_round_trips = 0;
-        connections_opened = 0;
-        rows_shipped = 0;
-      };
-    fault;
-  }
+  let net =
+    {
+      round_trips = 0;
+      cross_round_trips = 0;
+      connections_opened = 0;
+      rows_shipped = 0;
+    }
+  in
+  (* Network stats fold into snapshots next to the per-node meters. *)
+  Obs.Metrics.register_probe obs.Obs.metrics "net" (fun () ->
+      [
+        ("round_trips", net.round_trips);
+        ("cross_round_trips", net.cross_round_trips);
+        ("connections_opened", net.connections_opened);
+        ("rows_shipped", net.rows_shipped);
+      ]);
+  { coordinator; workers; clock; rtt; net; fault; obs }
+
+let obs t = t.obs
+
+let metrics t = t.obs.Obs.metrics
+
+let trace t = t.obs.Obs.trace
+
+(* [now t] is the thunk every span in this cluster uses as its
+   timestamp source: the shared virtual clock. *)
+let now t () = Sim.Clock.now t.clock
 
 let fault t = t.fault
 

@@ -30,6 +30,10 @@ type t = {
   net : net_stats;
   fault : Sim.Fault.t option;
       (** fault-injection plan; [None] = perfect network, nothing fails *)
+  obs : Obs.t;
+      (** cluster-wide observability: one metrics registry (always on,
+          with every node's meter folded in) and one trace sink
+          (disabled until someone turns it on) *)
 }
 
 (** [create ~workers:n ()] builds a coordinator plus [n] workers.
@@ -46,6 +50,16 @@ val create :
   t
 
 val fault : t -> Sim.Fault.t option
+
+val obs : t -> Obs.t
+
+val metrics : t -> Obs.Metrics.t
+
+val trace : t -> Obs.Trace.t
+
+(** Timestamp thunk reading the shared virtual clock — what every
+    {!Obs.Trace.with_span} in this cluster passes as [~now]. *)
+val now : t -> unit -> float
 
 (** Fire scheduled fault events that are due at the current virtual
     time. Called by {!Connection} before each connect / round trip. *)

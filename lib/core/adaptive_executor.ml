@@ -110,7 +110,10 @@ let connection_for (t : State.t) st ~in_txn ~exact ~assigned ~node_name
     else None
   in
   match affinity_exact, affinity_any_replica with
-  | Some conn, _ | None, Some conn -> conn
+  | Some conn, _ | None, Some conn ->
+    Obs.Metrics.inc (Cluster.Topology.metrics t.State.cluster)
+      "exec.conn_affinity_reuse";
+    conn
   | None, None ->
     let node = Cluster.Topology.find_node t.State.cluster node_name in
     let pool = State.pool_of st node_name in
@@ -127,11 +130,19 @@ let connection_for (t : State.t) st ~in_txn ~exact ~assigned ~node_name
              (fun best c -> if load c < load best then c else best)
              first rest)
     in
+    let opened fresh =
+      (* the slow-start ramp shows up here: each statement may open at
+         most a handful of new connections per node, metered so the
+         ramp is visible in [citus_stat_counters()] *)
+      Obs.Metrics.inc (Cluster.Topology.metrics t.State.cluster)
+        "exec.conn_opened";
+      fresh
+    in
     (match pick_existing () with
      | Some c when load c = 0 -> c
      | maybe_busy ->
        (match State.checkout t st node with
-        | Some fresh -> fresh
+        | Some fresh -> opened fresh
         | None ->
           (match maybe_busy with
            | Some c -> c
@@ -139,7 +150,7 @@ let connection_for (t : State.t) st ~in_txn ~exact ~assigned ~node_name
              (* must have at least one connection; a forced checkout
                 always opens one *)
              match State.checkout t st ~force:true node with
-             | Some fresh -> fresh
+             | Some fresh -> opened fresh
              | None -> assert false))))
 
 (* Active replicas that can serve [task], planned node first, circuit-open
@@ -265,8 +276,30 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
         register_backend st t conn coord_session
       end;
       let result, duration =
-        measured node (fun () -> State.exec_ast_on t conn task.Plan.task_stmt)
+        (* the fragment span's duration is the cost-model's solo elapsed
+           time, not a clock diff: the virtual clock does not advance
+           during execution, the duration is what the timeline scheduler
+           prices the fragment at *)
+        Obs.Trace.with_span
+          (Cluster.Topology.trace t.State.cluster)
+          ~now:(Cluster.Topology.now t.State.cluster)
+          ~node:node.Cluster.Topology.node_name ~kind:"fragment"
+          ~tags:
+            [
+              ("shard", string_of_int task.Plan.task_shard);
+              ("group", string_of_int task.Plan.task_group);
+            ]
+          (fun sp ->
+            let result, duration =
+              measured node (fun () ->
+                  State.exec_ast_on t conn task.Plan.task_stmt)
+            in
+            Obs.Trace.set_duration sp duration;
+            (result, duration))
       in
+      Obs.Metrics.observe
+        (Cluster.Topology.metrics t.State.cluster)
+        "exec.fragment_seconds" duration;
       record_duration node.Cluster.Topology.node_name duration;
       if needs_txn_block && task.Plan.task_group >= 0 then begin
         let key = (node.Cluster.Topology.node_name, task.Plan.task_group) in
@@ -369,4 +402,11 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
         List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0.0 timelines;
     }
   in
+  let m = Cluster.Topology.metrics t.State.cluster in
+  Obs.Metrics.inc m ~by:(List.length tasks) "exec.tasks";
+  Obs.Metrics.observe m "exec.makespan_seconds" report.makespan;
+  List.iter
+    (fun (_, c) -> Obs.Metrics.observe m "exec.connections_per_statement"
+        (float_of_int c))
+    report.connections_used;
   (results, report)

@@ -225,10 +225,6 @@ let sync_shells_to_installed_nodes t =
 
 (* --- UDF implementations --- *)
 
-let text_arg = function
-  | Datum.Text s -> s
-  | d -> err "expected a table/column name, got %s" (Datum.to_display d)
-
 let do_create_distributed_table t session ~table ~column ~colocate_with =
   let inst = Engine.Instance.session_instance session in
   let catalog = Engine.Instance.catalog inst in
@@ -332,7 +328,7 @@ let planner_hook (t : t) (st : State.t) session (stmt : Ast.statement) :
       let catalog =
         Engine.Instance.catalog st.State.local.Cluster.Topology.instance
       in
-      try
+      let run () =
         match stmt with
         | Ast.Insert { table; columns; source = Ast.Query select;
                        on_conflict_do_nothing }
@@ -341,45 +337,49 @@ let planner_hook (t : t) (st : State.t) session (stmt : Ast.statement) :
             Insert_select.execute st session ~table ~columns ~select
               ~on_conflict_do_nothing
           in
-          Some result
+          result
         | _ ->
-          let result =
-            match
-              (* steer reads away from nodes whose circuit breaker is
-                 open — planning uses health, not raw reachability, which
-                 a real system cannot observe *)
-              Planner.plan ~node_ok:(State.node_available st) t.metadata
-                ~catalog
-                ~local_name:st.State.local.Cluster.Topology.node_name stmt
-            with
-            | plan, _tier -> fst (Dist_executor.execute st session plan)
-            | exception Planner.Unsupported first_error ->
-              (* last tier: the logical join-order planner for
-                 non-co-located joins *)
-              (match stmt with
-               | Ast.Select_stmt sel ->
-                 (try
-                    let result, _decision, _report =
-                      Join_order.execute st session sel
-                    in
-                    result
-                  with Join_order.Unsupported _ -> err "%s" first_error)
-               | _ -> err "%s" first_error)
-          in
-          Some result
-      with
-      | Planner.Unsupported m -> err "%s" m
-      | State.Network_error m ->
-        (* a node went away mid-statement: fail the statement cleanly so
-           the session aborts/retries like any other error *)
-        err "%s" m
-      | Cluster.Connection.Node_unavailable { node; reason } ->
-        err "node %s unavailable: %s" node reason
-      | Adaptive_executor.Txn_replica_lost node ->
-        err
-          "node %s failed holding the only replica of data this \
-           transaction wrote; aborting to preserve atomicity"
-          node
+          (match
+             (* steer reads away from nodes whose circuit breaker is
+                open — planning uses health, not raw reachability, which
+                a real system cannot observe *)
+             Planner.plan ~obs:(Cluster.Topology.obs t.cluster)
+               ~now:(Cluster.Topology.now t.cluster)
+               ~node_ok:(State.node_available st) t.metadata ~catalog
+               ~local_name:st.State.local.Cluster.Topology.node_name stmt
+           with
+           | plan, _tier -> fst (Dist_executor.execute st session plan)
+           | exception Planner.Unsupported first_error ->
+             (* last tier: the logical join-order planner for
+                non-co-located joins. The tiered planner's "plan" span
+                closed tierless when it raised, so the fallback opens its
+                own, and only counts the tier once it succeeds. *)
+             (match stmt with
+              | Ast.Select_stmt sel ->
+                (try
+                   Obs.Trace.with_span (Cluster.Topology.trace t.cluster)
+                     ~now:(Cluster.Topology.now t.cluster)
+                     ~node:st.State.local.Cluster.Topology.node_name
+                     ~kind:"plan"
+                     ~tags:[ ("tier", "join_order") ]
+                     (fun _sp ->
+                       let result, _decision, _report =
+                         Join_order.execute st session sel
+                       in
+                       Obs.Metrics.inc
+                         (Cluster.Topology.metrics t.cluster)
+                         "planner.tier.join_order";
+                       result)
+                 with Join_order.Unsupported _ -> err "%s" first_error)
+              | _ -> err "%s" first_error))
+      in
+      (* infrastructure failures arrive as typed [Exec.exec_error]s and
+         fail the statement cleanly, so the session aborts/retries like
+         on any other error *)
+      match Exec.wrap run with
+      | Ok result -> Some result
+      | Error e -> err "%s" (Exec.error_message e)
+      | exception Planner.Unsupported m -> err "%s" m
     end
 
 (* --- extension installation --- *)
@@ -421,54 +421,35 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
     Engine.Instance.add_maintenance inst (fun _ ->
         ignore (Rebalancer.repair_inactive st))
   end;
-  (* UDFs *)
-  let user_errors f =
-    (* metadata-level misuse surfaces as a clean session error *)
-    try f () with Invalid_argument m -> err "%s" m
-  in
-  Engine.Instance.register_udf inst "create_distributed_table"
-    (fun session args ->
-      user_errors (fun () ->
-          match args with
-          | [ table; column ] ->
-            do_create_distributed_table t session ~table:(text_arg table)
-              ~column:(text_arg column) ~colocate_with:None
-          | [ table; column; colo ] ->
-            do_create_distributed_table t session ~table:(text_arg table)
-              ~column:(text_arg column)
-              ~colocate_with:(Some (text_arg colo))
-          | _ -> err "create_distributed_table(table, column [, colocate_with])");
-      Datum.Null);
-  Engine.Instance.register_udf inst "create_reference_table"
-    (fun session args ->
-      user_errors (fun () ->
-          match args with
-          | [ table ] ->
-            do_create_reference_table t session ~table:(text_arg table)
-          | _ -> err "create_reference_table(table)");
-      Datum.Null);
-  Engine.Instance.register_udf inst "create_distributed_function"
-    (fun _session args ->
-      (match args with
-       | [ proc; Datum.Int pos; table ] ->
-         Hashtbl.replace t.procedures (text_arg proc) (pos, text_arg table)
-       | _ -> err "create_distributed_function(proc, arg_position, table)");
-      Datum.Null);
-  Engine.Instance.register_udf inst "isolate_tenant_to_new_shard"
-    (fun _session args ->
-      match args with
-      | [ table; value ] ->
-        (match Tenant.isolate_tenant st ~table:(text_arg table) ~value with
-         | id :: _ -> Datum.Int id
-         | [] -> Datum.Null)
-      | _ -> err "isolate_tenant_to_new_shard(table, value)");
-  Engine.Instance.register_udf inst "citus_create_restore_point"
-    (fun _session args ->
-      (match args with
-       | [ name ] -> Backup.create_restore_point st (text_arg name)
-       | _ -> err "citus_create_restore_point(name)");
-      Datum.Null);
-  Engine.Instance.register_udf inst "citus_shards" (fun _session _args ->
+  (* UDFs — all declared through the typed signature combinators in
+     {!Udf}; each usage error is rendered from the signature itself. *)
+  Udf.register inst "create_distributed_table"
+    Udf.(
+      text "table" @-> text "column" @-> text "colocate_with"
+      @?-> returning nothing)
+    (fun session table column colocate_with () ->
+      do_create_distributed_table t session ~table ~column ~colocate_with);
+  Udf.register inst "create_reference_table"
+    Udf.(text "table" @-> returning nothing)
+    (fun session table () -> do_create_reference_table t session ~table);
+  Udf.register inst "create_distributed_function"
+    Udf.(
+      text "proc" @-> int "arg_position" @-> text "table"
+      @-> returning nothing)
+    (fun _session proc pos table () ->
+      Hashtbl.replace t.procedures proc (pos, table));
+  Udf.register inst "isolate_tenant_to_new_shard"
+    Udf.(text "table" @-> value "tenant" @-> returning int_or_null)
+    (fun _session table value () ->
+      match Tenant.isolate_tenant st ~table ~value with
+      | id :: _ -> Some id
+      | [] -> None);
+  Udf.register inst "citus_create_restore_point"
+    Udf.(text "name" @-> returning nothing)
+    (fun _session name () -> Backup.create_restore_point st name);
+  Udf.register inst "citus_shards"
+    Udf.(returning rows)
+    (fun _session () ->
       (* introspection: the pg_dist metadata as a JSON document *)
       let shards =
         List.concat_map
@@ -491,8 +472,10 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
               (Metadata.shards_of t.metadata dt.Metadata.dt_name))
           (Metadata.all_tables t.metadata)
       in
-      Datum.Json (Json.Arr shards));
-  Engine.Instance.register_udf inst "citus_tables" (fun _session _args ->
+      Json.Arr shards);
+  Udf.register inst "citus_tables"
+    Udf.(returning rows)
+    (fun _session () ->
       let tables =
         List.map
           (fun (dt : Metadata.dist_table) ->
@@ -517,29 +500,31 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
               ])
           (Metadata.all_tables t.metadata)
       in
-      Datum.Json (Json.Arr tables));
-  Engine.Instance.register_udf inst "citus_explain" (fun _session args ->
-      match args with
-      | [ q ] -> Datum.Text (Explain.explain st (text_arg q))
-      | _ -> err "citus_explain(query)");
-  Engine.Instance.register_udf inst "rebalance_table_shards" (fun _session _args ->
-      let moves = Rebalancer.rebalance st in
-      Datum.Int (List.length moves));
-  Engine.Instance.register_udf inst "citus_move_shard_placement"
-    (fun _session args ->
-      (match args with
-       | [ Datum.Int shard_id; to_node ] ->
-         ignore
-           (Rebalancer.move_shard_group st ~shard_id ~to_node:(text_arg to_node))
-       | _ -> err "citus_move_shard_placement(shard_id, to_node)");
-      Datum.Null);
-  Engine.Instance.register_udf inst "citus_set_replication_factor"
-    (fun _session args ->
-      (match args with
-       | [ Datum.Int n ] when n >= 1 -> t.replication_factor <- n
-       | _ -> err "citus_set_replication_factor(factor >= 1)");
-      Datum.Null);
-  Engine.Instance.register_udf inst "citus_health_report" (fun _session _args ->
+      Json.Arr tables);
+  Udf.register inst "citus_explain"
+    Udf.(text "query" @-> text "mode" @?-> returning text_result)
+    (fun _session q mode () ->
+      match mode with
+      | None | Some "plan" -> Explain.explain st q
+      | Some "analyze" -> Explain.explain_analyze st q
+      | Some other ->
+        err "citus_explain: unknown mode '%s' (expected 'plan' or 'analyze')"
+          other);
+  Udf.register inst "rebalance_table_shards"
+    Udf.(returning int_result)
+    (fun _session () -> List.length (Rebalancer.rebalance st));
+  Udf.register inst "citus_move_shard_placement"
+    Udf.(int "shard_id" @-> text "to_node" @-> returning nothing)
+    (fun _session shard_id to_node () ->
+      ignore (Rebalancer.move_shard_group st ~shard_id ~to_node));
+  Udf.register inst "citus_set_replication_factor"
+    Udf.(int "factor" @-> returning nothing)
+    (fun _session n () ->
+      if n < 1 then err "replication factor must be >= 1";
+      t.replication_factor <- n);
+  Udf.register inst "citus_health_report"
+    Udf.(returning rows)
+    (fun _session () ->
       let nodes =
         List.map
           (fun (r : Health.node_report) ->
@@ -566,18 +551,16 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
               ])
           (Metadata.inactive_placements t.metadata)
       in
-      Datum.Json
-        (Json.Obj
-           [
-             ("nodes", Json.Arr nodes);
-             ("inactive_placements", Json.Arr inactive);
-           ]));
-  Engine.Instance.register_udf inst "citus_add_node" (fun _session args ->
-      (match args with
-       | [ name ] ->
-         let name = text_arg name in
-         ignore (Cluster.Topology.find_node t.cluster name);
-         if not (List.mem name t.active_data_nodes) then begin
+      Json.Obj
+        [
+          ("nodes", Json.Arr nodes);
+          ("inactive_placements", Json.Arr inactive);
+        ]);
+  Udf.register inst "citus_add_node"
+    Udf.(text "name" @-> returning nothing)
+    (fun _session name () ->
+      ignore (Cluster.Topology.find_node t.cluster name);
+      if not (List.mem name t.active_data_nodes) then begin
            t.active_data_nodes <- t.active_data_nodes @ [ name ];
            (* replicate reference tables to the new node *)
            List.iter
@@ -623,9 +606,76 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
                    ~shard_id:shard.Metadata.shard_id ~node:name
                end)
              (Metadata.all_tables t.metadata)
-         end
-       | _ -> err "citus_add_node(name)");
-      Datum.Null)
+      end);
+  (* observability surface *)
+  Udf.register inst "citus_set_tracing"
+    Udf.(text "mode" @-> returning nothing)
+    (fun _session mode () ->
+      match mode with
+      | "on" -> Obs.Trace.set_enabled (Cluster.Topology.trace t.cluster) true
+      | "off" -> Obs.Trace.set_enabled (Cluster.Topology.trace t.cluster) false
+      | other -> err "citus_set_tracing: unknown mode '%s' (expected 'on' or 'off')" other);
+  Udf.register inst "citus_stat_activity"
+    Udf.(returning rows)
+    (fun _session () ->
+      (* what the cluster is doing right now: the open spans, outermost
+         first (includes the statement span of this very call when
+         tracing is on) *)
+      let trace = Cluster.Topology.trace t.cluster in
+      let spans =
+        List.map
+          (fun (sp : Obs.Trace.span) ->
+            Json.Obj
+              [
+                ("id", Json.Num (float_of_int sp.Obs.Trace.id));
+                ("kind", Json.Str sp.Obs.Trace.kind);
+                ("node", Json.Str sp.Obs.Trace.node);
+                ("start", Json.Num sp.Obs.Trace.start);
+                ( "tags",
+                  Json.Obj
+                    (List.map
+                       (fun (k, v) -> (k, Json.Str v))
+                       (List.sort compare sp.Obs.Trace.tags)) );
+              ])
+          (Obs.Trace.open_spans trace)
+      in
+      Json.Obj
+        [
+          ("tracing_enabled", Json.Bool (Obs.Trace.enabled trace));
+          ("spans_started", Json.Num (float_of_int (Obs.Trace.started trace)));
+          ("spans_finished", Json.Num (float_of_int (Obs.Trace.finished trace)));
+          ("active", Json.Arr spans);
+        ]);
+  Udf.register inst "citus_stat_counters"
+    Udf.(returning rows)
+    (fun _session () ->
+      let snap = Obs.Metrics.snapshot (Cluster.Topology.metrics t.cluster) in
+      Json.Obj
+        [
+          ( "counters",
+            Json.Obj
+              (List.map
+                 (fun (k, v) -> (k, Json.Num (float_of_int v)))
+                 snap.Obs.Metrics.s_counters) );
+          ( "gauges",
+            Json.Obj
+              (List.map (fun (k, v) -> (k, Json.Num v)) snap.Obs.Metrics.s_gauges)
+          );
+          ( "histograms",
+            Json.Obj
+              (List.map
+                 (fun (k, (h : Obs.Metrics.hist_summary)) ->
+                   ( k,
+                     Json.Obj
+                       [
+                         ("count", Json.Num (float_of_int h.Obs.Metrics.count));
+                         ("sum", Json.Num h.Obs.Metrics.sum);
+                         ("p50", Json.Num h.Obs.Metrics.p50);
+                         ("p95", Json.Num h.Obs.Metrics.p95);
+                         ("max", Json.Num h.Obs.Metrics.max);
+                       ] ))
+                 snap.Obs.Metrics.s_histograms) );
+        ])
 
 let install ?(shard_count = 32) ?active_workers cluster =
   let metadata = Metadata.create ~shard_count () in

@@ -76,10 +76,19 @@ let cancel (t : State.t) victim =
     if Txn.Manager.is_active mgr coord_xid then Txn.Manager.abort mgr coord_xid
 
 let detect_and_cancel (t : State.t) =
+  let metrics = Cluster.Topology.metrics t.State.cluster in
+  Obs.Metrics.inc metrics "deadlock.rounds";
+  Obs.Trace.with_span
+    (Cluster.Topology.trace t.State.cluster)
+    ~now:(Cluster.Topology.now t.State.cluster)
+    ~node:t.State.local.Cluster.Topology.node_name ~kind:"deadlock.round"
+  @@ fun sp ->
   let edges = gather_edges t in
+  Obs.Trace.add_tag sp "edges" (string_of_int (List.length edges));
   match find_cycle edges with
   | None -> None
   | Some cycle ->
+    Obs.Metrics.inc metrics "deadlock.cycles_found";
     let dist_members =
       List.filter_map
         (function Dist_txn (n, x) -> Some (Dist_txn (n, x), x) | Local_txn _ -> None)
@@ -95,4 +104,6 @@ let detect_and_cancel (t : State.t) =
            first rest
        in
        cancel t victim;
+       Obs.Metrics.inc metrics "deadlock.cancelled";
+       Obs.Trace.add_tag sp "victim" (vertex_to_string victim);
        Some victim)

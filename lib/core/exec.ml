@@ -1,0 +1,59 @@
+(* The one documented execution boundary.
+
+   Three overlapping entry points grew up under this layer:
+   [State.exec_on] (breaker-feeding, partition-aware), raw
+   [Cluster.Connection.exec] (no health accounting) and the
+   [Adaptive_executor]/[Dist_executor] runners — each reporting
+   infrastructure failures as a different exception. Callers above the
+   Citus layer should come through here instead: every function returns
+   [Ok _ | Error of exec_error] with the failure cause as a structured
+   variant, never an infrastructure exception.
+
+   Deliberately NOT mapped to [Error]:
+   - [Engine.Executor.Would_block] — a retryable lock-wait signal, part
+     of normal control flow (see [Api.exec_with_retries]);
+   - [Engine.Instance.Session_error] — a statement-level error that must
+     abort the enclosing transaction through the engine's own path. *)
+
+type exec_error =
+  | Node_unavailable of { node : string; reason : string }
+      (* fault-injection layer rejected the round trip *)
+  | Network_error of string
+      (* partition or crash observed mid-statement *)
+  | Txn_replica_lost of string
+      (* sole replica of in-transaction writes is gone; must abort *)
+  | Catalog_error of string
+      (* no active placement / unknown shard *)
+
+let error_message = function
+  | Node_unavailable { node; reason } ->
+    Printf.sprintf "node %s unavailable: %s" node reason
+  | Network_error m -> m
+  | Txn_replica_lost node ->
+    Printf.sprintf
+      "node %s failed holding the only replica of data this transaction \
+       wrote; aborting to preserve atomicity"
+      node
+  | Catalog_error m -> m
+
+let wrap f =
+  match f () with
+  | v -> Ok v
+  | exception Cluster.Connection.Node_unavailable { node; reason } ->
+    Error (Node_unavailable { node; reason })
+  | exception State.Network_error m -> Error (Network_error m)
+  | exception Adaptive_executor.Txn_replica_lost node ->
+    Error (Txn_replica_lost node)
+  | exception Metadata.Catalog_error m -> Error (Catalog_error m)
+
+let on_conn st conn sql = wrap (fun () -> State.exec_on st conn sql)
+
+let ast_on_conn st conn stmt = wrap (fun () -> State.exec_ast_on st conn stmt)
+
+let raw_on_conn conn sql = wrap (fun () -> Cluster.Connection.exec conn sql)
+
+let run_tasks st session tasks =
+  wrap (fun () -> Adaptive_executor.execute st session tasks)
+
+let run_plan st session plan =
+  wrap (fun () -> Dist_executor.execute st session plan)

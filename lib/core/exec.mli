@@ -1,0 +1,67 @@
+(** Unified typed execution boundary.
+
+    The historical entry points — {!State.exec_on} (breaker-feeding),
+    raw {!Cluster.Connection.exec} (no health accounting) and the
+    {!Adaptive_executor}/{!Dist_executor} runners — each surface
+    infrastructure failures as a different exception. This module is the
+    one documented boundary: every function returns
+    [Ok result | Error of exec_error] with the cause as a structured
+    variant. The old names remain as the (deprecated) exception-raising
+    internals; new call sites should come through here.
+
+    Two exceptions intentionally still propagate, because they are
+    control flow rather than infrastructure failures:
+    {!Engine.Executor.Would_block} (retryable lock wait) and
+    [Engine.Instance.Session_error] (statement error that must abort the
+    transaction through the engine's own path). *)
+
+type exec_error =
+  | Node_unavailable of { node : string; reason : string }
+      (** the fault-injection layer rejected the round trip *)
+  | Network_error of string
+      (** partition or crash observed mid-statement *)
+  | Txn_replica_lost of string
+      (** the sole replica of in-transaction writes is gone; abort *)
+  | Catalog_error of string  (** no active placement / unknown shard *)
+
+(** Human-readable rendering, used for session error messages. *)
+val error_message : exec_error -> string
+
+(** Run any thunk, mapping the four infrastructure exceptions to
+    [Error]. Building block for the wrappers below. *)
+val wrap : (unit -> 'a) -> ('a, exec_error) result
+
+(** {!State.exec_on} with a typed result: simulates the network and
+    feeds the node's circuit breaker. *)
+val on_conn :
+  State.t ->
+  Cluster.Connection.t ->
+  string ->
+  (Engine.Instance.result, exec_error) result
+
+val ast_on_conn :
+  State.t ->
+  Cluster.Connection.t ->
+  Sqlfront.Ast.statement ->
+  (Engine.Instance.result, exec_error) result
+
+(** Raw {!Cluster.Connection.exec} (no breaker accounting) with a typed
+    result. Prefer {!on_conn} when a {!State.t} is at hand. *)
+val raw_on_conn :
+  Cluster.Connection.t ->
+  string ->
+  (Engine.Instance.result, exec_error) result
+
+(** {!Adaptive_executor.execute} with a typed result. *)
+val run_tasks :
+  State.t ->
+  Engine.Instance.session ->
+  Plan.task list ->
+  (Engine.Instance.result list * Adaptive_executor.report, exec_error) result
+
+(** {!Dist_executor.execute} with a typed result. *)
+val run_plan :
+  State.t ->
+  Engine.Instance.session ->
+  Plan.t ->
+  (Engine.Instance.result * Adaptive_executor.report, exec_error) result

@@ -80,3 +80,24 @@ let explain (t : State.t) sql =
           with Join_order.Unsupported m2 ->
             Printf.sprintf "Unsupported for distributed execution: %s" m2)
        | _ -> Printf.sprintf "Unsupported for distributed execution: %s" m)
+
+(* EXPLAIN ANALYZE: actually run the query on a fresh session with
+   tracing forced on, then render the span subtree it produced. The
+   previous sink state is restored even if execution raises; the [mark]
+   scopes the tree to exactly this query's spans, so the output is
+   bit-identical across same-seed runs. *)
+let explain_analyze (st : State.t) sql =
+  let trace = Cluster.Topology.trace st.State.cluster in
+  let was = Obs.Trace.enabled trace in
+  Obs.Trace.set_enabled trace true;
+  let mark = Obs.Trace.mark trace in
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.set_enabled trace was)
+    (fun () ->
+      let session =
+        Engine.Instance.connect st.State.local.Cluster.Topology.instance
+      in
+      ignore (Engine.Instance.exec session sql));
+  match Obs.Trace.render_tree (Obs.Trace.spans_since trace mark) with
+  | [] -> "no spans recorded"
+  | lines -> String.concat "\n" lines

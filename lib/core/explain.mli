@@ -9,3 +9,10 @@
     distributed plan. Falls back to describing join-order handling or
     local execution. *)
 val explain : State.t -> string -> string
+
+(** [explain_analyze state sql] executes the query on a fresh session
+    with span tracing forced on and renders the resulting span tree —
+    planner tier, per-fragment placement and virtual-clock timings.
+    The sink's previous enabled state is restored afterwards, even if
+    execution raises. Backs [citus_explain(query, 'analyze')]. *)
+val explain_analyze : State.t -> string -> string

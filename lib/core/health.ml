@@ -19,20 +19,40 @@ type node_stats = {
 type t = {
   clock : Sim.Clock.t;
   nodes : (string, node_stats) Hashtbl.t;
+  metrics : Obs.Metrics.t option;
   mutable failure_threshold : int;
   mutable base_backoff : float;
   mutable max_backoff : float;
 }
 
 let create ?(failure_threshold = 3) ?(base_backoff = 1.0) ?(max_backoff = 30.0)
-    ~clock () =
+    ?metrics ~clock () =
   {
     clock;
     nodes = Hashtbl.create 8;
+    metrics;
     failure_threshold;
     base_backoff;
     max_backoff;
   }
+
+(* Breaker transition accounting: counters per edge of the state
+   machine, plus a gauge of currently-tripped breakers (Half_open still
+   counts as tripped — only a successful probe closes it). The chaos
+   invariants check the gauge returns to zero and never goes negative. *)
+let note_transition t ~from_ ~to_ =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+    if from_ <> to_ then begin
+      Obs.Metrics.inc m
+        (Printf.sprintf "breaker.%s_to_%s" (breaker_name from_)
+           (breaker_name to_));
+      (match from_, to_ with
+       | Closed, (Open | Half_open) -> Obs.Metrics.gauge_add m "breaker.tripped" 1.0
+       | (Open | Half_open), Closed -> Obs.Metrics.gauge_add m "breaker.tripped" (-1.0)
+       | _ -> ())
+    end
 
 let stats t node =
   match Hashtbl.find_opt t.nodes node with
@@ -60,7 +80,8 @@ let breaker_state t node =
   let s = stats t node in
   (match s.breaker with
    | Open when Sim.Clock.now t.clock -. s.opened_at >= s.backoff ->
-     s.breaker <- Half_open
+     s.breaker <- Half_open;
+     note_transition t ~from_:Open ~to_:Half_open
    | _ -> ());
   s.breaker
 
@@ -68,6 +89,7 @@ let record_success t node =
   let s = stats t node in
   s.successes <- s.successes + 1;
   s.consecutive_failures <- 0;
+  note_transition t ~from_:s.breaker ~to_:Closed;
   s.breaker <- Closed;
   s.backoff <- t.base_backoff
 
@@ -80,10 +102,12 @@ let record_failure t node =
     (* the probe failed: re-open with a doubled backoff *)
     s.breaker <- Open;
     s.opened_at <- Sim.Clock.now t.clock;
-    s.backoff <- Float.min t.max_backoff (s.backoff *. 2.0)
+    s.backoff <- Float.min t.max_backoff (s.backoff *. 2.0);
+    note_transition t ~from_:Half_open ~to_:Open
   | Closed when s.consecutive_failures >= t.failure_threshold ->
     s.breaker <- Open;
-    s.opened_at <- Sim.Clock.now t.clock
+    s.opened_at <- Sim.Clock.now t.clock;
+    note_transition t ~from_:Closed ~to_:Open
   | _ -> ()
 
 let record_failed_commit t node =

@@ -34,6 +34,10 @@ type node_stats = {
 type t = {
   clock : Sim.Clock.t;
   nodes : (string, node_stats) Hashtbl.t;
+  metrics : Obs.Metrics.t option;
+      (** when present, breaker transitions count into the registry
+          ([breaker.<from>_to_<to>]) and [breaker.tripped] gauges the
+          currently-open breakers *)
   mutable failure_threshold : int;
       (** consecutive failures that trip the breaker *)
   mutable base_backoff : float;  (** seconds *)
@@ -44,6 +48,7 @@ val create :
   ?failure_threshold:int ->
   ?base_backoff:float ->
   ?max_backoff:float ->
+  ?metrics:Obs.Metrics.t ->
   clock:Sim.Clock.t ->
   unit ->
   t

@@ -13,6 +13,15 @@ let tier_name = function
   | Tier_dml -> "parallel DML"
   | Tier_reference -> "reference write"
 
+(* metric/tag-safe identifier; the join-order fallback in Api uses
+   "join_order" in the same namespace *)
+let tier_slug = function
+  | Tier_fast_path -> "fast_path"
+  | Tier_router -> "router"
+  | Tier_pushdown -> "pushdown"
+  | Tier_dml -> "dml"
+  | Tier_reference -> "reference"
+
 (* --- discovery: citus tables and aliases --- *)
 
 let rec tables_in_from_item acc = function
@@ -1078,7 +1087,7 @@ let plan_multi_shard_dml meta stmt table =
 
 (* --- entry point --- *)
 
-let plan ?node_ok meta ~catalog ~local_name stmt : Plan.t * tier =
+let plan_untraced ?node_ok meta ~catalog ~local_name stmt : Plan.t * tier =
   match try_fast_path ?node_ok meta stmt with
   | Some task -> (Plan.Fast_path task, Tier_fast_path)
   | None ->
@@ -1104,3 +1113,21 @@ let plan ?node_ok meta ~catalog ~local_name stmt : Plan.t * tier =
         | Ast.Delete { table; _ } -> plan_multi_shard_dml meta stmt table
         | _ ->
           unsupported "statement cannot be planned by the distributed planner"))
+
+(* The tier chosen is the planner's key observable: counted always
+   (planner.tier.<name>), and recorded as a "plan" span when tracing.
+   [now] supplies the virtual clock (the planner itself has no topology
+   reference); both default off for callers outside a cluster. *)
+let plan ?obs ?now ?node_ok meta ~catalog ~local_name stmt : Plan.t * tier =
+  match (obs : Obs.t option) with
+  | None -> plan_untraced ?node_ok meta ~catalog ~local_name stmt
+  | Some o ->
+    let now = match now with Some f -> f | None -> fun () -> 0.0 in
+    Obs.Trace.with_span o.Obs.trace ~now ~node:local_name ~kind:"plan"
+      (fun sp ->
+        let ((_, tier) as planned) =
+          plan_untraced ?node_ok meta ~catalog ~local_name stmt
+        in
+        Obs.Metrics.inc o.Obs.metrics ("planner.tier." ^ tier_slug tier);
+        Obs.Trace.add_tag sp "tier" (tier_slug tier);
+        planned)

@@ -26,14 +26,26 @@ type tier = Tier_fast_path | Tier_router | Tier_pushdown | Tier_dml | Tier_refer
 
 val tier_name : tier -> string
 
+(** Metric/tag-safe identifier ([fast_path], [router], [pushdown],
+    [dml], [reference]); the [planner.tier.<slug>] counter namespace
+    also holds [join_order], counted by the {!Api} fallback. *)
+val tier_slug : tier -> string
+
 (** [plan meta ~catalog ~local_name stmt] produces a distributed plan.
     [catalog] is the local node's catalog (used to expand [*] projections
     from the schema of the converted local table); [local_name] is the node
     running the planner (reference-table reads route there). [node_ok]
     steers placement choice for reads away from unhealthy nodes (circuit
     breaker open); the first active placement is used when every candidate
-    fails the predicate. Raises {!Unsupported} when no tier applies. *)
+    fails the predicate. Raises {!Unsupported} when no tier applies.
+
+    When [obs] is given the chosen tier is counted
+    ([planner.tier.<name>]) and, with tracing enabled, planning runs
+    inside a ["plan"] span tagged with the tier; [now] supplies the
+    virtual clock for span timestamps (defaults to a constant 0). *)
 val plan :
+  ?obs:Obs.t ->
+  ?now:(unit -> float) ->
   ?node_ok:(string -> bool) ->
   Metadata.t ->
   catalog:Engine.Catalog.t ->

@@ -211,6 +211,21 @@ let move_one (t : State.t) (shard : Metadata.shard) ~from_node ~to_node =
       Metadata.update_placement t.State.metadata
         ~shard_id:shard.Metadata.shard_id ~from_node ~to_node)
 
+(* A move destination must not already hold a placement of any shard in
+   the colocation group. copy_shard_to treats a pre-existing destination
+   table as a stale repair artifact and drops it before copying — if
+   that table were a live replica, a move aborted at the cutover lock
+   (Move_blocked) would leave an Active placement with no backing table.
+   The metadata flip would also file two placements under one node. Real
+   Citus rejects such moves the same way. *)
+let group_placeable (t : State.t) (shard : Metadata.shard) ~to_node =
+  List.for_all
+    (fun (s : Metadata.shard) ->
+      Metadata.placement_state_of t.State.metadata
+        ~shard_id:s.Metadata.shard_id ~node:to_node
+      = None)
+    (Metadata.colocated_shards t.State.metadata shard)
+
 let move_shard_group (t : State.t) ~shard_id ~to_node =
   let meta = t.State.metadata in
   let shard =
@@ -231,6 +246,21 @@ let move_shard_group (t : State.t) ~shard_id ~to_node =
   if String.equal from_node to_node then
     { moved_shards = []; from_node; to_node; rows_copied = 0; catchup_records = 0 }
   else begin
+    if not (group_placeable t shard ~to_node) then
+      err "shard %d already has a placement on %s" shard_id to_node;
+    let m = Cluster.Topology.metrics t.State.cluster in
+    Obs.Metrics.inc m "rebalance.moves_started";
+    Obs.Trace.with_span
+      (Cluster.Topology.trace t.State.cluster)
+      ~now:(Cluster.Topology.now t.State.cluster)
+      ~node:t.State.local.Cluster.Topology.node_name ~kind:"rebalance.move"
+      ~tags:
+        [
+          ("shard", string_of_int shard_id);
+          ("from", from_node);
+          ("to", to_node);
+        ]
+    @@ fun sp ->
     let group = Metadata.colocated_shards meta shard in
     let rows = ref 0 and catchup = ref 0 in
     List.iter
@@ -239,6 +269,10 @@ let move_shard_group (t : State.t) ~shard_id ~to_node =
         rows := !rows + r;
         catchup := !catchup + c)
       group;
+    Obs.Metrics.inc m "rebalance.moves_completed";
+    Obs.Metrics.inc m ~by:!rows "rebalance.rows_copied";
+    Obs.Metrics.inc m ~by:!catchup "rebalance.catchup_records";
+    Obs.Trace.add_tag sp "rows_copied" (string_of_int !rows);
     {
       moved_shards = List.map (fun (s : Metadata.shard) -> s.Metadata.shard_id) group;
       from_node;
@@ -281,8 +315,15 @@ let repair_inactive (t : State.t) =
       if State.reachable t node then
         match repair_placement t ~shard_id:shard.Metadata.shard_id ~node with
         | _ -> incr repaired
-        | exception _ -> ())
+        | exception _ ->
+          Obs.Metrics.inc
+            (Cluster.Topology.metrics t.State.cluster)
+            "rebalance.repairs_failed")
     (Metadata.inactive_placements t.State.metadata);
+  if !repaired > 0 then
+    Obs.Metrics.inc
+      (Cluster.Topology.metrics t.State.cluster)
+      ~by:!repaired "rebalance.placements_repaired";
   !repaired
 
 let distribution (t : State.t) =
@@ -343,7 +384,12 @@ let rebalance ?(policy = By_shard_count) (t : State.t) =
           Int.compare a.Metadata.index_in_colocation b.Metadata.index_in_colocation)
         candidates
     in
-    match group_heads with
+    (* with replication > 1 the idlest node may already hold a replica
+       of a candidate group; those groups cannot move there *)
+    let movable =
+      List.filter (fun s -> group_placeable t s ~to_node:idlest) group_heads
+    in
+    match movable with
     | head :: _ when bc -. ic > 1.0 && not (String.equal busiest idlest) ->
       let m = move_shard_group t ~shard_id:head.Metadata.shard_id ~to_node:idlest in
       moves := m :: !moves

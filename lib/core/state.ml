@@ -45,7 +45,10 @@ let create ~cluster ~metadata ~local ~registry ~coordinator_id =
     metadata;
     local;
     config = default_config ();
-    health = Health.create ~clock:cluster.Cluster.Topology.clock ();
+    health =
+      Health.create
+        ~metrics:(Cluster.Topology.metrics cluster)
+        ~clock:cluster.Cluster.Topology.clock ();
     sessions = Hashtbl.create 64;
     shared_counters = Hashtbl.create 8;
     registry;

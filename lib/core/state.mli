@@ -86,7 +86,12 @@ val pool_of : session_state -> string -> Cluster.Connection.t list
     {!Network_error} if the target node is partitioned away, and lets
     {!Cluster.Connection.Node_unavailable} from the fault-injection layer
     through unchanged. Every infrastructure-fault outcome feeds the
-    node's circuit breaker in {!field-health}; statement errors do not. *)
+    node's circuit breaker in {!field-health}; statement errors do not.
+
+    Deprecated as a public boundary: new call sites should use
+    {!Exec.on_conn}, which returns the failure cause as a typed
+    [exec_error] instead of raising. This raising form remains as the
+    internal implementation. *)
 val exec_on : t -> Cluster.Connection.t -> string -> Engine.Instance.result
 
 val exec_ast_on :

@@ -1,5 +1,15 @@
 let commit_records_table = "pg_dist_transaction"
 
+let metrics (t : State.t) = Cluster.Topology.metrics t.State.cluster
+
+(* All 2PC spans carry the coordinator's node name: phases run there,
+   fanning out over connections whose statements trace on the workers. *)
+let span (t : State.t) ~kind ?tags f =
+  Obs.Trace.with_span
+    (Cluster.Topology.trace t.State.cluster)
+    ~now:(Cluster.Topology.now t.State.cluster)
+    ~node:t.State.local.Cluster.Topology.node_name ~kind ?tags f
+
 let admin_session (t : State.t) =
   Engine.Instance.connect t.State.local.Cluster.Topology.instance
 
@@ -143,6 +153,7 @@ let pre_commit (t : State.t) coord_session =
   | [] -> ()
   | [ conn ] ->
     (* single-node transaction: delegate the commit (§3.7.1) *)
+    Obs.Metrics.inc (metrics t) "twopc.delegated_commits";
     ignore (State.exec_on t conn "COMMIT")
   | conns ->
     (* two-phase commit (§3.7.2) *)
@@ -151,16 +162,22 @@ let pre_commit (t : State.t) coord_session =
       | Some x -> x
       | None -> invalid_arg "pre_commit outside a transaction"
     in
+    Obs.Metrics.inc (metrics t) "twopc.started";
     let prepared = ref [] in
     (try
-       List.iter
-         (fun conn ->
-           let gid = State.fresh_gid t ~coord_xid in
-           ignore
-             (State.exec_ast_on t conn (Sqlfront.Ast.Prepare_transaction gid));
-           prepared := (conn, gid) :: !prepared)
-         conns
+       span t ~kind:"2pc.prepare"
+         ~tags:[ ("participants", string_of_int (List.length conns)) ]
+         (fun _sp ->
+           List.iter
+             (fun conn ->
+               let gid = State.fresh_gid t ~coord_xid in
+               ignore
+                 (State.exec_ast_on t conn
+                    (Sqlfront.Ast.Prepare_transaction gid));
+               prepared := (conn, gid) :: !prepared)
+             conns)
      with e ->
+       Obs.Metrics.inc (metrics t) "twopc.prepare_failed";
        (* a prepare failed: roll back everything and abort the coordinator.
           Cleanup is best effort — the node may be the one that just
           failed — but swallowed errors are counted, never invisible. *)
@@ -186,23 +203,33 @@ let pre_commit (t : State.t) coord_session =
 
 let post_commit (t : State.t) coord_session =
   let st = State.session_state t coord_session in
-  List.iter
-    (fun (conn, gid) ->
-      (* best effort; failures are handled by recovery. Commit records are
-         cleaned up lazily by the maintenance daemon, off the hot path. *)
-      match
-        State.exec_ast_on t conn (Sqlfront.Ast.Commit_prepared gid)
-      with
-      | _ -> ()
-      | exception _ ->
-        (* count it: tests and monitoring can assert recovery later
-           resolved exactly these *)
-        Health.record_failed_commit t.State.health (node_name conn))
-    st.State.prepared;
+  (match st.State.prepared with
+   | [] -> ()
+   | prepared ->
+     span t ~kind:"2pc.commit"
+       ~tags:[ ("participants", string_of_int (List.length prepared)) ]
+       (fun _sp ->
+         List.iter
+           (fun (conn, gid) ->
+             (* best effort; failures are handled by recovery. Commit
+                records are cleaned up lazily by the maintenance daemon,
+                off the hot path. *)
+             match
+               State.exec_ast_on t conn (Sqlfront.Ast.Commit_prepared gid)
+             with
+             | _ -> Obs.Metrics.inc (metrics t) "twopc.committed"
+             | exception _ ->
+               (* count it: tests and monitoring can assert recovery later
+                  resolved exactly these *)
+               Obs.Metrics.inc (metrics t) "twopc.commit_deferred";
+               Health.record_failed_commit t.State.health (node_name conn))
+           prepared));
   cleanup_session_txn_state t st
 
 let on_abort (t : State.t) coord_session =
   let st = State.session_state t coord_session in
+  if st.State.txn_conns <> [] then
+    Obs.Metrics.inc (metrics t) "twopc.aborted";
   List.iter
     (fun conn ->
       match List.assq_opt conn st.State.prepared with
@@ -277,6 +304,7 @@ let gc_resolved_records (t : State.t) =
    connections, so an injected fault can kill any step — every step is
    therefore idempotent and simply retried by the next pass. *)
 let recover (t : State.t) =
+  span t ~kind:"2pc.recover" @@ fun recover_sp ->
   let committed = ref 0 and rolled_back = ref 0 in
   let local_mgr =
     Engine.Instance.txn_manager t.State.local.Cluster.Topology.instance
@@ -335,4 +363,11 @@ let recover (t : State.t) =
       end)
     (Cluster.Topology.all_nodes t.State.cluster);
   gc_resolved_records t;
+  Obs.Metrics.inc (metrics t) "twopc.recover_passes";
+  if !committed > 0 then
+    Obs.Metrics.inc (metrics t) ~by:!committed "twopc.recover_committed";
+  if !rolled_back > 0 then
+    Obs.Metrics.inc (metrics t) ~by:!rolled_back "twopc.recover_rolled_back";
+  Obs.Trace.add_tag recover_sp "committed" (string_of_int !committed);
+  Obs.Trace.add_tag recover_sp "rolled_back" (string_of_int !rolled_back);
   (!committed, !rolled_back)

@@ -1,0 +1,117 @@
+(* Typed signature combinators for citus_* UDFs.
+
+   Every UDF used to be registered as [Datum.t list -> Datum.t] with its
+   own ad-hoc [match args] block and hand-rolled error string. A
+   signature built from these combinators does the arity and type
+   checking once, applies the (now fully typed) implementation, and — on
+   any mismatch — raises the one uniform error rendered from the
+   signature itself, e.g.
+
+     ERROR: citus_move_shard_placement(shard_id int, to_node text)
+
+   so the message can never drift from the actual signature. *)
+
+type 'a arg = {
+  aname : string;
+  aty : string;
+  decode : Datum.t -> 'a option;
+}
+
+let int aname =
+  { aname; aty = "int"; decode = (function Datum.Int n -> Some n | _ -> None) }
+
+let text aname =
+  {
+    aname;
+    aty = "text";
+    decode = (function Datum.Text s -> Some s | _ -> None);
+  }
+
+(* any datum: distribution-column values keep their engine type *)
+let value aname = { aname; aty = "value"; decode = (fun d -> Some d) }
+
+type _ ret =
+  | Unit : unit ret
+  | Int_result : int ret
+  | Int_or_null : int option ret
+  | Text_result : string ret
+  | Rows : Json.t ret
+
+let nothing = Unit
+let int_result = Int_result
+let int_or_null = Int_or_null
+let text_result = Text_result
+let rows = Rows
+
+(* [Returning] closes the spec with [unit -> 'r], not ['r]: partial
+   application of a curried implementation is effect-free, so delaying
+   the final [()] until the whole argument list has validated means a
+   usage error can never half-run a UDF (e.g. a zero-argument
+   rebalance called with spurious arguments). *)
+type _ spec =
+  | Returning : 'r ret -> (unit -> 'r) spec
+  | Required : 'a arg * 'b spec -> ('a -> 'b) spec
+  | Optional : 'a arg * 'b spec -> ('a option -> 'b) spec
+
+let returning r = Returning r
+let ( @-> ) a s = Required (a, s)
+let ( @?-> ) a s = Optional (a, s)
+
+let signature name spec =
+  let rec go : type f. f spec -> string list * string list = function
+    | Returning _ -> ([], [])
+    | Required (a, rest) ->
+      let req, opt = go rest in
+      ((a.aname ^ " " ^ a.aty) :: req, opt)
+    | Optional (a, rest) ->
+      let req, opt = go rest in
+      (req, (a.aname ^ " " ^ a.aty) :: opt)
+  in
+  let req, opt = go spec in
+  let opt_str = String.concat "" (List.map (fun o -> " [, " ^ o ^ "]") opt) in
+  Printf.sprintf "%s(%s%s)" name (String.concat ", " req) opt_str
+
+let encode : type r. r ret -> r -> Datum.t =
+ fun ret v ->
+  match ret with
+  | Unit -> Datum.Null
+  | Int_result -> Datum.Int v
+  | Int_or_null -> (
+    match v with Some n -> Datum.Int n | None -> Datum.Null)
+  | Text_result -> Datum.Text v
+  | Rows -> Datum.Json v
+
+(* The payload is the bare signature: clients prepend "ERROR: " when
+   printing a Session_error, exactly as psql does. *)
+let usage_error name spec =
+  raise (Engine.Instance.Session_error (signature name spec))
+
+(* Walk the spec and the argument list together, consuming one datum per
+   parameter; [f] accumulates the partial application. Trailing optional
+   parameters absorb an absent argument as [None]. Anything else —
+   wrong arity, wrong type — is the one uniform usage error. *)
+let apply name spec impl args =
+  let rec go : type f. f spec -> f -> Datum.t list -> Datum.t =
+   fun s f rest ->
+    match (s, rest) with
+    | Returning r, [] -> encode r (f ())
+    | Returning _, _ :: _ -> usage_error name spec
+    | Required (a, s'), d :: rest' -> (
+      match a.decode d with
+      | Some v -> go s' (f v) rest'
+      | None -> usage_error name spec)
+    | Required _, [] -> usage_error name spec
+    | Optional (a, s'), d :: rest' -> (
+      match a.decode d with
+      | Some v -> go s' (f (Some v)) rest'
+      | None -> usage_error name spec)
+    | Optional (_, s'), [] -> go s' (f None) []
+  in
+  go spec impl args
+
+let register inst name spec impl =
+  Engine.Instance.register_udf inst name (fun session args ->
+      (* metadata-level misuse surfaces as a clean session error *)
+      try apply name spec (impl session) args
+      with Invalid_argument m ->
+        raise (Engine.Instance.Session_error m))

@@ -1,0 +1,73 @@
+(** Typed signature combinators for the [citus_*] UDF surface.
+
+    A UDF is declared with a signature instead of a hand-written
+    [match args] block:
+
+    {[
+      Udf.(register inst "citus_move_shard_placement"
+             (int "shard_id" @-> text "to_node" @-> returning nothing)
+             (fun session shard_id to_node () -> ...))
+    ]}
+
+    The combinator arity- and type-checks the datum arguments, passes
+    decoded OCaml values to the implementation, encodes the typed return
+    value back to a datum, and renders the one uniform usage error
+    ([ERROR: citus_fn(sig)]) from the signature itself on any mismatch —
+    the error text can never drift from the declared signature.
+
+    Implementations take a final [unit] argument, applied only after the
+    whole argument list has validated: a usage error never half-runs a
+    UDF. *)
+
+(** A named, typed parameter. *)
+type 'a arg
+
+val int : string -> int arg
+val text : string -> string arg
+
+(** Accepts any datum unchanged (distribution-column values). *)
+val value : string -> Datum.t arg
+
+(** Typed return value, encoded back to a datum. *)
+type _ ret
+
+val nothing : unit ret
+val int_result : int ret
+
+(** [Some n] encodes as an int, [None] as SQL NULL. *)
+val int_or_null : int option ret
+
+val text_result : string ret
+
+(** A JSON document (introspection views). *)
+val rows : Json.t ret
+
+(** A full signature: zero or more parameters then a return type. *)
+type _ spec
+
+val returning : 'r ret -> (unit -> 'r) spec
+
+(** Required parameter. *)
+val ( @-> ) : 'a arg -> 'b spec -> ('a -> 'b) spec
+
+(** Trailing optional parameter: decodes to [None] when absent. *)
+val ( @?-> ) : 'a arg -> 'b spec -> ('a option -> 'b) spec
+
+(** [signature name spec] renders ["name(a int, b text [, c text])"] —
+    the text used in usage errors. *)
+val signature : string -> 'f spec -> string
+
+(** Type-check [args] against [spec] and run the implementation.
+    Raises [Engine.Instance.Session_error] with the uniform usage
+    message on arity or type mismatch. Exposed for tests. *)
+val apply : string -> 'f spec -> 'f -> Datum.t list -> Datum.t
+
+(** Register a typed UDF on an engine instance. [Invalid_argument] from
+    the implementation (metadata-level misuse) is re-raised as a clean
+    session error. *)
+val register :
+  Engine.Instance.t ->
+  string ->
+  'f spec ->
+  (Engine.Instance.session -> 'f) ->
+  unit

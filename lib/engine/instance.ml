@@ -16,6 +16,7 @@ type t = {
   pool : Storage.Buffer_pool.t;
   meter : Meter.t;
   rng : Random.State.t;
+  obs : Obs.t option;  (** shared cluster observability context *)
   mutable clock : float;
   mutable next_session : int;
   mutable epoch : int;  (** bumped on crash: sessions from older epochs are dead *)
@@ -50,14 +51,24 @@ and session = {
 
 let err fmt = Printf.ksprintf (fun m -> raise (Session_error m)) fmt
 
-let create ?(seed = 42) ?(buffer_pages = 100_000) ~name () =
+let create ?(seed = 42) ?(buffer_pages = 100_000) ?obs ~name () =
+  let meter = Meter.create () in
+  (* Fold this node's work counters into the cluster metrics registry:
+     they keep their compact record form here and appear as
+     engine.<node>.<field> in every snapshot. *)
+  (match obs with
+   | Some (o : Obs.t) ->
+     Obs.Metrics.register_probe o.Obs.metrics ("engine." ^ name) (fun () ->
+         Meter.to_assoc (Meter.read meter))
+   | None -> ());
   {
     node_name = name;
     catalog = Catalog.create ();
     mgr = Txn.Manager.create ();
     pool = Storage.Buffer_pool.create ~capacity:buffer_pages;
-    meter = Meter.create ();
+    meter;
     rng = Random.State.make [| seed |];
+    obs;
     clock = 0.0;
     next_session = 1;
     epoch = 0;
@@ -432,7 +443,7 @@ let charge_statement (s : session) (stmt : Ast.statement) =
     Meter.add_twopc_statement t.meter
   | _ -> ()
 
-let rec exec_ast (s : session) (stmt : Ast.statement) : result =
+let rec exec_ast_unspanned (s : session) (stmt : Ast.statement) : result =
   let t = s.inst in
   ignore t;
   if not (session_alive s) then
@@ -585,6 +596,39 @@ and exec_builtin s stmt : result =
 
 let exec_utility_local s stmt = exec_utility s stmt
 
+let stmt_kind : Ast.statement -> string = function
+  | Ast.Select_stmt _ -> "select"
+  | Ast.Insert _ -> "insert"
+  | Ast.Update _ -> "update"
+  | Ast.Delete _ -> "delete"
+  | Ast.Call _ -> "call"
+  | Ast.Begin_txn -> "begin"
+  | Ast.Commit_txn -> "commit"
+  | Ast.Rollback_txn -> "rollback"
+  | Ast.Prepare_transaction _ -> "prepare_transaction"
+  | Ast.Commit_prepared _ -> "commit_prepared"
+  | Ast.Rollback_prepared _ -> "rollback_prepared"
+  | Ast.Copy_from _ -> "copy"
+  | Ast.Create_table _ -> "create_table"
+  | Ast.Create_index _ -> "create_index"
+  | Ast.Drop_table _ -> "drop_table"
+  | Ast.Alter_table_add_column _ -> "alter_table"
+  | Ast.Truncate _ -> "truncate"
+  | Ast.Vacuum _ -> "vacuum"
+
+(* Every statement an instance executes — coordinator or worker, client-
+   or extension-issued — nests under the shared trace stack. One branch
+   when tracing is off. *)
+let exec_ast (s : session) (stmt : Ast.statement) : result =
+  match s.inst.obs with
+  | None -> exec_ast_unspanned s stmt
+  | Some o ->
+    Obs.Trace.with_span o.Obs.trace
+      ~now:(fun () -> s.inst.clock)
+      ~node:s.inst.node_name ~kind:"statement"
+      ~tags:[ ("stmt", stmt_kind stmt) ]
+      (fun _sp -> exec_ast_unspanned s stmt)
+
 let exec s sql = exec_ast s (Parser.parse_statement sql)
 
 let exec_params s sql params =
@@ -624,6 +668,9 @@ let add_maintenance t f = t.hooks.maintenance <- t.hooks.maintenance @ [ f ]
 let autovacuum_threshold = 50
 
 let maintenance_tick t =
+  (match t.obs with
+   | Some o -> Obs.Metrics.inc o.Obs.metrics "engine.maintenance_ticks"
+   | None -> ());
   (* 1. local deadlock detection: abort the youngest transaction in a cycle *)
   (match Txn.Lock.detect_deadlock (Txn.Manager.locks t.mgr) with
    | Some members ->

@@ -28,8 +28,12 @@ type result = {
 exception Session_error of string
 
 (** [create ~name ~buffer_pages ()] builds a node whose buffer pool holds
-    [buffer_pages] logical pages (the memory-fit lever of every benchmark). *)
-val create : ?seed:int -> ?buffer_pages:int -> name:string -> unit -> t
+    [buffer_pages] logical pages (the memory-fit lever of every benchmark).
+    When [obs] is given, every statement runs inside a trace span and the
+    node's {!Meter} counters fold into the metrics registry as
+    [engine.<name>.<field>]. *)
+val create :
+  ?seed:int -> ?buffer_pages:int -> ?obs:Obs.t -> name:string -> unit -> t
 
 val name : t -> string
 

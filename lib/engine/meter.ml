@@ -77,6 +77,23 @@ let add_copy_rows t n = t.s <- { t.s with copy_rows = t.s.copy_rows + n }
 
 let add_merge_rows t n = t.s <- { t.s with merge_rows = t.s.merge_rows + n }
 
+(* Stable field order, for folding into the metrics registry. *)
+let to_assoc s =
+  [
+    ("rows_scanned", s.rows_scanned);
+    ("rows_written", s.rows_written);
+    ("index_probes", s.index_probes);
+    ("index_updates", s.index_updates);
+    ("rows_sorted", s.rows_sorted);
+    ("rows_aggregated", s.rows_aggregated);
+    ("statements", s.statements);
+    ("light_statements", s.light_statements);
+    ("routed_statements", s.routed_statements);
+    ("twopc_statements", s.twopc_statements);
+    ("copy_rows", s.copy_rows);
+    ("merge_rows", s.merge_rows);
+  ]
+
 let merge_row_weight = 0.1
 
 (* Abstract CPU weights, calibrated against Sim.Cost.cpu_unit = 20 µs:

@@ -34,6 +34,10 @@ val read : t -> snapshot
 
 val diff : after:snapshot -> before:snapshot -> snapshot
 
+(** Snapshot as (field, value) pairs in stable declaration order — the
+    shape the {!Obs.Metrics} registry folds in via a probe. *)
+val to_assoc : snapshot -> (string * int) list
+
 val zero : snapshot
 
 val add_scanned : t -> int -> unit

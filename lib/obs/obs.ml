@@ -1,0 +1,10 @@
+(* Observability context threaded through the whole stack: one metrics
+   registry plus one trace sink per cluster. Metrics are always on
+   (plain int/float cells); tracing is opt-in and free when off. *)
+
+module Metrics = Metrics
+module Trace = Trace
+
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+let create () = { metrics = Metrics.create (); trace = Trace.create () }

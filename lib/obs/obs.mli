@@ -1,0 +1,10 @@
+(** Observability context: one {!Metrics} registry plus one {!Trace}
+    sink, shared by every node of a cluster. Metrics are always on;
+    tracing starts disabled and costs one branch while it stays so. *)
+
+module Metrics = Metrics
+module Trace = Trace
+
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+val create : unit -> t

@@ -1,0 +1,137 @@
+(* Hierarchical span tracing (Dapper-style), deterministic under the
+   virtual clock.
+
+   Span ids are sequential, parents come from an explicit nesting stack,
+   and timestamps are supplied by the caller from the simulated clock —
+   never from the OS — so two same-seed runs produce bit-identical span
+   trees. Durations default to (close time - open time) on the virtual
+   clock but instrumentation that computes a modeled duration (the
+   adaptive executor's cost-derived fragment times) overrides them with
+   [set_duration].
+
+   When the sink is disabled, [with_span] takes one branch and calls the
+   body with [None]: no allocation, no clock read, no id drawn. *)
+
+type span = {
+  id : int;
+  parent : int option;
+  kind : string;
+  node : string;
+  start : float;
+  mutable duration : float;
+  mutable tags : (string * string) list;
+  mutable closed : bool;
+}
+
+type t = {
+  mutable enabled : bool;
+  mutable spans : span list;  (* reverse creation order *)
+  mutable stack : span list;  (* open spans, innermost first *)
+  mutable next_id : int;
+  mutable started : int;
+  mutable finished : int;
+}
+
+let create () =
+  {
+    enabled = false;
+    spans = [];
+    stack = [];
+    next_id = 1;
+    started = 0;
+    finished = 0;
+  }
+
+let enabled t = t.enabled
+
+let set_enabled t v = t.enabled <- v
+
+let reset t =
+  t.spans <- [];
+  t.stack <- [];
+  t.next_id <- 1;
+  t.started <- 0;
+  t.finished <- 0
+
+let started t = t.started
+
+let finished t = t.finished
+
+let open_count t = List.length t.stack
+
+let open_spans t = List.rev t.stack
+
+let spans t = List.rev t.spans
+
+let spans_since t mark = List.rev (List.filter (fun s -> s.id > mark) t.spans)
+
+let mark t = t.next_id - 1
+
+let add_tag sp k v =
+  match sp with Some s -> s.tags <- (k, v) :: s.tags | None -> ()
+
+let set_duration sp d = match sp with Some s -> s.duration <- d | None -> ()
+
+let with_span t ~now ~node ~kind ?(tags = []) f =
+  if not t.enabled then f None
+  else begin
+    let start = now () in
+    let sp =
+      {
+        id = t.next_id;
+        parent = (match t.stack with [] -> None | p :: _ -> Some p.id);
+        kind;
+        node;
+        start;
+        duration = 0.0;
+        tags;
+        closed = false;
+      }
+    in
+    t.next_id <- t.next_id + 1;
+    t.started <- t.started + 1;
+    t.spans <- sp :: t.spans;
+    t.stack <- sp :: t.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match t.stack with
+        | s :: rest when s == sp -> t.stack <- rest
+        | _ -> t.stack <- List.filter (fun s -> not (s == sp)) t.stack);
+        if sp.duration = 0.0 then sp.duration <- now () -. sp.start;
+        sp.closed <- true;
+        t.finished <- t.finished + 1)
+      (fun () -> f (Some sp))
+  end
+
+let render_span s =
+  let tags =
+    match List.sort compare s.tags with
+    | [] -> ""
+    | ts ->
+        " "
+        ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) ts)
+  in
+  Printf.sprintf "%s on %s start=%.6f dur=%.6f%s" s.kind s.node s.start
+    s.duration tags
+
+(* Indented tree in creation order; roots are spans whose parent is
+   absent from [spans] (so a subtree extracted with [spans_since]
+   renders from its own roots). *)
+let render_tree spans =
+  let ids = List.map (fun s -> s.id) spans in
+  let children p =
+    List.filter (fun s -> s.parent = Some p.id) spans
+  in
+  let roots =
+    List.filter
+      (fun s ->
+        match s.parent with None -> true | Some p -> not (List.mem p ids))
+      spans
+  in
+  let rec walk depth s acc =
+    let line = String.make (2 * depth) ' ' ^ render_span s in
+    List.fold_left
+      (fun acc c -> walk (depth + 1) c acc)
+      (line :: acc) (children s)
+  in
+  List.rev (List.fold_left (fun acc r -> walk 0 r acc) [] roots)

@@ -185,6 +185,41 @@ let write_pass citus =
             "UPDATE accounts SET balance = balance + 0 WHERE key = %d" k))
   done
 
+(* --- trace/metric conservation ---
+
+   The observability layer must survive the storm too: every span opened
+   was closed (exceptions included), nothing is left on the open-span
+   stack, no gauge went negative, and the breaker-trip gauge settled
+   back to zero along with the breakers themselves. *)
+
+let check_obs_conservation ~seed cluster =
+  let msg m = Printf.sprintf "[seed %d] %s" seed m in
+  let obs = Cluster.Topology.obs cluster in
+  Alcotest.(check int)
+    (msg "every span opened was closed")
+    (Obs.Trace.started obs.Obs.trace)
+    (Obs.Trace.finished obs.Obs.trace);
+  Alcotest.(check int) (msg "no span left open") 0
+    (Obs.Trace.open_count obs.Obs.trace);
+  let snap = Obs.Metrics.snapshot obs.Obs.metrics in
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool)
+        (msg (Printf.sprintf "gauge %s non-negative (%f)" name v))
+        true (v >= 0.0))
+    snap.Obs.Metrics.s_gauges;
+  Alcotest.(check (float 0.0))
+    (msg "breaker-trip gauge settled")
+    0.0
+    (Obs.Metrics.gauge_value obs.Obs.metrics "breaker.tripped");
+  let counter name =
+    Obs.Metrics.counter_value obs.Obs.metrics name
+  in
+  Alcotest.(check bool)
+    (msg "rebalance moves: completed <= started")
+    true
+    (counter "rebalance.moves_completed" <= counter "rebalance.moves_started")
+
 (* --- invariants --- *)
 
 let check_invariants ~seed cluster citus =
@@ -270,8 +305,33 @@ let check_invariants ~seed cluster citus =
 
 (* --- one full chaos run --- *)
 
-let run_chaos ~seed =
+(* Mid-storm shard move: fire citus_move_shard_placement from SQL while
+   transfers and faults are in flight. A move that hits a dead node or a
+   cutover lock conflict fails cleanly — the invariants only require
+   that whatever it did is consistent and fully accounted. *)
+let fire_move cluster citus wl_rng sref =
+  ensure_session citus sref;
+  let meta = citus.Citus.Api.metadata in
+  let shards = Citus.Metadata.shards_of meta "accounts" in
+  let sh = List.nth shards (Random.State.int wl_rng (List.length shards)) in
+  let workers =
+    List.map
+      (fun (n : Cluster.Topology.node) -> n.Cluster.Topology.node_name)
+      cluster.Cluster.Topology.workers
+  in
+  let to_node = List.nth workers (Random.State.int wl_rng (List.length workers)) in
+  try
+    ignore
+      (exec !sref
+         (Printf.sprintf "SELECT citus_move_shard_placement(%d, '%s')"
+            sh.Citus.Metadata.shard_id to_node))
+  with _ -> ()
+
+let run_chaos ?(moves = false) ~seed () =
   let cluster, citus = make_cluster ~seed ~replication:2 in
+  (* the storm runs fully traced: conservation and reproducibility of
+     the span stream are part of the checked surface *)
+  Obs.Trace.set_enabled (Cluster.Topology.trace cluster) true;
   let fault = fault_of cluster in
   let clock = cluster.Cluster.Topology.clock in
   (* distinct streams: the fault plan owns the fault RNG; the schedule and
@@ -287,6 +347,7 @@ let run_chaos ~seed =
     let k2 = (k1 + 1 + Random.State.int wl_rng (n_keys - 1)) mod n_keys in
     let amount = 1 + Random.State.int wl_rng 10 in
     outcomes := transfer citus sref ~k1 ~k2 ~amount :: !outcomes;
+    if moves && i mod 10 = 3 then fire_move cluster citus wl_rng sref;
     (* occasional reads keep the failover path under fire too *)
     if i mod 5 = 0 then begin
       ensure_session citus sref;
@@ -309,11 +370,26 @@ let run_chaos ~seed =
    `dune build @chaos` *)
 let seed_matrix = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
-let test_seed seed () =
-  let cluster, citus, outcomes, _total = run_chaos ~seed in
+let test_seed ?moves seed () =
+  let cluster, citus, outcomes, _total = run_chaos ?moves ~seed () in
   check_invariants ~seed cluster citus;
+  check_obs_conservation ~seed cluster;
   (* at least something must have happened: a schedule that failed every
      transaction would vacuously satisfy atomicity *)
+  Alcotest.(check bool)
+    (Printf.sprintf "[seed %d] some transfers committed" seed)
+    true
+    (List.exists (fun o -> o = Committed) outcomes)
+
+(* chaos over the rebalancer: same storm, with shard moves fired
+   mid-workload; some seeds move onto dead nodes, some cut over under
+   lock contention *)
+let move_seed_matrix = [ 11; 12; 13; 14 ]
+
+let test_move_seed seed () =
+  let cluster, citus, outcomes, _total = run_chaos ~moves:true ~seed () in
+  check_invariants ~seed cluster citus;
+  check_obs_conservation ~seed cluster;
   Alcotest.(check bool)
     (Printf.sprintf "[seed %d] some transfers committed" seed)
     true
@@ -322,16 +398,27 @@ let test_seed seed () =
 (* --- bit-for-bit reproducibility --- *)
 
 let observable (cluster, _citus, outcomes, total) =
-  (Sim.Fault.trace (fault_of cluster), List.map outcome_name outcomes, total)
+  let obs = Cluster.Topology.obs cluster in
+  ( Sim.Fault.trace (fault_of cluster),
+    List.map outcome_name outcomes,
+    total,
+    Obs.Metrics.render (Obs.Metrics.snapshot obs.Obs.metrics),
+    Obs.Trace.render_tree (Obs.Trace.spans obs.Obs.trace) )
 
 let test_reproducible () =
-  let a = observable (run_chaos ~seed:5) in
-  let b = observable (run_chaos ~seed:5) in
-  let trace_a, outcomes_a, total_a = a and trace_b, outcomes_b, total_b = b in
+  let trace_a, outcomes_a, total_a, metrics_a, spans_a =
+    observable (run_chaos ~moves:true ~seed:5 ())
+  in
+  let trace_b, outcomes_b, total_b, metrics_b, spans_b =
+    observable (run_chaos ~moves:true ~seed:5 ())
+  in
   Alcotest.(check (list string)) "same fault trace" trace_a trace_b;
   Alcotest.(check (list string)) "same outcomes" outcomes_a outcomes_b;
   Alcotest.(check int) "same total" total_a total_b;
-  let trace_c, _, _ = observable (run_chaos ~seed:6) in
+  (* ISSUE acceptance: bit-identical metric snapshot and span tree *)
+  Alcotest.(check string) "bit-identical metric snapshot" metrics_a metrics_b;
+  Alcotest.(check (list string)) "bit-identical span tree" spans_a spans_b;
+  let trace_c, _, _, _, _ = observable (run_chaos ~seed:6 ()) in
   Alcotest.(check bool) "different seed, different schedule" true
     (trace_a <> trace_c)
 
@@ -460,6 +547,13 @@ let () =
               (Printf.sprintf "seed %d" seed)
               `Quick (test_seed seed))
           seed_matrix );
+      ( "move-matrix",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "moves under fire, seed %d" seed)
+              `Quick (test_move_seed seed))
+          move_seed_matrix );
       ( "reproducibility",
         [ Alcotest.test_case "same seed, same run" `Quick test_reproducible ] );
       ( "targeted-2pc",

@@ -216,16 +216,74 @@ let test_l6_scope () =
   let fs = run "L6" [ ("lib/core/planner.ml", l6_violating) ] in
   Alcotest.(check int) "only twopc.ml is in scope" 0 (List.length fs)
 
+(* --- L7 lock-order --- *)
+
+let l7_violating =
+  {|let inverted mgr owner table tid =
+  (match Txn.Lock.acquire mgr ~owner (Txn.Lock.Row (table, tid)) Txn.Lock.Row_lock with
+   | Txn.Lock.Granted -> ()
+   | Txn.Lock.Blocked holders -> raise (Would_block holders));
+  match Txn.Lock.acquire mgr ~owner (Txn.Lock.Table table) Txn.Lock.Row_exclusive with
+  | Txn.Lock.Granted -> ()
+  | Txn.Lock.Blocked holders -> raise (Would_block holders)
+
+let dropped mgr owner table =
+  ignore (Txn.Lock.acquire mgr ~owner (Txn.Lock.Table table) Txn.Lock.Access_share)
+
+let wildcarded mgr owner table =
+  match Txn.Lock.acquire mgr ~owner (Txn.Lock.Table table) Txn.Lock.Access_share with
+  | Txn.Lock.Granted -> ()
+  | _ -> ()
+|}
+
+let l7_clean =
+  {|let disciplined mgr owner table tid =
+  (match Txn.Lock.acquire mgr ~owner (Txn.Lock.Table table) Txn.Lock.Row_exclusive with
+   | Txn.Lock.Granted -> ()
+   | Txn.Lock.Blocked holders -> raise (Would_block holders));
+  match Txn.Lock.acquire mgr ~owner (Txn.Lock.Row (table, tid)) Txn.Lock.Row_lock with
+  | Txn.Lock.Granted -> ()
+  | Txn.Lock.Blocked holders -> raise (Would_block holders)
+
+let other_fn mgr owner table =
+  (* a Table acquisition in a separate function is a separate scope *)
+  match Txn.Lock.acquire mgr ~owner (Txn.Lock.Table table) Txn.Lock.Access_share with
+  | Txn.Lock.Granted -> ()
+  | Txn.Lock.Blocked holders -> raise (Would_block holders)
+
+let via_wrapper ctx table tid =
+  acquire_lock ctx (Txn.Lock.Table table) Txn.Lock.Row_exclusive;
+  acquire_lock ctx (Txn.Lock.Row (table, tid)) Txn.Lock.Row_lock
+|}
+
+let test_l7_violating () =
+  let fs = run "L7" [ ("lib/core/fx.ml", l7_violating) ] in
+  (* Table-after-Row inversion; ignored outcome; wildcarded Blocked *)
+  Alcotest.(check int) "three violations" 3 (List.length fs);
+  Alcotest.(check (list string)) "all L7" [ "L7"; "L7"; "L7" ] (ids fs);
+  Alcotest.(check (list int)) "finding locations" [ 5; 10; 13 ] (lines fs)
+
+let test_l7_clean () =
+  let fs = run "L7" [ ("lib/core/fx.ml", l7_clean) ] in
+  Alcotest.(check int) "coarse-to-fine with Blocked handled" 0
+    (List.length fs)
+
+let test_l7_scope () =
+  let fs = run "L7" [ ("test/test_fx.ml", l7_violating) ] in
+  Alcotest.(check int) "tests assert on outcomes; out of scope" 0
+    (List.length fs)
+
 (* --- registry and baseline --- *)
 
 let test_registry () =
-  Alcotest.(check int) "six rules" 6 (List.length Registry.all);
+  Alcotest.(check int) "seven rules" 7 (List.length Registry.all);
   List.iter
     (fun id ->
       match Registry.find id with
       | Some _ -> ()
       | None -> Alcotest.failf "rule %s not registered" id)
-    [ "L1"; "L2"; "L3"; "L4"; "L5"; "L6"; "sql-injection"; "determinism" ]
+    [ "L1"; "L2"; "L3"; "L4"; "L5"; "L6"; "L7";
+      "sql-injection"; "determinism"; "lock-order" ]
 
 let test_baseline_empty () =
   (* the live baseline must stay empty: new findings are fixed, not
@@ -272,6 +330,12 @@ let () =
           Alcotest.test_case "violating" `Quick test_l6_violating;
           Alcotest.test_case "clean" `Quick test_l6_clean;
           Alcotest.test_case "scope" `Quick test_l6_scope;
+        ] );
+      ( "l7-lock-order",
+        [
+          Alcotest.test_case "violating" `Quick test_l7_violating;
+          Alcotest.test_case "clean" `Quick test_l7_clean;
+          Alcotest.test_case "scope" `Quick test_l7_scope;
         ] );
       ( "infrastructure",
         [

@@ -9,6 +9,7 @@ let all : Rule.t list =
     (module Rule_mli_coverage);
     (module Rule_no_catch_all);
     (module Rule_twopc_state);
+    (module Rule_lock_order);
   ]
 
 let find id =

@@ -1,0 +1,182 @@
+(** L7 lock-order: lock-ordering discipline across
+    [Txn.Manager]/[Txn.Lock]/[Deadlock].
+
+    Two checks, both syntactic:
+
+    - {b ordering}: within one top-level function, a coarse
+      [Txn.Lock.Table] acquisition must not appear after a fine
+      [Txn.Lock.Row] acquisition. All code that takes both levels must
+      take them coarse-to-fine; an inverted pair in two concurrent
+      sessions is a deadlock the distributed detector then has to break
+      by killing a transaction — the discipline keeps same-statement
+      lock acquisition cycle-free by construction. Both direct
+      [Txn.Lock.acquire] calls and wrappers (any [acquire*] function
+      taking a [Table]/[Row] constructor argument) count.
+
+    - {b blocked handling}: the result of a direct [Txn.Lock.acquire]
+      must be scrutinised by a [match] with an explicit
+      [Txn.Lock.Blocked] case. [Blocked] carries the conflicting
+      holders that feed [Would_block] and the deadlock detector's
+      wait-for edges; ignoring the outcome (or hiding it under a
+      wildcard) silently drops the wait edge and the retry. *)
+
+let id = "L7"
+let name = "lock-order"
+
+let doc =
+  "lock-ordering discipline: acquire Table locks before Row locks within a \
+   function, and match Txn.Lock.acquire against an explicit Blocked case"
+
+(* Production code only: tests assert directly on acquire outcomes
+   (comparing [Granted]/[Blocked] values), which is not a discipline
+   violation. *)
+let applies path =
+  Filename.check_suffix path ".ml" && not (Rule.starts_with "test/" path)
+
+(* [Txn.Lock.Table]/[Txn.Lock.Row] (or [Lock.Table]/[Lock.Row]) target
+   constructors appearing anywhere in [e] *)
+let lock_target_kinds (e : Parsetree.expression) =
+  let acc = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+     | Parsetree.Pexp_construct ({ txt; _ }, _) ->
+       let path = try Longident.flatten txt with _ -> [] in
+       (match List.rev path with
+        | last :: rest when List.mem "Lock" rest ->
+          if String.equal last "Table" then acc := `Table :: !acc
+          else if String.equal last "Row" then acc := `Row :: !acc
+        | _ -> ())
+     | _ -> ());
+    super.Ast_iterator.expr it e
+  in
+  let it = { super with Ast_iterator.expr } in
+  it.Ast_iterator.expr it e;
+  !acc
+
+let is_acquire_fn (f : Parsetree.expression) =
+  match List.rev (Rule.ident_path f) with
+  | last :: _ -> Rule.starts_with "acquire" last
+  | [] -> false
+
+let is_direct_acquire (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_apply (f, _) ->
+    (match List.rev (Rule.ident_path f) with
+     | "acquire" :: rest -> List.mem "Lock" rest
+     | _ -> false)
+  | _ -> false
+
+(* acquisition events (location + Table/Row level, when a target
+   constructor is visible at the call site) in [e], in source order *)
+let acquisitions (e : Parsetree.expression) =
+  let acc = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+     | Parsetree.Pexp_apply (f, args) when is_acquire_fn f ->
+       let kinds =
+         List.concat_map (fun (_, a) -> lock_target_kinds a) args
+       in
+       (match kinds with
+        | k :: _ -> acc := (e.Parsetree.pexp_loc, k) :: !acc
+        | [] -> ())
+     | _ -> ());
+    super.Ast_iterator.expr it e
+  in
+  let it = { super with Ast_iterator.expr } in
+  it.Ast_iterator.expr it e;
+  List.sort
+    (fun ((l1 : Location.t), _) ((l2 : Location.t), _) ->
+      compare l1.Location.loc_start.Lexing.pos_cnum
+        l2.Location.loc_start.Lexing.pos_cnum)
+    (List.rev !acc)
+
+let pattern_mentions_blocked (p : Parsetree.pattern) =
+  let found = ref false in
+  let super = Ast_iterator.default_iterator in
+  let pat it (p : Parsetree.pattern) =
+    (match p.Parsetree.ppat_desc with
+     | Parsetree.Ppat_construct ({ txt; _ }, _) ->
+       (try
+          if String.equal (Longident.last txt) "Blocked" then found := true
+        with _ -> ())
+     | _ -> ());
+    super.Ast_iterator.pat it p
+  in
+  let it = { super with Ast_iterator.pat } in
+  it.Ast_iterator.pat it p;
+  !found
+
+let check ~path (str : Parsetree.structure) =
+  let findings = ref [] in
+  (* ordering, per top-level binding *)
+  List.iter
+    (fun (si : Parsetree.structure_item) ->
+      match si.Parsetree.pstr_desc with
+      | Parsetree.Pstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            let events = acquisitions vb.Parsetree.pvb_expr in
+            let fname =
+              match vb.Parsetree.pvb_pat.ppat_desc with
+              | Parsetree.Ppat_var { txt; _ } -> txt
+              | _ -> "<binding>"
+            in
+            let seen_row = ref false in
+            List.iter
+              (fun (loc, kind) ->
+                match kind with
+                | `Row -> seen_row := true
+                | `Table ->
+                  if !seen_row then
+                    findings :=
+                      Rule.finding ~id ~file:path ~loc
+                        (Printf.sprintf
+                           "Table lock acquired after a Row lock in %s: take \
+                            coarse (Table) locks before fine (Row) locks to \
+                            keep lock acquisition cycle-free"
+                           fname)
+                      :: !findings)
+              events)
+          vbs
+      | _ -> ())
+    str;
+  (* blocked handling, whole file: every direct Txn.Lock.acquire must be
+     the scrutinee of a match with an explicit Blocked case *)
+  let ok = Hashtbl.create 8 in
+  let all = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+     | Parsetree.Pexp_match (scrut, cases)
+       when List.exists
+              (fun (c : Parsetree.case) ->
+                pattern_mentions_blocked c.Parsetree.pc_lhs)
+              cases ->
+       let mark it2 (e2 : Parsetree.expression) =
+         if is_direct_acquire e2 then
+           Hashtbl.replace ok e2.Parsetree.pexp_loc.Location.loc_start ();
+         super.Ast_iterator.expr it2 e2
+       in
+       let mit = { super with Ast_iterator.expr = mark } in
+       mit.Ast_iterator.expr mit scrut
+     | _ -> ());
+    if is_direct_acquire e then all := e.Parsetree.pexp_loc :: !all;
+    super.Ast_iterator.expr it e
+  in
+  let it = { super with Ast_iterator.expr } in
+  it.Ast_iterator.structure it str;
+  List.iter
+    (fun (loc : Location.t) ->
+      if not (Hashtbl.mem ok loc.Location.loc_start) then
+        findings :=
+          Rule.finding ~id ~file:path ~loc
+            "result of Txn.Lock.acquire must be matched with an explicit \
+             Txn.Lock.Blocked case (it carries the wait-for edge for the \
+             deadlock detector), not ignored or wildcarded"
+          :: !findings)
+    (List.rev !all);
+  List.rev !findings
+
+let check_tree (_ : string list) = []
