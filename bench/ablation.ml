@@ -125,32 +125,31 @@ let delegation () =
 
 let slow_start () =
   Report.section "Ablation 3: adaptive-executor slow start (§3.6.1)";
-  let scenario name durations =
-    let with_ss, conns_ss =
-      Citus.Adaptive_executor.simulate_timeline ~durations ~slow_start:0.010
-        ~max_conns:16
-    in
-    let without, conns_eager =
-      Citus.Adaptive_executor.simulate_timeline ~durations ~slow_start:0.0
-        ~max_conns:16
-    in
+  (* the real executor on the virtual clock: 16 reads of one shard, so
+     every fragment competes for connections to a single node; shard size
+     sets the fragment cost relative to the 10ms ramp interval *)
+  let scenario name ~rows =
+    let fixture = Exec_bench.setup ~workers:2 ~shard_count:8 ~rows () in
+    let tasks = Exec_bench.same_shard_tasks (fst fixture) 16 in
+    let ramped = Exec_bench.measure ~slow_start:0.010 fixture tasks in
+    let eager = Exec_bench.measure ~slow_start:0.0 fixture tasks in
     [
       name;
-      Report.fmt_s with_ss;
-      string_of_int conns_ss;
-      Report.fmt_s without;
-      string_of_int conns_eager;
+      Report.fmt_s ramped.Citus.Adaptive_executor.makespan;
+      string_of_int (Exec_bench.total_conns ramped);
+      Report.fmt_s eager.Citus.Adaptive_executor.makespan;
+      string_of_int (Exec_bench.total_conns eager);
     ]
   in
   Report.table
-    ~title:"makespan and connections used, slow start vs eager"
+    ~title:"measured makespan and connections opened, slow start vs eager"
     ~headers:
       [ "workload"; "slow-start time"; "conns"; "eager time"; "conns" ]
     ~rows:
       [
-        scenario "16 fast index lookups (0.3ms)" (List.init 16 (fun _ -> 0.0003));
-        scenario "16 medium tasks (5ms)" (List.init 16 (fun _ -> 0.005));
-        scenario "16 analytical tasks (200ms)" (List.init 16 (fun _ -> 0.2));
+        scenario "16 reads, near-empty shard" ~rows:16;
+        scenario "16 reads, 2k-row shards" ~rows:2000;
+        scenario "16 reads, 20k-row shards" ~rows:20000;
       ];
   Report.note
     "fast statements finish on one connection before the ramp opens more \

@@ -1,0 +1,178 @@
+(* Adaptive-executor makespan benchmark on the virtual clock.
+
+   Every number here is measured, not simulated: the executor dispatches
+   fragments as scheduler fibers, connections open on the slow-start ramp
+   of the virtual clock, and [report.makespan] is the clock elapsed over
+   the whole statement. "Serial" is the executor's own serial floor (the
+   sum of fragment durations — what one connection per node would pay),
+   so the speedup column is concurrency the scheduler actually delivered.
+   Writes BENCH_exec.json. *)
+
+(* A citus cluster with one distributed table [t] holding [rows] rows,
+   loaded through the normal SQL path. *)
+let setup ~workers ~shard_count ~rows () =
+  let cluster = Cluster.Topology.create ~workers () in
+  let citus = Citus.Api.install ~shard_count cluster in
+  let s = Citus.Api.connect citus in
+  let exec sql = ignore (Engine.Instance.exec s sql) in
+  exec "CREATE TABLE t (k bigint, v bigint)";
+  exec "SELECT create_distributed_table('t', 'k')";
+  exec "BEGIN";
+  for i = 1 to rows do
+    exec (Printf.sprintf "INSERT INTO t (k, v) VALUES (%d, %d)" i i)
+  done;
+  exec "COMMIT";
+  (citus, Citus.Api.coordinator_state citus)
+
+let shard_task citus (shard : Citus.Metadata.shard) sql =
+  {
+    Citus.Plan.task_node =
+      Citus.Metadata.placement citus.Citus.Api.metadata
+        shard.Citus.Metadata.shard_id;
+    task_stmt = (Sqlfront.Parser.parse_statement sql [@lint.sql_static]);
+    task_group = shard.Citus.Metadata.index_in_colocation;
+    task_shard = shard.Citus.Metadata.shard_id;
+  }
+
+(* Scatter-gather: [per_shard] read fragments against every shard, like a
+   multi-shard aggregate fanning out across the cluster. *)
+let scatter_tasks citus ~per_shard =
+  Citus.Metadata.shards_of citus.Citus.Api.metadata "t"
+  |> List.concat_map (fun shard ->
+         List.init per_shard (fun _ ->
+             shard_task citus shard
+               (Printf.sprintf "SELECT count(*) FROM %s"
+                  (Citus.Metadata.shard_name shard))))
+
+(* Multi-row INSERT: [n] single-row writes round-robined over the shards.
+   Writes to the same shard group share a transaction-affine connection,
+   so they chain serially per shard and parallelise across shards. *)
+let insert_tasks citus n =
+  let shards = Citus.Metadata.shards_of citus.Citus.Api.metadata "t" in
+  let arr = Array.of_list shards in
+  List.init n (fun i ->
+      let shard = arr.(i mod Array.length arr) in
+      shard_task citus shard
+        (Printf.sprintf "INSERT INTO %s (k, v) VALUES (%d, %d)"
+           (Citus.Metadata.shard_name shard)
+           (1_000_000 + i) i))
+
+(* [n] identical reads of one shard: every task competes for connections
+   to a single node — the slow-start ramp's worst case (used by the
+   ablation and its shape test). *)
+let same_shard_tasks citus n =
+  match Citus.Metadata.shards_of citus.Citus.Api.metadata "t" with
+  | [] -> invalid_arg "no shards"
+  | shard :: _ ->
+    List.init n (fun _ ->
+        shard_task citus shard
+          (Printf.sprintf "SELECT count(*) FROM %s"
+             (Citus.Metadata.shard_name shard)))
+
+(* Run [tasks] through the real executor on a fresh session (empty pools,
+   so the connection ramp starts from zero). *)
+let measure ?(slow_start = 0.010) (citus, st) tasks =
+  st.Citus.State.config.Citus.State.slow_start_interval <- slow_start;
+  let session = Citus.Api.connect citus in
+  let _, report = Citus.Adaptive_executor.execute st session tasks in
+  report
+
+let total_conns (r : Citus.Adaptive_executor.report) =
+  List.fold_left (fun acc (_, c) -> acc + c) 0
+    r.Citus.Adaptive_executor.connections_used
+
+(* Connection-open times as offsets from the first open, per node: the
+   visible shape of the slow-start ramp. *)
+let ramp_offsets (r : Citus.Adaptive_executor.report) =
+  let opens = r.Citus.Adaptive_executor.conn_opened_at in
+  let t0 =
+    List.fold_left
+      (fun acc (_, ts) -> List.fold_left Float.min acc ts)
+      infinity opens
+  in
+  List.map (fun (node, ts) -> (node, List.map (fun t -> t -. t0) ts)) opens
+
+let json_workload buf ~last name (r : Citus.Adaptive_executor.report) =
+  let speedup =
+    if r.Citus.Adaptive_executor.makespan > 0.0 then
+      r.Citus.Adaptive_executor.serial_time
+      /. r.Citus.Adaptive_executor.makespan
+    else 1.0
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    {\"workload\": %S, \"serial_s\": %.6f, \"makespan_s\": %.6f, \
+        \"speedup\": %.2f, \"connections\": [\n"
+       name
+       r.Citus.Adaptive_executor.serial_time
+       r.Citus.Adaptive_executor.makespan speedup);
+  let ramp = ramp_offsets r in
+  let n = List.length r.Citus.Adaptive_executor.connections_used in
+  List.iteri
+    (fun i (node, c) ->
+      let offsets =
+        match List.assoc_opt node ramp with Some ts -> ts | None -> []
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"node\": %S, \"opened\": %d, \"opened_at_offset_s\": [%s]}%s\n"
+           node c
+           (String.concat ", " (List.map (Printf.sprintf "%.6f") offsets))
+           (if i = n - 1 then "" else ",")))
+    r.Citus.Adaptive_executor.connections_used;
+  Buffer.add_string buf
+    (Printf.sprintf "    ]}%s\n" (if last then "" else ","))
+
+let run () =
+  Report.section
+    "Adaptive executor: measured makespans (scheduler, virtual clock)";
+  let fixture = setup ~workers:4 ~shard_count:16 ~rows:4000 () in
+  let workloads =
+    [
+      ("scatter-gather (32 fragments, 4 nodes)",
+       measure fixture (scatter_tasks (fst fixture) ~per_shard:2));
+      ("multi-row INSERT (64 rows, 16 shards)",
+       measure fixture (insert_tasks (fst fixture) 64));
+      ("single-node hot shard (16 reads)",
+       measure fixture (same_shard_tasks (fst fixture) 16));
+    ]
+  in
+  Report.table
+    ~title:"serial floor vs measured makespan (10ms slow start)"
+    ~headers:[ "workload"; "serial"; "makespan"; "speedup"; "conns" ]
+    ~rows:
+      (List.map
+         (fun (name, (r : Citus.Adaptive_executor.report)) ->
+           [
+             name;
+             Report.fmt_s r.Citus.Adaptive_executor.serial_time;
+             Report.fmt_s r.Citus.Adaptive_executor.makespan;
+             Report.fmt_x
+               (r.Citus.Adaptive_executor.serial_time
+               /. Float.max 1e-9 r.Citus.Adaptive_executor.makespan);
+             string_of_int (total_conns r);
+           ])
+         workloads);
+  (match workloads with
+   | (_, r) :: _ ->
+     Report.note "slow-start ramp (connection-open offsets per node):";
+     List.iter
+       (fun (node, ts) ->
+         Report.note "  %-10s %s" node
+           (String.concat " "
+              (List.map (fun t -> Printf.sprintf "+%.1fms" (t *. 1000.)) ts)))
+       (ramp_offsets r)
+   | [] -> ());
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"bench\": \"exec_makespan\",\n";
+  Buffer.add_string buf "  \"slow_start_interval_s\": 0.010,\n";
+  Buffer.add_string buf "  \"workloads\": [\n";
+  let n = List.length workloads in
+  List.iteri
+    (fun i (name, r) -> json_workload buf ~last:(i = n - 1) name r)
+    workloads;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_exec.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Report.note "  wrote BENCH_exec.json"

@@ -20,6 +20,7 @@ let experiments =
     ("fig10", "Figure 10: YCSB high-performance CRUD", fun () -> ignore (Fig10.run ()));
     ("ablation", "Ablations: columnar, delegation, slow start, join order", fun () -> Ablation.run ());
     ("obs", "Observability overhead: per-tier latency, tracing off vs on", fun () -> Obs_bench.run ());
+    ("exec", "Adaptive executor: measured makespans on the virtual clock", fun () -> Exec_bench.run ());
     ("micro", "Bechamel wall-clock microbenchmarks", fun () -> Micro.run ());
   ]
 

@@ -88,6 +88,23 @@ let exec t sql =
     t.cluster.Topology.net.rows_shipped + List.length r.Engine.Instance.rows;
   r
 
+(* Split submit/await round trip. The whole statement — fault-plan
+   consultation, execution, armed crash triggers — happens at the submit
+   point ([exec_async]); the handle only carries the outcome. This pins
+   every [Sim.Fault] RNG draw to the submission order, so scheduler
+   interleavings of the awaits cannot shift the deterministic fault
+   stream. *)
+type handle = { h_result : (Engine.Instance.result, exn) result }
+
+let exec_async t sql =
+  match exec t sql with
+  | r -> { h_result = Ok r }
+  | exception e -> { h_result = Error e }
+
+let exec_ast_async t stmt = exec_async t (Sqlfront.Deparse.statement stmt)
+
+let await h = match h.h_result with Ok r -> r | Error e -> raise e
+
 let exec_ast t stmt = exec t (Sqlfront.Deparse.statement stmt)
 
 let copy t ~table ~columns lines =

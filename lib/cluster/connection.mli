@@ -27,19 +27,30 @@ val node : t -> Topology.node
 
 val session : t -> Engine.Instance.session
 
-(** Execute SQL text remotely; counts one round trip and ships the result
-    rows back (counted in [rows_shipped]). Raises whatever the remote
-    session raises ({!Engine.Executor.Would_block}, parse errors, ...),
-    or {!Node_unavailable} when the fault plan kills the round trip.
+(** The pending outcome of a submitted statement. *)
+type handle
 
-    Deprecated as a public boundary: new call sites above the Citus
-    layer should use [Citus.Exec.raw_on_conn] (or [Citus.Exec.on_conn]
-    to also feed the circuit breaker), which return typed results
-    instead of raising. This raising form remains as the internal
-    implementation. *)
-val exec : t -> string -> Engine.Instance.result
+(** [exec_async t sql] submits SQL text remotely: one round trip, result
+    rows shipped back (counted in [rows_shipped]). The {e entire} round
+    trip — fault-plan draws, remote execution, armed crash triggers —
+    happens at the submit point; the returned handle merely carries the
+    outcome. Fault streams therefore depend only on submission order,
+    never on how concurrent awaits interleave.
 
-(** Deparse and execute a statement AST. *)
+    Call sites above the Citus layer should prefer [Citus.Exec], which
+    adds partition/injection checks and circuit-breaker accounting and
+    returns typed results. *)
+val exec_async : t -> string -> handle
+
+(** Deparse and submit a statement AST. *)
+val exec_ast_async : t -> Sqlfront.Ast.statement -> handle
+
+(** Collect the outcome: the result, re-raising whatever the round trip
+    raised ({!Engine.Executor.Would_block}, parse errors,
+    {!Node_unavailable} when the fault plan killed it, ...). *)
+val await : handle -> Engine.Instance.result
+
+(** Deparse and execute a statement AST ([await] of {!exec_ast_async}). *)
 val exec_ast : t -> Sqlfront.Ast.statement -> Engine.Instance.result
 
 (** COPY a batch of data lines; one round trip per call. *)

@@ -18,11 +18,14 @@ type t = {
   rtt : float;
   net : net_stats;
   fault : Sim.Fault.t option;
+  mutable sched_seed : int option;
+      (** seeds {!Sim.Sched} ready-queue tiebreaks (chaos fuzzing);
+          [None] = strict round-robin *)
   obs : Obs.t;  (** cluster-wide metrics registry + trace sink *)
 }
 
 let create ?(buffer_pages = 100_000) ?(spec = Sim.Cost.default_spec)
-    ?(rtt = Sim.Cost.default_rtt) ?fault_seed ~workers () =
+    ?(rtt = Sim.Cost.default_rtt) ?fault_seed ?sched_seed ~workers () =
   let obs = Obs.create () in
   let make name seed =
     {
@@ -62,7 +65,7 @@ let create ?(buffer_pages = 100_000) ?(spec = Sim.Cost.default_spec)
         ("connections_opened", net.connections_opened);
         ("rows_shipped", net.rows_shipped);
       ]);
-  { coordinator; workers; clock; rtt; net; fault; obs }
+  { coordinator; workers; clock; rtt; net; fault; sched_seed; obs }
 
 let obs t = t.obs
 

@@ -30,6 +30,10 @@ type t = {
   net : net_stats;
   fault : Sim.Fault.t option;
       (** fault-injection plan; [None] = perfect network, nothing fails *)
+  mutable sched_seed : int option;
+      (** seed for {!Sim.Sched} ready-queue tiebreaks: [None] (default)
+          is strict round-robin; chaos tests set a seed to fuzz fiber
+          interleavings deterministically *)
   obs : Obs.t;
       (** cluster-wide observability: one metrics registry (always on,
           with every node's meter folded in) and one trace sink
@@ -39,12 +43,14 @@ type t = {
 (** [create ~workers:n ()] builds a coordinator plus [n] workers.
     [buffer_pages] applies per node. [fault_seed] attaches a
     {!Sim.Fault.t} (sharing this cluster's clock, all nodes registered)
-    so connections consult it on every round trip. *)
+    so connections consult it on every round trip. [sched_seed] seeds
+    the cooperative scheduler's ready-queue tiebreaks. *)
 val create :
   ?buffer_pages:int ->
   ?spec:Sim.Cost.node_spec ->
   ?rtt:float ->
   ?fault_seed:int ->
+  ?sched_seed:int ->
   workers:int ->
   unit ->
   t

@@ -3,8 +3,10 @@ open Sqlfront
 type report = {
   makespan : float;
   connections_used : (string * int) list;
+  conn_opened_at : (string * float list) list;
   round_trips : int;
   serial_time : float;
+  node_serial : (string * float) list;
 }
 
 let is_write (stmt : Ast.statement) =
@@ -15,42 +17,11 @@ let is_write (stmt : Ast.statement) =
     true
   | _ -> false
 
-(* Greedy list scheduling of task durations over connections that open at
-   k * slow_start (slow start, §3.6.1). Effective connections = those that
-   received at least one task. *)
-let simulate_timeline ~durations ~slow_start ~max_conns =
-  match durations with
-  | [] -> (0.0, 0)
-  | _ ->
-    let n_conns = max 1 (min max_conns (List.length durations)) in
-    let next_free =
-      Array.init n_conns (fun k -> float_of_int k *. slow_start)
-    in
-    let used = Array.make n_conns false in
-    List.iter
-      (fun d ->
-        (* earliest-available connection *)
-        let best = ref 0 in
-        for k = 1 to n_conns - 1 do
-          if next_free.(k) < next_free.(!best) then best := k
-        done;
-        used.(!best) <- true;
-        next_free.(!best) <- next_free.(!best) +. d)
-      durations;
-    (* only connections that ran a task count towards the makespan: an
-       unused ramp slot is never actually opened *)
-    let makespan = ref 0.0 and effective = ref 0 in
-    Array.iteri
-      (fun k u ->
-        if u then begin
-          incr effective;
-          if next_free.(k) > !makespan then makespan := next_free.(k)
-        end)
-      used;
-    (!makespan, !effective)
-
 (* Measure the resource demand of running [f] on [node]: meter + buffer
-   pool diffs converted to solo elapsed seconds. *)
+   pool diffs converted to solo elapsed seconds. The computation itself
+   is instantaneous on the virtual clock; the executor then {e sleeps}
+   its fiber for this duration, which is what advances the clock and
+   makes fragment concurrency observable. *)
 let measured (node : Cluster.Topology.node) f =
   let inst = node.Cluster.Topology.instance in
   let meter_before = Engine.Meter.read (Engine.Instance.meter inst) in
@@ -87,72 +58,6 @@ let register_backend st_state (t : State.t) conn coord_session =
      | None -> ())
   | None -> ()
 
-(* Pick / open the connection for a task bound to [node_name].
-
-   Affinity is keyed (node, shard-group): inside a transaction, the same
-   shard group on the same node always reuses the same connection, so
-   uncommitted writes and locks stay visible to later statements. A read
-   may additionally reuse a group connection on {e another} replica
-   ([exact] = false): after a failover, the replica holding the
-   transaction's uncommitted writes is the one that must serve it. *)
-let connection_for (t : State.t) st ~in_txn ~exact ~assigned ~node_name
-    ~task_group =
-  let affinity_exact =
-    if task_group >= 0 then
-      List.assoc_opt (node_name, task_group) st.State.affinity
-    else None
-  in
-  let affinity_any_replica =
-    if in_txn && (not exact) && task_group >= 0 then
-      List.find_map
-        (fun ((_, g), c) -> if g = task_group then Some c else None)
-        st.State.affinity
-    else None
-  in
-  match affinity_exact, affinity_any_replica with
-  | Some conn, _ | None, Some conn ->
-    Obs.Metrics.inc (Cluster.Topology.metrics t.State.cluster)
-      "exec.conn_affinity_reuse";
-    conn
-  | None, None ->
-    let node = Cluster.Topology.find_node t.State.cluster node_name in
-    let pool = State.pool_of st node_name in
-    (* least-loaded existing connection, else try to open one *)
-    let load c =
-      List.length (List.filter (fun c' -> c' == c) assigned)
-    in
-    let pick_existing () =
-      match pool with
-      | [] -> None
-      | first :: rest ->
-        Some
-          (List.fold_left
-             (fun best c -> if load c < load best then c else best)
-             first rest)
-    in
-    let opened fresh =
-      (* the slow-start ramp shows up here: each statement may open at
-         most a handful of new connections per node, metered so the
-         ramp is visible in [citus_stat_counters()] *)
-      Obs.Metrics.inc (Cluster.Topology.metrics t.State.cluster)
-        "exec.conn_opened";
-      fresh
-    in
-    (match pick_existing () with
-     | Some c when load c = 0 -> c
-     | maybe_busy ->
-       (match State.checkout t st node with
-        | Some fresh -> opened fresh
-        | None ->
-          (match maybe_busy with
-           | Some c -> c
-           | None -> (
-             (* must have at least one connection; a forced checkout
-                always opens one *)
-             match State.checkout t st ~force:true node with
-             | Some fresh -> opened fresh
-             | None -> assert false))))
-
 (* Active replicas that can serve [task], planned node first, circuit-open
    nodes last. Falls back to the planned node when the shard is unknown or
    has lost every active placement. *)
@@ -168,8 +73,6 @@ let replica_nodes (t : State.t) (task : Plan.task) =
         + if String.equal n task.Plan.task_node then 0 else 1
       in
       List.stable_sort (fun a b -> Int.compare (score a) (score b)) nodes
-
-exception Txn_replica_lost of string
 
 (* A replicated write lost one replica: mark that placement — and its
    colocated siblings on the same node, so router planning stays aligned —
@@ -197,10 +100,10 @@ let mark_placement_lost (t : State.t) ~shard_id ~node =
    node: mark each one Inactive so reads stop landing there until the
    repair daemon re-copies it. A group with no other active replica
    cannot be repaired — committing would silently lose its writes — so
-   that aborts the whole transaction ({!Txn_replica_lost}). *)
+   that aborts the whole transaction ({!State.Txn_replica_lost}). *)
 let withdraw_txn_conn (t : State.t) st conn ~node =
   st.State.txn_conns <- List.filter (fun c -> c != conn) st.State.txn_conns;
-  (try ignore (Cluster.Connection.exec conn "ROLLBACK")
+  (try ignore (Exec.raw_on_conn_exn conn "ROLLBACK")
    with _ ->
      (* the node just failed; the rollback failing too is expected,
         but count it rather than lose it *)
@@ -238,82 +141,234 @@ let withdraw_txn_conn (t : State.t) st conn ~node =
                 else fatal := true)
             shards)
       (Metadata.all_tables t.State.metadata);
-  if !fatal then raise (Txn_replica_lost node)
+  if !fatal then raise (State.Txn_replica_lost node)
+
+(* Per-statement, per-node pool accounting for the cooperative
+   scheduler: which connections are running a fragment right now, how
+   many slow-start ramp slots the statement has committed to, and the
+   virtual times at which it actually opened new connections. *)
+type stmt_pool = {
+  sp_node : Cluster.Topology.node;
+  mutable sp_busy : Cluster.Connection.t list;
+  mutable sp_ramp : int;
+  mutable sp_opened_at : float list;  (* reverse order *)
+  mutable sp_used : Cluster.Connection.t list;
+  sp_cond : Sim.Sched.cond;
+}
 
 let execute (t : State.t) coord_session (tasks : Plan.task list) =
   let st = State.session_state t coord_session in
   let explicit = Engine.Instance.in_transaction coord_session in
   let net_before = Cluster.Topology.net_snapshot t.State.cluster in
-  let assigned : Cluster.Connection.t list ref = ref [] in
-  let node_durations : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
-  let record_duration node_name duration =
-    let durs =
-      match Hashtbl.find_opt node_durations node_name with
-      | Some r -> r
-      | None ->
-        let r = ref [] in
-        Hashtbl.replace node_durations node_name r;
-        r
+  let m = Cluster.Topology.metrics t.State.cluster in
+  let trace = Cluster.Topology.trace t.State.cluster in
+  let clock = t.State.cluster.Cluster.Topology.clock in
+  let started_at = Sim.Clock.now clock in
+  (* fragment spans are created from interleaved fibers: the parent is
+     captured here, before any fiber exists, never from the open-span
+     stack another fiber may be mutating *)
+  let parent_span = Obs.Trace.current trace in
+  let slow_start = t.State.config.State.slow_start_interval in
+  let pools : (string, stmt_pool) Hashtbl.t = Hashtbl.create 8 in
+  let pool_for node_name =
+    match Hashtbl.find_opt pools node_name with
+    | Some p -> p
+    | None ->
+      let p =
+        {
+          sp_node = Cluster.Topology.find_node t.State.cluster node_name;
+          sp_busy = [];
+          sp_ramp = 0;
+          sp_opened_at = [];
+          sp_used = [];
+          sp_cond = Sim.Sched.make_cond ();
+        }
+      in
+      Hashtbl.replace pools node_name p;
+      p
+  in
+  let node_durations : (string, float ref) Hashtbl.t = Hashtbl.create 8 in
+  let record_duration node d =
+    match Hashtbl.find_opt node_durations node with
+    | Some r -> r := !r +. d
+    | None -> Hashtbl.replace node_durations node (ref d)
+  in
+  (* Pick / open the connection for a task bound to [node_name] — the
+     §3.6.1 pool discipline, enforced against genuinely concurrent
+     fibers.
+
+     Affinity is keyed (node, shard-group): inside a transaction, the
+     same shard group on the same node always reuses the same
+     connection, so uncommitted writes and locks stay visible to later
+     statements. A read may additionally reuse a group connection on
+     {e another} replica ([exact] = false): after a failover, the
+     replica holding the transaction's uncommitted writes is the one
+     that must serve it.
+
+     A connection already running another fiber's fragment is busy; the
+     fiber waits for a release instead of interleaving two statements on
+     one connection. New connections open at
+     [started_at + k * slow_start_interval] on the virtual clock (slow
+     start, §3.6.1): the k-th ramp slot sleeps until its gate before the
+     checkout, so the ramp is a real timeline, not a reconstruction. *)
+  let acquire sched ~in_txn ~exact ~node_name ~task_group =
+    let pool = pool_for node_name in
+    let take conn =
+      pool.sp_busy <- conn :: pool.sp_busy;
+      if not (List.memq conn pool.sp_used) then
+        pool.sp_used <- conn :: pool.sp_used;
+      conn
     in
-    durs := duration :: !durs
+    let open_new ~forced =
+      let fresh =
+        match State.checkout t st ~force:forced pool.sp_node with
+        | Some fresh -> Some fresh
+        | None -> None
+      in
+      match fresh with
+      | Some fresh ->
+        Obs.Metrics.inc m "exec.conn_opened";
+        pool.sp_opened_at <- Sim.Clock.now clock :: pool.sp_opened_at;
+        Some (take fresh)
+      | None -> None
+    in
+    let rec go () =
+      let affinity_exact =
+        if task_group >= 0 then
+          List.assoc_opt (node_name, task_group) st.State.affinity
+        else None
+      in
+      let affinity_any_replica =
+        if in_txn && (not exact) && task_group >= 0 then
+          List.find_map
+            (fun ((_, g), c) -> if g = task_group then Some c else None)
+            st.State.affinity
+        else None
+      in
+      match affinity_exact, affinity_any_replica with
+      | Some conn, _ | None, Some conn ->
+        if List.memq conn pool.sp_busy then begin
+          (* pinned to a connection another fiber holds: wait for it *)
+          Sim.Sched.wait sched pool.sp_cond;
+          go ()
+        end
+        else begin
+          Obs.Metrics.inc m "exec.conn_affinity_reuse";
+          take conn
+        end
+      | None, None -> (
+        let existing = State.pool_of st node_name in
+        let free =
+          List.filter (fun c -> not (List.memq c pool.sp_busy)) existing
+        in
+        match free with
+        | conn :: _ -> take conn
+        | [] ->
+          let within_limits =
+            List.length existing < t.State.config.State.pool_size_per_node
+            && State.shared_count t node_name
+               < t.State.config.State.shared_connection_limit
+          in
+          if within_limits then begin
+            (* the k-th new connection may open at its ramp gate; until
+               then, race the gate against a connection freed by another
+               fiber — whichever comes first. The slot count only grows
+               when a connection actually opens, so a statement drained
+               by its existing connections never ramps further. *)
+            let gate =
+              started_at +. (float_of_int pool.sp_ramp *. slow_start)
+            in
+            if Sim.Clock.now clock >= gate then begin
+              pool.sp_ramp <- pool.sp_ramp + 1;
+              match open_new ~forced:false with
+              | Some conn -> conn
+              | None ->
+                (* raced to a limit since the check above *)
+                Sim.Sched.wait sched pool.sp_cond;
+                go ()
+            end
+            else begin
+              Sim.Sched.timed_wait sched pool.sp_cond ~until:gate;
+              go ()
+            end
+          end
+          else if existing = [] then begin
+            (* a statement cannot do without at least one connection;
+               a forced checkout always opens one *)
+            match open_new ~forced:true with
+            | Some conn -> conn
+            | None -> assert false
+          end
+          else begin
+            (* at the limit and every connection busy: wait for one *)
+            Sim.Sched.wait sched pool.sp_cond;
+            go ()
+          end)
+    in
+    go ()
+  in
+  let release sched ~node_name conn =
+    let pool = pool_for node_name in
+    pool.sp_busy <- List.filter (fun c -> not (c == conn)) pool.sp_busy;
+    Sim.Sched.broadcast sched pool.sp_cond
   in
   (* One attempt of [task] on [node_name]. On Network_error the connection
      is withdrawn from the coordinator transaction (its writes are lost;
      committing the survivors must not touch it) before re-raising. *)
-  let run_on (task : Plan.task) node_name =
+  let run_on sched (task : Plan.task) node_name =
     let write = is_write task.Plan.task_stmt in
     let needs_txn_block = explicit || write in
     let conn =
-      connection_for t st ~in_txn:needs_txn_block ~exact:write
-        ~assigned:!assigned ~node_name ~task_group:task.Plan.task_group
+      acquire sched ~in_txn:needs_txn_block ~exact:write ~node_name
+        ~task_group:task.Plan.task_group
     in
-    assigned := conn :: !assigned;
     let node = Cluster.Connection.node conn in
-    try
-      if needs_txn_block && not (List.memq conn st.State.txn_conns) then begin
-        ignore (State.exec_on t conn "BEGIN");
-        st.State.txn_conns <- conn :: st.State.txn_conns;
-        register_backend st t conn coord_session
-      end;
-      let result, duration =
-        (* the fragment span's duration is the cost-model's solo elapsed
-           time, not a clock diff: the virtual clock does not advance
-           during execution, the duration is what the timeline scheduler
-           prices the fragment at *)
-        Obs.Trace.with_span
-          (Cluster.Topology.trace t.State.cluster)
-          ~now:(Cluster.Topology.now t.State.cluster)
-          ~node:node.Cluster.Topology.node_name ~kind:"fragment"
-          ~tags:
-            [
-              ("shard", string_of_int task.Plan.task_shard);
-              ("group", string_of_int task.Plan.task_group);
-            ]
-          (fun sp ->
-            let result, duration =
-              measured node (fun () ->
-                  State.exec_ast_on t conn task.Plan.task_stmt)
-            in
-            Obs.Trace.set_duration sp duration;
-            (result, duration))
-      in
-      Obs.Metrics.observe
-        (Cluster.Topology.metrics t.State.cluster)
-        "exec.fragment_seconds" duration;
-      record_duration node.Cluster.Topology.node_name duration;
-      if needs_txn_block && task.Plan.task_group >= 0 then begin
-        let key = (node.Cluster.Topology.node_name, task.Plan.task_group) in
-        if not (List.mem_assoc key st.State.affinity) then
-          st.State.affinity <- (key, conn) :: st.State.affinity
-      end;
-      result
-    with
-      (State.Network_error _ | Cluster.Connection.Node_unavailable _) as e ->
-      if List.memq conn st.State.txn_conns then
-        withdraw_txn_conn t st conn ~node:node.Cluster.Topology.node_name;
-      raise e
+    Fun.protect
+      ~finally:(fun () -> release sched ~node_name conn)
+      (fun () ->
+        try
+          if needs_txn_block && not (List.memq conn st.State.txn_conns) then begin
+            ignore (Exec.on_conn_exn t conn "BEGIN");
+            st.State.txn_conns <- conn :: st.State.txn_conns;
+            register_backend st t conn coord_session
+          end;
+          let result, duration =
+            Obs.Trace.with_span_parent trace ~parent:parent_span
+              ~now:(Cluster.Topology.now t.State.cluster)
+              ~node:node.Cluster.Topology.node_name ~kind:"fragment"
+              ~tags:
+                [
+                  ("shard", string_of_int task.Plan.task_shard);
+                  ("group", string_of_int task.Plan.task_group);
+                ]
+              (fun _sp ->
+                let result, duration =
+                  measured node (fun () ->
+                      Exec.ast_on_conn_exn t conn task.Plan.task_stmt)
+                in
+                (* occupy the connection for the fragment's modeled cost:
+                   this sleep advances the virtual clock, so the span's
+                   start/end and the statement's makespan are genuine
+                   measurements *)
+                Sim.Sched.sleep sched duration;
+                (result, duration))
+          in
+          Obs.Metrics.observe m "exec.fragment_seconds" duration;
+          record_duration node.Cluster.Topology.node_name duration;
+          if needs_txn_block && task.Plan.task_group >= 0 then begin
+            let key = (node.Cluster.Topology.node_name, task.Plan.task_group) in
+            if not (List.mem_assoc key st.State.affinity) then
+              st.State.affinity <- (key, conn) :: st.State.affinity
+          end;
+          result
+        with
+          (State.Network_error _ | Cluster.Connection.Node_unavailable _) as e
+          ->
+          if List.memq conn st.State.txn_conns then
+            withdraw_txn_conn t st conn ~node:node.Cluster.Topology.node_name;
+          raise e)
   in
-  let exec_task (task : Plan.task) =
+  let exec_task sched (task : Plan.task) =
     let candidates = replica_nodes t task in
     if is_write task.Plan.task_stmt && List.length candidates > 1 then begin
       (* statement-based replication (§3.3): the write runs on every
@@ -322,7 +377,7 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
       let successes = ref [] and failed = ref [] and last_err = ref None in
       List.iter
         (fun node_name ->
-          match run_on task node_name with
+          match run_on sched task node_name with
           | r -> successes := r :: !successes
           | exception
               ((State.Network_error _ | Cluster.Connection.Node_unavailable _)
@@ -347,9 +402,10 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
       let rec try_nodes = function
         | [] -> assert false
         | [ node_name ] ->
-          State.with_retry t ~node:node_name (fun () -> run_on task node_name)
+          State.with_retry t ~node:node_name (fun () ->
+              run_on sched task node_name)
         | node_name :: rest ->
-          (match run_on task node_name with
+          (match run_on sched task node_name with
            | r -> r
            | exception
                (State.Network_error _ | Cluster.Connection.Node_unavailable _)
@@ -365,48 +421,103 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
       | node_name :: _ ->
         if not explicit then
           (* single-placement write: bounded retries, no failover target *)
-          State.with_retry t ~node:node_name (fun () -> run_on task node_name)
+          State.with_retry t ~node:node_name (fun () ->
+              run_on sched task node_name)
         else
           (* inside an explicit transaction: one attempt on the planned
              node; failing over mid-transaction would lose uncommitted
              state *)
-          run_on task node_name
+          run_on sched task node_name
   in
-  let results = List.map exec_task tasks in
+  (* Tasks that pin the same transaction-affine (node, shard-group) key
+     must not race to establish the affinity connection: chain them into
+     one fiber, in plan order. Everything else gets its own fiber. *)
+  let chain_key (task : Plan.task) =
+    if (explicit || is_write task.Plan.task_stmt) && task.Plan.task_group >= 0
+    then Some (task.Plan.task_node, task.Plan.task_group)
+    else None
+  in
+  let units =
+    let chains : (string * int, (int * Plan.task) list ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    List.rev
+      (List.fold_left
+         (fun acc (i, task) ->
+           match chain_key task with
+           | None -> ref [ (i, task) ] :: acc
+           | Some key -> (
+             match Hashtbl.find_opt chains key with
+             | Some r ->
+               r := (i, task) :: !r;
+               acc
+             | None ->
+               let r = ref [ (i, task) ] in
+               Hashtbl.replace chains key r;
+               r :: acc))
+         []
+         (List.mapi (fun i task -> (i, task)) tasks))
+  in
+  let results =
+    match tasks with
+    | [] -> []
+    | _ ->
+      let collected =
+        State.with_sched t (fun sched ->
+            let fibers =
+              List.filter_map
+                (fun unit_ref ->
+                  match List.rev !unit_ref with
+                  | [] -> None
+                  | ((_, first) : int * Plan.task) :: _ as unit_tasks ->
+                    Some
+                      (Sim.Sched.spawn sched ~node:first.Plan.task_node
+                         (fun () ->
+                           List.map
+                             (fun (i, task) -> (i, exec_task sched task))
+                             unit_tasks)))
+                units
+            in
+            List.concat (Sim.Sched.join_all sched fibers))
+      in
+      List.map snd
+        (List.sort (fun (a, _) (b, _) -> Int.compare a b) collected)
+  in
   let net_after = Cluster.Topology.net_snapshot t.State.cluster in
   let net = Cluster.Topology.net_diff ~after:net_after ~before:net_before in
-  let per_node =
-    Hashtbl.fold (fun node durs acc -> (node, List.rev !durs) :: acc)
-      node_durations []
-  in
-  let timelines =
-    List.map
-      (fun (node, durations) ->
-        let makespan, conns =
-          simulate_timeline ~durations
-            ~slow_start:t.State.config.State.slow_start_interval
-            ~max_conns:
-              (min t.State.config.State.pool_size_per_node
-                 t.State.config.State.shared_connection_limit)
-        in
-        (node, makespan, conns, List.fold_left ( +. ) 0.0 durations))
-      per_node
+  let by_node = fun (a, _) (b, _) -> String.compare a b in
+  let node_serial =
+    List.sort by_node
+      (Hashtbl.fold (fun node r acc -> (node, !r) :: acc) node_durations [])
   in
   let report =
     {
-      makespan =
-        List.fold_left (fun acc (_, m, _, _) -> Float.max acc m) 0.0 timelines;
-      connections_used = List.map (fun (n, _, c, _) -> (n, c)) timelines;
+      makespan = Sim.Clock.now clock -. started_at;
+      connections_used =
+        List.sort by_node
+          (Hashtbl.fold
+             (fun node p acc ->
+               match List.length p.sp_used with
+               | 0 -> acc
+               | n -> (node, n) :: acc)
+             pools []);
+      conn_opened_at =
+        List.sort by_node
+          (Hashtbl.fold
+             (fun node p acc ->
+               match p.sp_opened_at with
+               | [] -> acc
+               | l -> (node, List.rev l) :: acc)
+             pools []);
       round_trips = net.Cluster.Topology.round_trips;
-      serial_time =
-        List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0.0 timelines;
+      serial_time = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 node_serial;
+      node_serial;
     }
   in
-  let m = Cluster.Topology.metrics t.State.cluster in
   Obs.Metrics.inc m ~by:(List.length tasks) "exec.tasks";
   Obs.Metrics.observe m "exec.makespan_seconds" report.makespan;
   List.iter
-    (fun (_, c) -> Obs.Metrics.observe m "exec.connections_per_statement"
-        (float_of_int c))
+    (fun (_, c) ->
+      Obs.Metrics.observe m "exec.connections_per_statement" (float_of_int c))
     report.connections_used;
   (results, report)

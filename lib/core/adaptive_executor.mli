@@ -1,11 +1,13 @@
 (** The adaptive executor (§3.6.1).
 
-    Runs a distributed plan's tasks over per-session connection pools,
-    respecting:
+    Runs a distributed plan's tasks as concurrent {!Sim.Sched} fibers
+    over per-session connection pools, respecting:
 
     - {b connection affinity}: inside a transaction, the same shard group
       on the same node always reuses the same connection, so uncommitted
-      writes and locks stay visible to later statements;
+      writes and locks stay visible to later statements. Tasks that pin
+      the same (node, shard-group) key are chained into one fiber in
+      plan order, so the affinity connection is established exactly once;
     - {b replication and failover}: a write whose shard has several active
       placements runs on every replica (statement-based replication, §3.3);
       replicas that fail are marked {!Metadata.Inactive} as long as one
@@ -16,47 +18,40 @@
       commit happens later through {!Twopc}'s transaction callbacks;
     - {b the shared connection limit}: new connections are only opened
       while the cluster-wide per-worker count is below the limit;
-    - {b slow start}: since this harness has no OS threads, parallelism is
-      simulated — tasks execute sequentially and their measured durations
-      feed a deterministic timeline (one connection at t=0, one more every
-      [slow_start_interval]) whose makespan and effective connection counts
-      are returned in the {!report}. *)
+    - {b slow start}: the k-th connection a statement opens to a node
+      becomes available at [k * slow_start_interval] on the virtual
+      clock — the opening fiber sleeps until its ramp gate. Each fragment
+      then occupies its connection for its modeled duration (a virtual
+      sleep), so the statement's makespan is {e measured} off the clock,
+      not reconstructed afterwards. *)
 
 type report = {
   makespan : float;
-      (** simulated parallel elapsed time across nodes (excludes network) *)
+      (** virtual-clock elapsed from dispatch to last fragment completion *)
   connections_used : (string * int) list;
-      (** effective connections per node (after slow start) *)
+      (** per node, connections that ran at least one fragment *)
+  conn_opened_at : (string * float list) list;
+      (** per node, virtual times at which this statement opened {e new}
+          connections — the slow-start ramp, in open order *)
   round_trips : int;  (** network round trips incurred by the tasks *)
-  serial_time : float;  (** sum of all task durations (1-connection time) *)
+  serial_time : float;  (** sum of all fragment durations (1-connection time) *)
+  node_serial : (string * float) list;
+      (** per node, sum of fragment durations — the per-node serial floor
+          the concurrent makespan is compared against *)
 }
-
-(** A transaction connection failed and one of the shard groups it had
-    written has no other active replica: the transaction cannot continue
-    without silently losing those writes, so it must abort. Carries the
-    node name. *)
-exception Txn_replica_lost of string
 
 (** Mark the placement of [shard_id] on [node] — plus its colocated
     siblings on that node — {!Metadata.Inactive}. Used when a replicated
     write or COPY loses one replica but survives on another. *)
 val mark_placement_lost : State.t -> shard_id:int -> node:string -> unit
 
-(** Execute tasks in a deterministic order; returns per-task results
-    (aligned with the input order) and the timing report. Raises whatever
-    task execution raises ({!Engine.Executor.Would_block},
-    {!State.Network_error}, ...). *)
+(** Execute tasks concurrently under {!State.with_sched}; returns
+    per-task results (aligned with the input order) and the timing
+    report. Raises whatever task execution raises
+    ({!Engine.Executor.Would_block}, {!State.Network_error},
+    {!State.Txn_replica_lost}, ...). *)
 val execute :
   State.t ->
   Engine.Instance.session ->
   Plan.task list ->
   Engine.Instance.result list * report
-
-(** Pure timeline simulation, exposed for unit tests: given task durations
-    per node and the slow-start interval, the resulting (makespan,
-    effective connections). [max_conns] caps the ramp-up. *)
-val simulate_timeline :
-  durations:float list ->
-  slow_start:float ->
-  max_conns:int ->
-  float * int

@@ -314,7 +314,7 @@ let delegate_call (t : t) (st : State.t) session proc args =
              | None -> assert false (* forced checkout always opens *))
          in
          let stmt = Ast.Call { proc; args } in
-         Some (State.exec_ast_on st conn stmt)
+         Some (Exec.ast_on_conn_exn st conn stmt)
        end)
 
 let planner_hook (t : t) (st : State.t) session (stmt : Ast.statement) :

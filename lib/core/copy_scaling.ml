@@ -16,7 +16,7 @@ let connection_to (t : State.t) st session node_name =
   if Engine.Instance.in_transaction session
      && not (List.memq conn st.State.txn_conns)
   then begin
-    ignore (State.exec_on t conn "BEGIN");
+    ignore (Exec.on_conn_exn t conn "BEGIN");
     st.State.txn_conns <- conn :: st.State.txn_conns
   end;
   conn

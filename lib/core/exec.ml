@@ -1,13 +1,15 @@
 (* The one documented execution boundary.
 
-   Three overlapping entry points grew up under this layer:
-   [State.exec_on] (breaker-feeding, partition-aware), raw
-   [Cluster.Connection.exec] (no health accounting) and the
-   [Adaptive_executor]/[Dist_executor] runners — each reporting
-   infrastructure failures as a different exception. Callers above the
-   Citus layer should come through here instead: every function returns
-   [Ok _ | Error of exec_error] with the failure cause as a structured
-   variant, never an infrastructure exception.
+   Three overlapping entry points grew up under this layer: a
+   breaker-feeding State wrapper, raw [Cluster.Connection] calls (no
+   health accounting) and the [Adaptive_executor]/[Dist_executor]
+   runners — each reporting infrastructure failures as a different
+   exception. This module now owns the per-connection primitives: the
+   [_exn] forms are the raising internals (network simulation guards +
+   circuit-breaker accounting over [Connection.exec_async]); the typed
+   forms wrap them into [Ok _ | Error of exec_error] for callers above
+   the Citus layer. The executors themselves sit {e above} this module
+   and build on the [_exn] forms.
 
    Deliberately NOT mapped to [Error]:
    - [Engine.Executor.Would_block] — a retryable lock-wait signal, part
@@ -42,18 +44,37 @@ let wrap f =
   | exception Cluster.Connection.Node_unavailable { node; reason } ->
     Error (Node_unavailable { node; reason })
   | exception State.Network_error m -> Error (Network_error m)
-  | exception Adaptive_executor.Txn_replica_lost node ->
-    Error (Txn_replica_lost node)
+  | exception State.Txn_replica_lost node -> Error (Txn_replica_lost node)
   | exception Metadata.Catalog_error m -> Error (Catalog_error m)
 
-let on_conn st conn sql = wrap (fun () -> State.exec_on st conn sql)
+(* Execute on a connection, simulating the network: partition and
+   injected-failure checks up front, then the split submit/await round
+   trip. Every infrastructure-fault outcome feeds the node's circuit
+   breaker; statement errors do not. *)
+let on_conn_exn (t : State.t) conn sql =
+  let node = (Cluster.Connection.node conn).Cluster.Topology.node_name in
+  try
+    State.check_reachable t node;
+    State.check_injected t node sql;
+    let r = Cluster.Connection.(await (exec_async conn sql)) in
+    Health.record_success t.State.health node;
+    r
+  with (State.Network_error _ | Cluster.Connection.Node_unavailable _) as e ->
+    (* both are infrastructure faults, not statement errors: they feed
+       the breaker and stay distinguishable for the executors *)
+    Health.record_failure t.State.health node;
+    raise e
 
-let ast_on_conn st conn stmt = wrap (fun () -> State.exec_ast_on st conn stmt)
+let ast_on_conn_exn t conn stmt =
+  on_conn_exn t conn (Sqlfront.Deparse.statement stmt)
 
-let raw_on_conn conn sql = wrap (fun () -> Cluster.Connection.exec conn sql)
+(* Raw round trip: no partition check, no breaker accounting — for
+   best-effort cleanup (ROLLBACK on a connection that just failed) and
+   shard-local plumbing whose failures the caller counts itself. *)
+let raw_on_conn_exn conn sql = Cluster.Connection.(await (exec_async conn sql))
 
-let run_tasks st session tasks =
-  wrap (fun () -> Adaptive_executor.execute st session tasks)
+let on_conn st conn sql = wrap (fun () -> on_conn_exn st conn sql)
 
-let run_plan st session plan =
-  wrap (fun () -> Dist_executor.execute st session plan)
+let ast_on_conn st conn stmt = wrap (fun () -> ast_on_conn_exn st conn stmt)
+
+let raw_on_conn conn sql = wrap (fun () -> raw_on_conn_exn conn sql)

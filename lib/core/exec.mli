@@ -1,16 +1,16 @@
 (** Unified typed execution boundary.
 
-    The historical entry points — {!State.exec_on} (breaker-feeding),
-    raw {!Cluster.Connection.exec} (no health accounting) and the
-    {!Adaptive_executor}/{!Dist_executor} runners — each surface
-    infrastructure failures as a different exception. This module is the
-    one documented boundary: every function returns
-    [Ok result | Error of exec_error] with the cause as a structured
-    variant. The old names remain as the (deprecated) exception-raising
-    internals; new call sites should come through here.
+    Every per-connection statement the Citus layer sends goes through
+    here. The [_exn] forms are the raising primitives — partition /
+    injected-failure guards plus circuit-breaker accounting over
+    {!Cluster.Connection.exec_async} — used by the executors and by
+    engine-internal code whose control flow is exceptions (2PC cleanup
+    paths). The typed forms return [Ok result | Error of exec_error]
+    with the failure cause as a structured variant, for callers above
+    the Citus layer.
 
-    Two exceptions intentionally still propagate, because they are
-    control flow rather than infrastructure failures:
+    Two exceptions intentionally still propagate everywhere, because
+    they are control flow rather than infrastructure failures:
     {!Engine.Executor.Would_block} (retryable lock wait) and
     [Engine.Instance.Session_error] (statement error that must abort the
     transaction through the engine's own path). *)
@@ -28,11 +28,33 @@ type exec_error =
 val error_message : exec_error -> string
 
 (** Run any thunk, mapping the four infrastructure exceptions to
-    [Error]. Building block for the wrappers below. *)
+    [Error]. Building block for the typed wrappers; also what the
+    planner hook wraps whole plan executions in. *)
 val wrap : (unit -> 'a) -> ('a, exec_error) result
 
-(** {!State.exec_on} with a typed result: simulates the network and
-    feeds the node's circuit breaker. *)
+(** Execute on a connection, simulating the network: raises
+    {!State.Network_error} if the target node is partitioned away or an
+    injected failure matches, lets {!Cluster.Connection.Node_unavailable}
+    from the fault layer through unchanged, and feeds every
+    infrastructure-fault outcome (but no statement error) into the
+    node's circuit breaker. *)
+val on_conn_exn :
+  State.t -> Cluster.Connection.t -> string -> Engine.Instance.result
+
+(** Deparse and {!on_conn_exn}. *)
+val ast_on_conn_exn :
+  State.t ->
+  Cluster.Connection.t ->
+  Sqlfront.Ast.statement ->
+  Engine.Instance.result
+
+(** Raw round trip: no partition guard, no breaker accounting — for
+    best-effort cleanup on connections that may be mid-failure and for
+    shard-local plumbing that counts its own failures. Prefer
+    {!on_conn_exn} when a {!State.t} is at hand. *)
+val raw_on_conn_exn : Cluster.Connection.t -> string -> Engine.Instance.result
+
+(** Typed forms of the above. *)
 val on_conn :
   State.t ->
   Cluster.Connection.t ->
@@ -45,23 +67,7 @@ val ast_on_conn :
   Sqlfront.Ast.statement ->
   (Engine.Instance.result, exec_error) result
 
-(** Raw {!Cluster.Connection.exec} (no breaker accounting) with a typed
-    result. Prefer {!on_conn} when a {!State.t} is at hand. *)
 val raw_on_conn :
   Cluster.Connection.t ->
   string ->
   (Engine.Instance.result, exec_error) result
-
-(** {!Adaptive_executor.execute} with a typed result. *)
-val run_tasks :
-  State.t ->
-  Engine.Instance.session ->
-  Plan.task list ->
-  (Engine.Instance.result list * Adaptive_executor.report, exec_error) result
-
-(** {!Dist_executor.execute} with a typed result. *)
-val run_plan :
-  State.t ->
-  Engine.Instance.session ->
-  Plan.t ->
-  (Engine.Instance.result * Adaptive_executor.report, exec_error) result

@@ -226,7 +226,7 @@ let group_placeable (t : State.t) (shard : Metadata.shard) ~to_node =
       = None)
     (Metadata.colocated_shards t.State.metadata shard)
 
-let move_shard_group (t : State.t) ~shard_id ~to_node =
+let move_shard_group ?sched (t : State.t) ~shard_id ~to_node =
   let meta = t.State.metadata in
   let shard =
     match
@@ -249,9 +249,13 @@ let move_shard_group (t : State.t) ~shard_id ~to_node =
     if not (group_placeable t shard ~to_node) then
       err "shard %d already has a placement on %s" shard_id to_node;
     let m = Cluster.Topology.metrics t.State.cluster in
+    let trace = Cluster.Topology.trace t.State.cluster in
     Obs.Metrics.inc m "rebalance.moves_started";
-    Obs.Trace.with_span
-      (Cluster.Topology.trace t.State.cluster)
+    (* the parent is read off the span stack here, not inside the span
+       body: concurrent batched moves run as fibers and must not push on
+       the shared stack, or interleaved moves would mis-parent *)
+    Obs.Trace.with_span_parent trace
+      ~parent:(Obs.Trace.current trace)
       ~now:(Cluster.Topology.now t.State.cluster)
       ~node:t.State.local.Cluster.Topology.node_name ~kind:"rebalance.move"
       ~tags:
@@ -269,6 +273,14 @@ let move_shard_group (t : State.t) ~shard_id ~to_node =
         rows := !rows + r;
         catchup := !catchup + c)
       group;
+    (* under the cooperative scheduler a move occupies virtual time
+       proportional to the data it shipped, so batched moves genuinely
+       overlap on the clock instead of completing instantaneously *)
+    (match sched with
+     | Some sched ->
+       Sim.Sched.sleep sched
+         (0.001 +. (1e-6 *. float_of_int (!rows + !catchup)))
+     | None -> ());
     Obs.Metrics.inc m "rebalance.moves_completed";
     Obs.Metrics.inc m ~by:!rows "rebalance.rows_copied";
     Obs.Metrics.inc m ~by:!catchup "rebalance.catchup_records";
@@ -363,36 +375,104 @@ let rebalance ?(policy = By_shard_count) (t : State.t) =
   let moves = ref [] in
   let continue = ref true in
   let guard = ref 0 in
+  (* [Custom] cost functions are opaque per-node aggregates: one group's
+     contribution cannot be subtracted virtually, so batches degrade to
+     size 1 (re-measure after every move, exactly the old behaviour) *)
+  let batch_limit =
+    match policy with
+    | Custom _ -> 1
+    | By_shard_count | By_size ->
+      max 1 t.State.config.State.max_parallel_moves
+  in
+  let group_cost (head : Metadata.shard) ~on_node =
+    let group = Metadata.colocated_shards t.State.metadata head in
+    match policy with
+    | By_shard_count -> float_of_int (List.length group)
+    | By_size ->
+      float_of_int
+        (List.fold_left (fun acc s -> acc + shard_rows t s on_node) 0 group)
+    | Custom _ -> 1.0
+  in
   while !continue && !guard < 1000 do
     incr guard;
-    let costs = List.map (fun n -> (n, node_cost t policy n)) nodes in
-    let busiest, bc =
-      List.fold_left (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
-        ("", neg_infinity) costs
-    in
-    let idlest, ic =
-      List.fold_left (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv))
-        ("", infinity) costs
-    in
-    (* moving one shard group changes each side by roughly one group's
-       cost; stop when the gap cannot be improved *)
-    let candidates = Metadata.shards_on_node t.State.metadata busiest in
-    (* only consider one shard per colocation group index *)
-    let group_heads =
-      List.sort_uniq
-        (fun (a : Metadata.shard) b ->
-          Int.compare a.Metadata.index_in_colocation b.Metadata.index_in_colocation)
-        candidates
-    in
-    (* with replication > 1 the idlest node may already hold a replica
-       of a candidate group; those groups cannot move there *)
-    let movable =
-      List.filter (fun s -> group_placeable t s ~to_node:idlest) group_heads
-    in
-    match movable with
-    | head :: _ when bc -. ic > 1.0 && not (String.equal busiest idlest) ->
-      let m = move_shard_group t ~shard_id:head.Metadata.shard_id ~to_node:idlest in
-      moves := m :: !moves
-    | _ -> continue := false
+    (* Plan a batch of up to [max_parallel_moves] group moves against a
+       virtually updated cost table — each planned move debits its group
+       cost from the source and credits the destination — then execute
+       the whole batch concurrently. Distinct groups touch distinct
+       shard tables and metadata rows, so batched moves cannot conflict
+       on the cutover locks. *)
+    let costs = ref (List.map (fun n -> (n, node_cost t policy n)) nodes) in
+    let batch = ref [] in
+    let scheduled_shards = ref [] in
+    let planning = ref true in
+    while !planning && List.length !batch < batch_limit do
+      let busiest, bc =
+        List.fold_left
+          (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+          ("", neg_infinity) !costs
+      in
+      let idlest, ic =
+        List.fold_left
+          (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv))
+          ("", infinity) !costs
+      in
+      (* moving one shard group changes each side by roughly one group's
+         cost; stop when the gap cannot be improved *)
+      let candidates = Metadata.shards_on_node t.State.metadata busiest in
+      (* only consider one shard per colocation group index *)
+      let group_heads =
+        List.sort_uniq
+          (fun (a : Metadata.shard) b ->
+            Int.compare a.Metadata.index_in_colocation
+              b.Metadata.index_in_colocation)
+          candidates
+      in
+      (* with replication > 1 the idlest node may already hold a replica
+         of a candidate group; those groups cannot move there. Groups
+         already scheduled in this batch stay where planning put them. *)
+      let movable =
+        List.filter
+          (fun s ->
+            group_placeable t s ~to_node:idlest
+            && not
+                 (List.exists
+                    (fun (g : Metadata.shard) ->
+                      List.mem g.Metadata.shard_id !scheduled_shards)
+                    (Metadata.colocated_shards t.State.metadata s)))
+          group_heads
+      in
+      match movable with
+      | head :: _ when bc -. ic > 1.0 && not (String.equal busiest idlest) ->
+        let gc = group_cost head ~on_node:busiest in
+        batch := (head.Metadata.shard_id, idlest) :: !batch;
+        scheduled_shards :=
+          List.map
+            (fun (s : Metadata.shard) -> s.Metadata.shard_id)
+            (Metadata.colocated_shards t.State.metadata head)
+          @ !scheduled_shards;
+        costs :=
+          List.map
+            (fun (n, v) ->
+              if String.equal n busiest then (n, v -. gc)
+              else if String.equal n idlest then (n, v +. gc)
+              else (n, v))
+            !costs
+      | _ -> planning := false
+    done;
+    match List.rev !batch with
+    | [] -> continue := false
+    | batch_moves ->
+      let executed =
+        State.with_sched t (fun sched ->
+            let fibers =
+              List.map
+                (fun (shard_id, to_node) ->
+                  Sim.Sched.spawn sched ~node:to_node (fun () ->
+                      move_shard_group ~sched t ~shard_id ~to_node))
+                batch_moves
+            in
+            Sim.Sched.join_all sched fibers)
+      in
+      List.iter (fun mv -> moves := mv :: !moves) executed
   done;
   List.rev !moves

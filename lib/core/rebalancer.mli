@@ -31,11 +31,18 @@ type move = {
 exception Move_blocked of int list
 (** A writer still holds locks on the shard; retry after it finishes. *)
 
-(** Move one shard group (the shard and its co-located siblings). *)
+(** Move one shard group (the shard and its co-located siblings). When
+    [sched] is given — the rebalancer batching moves — the move also
+    occupies virtual time proportional to the rows it shipped, so
+    concurrent moves overlap on the clock. *)
 val move_shard_group :
-  State.t -> shard_id:int -> to_node:string -> move
+  ?sched:Sim.Sched.t -> State.t -> shard_id:int -> to_node:string -> move
 
-(** Rebalance until the policy is satisfied; returns the moves performed. *)
+(** Rebalance until the policy is satisfied; returns the moves performed.
+    Each round plans up to [config.max_parallel_moves] non-conflicting
+    group moves against a virtually updated cost table and executes the
+    batch as concurrent {!Sim.Sched} fibers ([Custom] policies plan one
+    move at a time — their cost is an opaque per-node aggregate). *)
 val rebalance : ?policy:policy -> State.t -> move list
 
 (** Re-copy the Inactive placement of a shard on [node] from a healthy

@@ -2,6 +2,7 @@ type config = {
   mutable pool_size_per_node : int;
   mutable shared_connection_limit : int;
   mutable slow_start_interval : float;
+  mutable max_parallel_moves : int;
   mutable binary_protocol : bool;
 }
 
@@ -31,11 +32,14 @@ type t = {
 
 exception Network_error of string
 
+exception Txn_replica_lost of string
+
 let default_config () =
   {
     pool_size_per_node = 16;
     shared_connection_limit = 100;
     slow_start_interval = 0.010;
+    max_parallel_moves = 4;
     binary_protocol = true;
   }
 
@@ -135,24 +139,17 @@ let check_injected t node sql =
              (Printf.sprintf "injected failure on %s for %S" node pattern)))
     t.injected_failures
 
-let exec_on t conn sql =
-  let node = (Cluster.Connection.node conn).Cluster.Topology.node_name in
-  try
-    check_reachable t node;
-    check_injected t node sql;
-    let r = Cluster.Connection.exec conn sql in
-    Health.record_success t.health node;
-    r
-  with (Network_error _ | Cluster.Connection.Node_unavailable _) as e ->
-    (* both are infrastructure faults, not statement errors: they feed
-       the breaker and stay distinguishable for the executors *)
-    Health.record_failure t.health node;
-    raise e
-
-let exec_ast_on t conn stmt =
-  exec_on t conn (Sqlfront.Deparse.statement stmt)
-
 let node_available t node = Health.available t.health node
+
+(* One cooperative-scheduler run wired to this cluster: ready-queue
+   tiebreaks come from the topology's [sched_seed] and every virtual
+   clock jump fires the fault plan's tick, so scheduled crashes and
+   partitions land between fiber slices at their virtual times. *)
+let with_sched t f =
+  Sim.Sched.run
+    ?seed:t.cluster.Cluster.Topology.sched_seed
+    ~on_advance:(fun () -> Cluster.Topology.fault_tick t.cluster)
+    ~clock:t.cluster.Cluster.Topology.clock f
 
 (* Bounded retry for transient network errors against one node. Waits the
    breaker's current backoff on the simulated clock between attempts, so

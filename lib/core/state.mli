@@ -13,6 +13,8 @@ type config = {
   mutable shared_connection_limit : int;
       (** cluster-wide cap of connections to one worker across sessions *)
   mutable slow_start_interval : float;  (** seconds; paper: 10ms *)
+  mutable max_parallel_moves : int;
+      (** rebalancer: shard-group moves allowed in flight at once *)
   mutable binary_protocol : bool;  (** placeholder knob, always true *)
 }
 
@@ -37,8 +39,9 @@ type t = {
   local : Cluster.Topology.node;  (** node this extension instance runs on *)
   config : config;
   health : Health.t;
-      (** per-node circuit breakers fed by {!exec_on}; the planner and
-          executors consult it for placement preference and retry backoff *)
+      (** per-node circuit breakers fed by [Exec.on_conn]; the planner
+          and executors consult it for placement preference and retry
+          backoff *)
   sessions : ((string * int), session_state) Hashtbl.t;
   shared_counters : (string, int ref) Hashtbl.t;
   registry : ((string * int), string * int) Hashtbl.t;
@@ -55,6 +58,13 @@ type t = {
 }
 
 exception Network_error of string
+
+(** A transaction connection failed and one of the shard groups it had
+    written has no other active replica: the transaction cannot continue
+    without silently losing those writes, so it must abort. Carries the
+    node name. Raised by the adaptive executor, mapped to a typed error
+    by [Exec.wrap]. *)
+exception Txn_replica_lost of string
 
 val create :
   cluster:Cluster.Topology.t ->
@@ -82,20 +92,19 @@ val checkout :
 (** All pool connections of the session to [node]. *)
 val pool_of : session_state -> string -> Cluster.Connection.t list
 
-(** Execute on a connection, simulating the network: raises
-    {!Network_error} if the target node is partitioned away, and lets
-    {!Cluster.Connection.Node_unavailable} from the fault-injection layer
-    through unchanged. Every infrastructure-fault outcome feeds the
-    node's circuit breaker in {!field-health}; statement errors do not.
+(** Network-simulation guards, used by [Exec]'s raising primitives:
+    [check_reachable] raises {!Network_error} when the node is
+    partitioned away; [check_injected] raises it when the statement
+    matches an {!inject_failure} pattern for the node. *)
+val check_reachable : t -> string -> unit
 
-    Deprecated as a public boundary: new call sites should use
-    {!Exec.on_conn}, which returns the failure cause as a typed
-    [exec_error] instead of raising. This raising form remains as the
-    internal implementation. *)
-val exec_on : t -> Cluster.Connection.t -> string -> Engine.Instance.result
+val check_injected : t -> string -> string -> unit
 
-val exec_ast_on :
-  t -> Cluster.Connection.t -> Sqlfront.Ast.statement -> Engine.Instance.result
+(** [with_sched t f] runs [f] under a {!Sim.Sched} wired to this
+    cluster: the topology's [sched_seed] orders ready-queue tiebreaks
+    and every virtual-clock jump fires {!Cluster.Topology.fault_tick},
+    so scheduled faults interleave with fibers at their virtual times. *)
+val with_sched : t -> (Sim.Sched.t -> 'a) -> 'a
 
 (** [false] while the node's circuit breaker is open. *)
 val node_available : t -> string -> bool

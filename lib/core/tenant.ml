@@ -97,7 +97,7 @@ let isolate_tenant (t : State.t) ~table ~value =
              an internally generated "<table>_<id>" identifier — never
              client input *)
           let rows =
-            (Cluster.Connection.exec conn
+            (Exec.raw_on_conn_exn conn
                (Printf.sprintf "SELECT * FROM %s"
                   (Metadata.shard_name old_shard)) [@lint.sql_static])
               .Engine.Instance.rows

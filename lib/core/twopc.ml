@@ -154,7 +154,7 @@ let pre_commit (t : State.t) coord_session =
   | [ conn ] ->
     (* single-node transaction: delegate the commit (§3.7.1) *)
     Obs.Metrics.inc (metrics t) "twopc.delegated_commits";
-    ignore (State.exec_on t conn "COMMIT")
+    ignore (Exec.on_conn_exn t conn "COMMIT")
   | conns ->
     (* two-phase commit (§3.7.2) *)
     let coord_xid =
@@ -168,14 +168,42 @@ let pre_commit (t : State.t) coord_session =
        span t ~kind:"2pc.prepare"
          ~tags:[ ("participants", string_of_int (List.length conns)) ]
          (fun _sp ->
+           (* gids are assigned in connection order before any fiber runs,
+              so the gid sequence is independent of fiber interleaving *)
+           let with_gids =
+             List.map (fun conn -> (conn, State.fresh_gid t ~coord_xid)) conns
+           in
+           (* fan PREPARE TRANSACTION out to every participant as its own
+              fiber; unlike the old sequential loop, a failing participant
+              no longer prevents the others from preparing — the cleanup
+              below rolls back whatever did prepare *)
+           let outcomes =
+             State.with_sched t (fun sched ->
+                 let fibers =
+                   List.map
+                     (fun (conn, gid) ->
+                       Sim.Sched.spawn sched ~node:(node_name conn)
+                         (fun () ->
+                           ignore
+                             (Exec.ast_on_conn_exn t conn
+                                (Sqlfront.Ast.Prepare_transaction gid));
+                           (conn, gid)))
+                     with_gids
+                 in
+                 List.map (fun f -> Sim.Sched.await_result sched f) fibers)
+           in
            List.iter
-             (fun conn ->
-               let gid = State.fresh_gid t ~coord_xid in
-               ignore
-                 (State.exec_ast_on t conn
-                    (Sqlfront.Ast.Prepare_transaction gid));
-               prepared := (conn, gid) :: !prepared)
-             conns)
+             (function
+               | Ok pair -> prepared := pair :: !prepared
+               | Error _ -> ())
+             outcomes;
+           match
+             List.find_map
+               (function Error e -> Some e | Ok _ -> None)
+               outcomes
+           with
+           | Some e -> raise e
+           | None -> ())
      with e ->
        Obs.Metrics.inc (metrics t) "twopc.prepare_failed";
        (* a prepare failed: roll back everything and abort the coordinator.
@@ -185,13 +213,13 @@ let pre_commit (t : State.t) coord_session =
          (fun (conn, gid) ->
            try
              ignore
-               (State.exec_ast_on t conn (Sqlfront.Ast.Rollback_prepared gid))
+               (Exec.ast_on_conn_exn t conn (Sqlfront.Ast.Rollback_prepared gid))
            with _ -> Health.record_ignored t.State.health (node_name conn))
          !prepared;
        List.iter
          (fun conn ->
            if not (List.mem_assq conn !prepared) then
-             try ignore (State.exec_on t conn "ROLLBACK")
+             try ignore (Exec.on_conn_exn t conn "ROLLBACK")
              with _ -> Health.record_ignored t.State.health (node_name conn))
          conns;
        st.State.prepared <- [];
@@ -209,21 +237,36 @@ let post_commit (t : State.t) coord_session =
      span t ~kind:"2pc.commit"
        ~tags:[ ("participants", string_of_int (List.length prepared)) ]
        (fun _sp ->
-         List.iter
-           (fun (conn, gid) ->
-             (* best effort; failures are handled by recovery. Commit
-                records are cleaned up lazily by the maintenance daemon,
-                off the hot path. *)
-             match
-               State.exec_ast_on t conn (Sqlfront.Ast.Commit_prepared gid)
-             with
-             | _ -> Obs.Metrics.inc (metrics t) "twopc.committed"
-             | exception _ ->
+         (* fan COMMIT PREPARED out to every participant as its own fiber.
+            Best effort; failures are handled by recovery. Commit records
+            are cleaned up lazily by the maintenance daemon, off the hot
+            path. *)
+         let outcomes =
+           State.with_sched t (fun sched ->
+               let fibers =
+                 List.map
+                   (fun (conn, gid) ->
+                     Sim.Sched.spawn sched ~node:(node_name conn)
+                       (fun () ->
+                         ignore
+                           (Exec.ast_on_conn_exn t conn
+                              (Sqlfront.Ast.Commit_prepared gid))))
+                   prepared
+               in
+               List.map (fun f -> Sim.Sched.await_result sched f) fibers)
+         in
+         (* metrics / breaker accounting in participant list order, not
+            completion order, so same-seed runs render identically *)
+         List.iter2
+           (fun (conn, _gid) outcome ->
+             match outcome with
+             | Ok () -> Obs.Metrics.inc (metrics t) "twopc.committed"
+             | Error _ ->
                (* count it: tests and monitoring can assert recovery later
                   resolved exactly these *)
                Obs.Metrics.inc (metrics t) "twopc.commit_deferred";
                Health.record_failed_commit t.State.health (node_name conn))
-           prepared));
+           prepared outcomes));
   cleanup_session_txn_state t st
 
 let on_abort (t : State.t) coord_session =
@@ -238,10 +281,10 @@ let on_abort (t : State.t) coord_session =
            became visible: roll it back *)
         (try
            ignore
-             (State.exec_ast_on t conn (Sqlfront.Ast.Rollback_prepared gid))
+             (Exec.ast_on_conn_exn t conn (Sqlfront.Ast.Rollback_prepared gid))
          with _ -> Health.record_ignored t.State.health (node_name conn))
       | None -> (
-        try ignore (State.exec_on t conn "ROLLBACK")
+        try ignore (Exec.on_conn_exn t conn "ROLLBACK")
         with _ -> Health.record_ignored t.State.health (node_name conn)))
     st.State.txn_conns;
   cleanup_session_txn_state t st
@@ -323,7 +366,7 @@ let recover (t : State.t) =
         | conn ->
           (* polling the node's pg_prepared_xacts costs a round trip and
              is itself subject to faults *)
-          (match State.exec_on t conn "SELECT 1" with
+          (match Exec.on_conn_exn t conn "SELECT 1" with
            | _ ->
              let mgr =
                Engine.Instance.txn_manager node.Cluster.Topology.instance
@@ -334,7 +377,7 @@ let recover (t : State.t) =
                  | Some (cid, coord_xid) when cid = t.State.coordinator_id ->
                    if commit_record_exists t gid then begin
                      match
-                       State.exec_ast_on t conn
+                       Exec.ast_on_conn_exn t conn
                          (Sqlfront.Ast.Commit_prepared gid)
                      with
                      | _ ->
@@ -348,7 +391,7 @@ let recover (t : State.t) =
                    else if not (Txn.Manager.is_active local_mgr coord_xid)
                    then begin
                      match
-                       State.exec_ast_on t conn
+                       Exec.ast_on_conn_exn t conn
                          (Sqlfront.Ast.Rollback_prepared gid)
                      with
                      | _ -> incr rolled_back
@@ -358,7 +401,7 @@ let recover (t : State.t) =
                  | _ -> ())
                (Txn.Manager.prepared_transactions mgr)
            | exception _ ->
-             (* poll lost; exec_on already recorded the failure *)
+             (* poll lost; Exec already recorded the failure *)
              Health.record_ignored t.State.health name)
       end)
     (Cluster.Topology.all_nodes t.State.cluster);

@@ -1,13 +1,14 @@
 (* Hierarchical span tracing (Dapper-style), deterministic under the
    virtual clock.
 
-   Span ids are sequential, parents come from an explicit nesting stack,
-   and timestamps are supplied by the caller from the simulated clock —
-   never from the OS — so two same-seed runs produce bit-identical span
-   trees. Durations default to (close time - open time) on the virtual
-   clock but instrumentation that computes a modeled duration (the
-   adaptive executor's cost-derived fragment times) overrides them with
-   [set_duration].
+   Span ids are sequential, parents come from an explicit nesting stack
+   (or are passed explicitly by concurrent instrumentation — fibers do
+   not nest on the caller's stack), and timestamps are supplied by the
+   caller from the simulated clock — never from the OS — so two
+   same-seed runs produce bit-identical span trees. Durations are always
+   (close time - open time) on the virtual clock: since the cooperative
+   scheduler advances the clock through a fragment's modeled execution
+   time, elapsed virtual time IS the real measurement.
 
    When the sink is disabled, [with_span] takes one branch and calls the
    body with [None]: no allocation, no clock read, no id drawn. *)
@@ -70,37 +71,61 @@ let mark t = t.next_id - 1
 let add_tag sp k v =
   match sp with Some s -> s.tags <- (k, v) :: s.tags | None -> ()
 
-let set_duration sp d = match sp with Some s -> s.duration <- d | None -> ()
+let current t = match t.stack with [] -> None | sp :: _ -> Some sp
+
+(* The raw open/close halves. [with_span] / [with_span_parent] are the
+   sanctioned wrappers (they guarantee conservation even on exceptions);
+   lint rule L8 flags any direct call outside this library. *)
+let open_span t ~now ~node ~kind ?parent ?(tags = []) () =
+  let sp =
+    {
+      id = t.next_id;
+      parent;
+      kind;
+      node;
+      start = now ();
+      duration = 0.0;
+      tags;
+      closed = false;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.started <- t.started + 1;
+  t.spans <- sp :: t.spans;
+  sp
+
+let close_span t ~now sp =
+  if not sp.closed then begin
+    sp.duration <- now () -. sp.start;
+    sp.closed <- true;
+    t.finished <- t.finished + 1
+  end
 
 let with_span t ~now ~node ~kind ?(tags = []) f =
   if not t.enabled then f None
   else begin
-    let start = now () in
-    let sp =
-      {
-        id = t.next_id;
-        parent = (match t.stack with [] -> None | p :: _ -> Some p.id);
-        kind;
-        node;
-        start;
-        duration = 0.0;
-        tags;
-        closed = false;
-      }
-    in
-    t.next_id <- t.next_id + 1;
-    t.started <- t.started + 1;
-    t.spans <- sp :: t.spans;
+    let parent = match t.stack with [] -> None | p :: _ -> Some p.id in
+    let sp = open_span t ~now ~node ~kind ?parent ~tags () in
     t.stack <- sp :: t.stack;
     Fun.protect
       ~finally:(fun () ->
         (match t.stack with
         | s :: rest when s == sp -> t.stack <- rest
         | _ -> t.stack <- List.filter (fun s -> not (s == sp)) t.stack);
-        if sp.duration = 0.0 then sp.duration <- now () -. sp.start;
-        sp.closed <- true;
-        t.finished <- t.finished + 1)
+        close_span t ~now sp)
       (fun () -> f (Some sp))
+  end
+
+(* Concurrent instrumentation: fibers interleave, so the global nesting
+   stack cannot say who the parent is — the caller captured it (with
+   {!current}) before spawning. The span never touches the stack, so
+   simultaneous fibers cannot corrupt each other's nesting. *)
+let with_span_parent t ~parent ~now ~node ~kind ?(tags = []) f =
+  if not t.enabled then f None
+  else begin
+    let parent = Option.map (fun p -> p.id) parent in
+    let sp = open_span t ~now ~node ~kind ?parent ~tags () in
+    Fun.protect ~finally:(fun () -> close_span t ~now sp) (fun () -> f (Some sp))
   end
 
 let render_span s =

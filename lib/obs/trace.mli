@@ -54,8 +54,8 @@ val spans_since : t -> int -> span list
 
 (** [with_span t ~now ~node ~kind f] runs [f] inside a fresh span (or
     with [None] when disabled). The span closes even if [f] raises;
-    duration defaults to elapsed virtual time unless {!set_duration}
-    set a modeled one. *)
+    duration is elapsed virtual time. The parent is the innermost span
+    currently open on the nesting stack. *)
 val with_span :
   t ->
   now:(unit -> float) ->
@@ -65,10 +65,43 @@ val with_span :
   (span option -> 'a) ->
   'a
 
+(** Innermost open span on the nesting stack, if any — capture this
+    {e before} spawning fibers and hand it to {!with_span_parent}. *)
+val current : t -> span option
+
+(** Like {!with_span} but with an explicit parent and {e no} interaction
+    with the nesting stack: concurrent fibers interleave their spans, so
+    stack-based parenthood would attribute a fragment to whichever span
+    another fiber happened to have open. *)
+val with_span_parent :
+  t ->
+  parent:span option ->
+  now:(unit -> float) ->
+  node:string ->
+  kind:string ->
+  ?tags:(string * string) list ->
+  (span option -> 'a) ->
+  'a
+
+(** The raw halves of {!with_span}, exported for the tracing layer's own
+    plumbing. Production code must use {!with_span} /
+    {!with_span_parent}, which guarantee span conservation (every open
+    gets a close even on exceptions); lint rule L8 flags direct calls
+    outside [lib/obs/]. *)
+val open_span :
+  t ->
+  now:(unit -> float) ->
+  node:string ->
+  kind:string ->
+  ?parent:int ->
+  ?tags:(string * string) list ->
+  unit ->
+  span
+
+val close_span : t -> now:(unit -> float) -> span -> unit
+
 (** No-ops on [None] so instrumentation never branches on the sink. *)
 val add_tag : span option -> string -> string -> unit
-
-val set_duration : span option -> float -> unit
 
 val render_span : span -> string
 

@@ -1,0 +1,280 @@
+(* Deterministic cooperative scheduler over the virtual clock.
+
+   Fibers are one-shot effect-handler continuations. Everything is
+   single-threaded: a fiber runs until it performs a scheduling effect
+   (spawn/await/sleep/yield/wait), at which point control returns to the
+   run loop, which picks the next runnable fiber. The clock only advances
+   when no fiber is runnable — it jumps to the earliest sleeper, firing
+   [on_advance] (the fault-plan tick) so scheduled crashes and partitions
+   interleave with fibers at their virtual times.
+
+   Determinism: ready queues are per-node FIFOs visited in first-seen
+   node order. Unseeded, the picker is a strict round-robin over those
+   queues; with a seed, the next queue is drawn from a [Random.State]
+   owned by this scheduler, so a chaos seed can fuzz interleavings while
+   same-seed runs stay bit-identical. The fault plan's own RNG is never
+   touched by scheduling decisions. *)
+
+type task = unit -> unit
+
+type cond = { mutable cw : (string * task) list }
+
+type t = {
+  clock : Clock.t;
+  rng : Random.State.t option;
+  on_advance : unit -> unit;
+  mutable queues : (string * task Queue.t) list;  (* first-seen order *)
+  mutable rr : int;  (* round-robin cursor (unseeded mode) *)
+  mutable sleepers : (float * int * string * task) list;  (* sorted (wake, seq) *)
+  mutable seq : int;
+  mutable live : int;  (* fibers spawned and not yet finished *)
+  mutable failed : (int * exn * (unit -> bool)) list;
+      (* (fid, error, was-it-awaited?) — unawaited failures re-raise at
+         the end of [run] instead of vanishing *)
+  mutable next_fid : int;
+}
+
+type 'a fiber_state =
+  | Running of (('a, exn) result -> unit) list  (* pending awaiters *)
+  | Done of ('a, exn) result
+
+type 'a fiber = {
+  fid : int;
+  f_node : string;
+  mutable state : 'a fiber_state;
+  mutable observed : bool;
+}
+
+type _ Effect.t +=
+  | Spawn_eff : t * string * (unit -> 'a) -> 'a fiber Effect.t
+  | Await_eff : t * 'a fiber -> ('a, exn) result Effect.t
+  | Sleep_eff : t * float -> unit Effect.t  (* absolute wake time *)
+  | Yield_eff : t -> unit Effect.t
+  | Wait_eff : t * cond -> unit Effect.t
+  | Timed_wait_eff : t * cond * float -> unit Effect.t  (* absolute deadline *)
+
+let enqueue t node task =
+  let q =
+    match List.assoc_opt node t.queues with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      t.queues <- t.queues @ [ (node, q) ];
+      q
+  in
+  Queue.push task q
+
+let add_sleeper t ~wake ~node task =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  let rec insert = function
+    | [] -> [ (wake, seq, node, task) ]
+    | ((w, s, _, _) as hd) :: tl ->
+      if wake < w || (wake = w && seq < s) then (wake, seq, node, task) :: hd :: tl
+      else hd :: insert tl
+  in
+  t.sleepers <- insert t.sleepers
+
+(* Move every sleeper whose wake time has come (the clock may also have
+   been advanced directly, e.g. by retry backoff) onto its ready queue. *)
+let release_due t =
+  let now = Clock.now t.clock in
+  let due, rest = List.partition (fun (w, _, _, _) -> w <= now) t.sleepers in
+  t.sleepers <- rest;
+  List.iter (fun (_, _, node, task) -> enqueue t node task) due
+
+let pick t =
+  let qs = Array.of_list t.queues in
+  let n = Array.length qs in
+  if n = 0 then None
+  else
+    match t.rng with
+    | None ->
+      let rec scan i =
+        if i >= n then None
+        else
+          let idx = (t.rr + i) mod n in
+          let _, q = qs.(idx) in
+          if Queue.is_empty q then scan (i + 1)
+          else begin
+            t.rr <- (idx + 1) mod n;
+            Some (Queue.pop q)
+          end
+      in
+      scan 0
+    | Some rng ->
+      let nonempty =
+        List.filter (fun (_, q) -> not (Queue.is_empty q)) (Array.to_list qs)
+      in
+      (match nonempty with
+       | [] -> None
+       | _ ->
+         let _, q = List.nth nonempty (Random.State.int rng (List.length nonempty)) in
+         Some (Queue.pop q))
+
+let finish (type a) t (fib : a fiber) (r : (a, exn) result) =
+  (match fib.state with
+   | Done _ -> assert false (* fibers finish exactly once *)
+   | Running waiters ->
+     fib.state <- Done r;
+     List.iter (fun w -> w r) (List.rev waiters));
+  (match r with
+   | Error e -> t.failed <- (fib.fid, e, (fun () -> fib.observed)) :: t.failed
+   | Ok _ -> ());
+  t.live <- t.live - 1
+
+let rec spawn_fiber : 'a. t -> string -> (unit -> 'a) -> 'a fiber =
+  fun (type a) t node (f : unit -> a) : a fiber ->
+   let fib =
+     { fid = t.next_fid; f_node = node; state = Running []; observed = false }
+   in
+   t.next_fid <- t.next_fid + 1;
+   t.live <- t.live + 1;
+   enqueue t node (fun () -> exec_fiber t fib f);
+   fib
+
+and exec_fiber : 'a. t -> 'a fiber -> (unit -> 'a) -> unit =
+  fun (type a) t (fib : a fiber) (f : unit -> a) ->
+   Effect.Deep.match_with f ()
+     {
+       retc = (fun v -> finish t fib (Ok v));
+       exnc = (fun e -> finish t fib (Error e));
+       effc =
+         (fun (type b) (eff : b Effect.t) ->
+           match eff with
+           | Yield_eff s when s == t ->
+             Some
+               (fun (k : (b, unit) Effect.Deep.continuation) ->
+                 enqueue t fib.f_node (fun () -> Effect.Deep.continue k ()))
+           | Sleep_eff (s, wake) when s == t ->
+             Some
+               (fun (k : (b, unit) Effect.Deep.continuation) ->
+                 add_sleeper t ~wake ~node:fib.f_node (fun () ->
+                     Effect.Deep.continue k ()))
+           | Wait_eff (s, c) when s == t ->
+             Some
+               (fun (k : (b, unit) Effect.Deep.continuation) ->
+                 c.cw <-
+                   c.cw @ [ (fib.f_node, fun () -> Effect.Deep.continue k ()) ])
+           | Timed_wait_eff (s, c, until) when s == t ->
+             Some
+               (fun (k : (b, unit) Effect.Deep.continuation) ->
+                 (* race a broadcast against the deadline: whichever fires
+                    first resumes the fiber; the loser degenerates to a
+                    no-op (a stale sleeper entry is released and dropped,
+                    a stale waiter entry is drained by a later broadcast) *)
+                 let fired = ref false in
+                 let resume () =
+                   if not !fired then begin
+                     fired := true;
+                     Effect.Deep.continue k ()
+                   end
+                 in
+                 c.cw <- c.cw @ [ (fib.f_node, resume) ];
+                 add_sleeper t ~wake:until ~node:fib.f_node resume)
+           | Await_eff (s, target) when s == t ->
+             Some
+               (fun (k : (b, unit) Effect.Deep.continuation) ->
+                 target.observed <- true;
+                 match target.state with
+                 | Done r -> enqueue t fib.f_node (fun () -> Effect.Deep.continue k r)
+                 | Running ws ->
+                   target.state <-
+                     Running
+                       ((fun r ->
+                          enqueue t fib.f_node (fun () ->
+                              Effect.Deep.continue k r))
+                       :: ws))
+           | Spawn_eff (s, node, g) when s == t ->
+             Some
+               (fun (k : (b, unit) Effect.Deep.continuation) ->
+                 Effect.Deep.continue k (spawn_fiber t node g))
+           | _ -> None (* foreign effect (e.g. a nested scheduler): forward *));
+     }
+
+let drive t =
+  let rec loop () =
+    release_due t;
+    match pick t with
+    | Some task ->
+      task ();
+      loop ()
+    | None ->
+      if t.live > 0 then begin
+        match t.sleepers with
+        | [] ->
+          failwith
+            "Sim.Sched: stuck — live fibers but no runnable task and no \
+             sleeper (await cycle, or a cond nobody broadcasts)"
+        | (wake, _, _, _) :: _ ->
+          let now = Clock.now t.clock in
+          if wake > now then Clock.advance t.clock (wake -. now);
+          t.on_advance ();
+          loop ()
+      end
+  in
+  loop ()
+
+let run ?seed ?(on_advance = fun () -> ()) ~clock f =
+  let t =
+    {
+      clock;
+      rng = Option.map (fun s -> Random.State.make [| s; 0x5c4ed |]) seed;
+      on_advance;
+      queues = [];
+      rr = 0;
+      sleepers = [];
+      seq = 0;
+      live = 0;
+      failed = [];
+      next_fid = 1;
+    }
+  in
+  let main = spawn_fiber t "main" (fun () -> f t) in
+  main.observed <- true;
+  drive t;
+  let result =
+    match main.state with
+    | Done r -> r
+    | Running _ -> assert false (* drive returns only when live = 0 *)
+  in
+  match result with
+  | Error e -> raise e
+  | Ok v -> (
+    (* a failed fiber nobody awaited must not vanish silently *)
+    let unobserved = List.filter (fun (_, _, obs) -> not (obs ())) t.failed in
+    match
+      List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) unobserved
+    with
+    | (_, e, _) :: _ -> raise e
+    | [] -> v)
+
+let spawn t ?(node = "main") f = Effect.perform (Spawn_eff (t, node, f))
+
+let await_result t fib = Effect.perform (Await_eff (t, fib))
+
+let await t fib =
+  match await_result t fib with Ok v -> v | Error e -> raise e
+
+let join_all t fibs =
+  let results = List.map (fun fib -> await_result t fib) fibs in
+  List.map (function Ok v -> v | Error e -> raise e) results
+
+let yield t = Effect.perform (Yield_eff t)
+
+let now t = Clock.now t.clock
+
+let sleep_until t wake = Effect.perform (Sleep_eff (t, wake))
+
+let sleep t d = if d > 0.0 then sleep_until t (Clock.now t.clock +. d)
+
+let make_cond () = { cw = [] }
+
+let wait t c = Effect.perform (Wait_eff (t, c))
+
+let timed_wait t c ~until = Effect.perform (Timed_wait_eff (t, c, until))
+
+let broadcast t c =
+  let ws = c.cw in
+  c.cw <- [];
+  List.iter (fun (node, task) -> enqueue t node task) ws

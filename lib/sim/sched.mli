@@ -1,0 +1,85 @@
+(** Deterministic cooperative scheduler over the virtual clock.
+
+    Fibers are cooperatively scheduled, single-threaded coroutines (OCaml
+    effect handlers — no OS threads, no preemption). A fiber runs until it
+    spawns, awaits, sleeps, yields or waits on a {!cond}; the scheduler
+    then picks the next runnable fiber from per-node FIFO ready queues.
+    The virtual clock advances {e only} when nothing is runnable, jumping
+    to the earliest sleeping fiber and firing [on_advance] first — which
+    is how scheduled faults ({!Fault.tick}) interleave with in-flight
+    fibers at deterministic virtual times.
+
+    Scheduling order is bit-reproducible: unseeded, ready queues are
+    visited in strict round-robin over first-seen node order; with
+    [seed], the next non-empty queue is drawn from a scheduler-owned
+    [Random.State], so chaos tests can fuzz interleavings per seed
+    without perturbing the fault plan's own RNG stream.
+
+    All operations except {!run} must be called from inside a fiber of
+    the same scheduler (they perform effects handled by {!run}); calling
+    them elsewhere raises [Effect.Unhandled]. Nested [run]s are legal —
+    inner-scheduler effects resolve against the inner run loop, anything
+    else is forwarded outward. *)
+
+type t
+
+(** A spawned computation. Results (or exceptions) are delivered through
+    {!await} / {!await_result}; a failed fiber that is never awaited
+    re-raises its exception when {!run} finishes (failures cannot be
+    silently dropped). *)
+type 'a fiber
+
+(** FIFO wait queue for resource guards (connection-pool slots): {!wait}
+    suspends the calling fiber, {!broadcast} makes every waiter runnable
+    again (each re-checks its predicate and may wait again). *)
+type cond
+
+(** [run ?seed ?on_advance ~clock f] drives [f] — the main fiber — plus
+    everything it spawns, until {e all} fibers have finished, then
+    returns [f]'s result. Re-raises the main fiber's exception, or the
+    first unawaited fiber failure. [on_advance] runs after every clock
+    jump (wire the cluster's fault tick here). Raises [Failure] when
+    live fibers remain but nothing is runnable or sleeping. *)
+val run : ?seed:int -> ?on_advance:(unit -> unit) -> clock:Clock.t -> (t -> 'a) -> 'a
+
+(** Start a fiber on [node]'s ready queue (default ["main"]). The caller
+    keeps running; the child gets its first slice when the caller next
+    suspends. *)
+val spawn : t -> ?node:string -> (unit -> 'a) -> 'a fiber
+
+(** Suspend until the fiber finishes; return its value or re-raise its
+    exception. *)
+val await : t -> 'a fiber -> 'a
+
+(** Like {!await} but returns the failure instead of raising — for
+    fan-outs that must collect every outcome before deciding (2PC). *)
+val await_result : t -> 'a fiber -> ('a, exn) result
+
+(** Await every fiber (all complete even if some fail), then return the
+    values — or re-raise the first failure in list order. *)
+val join_all : t -> 'a fiber list -> 'a list
+
+(** Go to the back of the caller's ready queue. *)
+val yield : t -> unit
+
+(** Current virtual time (the shared clock). *)
+val now : t -> float
+
+(** Suspend for [d] virtual seconds (no-op when [d <= 0]). The clock
+    advances only once no fiber is runnable. *)
+val sleep : t -> float -> unit
+
+(** Suspend until an absolute virtual time (no-op when already past). *)
+val sleep_until : t -> float -> unit
+
+val make_cond : unit -> cond
+
+val wait : t -> cond -> unit
+
+(** Like {!wait}, but also wakes when the clock reaches the absolute
+    time [until] even if nobody broadcasts — for waiters racing a freed
+    resource against a deadline (the executor's slow-start ramp gates).
+    Callers re-check their predicate on wake-up either way. *)
+val timed_wait : t -> cond -> until:float -> unit
+
+val broadcast : t -> cond -> unit

@@ -65,20 +65,23 @@ let test_closed_model_consistency () =
     (c.Harness.bottleneck = "coordinator/disk")
 
 let test_ablation_slow_start_shape () =
-  (* fast tasks: 1 connection under slow start; long tasks: full fan-out *)
-  let _, c_fast =
-    Citus.Adaptive_executor.simulate_timeline
-      ~durations:(List.init 16 (fun _ -> 0.0003))
-      ~slow_start:0.010 ~max_conns:16
-  in
-  let m_long, c_long =
-    Citus.Adaptive_executor.simulate_timeline
-      ~durations:(List.init 16 (fun _ -> 0.2))
-      ~slow_start:0.010 ~max_conns:16
-  in
-  Alcotest.(check int) "fast: one connection" 1 c_fast;
-  Alcotest.(check int) "long: sixteen" 16 c_long;
-  Alcotest.(check bool) "long: parallel" true (m_long < 0.5)
+  (* the real executor, measured on the virtual clock: under a wide ramp
+     fast tasks drain through one connection; with no ramp delay the same
+     tasks fan out fully and the makespan collapses toward the longest
+     fragment *)
+  let fixture = Exec_bench.setup ~workers:2 ~shard_count:8 ~rows:64 () in
+  let tasks = Exec_bench.same_shard_tasks (fst fixture) 8 in
+  let ramped = Exec_bench.measure ~slow_start:10.0 fixture tasks in
+  let eager = Exec_bench.measure ~slow_start:0.0 fixture tasks in
+  Alcotest.(check int) "ramped: one connection" 1
+    (Exec_bench.total_conns ramped);
+  Alcotest.(check int) "eager: full fan-out" 8 (Exec_bench.total_conns eager);
+  Alcotest.(check (float 1e-9)) "ramped is serial"
+    ramped.Citus.Adaptive_executor.serial_time
+    ramped.Citus.Adaptive_executor.makespan;
+  Alcotest.(check bool) "eager is parallel" true
+    (eager.Citus.Adaptive_executor.makespan
+     < ramped.Citus.Adaptive_executor.makespan)
 
 let () =
   Alcotest.run "bench"

@@ -241,48 +241,95 @@ let test_subquery_on_reference_table_allowed () =
   check_int s "IN over reference" 8
     "SELECT count(*) FROM t WHERE cat IN (SELECT cat FROM allowed)"
 
-(* --- adaptive executor timeline --- *)
+(* --- adaptive executor: slow start measured on the virtual clock --- *)
+
+(* A distributed table with enough rows that a shard-local read has a
+   measurable modeled cost, plus a fresh session (empty pools) to run
+   hand-built task lists through the real executor. *)
+let exec_fixture ?(rows = 64) () =
+  let _, citus, s = make () in
+  ignore (exec s "CREATE TABLE t (k bigint, v bigint)");
+  ignore (exec s "SELECT create_distributed_table('t', 'k')");
+  ignore (exec s "BEGIN");
+  for i = 1 to rows do
+    ignore (exec s (Printf.sprintf "INSERT INTO t (k, v) VALUES (%d, %d)" i i))
+  done;
+  ignore (exec s "COMMIT");
+  let st = Citus.Api.coordinator_state citus in
+  let meta = citus.Citus.Api.metadata in
+  let shard =
+    match Citus.Metadata.shards_of meta "t" with
+    | s :: _ -> s
+    | [] -> Alcotest.fail "no shards"
+  in
+  (st, Citus.Api.connect citus, meta, shard)
+
+(* [n] identical shard-local reads of the same placement: every task
+   competes for connections to one node, which is exactly the slow-start
+   ramp's worst case *)
+let read_tasks meta (shard : Citus.Metadata.shard) n =
+  List.init n (fun _ ->
+      {
+        Citus.Plan.task_node =
+          Citus.Metadata.placement meta shard.Citus.Metadata.shard_id;
+        task_stmt =
+          (Sqlfront.Parser.parse_statement
+             (Printf.sprintf "SELECT count(*) FROM %s"
+                (Citus.Metadata.shard_name shard)) [@lint.sql_static]);
+        task_group = shard.Citus.Metadata.index_in_colocation;
+        task_shard = shard.Citus.Metadata.shard_id;
+      })
+
+let total_conns (r : Citus.Adaptive_executor.report) =
+  List.fold_left (fun acc (_, c) -> acc + c) 0
+    r.Citus.Adaptive_executor.connections_used
 
 let test_slow_start_single_fast_task () =
-  (* one sub-millisecond task finishes before a second connection would
-     open: effective connections = 1 *)
-  let makespan, conns =
-    Citus.Adaptive_executor.simulate_timeline ~durations:[ 0.0005 ]
-      ~slow_start:0.010 ~max_conns:16
-  in
-  Alcotest.(check int) "one connection" 1 conns;
-  Alcotest.(check (float 0.0001)) "makespan" 0.0005 makespan
+  (* one task finishes on the first connection before a second would
+     open: effective connections = 1 and the measured makespan is the
+     task's own duration *)
+  let st, s, meta, shard = exec_fixture () in
+  let _, r = Citus.Adaptive_executor.execute st s (read_tasks meta shard 1) in
+  Alcotest.(check int) "one connection" 1 (total_conns r);
+  Alcotest.(check bool) "fragment cost is real" true
+    (r.Citus.Adaptive_executor.makespan > 0.0);
+  Alcotest.(check (float 1e-9)) "makespan = the task's duration"
+    r.Citus.Adaptive_executor.serial_time r.Citus.Adaptive_executor.makespan
 
 let test_slow_start_many_fast_tasks_stay_serial () =
-  (* 8 tasks of 1ms each: the first connection clears them before the ramp
-     opens many more *)
-  let durations = List.init 8 (fun _ -> 0.001) in
-  let makespan, conns =
-    Citus.Adaptive_executor.simulate_timeline ~durations ~slow_start:0.010
-      ~max_conns:16
-  in
-  Alcotest.(check bool) "few connections" true (conns <= 2);
-  Alcotest.(check bool) "mostly serial" true (makespan >= 0.007)
+  (* a ramp interval far beyond the workload: the first connection clears
+     all 8 tasks before the second's gate opens — serial, one connection *)
+  let st, s, meta, shard = exec_fixture () in
+  st.Citus.State.config.Citus.State.slow_start_interval <- 10.0;
+  let _, r = Citus.Adaptive_executor.execute st s (read_tasks meta shard 8) in
+  Alcotest.(check int) "one connection" 1 (total_conns r);
+  Alcotest.(check (float 1e-9)) "fully serial: makespan = sum of durations"
+    r.Citus.Adaptive_executor.serial_time r.Citus.Adaptive_executor.makespan
 
 let test_slow_start_long_tasks_ramp_up () =
-  (* 8 tasks of 100ms: the ramp opens connections and they run in
-     parallel *)
-  let durations = List.init 8 (fun _ -> 0.1) in
-  let makespan, conns =
-    Citus.Adaptive_executor.simulate_timeline ~durations ~slow_start:0.010
-      ~max_conns:16
-  in
-  Alcotest.(check int) "all parallel" 8 conns;
-  Alcotest.(check bool) "ramp-up cost only" true
-    (makespan < 0.2 && makespan >= 0.1)
+  (* no ramp delay: all 8 tasks get their own connection and overlap, so
+     the measured makespan collapses toward the longest fragment *)
+  let st, s, meta, shard = exec_fixture () in
+  st.Citus.State.config.Citus.State.slow_start_interval <- 0.0;
+  let _, r = Citus.Adaptive_executor.execute st s (read_tasks meta shard 8) in
+  Alcotest.(check int) "all parallel" 8 (total_conns r);
+  Alcotest.(check bool) "makespan well under serial time" true
+    (r.Citus.Adaptive_executor.makespan
+     < 0.5 *. r.Citus.Adaptive_executor.serial_time);
+  (* the ramp is visible in the report: 8 opens, all at the start *)
+  match r.Citus.Adaptive_executor.conn_opened_at with
+  | [ (_, opens) ] -> Alcotest.(check int) "eight opens" 8 (List.length opens)
+  | other ->
+    Alcotest.failf "expected one node in conn_opened_at, got %d"
+      (List.length other)
 
 let test_shared_limit_caps_connections () =
-  let durations = List.init 32 (fun _ -> 0.1) in
-  let _, conns =
-    Citus.Adaptive_executor.simulate_timeline ~durations ~slow_start:0.010
-      ~max_conns:4
-  in
-  Alcotest.(check int) "capped" 4 conns
+  (* pool capped at 4: the 16 tasks drain through 4 connections *)
+  let st, s, meta, shard = exec_fixture () in
+  st.Citus.State.config.Citus.State.slow_start_interval <- 0.0;
+  st.Citus.State.config.Citus.State.pool_size_per_node <- 4;
+  let _, r = Citus.Adaptive_executor.execute st s (read_tasks meta shard 16) in
+  Alcotest.(check int) "capped" 4 (total_conns r)
 
 let test_connection_affinity_within_txn () =
   (* §3.6.1: inside a transaction, later statements touching the same

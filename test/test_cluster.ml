@@ -1,6 +1,10 @@
 (* Cluster topology and connection accounting: the counters the benchmark
    harness prices must mean what they claim. *)
 
+(* submit + await in one step; these tests exercise the accounting, not
+   the split round trip *)
+let cexec conn sql = Cluster.Connection.(await (exec_async conn sql))
+
 let test_topology_shapes () =
   let c0 = Cluster.Topology.create ~workers:0 () in
   Alcotest.(check int) "0 workers: coordinator is the data node" 1
@@ -21,9 +25,9 @@ let test_connection_round_trip_accounting () =
   let w1 = Cluster.Topology.find_node c "worker1" in
   let before = Cluster.Topology.net_snapshot c in
   let conn = Cluster.Connection.open_ ~origin:"coordinator" c w1 in
-  ignore (Cluster.Connection.exec conn "CREATE TABLE t (a bigint)");
-  ignore (Cluster.Connection.exec conn "INSERT INTO t VALUES (1)");
-  ignore (Cluster.Connection.exec conn "SELECT * FROM t");
+  ignore (cexec conn "CREATE TABLE t (a bigint)");
+  ignore (cexec conn "INSERT INTO t VALUES (1)");
+  ignore (cexec conn "SELECT * FROM t");
   let after = Cluster.Topology.net_snapshot c in
   let d = Cluster.Topology.net_diff ~after ~before in
   Alcotest.(check int) "one connection opened" 1 d.Cluster.Topology.connections_opened;
@@ -36,7 +40,7 @@ let test_local_connection_not_cross () =
   let coord = c.Cluster.Topology.coordinator in
   let before = Cluster.Topology.net_snapshot c in
   let conn = Cluster.Connection.open_ ~origin:"coordinator" c coord in
-  ignore (Cluster.Connection.exec conn "SELECT 1");
+  ignore (cexec conn "SELECT 1");
   let d =
     Cluster.Topology.net_diff ~after:(Cluster.Topology.net_snapshot c) ~before
   in
@@ -47,7 +51,7 @@ let test_copy_counts_rows_shipped () =
   let c = Cluster.Topology.create ~workers:1 () in
   let w = Cluster.Topology.find_node c "worker1" in
   let conn = Cluster.Connection.open_ ~origin:"coordinator" c w in
-  ignore (Cluster.Connection.exec conn "CREATE TABLE t (a bigint)");
+  ignore (cexec conn "CREATE TABLE t (a bigint)");
   let before = Cluster.Topology.net_snapshot c in
   ignore (Cluster.Connection.copy conn ~table:"t" ~columns:None [ "1"; "2"; "3" ]);
   let d =
@@ -61,14 +65,14 @@ let test_exec_ast_ships_text () =
   let c = Cluster.Topology.create ~workers:1 () in
   let w = Cluster.Topology.find_node c "worker1" in
   let conn = Cluster.Connection.open_ c w in
-  ignore (Cluster.Connection.exec conn "CREATE TABLE t (a bigint, b text)");
+  ignore (cexec conn "CREATE TABLE t (a bigint, b text)");
   let stmt =
     Sqlfront.Parser.parse_statement
       "INSERT INTO t (a, b) VALUES (1, 'it''s quoted')"
   in
   ignore (Cluster.Connection.exec_ast conn stmt);
   match
-    (Cluster.Connection.exec conn "SELECT b FROM t WHERE a = 1").Engine.Instance.rows
+    (cexec conn "SELECT b FROM t WHERE a = 1").Engine.Instance.rows
   with
   | [ [| Datum.Text "it's quoted" |] ] -> ()
   | _ -> Alcotest.fail "text did not survive the wire"

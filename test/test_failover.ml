@@ -348,7 +348,7 @@ let () =
       ( "breaker",
         [
           Alcotest.test_case "lifecycle" `Quick test_breaker_lifecycle;
-          Alcotest.test_case "fed by exec_on" `Quick test_breaker_feeds_from_exec;
+          Alcotest.test_case "fed by Exec" `Quick test_breaker_feeds_from_exec;
         ] );
       ( "replication",
         [

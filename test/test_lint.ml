@@ -17,25 +17,25 @@ let lines fs = List.map (fun (f : Rule.finding) -> f.Rule.line) fs
 let l1_violating =
   {|let run t conn user =
   let q = Printf.sprintf "SELECT * FROM %s" user in
-  State.exec_on t conn q
+  Exec.on_conn_exn t conn q
 
-let direct t conn user =
-  State.exec_on t conn (Printf.sprintf "DELETE FROM %s" user)
+let direct conn user =
+  Exec.raw_on_conn_exn conn (Printf.sprintf "DELETE FROM %s" user)
 
-let concat conn x = Cluster.Connection.exec conn ("SELECT " ^ x)
+let concat conn x = Cluster.Connection.exec_async conn ("SELECT " ^ x)
 
 let parse x = Sqlfront.Parser.parse_select ("SELECT * FROM " ^ x)
 |}
 
 let l1_clean =
   {|let ok t conn gid =
-  State.exec_ast_on t conn (Sqlfront.Ast.Prepare_transaction gid)
+  Exec.ast_on_conn_exn t conn (Sqlfront.Ast.Prepare_transaction gid)
 
 let annotated conn shard =
-  (Cluster.Connection.exec conn
+  (Exec.raw_on_conn_exn conn
      (Printf.sprintf "SELECT * FROM %s" shard) [@lint.sql_static])
 
-let static t conn = State.exec_on t conn "COMMIT"
+let static t conn = Exec.on_conn_exn t conn "COMMIT"
 
 (* client-boundary senders are not sinks: workloads model client SQL *)
 let client db user = Db.exec db (Printf.sprintf "SELECT %s" user)
@@ -273,17 +273,49 @@ let test_l7_scope () =
   Alcotest.(check int) "tests assert on outcomes; out of scope" 0
     (List.length fs)
 
+(* --- L8 span-conservation --- *)
+
+let l8_violating =
+  {|let manual trace now node =
+  let sp = Obs.Trace.open_span trace ~now ~node ~kind:"stmt" () in
+  work ();
+  Obs.Trace.close_span trace ~now sp
+|}
+
+let l8_clean =
+  {|let bracketed trace now node f =
+  Obs.Trace.with_span trace ~now ~node ~kind:"stmt" f
+
+let fiber trace parent now node f =
+  Obs.Trace.with_span_parent trace ~parent ~now ~node ~kind:"fragment" f
+|}
+
+let test_l8_violating () =
+  let fs = run "L8" [ ("lib/core/fx.ml", l8_violating) ] in
+  Alcotest.(check int) "manual open and close both flagged" 2 (List.length fs);
+  Alcotest.(check (list string)) "all L8" [ "L8"; "L8" ] (ids fs);
+  Alcotest.(check (list int)) "call locations" [ 2; 4 ] (lines fs)
+
+let test_l8_clean () =
+  let fs = run "L8" [ ("lib/core/fx.ml", l8_clean) ] in
+  Alcotest.(check int) "bracketed combinators pass" 0 (List.length fs)
+
+let test_l8_scope () =
+  (* lib/obs implements the combinators on the primitives *)
+  let fs = run "L8" [ ("lib/obs/trace.ml", l8_violating) ] in
+  Alcotest.(check int) "lib/obs is out of scope" 0 (List.length fs)
+
 (* --- registry and baseline --- *)
 
 let test_registry () =
-  Alcotest.(check int) "seven rules" 7 (List.length Registry.all);
+  Alcotest.(check int) "eight rules" 8 (List.length Registry.all);
   List.iter
     (fun id ->
       match Registry.find id with
       | Some _ -> ()
       | None -> Alcotest.failf "rule %s not registered" id)
-    [ "L1"; "L2"; "L3"; "L4"; "L5"; "L6"; "L7";
-      "sql-injection"; "determinism"; "lock-order" ]
+    [ "L1"; "L2"; "L3"; "L4"; "L5"; "L6"; "L7"; "L8";
+      "sql-injection"; "determinism"; "lock-order"; "span-conservation" ]
 
 let test_baseline_empty () =
   (* the live baseline must stay empty: new findings are fixed, not
@@ -336,6 +368,12 @@ let () =
           Alcotest.test_case "violating" `Quick test_l7_violating;
           Alcotest.test_case "clean" `Quick test_l7_clean;
           Alcotest.test_case "scope" `Quick test_l7_scope;
+        ] );
+      ( "l8-span-conservation",
+        [
+          Alcotest.test_case "violating" `Quick test_l8_violating;
+          Alcotest.test_case "clean" `Quick test_l8_clean;
+          Alcotest.test_case "scope" `Quick test_l8_scope;
         ] );
       ( "infrastructure",
         [

@@ -1,0 +1,300 @@
+(* Sim.Sched — the deterministic cooperative scheduler.
+
+   Covers the contracts the layers above lean on: bit-identical traces
+   for the same seed, round-robin fairness across node queues, nested
+   spawn/await, failure delivery (awaited and unawaited, including a
+   fiber that sleeps across a scheduled node crash), timed condition
+   waits, and the measured-makespan property the adaptive executor's
+   report is built on. *)
+
+(* --- a small traced workload: six fibers on three node queues --- *)
+
+let run_trace ?seed () =
+  let clock = Sim.Clock.create () in
+  let events = ref [] in
+  let record sched name = events := (name, Sim.Sched.now sched) :: !events in
+  Sim.Sched.run ?seed ~clock (fun sched ->
+      let fibers =
+        List.map
+          (fun (node, name, d) ->
+            Sim.Sched.spawn sched ~node (fun () ->
+                record sched (name ^ ":start");
+                Sim.Sched.sleep sched d;
+                record sched (name ^ ":mid");
+                Sim.Sched.yield sched;
+                record sched (name ^ ":end")))
+          [
+            ("n1", "a", 0.003);
+            ("n1", "b", 0.001);
+            ("n2", "c", 0.002);
+            ("n2", "d", 0.001);
+            ("n3", "e", 0.004);
+            ("n3", "f", 0.002);
+          ]
+      in
+      ignore (Sim.Sched.join_all sched fibers));
+  List.rev !events
+
+let trace_testable =
+  Alcotest.(list (pair string (float 0.0)))
+
+let test_same_seed_same_trace () =
+  Alcotest.check trace_testable "seeded runs are bit-identical"
+    (run_trace ~seed:7 ()) (run_trace ~seed:7 ());
+  Alcotest.check trace_testable "unseeded runs are bit-identical"
+    (run_trace ()) (run_trace ());
+  Alcotest.(check int) "complete trace" 18 (List.length (run_trace ~seed:7 ()))
+
+let test_seed_perturbs_interleaving () =
+  (* the seed exists to fuzz interleavings: across a handful of seeds at
+     least one must diverge from the strict round-robin order *)
+  let rr = run_trace () in
+  let diverged =
+    List.exists (fun seed -> run_trace ~seed () <> rr) [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check bool) "some seed changes the schedule" true diverged
+
+let test_fairness_round_robin () =
+  (* two chatty fibers on different nodes: unseeded scheduling gives
+     strict alternation — neither queue can starve the other *)
+  let clock = Sim.Clock.create () in
+  let events = ref [] in
+  Sim.Sched.run ~clock (fun sched ->
+      let chatty name =
+        Sim.Sched.spawn sched ~node:name (fun () ->
+            for _ = 1 to 5 do
+              events := name :: !events;
+              Sim.Sched.yield sched
+            done)
+      in
+      ignore (Sim.Sched.join_all sched [ chatty "a"; chatty "b" ]));
+  let order = List.rev !events in
+  Alcotest.(check int) "all slices ran" 10 (List.length order);
+  let rec alternates = function
+    | x :: (y :: _ as rest) ->
+      if String.equal x y then false else alternates rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strict alternation" true (alternates order)
+
+let test_nested_spawn () =
+  let clock = Sim.Clock.create () in
+  let total =
+    Sim.Sched.run ~clock (fun sched ->
+        let child base =
+          Sim.Sched.spawn sched (fun () ->
+              let grandchildren =
+                List.init 3 (fun i ->
+                    Sim.Sched.spawn sched (fun () ->
+                        Sim.Sched.sleep sched 0.001;
+                        base + i))
+              in
+              List.fold_left ( + ) 0 (Sim.Sched.join_all sched grandchildren))
+        in
+        List.fold_left ( + ) 0
+          (Sim.Sched.join_all sched [ child 10; child 20; child 30 ]))
+  in
+  (* 10+11+12 + 20+21+22 + 30+31+32 *)
+  Alcotest.(check int) "grandchildren summed" 189 total
+
+let test_nested_run () =
+  (* a fiber may drive a whole inner scheduler (fresh clock): inner
+     effects resolve inside, the outer run is undisturbed *)
+  let clock = Sim.Clock.create () in
+  let v =
+    Sim.Sched.run ~clock (fun sched ->
+        let fib =
+          Sim.Sched.spawn sched (fun () ->
+              let inner_clock = Sim.Clock.create () in
+              Sim.Sched.run ~clock:inner_clock (fun inner ->
+                  let fibs =
+                    List.init 4 (fun i ->
+                        Sim.Sched.spawn inner (fun () ->
+                            Sim.Sched.sleep inner 0.01;
+                            i))
+                  in
+                  List.fold_left ( + ) 0 (Sim.Sched.join_all inner fibs)))
+        in
+        Sim.Sched.await sched fib)
+  in
+  Alcotest.(check int) "inner scheduler result" 6 v
+
+let test_parallel_sleep_makespan_is_max () =
+  let clock = Sim.Clock.create () in
+  Sim.Clock.advance clock 5.0;
+  let t0 = Sim.Clock.now clock in
+  Sim.Sched.run ~clock (fun sched ->
+      ignore
+        (Sim.Sched.join_all sched
+           (List.map
+              (fun d ->
+                Sim.Sched.spawn sched (fun () -> Sim.Sched.sleep sched d))
+              [ 0.010; 0.030; 0.020 ])));
+  Alcotest.(check (float 1e-9)) "elapsed = max, not sum" 0.030
+    (Sim.Clock.now clock -. t0)
+
+let test_awaited_failure_is_delivered () =
+  let clock = Sim.Clock.create () in
+  let r =
+    Sim.Sched.run ~clock (fun sched ->
+        let fib = Sim.Sched.spawn sched (fun () -> failwith "boom") in
+        Sim.Sched.await_result sched fib)
+  in
+  match r with
+  | Error (Failure m) -> Alcotest.(check string) "payload" "boom" m
+  | Error e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+  | Ok () -> Alcotest.fail "expected a failure"
+
+let test_unawaited_failure_reraises () =
+  let clock = Sim.Clock.create () in
+  Alcotest.check_raises "silent failures are not allowed" (Failure "boom")
+    (fun () ->
+      Sim.Sched.run ~clock (fun sched ->
+          ignore (Sim.Sched.spawn sched (fun () -> failwith "boom"))))
+
+let test_await_after_scheduled_crash () =
+  (* a fiber sleeps across a fault-plan crash fired by the clock jump
+     (on_advance): its next round trip fails and await_result hands the
+     failure back instead of wedging the run *)
+  let cluster = Cluster.Topology.create ~fault_seed:11 ~workers:2 () in
+  let fault = Option.get (Cluster.Topology.fault cluster) in
+  Sim.Fault.schedule_crash fault ~at:0.005 "worker1";
+  let w1 = Cluster.Topology.find_node cluster "worker1" in
+  let conn = Cluster.Connection.open_ cluster w1 in
+  let r =
+    Sim.Sched.run ~clock:cluster.Cluster.Topology.clock
+      ~on_advance:(fun () -> Cluster.Topology.fault_tick cluster)
+      (fun sched ->
+        let fib =
+          Sim.Sched.spawn sched ~node:"worker1" (fun () ->
+              Sim.Sched.sleep sched 0.010;
+              Cluster.Connection.(await (exec_async conn "SELECT 1")))
+        in
+        Sim.Sched.await_result sched fib)
+  in
+  (match r with
+   | Error (Cluster.Connection.Node_unavailable { node; _ }) ->
+     Alcotest.(check string) "failed against the crashed node" "worker1" node
+   | Error e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+   | Ok _ -> Alcotest.fail "round trip should have failed");
+  Alcotest.(check bool) "the crash fired during the sleep" false
+    (Sim.Fault.node_up fault "worker1")
+
+let test_timed_wait_deadline_and_broadcast () =
+  let clock = Sim.Clock.create () in
+  Sim.Sched.run ~clock (fun sched ->
+      let cond = Sim.Sched.make_cond () in
+      (* nobody broadcasts: the deadline wakes us *)
+      let waiter =
+        Sim.Sched.spawn sched (fun () ->
+            Sim.Sched.timed_wait sched cond ~until:0.020;
+            Sim.Sched.now sched)
+      in
+      Alcotest.(check (float 1e-9)) "woken by the deadline" 0.020
+        (Sim.Sched.await sched waiter);
+      (* a broadcast before the deadline wins the race *)
+      let early =
+        Sim.Sched.spawn sched (fun () ->
+            Sim.Sched.timed_wait sched cond ~until:1.0;
+            Sim.Sched.now sched)
+      in
+      let poker =
+        Sim.Sched.spawn sched (fun () ->
+            Sim.Sched.sleep sched 0.005;
+            Sim.Sched.broadcast sched cond)
+      in
+      let woken_at = Sim.Sched.await sched early in
+      Sim.Sched.await sched poker;
+      Alcotest.(check (float 1e-9)) "woken by the broadcast" 0.025 woken_at)
+
+(* --- the property the executor report is built on: a 4-node
+   scatter-gather's measured makespan is the slowest node's serial time
+   (plus at most one slow-start interval), not the cluster-wide sum --- *)
+
+let test_scatter_gather_makespan () =
+  let cluster = Cluster.Topology.create ~workers:4 () in
+  let citus = Citus.Api.install ~shard_count:16 cluster in
+  let s = Citus.Api.connect citus in
+  let exec sql = ignore (Engine.Instance.exec s sql) in
+  exec "CREATE TABLE t (k bigint, v bigint)";
+  exec "SELECT create_distributed_table('t', 'k')";
+  exec "BEGIN";
+  for i = 1 to 4000 do
+    exec (Printf.sprintf "INSERT INTO t (k, v) VALUES (%d, %d)" i i)
+  done;
+  exec "COMMIT";
+  let st = Citus.Api.coordinator_state citus in
+  let meta = citus.Citus.Api.metadata in
+  let tasks =
+    List.map
+      (fun (shard : Citus.Metadata.shard) ->
+        {
+          Citus.Plan.task_node =
+            Citus.Metadata.placement meta shard.Citus.Metadata.shard_id;
+          task_stmt =
+            (Sqlfront.Parser.parse_statement
+               (Printf.sprintf "SELECT count(*) FROM %s"
+                  (Citus.Metadata.shard_name shard)) [@lint.sql_static]);
+          task_group = shard.Citus.Metadata.index_in_colocation;
+          task_shard = shard.Citus.Metadata.shard_id;
+        })
+      (Citus.Metadata.shards_of meta "t")
+  in
+  let _, r = Citus.Adaptive_executor.execute st (Citus.Api.connect citus) tasks in
+  let max_node =
+    List.fold_left
+      (fun acc (_, d) -> Float.max acc d)
+      0.0 r.Citus.Adaptive_executor.node_serial
+  in
+  Alcotest.(check int) "all four workers opened connections" 4
+    (List.length r.Citus.Adaptive_executor.conn_opened_at);
+  Alcotest.(check bool) "nodes ran concurrently" true
+    (r.Citus.Adaptive_executor.makespan
+     < 0.5 *. r.Citus.Adaptive_executor.serial_time);
+  Alcotest.(check bool)
+    "makespan is the slowest node plus at most one slow-start interval" true
+    (r.Citus.Adaptive_executor.makespan
+     <= max_node +. st.Citus.State.config.Citus.State.slow_start_interval
+        +. 1e-9);
+  Alcotest.(check bool) "makespan covers the slowest node" true
+    (r.Citus.Adaptive_executor.makespan >= max_node -. 1e-9)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same trace" `Quick
+            test_same_seed_same_trace;
+          Alcotest.test_case "seed perturbs interleaving" `Quick
+            test_seed_perturbs_interleaving;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "round-robin fairness" `Quick
+            test_fairness_round_robin;
+          Alcotest.test_case "nested spawn" `Quick test_nested_spawn;
+          Alcotest.test_case "nested run" `Quick test_nested_run;
+          Alcotest.test_case "parallel sleeps: makespan = max" `Quick
+            test_parallel_sleep_makespan_is_max;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "awaited failure delivered" `Quick
+            test_awaited_failure_is_delivered;
+          Alcotest.test_case "unawaited failure re-raises" `Quick
+            test_unawaited_failure_reraises;
+          Alcotest.test_case "await after scheduled crash" `Quick
+            test_await_after_scheduled_crash;
+        ] );
+      ( "conds",
+        [
+          Alcotest.test_case "timed wait: deadline and broadcast" `Quick
+            test_timed_wait_deadline_and_broadcast;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "scatter-gather makespan" `Quick
+            test_scatter_gather_makespan;
+        ] );
+    ]

@@ -10,6 +10,7 @@ let all : Rule.t list =
     (module Rule_no_catch_all);
     (module Rule_twopc_state);
     (module Rule_lock_order);
+    (module Rule_span_conservation);
   ]
 
 let find id =

@@ -1,0 +1,54 @@
+(** L8 span-conservation: spans are created through the bracketed
+    combinators ({!Obs.Trace.with_span} / [with_span_parent]), never by
+    calling [open_span] / [close_span] directly outside [lib/obs/].
+
+    The chaos harness asserts span conservation — every span started is
+    eventually finished — and the bracketed forms guarantee it by
+    construction ([Fun.protect]). A manual open/close pair loses the
+    close on any exception path, which shows up later as a phantom open
+    span in a bit-identical-replay diff, far from the code that leaked
+    it. [open_span]/[close_span] stay exported because the combinators
+    (and fiber-aware span plumbing inside [lib/obs/]) are built on them. *)
+
+let id = "L8"
+let name = "span-conservation"
+
+let doc =
+  "Obs.Trace.open_span/close_span must not be called outside lib/obs/; \
+   use the bracketed with_span / with_span_parent combinators"
+
+let applies path =
+  Filename.check_suffix path ".ml" && not (Rule.starts_with "lib/obs/" path)
+
+let is_manual_span_call comps =
+  match List.rev comps with
+  | last :: prev :: _ ->
+    String.equal prev "Trace"
+    && (String.equal last "open_span" || String.equal last "close_span")
+  | _ -> false
+
+let check ~path (str : Parsetree.structure) =
+  let findings = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+     | Parsetree.Pexp_apply (f, _) ->
+       let comps = Rule.ident_path f in
+       if is_manual_span_call comps then
+         findings :=
+           Rule.finding ~id ~file:path ~loc:e.pexp_loc
+             (Printf.sprintf
+                "%s opens/closes a span manually; exception paths leak the \
+                 span and break span conservation — wrap the work in \
+                 Obs.Trace.with_span (or with_span_parent from scheduler \
+                 fibers) instead"
+                (String.concat "." comps))
+           :: !findings
+     | _ -> ());
+    super.Ast_iterator.expr it e
+  in
+  let it = { super with Ast_iterator.expr } in
+  it.Ast_iterator.structure it str;
+  List.rev !findings
+
+let check_tree _ = []

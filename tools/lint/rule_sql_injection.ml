@@ -15,18 +15,25 @@ let id = "L1"
 let name = "sql-injection"
 
 let doc =
-  "sprintf/(^)-built strings must not reach State.exec_on, Connection.exec, \
-   Executor.run*, or Sqlfront.Parser.parse* (escape hatch: [@lint.sql_static])"
+  "sprintf/(^)-built strings must not reach Connection.exec/exec_async, \
+   Exec.on_conn*/raw_on_conn*, Executor.run*, or Sqlfront.Parser.parse* \
+   (escape hatch: [@lint.sql_static])"
 
 let applies path = Filename.check_suffix path ".ml"
 
+(* string-SQL entry points of the Exec boundary; the [ast_*] forms take
+   Sqlfront.Ast values and need no taint check *)
+let exec_sinks = [ "on_conn"; "on_conn_exn"; "raw_on_conn"; "raw_on_conn_exn" ]
+
 let is_sink comps =
   match List.rev comps with
-  | [ "exec_on" ] -> true (* unqualified, inside State itself *)
+  (* unqualified uses inside the boundary modules themselves
+     (Connection's local-open idiom, Exec's typed wrappers) *)
+  | [ ("exec_async" | "on_conn_exn" | "raw_on_conn_exn") ] -> true
   | last :: prev :: _ -> (
     match prev with
-    | "State" -> String.equal last "exec_on"
-    | "Connection" -> String.equal last "exec"
+    | "Connection" -> String.equal last "exec" || String.equal last "exec_async"
+    | "Exec" -> List.mem last exec_sinks
     | "Executor" -> Rule.starts_with "run" last
     | "Parser" -> Rule.starts_with "parse" last
     | _ -> false)
