@@ -21,6 +21,7 @@ let experiments =
     ("ablation", "Ablations: columnar, delegation, slow start, join order", fun () -> Ablation.run ());
     ("obs", "Observability overhead: per-tier latency, tracing off vs on", fun () -> Obs_bench.run ());
     ("exec", "Adaptive executor: measured makespans on the virtual clock", fun () -> Exec_bench.run ());
+    ("tail", "Tail latency under a brownout: hedging off vs on", fun () -> ignore (Tail.run ()));
     ("micro", "Bechamel wall-clock microbenchmarks", fun () -> Micro.run ());
   ]
 

@@ -7,6 +7,8 @@ type t = {
 
 exception Node_unavailable of { node : string; reason : string }
 
+exception Timed_out of { node : string; deadline : float }
+
 let unavailable node reason = raise (Node_unavailable { node; reason })
 
 let origin_name t = Option.value ~default:"client" t.origin
@@ -82,28 +84,72 @@ let round_trip t ~sql run =
          unavailable node_name "node crashed executing the statement"
        else result)
 
-let exec t sql =
-  let r = round_trip t ~sql (fun () -> Engine.Instance.exec t.sess sql) in
-  t.cluster.Topology.net.rows_shipped <-
-    t.cluster.Topology.net.rows_shipped + List.length r.Engine.Instance.rows;
-  r
-
 (* Split submit/await round trip. The whole statement — fault-plan
    consultation, execution, armed crash triggers — happens at the submit
-   point ([exec_async]); the handle only carries the outcome. This pins
-   every [Sim.Fault] RNG draw to the submission order, so scheduler
-   interleavings of the awaits cannot shift the deterministic fault
-   stream. *)
-type handle = { h_result : (Engine.Instance.result, exn) result }
+   point ([exec_async]); the handle carries the outcome plus the virtual
+   time at which the reply arrives ([h_ready_at], priced by the fault
+   plan's latency model). This pins every [Sim.Fault] RNG draw to the
+   submission order, so scheduler interleavings of the awaits cannot
+   shift the deterministic fault stream — a "slow" node is simply one
+   whose replies are ready far in the future. *)
+type handle = {
+  h_conn : t;
+  h_ready_at : float;  (** absolute virtual time the reply lands *)
+  h_result : (Engine.Instance.result, exn) result;
+}
 
 let exec_async t sql =
-  match exec t sql with
-  | r -> { h_result = Ok r }
-  | exception e -> { h_result = Error e }
+  let latency =
+    match t.cluster.Topology.fault with
+    | None -> 0.0
+    | Some f ->
+      Sim.Fault.round_trip_latency f ~to_:t.conn_node.Topology.node_name
+  in
+  let ready_at = Sim.Clock.now t.cluster.Topology.clock +. latency in
+  match round_trip t ~sql (fun () -> Engine.Instance.exec t.sess sql) with
+  | r ->
+    t.cluster.Topology.net.rows_shipped <-
+      t.cluster.Topology.net.rows_shipped + List.length r.Engine.Instance.rows;
+    { h_conn = t; h_ready_at = ready_at; h_result = Ok r }
+  | exception e -> { h_conn = t; h_ready_at = ready_at; h_result = Error e }
 
 let exec_ast_async t stmt = exec_async t (Sqlfront.Deparse.statement stmt)
 
-let await h = match h.h_result with Ok r -> r | Error e -> raise e
+(* Let the reply's virtual time pass: as a fiber sleep when a scheduler
+   is driving the cluster (other fibers keep running — this is what lets
+   a statement on a healthy node overtake one stuck behind a stall), as
+   a plain clock advance otherwise. *)
+let wait_until cluster ~until_ =
+  let now = Sim.Clock.now cluster.Topology.clock in
+  if until_ > now then begin
+    (match Topology.running_sched cluster with
+     | Some sched -> (Sim.Sched.sleep_until sched until_ [@lint.blocking])
+     | None -> Sim.Clock.advance cluster.Topology.clock (until_ -. now));
+    Topology.fault_tick cluster
+  end
+
+let ready_at h = h.h_ready_at
+
+let await ?deadline h =
+  let cluster = h.h_conn.cluster in
+  (match deadline with
+   | Some dl when h.h_ready_at > dl ->
+     (* the reply will not land in time: wait out the deadline itself,
+        then report the typed timeout — the statement may well have
+        executed remotely, exactly the ambiguity a lost reply has *)
+     wait_until cluster ~until_:dl;
+     Obs.Metrics.inc (Topology.metrics cluster) "net.await_timed_out";
+     raise
+       (Timed_out { node = h.h_conn.conn_node.Topology.node_name; deadline = dl })
+   | _ -> wait_until cluster ~until_:h.h_ready_at);
+  match h.h_result with Ok r -> r | Error e -> raise e
+
+(* Submit and walk away: the outcome (and its latency) is deliberately
+   dropped. For best-effort cleanup — a ROLLBACK posted at a stalled
+   node must not make the cancelling statement wait out the stall. *)
+let post t text = ignore (exec_async t text : handle)
+
+let exec t text = await (exec_async t text)
 
 let exec_ast t stmt = exec t (Sqlfront.Deparse.statement stmt)
 

@@ -15,6 +15,12 @@ type t
     dropped {e reply} the statement did execute remotely. *)
 exception Node_unavailable of { node : string; reason : string }
 
+(** Raised by {!await} when the handle's reply cannot land before the
+    caller's deadline (absolute virtual time). The statement may have
+    executed remotely — a timeout has exactly the ambiguity of a lost
+    reply, and callers must treat it that way. *)
+exception Timed_out of { node : string; deadline : float }
+
 (** [open_ cluster node] establishes a connection (counted). A connection
     from the coordinator to itself still counts round trips, but they are
     not {e cross}-node round trips when [origin] names the same node — only
@@ -33,9 +39,11 @@ type handle
 (** [exec_async t sql] submits SQL text remotely: one round trip, result
     rows shipped back (counted in [rows_shipped]). The {e entire} round
     trip — fault-plan draws, remote execution, armed crash triggers —
-    happens at the submit point; the returned handle merely carries the
-    outcome. Fault streams therefore depend only on submission order,
-    never on how concurrent awaits interleave.
+    happens at the submit point; the handle carries the outcome plus the
+    virtual time the reply lands (per the fault plan's latency model and
+    any active stall — 0 extra without one). Fault streams therefore
+    depend only on submission order, never on how concurrent awaits
+    interleave.
 
     Call sites above the Citus layer should prefer [Citus.Exec], which
     adds partition/injection checks and circuit-breaker accounting and
@@ -45,10 +53,22 @@ val exec_async : t -> string -> handle
 (** Deparse and submit a statement AST. *)
 val exec_ast_async : t -> Sqlfront.Ast.statement -> handle
 
-(** Collect the outcome: the result, re-raising whatever the round trip
-    raised ({!Engine.Executor.Would_block}, parse errors,
-    {!Node_unavailable} when the fault plan killed it, ...). *)
-val await : handle -> Engine.Instance.result
+(** Absolute virtual time at which the handle's reply arrives. *)
+val ready_at : handle -> float
+
+(** Collect the outcome: let the reply's virtual time pass (a fiber
+    sleep under [Citus.State.with_sched], a clock advance otherwise),
+    then return the result — re-raising whatever the round trip raised
+    ({!Engine.Executor.Would_block}, parse errors, {!Node_unavailable}
+    when the fault plan killed it, ...). With [?deadline] (absolute
+    virtual time), waits only until the deadline and raises {!Timed_out}
+    when the reply would land later. *)
+val await : ?deadline:float -> handle -> Engine.Instance.result
+
+(** Submit and discard the outcome — best-effort cleanup (a ROLLBACK
+    posted to a stalled node) that must not wait out the reply. The
+    statement still executes remotely and pays its fault-plan draws. *)
+val post : t -> string -> unit
 
 (** Deparse and execute a statement AST ([await] of {!exec_ast_async}). *)
 val exec_ast : t -> Sqlfront.Ast.statement -> Engine.Instance.result

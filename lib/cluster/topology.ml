@@ -21,6 +21,14 @@ type t = {
   mutable sched_seed : int option;
       (** seeds {!Sim.Sched} ready-queue tiebreaks (chaos fuzzing);
           [None] = strict round-robin *)
+  mutable running_sched : Sim.Sched.t option;
+      (** the cooperative scheduler currently driving this cluster, set
+          for the dynamic extent of [Citus.State.with_sched]: lets
+          {!Connection} pass injected latency as fiber sleeps instead of
+          global clock advances *)
+  retry_rng : Random.State.t;
+      (** topology-owned stream for retry-backoff jitter; deterministic
+          per [fault_seed] and untouched by the fault plan's own draws *)
   obs : Obs.t;  (** cluster-wide metrics registry + trace sink *)
 }
 
@@ -65,7 +73,19 @@ let create ?(buffer_pages = 100_000) ?(spec = Sim.Cost.default_spec)
         ("connections_opened", net.connections_opened);
         ("rows_shipped", net.rows_shipped);
       ]);
-  { coordinator; workers; clock; rtt; net; fault; sched_seed; obs }
+  {
+    coordinator;
+    workers;
+    clock;
+    rtt;
+    net;
+    fault;
+    sched_seed;
+    running_sched = None;
+    retry_rng =
+      Random.State.make [| 0x7177; Option.value ~default:0 fault_seed |];
+    obs;
+  }
 
 let obs t = t.obs
 
@@ -82,6 +102,20 @@ let fault t = t.fault
 (* Fire any scheduled faults whose virtual time has come. *)
 let fault_tick t =
   match t.fault with None -> () | Some f -> Sim.Fault.tick f
+
+(* Scope the ambient scheduler: set for the extent of [f], restore the
+   previous one after (with_sched nests). *)
+let with_running_sched t sched f =
+  let prev = t.running_sched in
+  t.running_sched <- Some sched;
+  Fun.protect ~finally:(fun () -> t.running_sched <- prev) f
+
+let running_sched t = t.running_sched
+
+(* One bounded jitter draw in [0, 1): callers scale a backoff by e.g.
+   [1.0 +. 0.5 *. retry_jitter t] so synchronized retry storms against a
+   recovering node spread out, deterministically per seed. *)
+let retry_jitter t = Random.State.float t.retry_rng 1.0
 
 let node_up t name =
   match t.fault with None -> true | Some f -> Sim.Fault.node_up f name

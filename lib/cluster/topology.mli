@@ -34,6 +34,13 @@ type t = {
       (** seed for {!Sim.Sched} ready-queue tiebreaks: [None] (default)
           is strict round-robin; chaos tests set a seed to fuzz fiber
           interleavings deterministically *)
+  mutable running_sched : Sim.Sched.t option;
+      (** the scheduler currently driving this cluster (set by
+          [Citus.State.with_sched] for its dynamic extent); lets
+          {!Connection.await} pass injected latency as a fiber sleep *)
+  retry_rng : Random.State.t;
+      (** topology-owned jitter stream for retry backoff, seeded from
+          [fault_seed]; see {!retry_jitter} *)
   obs : Obs.t;
       (** cluster-wide observability: one metrics registry (always on,
           with every node's meter folded in) and one trace sink
@@ -70,6 +77,20 @@ val now : t -> unit -> float
 (** Fire scheduled fault events that are due at the current virtual
     time. Called by {!Connection} before each connect / round trip. *)
 val fault_tick : t -> unit
+
+(** [with_running_sched t sched f] marks [sched] as the cluster's
+    ambient scheduler for the extent of [f] (restoring the previous one
+    after — nesting is fine). While set, {!Connection.await} sleeps the
+    calling fiber through injected latency instead of advancing the
+    global clock. *)
+val with_running_sched : t -> Sim.Sched.t -> (unit -> 'a) -> 'a
+
+val running_sched : t -> Sim.Sched.t option
+
+(** One jitter draw in [0, 1) from the topology's own seeded stream —
+    for spreading retry backoffs so storms against a recovering node
+    don't synchronize. Deterministic per [fault_seed]. *)
+val retry_jitter : t -> float
 
 (** Node liveness / directed-route health per the fault plan (always
     [true] without one). [route_up] requires the destination alive and

@@ -164,6 +164,15 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
   let trace = Cluster.Topology.trace t.State.cluster in
   let clock = t.State.cluster.Cluster.Topology.clock in
   let started_at = Sim.Clock.now clock in
+  (* statement_timeout: one absolute deadline for the whole statement,
+     computed up front and threaded through every fragment await and
+     modeled-cost sleep — the statement completes or fails typed within
+     deadline + one suspension of virtual time *)
+  let deadline =
+    let timeout = t.State.config.State.statement_timeout in
+    if timeout > 0.0 then Some (started_at +. timeout) else None
+  in
+  let hedge_threshold = t.State.config.State.hedge_threshold in
   (* fragment spans are created from interleaved fibers: the parent is
      captured here, before any fiber exists, never from the open-span
      stack another fiber may be mutating *)
@@ -328,7 +337,7 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
       (fun () ->
         try
           if needs_txn_block && not (List.memq conn st.State.txn_conns) then begin
-            ignore (Exec.on_conn_exn t conn "BEGIN");
+            ignore (Exec.on_conn_exn ?deadline t conn "BEGIN");
             st.State.txn_conns <- conn :: st.State.txn_conns;
             register_backend st t conn coord_session
           end;
@@ -344,13 +353,28 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
               (fun _sp ->
                 let result, duration =
                   measured node (fun () ->
-                      Exec.ast_on_conn_exn t conn task.Plan.task_stmt)
+                      Exec.ast_on_conn_exn ?deadline t conn
+                        task.Plan.task_stmt)
                 in
                 (* occupy the connection for the fragment's modeled cost:
                    this sleep advances the virtual clock, so the span's
                    start/end and the statement's makespan are genuine
                    measurements *)
-                Sim.Sched.sleep sched duration;
+                (match deadline with
+                 | Some dl when Sim.Clock.now clock +. duration > dl ->
+                   (* the modeled cost overruns the statement deadline:
+                      occupy the connection up to the deadline, then
+                      cancel the statement PostgreSQL-style — slow, not
+                      dead, so the breaker's latency trip is fed rather
+                      than its failure counter *)
+                   Sim.Sched.sleep_until sched dl;
+                   Health.record_slow t.State.health
+                     node.Cluster.Topology.node_name;
+                   raise
+                     (Cluster.Connection.Timed_out
+                        { node = node.Cluster.Topology.node_name;
+                          deadline = dl })
+                 | _ -> Sim.Sched.sleep sched duration);
                 (result, duration))
           in
           Obs.Metrics.observe m "exec.fragment_seconds" duration;
@@ -362,10 +386,16 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
           end;
           result
         with
-          (State.Network_error _ | Cluster.Connection.Node_unavailable _) as e
+        | (State.Network_error _ | Cluster.Connection.Node_unavailable _) as e
           ->
           if List.memq conn st.State.txn_conns then
             withdraw_txn_conn t st conn ~node:node.Cluster.Topology.node_name;
+          raise e
+        | Cluster.Connection.Timed_out _ as e ->
+          (* deadline expiry is a statement abort, not a connection
+             failure: the connection stays healthy (its reply merely
+             arrives late) and goes back to the pool via [release] *)
+          Obs.Metrics.inc m "exec.timeouts";
           raise e)
   in
   let exec_task sched (task : Plan.task) =
@@ -412,7 +442,56 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
              ->
              try_nodes rest)
       in
-      try_nodes candidates
+      match candidates with
+      | primary :: (secondary :: _ as rest) when hedge_threshold > 0.0 ->
+        (* hedged read: give the preferred replica [hedge_threshold] of
+           exclusive virtual time; if it has neither answered nor failed
+           by then it is slow, not dead — launch the same read on the
+           next replica and let the first response win. Only reads
+           hedge: duplicating one has no side effects. The loser is
+           cancelled and drained, so its connection is back in the pool
+           before the statement returns. *)
+        let attempt node_name =
+          Sim.Sched.spawn sched ~node:node_name (fun () ->
+              run_on sched task node_name)
+        in
+        let f1 = attempt primary in
+        let hedge_at =
+          let h = Sim.Clock.now clock +. hedge_threshold in
+          match deadline with Some dl -> Float.min h dl | None -> h
+        in
+        (match Sim.Sched.await_result sched ~deadline:hedge_at f1 with
+         | Ok r -> r
+         | Error Sim.Sched.Timed_out ->
+           Obs.Metrics.inc m "exec.hedged_reads";
+           Health.record_slow t.State.health primary;
+           let f2 = attempt secondary in
+           let idx, first = Sim.Sched.await_any sched [ f1; f2 ] in
+           let other = if idx = 0 then f2 else f1 in
+           (match first with
+            | Ok r ->
+              (* first response wins; cancelling and draining the loser
+                 runs its cleanup (connection release) to completion
+                 inside this statement *)
+              Sim.Sched.cancel sched other;
+              ignore (Sim.Sched.await_result sched other);
+              if idx = 1 then Obs.Metrics.inc m "exec.hedge_wins";
+              r
+            | Error _ ->
+              (* the first finisher failed; fall back to whatever the
+                 surviving attempt produces *)
+              (match Sim.Sched.await_result sched other with
+               | Ok r ->
+                 if idx = 0 then Obs.Metrics.inc m "exec.hedge_wins";
+                 r
+               | Error e -> raise e))
+         | Error
+             (State.Network_error _ | Cluster.Connection.Node_unavailable _)
+           ->
+           (* hard failure before the hedge fired: ordinary failover *)
+           try_nodes rest
+         | Error e -> raise e)
+      | _ -> try_nodes candidates
     end
     else
       (* replica_nodes never returns []: it falls back to the planned node *)

@@ -522,6 +522,41 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
     (fun _session n () ->
       if n < 1 then err "replication factor must be >= 1";
       t.replication_factor <- n);
+  (* the engine has no SET/GUC machinery, so runtime knobs flow through
+     a UDF instead; values apply to this node's extension state *)
+  Udf.register inst "citus_set_config"
+    Udf.(text "name" @-> text "value" @-> returning text_result)
+    (fun _session name value () ->
+      let cfg = st.State.config in
+      let float_knob set =
+        match float_of_string_opt value with
+        | Some v when v >= 0.0 -> set v
+        | _ ->
+          err "citus_set_config: %s expects a non-negative number, got '%s'"
+            name value
+      in
+      let int_knob set =
+        match int_of_string_opt value with
+        | Some v when v > 0 -> set v
+        | _ ->
+          err "citus_set_config: %s expects a positive integer, got '%s'" name
+            value
+      in
+      (match name with
+       | "statement_timeout" ->
+         float_knob (fun v -> cfg.State.statement_timeout <- v)
+       | "hedge_threshold" ->
+         float_knob (fun v -> cfg.State.hedge_threshold <- v)
+       | "slow_start_interval" ->
+         float_knob (fun v -> cfg.State.slow_start_interval <- v)
+       | "pool_size_per_node" ->
+         int_knob (fun v -> cfg.State.pool_size_per_node <- v)
+       | "shared_connection_limit" ->
+         int_knob (fun v -> cfg.State.shared_connection_limit <- v)
+       | "max_parallel_moves" ->
+         int_knob (fun v -> cfg.State.max_parallel_moves <- v)
+       | other -> err "citus_set_config: unknown setting '%s'" other);
+      Printf.sprintf "%s = %s" name value);
   Udf.register inst "citus_health_report"
     Udf.(returning rows)
     (fun _session () ->
@@ -765,21 +800,53 @@ let health_report t =
   ( Health.report st.State.health,
     Metadata.inactive_placements t.metadata )
 
+(* A retry loop giving up on a lock conflict abandons its wait: remove
+   the pending lock-wait registrations of the session's transaction —
+   locally and on every worker its distributed transaction reached — so
+   the deadlock detector never chases a waiter that has already left. *)
+let cancel_lock_waits t session =
+  (match Engine.Instance.current_xid session with
+   | Some xid ->
+     let mgr =
+       Engine.Instance.txn_manager (Engine.Instance.session_instance session)
+     in
+     Txn.Lock.cancel_wait (Txn.Manager.locks mgr) ~owner:xid
+   | None -> ());
+  let st = coordinator_state t in
+  let sst = State.session_state st session in
+  List.iter
+    (fun (node, wxid) ->
+      let n = Cluster.Topology.find_node t.cluster node in
+      let mgr = Engine.Instance.txn_manager n.Cluster.Topology.instance in
+      Txn.Lock.cancel_wait (Txn.Manager.locks mgr) ~owner:wxid)
+    sst.State.dist_xids
+
 (* Retry a statement that hits lock conflicts, running the maintenance
    daemon between attempts so the deadlock detector can break cycles, and
    waiting a deterministic interval on the simulated clock (a threaded
-   client would block on the lock instead). The loop is bounded: after
-   [attempts] tries the conflict propagates. Returns the number of
-   attempts consumed alongside the result. *)
+   client would block on the lock instead). The interval carries a
+   bounded, seeded jitter draw (up to +50%) so retriers contending for
+   one lock spread out instead of re-colliding in lockstep — still
+   bit-reproducible per topology seed. The loop is bounded: after
+   [attempts] tries the conflict propagates, with the abandoned lock
+   waits withdrawn first. Returns the number of attempts consumed
+   alongside the result. *)
 let exec_with_retries_report t session ?(attempts = 20) sql =
   let attempts = max 1 attempts in
   let rec go n =
     match Engine.Instance.exec session sql with
     | r -> (r, attempts - n + 1)
-    | exception Engine.Executor.Would_block _ when n > 1 ->
-      maintenance t;
-      Sim.Clock.advance t.cluster.Cluster.Topology.clock 0.05;
-      go (n - 1)
+    | exception (Engine.Executor.Would_block _ as e) ->
+      if n > 1 then begin
+        maintenance t;
+        Sim.Clock.advance t.cluster.Cluster.Topology.clock
+          (0.05 *. (1.0 +. (0.5 *. Cluster.Topology.retry_jitter t.cluster)));
+        go (n - 1)
+      end
+      else begin
+        cancel_lock_waits t session;
+        raise e
+      end
   in
   go attempts
 

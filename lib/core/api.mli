@@ -71,9 +71,19 @@ val set_replication_factor : t -> int -> unit
 val health_report :
   t -> Health.node_report list * (Metadata.shard * string) list
 
+(** Withdraw the session transaction's pending lock-wait registrations —
+    on its own node and on every worker its distributed transaction
+    reached — so an abandoned waiter never feeds stale edges to the
+    distributed deadlock detector. Called automatically when
+    {!exec_with_retries} gives up; idempotent. *)
+val cancel_lock_waits : t -> Engine.Instance.session -> unit
+
 (** Execute, retrying on {!Engine.Executor.Would_block} with a maintenance
     tick and a deterministic {!Sim.Clock} backoff between attempts (the
-    deadlock detector may abort a cycle member, releasing the lock).
+    deadlock detector may abort a cycle member, releasing the lock); the
+    backoff carries a bounded seeded jitter draw so contending retriers
+    de-synchronize. On final give-up the pending lock waits are withdrawn
+    ({!cancel_lock_waits}) before the conflict propagates.
     Re-raises after [attempts]. *)
 val exec_with_retries :
   t -> Engine.Instance.session -> ?attempts:int -> string ->

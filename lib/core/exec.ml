@@ -26,6 +26,9 @@ type exec_error =
       (* sole replica of in-transaction writes is gone; must abort *)
   | Catalog_error of string
       (* no active placement / unknown shard *)
+  | Timed_out of { node : string }
+      (* statement deadline expired waiting on the node — a gray
+         failure: the node is alive, the statement may have executed *)
 
 let error_message = function
   | Node_unavailable { node; reason } ->
@@ -37,44 +40,72 @@ let error_message = function
        wrote; aborting to preserve atomicity"
       node
   | Catalog_error m -> m
+  | Timed_out { node } ->
+    Printf.sprintf
+      "canceling statement due to statement timeout: node %s did not answer \
+       before the deadline"
+      node
 
 let wrap f =
   match f () with
   | v -> Ok v
   | exception Cluster.Connection.Node_unavailable { node; reason } ->
     Error (Node_unavailable { node; reason })
+  | exception Cluster.Connection.Timed_out { node; _ } ->
+    Error (Timed_out { node })
   | exception State.Network_error m -> Error (Network_error m)
   | exception State.Txn_replica_lost node -> Error (Txn_replica_lost node)
   | exception Metadata.Catalog_error m -> Error (Catalog_error m)
 
 (* Execute on a connection, simulating the network: partition and
    injected-failure checks up front, then the split submit/await round
-   trip. Every infrastructure-fault outcome feeds the node's circuit
-   breaker; statement errors do not. *)
-let on_conn_exn (t : State.t) conn sql =
+   trip (bounded by [?deadline], absolute virtual time). Every
+   infrastructure-fault outcome feeds the node's circuit breaker;
+   statement errors do not; a deadline expiry feeds the breaker's
+   latency-aware trip signal instead of the failure one. *)
+let on_conn_exn ?deadline (t : State.t) conn sql =
   let node = (Cluster.Connection.node conn).Cluster.Topology.node_name in
   try
     State.check_reachable t node;
     State.check_injected t node sql;
-    let r = Cluster.Connection.(await (exec_async conn sql)) in
+    let r =
+      (Cluster.Connection.(await ?deadline (exec_async conn sql))
+       [@lint.blocking])
+      (* boundary primitive: runs both under a scheduler (executor
+         fibers) and outside one (setup, maintenance) — Connection.await
+         falls back to a clock advance when no scheduler is ambient *)
+    in
     Health.record_success t.State.health node;
     r
-  with (State.Network_error _ | Cluster.Connection.Node_unavailable _) as e ->
+  with
+  | (State.Network_error _ | Cluster.Connection.Node_unavailable _) as e ->
     (* both are infrastructure faults, not statement errors: they feed
        the breaker and stay distinguishable for the executors *)
     Health.record_failure t.State.health node;
     raise e
+  | Cluster.Connection.Timed_out _ as e ->
+    (* slow, not dead: sheds load via the breaker without ever counting
+       toward failover's consecutive-failure bookkeeping *)
+    Health.record_slow t.State.health node;
+    raise e
 
-let ast_on_conn_exn t conn stmt =
-  on_conn_exn t conn (Sqlfront.Deparse.statement stmt)
+let ast_on_conn_exn ?deadline t conn stmt =
+  on_conn_exn ?deadline t conn (Sqlfront.Deparse.statement stmt)
 
 (* Raw round trip: no partition check, no breaker accounting — for
    best-effort cleanup (ROLLBACK on a connection that just failed) and
    shard-local plumbing whose failures the caller counts itself. *)
-let raw_on_conn_exn conn sql = Cluster.Connection.(await (exec_async conn sql))
+let raw_on_conn_exn conn sql =
+  (Cluster.Connection.(await (exec_async conn sql)) [@lint.blocking])
 
-let on_conn st conn sql = wrap (fun () -> on_conn_exn st conn sql)
+(* Fire-and-forget cleanup: submit, never wait for the reply. The only
+   safe way to ROLLBACK at a node that may be stalled — a cancelling
+   statement must not wait out the very stall it is escaping. *)
+let post_on_conn conn sql = Cluster.Connection.post conn sql
 
-let ast_on_conn st conn stmt = wrap (fun () -> ast_on_conn_exn st conn stmt)
+let on_conn ?deadline st conn sql = wrap (fun () -> on_conn_exn ?deadline st conn sql)
+
+let ast_on_conn ?deadline st conn stmt =
+  wrap (fun () -> ast_on_conn_exn ?deadline st conn stmt)
 
 let raw_on_conn conn sql = wrap (fun () -> raw_on_conn_exn conn sql)

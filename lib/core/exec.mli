@@ -23,13 +23,18 @@ type exec_error =
   | Txn_replica_lost of string
       (** the sole replica of in-transaction writes is gone; abort *)
   | Catalog_error of string  (** no active placement / unknown shard *)
+  | Timed_out of { node : string }
+      (** the statement deadline expired waiting on the node — a gray
+          failure: the node is alive and the statement {e may} have
+          executed remotely (same ambiguity as a lost reply) *)
 
 (** Human-readable rendering, used for session error messages. *)
 val error_message : exec_error -> string
 
-(** Run any thunk, mapping the four infrastructure exceptions to
-    [Error]. Building block for the typed wrappers; also what the
-    planner hook wraps whole plan executions in. *)
+(** Run any thunk, mapping the infrastructure exceptions (including
+    {!Cluster.Connection.Timed_out}) to [Error]. Building block for the
+    typed wrappers; also what the planner hook wraps whole plan
+    executions in. *)
 val wrap : (unit -> 'a) -> ('a, exec_error) result
 
 (** Execute on a connection, simulating the network: raises
@@ -37,12 +42,17 @@ val wrap : (unit -> 'a) -> ('a, exec_error) result
     injected failure matches, lets {!Cluster.Connection.Node_unavailable}
     from the fault layer through unchanged, and feeds every
     infrastructure-fault outcome (but no statement error) into the
-    node's circuit breaker. *)
+    node's circuit breaker. [?deadline] (absolute virtual time) bounds
+    the await: expiry raises {!Cluster.Connection.Timed_out} and feeds
+    {!Health.record_slow} — the latency-aware trip — instead of the
+    hard-failure path. *)
 val on_conn_exn :
-  State.t -> Cluster.Connection.t -> string -> Engine.Instance.result
+  ?deadline:float -> State.t -> Cluster.Connection.t -> string ->
+  Engine.Instance.result
 
 (** Deparse and {!on_conn_exn}. *)
 val ast_on_conn_exn :
+  ?deadline:float ->
   State.t ->
   Cluster.Connection.t ->
   Sqlfront.Ast.statement ->
@@ -54,14 +64,22 @@ val ast_on_conn_exn :
     {!on_conn_exn} when a {!State.t} is at hand. *)
 val raw_on_conn_exn : Cluster.Connection.t -> string -> Engine.Instance.result
 
+(** Submit and never await: fire-and-forget cleanup (ROLLBACK posted at
+    a node that may be stalled — waiting for its reply would mean
+    waiting out the very stall the caller is escaping). The statement
+    still executes remotely; its outcome is dropped. *)
+val post_on_conn : Cluster.Connection.t -> string -> unit
+
 (** Typed forms of the above. *)
 val on_conn :
+  ?deadline:float ->
   State.t ->
   Cluster.Connection.t ->
   string ->
   (Engine.Instance.result, exec_error) result
 
 val ast_on_conn :
+  ?deadline:float ->
   State.t ->
   Cluster.Connection.t ->
   Sqlfront.Ast.statement ->

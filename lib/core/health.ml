@@ -11,6 +11,8 @@ type node_stats = {
   mutable successes : int;
   mutable failed_commits : int;
   mutable ignored_errors : int;
+  mutable slow_events : int;
+  mutable consecutive_slow : int;
   mutable breaker : breaker;
   mutable opened_at : float;
   mutable backoff : float;
@@ -21,17 +23,19 @@ type t = {
   nodes : (string, node_stats) Hashtbl.t;
   metrics : Obs.Metrics.t option;
   mutable failure_threshold : int;
+  mutable slow_threshold : int;
   mutable base_backoff : float;
   mutable max_backoff : float;
 }
 
-let create ?(failure_threshold = 3) ?(base_backoff = 1.0) ?(max_backoff = 30.0)
-    ?metrics ~clock () =
+let create ?(failure_threshold = 3) ?(slow_threshold = 3) ?(base_backoff = 1.0)
+    ?(max_backoff = 30.0) ?metrics ~clock () =
   {
     clock;
     nodes = Hashtbl.create 8;
     metrics;
     failure_threshold;
+    slow_threshold;
     base_backoff;
     max_backoff;
   }
@@ -65,6 +69,8 @@ let stats t node =
         successes = 0;
         failed_commits = 0;
         ignored_errors = 0;
+        slow_events = 0;
+        consecutive_slow = 0;
         breaker = Closed;
         opened_at = 0.0;
         backoff = t.base_backoff;
@@ -89,6 +95,7 @@ let record_success t node =
   let s = stats t node in
   s.successes <- s.successes + 1;
   s.consecutive_failures <- 0;
+  s.consecutive_slow <- 0;
   note_transition t ~from_:s.breaker ~to_:Closed;
   s.breaker <- Closed;
   s.backoff <- t.base_backoff
@@ -109,6 +116,40 @@ let record_failure t node =
     s.opened_at <- Sim.Clock.now t.clock;
     note_transition t ~from_:Closed ~to_:Open
   | _ -> ()
+
+(* Gray failure: the node answered, just far too late (a statement
+   deadline expired against it). Distinct from [record_failure] in every
+   consequence that matters: it never counts as a hard failure — so
+   failover logic keyed on [consecutive_failures] / placement-marking
+   never treats the node as dead — but enough consecutive slow events
+   still trip the breaker [Open], shedding load until the backoff gives
+   the node a chance to catch up. *)
+let record_slow t node =
+  let s = stats t node in
+  s.slow_events <- s.slow_events + 1;
+  s.consecutive_slow <- s.consecutive_slow + 1;
+  (match t.metrics with
+   | Some m -> Obs.Metrics.inc m "health.slow_events"
+   | None -> ());
+  match breaker_state t node with
+  | Half_open ->
+    s.breaker <- Open;
+    s.opened_at <- Sim.Clock.now t.clock;
+    s.backoff <- Float.min t.max_backoff (s.backoff *. 2.0);
+    note_transition t ~from_:Half_open ~to_:Open;
+    (match t.metrics with
+     | Some m -> Obs.Metrics.inc m "breaker.tripped_slow"
+     | None -> ())
+  | Closed when s.consecutive_slow >= t.slow_threshold ->
+    s.breaker <- Open;
+    s.opened_at <- Sim.Clock.now t.clock;
+    note_transition t ~from_:Closed ~to_:Open;
+    (match t.metrics with
+     | Some m -> Obs.Metrics.inc m "breaker.tripped_slow"
+     | None -> ())
+  | _ -> ()
+
+let slow_events t node = (stats t node).slow_events
 
 let record_failed_commit t node =
   let s = stats t node in
@@ -137,6 +178,7 @@ type node_report = {
   nr_successes : int;
   nr_failed_commits : int;
   nr_ignored_errors : int;
+  nr_slow_events : int;
 }
 
 let report t =
@@ -150,6 +192,7 @@ let report t =
         nr_successes = s.successes;
         nr_failed_commits = s.failed_commits;
         nr_ignored_errors = s.ignored_errors;
+        nr_slow_events = s.slow_events;
       }
       :: acc)
     t.nodes []

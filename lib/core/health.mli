@@ -26,6 +26,10 @@ type node_stats = {
   mutable ignored_errors : int;
       (** exceptions swallowed by best-effort cleanup (e.g. ROLLBACK on an
           already-failing node), counted so they stay observable *)
+  mutable slow_events : int;
+      (** total deadline expiries against this node — gray failures: the
+          node answered, just too late *)
+  mutable consecutive_slow : int;
   mutable breaker : breaker;
   mutable opened_at : float;  (** clock time the breaker last opened *)
   mutable backoff : float;  (** current open-interval / retry backoff *)
@@ -40,12 +44,15 @@ type t = {
           currently-open breakers *)
   mutable failure_threshold : int;
       (** consecutive failures that trip the breaker *)
+  mutable slow_threshold : int;
+      (** consecutive slow events (deadline expiries) that trip it *)
   mutable base_backoff : float;  (** seconds *)
   mutable max_backoff : float;
 }
 
 val create :
   ?failure_threshold:int ->
+  ?slow_threshold:int ->
   ?base_backoff:float ->
   ?max_backoff:float ->
   ?metrics:Obs.Metrics.t ->
@@ -63,6 +70,17 @@ val breaker_state : t -> string -> breaker
 val record_success : t -> string -> unit
 
 val record_failure : t -> string -> unit
+
+(** The latency-aware trip signal: a statement deadline expired against
+    this node, but nothing {e failed} — the node is alive, just slow.
+    Never counts toward [consecutive_failures] (so nothing marks the
+    node or its placements dead); enough consecutive slow events still
+    trip the breaker [Open] so a browned-out node sheds load until its
+    backoff elapses. Counted into [health.slow_events] and, on a trip,
+    [breaker.tripped_slow]. *)
+val record_slow : t -> string -> unit
+
+val slow_events : t -> string -> int
 
 val record_failed_commit : t -> string -> unit
 
@@ -91,6 +109,7 @@ type node_report = {
   nr_successes : int;
   nr_failed_commits : int;
   nr_ignored_errors : int;
+  nr_slow_events : int;
 }
 
 (** Snapshot of every tracked node, sorted by name. *)

@@ -4,6 +4,8 @@ type config = {
   mutable slow_start_interval : float;
   mutable max_parallel_moves : int;
   mutable binary_protocol : bool;
+  mutable statement_timeout : float;
+  mutable hedge_threshold : float;
 }
 
 type session_state = {
@@ -41,6 +43,8 @@ let default_config () =
     slow_start_interval = 0.010;
     max_parallel_moves = 4;
     binary_protocol = true;
+    statement_timeout = 0.0;
+    hedge_threshold = 0.0;
   }
 
 let create ~cluster ~metadata ~local ~registry ~coordinator_id =
@@ -144,16 +148,28 @@ let node_available t node = Health.available t.health node
 (* One cooperative-scheduler run wired to this cluster: ready-queue
    tiebreaks come from the topology's [sched_seed] and every virtual
    clock jump fires the fault plan's tick, so scheduled crashes and
-   partitions land between fiber slices at their virtual times. *)
+   partitions land between fiber slices at their virtual times. For the
+   run's extent the scheduler is also the cluster's ambient one
+   ([Topology.with_running_sched]) — [Connection.await] passes injected
+   latency as fiber sleeps — and every fiber suspension point draws from
+   the fault plan's suspension hazard. *)
 let with_sched t f =
   Sim.Sched.run
     ?seed:t.cluster.Cluster.Topology.sched_seed
     ~on_advance:(fun () -> Cluster.Topology.fault_tick t.cluster)
-    ~clock:t.cluster.Cluster.Topology.clock f
+    ~on_suspend:(fun ~node ->
+      match t.cluster.Cluster.Topology.fault with
+      | Some fault -> Sim.Fault.at_suspension fault ~node
+      | None -> 0.0)
+    ~clock:t.cluster.Cluster.Topology.clock
+    (fun sched ->
+      Cluster.Topology.with_running_sched t.cluster sched (fun () -> f sched))
 
 (* Bounded retry for transient network errors against one node. Waits the
-   breaker's current backoff on the simulated clock between attempts, so
-   retried statements stay deterministic in tests. *)
+   breaker's current backoff on the simulated clock between attempts —
+   stretched by a bounded draw from the topology's jitter stream (up to
+   +50%) so concurrent retriers against a recovering node spread out
+   instead of stampeding in lockstep; still deterministic per seed. *)
 let with_retry ?(attempts = 3) t ~node f =
   let rec go n =
     try f ()
@@ -161,7 +177,8 @@ let with_retry ?(attempts = 3) t ~node f =
       if n <= 1 then raise e
       else begin
         Sim.Clock.advance t.cluster.Cluster.Topology.clock
-          (Health.retry_backoff t.health node);
+          (Health.retry_backoff t.health node
+          *. (1.0 +. (0.5 *. Cluster.Topology.retry_jitter t.cluster)));
         go (n - 1)
       end
   in
@@ -217,6 +234,19 @@ let purge_node_conns t name =
         let cnt = counter t name in
         cnt := max 0 (!cnt - List.length conns))
     t.sessions
+
+(* Leak accounting for the chaos invariants: once every statement has
+   completed (or timed out and been cancelled) and all transactions have
+   resolved, no session may still pin transaction connections or hold
+   un-committed prepared pairs. Pooled idle connections are fine — pools
+   exist to be reused. *)
+let leaked_txn_conns t =
+  Hashtbl.fold
+    (fun _ st acc -> acc + List.length st.txn_conns)
+    t.sessions 0
+
+let leaked_prepared t =
+  Hashtbl.fold (fun _ st acc -> acc + List.length st.prepared) t.sessions 0
 
 (* This extension's own node crashed: every worker holding an open
    transaction for one of our sessions sees its client vanish and rolls

@@ -16,6 +16,14 @@ type config = {
   mutable max_parallel_moves : int;
       (** rebalancer: shard-group moves allowed in flight at once *)
   mutable binary_protocol : bool;  (** placeholder knob, always true *)
+  mutable statement_timeout : float;
+      (** seconds of virtual time a distributed statement may run before
+          failing with a typed timeout; [0.0] (default) disables — the
+          [statement_timeout] GUC of the paper's production story *)
+  mutable hedge_threshold : float;
+      (** seconds a single-shard read may wait on one replica before the
+          executor hedges it on another replica (first response wins,
+          loser cancelled); [0.0] (default) disables hedging *)
 }
 
 type session_state = {
@@ -103,7 +111,10 @@ val check_injected : t -> string -> string -> unit
 (** [with_sched t f] runs [f] under a {!Sim.Sched} wired to this
     cluster: the topology's [sched_seed] orders ready-queue tiebreaks
     and every virtual-clock jump fires {!Cluster.Topology.fault_tick},
-    so scheduled faults interleave with fibers at their virtual times. *)
+    so scheduled faults interleave with fibers at their virtual times.
+    For the run's extent the scheduler is the cluster's ambient one
+    (injected latency passes as fiber sleeps) and each suspension point
+    draws from the fault plan's suspension hazard. *)
 val with_sched : t -> (Sim.Sched.t -> 'a) -> 'a
 
 (** [false] while the node's circuit breaker is open. *)
@@ -111,8 +122,10 @@ val node_available : t -> string -> bool
 
 (** [with_retry t ~node f] runs [f], retrying up to [attempts] times on
     {!Network_error} / {!Cluster.Connection.Node_unavailable} with the
-    breaker's backoff advanced on the simulated clock between attempts.
-    Re-raises after the last attempt. *)
+    breaker's backoff — stretched by a bounded, seeded jitter draw
+    ({!Cluster.Topology.retry_jitter}) so retry storms de-synchronize —
+    advanced on the simulated clock between attempts. Re-raises after
+    the last attempt. *)
 val with_retry : ?attempts:int -> t -> node:string -> (unit -> 'a) -> 'a
 
 (** Fresh global transaction identifier: citus_<coordinator>_<xid>_<seq>. *)
@@ -152,3 +165,12 @@ val purge_node_conns : t -> string -> unit
     sessions just died (prepared ones survive), then drop all session
     bookkeeping. *)
 val crash_local_sessions : t -> unit
+
+(** Leak accounting for the chaos invariants: connections still pinned
+    to a transaction, and (conn, gid) pairs still awaiting COMMIT
+    PREPARED, summed across sessions. Both must be zero once every
+    statement has completed or been cancelled and all transactions have
+    resolved. *)
+val leaked_txn_conns : t -> int
+
+val leaked_prepared : t -> int

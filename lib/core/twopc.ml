@@ -147,6 +147,16 @@ let cleanup_session_txn_state (t : State.t) (st : State.session_state) =
   st.State.prepared <- [];
   st.State.affinity <- []
 
+(* The commit machinery runs as its own statement: each phase gets a
+   fresh [statement_timeout] deadline (when the knob is set), so a
+   stalled participant bounds PREPARE / COMMIT PREPARED instead of
+   hanging the coordinator. *)
+let phase_deadline (t : State.t) =
+  let timeout = t.State.config.State.statement_timeout in
+  if timeout > 0.0 then
+    Some (Sim.Clock.now t.State.cluster.Cluster.Topology.clock +. timeout)
+  else None
+
 let pre_commit (t : State.t) coord_session =
   let st = State.session_state t coord_session in
   match st.State.txn_conns with
@@ -163,6 +173,7 @@ let pre_commit (t : State.t) coord_session =
       | None -> invalid_arg "pre_commit outside a transaction"
     in
     Obs.Metrics.inc (metrics t) "twopc.started";
+    let deadline = phase_deadline t in
     let prepared = ref [] in
     (try
        span t ~kind:"2pc.prepare"
@@ -185,7 +196,7 @@ let pre_commit (t : State.t) coord_session =
                        Sim.Sched.spawn sched ~node:(node_name conn)
                          (fun () ->
                            ignore
-                             (Exec.ast_on_conn_exn t conn
+                             (Exec.ast_on_conn_exn ?deadline t conn
                                 (Sqlfront.Ast.Prepare_transaction gid));
                            (conn, gid)))
                      with_gids
@@ -208,19 +219,31 @@ let pre_commit (t : State.t) coord_session =
        Obs.Metrics.inc (metrics t) "twopc.prepare_failed";
        (* a prepare failed: roll back everything and abort the coordinator.
           Cleanup is best effort — the node may be the one that just
-          failed — but swallowed errors are counted, never invisible. *)
+          failed — but swallowed errors are counted, never invisible.
+          After a deadline expiry the rollbacks are {e posted}
+          fire-and-forget: the coordinator must not wait out the very
+          stall that expired the deadline, and recovery resolves any
+          rollback a stalled node never applied (a prepared transaction
+          with no commit record is rolled back by the next pass). *)
+       let posted =
+         match e with Cluster.Connection.Timed_out _ -> true | _ -> false
+       in
+       let cleanup conn stmt =
+         if posted then
+           try Exec.post_on_conn conn (Sqlfront.Deparse.statement stmt)
+           with _ -> Health.record_ignored t.State.health (node_name conn)
+         else
+           try ignore (Exec.ast_on_conn_exn t conn stmt)
+           with _ -> Health.record_ignored t.State.health (node_name conn)
+       in
        List.iter
          (fun (conn, gid) ->
-           try
-             ignore
-               (Exec.ast_on_conn_exn t conn (Sqlfront.Ast.Rollback_prepared gid))
-           with _ -> Health.record_ignored t.State.health (node_name conn))
+           cleanup conn (Sqlfront.Ast.Rollback_prepared gid))
          !prepared;
        List.iter
          (fun conn ->
            if not (List.mem_assq conn !prepared) then
-             try ignore (Exec.on_conn_exn t conn "ROLLBACK")
-             with _ -> Health.record_ignored t.State.health (node_name conn))
+             cleanup conn Sqlfront.Ast.Rollback_txn)
          conns;
        st.State.prepared <- [];
        raise e);
@@ -237,10 +260,14 @@ let post_commit (t : State.t) coord_session =
      span t ~kind:"2pc.commit"
        ~tags:[ ("participants", string_of_int (List.length prepared)) ]
        (fun _sp ->
-         (* fan COMMIT PREPARED out to every participant as its own fiber.
-            Best effort; failures are handled by recovery. Commit records
-            are cleaned up lazily by the maintenance daemon, off the hot
-            path. *)
+         (* fan COMMIT PREPARED out to every participant as its own fiber,
+            each bounded by the phase deadline — a stuck COMMIT PREPARED
+            degrades to the deferred-commit path (the outcome is unknown
+            exactly as for a lost reply; the commit record survives and
+            recovery commits the prepared transaction later). Best
+            effort; commit records are cleaned up lazily by the
+            maintenance daemon, off the hot path. *)
+         let deadline = phase_deadline t in
          let outcomes =
            State.with_sched t (fun sched ->
                let fibers =
@@ -249,7 +276,7 @@ let post_commit (t : State.t) coord_session =
                      Sim.Sched.spawn sched ~node:(node_name conn)
                        (fun () ->
                          ignore
-                           (Exec.ast_on_conn_exn t conn
+                           (Exec.ast_on_conn_exn ?deadline t conn
                               (Sqlfront.Ast.Commit_prepared gid))))
                    prepared
                in
@@ -273,19 +300,31 @@ let on_abort (t : State.t) coord_session =
   let st = State.session_state t coord_session in
   if st.State.txn_conns <> [] then
     Obs.Metrics.inc (metrics t) "twopc.aborted";
+  let node_stalled node =
+    match Cluster.Topology.fault t.State.cluster with
+    | Some f -> Sim.Fault.node_stalled f node
+    | None -> false
+  in
+  let rollback conn stmt =
+    let node = node_name conn in
+    if node_stalled node then
+      (* an abort triggered by a statement timeout must not wait out the
+         very stall it is escaping: post the rollback and let recovery
+         resolve anything the stalled node loses *)
+      try Exec.post_on_conn conn (Sqlfront.Deparse.statement stmt)
+      with _ -> Health.record_ignored t.State.health node
+    else
+      try ignore (Exec.ast_on_conn_exn t conn stmt)
+      with _ -> Health.record_ignored t.State.health node
+  in
   List.iter
     (fun conn ->
       match List.assq_opt conn st.State.prepared with
       | Some gid ->
         (* prepared but the coordinator aborted before its commit record
            became visible: roll it back *)
-        (try
-           ignore
-             (Exec.ast_on_conn_exn t conn (Sqlfront.Ast.Rollback_prepared gid))
-         with _ -> Health.record_ignored t.State.health (node_name conn))
-      | None -> (
-        try ignore (Exec.on_conn_exn t conn "ROLLBACK")
-        with _ -> Health.record_ignored t.State.health (node_name conn)))
+        rollback conn (Sqlfront.Ast.Rollback_prepared gid)
+      | None -> rollback conn Sqlfront.Ast.Rollback_txn)
     st.State.txn_conns;
   cleanup_session_txn_state t st
 

@@ -11,16 +11,27 @@ type event =
   | Ev_restart of string
   | Ev_partition of { from_ : string; to_ : string; heal_after : float option }
   | Ev_heal of { from_ : string; to_ : string }
+  | Ev_stall of { node : string; extra : float; duration : float }
 
 type t = {
   fault_seed : int;
   rng : Random.State.t;
+  lat_rng : Random.State.t;
+      (** latency draws live on their own stream so turning injection on
+          or off never shifts the crash/drop verdict stream *)
+  susp_rng : Random.State.t;  (** suspension-hazard draws, ditto *)
   clock : Clock.t;
   nodes : (string, Engine.Instance.t) Hashtbl.t;
   down : (string, unit) Hashtbl.t;
   cut_links : (string * string, unit) Hashtbl.t;  (** directed (from, to) *)
   drop : (string, float * float) Hashtbl.t;  (** per-destination override *)
   mutable default_drop : float * float;  (** (request, reply) *)
+  latency : (string, float * float) Hashtbl.t;
+      (** per-destination (mean, jitter) round-trip latency override *)
+  mutable default_latency : float * float;  (** (mean, jitter) *)
+  stalls : (string, float * float) Hashtbl.t;
+      (** node -> (stalled until, extra seconds per round trip) *)
+  mutable susp_hazard : float * float;  (** (probability, micro-stall) *)
   armed : (string, armed) Hashtbl.t;
   mutable pending : (float * int * event) list;  (** sorted by (time, seq) *)
   mutable next_seq : int;
@@ -33,12 +44,18 @@ let create ?(seed = 0) ~clock () =
   {
     fault_seed = seed;
     rng = Random.State.make [| 0x5eed; seed |];
+    lat_rng = Random.State.make [| 0x1a7e; seed |];
+    susp_rng = Random.State.make [| 0x5105; seed |];
     clock;
     nodes = Hashtbl.create 8;
     down = Hashtbl.create 4;
     cut_links = Hashtbl.create 8;
     drop = Hashtbl.create 4;
     default_drop = (0.0, 0.0);
+    latency = Hashtbl.create 4;
+    default_latency = (0.0, 0.0);
+    stalls = Hashtbl.create 4;
+    susp_hazard = (0.0, 0.0);
     armed = Hashtbl.create 4;
     pending = [];
     next_seq = 0;
@@ -116,6 +133,57 @@ let set_drop_rate ?node t ~request ~reply =
     (Option.value ~default:"*" node)
     request reply
 
+(* --- gray failures: latency, stalls, suspension hazard --- *)
+
+let set_latency ?node t ~mean ~jitter =
+  (match node with
+   | Some n -> Hashtbl.replace t.latency n (mean, jitter)
+   | None -> t.default_latency <- (mean, jitter));
+  note t "latency %s mean=%.3f jitter=%.3f"
+    (Option.value ~default:"*" node)
+    mean jitter
+
+let stall_now t ~node ~extra ~until_ =
+  Hashtbl.replace t.stalls node (until_, extra);
+  note t "stall %s +%.3fs/rt until %.3f" node extra until_
+
+let stall_node t ~node ~extra ~duration =
+  stall_now t ~node ~extra ~until_:(Clock.now t.clock +. duration)
+
+let stalled_extra t node =
+  match Hashtbl.find_opt t.stalls node with
+  | Some (until_, extra) when Clock.now t.clock < until_ -> extra
+  | _ -> 0.0
+
+let node_stalled t node = stalled_extra t node > 0.0
+
+let set_suspension_hazard t ~p ~stall =
+  t.susp_hazard <- (p, stall);
+  note t "suspension hazard p=%.3f stall=%.3fs" p stall
+
+let at_suspension t ~node =
+  (* Always burn exactly one draw so the hazard stream depends only on
+     the sequence of suspension points, never on the configuration. *)
+  let u = Random.State.float t.susp_rng 1.0 in
+  let p, d = t.susp_hazard in
+  if p > 0.0 && u < p then begin
+    note t "suspension stall %s +%.3fs" node d;
+    d
+  end
+  else 0.0
+
+let round_trip_latency t ~to_ =
+  (* One draw, always burnt, for the same stream-stability reason. *)
+  let u = Random.State.float t.lat_rng 1.0 in
+  let mean, jitter =
+    match Hashtbl.find_opt t.latency to_ with
+    | Some l -> l
+    | None -> t.default_latency
+  in
+  let base = mean +. (jitter *. ((2.0 *. u) -. 1.0)) in
+  let base = if base < 0.0 then 0.0 else base in
+  base +. stalled_extra t to_
+
 let arm_crash_after t ~node ~matching ?(lose_reply = false) () =
   Hashtbl.replace t.armed node { matching; lose_reply };
   note t "arm crash-after %s matching %S%s" node matching
@@ -137,6 +205,9 @@ let schedule_crash t ~at ?down_for node =
 let schedule_partition ?heal_after t ~at ~from_ ~to_ =
   enqueue t ~at (Ev_partition { from_; to_; heal_after })
 
+let schedule_stall t ~at ~extra ~duration node =
+  enqueue t ~at (Ev_stall { node; extra; duration })
+
 let fire t at = function
   | Ev_crash { node; down_for } ->
     crash_now t node;
@@ -150,6 +221,8 @@ let fire t at = function
      | Some d -> enqueue t ~at:(at +. d) (Ev_heal { from_; to_ })
      | None -> ())
   | Ev_heal { from_; to_ } -> heal_link t ~from_ ~to_
+  | Ev_stall { node; extra; duration } ->
+    stall_now t ~node ~extra ~until_:(at +. duration)
 
 let rec tick t =
   match t.pending with
@@ -221,6 +294,10 @@ let quiesce t =
   heal_all_links t;
   t.default_drop <- (0.0, 0.0);
   Hashtbl.reset t.drop;
+  t.default_latency <- (0.0, 0.0);
+  Hashtbl.reset t.latency;
+  Hashtbl.reset t.stalls;
+  t.susp_hazard <- (0.0, 0.0);
   Hashtbl.reset t.armed;
   let downed = Hashtbl.fold (fun n () acc -> n :: acc) t.down [] in
   List.iter (restart_now t) (List.sort compare downed);

@@ -83,6 +83,46 @@ val set_drop_rate : ?node:string -> t -> request:float -> reply:float -> unit
 val arm_crash_after :
   t -> node:string -> matching:string -> ?lose_reply:bool -> unit -> unit
 
+(** {2 Gray failures: latency, stalls, suspension hazard}
+
+    Unlike crashes and drops, gray faults never make anything {e fail} —
+    they only make it {e slow}. Each round trip to a destination pays a
+    seeded latency draw (uniform in [mean ± jitter], clamped at 0) plus,
+    while the destination is stalled, a per-round-trip surcharge. All
+    draws come from dedicated RNG streams, so enabling latency injection
+    never shifts the crash/drop verdict stream of the same seed. *)
+
+(** Set the round-trip latency distribution, per destination [?node] or
+    as the cluster-wide default. Defaults to (0, 0): no injected time. *)
+val set_latency : ?node:string -> t -> mean:float -> jitter:float -> unit
+
+(** Brownout: every round trip to [node] pays [extra] additional seconds
+    until [duration] from now has elapsed. The node stays up — statements
+    still execute — it is merely slow; deadlines and hedging are the only
+    defenses. *)
+val stall_node : t -> node:string -> extra:float -> duration:float -> unit
+
+(** Extra seconds per round trip currently charged against [node]
+    (0.0 when not stalled). *)
+val stalled_extra : t -> string -> float
+
+val node_stalled : t -> string -> bool
+
+(** With probability [p], a fiber suspension point on any node takes an
+    extra [stall] virtual seconds — scheduler-level jitter that shifts
+    interleavings without failing anything. Draws are burnt at every
+    suspension point regardless of [p]. *)
+val set_suspension_hazard : t -> p:float -> stall:float -> unit
+
+(** One suspension-point draw for [node]; returns the micro-stall to
+    apply (usually 0.0). Wired into [Sim.Sched]'s [on_suspend] by
+    [Citus.State.with_sched]. *)
+val at_suspension : t -> node:string -> float
+
+(** One latency draw for a round trip to [to_]: distribution sample plus
+    any active stall surcharge. Always burns exactly one draw. *)
+val round_trip_latency : t -> to_:string -> float
+
 (** {2 Scheduled faults (virtual time)} *)
 
 (** [schedule_crash t ~at node] crashes [node] when the clock reaches
@@ -91,6 +131,11 @@ val schedule_crash : t -> at:float -> ?down_for:float -> string -> unit
 
 val schedule_partition :
   ?heal_after:float -> t -> at:float -> from_:string -> to_:string -> unit
+
+(** [schedule_stall t ~at ~extra ~duration node] brownouts [node] from
+    [at] until [at +. duration]. *)
+val schedule_stall :
+  t -> at:float -> extra:float -> duration:float -> string -> unit
 
 (** Fire every scheduled event whose time has come (called by the
     cluster layer before each connect / round trip). *)
@@ -114,8 +159,9 @@ val after_statement :
 (** {2 Quiescence} *)
 
 (** End the storm so invariants can be checked: cancel scheduled events,
-    heal all links, zero all drop rates, disarm triggers, and restart
-    every down node (replaying WALs). *)
+    heal all links, zero all drop rates and latency distributions, clear
+    stalls and the suspension hazard, disarm triggers, and restart every
+    down node (replaying WALs). *)
 val quiesce : t -> unit
 
 (** Every fault event so far, oldest first, timestamped with virtual

@@ -13,7 +13,17 @@
    queues; with a seed, the next queue is drawn from a [Random.State]
    owned by this scheduler, so a chaos seed can fuzz interleavings while
    same-seed runs stay bit-identical. The fault plan's own RNG is never
-   touched by scheduling decisions. *)
+   touched by scheduling decisions.
+
+   Cancellation: [cancel] marks a fiber (and, transitively, its spawned
+   children) cancel-requested. Delivery is cooperative and happens at
+   suspension points: a suspended fiber is discontinued with {!Cancelled}
+   immediately; a running one the next time it suspends. Delivery is
+   one-shot — once a fiber has seen [Cancelled], its later suspension
+   points behave normally, so [Fun.protect] cleanup handlers can still
+   sleep, await and broadcast on the way out. A fiber that failed with
+   [Cancelled] never re-raises at the end of [run] even when unawaited:
+   cancellation is a demanded outcome, not a lost error. *)
 
 type task = unit -> unit
 
@@ -23,6 +33,9 @@ type t = {
   clock : Clock.t;
   rng : Random.State.t option;
   on_advance : unit -> unit;
+  on_suspend : node:string -> float;
+      (* fault hook fired at every suspension point; returns extra
+         virtual delay (a micro-stall) applied to sleeps and yields *)
   mutable queues : (string * task Queue.t) list;  (* first-seen order *)
   mutable rr : int;  (* round-robin cursor (unseeded mode) *)
   mutable sleepers : (float * int * string * task) list;  (* sorted (wake, seq) *)
@@ -34,6 +47,10 @@ type t = {
   mutable next_fid : int;
 }
 
+exception Cancelled
+
+exception Timed_out
+
 type 'a fiber_state =
   | Running of (('a, exn) result -> unit) list  (* pending awaiters *)
   | Done of ('a, exn) result
@@ -43,11 +60,21 @@ type 'a fiber = {
   f_node : string;
   mutable state : 'a fiber_state;
   mutable observed : bool;
+  mutable cancel_requested : bool;
+  mutable cancel_delivered : bool;
+  mutable cancel_wake : (unit -> unit) option;
+      (* installed while suspended at an interruptible point; firing it
+         discontinues the fiber with [Cancelled] *)
+  mutable children : packed list;
 }
+
+and packed = P : 'a fiber -> packed
 
 type _ Effect.t +=
   | Spawn_eff : t * string * (unit -> 'a) -> 'a fiber Effect.t
-  | Await_eff : t * 'a fiber -> ('a, exn) result Effect.t
+  | Await_eff : t * 'a fiber * float option -> ('a, exn) result Effect.t
+      (* optional absolute deadline: resolves [Error Timed_out] *)
+  | Await_any_eff : t * 'a fiber list -> (int * ('a, exn) result) Effect.t
   | Sleep_eff : t * float -> unit Effect.t  (* absolute wake time *)
   | Yield_eff : t -> unit Effect.t
   | Wait_eff : t * cond -> unit Effect.t
@@ -119,18 +146,87 @@ let finish (type a) t (fib : a fiber) (r : (a, exn) result) =
      fib.state <- Done r;
      List.iter (fun w -> w r) (List.rev waiters));
   (match r with
+   | Error Cancelled -> ()  (* a demanded cancellation is not a lost error *)
    | Error e -> t.failed <- (fib.fid, e, (fun () -> fib.observed)) :: t.failed
    | Ok _ -> ());
   t.live <- t.live - 1
 
+(* Mark a fiber and its spawned children cancel-requested; wake any that
+   are suspended at an interruptible point so the request is delivered
+   promptly instead of at their next voluntary suspension. *)
+let rec cancel_fiber : 'a. 'a fiber -> unit =
+  fun (type a) (fib : a fiber) ->
+   match fib.state with
+   | Done _ -> ()
+   | Running _ ->
+     if not fib.cancel_requested then begin
+       fib.cancel_requested <- true;
+       List.iter (fun (P c) -> cancel_fiber c) fib.children;
+       match fib.cancel_wake with
+       | Some wake ->
+         fib.cancel_wake <- None;
+         wake ()
+       | None -> ()
+     end
+
+(* The cancellation race at one suspension point. If a cancel is already
+   pending, deliver it now (enqueue the discontinue) and return [None] —
+   the caller must not install its waiters. Otherwise return [Some guard];
+   every resumption path is wrapped in [guard f x]: the first to actually
+   run wins, later ones degenerate to no-ops, and a [cancel] arriving
+   while suspended fires the installed [cancel_wake] which discontinues
+   the fiber with {!Cancelled} through the same one-shot gate. *)
+let with_cancel t (fib : _ fiber) ~discontinue =
+  if fib.cancel_requested && not fib.cancel_delivered then begin
+    fib.cancel_delivered <- true;
+    enqueue t fib.f_node (fun () -> discontinue Cancelled);
+    None
+  end
+  else begin
+    let fired = ref false in
+    fib.cancel_wake <-
+      Some
+        (fun () ->
+          enqueue t fib.f_node (fun () ->
+              if not !fired then begin
+                fired := true;
+                fib.cancel_wake <- None;
+                fib.cancel_delivered <- true;
+                discontinue Cancelled
+              end));
+    Some
+      (fun f x ->
+        if not !fired then begin
+          fired := true;
+          fib.cancel_wake <- None;
+          f x
+        end)
+  end
+
 let rec spawn_fiber : 'a. t -> string -> (unit -> 'a) -> 'a fiber =
   fun (type a) t node (f : unit -> a) : a fiber ->
    let fib =
-     { fid = t.next_fid; f_node = node; state = Running []; observed = false }
+     {
+       fid = t.next_fid;
+       f_node = node;
+       state = Running [];
+       observed = false;
+       cancel_requested = false;
+       cancel_delivered = false;
+       cancel_wake = None;
+       children = [];
+     }
    in
    t.next_fid <- t.next_fid + 1;
    t.live <- t.live + 1;
-   enqueue t node (fun () -> exec_fiber t fib f);
+   enqueue t node (fun () ->
+       (* cancelled before its first slice: never runs, so a hedged
+          loser that lost before starting has no side effects at all *)
+       if fib.cancel_requested then begin
+         fib.cancel_delivered <- true;
+         finish t fib (Error Cancelled)
+       end
+       else exec_fiber t fib f);
    fib
 
 and exec_fiber : 'a. t -> 'a fiber -> (unit -> 'a) -> unit =
@@ -145,17 +241,44 @@ and exec_fiber : 'a. t -> 'a fiber -> (unit -> 'a) -> unit =
            | Yield_eff s when s == t ->
              Some
                (fun (k : (b, unit) Effect.Deep.continuation) ->
-                 enqueue t fib.f_node (fun () -> Effect.Deep.continue k ()))
+                 let extra = t.on_suspend ~node:fib.f_node in
+                 match
+                   with_cancel t fib ~discontinue:(fun e ->
+                       Effect.Deep.discontinue k e)
+                 with
+                 | None -> ()
+                 | Some guard ->
+                   let resume () = guard (Effect.Deep.continue k) () in
+                   if extra > 0.0 then
+                     add_sleeper t
+                       ~wake:(Clock.now t.clock +. extra)
+                       ~node:fib.f_node resume
+                   else enqueue t fib.f_node resume)
            | Sleep_eff (s, wake) when s == t ->
              Some
                (fun (k : (b, unit) Effect.Deep.continuation) ->
-                 add_sleeper t ~wake ~node:fib.f_node (fun () ->
-                     Effect.Deep.continue k ()))
+                 let extra = t.on_suspend ~node:fib.f_node in
+                 match
+                   with_cancel t fib ~discontinue:(fun e ->
+                       Effect.Deep.discontinue k e)
+                 with
+                 | None -> ()
+                 | Some guard ->
+                   add_sleeper t ~wake:(wake +. extra) ~node:fib.f_node
+                     (fun () -> guard (Effect.Deep.continue k) ()))
            | Wait_eff (s, c) when s == t ->
              Some
                (fun (k : (b, unit) Effect.Deep.continuation) ->
-                 c.cw <-
-                   c.cw @ [ (fib.f_node, fun () -> Effect.Deep.continue k ()) ])
+                 ignore (t.on_suspend ~node:fib.f_node : float);
+                 match
+                   with_cancel t fib ~discontinue:(fun e ->
+                       Effect.Deep.discontinue k e)
+                 with
+                 | None -> ()
+                 | Some guard ->
+                   c.cw <-
+                     c.cw
+                     @ [ (fib.f_node, fun () -> guard (Effect.Deep.continue k) ()) ])
            | Timed_wait_eff (s, c, until) when s == t ->
              Some
                (fun (k : (b, unit) Effect.Deep.continuation) ->
@@ -163,32 +286,82 @@ and exec_fiber : 'a. t -> 'a fiber -> (unit -> 'a) -> unit =
                     first resumes the fiber; the loser degenerates to a
                     no-op (a stale sleeper entry is released and dropped,
                     a stale waiter entry is drained by a later broadcast) *)
-                 let fired = ref false in
-                 let resume () =
-                   if not !fired then begin
-                     fired := true;
-                     Effect.Deep.continue k ()
-                   end
-                 in
-                 c.cw <- c.cw @ [ (fib.f_node, resume) ];
-                 add_sleeper t ~wake:until ~node:fib.f_node resume)
-           | Await_eff (s, target) when s == t ->
+                 ignore (t.on_suspend ~node:fib.f_node : float);
+                 match
+                   with_cancel t fib ~discontinue:(fun e ->
+                       Effect.Deep.discontinue k e)
+                 with
+                 | None -> ()
+                 | Some guard ->
+                   let resume () = guard (Effect.Deep.continue k) () in
+                   c.cw <- c.cw @ [ (fib.f_node, resume) ];
+                   add_sleeper t ~wake:until ~node:fib.f_node resume)
+           | Await_eff (s, target, deadline) when s == t ->
              Some
                (fun (k : (b, unit) Effect.Deep.continuation) ->
+                 ignore (t.on_suspend ~node:fib.f_node : float);
                  target.observed <- true;
-                 match target.state with
-                 | Done r -> enqueue t fib.f_node (fun () -> Effect.Deep.continue k r)
-                 | Running ws ->
-                   target.state <-
-                     Running
-                       ((fun r ->
-                          enqueue t fib.f_node (fun () ->
-                              Effect.Deep.continue k r))
-                       :: ws))
+                 match
+                   with_cancel t fib ~discontinue:(fun e ->
+                       Effect.Deep.discontinue k e)
+                 with
+                 | None -> ()
+                 | Some guard ->
+                   let resume r =
+                     enqueue t fib.f_node (fun () ->
+                         guard (Effect.Deep.continue k) r)
+                   in
+                   (match target.state with
+                    | Done r -> resume r
+                    | Running ws -> target.state <- Running (resume :: ws));
+                   (match deadline with
+                    | None -> ()
+                    | Some dl ->
+                      add_sleeper t ~wake:dl ~node:fib.f_node (fun () ->
+                          guard (Effect.Deep.continue k) (Error Timed_out))))
+           | Await_any_eff (s, targets) when s == t ->
+             Some
+               (fun (k : (b, unit) Effect.Deep.continuation) ->
+                 ignore (t.on_suspend ~node:fib.f_node : float);
+                 List.iter (fun f -> f.observed <- true) targets;
+                 match
+                   with_cancel t fib ~discontinue:(fun e ->
+                       Effect.Deep.discontinue k e)
+                 with
+                 | None -> ()
+                 | Some guard ->
+                   let resume i r =
+                     enqueue t fib.f_node (fun () ->
+                         guard (Effect.Deep.continue k) (i, r))
+                   in
+                   let rec first i = function
+                     | [] -> None
+                     | f :: tl ->
+                       (match f.state with
+                        | Done r -> Some (i, r)
+                        | Running _ -> first (i + 1) tl)
+                   in
+                   (match first 0 targets with
+                    | Some (i, r) -> resume i r
+                    | None ->
+                      List.iteri
+                        (fun i f ->
+                          match f.state with
+                          | Done _ -> assert false
+                          | Running ws ->
+                            f.state <- Running ((fun r -> resume i r) :: ws))
+                        targets))
            | Spawn_eff (s, node, g) when s == t ->
              Some
                (fun (k : (b, unit) Effect.Deep.continuation) ->
-                 Effect.Deep.continue k (spawn_fiber t node g))
+                 let child = spawn_fiber t node g in
+                 fib.children <- P child :: fib.children;
+                 (* a parent already marked for cancellation (but still
+                    pre-delivery) must not spawn uncancellable work;
+                    post-delivery spawns are cleanup and run freely *)
+                 if fib.cancel_requested && not fib.cancel_delivered then
+                   cancel_fiber child;
+                 Effect.Deep.continue k child)
            | _ -> None (* foreign effect (e.g. a nested scheduler): forward *));
      }
 
@@ -215,12 +388,14 @@ let drive t =
   in
   loop ()
 
-let run ?seed ?(on_advance = fun () -> ()) ~clock f =
+let run ?seed ?(on_advance = fun () -> ()) ?(on_suspend = fun ~node:_ -> 0.0)
+    ~clock f =
   let t =
     {
       clock;
       rng = Option.map (fun s -> Random.State.make [| s; 0x5c4ed |]) seed;
       on_advance;
+      on_suspend;
       queues = [];
       rr = 0;
       sleepers = [];
@@ -251,14 +426,25 @@ let run ?seed ?(on_advance = fun () -> ()) ~clock f =
 
 let spawn t ?(node = "main") f = Effect.perform (Spawn_eff (t, node, f))
 
-let await_result t fib = Effect.perform (Await_eff (t, fib))
+let await_result t ?deadline fib =
+  Effect.perform (Await_eff (t, fib, deadline))
 
-let await t fib =
-  match await_result t fib with Ok v -> v | Error e -> raise e
+let await t ?deadline fib =
+  match await_result t ?deadline fib with Ok v -> v | Error e -> raise e
+
+let await_any t fibs =
+  if fibs = [] then invalid_arg "Sim.Sched.await_any: empty fiber list";
+  Effect.perform (Await_any_eff (t, fibs))
 
 let join_all t fibs =
   let results = List.map (fun fib -> await_result t fib) fibs in
   List.map (function Ok v -> v | Error e -> raise e) results
+
+let cancel _t fib = cancel_fiber fib
+
+let is_done fib = match fib.state with Done _ -> true | Running _ -> false
+
+let live_count t = t.live
 
 let yield t = Effect.perform (Yield_eff t)
 

@@ -83,6 +83,22 @@ let test_ablation_slow_start_shape () =
     (eager.Citus.Adaptive_executor.makespan
      < ramped.Citus.Adaptive_executor.makespan)
 
+let test_tail_hedging_shape () =
+  (* under a single-replica brownout, hedging must collapse the read tail
+     (the stall never reaches p99) while leaving the median — served by
+     healthy replicas either way — essentially untouched *)
+  match Tail.measure_modes () with
+  | [ off; on ] ->
+    Alcotest.(check bool) "stall dominates the unhedged tail" true
+      (off.Tail.p99 >= Tail.stall_extra);
+    Alcotest.(check bool) "hedging cuts p99 below the stall" true
+      (on.Tail.p99 < Tail.stall_extra /. 2.0);
+    Alcotest.(check bool) "hedged p99 near the hedge threshold" true
+      (on.Tail.p99 < (2.0 *. Tail.hedge_on) +. 0.005);
+    Alcotest.(check bool) "some reads hedged" true (on.Tail.hedged > 0);
+    Alcotest.(check bool) "no hedges when disabled" true (off.Tail.hedged = 0)
+  | _ -> Alcotest.fail "expected two modes"
+
 let () =
   Alcotest.run "bench"
     [
@@ -98,5 +114,7 @@ let () =
           Alcotest.test_case "closed model" `Quick test_closed_model_consistency;
           Alcotest.test_case "slow start shape" `Quick
             test_ablation_slow_start_shape;
+          Alcotest.test_case "tail hedging shape" `Quick
+            test_tail_hedging_shape;
         ] );
     ]

@@ -319,6 +319,159 @@ let test_coordinator_crash_before_commit_fanout () =
               (Engine.Instance.txn_manager inst))))
     [ n1; n2 ]
 
+(* --- gray failure: statement timeouts, slow-trips, hedged reads --- *)
+
+(* [make] builds clusters without a fault plan (zero injected latency);
+   gray-failure tests need [~fault_seed] so stalls and latency draws are
+   live. *)
+let make_gray ?(workers = 3) ?(shard_count = 4) ?(fault_seed = 42) () =
+  let cluster = Cluster.Topology.create ~fault_seed ~workers () in
+  let citus = Citus.Api.install ~shard_count cluster in
+  let s = Citus.Api.connect citus in
+  (cluster, citus, s)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_statement_timeout_bounds_a_stalled_read () =
+  let cluster, citus, s = make_gray () in
+  setup_items s;
+  load_items ~n:10 s;
+  let st = Citus.Api.coordinator_state citus in
+  let fault = Option.get (Cluster.Topology.fault cluster) in
+  (* the knob is reachable through SQL, like the GUC it models *)
+  ignore (exec s "SELECT citus_set_config('statement_timeout', '0.5')");
+  Alcotest.(check (float 1e-9)) "udf set the knob" 0.5
+    st.Citus.State.config.Citus.State.statement_timeout;
+  (* replication factor 1: the only replica of key 1 browns out — the
+     node stays up, its replies just land seconds late *)
+  let victim = node_of citus "items" 1 in
+  Sim.Fault.stall_node fault ~node:victim ~extra:5.0 ~duration:60.0;
+  let clock = cluster.Cluster.Topology.clock in
+  let t0 = Sim.Clock.now clock in
+  (match exec s "SELECT count(*) FROM items WHERE key = 1" with
+   | exception Engine.Instance.Session_error m ->
+     Alcotest.(check bool)
+       (Printf.sprintf "typed timeout message (got %S)" m)
+       true
+       (contains ~sub:"statement timeout" m)
+   | _ -> Alcotest.fail "expected the stalled read to time out");
+  let elapsed = Sim.Clock.now clock -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "failed within deadline + epsilon (%.3fs)" elapsed)
+    true
+    (elapsed <= 0.5 +. 0.2);
+  (* a timeout is a statement abort, not a node failure: nothing leaks,
+     every span closes, the breaker saw a slow event but no failure *)
+  Alcotest.(check int) "no txn conns pinned" 0 (Citus.State.leaked_txn_conns st);
+  Alcotest.(check int) "no prepared pairs pinned" 0
+    (Citus.State.leaked_prepared st);
+  let trace = Cluster.Topology.trace cluster in
+  Alcotest.(check int) "all spans closed" (Obs.Trace.started trace)
+    (Obs.Trace.finished trace);
+  Alcotest.(check bool) "slow event recorded for the stalled node" true
+    (Citus.Health.slow_events st.Citus.State.health victim >= 1);
+  Alcotest.(check int) "no hard failure recorded" 0
+    (Citus.Health.stats st.Citus.State.health victim).Citus.Health.failures;
+  Alcotest.(check int) "no placement marked inactive" 0
+    (List.length (Citus.Metadata.inactive_placements citus.Citus.Api.metadata));
+  (* the session recovers and, once the stall lifts, so does the node *)
+  ignore (exec s "ROLLBACK");
+  Sim.Clock.advance clock 61.0;
+  check_int s "works again after the stall lifts" 1
+    "SELECT count(*) FROM items WHERE key = 1"
+
+let test_slow_trips_breaker_without_failures () =
+  let clock = Sim.Clock.create () in
+  let h = Citus.Health.create ~clock () in
+  Citus.Health.record_slow h "w1";
+  Citus.Health.record_slow h "w1";
+  Alcotest.(check bool) "below the slow threshold" true
+    (Citus.Health.available h "w1");
+  Citus.Health.record_slow h "w1";
+  Alcotest.(check bool) "third consecutive slow sheds load" false
+    (Citus.Health.available h "w1");
+  let stats = Citus.Health.stats h "w1" in
+  Alcotest.(check int) "slowness is not failure" 0 stats.Citus.Health.failures;
+  Alcotest.(check int) "slow events counted" 3
+    (Citus.Health.slow_events h "w1");
+  (* the backoff elapses; one success snaps the breaker closed *)
+  Sim.Clock.advance clock 1.5;
+  Alcotest.(check bool) "half-open accepts a probe" true
+    (Citus.Health.available h "w1");
+  Citus.Health.record_success h "w1";
+  Alcotest.(check bool) "success closes the breaker" true
+    (Citus.Health.available h "w1")
+
+let test_hedged_read_escapes_a_stall () =
+  let cluster, citus, s = make_gray () in
+  ignore (exec s "SELECT citus_set_replication_factor(2)");
+  setup_items s;
+  load_items ~n:10 s;
+  let st = Citus.Api.coordinator_state citus in
+  let fault = Option.get (Cluster.Topology.fault cluster) in
+  ignore (exec s "SELECT citus_set_config('hedge_threshold', '0.05')");
+  (* the planned replica of key 1 browns out; the hedge must serve the
+     read from the other replica within ~the hedge threshold *)
+  let primary = node_of citus "items" 1 in
+  Sim.Fault.stall_node fault ~node:primary ~extra:5.0 ~duration:120.0;
+  let clock = cluster.Cluster.Topology.clock in
+  let m = Cluster.Topology.metrics cluster in
+  let t0 = Sim.Clock.now clock in
+  check_int s "read served despite the stalled primary" 1
+    "SELECT count(*) FROM items WHERE key = 1";
+  let elapsed = Sim.Clock.now clock -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "hedge escaped the stall (%.3fs)" elapsed)
+    true (elapsed < 1.0);
+  Alcotest.(check bool) "a hedge fired" true
+    (Obs.Metrics.counter_value m "exec.hedged_reads" >= 1);
+  Alcotest.(check bool) "the hedge won" true
+    (Obs.Metrics.counter_value m "exec.hedge_wins" >= 1);
+  (* the losing attempt was cancelled and drained: its connection is back
+     in the pool, no fiber leaked, every span closed *)
+  Alcotest.(check int) "no txn conns pinned" 0 (Citus.State.leaked_txn_conns st);
+  let trace = Cluster.Topology.trace cluster in
+  Alcotest.(check int) "all spans closed" (Obs.Trace.started trace)
+    (Obs.Trace.finished trace);
+  (* reads hedge; the slow primary got a slow event, not a failure *)
+  Alcotest.(check int) "no hard failure recorded" 0
+    (Citus.Health.stats st.Citus.State.health primary).Citus.Health.failures
+
+let test_lock_waiters_released_on_retry_give_up () =
+  let cluster, citus, s = make () in
+  setup_items s;
+  load_items ~n:5 s;
+  let s2 = Citus.Api.connect citus in
+  ignore (exec s "BEGIN");
+  ignore (exec s "UPDATE items SET qty = 1 WHERE key = 1");
+  (match
+     Citus.Api.exec_with_retries_report citus s2 ~attempts:2
+       "UPDATE items SET qty = 2 WHERE key = 1"
+   with
+   | exception Engine.Executor.Would_block _ -> ()
+   | _ -> Alcotest.fail "expected the bounded retry loop to re-raise");
+  (* the abandoned waiter must leave no wait-for edges behind on any
+     node, or the deadlock detector would chase (and eventually shoot)
+     a transaction that is no longer waiting for anything *)
+  List.iter
+    (fun (node : Cluster.Topology.node) ->
+      let mgr = Engine.Instance.txn_manager node.Cluster.Topology.instance in
+      Alcotest.(check int)
+        (Printf.sprintf "no wait edges on %s" node.Cluster.Topology.node_name)
+        0
+        (List.length (Txn.Lock.wait_edges (Txn.Manager.locks mgr))))
+    (Cluster.Topology.all_nodes cluster);
+  let m = Cluster.Topology.metrics cluster in
+  let cancelled_before = Obs.Metrics.counter_value m "deadlock.cancelled" in
+  Citus.Api.maintenance citus;
+  Alcotest.(check int) "detector cancels nothing stale" cancelled_before
+    (Obs.Metrics.counter_value m "deadlock.cancelled");
+  ignore (exec s "COMMIT");
+  ignore (exec s2 "ROLLBACK")
+
 (* --- bounded lock-conflict retries --- *)
 
 let test_exec_with_retries_reports_attempts () =
@@ -377,5 +530,16 @@ let () =
         [
           Alcotest.test_case "attempts surfaced and bounded" `Quick
             test_exec_with_retries_reports_attempts;
+        ] );
+      ( "gray",
+        [
+          Alcotest.test_case "statement timeout bounds a stalled read" `Quick
+            test_statement_timeout_bounds_a_stalled_read;
+          Alcotest.test_case "slow trips breaker without failures" `Quick
+            test_slow_trips_breaker_without_failures;
+          Alcotest.test_case "hedged read escapes a stall" `Quick
+            test_hedged_read_escapes_a_stall;
+          Alcotest.test_case "lock waiters released on give-up" `Quick
+            test_lock_waiters_released_on_retry_give_up;
         ] );
     ]

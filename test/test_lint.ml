@@ -305,17 +305,64 @@ let test_l8_scope () =
   let fs = run "L8" [ ("lib/obs/trace.ml", l8_violating) ] in
   Alcotest.(check int) "lib/obs is out of scope" 0 (List.length fs)
 
+(* --- L9 fiber-blocking --- *)
+
+let l9_violating =
+  {|let bad_sleep t s =
+  Sim.Sched.sleep s 1.0
+
+let bad_await conn =
+  Cluster.Connection.await (Cluster.Connection.exec_async conn "SELECT 1")
+
+let bad_nested t fibs =
+  List.iter (fun f -> ignore (Sim.Sched.await t f)) fibs
+|}
+
+let l9_clean =
+  {|let scoped t f =
+  State.with_sched t (fun sched -> Sim.Sched.await sched (f sched))
+
+let param_scope sched fib = Sim.Sched.await_result sched fib
+
+let spawned sched conn =
+  Sim.Sched.spawn sched (fun () ->
+      Cluster.Connection.await (Cluster.Connection.exec_async conn "SELECT 1"))
+
+let boundary cluster until_ =
+  (Sim.Sched.sleep_until (get_sched cluster) until_ [@lint.blocking])
+|}
+
+let test_l9_violating () =
+  let fs = run "L9" [ ("lib/core/fx.ml", l9_violating) ] in
+  Alcotest.(check int) "three unscoped suspensions" 3 (List.length fs);
+  Alcotest.(check (list string)) "all L9" [ "L9"; "L9"; "L9" ] (ids fs);
+  Alcotest.(check (list int)) "call locations" [ 2; 5; 8 ] (lines fs)
+
+let test_l9_clean () =
+  let fs = run "L9" [ ("lib/core/fx.ml", l9_clean) ] in
+  Alcotest.(check int)
+    "with_sched / sched param / spawn thunk / annotation all pass" 0
+    (List.length fs)
+
+let test_l9_scope () =
+  (* the scheduler's own implementation suspends by construction *)
+  let fs = run "L9" [ ("lib/sim/sched.ml", l9_violating) ] in
+  Alcotest.(check int) "lib/sim is out of scope" 0 (List.length fs);
+  let fs = run "L9" [ ("test/test_fx.ml", l9_violating) ] in
+  Alcotest.(check int) "tests are out of scope" 0 (List.length fs)
+
 (* --- registry and baseline --- *)
 
 let test_registry () =
-  Alcotest.(check int) "eight rules" 8 (List.length Registry.all);
+  Alcotest.(check int) "nine rules" 9 (List.length Registry.all);
   List.iter
     (fun id ->
       match Registry.find id with
       | Some _ -> ()
       | None -> Alcotest.failf "rule %s not registered" id)
-    [ "L1"; "L2"; "L3"; "L4"; "L5"; "L6"; "L7"; "L8";
-      "sql-injection"; "determinism"; "lock-order"; "span-conservation" ]
+    [ "L1"; "L2"; "L3"; "L4"; "L5"; "L6"; "L7"; "L8"; "L9";
+      "sql-injection"; "determinism"; "lock-order"; "span-conservation";
+      "fiber-blocking" ]
 
 let test_baseline_empty () =
   (* the live baseline must stay empty: new findings are fixed, not
@@ -374,6 +421,12 @@ let () =
           Alcotest.test_case "violating" `Quick test_l8_violating;
           Alcotest.test_case "clean" `Quick test_l8_clean;
           Alcotest.test_case "scope" `Quick test_l8_scope;
+        ] );
+      ( "l9-fiber-blocking",
+        [
+          Alcotest.test_case "violating" `Quick test_l9_violating;
+          Alcotest.test_case "clean" `Quick test_l9_clean;
+          Alcotest.test_case "scope" `Quick test_l9_scope;
         ] );
       ( "infrastructure",
         [

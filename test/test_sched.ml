@@ -207,6 +207,145 @@ let test_timed_wait_deadline_and_broadcast () =
       Sim.Sched.await sched poker;
       Alcotest.(check (float 1e-9)) "woken by the broadcast" 0.025 woken_at)
 
+(* --- cancellation and deadlines: the gray-failure machinery the
+   executor's statement timeouts and hedged reads are built on --- *)
+
+let test_cancel_delivers_and_cleans_up () =
+  let clock = Sim.Clock.create () in
+  let cleaned = ref false in
+  let r =
+    Sim.Sched.run ~clock (fun sched ->
+        let victim =
+          Sim.Sched.spawn sched (fun () ->
+              Fun.protect
+                ~finally:(fun () -> cleaned := true)
+                (fun () -> Sim.Sched.sleep sched 10.0))
+        in
+        let killer =
+          Sim.Sched.spawn sched (fun () ->
+              Sim.Sched.sleep sched 0.001;
+              Sim.Sched.cancel sched victim)
+        in
+        let r = Sim.Sched.await_result sched victim in
+        Sim.Sched.await sched killer;
+        r)
+  in
+  (match r with
+   | Error Sim.Sched.Cancelled -> ()
+   | Error e -> Alcotest.failf "unexpected %s" (Printexc.to_string e)
+   | Ok () -> Alcotest.fail "expected cancellation");
+  Alcotest.(check bool) "Fun.protect cleanup ran" true !cleaned;
+  (* delivery interrupted the 10s sleep instead of waiting it out *)
+  Alcotest.(check bool) "cancel woke the sleeper early" true
+    (Sim.Clock.now clock < 1.0)
+
+let test_cancel_propagates_to_children () =
+  let clock = Sim.Clock.create () in
+  let child_cancelled = ref false in
+  Sim.Sched.run ~clock (fun sched ->
+      let parent =
+        Sim.Sched.spawn sched (fun () ->
+            let child =
+              Sim.Sched.spawn sched (fun () ->
+                  try Sim.Sched.sleep sched 10.0
+                  with Sim.Sched.Cancelled as e ->
+                    child_cancelled := true;
+                    raise e)
+            in
+            Sim.Sched.await sched child)
+      in
+      Sim.Sched.sleep sched 0.001;
+      Sim.Sched.cancel sched parent;
+      ignore (Sim.Sched.await_result sched parent));
+  Alcotest.(check bool) "child saw Cancelled" true !child_cancelled
+
+let test_cancelled_cleanup_can_suspend () =
+  (* delivery is one-shot: once a fiber has seen Cancelled, its cleanup
+     may still sleep and await on the way out *)
+  let clock = Sim.Clock.create () in
+  let done_at = ref 0.0 in
+  Sim.Sched.run ~clock (fun sched ->
+      let victim =
+        Sim.Sched.spawn sched (fun () ->
+            Fun.protect
+              ~finally:(fun () ->
+                Sim.Sched.sleep sched 0.005;
+                done_at := Sim.Sched.now sched)
+              (fun () -> Sim.Sched.sleep sched 10.0))
+      in
+      Sim.Sched.sleep sched 0.001;
+      Sim.Sched.cancel sched victim;
+      ignore (Sim.Sched.await_result sched victim));
+  Alcotest.(check (float 1e-9)) "cleanup slept to completion" 0.006 !done_at
+
+let test_cancel_before_first_slice_never_runs () =
+  (* a hedged loser cancelled before its first slice must have zero side
+     effects *)
+  let clock = Sim.Clock.create () in
+  let ran = ref false in
+  Sim.Sched.run ~clock (fun sched ->
+      let fib = Sim.Sched.spawn sched (fun () -> ran := true) in
+      Sim.Sched.cancel sched fib;
+      match Sim.Sched.await_result sched fib with
+      | Error Sim.Sched.Cancelled -> ()
+      | _ -> Alcotest.fail "expected Cancelled");
+  Alcotest.(check bool) "the fiber body never started" false !ran
+
+let test_cancelled_unawaited_does_not_reraise () =
+  (* cancellation is a demanded outcome, not a lost error: an unawaited
+     cancelled fiber must not re-raise at the end of the run *)
+  let clock = Sim.Clock.create () in
+  let v =
+    Sim.Sched.run ~clock (fun sched ->
+        let fib =
+          Sim.Sched.spawn sched (fun () -> Sim.Sched.sleep sched 10.0)
+        in
+        Sim.Sched.sleep sched 0.001;
+        Sim.Sched.cancel sched fib;
+        "clean exit")
+  in
+  Alcotest.(check string) "run returned normally" "clean exit" v
+
+let test_await_deadline () =
+  let clock = Sim.Clock.create () in
+  Sim.Sched.run ~clock (fun sched ->
+      let slow =
+        Sim.Sched.spawn sched (fun () ->
+            Sim.Sched.sleep sched 0.050;
+            42)
+      in
+      (match Sim.Sched.await_result sched ~deadline:0.010 slow with
+       | Error Sim.Sched.Timed_out -> ()
+       | _ -> Alcotest.fail "expected Timed_out");
+      Alcotest.(check (float 1e-9)) "timed out exactly at the deadline" 0.010
+        (Sim.Sched.now sched);
+      (* the awaited fiber itself is undisturbed: a second await (no
+         deadline) still hands back its value *)
+      Alcotest.(check int) "second await gets the value" 42
+        (Sim.Sched.await sched slow))
+
+let test_await_any_first_wins () =
+  let clock = Sim.Clock.create () in
+  Sim.Sched.run ~clock (fun sched ->
+      let mk d v =
+        Sim.Sched.spawn sched (fun () ->
+            Sim.Sched.sleep sched d;
+            v)
+      in
+      let a = mk 0.030 "slow" in
+      let b = mk 0.010 "fast" in
+      let idx, r = Sim.Sched.await_any sched [ a; b ] in
+      Alcotest.(check int) "the fast fiber won" 1 idx;
+      (match r with
+       | Ok v -> Alcotest.(check string) "winner value" "fast" v
+       | Error e -> Alcotest.failf "unexpected %s" (Printexc.to_string e));
+      (* hedged-read idiom: cancel the loser, drain it, move on *)
+      Sim.Sched.cancel sched a;
+      match Sim.Sched.await_result sched a with
+      | Error Sim.Sched.Cancelled -> ()
+      | Ok _ -> Alcotest.fail "loser should have been cancelled mid-sleep"
+      | Error e -> Alcotest.failf "unexpected %s" (Printexc.to_string e))
+
 (* --- the property the executor report is built on: a 4-node
    scatter-gather's measured makespan is the slowest node's serial time
    (plus at most one slow-start interval), not the cluster-wide sum --- *)
@@ -291,6 +430,22 @@ let () =
         [
           Alcotest.test_case "timed wait: deadline and broadcast" `Quick
             test_timed_wait_deadline_and_broadcast;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "cancel delivers and cleans up" `Quick
+            test_cancel_delivers_and_cleans_up;
+          Alcotest.test_case "cancel propagates to children" `Quick
+            test_cancel_propagates_to_children;
+          Alcotest.test_case "cancelled cleanup can suspend" `Quick
+            test_cancelled_cleanup_can_suspend;
+          Alcotest.test_case "cancel before first slice" `Quick
+            test_cancel_before_first_slice_never_runs;
+          Alcotest.test_case "unawaited cancelled fiber is silent" `Quick
+            test_cancelled_unawaited_does_not_reraise;
+          Alcotest.test_case "await deadline" `Quick test_await_deadline;
+          Alcotest.test_case "await_any: first response wins" `Quick
+            test_await_any_first_wins;
         ] );
       ( "executor",
         [

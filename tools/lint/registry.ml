@@ -11,6 +11,7 @@ let all : Rule.t list =
     (module Rule_twopc_state);
     (module Rule_lock_order);
     (module Rule_span_conservation);
+    (module Rule_fiber_blocking);
   ]
 
 let find id =

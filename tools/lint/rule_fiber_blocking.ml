@@ -1,0 +1,116 @@
+(** L9 fiber-blocking: the scheduler's suspending primitives
+    ([Sim.Sched.await] / [await_result] / [await_any] / [join_all] /
+    [sleep] / [sleep_until] / [wait] / [timed_wait] / [yield]) and the
+    deadline-aware [Cluster.Connection.await] must be called from code
+    that is lexically inside a scheduler scope — a [State.with_sched] /
+    [Sim.Sched.run] body, a [Sim.Sched.spawn] thunk, or a function that
+    receives the scheduler as a [sched] parameter.
+
+    Outside such a scope the [Sched] primitives perform effects no
+    handler catches (a crash at runtime), and a bare [Connection.await]
+    silently degrades to a serializing clock advance — it waits out the
+    very stall the deadline/hedging machinery exists to escape, invisible
+    to cancellation. The escape hatch is [[@lint.blocking]] on an
+    enclosing expression, reserved for the boundary primitives that
+    support both modes by design (e.g. [Exec.on_conn_exn], which also
+    serves setup and maintenance code that runs without a scheduler). *)
+
+let id = "L9"
+let name = "fiber-blocking"
+
+let doc =
+  "Sim.Sched suspending calls and Connection.await must run inside a \
+   with_sched / Sched.run / Sched.spawn scope or a function taking a \
+   [sched] parameter (escape hatch: [@lint.blocking])"
+
+let applies path =
+  Filename.check_suffix path ".ml"
+  && Rule.starts_with "lib/" path
+  && not (Rule.starts_with "lib/sim/" path)
+
+let sched_blocking =
+  [
+    "await";
+    "await_result";
+    "await_any";
+    "join_all";
+    "sleep";
+    "sleep_until";
+    "wait";
+    "timed_wait";
+    "yield";
+  ]
+
+let is_blocking_call comps =
+  match List.rev comps with
+  | last :: prev :: _ ->
+    (String.equal prev "Sched" && List.mem last sched_blocking)
+    || (String.equal prev "Connection" && String.equal last "await")
+  | _ -> false
+
+(* Applications whose argument expressions run with a scheduler in hand:
+   [State.with_sched t (fun sched -> ...)], [Sim.Sched.run ... f] and
+   [Sim.Sched.spawn sched ... (fun () -> ...)] (a spawned thunk runs as a
+   fiber of the scheduler that spawned it). *)
+let grants_scope comps =
+  match List.rev comps with
+  | last :: rest -> (
+    String.equal last "with_sched"
+    ||
+    match rest with
+    | prev :: _ ->
+      String.equal prev "Sched"
+      && (String.equal last "run" || String.equal last "spawn")
+    | [] -> false)
+  | [] -> false
+
+let is_sched_param (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_var { txt; _ } ->
+    String.equal txt "sched" || String.equal txt "_sched"
+  | Parsetree.Ppat_constraint
+      ({ ppat_desc = Parsetree.Ppat_var { txt; _ }; _ }, _) ->
+    String.equal txt "sched"
+  | _ -> false
+
+let escape_hatch = "lint.blocking"
+
+let check ~path (str : Parsetree.structure) =
+  let findings = ref [] in
+  let in_scope = ref false in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    if Rule.has_attr escape_hatch e.Parsetree.pexp_attributes then
+      () (* annotated boundary primitive: dual-mode by design *)
+    else begin
+      (match e.Parsetree.pexp_desc with
+       | Parsetree.Pexp_apply (f, _) when is_blocking_call (Rule.ident_path f)
+         ->
+         if not !in_scope then
+           findings :=
+             Rule.finding ~id ~file:path ~loc:e.pexp_loc
+               (Printf.sprintf
+                  "%s suspends a fiber but no scheduler scope is in sight \
+                   (no enclosing with_sched / Sched.run / Sched.spawn or \
+                   [sched] parameter); outside a scope this crashes or \
+                   silently serializes — pass the scheduler in, or annotate \
+                   a deliberate dual-mode boundary with [@lint.blocking]"
+                  (String.concat "." (Rule.ident_path f)))
+             :: !findings
+       | _ -> ());
+      let saved = !in_scope in
+      (match e.Parsetree.pexp_desc with
+       | Parsetree.Pexp_fun (_, _, pat, _) when is_sched_param pat ->
+         in_scope := true
+       | Parsetree.Pexp_apply (f, _) when grants_scope (Rule.ident_path f) ->
+         in_scope := true
+       | _ -> ());
+      super.Ast_iterator.expr it e;
+      in_scope := saved
+    end
+  in
+  let it = { super with Ast_iterator.expr } in
+  it.Ast_iterator.structure it str;
+  List.rev !findings
+
+let check_tree _ = []
