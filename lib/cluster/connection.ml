@@ -26,9 +26,9 @@ let open_ ?origin (cluster : Topology.t) (node : Topology.node) =
       | Sim.Fault.Unreachable r
       | Sim.Fault.Drop_request r
       | Sim.Fault.Drop_reply r ->
-        Obs.Metrics.inc metrics "net.connect_failed";
+        Obs.Metrics.inc metrics Obs.Metric_names.net_connect_failed;
         unavailable to_ r));
-  Obs.Metrics.inc metrics ("net.connect_to." ^ to_);
+  Obs.Metrics.inc metrics (Obs.Metric_names.net_connect_to to_);
   cluster.Topology.net.connections_opened <-
     cluster.Topology.net.connections_opened + 1;
   { cluster; conn_node = node; origin; sess = Engine.Instance.connect node.instance }
@@ -66,12 +66,12 @@ let round_trip t ~sql run =
      with
      | Sim.Fault.Deliver -> ()
      | Sim.Fault.Unreachable r | Sim.Fault.Drop_request r ->
-       Obs.Metrics.inc metrics "net.round_trip_lost";
+       Obs.Metrics.inc metrics Obs.Metric_names.net_round_trip_lost;
        unavailable node_name r
      | Sim.Fault.Drop_reply r ->
        (* the request got through: execute, then lose the reply (even an
           error reply is lost, hence the catch-all) *)
-       Obs.Metrics.inc metrics "net.reply_lost";
+       Obs.Metrics.inc metrics Obs.Metric_names.net_reply_lost;
        (try ignore (run ()) with _ -> ());
        unavailable node_name r);
     if not (Engine.Instance.session_alive t.sess) then
@@ -138,7 +138,7 @@ let await ?deadline h =
         then report the typed timeout — the statement may well have
         executed remotely, exactly the ambiguity a lost reply has *)
      wait_until cluster ~until_:dl;
-     Obs.Metrics.inc (Topology.metrics cluster) "net.await_timed_out";
+     Obs.Metrics.inc (Topology.metrics cluster) Obs.Metric_names.net_await_timed_out;
      raise
        (Timed_out { node = h.h_conn.conn_node.Topology.node_name; deadline = dl })
    | _ -> wait_until cluster ~until_:h.h_ready_at);
@@ -149,9 +149,15 @@ let await ?deadline h =
    node must not make the cancelling statement wait out the stall. *)
 let post t text = ignore (exec_async t text : handle)
 
-let exec t text = await (exec_async t text)
+(* Dual-mode boundary, like [Exec.on_conn_exn]: [await] picks fiber
+   sleep or clock advance depending on whether a scheduler is driving
+   the cluster, so [exec]/[exec_ast] serve both fiber code and the
+   setup / DDL / maintenance paths that run without one. Statement-path
+   code wants [Exec] (deadline + breaker accounting) instead. *)
+let exec t text = await (exec_async t text) [@@lint.blocking]
 
 let exec_ast t stmt = exec t (Sqlfront.Deparse.statement stmt)
+[@@lint.blocking]
 
 let copy t ~table ~columns lines =
   let sql = Printf.sprintf "COPY %s FROM STDIN" table in

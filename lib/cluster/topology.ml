@@ -66,7 +66,7 @@ let create ?(buffer_pages = 100_000) ?(spec = Sim.Cost.default_spec)
     }
   in
   (* Network stats fold into snapshots next to the per-node meters. *)
-  Obs.Metrics.register_probe obs.Obs.metrics "net" (fun () ->
+  Obs.Metrics.register_probe obs.Obs.metrics Obs.Metric_names.net_probe_prefix (fun () ->
       [
         ("round_trips", net.round_trips);
         ("cross_round_trips", net.cross_round_trips);

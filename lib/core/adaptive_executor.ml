@@ -103,11 +103,13 @@ let mark_placement_lost (t : State.t) ~shard_id ~node =
    that aborts the whole transaction ({!State.Txn_replica_lost}). *)
 let withdraw_txn_conn (t : State.t) st conn ~node =
   st.State.txn_conns <- List.filter (fun c -> c != conn) st.State.txn_conns;
-  (try ignore (Exec.raw_on_conn_exn conn "ROLLBACK")
-   with _ ->
-     (* the node just failed; the rollback failing too is expected,
-        but count it rather than lose it *)
-     Health.record_ignored t.State.health node);
+  (* post, never await: the node just failed, and a gray failure there
+     would make the withdrawal wait out the very stall the failover is
+     escaping. The outcome is irrelevant — the writes are discarded
+     whether the ROLLBACK lands or the crash already undid them — but
+     count the fire-and-forget so monitoring sees the withdrawal. *)
+  Exec.post_on_conn conn "ROLLBACK";
+  Health.record_ignored t.State.health node;
   let groups =
     List.filter_map
       (fun ((n, g), c) ->
@@ -236,7 +238,7 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
       in
       match fresh with
       | Some fresh ->
-        Obs.Metrics.inc m "exec.conn_opened";
+        Obs.Metrics.inc m Obs.Metric_names.exec_conn_opened;
         pool.sp_opened_at <- Sim.Clock.now clock :: pool.sp_opened_at;
         Some (take fresh)
       | None -> None
@@ -262,7 +264,7 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
           go ()
         end
         else begin
-          Obs.Metrics.inc m "exec.conn_affinity_reuse";
+          Obs.Metrics.inc m Obs.Metric_names.exec_conn_affinity_reuse;
           take conn
         end
       | None, None -> (
@@ -377,7 +379,7 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
                  | _ -> Sim.Sched.sleep sched duration);
                 (result, duration))
           in
-          Obs.Metrics.observe m "exec.fragment_seconds" duration;
+          Obs.Metrics.observe m Obs.Metric_names.exec_fragment_seconds duration;
           record_duration node.Cluster.Topology.node_name duration;
           if needs_txn_block && task.Plan.task_group >= 0 then begin
             let key = (node.Cluster.Topology.node_name, task.Plan.task_group) in
@@ -395,7 +397,7 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
           (* deadline expiry is a statement abort, not a connection
              failure: the connection stays healthy (its reply merely
              arrives late) and goes back to the pool via [release] *)
-          Obs.Metrics.inc m "exec.timeouts";
+          Obs.Metrics.inc m Obs.Metric_names.exec_timeouts;
           raise e)
   in
   let exec_task sched (task : Plan.task) =
@@ -463,7 +465,7 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
         (match Sim.Sched.await_result sched ~deadline:hedge_at f1 with
          | Ok r -> r
          | Error Sim.Sched.Timed_out ->
-           Obs.Metrics.inc m "exec.hedged_reads";
+           Obs.Metrics.inc m Obs.Metric_names.exec_hedged_reads;
            Health.record_slow t.State.health primary;
            let f2 = attempt secondary in
            let idx, first = Sim.Sched.await_any sched [ f1; f2 ] in
@@ -474,15 +476,20 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
                  runs its cleanup (connection release) to completion
                  inside this statement *)
               Sim.Sched.cancel sched other;
-              ignore (Sim.Sched.await_result sched other);
-              if idx = 1 then Obs.Metrics.inc m "exec.hedge_wins";
+              (* bounded: the loser was just cancelled, so it completes
+                 at its next suspension point; a ?deadline here would
+                 abandon it mid-cleanup instead *)
+              ignore (Sim.Sched.await_result sched other [@lint.unbounded]);
+              if idx = 1 then Obs.Metrics.inc m Obs.Metric_names.exec_hedge_wins;
               r
             | Error _ ->
               (* the first finisher failed; fall back to whatever the
-                 surviving attempt produces *)
-              (match Sim.Sched.await_result sched other with
+                 surviving attempt produces — bounded: every round trip
+                 inside the attempt already carries the statement
+                 deadline threaded through run_on *)
+              (match Sim.Sched.await_result sched other [@lint.unbounded] with
                | Ok r ->
-                 if idx = 0 then Obs.Metrics.inc m "exec.hedge_wins";
+                 if idx = 0 then Obs.Metrics.inc m Obs.Metric_names.exec_hedge_wins;
                  r
                | Error e -> raise e))
          | Error
@@ -593,10 +600,10 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
       node_serial;
     }
   in
-  Obs.Metrics.inc m ~by:(List.length tasks) "exec.tasks";
-  Obs.Metrics.observe m "exec.makespan_seconds" report.makespan;
+  Obs.Metrics.inc m ~by:(List.length tasks) Obs.Metric_names.exec_tasks;
+  Obs.Metrics.observe m Obs.Metric_names.exec_makespan_seconds report.makespan;
   List.iter
     (fun (_, c) ->
-      Obs.Metrics.observe m "exec.connections_per_statement" (float_of_int c))
+      Obs.Metrics.observe m Obs.Metric_names.exec_connections_per_statement (float_of_int c))
     report.connections_used;
   (results, report)

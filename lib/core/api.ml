@@ -368,7 +368,7 @@ let planner_hook (t : t) (st : State.t) session (stmt : Ast.statement) :
                        in
                        Obs.Metrics.inc
                          (Cluster.Topology.metrics t.cluster)
-                         "planner.tier.join_order";
+                         Obs.Metric_names.planner_tier_join_order;
                        result)
                  with Join_order.Unsupported _ -> err "%s" first_error)
               | _ -> err "%s" first_error))

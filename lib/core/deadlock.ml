@@ -77,7 +77,7 @@ let cancel (t : State.t) victim =
 
 let detect_and_cancel (t : State.t) =
   let metrics = Cluster.Topology.metrics t.State.cluster in
-  Obs.Metrics.inc metrics "deadlock.rounds";
+  Obs.Metrics.inc metrics Obs.Metric_names.deadlock_rounds;
   Obs.Trace.with_span
     (Cluster.Topology.trace t.State.cluster)
     ~now:(Cluster.Topology.now t.State.cluster)
@@ -88,7 +88,7 @@ let detect_and_cancel (t : State.t) =
   match find_cycle edges with
   | None -> None
   | Some cycle ->
-    Obs.Metrics.inc metrics "deadlock.cycles_found";
+    Obs.Metrics.inc metrics Obs.Metric_names.deadlock_cycles_found;
     let dist_members =
       List.filter_map
         (function Dist_txn (n, x) -> Some (Dist_txn (n, x), x) | Local_txn _ -> None)
@@ -104,6 +104,6 @@ let detect_and_cancel (t : State.t) =
            first rest
        in
        cancel t victim;
-       Obs.Metrics.inc metrics "deadlock.cancelled";
+       Obs.Metrics.inc metrics Obs.Metric_names.deadlock_cancelled;
        Obs.Trace.add_tag sp "victim" (vertex_to_string victim);
        Some victim)

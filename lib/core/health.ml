@@ -50,11 +50,11 @@ let note_transition t ~from_ ~to_ =
   | Some m ->
     if from_ <> to_ then begin
       Obs.Metrics.inc m
-        (Printf.sprintf "breaker.%s_to_%s" (breaker_name from_)
-           (breaker_name to_));
+        (Obs.Metric_names.breaker_transition ~from_:(breaker_name from_)
+           ~to_:(breaker_name to_));
       (match from_, to_ with
-       | Closed, (Open | Half_open) -> Obs.Metrics.gauge_add m "breaker.tripped" 1.0
-       | (Open | Half_open), Closed -> Obs.Metrics.gauge_add m "breaker.tripped" (-1.0)
+       | Closed, (Open | Half_open) -> Obs.Metrics.gauge_add m Obs.Metric_names.breaker_tripped 1.0
+       | (Open | Half_open), Closed -> Obs.Metrics.gauge_add m Obs.Metric_names.breaker_tripped (-1.0)
        | _ -> ())
     end
 
@@ -129,7 +129,7 @@ let record_slow t node =
   s.slow_events <- s.slow_events + 1;
   s.consecutive_slow <- s.consecutive_slow + 1;
   (match t.metrics with
-   | Some m -> Obs.Metrics.inc m "health.slow_events"
+   | Some m -> Obs.Metrics.inc m Obs.Metric_names.health_slow_events
    | None -> ());
   match breaker_state t node with
   | Half_open ->
@@ -138,14 +138,14 @@ let record_slow t node =
     s.backoff <- Float.min t.max_backoff (s.backoff *. 2.0);
     note_transition t ~from_:Half_open ~to_:Open;
     (match t.metrics with
-     | Some m -> Obs.Metrics.inc m "breaker.tripped_slow"
+     | Some m -> Obs.Metrics.inc m Obs.Metric_names.breaker_tripped_slow
      | None -> ())
   | Closed when s.consecutive_slow >= t.slow_threshold ->
     s.breaker <- Open;
     s.opened_at <- Sim.Clock.now t.clock;
     note_transition t ~from_:Closed ~to_:Open;
     (match t.metrics with
-     | Some m -> Obs.Metrics.inc m "breaker.tripped_slow"
+     | Some m -> Obs.Metrics.inc m Obs.Metric_names.breaker_tripped_slow
      | None -> ())
   | _ -> ()
 

@@ -1128,6 +1128,6 @@ let plan ?obs ?now ?node_ok meta ~catalog ~local_name stmt : Plan.t * tier =
         let ((_, tier) as planned) =
           plan_untraced ?node_ok meta ~catalog ~local_name stmt
         in
-        Obs.Metrics.inc o.Obs.metrics ("planner.tier." ^ tier_slug tier);
+        Obs.Metrics.inc o.Obs.metrics (Obs.Metric_names.planner_tier (tier_slug tier));
         Obs.Trace.add_tag sp "tier" (tier_slug tier);
         planned)

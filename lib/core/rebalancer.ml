@@ -250,7 +250,7 @@ let move_shard_group ?sched (t : State.t) ~shard_id ~to_node =
       err "shard %d already has a placement on %s" shard_id to_node;
     let m = Cluster.Topology.metrics t.State.cluster in
     let trace = Cluster.Topology.trace t.State.cluster in
-    Obs.Metrics.inc m "rebalance.moves_started";
+    Obs.Metrics.inc m Obs.Metric_names.rebalance_moves_started;
     (* the parent is read off the span stack here, not inside the span
        body: concurrent batched moves run as fibers and must not push on
        the shared stack, or interleaved moves would mis-parent *)
@@ -281,9 +281,9 @@ let move_shard_group ?sched (t : State.t) ~shard_id ~to_node =
        Sim.Sched.sleep sched
          (0.001 +. (1e-6 *. float_of_int (!rows + !catchup)))
      | None -> ());
-    Obs.Metrics.inc m "rebalance.moves_completed";
-    Obs.Metrics.inc m ~by:!rows "rebalance.rows_copied";
-    Obs.Metrics.inc m ~by:!catchup "rebalance.catchup_records";
+    Obs.Metrics.inc m Obs.Metric_names.rebalance_moves_completed;
+    Obs.Metrics.inc m ~by:!rows Obs.Metric_names.rebalance_rows_copied;
+    Obs.Metrics.inc m ~by:!catchup Obs.Metric_names.rebalance_catchup_records;
     Obs.Trace.add_tag sp "rows_copied" (string_of_int !rows);
     {
       moved_shards = List.map (fun (s : Metadata.shard) -> s.Metadata.shard_id) group;
@@ -330,12 +330,12 @@ let repair_inactive (t : State.t) =
         | exception _ ->
           Obs.Metrics.inc
             (Cluster.Topology.metrics t.State.cluster)
-            "rebalance.repairs_failed")
+            Obs.Metric_names.rebalance_repairs_failed)
     (Metadata.inactive_placements t.State.metadata);
   if !repaired > 0 then
     Obs.Metrics.inc
       (Cluster.Topology.metrics t.State.cluster)
-      ~by:!repaired "rebalance.placements_repaired";
+      ~by:!repaired Obs.Metric_names.rebalance_placements_repaired;
   !repaired
 
 let distribution (t : State.t) =

@@ -163,7 +163,7 @@ let pre_commit (t : State.t) coord_session =
   | [] -> ()
   | [ conn ] ->
     (* single-node transaction: delegate the commit (§3.7.1) *)
-    Obs.Metrics.inc (metrics t) "twopc.delegated_commits";
+    Obs.Metrics.inc (metrics t) Obs.Metric_names.twopc_delegated_commits;
     ignore (Exec.on_conn_exn t conn "COMMIT")
   | conns ->
     (* two-phase commit (§3.7.2) *)
@@ -172,7 +172,7 @@ let pre_commit (t : State.t) coord_session =
       | Some x -> x
       | None -> invalid_arg "pre_commit outside a transaction"
     in
-    Obs.Metrics.inc (metrics t) "twopc.started";
+    Obs.Metrics.inc (metrics t) Obs.Metric_names.twopc_started;
     let deadline = phase_deadline t in
     let prepared = ref [] in
     (try
@@ -201,7 +201,13 @@ let pre_commit (t : State.t) coord_session =
                            (conn, gid)))
                      with_gids
                  in
-                 List.map (fun f -> Sim.Sched.await_result sched f) fibers)
+                 (* bounded: each fiber's every round trip carries the
+                    phase ?deadline above; a ?deadline on the join would
+                    abandon a still-running fiber, whose failure then
+                    re-raises at scheduler exit *)
+                 List.map
+                   (fun f -> Sim.Sched.await_result sched f [@lint.unbounded])
+                   fibers)
            in
            List.iter
              (function
@@ -216,7 +222,7 @@ let pre_commit (t : State.t) coord_session =
            | Some e -> raise e
            | None -> ())
      with e ->
-       Obs.Metrics.inc (metrics t) "twopc.prepare_failed";
+       Obs.Metrics.inc (metrics t) Obs.Metric_names.twopc_prepare_failed;
        (* a prepare failed: roll back everything and abort the coordinator.
           Cleanup is best effort — the node may be the one that just
           failed — but swallowed errors are counted, never invisible.
@@ -280,18 +286,22 @@ let post_commit (t : State.t) coord_session =
                               (Sqlfront.Ast.Commit_prepared gid))))
                    prepared
                in
-               List.map (fun f -> Sim.Sched.await_result sched f) fibers)
+               (* bounded: each fiber's COMMIT PREPARED carries the phase
+                  ?deadline; joining without one cannot outwait it *)
+               List.map
+                 (fun f -> Sim.Sched.await_result sched f [@lint.unbounded])
+                 fibers)
          in
          (* metrics / breaker accounting in participant list order, not
             completion order, so same-seed runs render identically *)
          List.iter2
            (fun (conn, _gid) outcome ->
              match outcome with
-             | Ok () -> Obs.Metrics.inc (metrics t) "twopc.committed"
+             | Ok () -> Obs.Metrics.inc (metrics t) Obs.Metric_names.twopc_committed
              | Error _ ->
                (* count it: tests and monitoring can assert recovery later
                   resolved exactly these *)
-               Obs.Metrics.inc (metrics t) "twopc.commit_deferred";
+               Obs.Metrics.inc (metrics t) Obs.Metric_names.twopc_commit_deferred;
                Health.record_failed_commit t.State.health (node_name conn))
            prepared outcomes));
   cleanup_session_txn_state t st
@@ -299,7 +309,7 @@ let post_commit (t : State.t) coord_session =
 let on_abort (t : State.t) coord_session =
   let st = State.session_state t coord_session in
   if st.State.txn_conns <> [] then
-    Obs.Metrics.inc (metrics t) "twopc.aborted";
+    Obs.Metrics.inc (metrics t) Obs.Metric_names.twopc_aborted;
   let node_stalled node =
     match Cluster.Topology.fault t.State.cluster with
     | Some f -> Sim.Fault.node_stalled f node
@@ -445,11 +455,11 @@ let recover (t : State.t) =
       end)
     (Cluster.Topology.all_nodes t.State.cluster);
   gc_resolved_records t;
-  Obs.Metrics.inc (metrics t) "twopc.recover_passes";
+  Obs.Metrics.inc (metrics t) Obs.Metric_names.twopc_recover_passes;
   if !committed > 0 then
-    Obs.Metrics.inc (metrics t) ~by:!committed "twopc.recover_committed";
+    Obs.Metrics.inc (metrics t) ~by:!committed Obs.Metric_names.twopc_recover_committed;
   if !rolled_back > 0 then
-    Obs.Metrics.inc (metrics t) ~by:!rolled_back "twopc.recover_rolled_back";
+    Obs.Metrics.inc (metrics t) ~by:!rolled_back Obs.Metric_names.twopc_recover_rolled_back;
   Obs.Trace.add_tag recover_sp "committed" (string_of_int !committed);
   Obs.Trace.add_tag recover_sp "rolled_back" (string_of_int !rolled_back);
   (!committed, !rolled_back)

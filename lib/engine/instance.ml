@@ -58,7 +58,7 @@ let create ?(seed = 42) ?(buffer_pages = 100_000) ?obs ~name () =
      engine.<node>.<field> in every snapshot. *)
   (match obs with
    | Some (o : Obs.t) ->
-     Obs.Metrics.register_probe o.Obs.metrics ("engine." ^ name) (fun () ->
+     Obs.Metrics.register_probe o.Obs.metrics (Obs.Metric_names.engine_probe name) (fun () ->
          Meter.to_assoc (Meter.read meter))
    | None -> ());
   {
@@ -669,7 +669,7 @@ let autovacuum_threshold = 50
 
 let maintenance_tick t =
   (match t.obs with
-   | Some o -> Obs.Metrics.inc o.Obs.metrics "engine.maintenance_ticks"
+   | Some o -> Obs.Metrics.inc o.Obs.metrics Obs.Metric_names.engine_maintenance_ticks
    | None -> ());
   (* 1. local deadlock detection: abort the youngest transaction in a cycle *)
   (match Txn.Lock.detect_deadlock (Txn.Manager.locks t.mgr) with

@@ -1,0 +1,155 @@
+(** The metric-name registry: the closed, documented set of series a
+    cluster can emit. Every name handed to {!Metrics} must come from
+    here (enforced by lint rule L13), so [citus_stat_counters()]-style
+    introspection enumerates a known catalogue and a typo cannot
+    silently split a series in two.
+
+    Constants name one series; {e families} ([net_connect_to],
+    [planner_tier], …) name a parameterized group whose cardinality is
+    bounded by the parameter's domain (node names, planner tiers). *)
+
+(** {2 Engine} *)
+
+val engine_maintenance_ticks : string
+(** counter: maintenance-daemon wakeups that ran the tick body *)
+
+val engine_probe : string -> string
+(** gauge family (probe): per-instance engine internals registered at
+    instance creation, e.g. [engine.<name>] row counts *)
+
+(** {2 Networking} *)
+
+val net_probe_prefix : string
+(** probe prefix under which topology registers [net.*] gauges
+    (rows shipped, messages in flight) *)
+
+val net_connect_failed : string
+(** counter: connection attempts refused (node down / partitioned) *)
+
+val net_connect_to : string -> string
+(** counter family: successful connects per destination node,
+    [net.connect_to.<node>] *)
+
+val net_round_trip_lost : string
+(** counter: requests dropped on the way to the node *)
+
+val net_reply_lost : string
+(** counter: replies dropped on the way back — the statement executed,
+    the client cannot know (the 2PC ambiguity) *)
+
+val net_await_timed_out : string
+(** counter: awaits that hit their deadline before the reply landed *)
+
+(** {2 Adaptive executor} *)
+
+val exec_tasks : string
+(** counter: fragment tasks submitted *)
+
+val exec_conn_opened : string
+(** counter: worker connections opened *)
+
+val exec_conn_affinity_reuse : string
+(** counter: tasks served by an already-open affine connection *)
+
+val exec_connections_per_statement : string
+(** histogram: distinct connections one statement used *)
+
+val exec_fragment_seconds : string
+(** histogram: per-fragment execution time *)
+
+val exec_makespan_seconds : string
+(** histogram: whole-statement makespan *)
+
+val exec_timeouts : string
+(** counter: statements that hit statement_timeout *)
+
+val exec_hedged_reads : string
+(** counter: hedge attempts fired after the slow-primary threshold *)
+
+val exec_hedge_wins : string
+(** counter: hedges where the second attempt answered first *)
+
+(** {2 Planner} *)
+
+val planner_tier : string -> string
+(** counter family: statements planned per tier, [planner.tier.<slug>] *)
+
+val planner_tier_join_order : string
+(** counter: statements that took the dynamic join-order path *)
+
+(** {2 Two-phase commit} *)
+
+val twopc_started : string
+(** counter: 2PC rounds entered *)
+
+val twopc_delegated_commits : string
+(** counter: commits delegated to a worker-local transaction *)
+
+val twopc_prepare_failed : string
+(** counter: PREPARE fan-outs that failed and rolled back *)
+
+val twopc_committed : string
+(** counter: participants committed in the post-commit phase *)
+
+val twopc_commit_deferred : string
+(** counter: participants whose COMMIT PREPARED is deferred to
+    recovery (stalled or unreachable at commit time) *)
+
+val twopc_aborted : string
+(** counter: 2PC rounds aborted *)
+
+val twopc_recover_passes : string
+(** counter: recovery sweeps over the prepared-transaction table *)
+
+val twopc_recover_committed : string
+(** counter: prepared transactions recovery committed *)
+
+val twopc_recover_rolled_back : string
+(** counter: prepared transactions recovery rolled back *)
+
+(** {2 Distributed deadlock detector} *)
+
+val deadlock_rounds : string
+(** counter: detector sweeps *)
+
+val deadlock_cycles_found : string
+(** counter: wait-for cycles detected *)
+
+val deadlock_cancelled : string
+(** counter: victim transactions cancelled to break a cycle *)
+
+(** {2 Shard rebalancer} *)
+
+val rebalance_moves_started : string
+(** counter: shard-group moves begun *)
+
+val rebalance_moves_completed : string
+(** counter: shard-group moves finished *)
+
+val rebalance_rows_copied : string
+(** counter: rows bulk-copied during moves *)
+
+val rebalance_catchup_records : string
+(** counter: catch-up records applied after the bulk copy *)
+
+val rebalance_repairs_failed : string
+(** counter: placement repairs that raised *)
+
+val rebalance_placements_repaired : string
+(** counter: inactive placements re-activated by the repair daemon *)
+
+(** {2 Health / circuit breaker} *)
+
+val health_slow_events : string
+(** counter: statements recorded as slow against a node *)
+
+val breaker_tripped : string
+(** gauge: breakers currently open or half-open *)
+
+val breaker_tripped_slow : string
+(** counter: breaker trips caused by slowness (gray failure), not
+    hard errors *)
+
+val breaker_transition : from_:string -> to_:string -> string
+(** counter family: breaker state transitions,
+    [breaker.<from>_to_<to>] over closed/open/half_open *)

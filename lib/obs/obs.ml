@@ -3,6 +3,7 @@
    (plain int/float cells); tracing is opt-in and free when off. *)
 
 module Metrics = Metrics
+module Metric_names = Metric_names
 module Trace = Trace
 
 type t = { metrics : Metrics.t; trace : Trace.t }

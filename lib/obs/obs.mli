@@ -3,6 +3,7 @@
     tracing starts disabled and costs one branch while it stays so. *)
 
 module Metrics = Metrics
+module Metric_names = Metric_names
 module Trace = Trace
 
 type t = { metrics : Metrics.t; trace : Trace.t }

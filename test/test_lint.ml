@@ -351,18 +351,372 @@ let test_l9_scope () =
   let fs = run "L9" [ ("test/test_fx.ml", l9_violating) ] in
   Alcotest.(check int) "tests are out of scope" 0 (List.length fs)
 
+(* --- L10 transitive-blocking --- *)
+
+(* a two-hop suspending chain: Util.pause reaches Sim.Sched.sleep, and
+   Mid.relay reaches it through Util — all callers of either must be in
+   a scheduler scope *)
+let l10_util =
+  {|let pause sched = Sim.Sched.sleep sched 1.0
+|}
+
+let l10_mid =
+  {|let relay sched = Util.pause sched
+|}
+
+let l10_violating =
+  {|let tick t = Mid.relay t
+
+let hof l = List.map Util.pause l
+|}
+
+let l10_clean =
+  {|let ok t = State.with_sched t (fun sched -> Mid.relay sched)
+
+let param sched = Mid.relay sched
+
+let maint t = (Mid.relay t [@lint.blocking])
+|}
+
+(* a callee taking ?sched is dual-mode by construction *)
+let l10_dual =
+  {|let tickle ?sched t =
+  match sched with Some s -> Sim.Sched.yield s | None -> ignore t
+|}
+
+let l10_files extra =
+  [ ("lib/core/util.ml", l10_util); ("lib/core/mid.ml", l10_mid) ] @ extra
+
+let test_l10_violating () =
+  let fs = run "L10" (l10_files [ ("lib/core/fx.ml", l10_violating) ]) in
+  (* the unscoped call and the higher-order use both count *)
+  Alcotest.(check int) "call and higher-order use flagged" 2 (List.length fs);
+  Alcotest.(check (list string)) "all L10" [ "L10"; "L10" ] (ids fs);
+  Alcotest.(check (list int)) "site locations" [ 1; 3 ] (lines fs)
+
+let test_l10_clean () =
+  let fs = run "L10" (l10_files [ ("lib/core/fx.ml", l10_clean) ]) in
+  Alcotest.(check int)
+    "with_sched scope / sched param / [@lint.blocking] all pass" 0
+    (List.length fs)
+
+let test_l10_dual_mode () =
+  let fs =
+    run "L10"
+      (l10_files
+         [
+           ("lib/core/dual.ml", l10_dual);
+           ("lib/core/fx.ml", "let outside t = Dual.tickle t\n");
+         ])
+  in
+  Alcotest.(check int) "?sched callee is dual-mode, callers free" 0
+    (List.length fs)
+
+let test_l10_scope () =
+  let fs = run "L10" (l10_files [ ("test/test_fx.ml", l10_violating) ]) in
+  Alcotest.(check int) "tests are out of scope" 0 (List.length fs)
+
+(* --- L11 cancellation-safety --- *)
+
+let l11_violating =
+  {|let bad_lock mgr sched owner target =
+  let _ = Txn.Lock.acquire mgr ~owner target Txn.Lock.Row_lock in
+  Sim.Sched.sleep sched 1.0
+
+let bad_span trace sched now node =
+  let sp = Obs.Trace.open_span trace ~now ~node ~kind:"stmt" () in
+  Sim.Sched.yield sched;
+  Obs.Trace.close_span trace ~now sp
+|}
+
+let l11_clean =
+  {|let bracketed mgr sched owner target =
+  let _ = Txn.Lock.acquire mgr ~owner target Txn.Lock.Row_lock in
+  Fun.protect
+    ~finally:(fun () -> Txn.Lock.release_all mgr ~owner)
+    (fun () -> Sim.Sched.sleep sched 1.0)
+
+let released mgr sched owner target =
+  let _ = Txn.Lock.acquire mgr ~owner target Txn.Lock.Row_lock in
+  Txn.Lock.release_all mgr ~owner;
+  Sim.Sched.sleep sched 1.0
+
+let other_lambda mgr t owner target =
+  let _ = Txn.Lock.acquire mgr ~owner target Txn.Lock.Row_lock in
+  State.with_sched t (fun sched -> Sim.Sched.sleep sched 1.0)
+
+let annotated mgr sched owner target =
+  let _ =
+    (Txn.Lock.acquire mgr ~owner target Txn.Lock.Row_lock
+     [@lint.cancel_safe])
+  in
+  Sim.Sched.sleep sched 1.0
+|}
+
+let test_l11_violating () =
+  let fs = run "L11" [ ("lib/core/fx.ml", l11_violating) ] in
+  (* the lock and the span both held across a suspension *)
+  Alcotest.(check int) "lock and span hazards" 2 (List.length fs);
+  Alcotest.(check (list string)) "all L11" [ "L11"; "L11" ] (ids fs);
+  Alcotest.(check (list int)) "acquire locations" [ 2; 6 ] (lines fs)
+
+let test_l11_clean () =
+  let fs = run "L11" [ ("lib/core/fx.ml", l11_clean) ] in
+  Alcotest.(check int)
+    "bracket / release-first / barrier lambda / annotation all pass" 0
+    (List.length fs)
+
+let test_l11_transitive () =
+  (* the suspension may hide behind a call: Util.pause suspends *)
+  let fs =
+    run "L11"
+      [
+        ("lib/core/util.ml", l10_util);
+        ( "lib/core/fx.ml",
+          "let bad mgr sched owner target =\n\
+          \  let _ = Txn.Lock.acquire mgr ~owner target Txn.Lock.Row_lock in\n\
+          \  Util.pause sched\n" );
+      ]
+  in
+  Alcotest.(check int) "transitive suspension counts" 1 (List.length fs);
+  Alcotest.(check (list int)) "at the acquire" [ 2 ] (lines fs)
+
+(* --- L12 deadline-propagation --- *)
+
+(* the entry points are Adaptive_executor.execute and Twopc.*: fixture
+   files take those module names *)
+let l12_violating =
+  {|let helper sched f = Sim.Sched.await_result sched f
+
+let execute t sched conn f =
+  ignore
+    (Cluster.Connection.await (Cluster.Connection.exec_async conn "SELECT 1"));
+  helper sched f
+|}
+
+let l12_clean =
+  {|let helper sched dl f = Sim.Sched.await_result sched ~deadline:dl f
+
+let execute t sched dl conn f =
+  ignore
+    (Cluster.Connection.await ~deadline:dl
+       (Cluster.Connection.exec_async conn "SELECT 1"));
+  helper sched dl f
+|}
+
+let l12_annotated =
+  {|let execute t sched f =
+  ignore (Sim.Sched.await_result sched f [@lint.unbounded])
+|}
+
+let test_l12_violating () =
+  let fs = run "L12" [ ("lib/core/adaptive_executor.ml", l12_violating) ] in
+  (* the bare await in execute, and helper's await_result — reachable
+     from the entry point — both lack a deadline *)
+  Alcotest.(check int) "both awaits flagged" 2 (List.length fs);
+  Alcotest.(check (list string)) "all L12" [ "L12"; "L12" ] (ids fs);
+  Alcotest.(check (list int)) "await locations" [ 1; 5 ] (lines fs)
+
+let test_l12_clean () =
+  let fs = run "L12" [ ("lib/core/adaptive_executor.ml", l12_clean) ] in
+  Alcotest.(check int) "?deadline everywhere passes" 0 (List.length fs)
+
+let test_l12_escape () =
+  let fs = run "L12" [ ("lib/core/adaptive_executor.ml", l12_annotated) ] in
+  Alcotest.(check int) "[@lint.unbounded] is trusted" 0 (List.length fs)
+
+let test_l12_unreachable () =
+  (* the same awaits in a module no entry point reaches are not on the
+     statement path *)
+  let fs = run "L12" [ ("lib/core/maintenance.ml", l12_violating) ] in
+  Alcotest.(check int) "unreachable awaits are not findings" 0
+    (List.length fs)
+
+let test_l12_twopc_entry () =
+  (* every top-level function of Twopc is an entry point *)
+  let fs =
+    run "L12"
+      [ ("lib/core/twopc.ml", "let recover t sched f = Sim.Sched.await sched f\n") ]
+  in
+  Alcotest.(check int) "Twopc.* are entries" 1 (List.length fs)
+
+(* --- L13 metric-registry --- *)
+
+let l13_violating =
+  {|let count m = Obs.Metrics.inc m "exec.tasks"
+
+let dynamic m x = Obs.Metrics.observe m ("exec." ^ x) 1.0
+
+let gauge m = Obs.Metrics.gauge_add m "breaker.tripped" 1.0
+|}
+
+let l13_clean =
+  {|let count m = Obs.Metrics.inc m Obs.Metric_names.exec_tasks
+
+let family m node = Obs.Metrics.inc m (Obs.Metric_names.net_connect_to node)
+
+let unqualified m = Obs.Metrics.inc m Metric_names.exec_tasks
+
+let by_label m = Obs.Metrics.inc m ~by:2 Obs.Metric_names.exec_tasks
+
+let adhoc m x = Obs.Metrics.inc m (("dyn." ^ x) [@lint.metric_adhoc])
+|}
+
+let test_l13_violating () =
+  let fs = run "L13" [ ("lib/core/fx.ml", l13_violating) ] in
+  Alcotest.(check int) "literal and concatenated names flagged" 3
+    (List.length fs);
+  Alcotest.(check (list string)) "all L13" [ "L13"; "L13"; "L13" ] (ids fs);
+  Alcotest.(check (list int)) "name-argument locations" [ 1; 3; 5 ] (lines fs)
+
+let test_l13_clean () =
+  let fs = run "L13" [ ("lib/core/fx.ml", l13_clean) ] in
+  Alcotest.(check int)
+    "registry constants / families / ~by label / annotation all pass" 0
+    (List.length fs)
+
+let test_l13_scope () =
+  (* lib/obs implements the registry and the metrics store *)
+  let fs = run "L13" [ ("lib/obs/metrics.ml", l13_violating) ] in
+  Alcotest.(check int) "lib/obs is out of scope" 0 (List.length fs)
+
+(* --- call-graph builder --- *)
+
+let build sources =
+  Callgraph.build
+    (List.map
+       (fun (path, src) -> (path, Lint_engine.parse_impl ~path src))
+       sources)
+
+let find_fn g m v =
+  match Callgraph.find g { Callgraph.m; v } with
+  | fn :: _ -> fn
+  | [] -> Alcotest.failf "function %s.%s not in graph" m v
+
+let test_cg_cross_module () =
+  let g =
+    build
+      [
+        ("lib/core/a.ml", "let target x = x\n");
+        ("lib/core/b.ml", "let use x = Citus.A.target x\n");
+      ]
+  in
+  let use = find_fn g "B" "use" in
+  match use.Callgraph.f_sites with
+  | [ s ] ->
+    (match Callgraph.resolved g s with
+     | Some { Callgraph.m = "A"; v = "target" } -> ()
+     | _ -> Alcotest.fail "cross-module edge not resolved");
+    (match s.Callgraph.s_kind with
+     | Callgraph.Call { deadline = false } -> ()
+     | _ -> Alcotest.fail "expected an application site")
+  | sites -> Alcotest.failf "expected one site, got %d" (List.length sites)
+
+let test_cg_alias () =
+  let g =
+    build
+      [
+        ("lib/core/a.ml", "let target x = x\n");
+        ("lib/core/b.ml", "let alias = A.target\n");
+        ("lib/core/c.ml", "let use x = B.alias x\n");
+      ]
+  in
+  let use = find_fn g "C" "use" in
+  match use.Callgraph.f_sites with
+  | [ s ] -> (
+    match Callgraph.resolved g s with
+    | Some { Callgraph.m = "A"; v = "target" } -> ()
+    | Some other ->
+      Alcotest.failf "alias chased to %s" (Callgraph.id_str other)
+    | None -> Alcotest.fail "alias not resolved")
+  | sites -> Alcotest.failf "expected one site, got %d" (List.length sites)
+
+let test_cg_higher_order () =
+  (* passing a known function as a value is a conservative edge: the
+     suspension fact flows through it *)
+  let g =
+    build
+      [
+        ("lib/core/a.ml", "let poke sched = Sim.Sched.yield sched\n");
+        ("lib/core/b.ml", "let spread l = List.map A.poke l\n");
+      ]
+  in
+  let fact = Suspend.facts g in
+  Alcotest.(check bool) "value use propagates suspension" true
+    (fact { Callgraph.m = "B"; v = "spread" })
+
+let test_cg_cycle () =
+  (* mutual recursion across modules: the fixpoint terminates and both
+     sides carry the fact *)
+  let g =
+    build
+      [
+        ( "lib/core/a.ml",
+          "let ping sched = ignore (B.pong sched); Sim.Sched.yield sched\n" );
+        ("lib/core/b.ml", "let pong sched = A.ping sched\n");
+      ]
+  in
+  let fact = Suspend.facts g in
+  Alcotest.(check bool) "cycle converges: A.ping suspends" true
+    (fact { Callgraph.m = "A"; v = "ping" });
+  Alcotest.(check bool) "cycle converges: B.pong suspends" true
+    (fact { Callgraph.m = "B"; v = "pong" })
+
+let test_cg_local_open () =
+  (* unqualified names resolve through a local module open *)
+  let g =
+    build
+      [
+        ("lib/core/a.ml", "let target x = x\n");
+        ("lib/core/b.ml", "let use x = A.(target x)\n");
+      ]
+  in
+  let use = find_fn g "B" "use" in
+  let resolved_targets =
+    List.filter_map (fun s -> Callgraph.resolved g s) use.Callgraph.f_sites
+  in
+  Alcotest.(check bool) "open-scoped call resolved" true
+    (List.exists
+       (fun { Callgraph.m; v } -> m = "A" && v = "target")
+       resolved_targets)
+
+(* --- findings output --- *)
+
+let test_sexp_rendering () =
+  let f =
+    {
+      Rule.rule_id = "L10";
+      file = "lib/core/fx.ml";
+      line = 3;
+      col = 7;
+      message = {|say "hi"|};
+    }
+  in
+  Alcotest.(check string) "canonical form"
+    {|((rule L10) (file "lib/core/fx.ml") (line 3) (col 7) (message "say \"hi\""))|}
+    (Lint_engine.finding_sexp f)
+
 (* --- registry and baseline --- *)
 
 let test_registry () =
-  Alcotest.(check int) "nine rules" 9 (List.length Registry.all);
+  Alcotest.(check int) "thirteen rules" 13 (List.length Registry.all);
   List.iter
     (fun id ->
       match Registry.find id with
       | Some _ -> ()
       | None -> Alcotest.failf "rule %s not registered" id)
-    [ "L1"; "L2"; "L3"; "L4"; "L5"; "L6"; "L7"; "L8"; "L9";
-      "sql-injection"; "determinism"; "lock-order"; "span-conservation";
-      "fiber-blocking" ]
+    [ "L1"; "L2"; "L3"; "L4"; "L5"; "L6"; "L7"; "L8"; "L9"; "L10"; "L11";
+      "L12"; "L13"; "sql-injection"; "determinism"; "lock-order";
+      "span-conservation"; "fiber-blocking"; "transitive-blocking";
+      "cancel-safety"; "deadline-propagation"; "metric-registry" ]
+
+let test_explanations () =
+  (* --explain depends on every rule shipping a non-trivial rationale *)
+  List.iter
+    (fun (module R : Rule.S) ->
+      if String.length R.explain < 80 then
+        Alcotest.failf "rule %s has no real explanation" R.id)
+    Registry.all
 
 let test_baseline_empty () =
   (* the live baseline must stay empty: new findings are fixed, not
@@ -428,9 +782,46 @@ let () =
           Alcotest.test_case "clean" `Quick test_l9_clean;
           Alcotest.test_case "scope" `Quick test_l9_scope;
         ] );
+      ( "l10-transitive-blocking",
+        [
+          Alcotest.test_case "violating" `Quick test_l10_violating;
+          Alcotest.test_case "clean" `Quick test_l10_clean;
+          Alcotest.test_case "dual mode" `Quick test_l10_dual_mode;
+          Alcotest.test_case "scope" `Quick test_l10_scope;
+        ] );
+      ( "l11-cancel-safety",
+        [
+          Alcotest.test_case "violating" `Quick test_l11_violating;
+          Alcotest.test_case "clean" `Quick test_l11_clean;
+          Alcotest.test_case "transitive" `Quick test_l11_transitive;
+        ] );
+      ( "l12-deadline-propagation",
+        [
+          Alcotest.test_case "violating" `Quick test_l12_violating;
+          Alcotest.test_case "clean" `Quick test_l12_clean;
+          Alcotest.test_case "escape" `Quick test_l12_escape;
+          Alcotest.test_case "unreachable" `Quick test_l12_unreachable;
+          Alcotest.test_case "twopc entry" `Quick test_l12_twopc_entry;
+        ] );
+      ( "l13-metric-registry",
+        [
+          Alcotest.test_case "violating" `Quick test_l13_violating;
+          Alcotest.test_case "clean" `Quick test_l13_clean;
+          Alcotest.test_case "scope" `Quick test_l13_scope;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "cross-module edge" `Quick test_cg_cross_module;
+          Alcotest.test_case "alias chase" `Quick test_cg_alias;
+          Alcotest.test_case "higher-order" `Quick test_cg_higher_order;
+          Alcotest.test_case "cycle" `Quick test_cg_cycle;
+          Alcotest.test_case "local open" `Quick test_cg_local_open;
+        ] );
       ( "infrastructure",
         [
           Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "explanations" `Quick test_explanations;
+          Alcotest.test_case "sexp rendering" `Quick test_sexp_rendering;
           Alcotest.test_case "baseline empty" `Quick test_baseline_empty;
           Alcotest.test_case "baseline parse" `Quick test_baseline_parse;
         ] );

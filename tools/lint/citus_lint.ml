@@ -1,20 +1,50 @@
 (** citus_lint — compiler-libs invariant checker for the Citus repro.
 
     Usage: citus_lint [--baseline FILE] [--rule ID]... [--list-rules]
-                      PATH...
+                      [--explain RULE] [--sexp] PATH...
 
     Parses every .ml under the given paths into Parsetrees and runs the
     rule table ({!Registry.all}) over them. Exits non-zero when any
     non-grandfathered finding (or stale baseline entry, or parse error)
-    remains. *)
+    remains. [--sexp] swaps the human lines for one canonical
+    s-expression per finding (stable order, bit-reproducible) for
+    editor/CI integration. *)
 
 let usage =
-  "citus_lint [--baseline FILE] [--rule ID]... [--list-rules] PATH..."
+  "citus_lint [--baseline FILE] [--rule ID]... [--list-rules] [--explain \
+   RULE] [--sexp] PATH..."
+
+(* wrap a one-paragraph string at [width] columns for terminal output *)
+let wrap ?(width = 76) s =
+  let words = String.split_on_char ' ' s in
+  let buf = Buffer.create (String.length s + 16) in
+  let col = ref 0 in
+  List.iter
+    (fun w ->
+      if String.length w > 0 then
+        if !col = 0 then begin
+          Buffer.add_string buf w;
+          col := String.length w
+        end
+        else if !col + 1 + String.length w > width then begin
+          Buffer.add_char buf '\n';
+          Buffer.add_string buf w;
+          col := String.length w
+        end
+        else begin
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf w;
+          col := !col + 1 + String.length w
+        end)
+    words;
+  Buffer.contents buf
 
 let () =
   let baseline_file = ref None in
   let rule_ids = ref [] in
   let list_rules = ref false in
+  let explain = ref None in
+  let sexp = ref false in
   let roots = ref [] in
   let spec =
     [
@@ -26,9 +56,28 @@ let () =
         "ID run only this rule (repeatable; id like L1 or name like \
          sql-injection)" );
       ("--list-rules", Arg.Set list_rules, " print the rule table and exit");
+      ( "--explain",
+        Arg.String (fun r -> explain := Some r),
+        "RULE print the rule's rationale and escape hatch, then exit" );
+      ( "--sexp",
+        Arg.Set sexp,
+        " emit findings as canonical s-expressions (stable order, \
+         bit-reproducible)" );
     ]
   in
   Arg.parse spec (fun p -> roots := p :: !roots) usage;
+  (match !explain with
+   | None -> ()
+   | Some r ->
+     (match Registry.find r with
+      | Some rule ->
+        let module R = (val rule) in
+        Printf.printf "%s %s — %s\n\n%s\n" R.id R.name (wrap R.doc)
+          (wrap R.explain);
+        exit 0
+      | None ->
+        prerr_endline ("citus_lint: unknown rule " ^ r);
+        exit 2));
   if !list_rules then begin
     List.iter
       (fun (rule : Rule.t) ->
@@ -65,42 +114,55 @@ let () =
   in
   let paths = Lint_engine.scan roots in
   let outcome = Lint_engine.run ~baseline ~rules paths in
-  List.iter
-    (fun (file, msg) ->
-      Printf.printf "%s:1:0: [parse] %s\n" file msg)
-    outcome.Lint_engine.parse_errors;
   let sorted =
-    List.sort
-      (fun (a : Rule.finding) b ->
-        match String.compare a.file b.file with
-        | 0 -> (
-          match Int.compare a.line b.line with
-          | 0 -> String.compare a.rule_id b.rule_id
-          | c -> c)
-        | c -> c)
-      outcome.Lint_engine.findings
+    List.sort Lint_engine.compare_findings outcome.Lint_engine.findings
   in
-  List.iter
-    (fun (f : Rule.finding) ->
-      Printf.printf "%s:%d:%d: [%s] %s\n" f.file f.line f.col f.rule_id
-        f.message)
-    sorted;
-  List.iter
-    (fun (b : Lint_engine.baseline_entry) ->
-      Printf.printf
-        "%s:%d:0: [baseline] stale entry for %s: the finding is gone — \
-         delete the entry (the baseline may only shrink)\n"
-        b.Lint_engine.b_file b.Lint_engine.b_line b.Lint_engine.b_rule)
-    outcome.Lint_engine.stale;
+  if !sexp then begin
+    (* machine mode: canonical sexps only, no summary line *)
+    List.iter
+      (fun (file, msg) ->
+        Printf.printf "((parse-error) (file \"%s\") (message \"%s\"))\n"
+          (Lint_engine.sexp_escape file) (Lint_engine.sexp_escape msg))
+      outcome.Lint_engine.parse_errors;
+    List.iter
+      (fun f -> print_endline (Lint_engine.finding_sexp f))
+      sorted;
+    List.iter
+      (fun (b : Lint_engine.baseline_entry) ->
+        Printf.printf "((stale-baseline) (rule %s) (file \"%s\") (line %d))\n"
+          b.Lint_engine.b_rule
+          (Lint_engine.sexp_escape b.Lint_engine.b_file)
+          b.Lint_engine.b_line)
+      outcome.Lint_engine.stale
+  end
+  else begin
+    List.iter
+      (fun (file, msg) ->
+        Printf.printf "%s:1:0: [parse] %s\n" file msg)
+      outcome.Lint_engine.parse_errors;
+    List.iter
+      (fun (f : Rule.finding) ->
+        Printf.printf "%s:%d:%d: [%s] %s\n" f.file f.line f.col f.rule_id
+          f.message)
+      sorted;
+    List.iter
+      (fun (b : Lint_engine.baseline_entry) ->
+        Printf.printf
+          "%s:%d:0: [baseline] stale entry for %s: the finding is gone — \
+           delete the entry (the baseline may only shrink)\n"
+          b.Lint_engine.b_file b.Lint_engine.b_line b.Lint_engine.b_rule)
+      outcome.Lint_engine.stale
+  end;
   let n_findings = List.length sorted in
   let n_stale = List.length outcome.Lint_engine.stale in
   let n_parse = List.length outcome.Lint_engine.parse_errors in
   if n_findings + n_stale + n_parse > 0 then begin
-    Printf.printf "citus_lint: %d finding(s), %d stale baseline entr(ies), \
-                   %d parse error(s) over %d file(s)\n"
-      n_findings n_stale n_parse (List.length paths);
+    if not !sexp then
+      Printf.printf "citus_lint: %d finding(s), %d stale baseline entr(ies), \
+                     %d parse error(s) over %d file(s)\n"
+        n_findings n_stale n_parse (List.length paths);
     exit 1
   end
-  else
+  else if not !sexp then
     Printf.printf "citus_lint: clean (%d files, %d rules, %d grandfathered)\n"
       (List.length paths) (List.length rules) (List.length baseline)

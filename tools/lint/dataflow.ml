@@ -1,0 +1,115 @@
+(** Generic dataflow fixpoint over a {!Callgraph.t}.
+
+    Facts live per function {e identifier} (functions sharing an id —
+    e.g. a nested module colliding with a file module — share a fact,
+    which joins their contributions: conservative). The solver is a
+    plain worklist: seed every id with the join of its functions'
+    [init], then propagate along call edges in the requested direction
+    until nothing changes.
+
+    - [Backward]: a function's fact accumulates contributions from its
+      {e callees} — "what do I reach?" (e.g. transitive suspension).
+    - [Forward]: a function's fact accumulates contributions from its
+      {e callers} — "who reaches me?" (e.g. reachability from an entry
+      point).
+
+    [transfer ~site ~dep fact] maps the dependency's fact across one
+    edge: [dep] is the function at the far end ([Backward]: the callee;
+    [Forward]: the caller) and [site] the reference connecting them.
+    Return [bottom] to kill propagation across that edge.
+
+    The lattice is whatever ([bottom], [join], [equal]) describe; with
+    [join] monotone and the fact domain finite-height the loop
+    terminates — cycles in the graph (mutual recursion) just converge.
+    The bool instance ([bottom = false], [join = (||)]) is what L10 and
+    L12 use. *)
+
+type direction = Backward | Forward
+
+let solve (g : Callgraph.t) ~(dir : direction) ~(bottom : 'f)
+    ~(equal : 'f -> 'f -> bool) ~(join : 'f -> 'f -> 'f)
+    ~(init : Callgraph.fn -> 'f)
+    ~(transfer : site:Callgraph.site -> dep:Callgraph.fn -> 'f -> 'f) :
+    Callgraph.fn_id -> 'f =
+  let key (id : Callgraph.fn_id) = (id.Callgraph.m, id.Callgraph.v) in
+  let facts : (string * string, 'f) Hashtbl.t = Hashtbl.create 256 in
+  let get id = Option.value ~default:bottom (Hashtbl.find_opt facts (key id)) in
+  (* edges as (caller fn, site, callee id), resolved through aliases *)
+  let edges =
+    List.concat_map
+      (fun (fn : Callgraph.fn) ->
+        List.filter_map
+          (fun (s : Callgraph.site) ->
+            match Callgraph.resolved g s with
+            | Some tgt -> Some (fn, s, tgt)
+            | None -> None)
+          fn.Callgraph.f_sites)
+      g.Callgraph.fns
+  in
+  (* dependents: when fact(id) changes, which ids must be recomputed? *)
+  let dependents : (string * string, Callgraph.fn_id) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  List.iter
+    (fun ((fn : Callgraph.fn), _, tgt) ->
+      match dir with
+      | Backward ->
+        (* caller depends on callee *)
+        Hashtbl.add dependents (key tgt) fn.Callgraph.f_id
+      | Forward ->
+        (* callee depends on caller *)
+        Hashtbl.add dependents (key fn.Callgraph.f_id) tgt)
+    edges;
+  (* contributions flowing into an id *)
+  let inputs : (string * string, Callgraph.fn * Callgraph.site * Callgraph.fn_id) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  List.iter
+    (fun ((fn : Callgraph.fn), s, tgt) ->
+      match dir with
+      | Backward -> Hashtbl.add inputs (key fn.Callgraph.f_id) (fn, s, tgt)
+      | Forward -> Hashtbl.add inputs (key tgt) (fn, s, tgt))
+    edges;
+  let recompute (id : Callgraph.fn_id) =
+    let base =
+      List.fold_left
+        (fun acc fn -> join acc (init fn))
+        bottom (Callgraph.find g id)
+    in
+    List.fold_left
+      (fun acc ((caller : Callgraph.fn), site, callee_id) ->
+        match dir with
+        | Backward ->
+          (* dep = callee: join over all fns bound to that id *)
+          List.fold_left
+            (fun acc (dep : Callgraph.fn) ->
+              join acc (transfer ~site ~dep (get callee_id)))
+            acc (Callgraph.find g callee_id)
+        | Forward ->
+          join acc (transfer ~site ~dep:caller (get caller.Callgraph.f_id)))
+      base
+      (Hashtbl.find_all inputs (key id))
+  in
+  let all_ids =
+    List.sort_uniq compare
+      (List.map (fun (fn : Callgraph.fn) -> fn.Callgraph.f_id) g.Callgraph.fns)
+  in
+  let work = Queue.create () in
+  let queued : (string * string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let push id =
+    if not (Hashtbl.mem queued (key id)) then begin
+      Hashtbl.replace queued (key id) ();
+      Queue.push id work
+    end
+  in
+  List.iter push all_ids;
+  while not (Queue.is_empty work) do
+    let id = Queue.pop work in
+    Hashtbl.remove queued (key id);
+    let nv = recompute id in
+    if not (equal nv (get id)) then begin
+      Hashtbl.replace facts (key id) nv;
+      List.iter push (Hashtbl.find_all dependents (key id))
+    end
+  done;
+  get

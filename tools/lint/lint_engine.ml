@@ -177,6 +177,7 @@ let run ?(baseline = []) ~(rules : Rule.t list) (paths : string list) : outcome
       (fun (rule : Rule.t) ->
         let module R = (val rule) in
         R.check_tree paths
+        @ R.check_program parsed
         @ List.concat_map
             (fun (path, str) ->
               if R.applies path then R.check ~path str else [])
@@ -204,7 +205,39 @@ let run_sources ~(rules : Rule.t list) (sources : (string * string) list) :
     (fun (rule : Rule.t) ->
       let module R = (val rule) in
       R.check_tree (List.map fst sources)
+      @ R.check_program parsed
       @ List.concat_map
           (fun (path, str) -> if R.applies path then R.check ~path str else [])
           parsed)
     rules
+
+(* --- machine-readable output --- *)
+
+let sexp_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' -> Buffer.add_char buf '\\'; Buffer.add_char buf c
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Canonical one-line sexp for a finding — what [--sexp] and the
+    determinism guard emit. Field order is fixed; output over a sorted
+    finding list is bit-reproducible by construction. *)
+let finding_sexp (f : Rule.finding) =
+  Printf.sprintf
+    "((rule %s) (file \"%s\") (line %d) (col %d) (message \"%s\"))"
+    f.Rule.rule_id (sexp_escape f.Rule.file) f.Rule.line f.Rule.col
+    (sexp_escape f.Rule.message)
+
+(** The fixed ordering every emitter uses: file, then line, then rule. *)
+let compare_findings (a : Rule.finding) (b : Rule.finding) =
+  match String.compare a.Rule.file b.Rule.file with
+  | 0 -> (
+    match Int.compare a.Rule.line b.Rule.line with
+    | 0 -> String.compare a.Rule.rule_id b.Rule.rule_id
+    | c -> c)
+  | c -> c

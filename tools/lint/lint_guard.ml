@@ -1,0 +1,50 @@
+(** lint_guard — CI guard for the lint subsystem itself.
+
+    Runs the full rule table (call-graph fixpoints included) over the
+    given roots twice, in-process, and asserts:
+
+    - {b determinism}: the rendered finding set is bit-identical across
+      the two runs — the fixpoint and the graph construction must not
+      leak hashtable iteration order into output;
+    - {b wall-time}: one full run stays under a budget, so the
+      interprocedural engine cannot make the default build sluggish.
+
+    The budget is generous (the whole run takes well under a second
+    today) — it exists to catch an accidentally quadratic fixpoint or
+    witness search, not to benchmark. Lives in tools/ (outside the
+    linted set) so it may read the wall clock. *)
+
+let budget_seconds = 10.0
+
+let render roots =
+  let paths = Lint_engine.scan roots in
+  let outcome = Lint_engine.run ~rules:Registry.all paths in
+  let sorted =
+    List.sort Lint_engine.compare_findings outcome.Lint_engine.findings
+  in
+  String.concat "\n"
+    (List.map
+       (fun (file, msg) -> Printf.sprintf "parse-error %s: %s" file msg)
+       outcome.Lint_engine.parse_errors
+    @ List.map Lint_engine.finding_sexp sorted)
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with _ :: (_ :: _ as rs) -> rs | _ -> [ "." ]
+  in
+  let t0 = Unix.gettimeofday () in
+  let first = render roots in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let second = render roots in
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt in
+  if not (String.equal first second) then
+    fail
+      "lint_guard: findings differ between two identical runs — output is \
+       not reproducible:\n--- first ---\n%s\n--- second ---\n%s"
+      first second;
+  if elapsed > budget_seconds then
+    fail "lint_guard: lint run took %.2fs, over the %.1fs budget" elapsed
+      budget_seconds;
+  Printf.printf
+    "lint_guard: ok (%.2fs, budget %.1fs, bit-identical across 2 runs)\n"
+    elapsed budget_seconds

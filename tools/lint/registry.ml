@@ -12,6 +12,10 @@ let all : Rule.t list =
     (module Rule_lock_order);
     (module Rule_span_conservation);
     (module Rule_fiber_blocking);
+    (module Rule_transitive_blocking);
+    (module Rule_cancel_safety);
+    (module Rule_deadline);
+    (module Rule_metric_registry);
   ]
 
 let find id =

@@ -24,6 +24,10 @@ module type S = sig
   val doc : string
   (** one-line description for [--list-rules] *)
 
+  val explain : string
+  (** paragraph for [--explain]: the rationale (what bug class this
+      catches and why it matters here) and the escape hatch *)
+
   val applies : string -> bool
   (** does this rule look at the given [.ml] path at all? *)
 
@@ -33,6 +37,11 @@ module type S = sig
   val check_tree : string list -> finding list
   (** whole-tree check over every scanned path (both [.ml] and [.mli]);
       called once per run *)
+
+  val check_program : (string * Parsetree.structure) list -> finding list
+  (** whole-program check over every parsed [.ml] at once — the entry
+      point for interprocedural rules (call graph + fixpoint); called
+      once per run with files in sorted-path order *)
 end
 
 type t = (module S)

@@ -1,0 +1,148 @@
+(** L11 cancellation-safety: a resource acquired and then held across a
+    suspension point can leak, because [Sched.cancel] delivers
+    [Cancelled] at the very next suspension and unwinds the fiber.
+
+    Acquire primitives: [State.checkout] (connection), [Lock.acquire],
+    [Trace.open_span]. A suspension point is a direct primitive use or a
+    call to a transitively-suspending function ({!Suspend.facts}). The
+    pair fires when, {e within one lambda body} (evaluation order across
+    different closures is not lexical), an unprotected acquire is
+    textually followed by an unprotected suspension before a matching
+    release ([Lock.release_all] / [Manager.commit] / [Manager.abort] for
+    locks, [Trace.close_span] for spans).
+
+    Protection is a [Fun.protect] bracket — release runs on any unwind,
+    [Cancelled] included — or a cancellation barrier ([with_sched] /
+    [Sched.run]: the frame driving the scheduler is not itself a fiber,
+    so [Cancelled] cannot be delivered to it). Escape hatch:
+    [[\@lint.cancel_safe]] on the acquire expression, asserting the
+    resource is owned by something that outlives the fiber (e.g. a pool
+    that sweeps it). *)
+
+let id = "L11"
+let name = "cancel-safety"
+
+let doc =
+  "resource acquire (State.checkout / Lock.acquire / Trace.open_span) \
+   followed by a suspension point must be bracketed by Fun.protect or a \
+   cancellation barrier (escape hatch: [@lint.cancel_safe])"
+
+let explain =
+  "Cancellation is delivered at suspension points: a fiber parked on \
+   await / sleep / wait can be unwound by Sched.cancel at any moment \
+   its body suspends. If it acquired a connection (State.checkout), a \
+   lock (Lock.acquire) or a span (Trace.open_span) before suspending, \
+   the unwind skips the release and the resource leaks — the exact bug \
+   class the chaos harness caught in the PR 6 hedging path. Wrap the \
+   acquire+use in Fun.protect ~finally:release (the finally runs on \
+   Cancelled too), or keep it under the with_sched / Sched.run frame \
+   itself (that frame is the scheduler's driver, not a fiber, so it \
+   cannot be cancelled). The window closes at a matching release \
+   (Lock.release_all, Manager.commit/abort, Trace.close_span) in the \
+   same lambda. Escape hatch: [@lint.cancel_safe] on the acquire, for \
+   resources owned by a longer-lived registry that sweeps them (e.g. \
+   pooled connections registered with the session)."
+
+let applies _ = false
+let check ~path:_ _ = []
+let check_tree _ = []
+
+type res = Conn | Lock | Span
+
+let acquire_of comps =
+  match List.rev comps with
+  | last :: prev :: _ ->
+    if String.equal prev "State" && String.equal last "checkout" then Some Conn
+    else if String.equal prev "Lock" && String.equal last "acquire" then
+      Some Lock
+    else if String.equal prev "Trace" && String.equal last "open_span" then
+      Some Span
+    else None
+  | _ -> None
+
+let releases res comps =
+  match List.rev comps with
+  | last :: prev :: _ -> (
+    match res with
+    | Lock ->
+      (String.equal prev "Lock" && String.equal last "release_all")
+      || (String.equal prev "Manager"
+          && (String.equal last "commit" || String.equal last "abort"))
+    | Span -> String.equal prev "Trace" && String.equal last "close_span"
+    | Conn -> false (* pool-owned; no in-function release primitive *))
+  | _ -> false
+
+let escape_hatch = "lint.cancel_safe"
+
+let in_scope_file path =
+  Rule.starts_with "lib/" path && not (Rule.starts_with "lib/sim/" path)
+
+let line_of (s : Callgraph.site) =
+  s.Callgraph.s_loc.Location.loc_start.Lexing.pos_lnum
+
+let pos_of (s : Callgraph.site) =
+  s.Callgraph.s_loc.Location.loc_start.Lexing.pos_cnum
+
+let check_program (files : (string * Parsetree.structure) list) =
+  let g = Callgraph.build files in
+  let fact = Suspend.facts g in
+  let suspends (s : Callgraph.site) =
+    (not (Suspend.site_blocking_ok s))
+    && (Suspend.site_is_prim g s
+        ||
+        match Callgraph.resolved g s with
+        | Some tgt -> fact tgt
+        | None -> false)
+  in
+  let findings =
+    List.concat_map
+      (fun (fn : Callgraph.fn) ->
+        if not (in_scope_file fn.Callgraph.f_file) then []
+        else
+          List.filter_map
+            (fun (a : Callgraph.site) ->
+              match (a.Callgraph.s_kind, acquire_of a.Callgraph.s_path) with
+              | Callgraph.Call _, Some res
+                when (not a.Callgraph.s_protected)
+                     && not (List.mem escape_hatch a.Callgraph.s_attrs) -> (
+                (* the window: same lambda, textually after the acquire,
+                   up to the first matching release *)
+                let after =
+                  List.filter
+                    (fun (s : Callgraph.site) ->
+                      s.Callgraph.s_lam = a.Callgraph.s_lam
+                      && pos_of s > pos_of a)
+                    fn.Callgraph.f_sites
+                in
+                let rec first_hazard = function
+                  | [] -> None
+                  | (s : Callgraph.site) :: rest ->
+                    if releases res s.Callgraph.s_path then None
+                    else if (not s.Callgraph.s_protected) && suspends s then
+                      Some s
+                    else first_hazard rest
+                in
+                match first_hazard after with
+                | Some s ->
+                  Some
+                    (Rule.finding ~id ~file:fn.Callgraph.f_file
+                       ~loc:a.Callgraph.s_loc
+                       (Printf.sprintf
+                          "%s acquires a resource that is still held at the \
+                           suspension point %s (line %d); Cancelled can be \
+                           delivered there and the release never runs — \
+                           wrap acquire+use in Fun.protect ~finally, or \
+                           annotate [@lint.cancel_safe] if a longer-lived \
+                           owner sweeps it"
+                          (String.concat "." a.Callgraph.s_path)
+                          (String.concat "." s.Callgraph.s_path)
+                          (line_of s)))
+                | None -> None)
+              | _ -> None)
+            fn.Callgraph.f_sites)
+      g.Callgraph.fns
+  in
+  List.sort
+    (fun (a : Rule.finding) b ->
+      compare (a.file, a.line, a.col) (b.file, b.line, b.col))
+    findings

@@ -54,3 +54,15 @@ let check ~path (str : Parsetree.structure) =
   List.rev !findings
 
 let check_tree _ = []
+
+let explain =
+  "Deterministic replay of failure schedules — and cross-replica \
+   agreement under statement-based replication — depends on every time \
+   read going through Sim.Clock and every random draw through an \
+   explicitly seeded Random.State. A single Unix.gettimeofday in a \
+   planner makes two replicas of the same shard diverge, and makes a \
+   chaos-harness failure unreproducible. There is no attribute escape \
+   hatch: code that genuinely needs ambient time belongs in lib/sim/, \
+   behind the clock."
+
+let check_program _ = []

@@ -72,3 +72,16 @@ let check ~path (str : Parsetree.structure) =
   List.rev !findings
 
 let check_tree _ = []
+
+let explain =
+  "A bare Not_found thrown by a catalog lookup crosses the \
+   adaptive-executor boundary and is indistinguishable from a node \
+   failure — the failover path then retries a query that can never \
+   succeed. Partial stdlib lookups (Hashtbl.find, List.assoc, \
+   Option.get, List.hd) are therefore banned in lib/core and \
+   lib/cluster unless an enclosing try or match-with-exception handles \
+   the failure locally. Prefer the _opt variants with an explicit \
+   error path; a typed catalog error beats Not_found every time. The \
+   enclosing-handler allowance is the escape hatch."
+
+let check_program _ = []

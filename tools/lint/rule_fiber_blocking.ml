@@ -114,3 +114,19 @@ let check ~path (str : Parsetree.structure) =
   List.rev !findings
 
 let check_tree _ = []
+
+let explain =
+  "Outside a scheduler scope the Sched primitives perform effects no \
+   handler catches — a crash at runtime — and a bare Connection.await \
+   silently degrades to a serializing clock advance: it waits out the \
+   very stall the deadline/hedging machinery exists to escape, \
+   invisible to cancellation. Suspending calls must therefore sit \
+   lexically inside a with_sched / Sched.run body, a Sched.spawn \
+   thunk, or a function that receives the scheduler as a [sched] \
+   parameter. Escape hatch: [@lint.blocking] on an enclosing \
+   expression, reserved for boundary primitives that support both \
+   modes by design (e.g. Exec.on_conn_exn, which also serves setup and \
+   maintenance code that runs without a scheduler). See L10 for the \
+   transitive version of this rule."
+
+let check_program _ = []

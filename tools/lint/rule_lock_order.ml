@@ -180,3 +180,17 @@ let check ~path (str : Parsetree.structure) =
   List.rev !findings
 
 let check_tree (_ : string list) = []
+
+let explain =
+  "All code that takes both lock levels must take them coarse-to-fine \
+   (Table before Row): an inverted pair in two concurrent sessions is \
+   a deadlock the distributed detector then has to break by killing a \
+   transaction, whereas the discipline keeps same-statement \
+   acquisition cycle-free by construction. The rule also requires \
+   every direct Txn.Lock.acquire result to be matched against an \
+   explicit Blocked case — Blocked carries the conflicting holders \
+   that feed Would_block and the deadlock detector's wait-for edges, \
+   and a wildcard silently drops both the wait edge and the retry. No \
+   attribute escape hatch."
+
+let check_program _ = []

@@ -34,3 +34,12 @@ let check_tree paths =
           }
       else None)
     (List.sort String.compare paths)
+
+let explain =
+  "An .mli is where a subsystem's public surface is declared and \
+   documented; a module without one exports every helper and invites \
+   cross-layer reach-ins the next refactor has to untangle. Every .ml \
+   under lib/ must have a matching .mli. No attribute escape hatch — \
+   write the interface."
+
+let check_program _ = []

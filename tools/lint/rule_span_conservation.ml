@@ -52,3 +52,15 @@ let check ~path (str : Parsetree.structure) =
   List.rev !findings
 
 let check_tree _ = []
+
+let explain =
+  "The chaos harness asserts span conservation — every span started is \
+   eventually finished — and the bracketed combinators \
+   (Obs.Trace.with_span / with_span_parent) guarantee it by \
+   construction via Fun.protect. A manual open_span/close_span pair \
+   loses the close on any exception path, which surfaces later as a \
+   phantom open span in a bit-identical-replay diff, far from the code \
+   that leaked it. Outside lib/obs/ (where the combinators themselves \
+   are built), use the brackets. No attribute escape hatch."
+
+let check_program _ = []

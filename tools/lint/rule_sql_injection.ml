@@ -114,3 +114,16 @@ let check ~path (str : Parsetree.structure) =
   List.rev !findings
 
 let check_tree _ = []
+
+let explain =
+  "Interior SQL is built from Sqlfront.Ast values and deparsed in \
+   exactly one place; a sprintf- or (^)-built string reaching a SQL \
+   sink re-opens the injection hole the executor-AST path closed — \
+   hostile gids, shard names, and datum text all re-parse as SQL on \
+   the worker. The rule flags sink arguments that are themselves \
+   string-building expressions, or identifiers let-bound to one in the \
+   same file. Escape hatch: [@lint.sql_static] on an enclosing \
+   expression, asserting every interpolant is an internally generated \
+   identifier — never data, never anything a client can influence."
+
+let check_program _ = []

@@ -1,0 +1,88 @@
+(** L10 transitive-blocking: the interprocedural upgrade of L9.
+
+    L9 checks {e direct} uses of the suspending primitives; this rule
+    propagates the fact through the call graph ({!Suspend.facts}): a
+    function that transitively reaches [Sched.await] & co. is itself
+    suspending, and every reference to it — call or higher-order use —
+    must satisfy the same fiber-context discipline (lexical
+    with_sched / Sched.run / Sched.spawn scope or a [sched] parameter).
+
+    Direct primitive uses stay L9's findings; L10 reports only calls to
+    {e derived} suspending functions, so one defect never double-fires.
+    The escape hatch is the same [[\@lint.blocking]] as L9, because it
+    means the same thing: a deliberate dual-mode boundary. *)
+
+let id = "L10"
+let name = "transitive-blocking"
+
+let doc =
+  "calls to functions that transitively reach a suspending primitive \
+   must themselves satisfy the fiber-context discipline (escape hatch: \
+   [@lint.blocking])"
+
+let explain =
+  "A function that calls Sched.await three frames down suspends its \
+   caller's fiber exactly as hard as a direct await — but L9's lexical \
+   check cannot see through the frames. L10 closes the gap: a backward \
+   fixpoint over the whole-program call graph marks every function that \
+   reaches a suspending primitive (await / await_result / await_any / \
+   join_all / sleep / sleep_until / wait / timed_wait / yield / \
+   Connection.await) without an intervening handler (with_sched / \
+   Sched.run) or dual-mode boundary, and every reference to a marked \
+   function — including passing it as a value — must sit inside a \
+   scheduler scope. Escape hatch: [@lint.blocking] on the call site or \
+   the callee's binding, meaning the same thing it means for L9: this \
+   boundary is dual-mode by design and degrades to a clock advance \
+   when no scheduler is running. Functions taking ?sched are treated \
+   as dual-mode by construction."
+
+(* per-file/per-tree hooks unused: this is a whole-program rule *)
+let applies _ = false
+let check ~path:_ _ = []
+let check_tree _ = []
+
+let in_scope_file path =
+  Rule.starts_with "lib/" path && not (Rule.starts_with "lib/sim/" path)
+
+let check_program (files : (string * Parsetree.structure) list) =
+  let g = Callgraph.build files in
+  let fact = Suspend.facts g in
+  let findings =
+    List.concat_map
+      (fun (fn : Callgraph.fn) ->
+        if
+          (not (in_scope_file fn.Callgraph.f_file))
+          (* a binding marked [@@lint.blocking] IS the dual-mode
+             boundary: its body may reach suspending functions *)
+          || List.mem "lint.blocking" fn.Callgraph.f_attrs
+        then []
+        else
+          List.filter_map
+            (fun (s : Callgraph.site) ->
+              if
+                s.Callgraph.s_in_scope
+                || Suspend.site_blocking_ok s
+                || Suspend.site_is_prim g s (* L9's beat *)
+              then None
+              else
+                match Callgraph.resolved g s with
+                | Some tgt when fact tgt ->
+                  Some
+                    (Rule.finding ~id ~file:fn.Callgraph.f_file
+                       ~loc:s.Callgraph.s_loc
+                       (Printf.sprintf
+                          "%s transitively suspends (%s) but no scheduler \
+                           scope is in sight here; run it under with_sched \
+                           / Sched.run / Sched.spawn, take a [sched] \
+                           parameter, or annotate a deliberate dual-mode \
+                           boundary with [@lint.blocking]"
+                          (String.concat "." s.Callgraph.s_path)
+                          (Suspend.witness g fact tgt)))
+                | _ -> None)
+            fn.Callgraph.f_sites)
+      g.Callgraph.fns
+  in
+  List.sort
+    (fun (a : Rule.finding) b ->
+      compare (a.file, a.line, a.col) (b.file, b.line, b.col))
+    findings

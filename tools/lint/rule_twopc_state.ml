@@ -184,3 +184,18 @@ let check ~path (str : Parsetree.structure) =
   List.rev !findings
 
 let check_tree _ = []
+
+let explain =
+  "The prepared-gid list is the 2PC state machine's core register; an \
+   entry point that never touches it has lost a transition — an abort \
+   path that forgets prepared transactions leaves them holding locks \
+   forever, a transaction end that leaks txn_conns reuses dead \
+   connections in the next transaction. The rule checks \
+   pre_commit/post_commit/on_abort/recover all exist, that each \
+   (transitively, through same-file calls) updates the session_state \
+   fields it owns, and that recover references both Commit_prepared \
+   and Rollback_prepared — recovery that can only commit cannot drain \
+   the other half of the prepared-transaction space. No attribute \
+   escape hatch: the state machine is the contract."
+
+let check_program _ = []
