@@ -22,6 +22,7 @@ let experiments =
     ("obs", "Observability overhead: per-tier latency, tracing off vs on", fun () -> Obs_bench.run ());
     ("exec", "Adaptive executor: measured makespans on the virtual clock", fun () -> Exec_bench.run ());
     ("tail", "Tail latency under a brownout: hedging off vs on", fun () -> ignore (Tail.run ()));
+    ("consistency", "Read consistency overhead: eventual vs snapshot, clock skew", fun () -> ignore (Consistency.run ()));
     ("micro", "Bechamel wall-clock microbenchmarks", fun () -> Micro.run ());
   ]
 

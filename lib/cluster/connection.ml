@@ -96,6 +96,9 @@ type handle = {
   h_conn : t;
   h_ready_at : float;  (** absolute virtual time the reply lands *)
   h_result : (Engine.Instance.result, exn) result;
+  h_reply_ts : Txn.Hlc.timestamp option;
+      (** destination HLC stamp on the reply, merged into the origin's
+          clock when the reply is awaited *)
 }
 
 let exec_async t sql =
@@ -106,12 +109,29 @@ let exec_async t sql =
       Sim.Fault.round_trip_latency f ~to_:t.conn_node.Topology.node_name
   in
   let ready_at = Sim.Clock.now t.cluster.Topology.clock +. latency in
-  match round_trip t ~sql (fun () -> Engine.Instance.exec t.sess sql) with
+  (* HLC piggyback: the request carries the origin's send stamp, the
+     destination merges it before executing (so any commit it stamps
+     dominates everything the origin has seen), and the reply carries a
+     stamp drawn after execution. Drop_request never reaches the
+     destination; a dropped reply executes but loses the stamp along
+     with the result. *)
+  let origin_hlc = Topology.hlc t.cluster (origin_name t) in
+  let dest_hlc = Topology.hlc t.cluster t.conn_node.Topology.node_name in
+  let req_ts = Txn.Hlc.now origin_hlc in
+  let reply_ts = ref None in
+  let run () =
+    ignore (Txn.Hlc.observe dest_hlc req_ts : Txn.Hlc.timestamp);
+    let r = Engine.Instance.exec t.sess sql in
+    reply_ts := Some (Txn.Hlc.now dest_hlc);
+    r
+  in
+  match round_trip t ~sql run with
   | r ->
     t.cluster.Topology.net.rows_shipped <-
       t.cluster.Topology.net.rows_shipped + List.length r.Engine.Instance.rows;
-    { h_conn = t; h_ready_at = ready_at; h_result = Ok r }
-  | exception e -> { h_conn = t; h_ready_at = ready_at; h_result = Error e }
+    { h_conn = t; h_ready_at = ready_at; h_result = Ok r; h_reply_ts = !reply_ts }
+  | exception e ->
+    { h_conn = t; h_ready_at = ready_at; h_result = Error e; h_reply_ts = None }
 
 let exec_ast_async t stmt = exec_async t (Sqlfront.Deparse.statement stmt)
 
@@ -142,6 +162,12 @@ let await ?deadline h =
      raise
        (Timed_out { node = h.h_conn.conn_node.Topology.node_name; deadline = dl })
    | _ -> wait_until cluster ~until_:h.h_ready_at);
+  (match h.h_reply_ts with
+   | Some ts ->
+     ignore
+       (Txn.Hlc.observe (Topology.hlc cluster (origin_name h.h_conn)) ts
+         : Txn.Hlc.timestamp)
+   | None -> ());
   match h.h_result with Ok r -> r | Error e -> raise e
 
 (* Submit and walk away: the outcome (and its latency) is deliberately
@@ -172,3 +198,14 @@ let copy t ~table ~columns lines =
 let in_transaction t = Engine.Instance.in_transaction t.sess
 
 let backend_xid t = Engine.Instance.current_xid t.sess
+
+(* Out-of-band session channels for the distributed-snapshot protocol.
+   These ride "inside" the next round trip rather than paying one of
+   their own — the wire format would carry them as message headers. *)
+
+let set_read_mode t m = Engine.Instance.set_read_mode t.sess m
+
+let read_mode t = Engine.Instance.read_mode t.sess
+
+let set_next_commit_ts t ts =
+  Engine.Instance.set_pending_commit_ts t.sess (Some ts)

@@ -81,3 +81,25 @@ val in_transaction : t -> bool
 
 (** Worker-side xid of the connection's open transaction, if any. *)
 val backend_xid : t -> int option
+
+(** {2 Distributed-snapshot channels}
+
+    Every round trip already piggybacks HLC stamps: the request carries
+    the origin's send stamp (merged into the destination clock before
+    the statement runs), and an awaited reply merges the destination's
+    post-execution stamp back into the origin. The calls below set the
+    remaining out-of-band session state — in a wire protocol they would
+    be message headers, so none of them costs a round trip. *)
+
+(** Set how reads on this connection's session resolve distributed
+    visibility (see {!Txn.Snapshot.read_mode}). Callers set it just
+    before dispatching a read and reset it after. *)
+val set_read_mode : t -> Txn.Snapshot.read_mode -> unit
+
+val read_mode : t -> Txn.Snapshot.read_mode
+
+(** Arm the coordinator-assigned commit timestamp for the next
+    [COMMIT PREPARED] executed on this connection — the visibility
+    fence that makes a distributed transaction appear at one HLC time
+    on every participant. *)
+val set_next_commit_ts : t -> Txn.Hlc.timestamp -> unit

@@ -30,7 +30,28 @@ type t = {
       (** topology-owned stream for retry-backoff jitter; deterministic
           per [fault_seed] and untouched by the fault plan's own draws *)
   obs : Obs.t;  (** cluster-wide metrics registry + trace sink *)
+  hlcs : (string, Txn.Hlc.t) Hashtbl.t;
+      (** one hybrid logical clock per node (plus ["client"]), physical
+          component = virtual clock + the node's injected skew;
+          {!Connection} piggybacks these on every round trip *)
 }
+
+(* Each node's HLC reads the shared virtual clock through its own skew
+   lens; a skewed node believes a different "now" and the logical
+   component has to absorb the difference. Created on first use — the
+   clocks are independent, so creation order is immaterial. *)
+let hlc t name =
+  match Hashtbl.find_opt t.hlcs name with
+  | Some h -> h
+  | None ->
+    let physical () =
+      match t.fault with
+      | Some f -> Sim.Fault.skewed_now f name
+      | None -> Sim.Clock.now t.clock
+    in
+    let h = Txn.Hlc.create ~physical () in
+    Hashtbl.add t.hlcs name h;
+    h
 
 let create ?(buffer_pages = 100_000) ?(spec = Sim.Cost.default_spec)
     ?(rtt = Sim.Cost.default_rtt) ?fault_seed ?sched_seed ~workers () =
@@ -73,19 +94,31 @@ let create ?(buffer_pages = 100_000) ?(spec = Sim.Cost.default_spec)
         ("connections_opened", net.connections_opened);
         ("rows_shipped", net.rows_shipped);
       ]);
-  {
-    coordinator;
-    workers;
-    clock;
-    rtt;
-    net;
-    fault;
-    sched_seed;
-    running_sched = None;
-    retry_rng =
-      Random.State.make [| 0x7177; Option.value ~default:0 fault_seed |];
-    obs;
-  }
+  let t =
+    {
+      coordinator;
+      workers;
+      clock;
+      rtt;
+      net;
+      fault;
+      sched_seed;
+      running_sched = None;
+      retry_rng =
+        Random.State.make [| 0x7177; Option.value ~default:0 fault_seed |];
+      obs;
+      hlcs = Hashtbl.create 8;
+    }
+  in
+  (* Install each node's HLC into its transaction manager so every
+     commit is stamped with cluster time. The clock object lives here,
+     outside the node, so its state survives a node crash — modeling a
+     recovering node that waits out clock uncertainty before issuing
+     timestamps. *)
+  List.iter
+    (fun n -> Engine.Instance.set_hlc n.instance (hlc t n.node_name))
+    (coordinator :: workers);
+  t
 
 let obs t = t.obs
 

@@ -45,6 +45,9 @@ type t = {
       (** cluster-wide observability: one metrics registry (always on,
           with every node's meter folded in) and one trace sink
           (disabled until someone turns it on) *)
+  hlcs : (string, Txn.Hlc.t) Hashtbl.t;
+      (** per-node hybrid logical clocks (plus ["client"]); access via
+          {!hlc} *)
 }
 
 (** [create ~workers:n ()] builds a coordinator plus [n] workers.
@@ -63,6 +66,14 @@ val create :
   t
 
 val fault : t -> Sim.Fault.t option
+
+(** [hlc t name] is the hybrid logical clock of node [name] (or
+    ["client"]), created on first use. Its physical component reads the
+    shared virtual clock through the node's injected skew
+    ({!Sim.Fault.skewed_now}); {!Connection} piggybacks these stamps on
+    every round trip, and each node's {!Txn.Manager} stamps commits
+    with its own. The clock state deliberately survives node crashes. *)
+val hlc : t -> string -> Txn.Hlc.t
 
 val obs : t -> Obs.t
 

@@ -175,6 +175,31 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
     if timeout > 0.0 then Some (started_at +. timeout) else None
   in
   let hedge_threshold = t.State.config.State.hedge_threshold in
+  (* Distributed read consistency (citus.consistency): one snapshot
+     token per statement, computed before any fragment runs and carried
+     by every read dispatch — so a scatter-gather read observes one
+     cluster-wide cut instead of each fragment taking its own. Writes
+     always run at [Latest]; their visibility is governed by 2PC commit
+     timestamps, not by the reader's mode. *)
+  let snapshot_mode =
+    match t.State.config.State.consistency with
+    | State.Eventual -> None
+    | State.Read_your_writes -> Some Txn.Snapshot.Resolving
+    | State.Snapshot ->
+      Some
+        (Txn.Snapshot.At
+           (Txn.Hlc.now
+              (Cluster.Topology.hlc t.State.cluster
+                 t.State.local.Cluster.Topology.node_name)))
+  in
+  let multi_fragment = match tasks with _ :: _ :: _ -> true | _ -> false in
+  (match snapshot_mode with
+   | Some _
+     when List.exists
+            (fun (task : Plan.task) -> not (is_write task.Plan.task_stmt))
+            tasks ->
+     Obs.Metrics.inc m Obs.Metric_names.snapshot_reads
+   | _ -> ());
   (* fragment spans are created from interleaved fibers: the parent is
      captured here, before any fiber exists, never from the open-span
      stack another fiber may be mutating *)
@@ -325,9 +350,14 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
   in
   (* One attempt of [task] on [node_name]. On Network_error the connection
      is withdrawn from the coordinator transaction (its writes are lost;
-     committing the survivors must not touch it) before re-raising. *)
+     committing the survivors must not touch it) before re-raising. A
+     read that lands in a 2PC in-doubt window ([Txn.Manager.In_doubt])
+     first tries to resolve the prepared transaction from the
+     coordinator's commit records, then re-reads — backing off on the
+     virtual clock, bounded by the statement deadline. *)
   let run_on sched (task : Plan.task) node_name =
     let write = is_write task.Plan.task_stmt in
+    let snapshot = if write then None else snapshot_mode in
     let needs_txn_block = explicit || write in
     let conn =
       acquire sched ~in_txn:needs_txn_block ~exact:write ~node_name
@@ -337,25 +367,60 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
     Fun.protect
       ~finally:(fun () -> release sched ~node_name conn)
       (fun () ->
+        (* Pool hygiene: a checkout whose last known backend status (the
+           ReadyForQuery byte every client tracks) says "in a transaction
+           block" — but which is not part of THIS session's transaction —
+           is an orphan: a failed statement's fire-and-forget ROLLBACK
+           never landed. Reset it before use, or a read fragment would
+           run inside the orphan and see its uncommitted writes as its
+           own ([my_xid]), tearing the snapshot. *)
+        if
+          Cluster.Connection.in_transaction conn
+          && not (List.memq conn st.State.txn_conns)
+        then begin
+          Obs.Metrics.inc m Obs.Metric_names.exec_stale_txn_resets;
+          try ignore (Exec.on_conn_exn ?deadline t conn "ROLLBACK")
+          with _ ->
+            Health.record_ignored t.State.health node.Cluster.Topology.node_name
+        end;
+        let rec attempt backoff =
         try
           if needs_txn_block && not (List.memq conn st.State.txn_conns) then begin
-            ignore (Exec.on_conn_exn ?deadline t conn "BEGIN");
+            (* Register before the round trip's outcome is known: a BEGIN
+               whose reply is late (Timed_out) or lost (Drop_reply) still
+               executed on the worker, and an unregistered connection
+               sitting in a transaction block would go back to the pool
+               dirty — failing every later statement on it with "already
+               in a transaction block". Registration guarantees the
+               session's COMMIT/ROLLBACK fan-out (or the Network_error
+               withdrawal below) sweeps it whatever the BEGIN's fate;
+               [register_backend] is a no-op if the BEGIN never ran. *)
             st.State.txn_conns <- conn :: st.State.txn_conns;
-            register_backend st t conn coord_session
+            Fun.protect
+              ~finally:(fun () -> register_backend st t conn coord_session)
+              (fun () -> ignore (Exec.on_conn_exn ?deadline t conn "BEGIN"))
           end;
           let result, duration =
             Obs.Trace.with_span_parent trace ~parent:parent_span
               ~now:(Cluster.Topology.now t.State.cluster)
               ~node:node.Cluster.Topology.node_name ~kind:"fragment"
               ~tags:
-                [
-                  ("shard", string_of_int task.Plan.task_shard);
-                  ("group", string_of_int task.Plan.task_group);
-                ]
+                ([
+                   ("shard", string_of_int task.Plan.task_shard);
+                   ("group", string_of_int task.Plan.task_group);
+                 ]
+                @
+                match snapshot with
+                | Some mode ->
+                  [
+                    ( "snapshot",
+                      Format.asprintf "%a" Txn.Snapshot.pp_read_mode mode );
+                  ]
+                | None -> [])
               (fun _sp ->
                 let result, duration =
                   measured node (fun () ->
-                      Exec.ast_on_conn_exn ?deadline t conn
+                      Exec.ast_on_conn_exn ?deadline ?snapshot t conn
                         task.Plan.task_stmt)
                 in
                 (* occupy the connection for the fragment's modeled cost:
@@ -398,7 +463,33 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
              failure: the connection stays healthy (its reply merely
              arrives late) and goes back to the pool via [release] *)
           Obs.Metrics.inc m Obs.Metric_names.exec_timeouts;
-          raise e)
+          raise e
+        | Txn.Manager.In_doubt { gid; xid = _ } ->
+          (* the fragment read into a 2PC in-doubt window: a prepared
+             transaction whose outcome this snapshot must know. Resolve
+             it Percolator-style from the coordinator's commit records;
+             if the 2PC is genuinely still in flight, back off (letting
+             the committing fibers run) and re-read. *)
+          Obs.Metrics.inc m Obs.Metric_names.snapshot_indoubt_waits;
+          (match Twopc.resolve_in_doubt t conn ~gid with
+           | `Resolved -> ()
+           | `Pending -> (
+             match deadline with
+             | Some dl when Sim.Clock.now clock +. backoff > dl ->
+               (* still unresolved at the statement deadline: slow, not
+                  dead — same typed cancellation as a late reply *)
+               Sim.Sched.sleep_until sched dl;
+               Health.record_slow t.State.health
+                 node.Cluster.Topology.node_name;
+               Obs.Metrics.inc m Obs.Metric_names.exec_timeouts;
+               raise
+                 (Cluster.Connection.Timed_out
+                    { node = node.Cluster.Topology.node_name; deadline = dl })
+             | _ -> Sim.Sched.sleep sched backoff));
+          Obs.Metrics.inc m Obs.Metric_names.snapshot_read_retries;
+          attempt (Float.min (backoff *. 2.0) 0.016)
+        in
+        attempt 0.001)
   in
   let exec_task sched (task : Plan.task) =
     let candidates = replica_nodes t task in
@@ -466,6 +557,8 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
          | Ok r -> r
          | Error Sim.Sched.Timed_out ->
            Obs.Metrics.inc m Obs.Metric_names.exec_hedged_reads;
+           if multi_fragment then
+             Obs.Metrics.inc m Obs.Metric_names.snapshot_hedged_fragments;
            Health.record_slow t.State.health primary;
            let f2 = attempt secondary in
            let idx, first = Sim.Sched.await_any sched [ f1; f2 ] in
@@ -480,7 +573,12 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
                  at its next suspension point; a ?deadline here would
                  abandon it mid-cleanup instead *)
               ignore (Sim.Sched.await_result sched other [@lint.unbounded]);
-              if idx = 1 then Obs.Metrics.inc m Obs.Metric_names.exec_hedge_wins;
+              if idx = 1 then begin
+                Obs.Metrics.inc m Obs.Metric_names.exec_hedge_wins;
+                if multi_fragment then
+                  Obs.Metrics.inc m
+                    Obs.Metric_names.snapshot_fragment_hedge_wins
+              end;
               r
             | Error _ ->
               (* the first finisher failed; fall back to whatever the
@@ -489,7 +587,12 @@ let execute (t : State.t) coord_session (tasks : Plan.task list) =
                  deadline threaded through run_on *)
               (match Sim.Sched.await_result sched other [@lint.unbounded] with
                | Ok r ->
-                 if idx = 0 then Obs.Metrics.inc m Obs.Metric_names.exec_hedge_wins;
+                 if idx = 0 then begin
+                   Obs.Metrics.inc m Obs.Metric_names.exec_hedge_wins;
+                   if multi_fragment then
+                     Obs.Metrics.inc m
+                       Obs.Metric_names.snapshot_fragment_hedge_wins
+                 end;
                  r
                | Error e -> raise e))
          | Error

@@ -555,6 +555,16 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
          int_knob (fun v -> cfg.State.shared_connection_limit <- v)
        | "max_parallel_moves" ->
          int_knob (fun v -> cfg.State.max_parallel_moves <- v)
+       | "move_timeout" ->
+         float_knob (fun v -> cfg.State.move_timeout <- v)
+       | "consistency" ->
+         (match State.consistency_of_string value with
+          | Some c -> cfg.State.consistency <- c
+          | None ->
+            err
+              "citus_set_config: consistency expects \
+               eventual|read_your_writes|snapshot, got '%s'"
+              value)
        | other -> err "citus_set_config: unknown setting '%s'" other);
       Printf.sprintf "%s = %s" name value);
   Udf.register inst "citus_health_report"

@@ -62,35 +62,48 @@ let wrap f =
    trip (bounded by [?deadline], absolute virtual time). Every
    infrastructure-fault outcome feeds the node's circuit breaker;
    statement errors do not; a deadline expiry feeds the breaker's
-   latency-aware trip signal instead of the failure one. *)
-let on_conn_exn ?deadline (t : State.t) conn sql =
+   latency-aware trip signal instead of the failure one. [?snapshot]
+   pins the remote session's read visibility for just this statement —
+   a per-request header, not connection state, so an interleaved
+   statement from another code path never inherits it. *)
+let on_conn_exn ?deadline ?snapshot (t : State.t) conn sql =
   let node = (Cluster.Connection.node conn).Cluster.Topology.node_name in
-  try
-    State.check_reachable t node;
-    State.check_injected t node sql;
-    let r =
-      (Cluster.Connection.(await ?deadline (exec_async conn sql))
-       [@lint.blocking])
-      (* boundary primitive: runs both under a scheduler (executor
-         fibers) and outside one (setup, maintenance) — Connection.await
-         falls back to a clock advance when no scheduler is ambient *)
-    in
-    Health.record_success t.State.health node;
-    r
-  with
-  | (State.Network_error _ | Cluster.Connection.Node_unavailable _) as e ->
-    (* both are infrastructure faults, not statement errors: they feed
-       the breaker and stay distinguishable for the executors *)
-    Health.record_failure t.State.health node;
-    raise e
-  | Cluster.Connection.Timed_out _ as e ->
-    (* slow, not dead: sheds load via the breaker without ever counting
-       toward failover's consecutive-failure bookkeeping *)
-    Health.record_slow t.State.health node;
-    raise e
+  let run () =
+    try
+      State.check_reachable t node;
+      State.check_injected t node sql;
+      let r =
+        (Cluster.Connection.(await ?deadline (exec_async conn sql))
+         [@lint.blocking])
+        (* boundary primitive: runs both under a scheduler (executor
+           fibers) and outside one (setup, maintenance) — Connection.await
+           falls back to a clock advance when no scheduler is ambient *)
+      in
+      Health.record_success t.State.health node;
+      r
+    with
+    | (State.Network_error _ | Cluster.Connection.Node_unavailable _) as e ->
+      (* both are infrastructure faults, not statement errors: they feed
+         the breaker and stay distinguishable for the executors *)
+      Health.record_failure t.State.health node;
+      raise e
+    | Cluster.Connection.Timed_out _ as e ->
+      (* slow, not dead: sheds load via the breaker without ever counting
+         toward failover's consecutive-failure bookkeeping *)
+      Health.record_slow t.State.health node;
+      raise e
+  in
+  match snapshot with
+  | None -> run ()
+  | Some mode ->
+    let saved = Cluster.Connection.read_mode conn in
+    Cluster.Connection.set_read_mode conn mode;
+    Fun.protect
+      ~finally:(fun () -> Cluster.Connection.set_read_mode conn saved)
+      run
 
-let ast_on_conn_exn ?deadline t conn stmt =
-  on_conn_exn ?deadline t conn (Sqlfront.Deparse.statement stmt)
+let ast_on_conn_exn ?deadline ?snapshot t conn stmt =
+  on_conn_exn ?deadline ?snapshot t conn (Sqlfront.Deparse.statement stmt)
 
 (* Raw round trip: no partition check, no breaker accounting — for
    best-effort cleanup (ROLLBACK on a connection that just failed) and
@@ -103,9 +116,10 @@ let raw_on_conn_exn conn sql =
    statement must not wait out the very stall it is escaping. *)
 let post_on_conn conn sql = Cluster.Connection.post conn sql
 
-let on_conn ?deadline st conn sql = wrap (fun () -> on_conn_exn ?deadline st conn sql)
+let on_conn ?deadline ?snapshot st conn sql =
+  wrap (fun () -> on_conn_exn ?deadline ?snapshot st conn sql)
 
-let ast_on_conn ?deadline st conn stmt =
-  wrap (fun () -> ast_on_conn_exn ?deadline st conn stmt)
+let ast_on_conn ?deadline ?snapshot st conn stmt =
+  wrap (fun () -> ast_on_conn_exn ?deadline ?snapshot st conn stmt)
 
 let raw_on_conn conn sql = wrap (fun () -> raw_on_conn_exn conn sql)

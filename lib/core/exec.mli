@@ -45,14 +45,23 @@ val wrap : (unit -> 'a) -> ('a, exec_error) result
     node's circuit breaker. [?deadline] (absolute virtual time) bounds
     the await: expiry raises {!Cluster.Connection.Timed_out} and feeds
     {!Health.record_slow} — the latency-aware trip — instead of the
-    hard-failure path. *)
+    hard-failure path. [?snapshot] pins the remote session's read
+    visibility ({!Txn.Snapshot.read_mode}) for just this statement —
+    set before the round trip and restored after, like a per-request
+    header — so every fragment of a multi-shard read observes the same
+    HLC snapshot and an interleaved statement never inherits it. *)
 val on_conn_exn :
-  ?deadline:float -> State.t -> Cluster.Connection.t -> string ->
+  ?deadline:float ->
+  ?snapshot:Txn.Snapshot.read_mode ->
+  State.t ->
+  Cluster.Connection.t ->
+  string ->
   Engine.Instance.result
 
 (** Deparse and {!on_conn_exn}. *)
 val ast_on_conn_exn :
   ?deadline:float ->
+  ?snapshot:Txn.Snapshot.read_mode ->
   State.t ->
   Cluster.Connection.t ->
   Sqlfront.Ast.statement ->
@@ -73,6 +82,7 @@ val post_on_conn : Cluster.Connection.t -> string -> unit
 (** Typed forms of the above. *)
 val on_conn :
   ?deadline:float ->
+  ?snapshot:Txn.Snapshot.read_mode ->
   State.t ->
   Cluster.Connection.t ->
   string ->
@@ -80,6 +90,7 @@ val on_conn :
 
 val ast_on_conn :
   ?deadline:float ->
+  ?snapshot:Txn.Snapshot.read_mode ->
   State.t ->
   Cluster.Connection.t ->
   Sqlfront.Ast.statement ->

@@ -21,9 +21,18 @@ let err fmt =
    WAL catch-up under a brief write lock. [finish_metadata] runs inside the
    cutover window (after the destination commit, before the lock release);
    [drop_source] removes the source copy — a move does, a repair keeps the
-   source serving. Returns (rows copied, catchup records). *)
+   source serving. Returns (rows copied, catchup records).
+
+   [?deadline] (absolute virtual time) bounds the destination round
+   trips — the only points where a stalled destination can wedge the
+   copy; everything after them is direct heap work that consumes no
+   virtual time. Every await sits {e before} the first source mutation
+   and before the metadata flip, so a deadline expiry abandons the copy
+   cleanly: the partial destination table is dropped (fencing off any
+   rows the stalled node did take) and {!Cluster.Connection.Timed_out}
+   propagates to the caller with the source untouched. *)
 let copy_shard_to (t : State.t) (shard : Metadata.shard) ~from_node ~to_node
-    ~drop_source ~finish_metadata =
+    ~drop_source ?deadline ~finish_metadata () =
   let src_node = Cluster.Topology.find_node t.State.cluster from_node in
   let dst_node = Cluster.Topology.find_node t.State.cluster to_node in
   let src_inst = src_node.Cluster.Topology.instance in
@@ -54,8 +63,26 @@ let copy_shard_to (t : State.t) (shard : Metadata.shard) ~from_node ~to_node
    | Some _ ->
      Engine.Catalog.drop_table (Engine.Instance.catalog dst_inst) shard_table
    | None -> ());
+  let dst_ddl stmt =
+    try
+      (Cluster.Connection.(
+         await ?deadline (exec_ast_async dst_conn stmt))
+       [@lint.blocking])
+    with Cluster.Connection.Timed_out _ as e ->
+      (* the destination stalled past the move deadline: fence off the
+         partial copy so nothing can ever read it, then abandon *)
+      (match
+         Engine.Catalog.find_table_opt (Engine.Instance.catalog dst_inst)
+           shard_table
+       with
+       | Some _ ->
+         Engine.Catalog.drop_table (Engine.Instance.catalog dst_inst)
+           shard_table
+       | None -> ());
+      raise e
+  in
   ignore
-    (Cluster.Connection.exec_ast dst_conn
+    (dst_ddl
        (Sqlfront.Ast.Create_table
           {
             name = shard_table;
@@ -93,7 +120,7 @@ let copy_shard_to (t : State.t) (shard : Metadata.shard) ~from_node ~to_node
                 if_not_exists = false;
               }
         in
-        ignore (Cluster.Connection.exec_ast dst_conn stmt))
+        ignore (dst_ddl stmt))
     src_tbl.Engine.Catalog.indexes;
   let dst_catalog = Engine.Instance.catalog dst_inst in
   let dst_tbl = Engine.Catalog.find_table dst_catalog shard_table in
@@ -205,11 +232,13 @@ let copy_shard_to (t : State.t) (shard : Metadata.shard) ~from_node ~to_node
   (!rows_copied, !catchup)
 
 (* Move = copy + metadata flip + source drop. *)
-let move_one (t : State.t) (shard : Metadata.shard) ~from_node ~to_node =
-  copy_shard_to t shard ~from_node ~to_node ~drop_source:true
+let move_one ?deadline (t : State.t) (shard : Metadata.shard) ~from_node
+    ~to_node =
+  copy_shard_to t shard ~from_node ~to_node ~drop_source:true ?deadline
     ~finish_metadata:(fun () ->
       Metadata.update_placement t.State.metadata
         ~shard_id:shard.Metadata.shard_id ~from_node ~to_node)
+    ()
 
 (* A move destination must not already hold a placement of any shard in
    the colocation group. copy_shard_to treats a pre-existing destination
@@ -267,12 +296,39 @@ let move_shard_group ?sched (t : State.t) ~shard_id ~to_node =
     @@ fun sp ->
     let group = Metadata.colocated_shards meta shard in
     let rows = ref 0 and catchup = ref 0 in
-    List.iter
-      (fun (s : Metadata.shard) ->
-        let r, c = move_one t s ~from_node ~to_node in
-        rows := !rows + r;
-        catchup := !catchup + c)
-      group;
+    (* citus.move_timeout: one absolute deadline for the whole group
+       move, bounding every destination round trip inside the copies.
+       On expiry the in-flight shard copy has already fenced itself off
+       (source untouched, partial destination dropped); siblings that
+       had fully cut over are copied {e back} — the copy-back reads the
+       moved heap directly and its round trips go to the original
+       source node, which is not the one stalling — so an abandoned
+       move never leaves a colocation group split across two nodes. *)
+    let deadline =
+      let mt = t.State.config.State.move_timeout in
+      if mt > 0.0 then Some (Cluster.Topology.now t.State.cluster () +. mt)
+      else None
+    in
+    (try
+       List.iter
+         (fun (s : Metadata.shard) ->
+           let r, c = move_one ?deadline t s ~from_node ~to_node in
+           rows := !rows + r;
+           catchup := !catchup + c)
+         group
+     with Cluster.Connection.Timed_out _ as e ->
+       Obs.Metrics.inc m Obs.Metric_names.rebalance_move_timeouts;
+       Obs.Trace.add_tag sp "timed_out" "true";
+       List.iter
+         (fun (s : Metadata.shard) ->
+           if
+             Metadata.placement_state_of meta ~shard_id:s.Metadata.shard_id
+               ~node:to_node
+             = Some Metadata.Active
+           then
+             ignore (move_one t s ~from_node:to_node ~to_node:from_node))
+         group;
+       raise e);
     (* under the cooperative scheduler a move occupies virtual time
        proportional to the data it shipped, so batched moves genuinely
        overlap on the clock instead of completing instantaneously *)
@@ -315,6 +371,7 @@ let repair_placement (t : State.t) ~shard_id ~node =
   copy_shard_to t shard ~from_node:source ~to_node:node ~drop_source:false
     ~finish_metadata:(fun () ->
       Metadata.mark_placement meta ~shard_id ~node Metadata.Active)
+    ()
 
 (* Maintenance pass: walk every Inactive placement and repair the ones on
    reachable nodes. Skips (rather than fails on) placements whose repair is
@@ -468,11 +525,21 @@ let rebalance ?(policy = By_shard_count) (t : State.t) =
               List.map
                 (fun (shard_id, to_node) ->
                   Sim.Sched.spawn sched ~node:to_node (fun () ->
-                      move_shard_group ~sched t ~shard_id ~to_node))
+                      (* a move abandoned at its deadline rolled itself
+                         back and counted the timeout; the rest of the
+                         batch — and the next planning round — proceed *)
+                      try Some (move_shard_group ~sched t ~shard_id ~to_node)
+                      with Cluster.Connection.Timed_out _ -> None))
                 batch_moves
             in
             Sim.Sched.join_all sched fibers)
       in
-      List.iter (fun mv -> moves := mv :: !moves) executed
+      let abandoned = List.for_all Option.is_none executed in
+      List.iter
+        (fun mv -> moves := mv :: !moves)
+        (List.filter_map Fun.id executed);
+      (* every planned move timed out: stop instead of re-planning the
+         same doomed batch against an unchanged distribution forever *)
+      if abandoned then continue := false
   done;
   List.rev !moves

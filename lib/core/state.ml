@@ -1,3 +1,16 @@
+type consistency = Eventual | Read_your_writes | Snapshot
+
+let consistency_of_string = function
+  | "eventual" -> Some Eventual
+  | "read_your_writes" -> Some Read_your_writes
+  | "snapshot" -> Some Snapshot
+  | _ -> None
+
+let consistency_to_string = function
+  | Eventual -> "eventual"
+  | Read_your_writes -> "read_your_writes"
+  | Snapshot -> "snapshot"
+
 type config = {
   mutable pool_size_per_node : int;
   mutable shared_connection_limit : int;
@@ -6,6 +19,11 @@ type config = {
   mutable binary_protocol : bool;
   mutable statement_timeout : float;
   mutable hedge_threshold : float;
+  mutable move_timeout : float;
+      (** per-shard-move deadline for the rebalancer (seconds of virtual
+          time; 0 = unbounded) *)
+  mutable consistency : consistency;
+      (** distributed read consistency level (citus.consistency) *)
 }
 
 type session_state = {
@@ -15,6 +33,9 @@ type session_state = {
   mutable txn_conns : Cluster.Connection.t list;
   mutable prepared : (Cluster.Connection.t * string) list;
   mutable dist_xids : (string * int) list;
+  mutable commit_hlc : Txn.Hlc.timestamp option;
+      (** distributed commit timestamp assigned after a successful
+          PREPARE phase; stamped onto every COMMIT PREPARED fan-out *)
 }
 
 type t = {
@@ -45,6 +66,8 @@ let default_config () =
     binary_protocol = true;
     statement_timeout = 0.0;
     hedge_threshold = 0.0;
+    move_timeout = 0.0;
+    consistency = Eventual;
   }
 
 let create ~cluster ~metadata ~local ~registry ~coordinator_id =
@@ -82,6 +105,7 @@ let session_state t (s : Engine.Instance.session) =
         txn_conns = [];
         prepared = [];
         dist_xids = [];
+        commit_hlc = None;
       }
     in
     Hashtbl.replace t.sessions key st;

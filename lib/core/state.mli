@@ -7,6 +7,22 @@
     (§3.7), and a network-partition switch used for failure-injection
     tests. *)
 
+(** Distributed read consistency level (the [citus.consistency] knob):
+    - [Eventual]: plain per-node MVCC; a multi-node read can observe a
+      distributed transaction on some nodes and not others (torn read).
+    - [Read_your_writes]: reads block on in-doubt (prepared)
+      transactions until their 2PC outcome resolves, so an acknowledged
+      distributed commit is never half-visible — but two fragments may
+      still disagree about transactions committed {e while} the read
+      runs.
+    - [Snapshot]: every fragment of a multi-shard read runs at one HLC
+      snapshot timestamp — cross-node reads are never torn. *)
+type consistency = Eventual | Read_your_writes | Snapshot
+
+val consistency_of_string : string -> consistency option
+
+val consistency_to_string : consistency -> string
+
 type config = {
   mutable pool_size_per_node : int;
       (** max connections one session opens to one worker *)
@@ -21,9 +37,18 @@ type config = {
           failing with a typed timeout; [0.0] (default) disables — the
           [statement_timeout] GUC of the paper's production story *)
   mutable hedge_threshold : float;
-      (** seconds a single-shard read may wait on one replica before the
-          executor hedges it on another replica (first response wins,
-          loser cancelled); [0.0] (default) disables hedging *)
+      (** seconds a read may wait on one replica before the executor
+          hedges it on another replica (first response wins, loser
+          cancelled); applies per fragment, so each slow fragment of a
+          multi-shard scatter-gather read hedges independently — writes
+          never hedge; [0.0] (default) disables hedging *)
+  mutable move_timeout : float;
+      (** seconds of virtual time one rebalancer shard move may take
+          before it is abandoned (copy fenced off, destination dropped);
+          [0.0] (default) disables — a stalled destination then wedges
+          the move slot for the stall's duration *)
+  mutable consistency : consistency;
+      (** distributed read consistency level; default [Eventual] *)
 }
 
 type session_state = {
@@ -39,6 +64,12 @@ type session_state = {
       (** prepared (conn, gid) pairs awaiting COMMIT PREPARED *)
   mutable dist_xids : (string * int) list;
       (** (node, backend xid) members of the current distributed txn *)
+  mutable commit_hlc : Txn.Hlc.timestamp option;
+      (** coordinator-assigned HLC commit timestamp of the current
+          distributed transaction, drawn after every participant
+          prepared; [Twopc.post_commit] stamps it onto each COMMIT
+          PREPARED so the transaction becomes visible at one timestamp
+          cluster-wide *)
 }
 
 type t = {

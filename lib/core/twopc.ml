@@ -38,15 +38,26 @@ let ensure_commit_records_table (t : State.t) =
                   col_default = None;
                   col_not_null = false;
                 };
+                {
+                  (* coordinator-assigned HLC commit timestamp: recovery
+                     re-stamps a deferred COMMIT PREPARED at exactly
+                     this time, so the visibility fence survives every
+                     failure of the commit fan-out *)
+                  Sqlfront.Ast.col_name = "ts";
+                  col_ty = Datum.TText;
+                  col_default = None;
+                  col_not_null = false;
+                };
               ];
             primary_key = [];
             if_not_exists = true;
             using_columnar = false;
           }))
 
-let insert_commit_records (t : State.t) coord_session records =
+let insert_commit_records (t : State.t) coord_session ~ts records =
   (* inside the coordinator's own transaction: durable iff it commits *)
   let ctx = Engine.Instance.make_ctx coord_session in
+  let ts_text = Txn.Hlc.to_string ts in
   ignore
     (Engine.Executor.run_insert ctx ~table:commit_records_table ~columns:None
        ~source:
@@ -56,6 +67,7 @@ let insert_commit_records (t : State.t) coord_session records =
                  [
                    Sqlfront.Ast.Const (Datum.Text gid);
                    Sqlfront.Ast.Const (Datum.Text node);
+                   Sqlfront.Ast.Const (Datum.Text ts_text);
                  ])
                records))
        ~on_conflict_do_nothing:false);
@@ -110,6 +122,37 @@ let commit_record_exists (t : State.t) gid =
   in
   rows <> []
 
+(* The commit record's HLC timestamp (any participant's row — they all
+   carry the same stamp). [None] when no record is visible, or for
+   legacy rows without one. *)
+let commit_record_ts (t : State.t) gid =
+  let s = admin_session t in
+  let ctx = Engine.Instance.make_ctx s in
+  let _, rows =
+    Engine.Executor.run_select ctx
+      {
+        Sqlfront.Ast.distinct = false;
+        projections =
+          [ Sqlfront.Ast.Proj (Sqlfront.Ast.Column (None, "ts"), None) ];
+        from =
+          [ Sqlfront.Ast.Table { name = commit_records_table; alias = None } ];
+        where =
+          Some
+            (Sqlfront.Ast.Cmp
+               ( Sqlfront.Ast.Eq,
+                 Sqlfront.Ast.Column (None, "gid"),
+                 Sqlfront.Ast.Const (Datum.Text gid) ));
+        group_by = [];
+        having = None;
+        order_by = [];
+        limit = None;
+        offset = None;
+      }
+  in
+  match rows with
+  | [| Datum.Text ts |] :: _ -> Txn.Hlc.of_string ts
+  | _ -> None
+
 let commit_record_count (t : State.t) =
   let s = admin_session t in
   let ctx = Engine.Instance.make_ctx s in
@@ -145,7 +188,8 @@ let cleanup_session_txn_state (t : State.t) (st : State.session_state) =
   st.State.dist_xids <- [];
   st.State.txn_conns <- [];
   st.State.prepared <- [];
-  st.State.affinity <- []
+  st.State.affinity <- [];
+  st.State.commit_hlc <- None
 
 (* The commit machinery runs as its own statement: each phase gets a
    fresh [statement_timeout] deadline (when the knob is set), so a
@@ -254,8 +298,18 @@ let pre_commit (t : State.t) coord_session =
        st.State.prepared <- [];
        raise e);
     st.State.prepared <- !prepared;
+    (* The distributed commit timestamp, drawn from the coordinator's
+       HLC only after every PREPARE reply has been merged into it — so
+       it dominates each participant's prepare stamp, and a reader whose
+       snapshot predates any prepare can prove the commit is newer. *)
+    let commit_ts =
+      Txn.Hlc.now
+        (Cluster.Topology.hlc t.State.cluster
+           t.State.local.Cluster.Topology.node_name)
+    in
+    st.State.commit_hlc <- Some commit_ts;
     (* durable commit records, in the same local transaction *)
-    insert_commit_records t coord_session
+    insert_commit_records t coord_session ~ts:commit_ts
       (List.map (fun (conn, gid) -> (gid, node_name conn)) !prepared)
 
 let post_commit (t : State.t) coord_session =
@@ -274,6 +328,7 @@ let post_commit (t : State.t) coord_session =
             effort; commit records are cleaned up lazily by the
             maintenance daemon, off the hot path. *)
          let deadline = phase_deadline t in
+         let commit_ts = st.State.commit_hlc in
          let outcomes =
            State.with_sched t (fun sched ->
                let fibers =
@@ -281,6 +336,11 @@ let post_commit (t : State.t) coord_session =
                    (fun (conn, gid) ->
                      Sim.Sched.spawn sched ~node:(node_name conn)
                        (fun () ->
+                         (* visibility fence: every participant commits
+                            at the same coordinator-assigned timestamp *)
+                         (match commit_ts with
+                          | Some ts -> Cluster.Connection.set_next_commit_ts conn ts
+                          | None -> ());
                          ignore
                            (Exec.ast_on_conn_exn ?deadline t conn
                               (Sqlfront.Ast.Commit_prepared gid))))
@@ -425,6 +485,13 @@ let recover (t : State.t) =
                  match State.parse_gid gid with
                  | Some (cid, coord_xid) when cid = t.State.coordinator_id ->
                    if commit_record_exists t gid then begin
+                     (* deferred commit: re-stamp at the recorded
+                        timestamp, so late resolution lands at the same
+                        instant the live fan-out would have *)
+                     (match commit_record_ts t gid with
+                      | Some ts ->
+                        Cluster.Connection.set_next_commit_ts conn ts
+                      | None -> ());
                      match
                        Exec.ast_on_conn_exn t conn
                          (Sqlfront.Ast.Commit_prepared gid)
@@ -463,3 +530,56 @@ let recover (t : State.t) =
   Obs.Trace.add_tag recover_sp "committed" (string_of_int !committed);
   Obs.Trace.add_tag recover_sp "rolled_back" (string_of_int !rolled_back);
   (!committed, !rolled_back)
+
+(* Read-triggered resolution of one in-doubt gid: a snapshot reader that
+   hit the window between PREPARE and COMMIT PREPARED consults the
+   coordinator's commit records instead of waiting for the next
+   maintenance pass. A visible record means the distributed transaction
+   committed — finish it here at its recorded timestamp; no record with
+   the coordinator transaction ended means it aborted — roll it back;
+   otherwise the 2PC is still in flight and the reader must wait.
+   Every step is idempotent and best effort, exactly like [recover]. *)
+let resolve_in_doubt (t : State.t) conn ~gid =
+  match commit_record_ts t gid with
+  | Some ts ->
+    Cluster.Connection.set_next_commit_ts conn ts;
+    (try
+       ignore
+         ((Exec.ast_on_conn_exn t conn (Sqlfront.Ast.Commit_prepared gid))
+          [@lint.latest])
+     with _ -> Health.record_ignored t.State.health (node_name conn));
+    Obs.Metrics.inc (metrics t) Obs.Metric_names.snapshot_indoubt_commits;
+    `Resolved
+  | None when commit_record_exists t gid ->
+    (* record present but stampless (should not happen): still commit *)
+    (try
+       ignore
+         ((Exec.ast_on_conn_exn t conn (Sqlfront.Ast.Commit_prepared gid))
+          [@lint.latest])
+     with _ -> Health.record_ignored t.State.health (node_name conn));
+    Obs.Metrics.inc (metrics t) Obs.Metric_names.snapshot_indoubt_commits;
+    `Resolved
+  | None -> (
+    match State.parse_gid gid with
+    | Some (cid, coord_xid) when cid = t.State.coordinator_id ->
+      let local_mgr =
+        Engine.Instance.txn_manager t.State.local.Cluster.Topology.instance
+      in
+      if Txn.Manager.is_active local_mgr coord_xid then
+        (* commit records not yet durable: the writer is still between
+           PREPARE and its coordinator-local commit *)
+        `Pending
+      else begin
+        (* the coordinator transaction ended without leaving a commit
+           record: the distributed transaction aborted *)
+        (try
+           ignore
+             ((Exec.ast_on_conn_exn t conn (Sqlfront.Ast.Rollback_prepared gid))
+              [@lint.latest])
+         with _ -> Health.record_ignored t.State.health (node_name conn));
+        Obs.Metrics.inc (metrics t) Obs.Metric_names.snapshot_indoubt_rollbacks;
+        `Resolved
+      end
+    | _ ->
+      (* foreign coordinator's gid: not ours to decide *)
+      `Pending)

@@ -29,3 +29,13 @@ val recover : State.t -> int * int
 
 (** Number of commit records currently stored (tests/monitoring). *)
 val commit_record_count : State.t -> int
+
+(** [resolve_in_doubt t conn ~gid] resolves one in-doubt prepared
+    transaction encountered by a reader on [conn]'s node, consulting the
+    local commit records: record visible → [COMMIT PREPARED] at its
+    recorded HLC timestamp; no record and the coordinator transaction
+    ended → [ROLLBACK PREPARED]; otherwise [`Pending] — the 2PC is still
+    in flight and the reader should back off and retry. Idempotent and
+    best effort, like {!recover}. *)
+val resolve_in_doubt :
+  State.t -> Cluster.Connection.t -> gid:string -> [ `Resolved | `Pending ]

@@ -7,6 +7,7 @@ type ctx = {
   meter : Meter.t;
   snapshot : Txn.Snapshot.t;
   xid : int option;
+  vis : (int -> Txn.Manager.status) option;
   env : Expr_eval.env;
 }
 
@@ -16,7 +17,8 @@ exception Would_block of int list
 
 let err fmt = Printf.ksprintf (fun m -> raise (Exec_error m)) fmt
 
-let status ctx = Txn.Manager.status ctx.mgr
+let status ctx =
+  match ctx.vis with Some f -> f | None -> Txn.Manager.status ctx.mgr
 
 (* Locks belong to transactions. Reads outside any transaction (internal
    snapshot scans) skip table locks entirely: with MVCC they are safe, and
@@ -1041,13 +1043,25 @@ let run_update ctx ~table ~sets ~where =
       match tid with
       | None -> ()
       | Some tid ->
-        (* re-check the version is still the live one (a concurrent
-           committed update would have set xmax) *)
+        (* re-check the version is still the live one, against the TRUE
+           transaction state (never a snapshot override: write conflicts
+           are about the latest state). A committed deleter means the row
+           vanished under us — skip, like the READ COMMITTED recheck. An
+           in-progress deleter is a live write-write conflict: normally
+           the row lock prevents ever getting here, but a crash-recovered
+           prepared transaction wrote this xmax under locks the restart
+           discarded — overwriting it would resurrect the row the in-doubt
+           transaction deleted, splitting one logical row in two when the
+           recovery daemon commits it. Surface the conflict instead. *)
         (match Storage.Heap.header heap ~tid with
          | Some (_, xmax)
            when xmax <> 0 && (not (ctx.xid = Some xmax))
-                && status ctx xmax = Txn.Manager.Committed ->
-           () (* row vanished under us: skip, like READ COMMITTED recheck *)
+                && Txn.Manager.status ctx.mgr xmax = Txn.Manager.Committed ->
+           ()
+         | Some (_, xmax)
+           when xmax <> 0 && (not (ctx.xid = Some xmax))
+                && Txn.Manager.status ctx.mgr xmax = Txn.Manager.In_progress ->
+           raise (Would_block [ xmax ])
          | Some _ ->
            let new_row = Array.copy row in
            List.iter
@@ -1109,12 +1123,26 @@ let run_delete ctx ~table ~where =
       match tid with
       | None -> ()
       | Some tid ->
-        if Storage.Heap.delete heap ~xid ~tid then begin
-          ignore
-            (Txn.Wal.append (Txn.Manager.wal ctx.mgr)
-               (Txn.Wal.Delete { xid; table = table.tbl_name; tid }));
-          Meter.add_written ctx.meter 1;
-          incr deleted
-        end)
+        (* same recheck as run_update: never overwrite a deleter that is
+           committed (row already gone) or still in progress (write-write
+           conflict — possibly an in-doubt prepared transaction whose
+           locks a crash discarded) *)
+        (match Storage.Heap.header heap ~tid with
+         | Some (_, xmax)
+           when xmax <> 0 && (not (ctx.xid = Some xmax))
+                && Txn.Manager.status ctx.mgr xmax = Txn.Manager.Committed ->
+           ()
+         | Some (_, xmax)
+           when xmax <> 0 && (not (ctx.xid = Some xmax))
+                && Txn.Manager.status ctx.mgr xmax = Txn.Manager.In_progress ->
+           raise (Would_block [ xmax ])
+         | _ ->
+           if Storage.Heap.delete heap ~xid ~tid then begin
+             ignore
+               (Txn.Wal.append (Txn.Manager.wal ctx.mgr)
+                  (Txn.Wal.Delete { xid; table = table.tbl_name; tid }));
+             Meter.add_written ctx.meter 1;
+             incr deleted
+           end))
     targets;
   !deleted

@@ -21,6 +21,10 @@ type ctx = {
   meter : Meter.t;
   snapshot : Txn.Snapshot.t;
   xid : int option;  (** current transaction for writes / own-write reads *)
+  vis : (int -> Txn.Manager.status) option;
+      (** visibility override for distributed snapshot reads: replaces
+          [Txn.Manager.status] in tuple-visibility checks (it may raise
+          [Txn.Manager.In_doubt]); [None] = plain latest MVCC *)
   env : Expr_eval.env;
 }
 

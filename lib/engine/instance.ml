@@ -47,6 +47,12 @@ and session = {
   mutable xid : int option;
   mutable explicit_block : bool;
   mutable failed : bool;  (** aborted block awaiting ROLLBACK *)
+  mutable read_mode : Txn.Snapshot.read_mode;
+      (** distributed visibility for reads in this session (set per
+          statement by the cluster layer; [Latest] = plain MVCC) *)
+  mutable pending_commit_ts : Txn.Hlc.timestamp option;
+      (** coordinator-assigned commit timestamp for the next
+          COMMIT PREPARED on this session (out-of-band 2PC channel) *)
 }
 
 let err fmt = Printf.ksprintf (fun m -> raise (Session_error m)) fmt
@@ -103,6 +109,8 @@ let connect t =
     xid = None;
     explicit_block = false;
     failed = false;
+    read_mode = Txn.Snapshot.Latest;
+    pending_commit_ts = None;
   }
 
 let session_instance s = s.inst
@@ -110,11 +118,26 @@ let session_id s = s.sid
 let session_alive s = s.sess_epoch = s.inst.epoch
 let in_transaction s = s.explicit_block
 let current_xid s = s.xid
+let set_read_mode s m = s.read_mode <- m
+let read_mode s = s.read_mode
+let set_pending_commit_ts s ts = s.pending_commit_ts <- ts
+let set_hlc t hlc = Txn.Manager.set_hlc t.mgr hlc
 
 (* --- executor context --- *)
 
 let make_ctx (s : session) : Executor.ctx =
   let t = s.inst in
+  (* The xid snapshot always governs local concurrency; the [vis]
+     override layers distributed visibility on top (commit timestamps,
+     in-doubt blocking). [version_visible] consults status before the
+     snapshot, so In_doubt fires before a prepared xid could be
+     silently skipped. *)
+  let vis =
+    match s.read_mode with
+    | Txn.Snapshot.Latest -> None
+    | Txn.Snapshot.Resolving -> Some (Txn.Manager.status_resolving t.mgr)
+    | Txn.Snapshot.At ts -> Some (fun xid -> Txn.Manager.status_at t.mgr ~ts xid)
+  in
   let rec ctx =
     {
       Executor.catalog = t.catalog;
@@ -123,6 +146,7 @@ let make_ctx (s : session) : Executor.ctx =
       meter = t.meter;
       snapshot = Txn.Manager.take_snapshot t.mgr;
       xid = s.xid;
+      vis;
       env =
         {
           Expr_eval.rng = t.rng;
@@ -479,7 +503,9 @@ let rec exec_ast_unspanned (s : session) (stmt : Ast.statement) : result =
          ok_result "PREPARE TRANSACTION")
     | Ast.Commit_prepared gid ->
       (try
-         Txn.Manager.commit_prepared t.mgr ~gid;
+         let ts = s.pending_commit_ts in
+         s.pending_commit_ts <- None;
+         Txn.Manager.commit_prepared ?ts t.mgr ~gid;
          ok_result "COMMIT PREPARED"
        with Txn.Manager.No_such_prepared g ->
          err "prepared transaction %s does not exist" g)
@@ -544,6 +570,11 @@ and exec_data_stmt s stmt =
   with
   | Executor.Would_block _ as e ->
     (* statement can be retried; transaction stays open *)
+    raise e
+  | Txn.Manager.In_doubt _ as e ->
+    (* the read hit a prepared distributed transaction it cannot decide
+       about; like Would_block, the caller resolves and retries — the
+       transaction stays open *)
     raise e
   | Executor.Exec_error m | Expr_eval.Eval_error m | Session_error m ->
     if s.explicit_block then begin
@@ -777,9 +808,66 @@ let recover_from_wal t =
          | None -> ())
       | Txn.Wal.Begin _ | Txn.Wal.Commit _ | Txn.Wal.Abort _
       | Txn.Wal.Prepare _ | Txn.Wal.Commit_prepared _
-      | Txn.Wal.Rollback_prepared _ | Txn.Wal.Restore_point _
-      | Txn.Wal.Checkpoint -> ())
+      | Txn.Wal.Rollback_prepared _ | Txn.Wal.Commit_ts _
+      | Txn.Wal.Restore_point _ | Txn.Wal.Checkpoint -> ())
     (Txn.Wal.records (Txn.Manager.wal t.mgr));
+  (* 3b. re-acquire the locks of recovered prepared transactions, as
+     PostgreSQL does from its two-phase state files. [crash_recover]
+     reset the lock table, but an in-doubt transaction is still live: its
+     locks must keep blocking writers until COMMIT/ROLLBACK PREPARED, or
+     a post-restart update could overwrite its xmax stamps and split a
+     logical row in two when the recovery daemon commits it. The WAL
+     records of each still-prepared xid name exactly the tables and tids
+     it wrote. Fresh off a reset, every acquisition is granted. *)
+  let still_prepared =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (_gid, xid) -> Hashtbl.replace tbl xid ())
+      (Txn.Manager.prepared_transactions t.mgr);
+    tbl
+  in
+  if Hashtbl.length still_prepared > 0 then begin
+    let locks = Txn.Manager.locks t.mgr in
+    let relock ~owner table tids =
+      (* on a freshly reset lock table these are all granted: row locks
+         of distinct prepared transactions never overlap (the lock they
+         held before the crash kept their write sets disjoint), and
+         Row_exclusive table locks do not conflict with each other *)
+      (match
+         Txn.Lock.acquire locks ~owner (Txn.Lock.Table table)
+           Txn.Lock.Row_exclusive
+       with
+      | Txn.Lock.Granted -> ()
+      | Txn.Lock.Blocked _ -> assert false);
+      List.iter
+        (fun tid ->
+          match
+            Txn.Lock.acquire locks ~owner
+              (Txn.Lock.Row (table, tid))
+              Txn.Lock.Row_lock
+          with
+          | Txn.Lock.Granted -> ()
+          | Txn.Lock.Blocked _ ->
+            (* both versions of one row rewritten by the same prepared
+               transaction land here twice; re-granting to the same
+               owner is idempotent, anything else is impossible on a
+               reset lock table *)
+            assert false)
+        tids
+    in
+    List.iter
+      (fun (_, record) ->
+        match record with
+        | Txn.Wal.Insert { xid; table; tid; _ }
+          when Hashtbl.mem still_prepared xid -> relock ~owner:xid table [ tid ]
+        | Txn.Wal.Update { xid; table; old_tid; new_tid; _ }
+          when Hashtbl.mem still_prepared xid ->
+          relock ~owner:xid table [ old_tid; new_tid ]
+        | Txn.Wal.Delete { xid; table; tid }
+          when Hashtbl.mem still_prepared xid -> relock ~owner:xid table [ tid ]
+        | _ -> ())
+      (Txn.Wal.records (Txn.Manager.wal t.mgr))
+  end;
   (* 4. rebuild indexes over the recovered heaps (all physical versions,
      as in normal operation; vacuum prunes entries for dead ones later) *)
   let s = connect t in

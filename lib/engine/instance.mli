@@ -87,6 +87,25 @@ val in_transaction : session -> bool
 (** Transaction id of the session's open transaction, if any. *)
 val current_xid : session -> int option
 
+(** {2 Distributed read visibility}
+
+    [read_mode] selects how reads in this session treat distributed
+    transactions (see {!Txn.Snapshot.read_mode}); the cluster layer sets
+    it around each dispatched statement. [set_pending_commit_ts] arms
+    the coordinator-assigned HLC commit timestamp that the next
+    [COMMIT PREPARED] on this session will stamp — the out-of-band half
+    of the 2PC visibility fence. [set_hlc] installs the node's hybrid
+    logical clock into the transaction manager (wired by
+    [Cluster.Topology] to the simulated, possibly skewed, node clock). *)
+
+val set_read_mode : session -> Txn.Snapshot.read_mode -> unit
+
+val read_mode : session -> Txn.Snapshot.read_mode
+
+val set_pending_commit_ts : session -> Txn.Hlc.timestamp option -> unit
+
+val set_hlc : t -> Txn.Hlc.t -> unit
+
 (** Run the built-in utility implementation directly, bypassing the
     utility hook (extensions call this to apply DDL locally before
     propagating it). *)

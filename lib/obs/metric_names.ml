@@ -24,6 +24,7 @@ let exec_makespan_seconds = "exec.makespan_seconds"
 let exec_timeouts = "exec.timeouts"
 let exec_hedged_reads = "exec.hedged_reads"
 let exec_hedge_wins = "exec.hedge_wins"
+let exec_stale_txn_resets = "exec.stale_txn_resets"
 
 (* planner *)
 let planner_tier slug = "planner.tier." ^ slug
@@ -39,6 +40,18 @@ let twopc_aborted = "twopc.aborted"
 let twopc_recover_passes = "twopc.recover_passes"
 let twopc_recover_committed = "twopc.recover_committed"
 let twopc_recover_rolled_back = "twopc.recover_rolled_back"
+
+(* distributed snapshot consistency *)
+let snapshot_reads = "snapshot.reads"
+let snapshot_indoubt_waits = "snapshot.indoubt_waits"
+let snapshot_indoubt_commits = "snapshot.indoubt_commits"
+let snapshot_indoubt_rollbacks = "snapshot.indoubt_rollbacks"
+let snapshot_read_retries = "snapshot.read_retries"
+let snapshot_hedged_fragments = "snapshot.hedged_fragments"
+let snapshot_fragment_hedge_wins = "snapshot.fragment_hedge_wins"
+
+(* rebalancer move deadlines *)
+let rebalance_move_timeouts = "rebalance.move_timeouts"
 
 (* deadlock detector *)
 let deadlock_rounds = "deadlock.rounds"

@@ -67,6 +67,7 @@ val exec_hedged_reads : string
 (** counter: hedge attempts fired after the slow-primary threshold *)
 
 val exec_hedge_wins : string
+val exec_stale_txn_resets : string
 (** counter: hedges where the second attempt answered first *)
 
 (** {2 Planner} *)
@@ -107,6 +108,35 @@ val twopc_recover_committed : string
 val twopc_recover_rolled_back : string
 (** counter: prepared transactions recovery rolled back *)
 
+(** {2 Distributed snapshot consistency} *)
+
+val snapshot_reads : string
+(** counter: multi-fragment reads executed with a snapshot token
+    (consistency level read_your_writes or snapshot) *)
+
+val snapshot_indoubt_waits : string
+(** counter: reader encounters with an in-doubt (prepared but
+    unresolved) distributed transaction *)
+
+val snapshot_indoubt_commits : string
+(** counter: in-doubt transactions a reader resolved to COMMIT PREPARED
+    from the coordinator's commit record *)
+
+val snapshot_indoubt_rollbacks : string
+(** counter: in-doubt transactions a reader resolved to ROLLBACK
+    PREPARED (coordinator aborted, no commit record) *)
+
+val snapshot_read_retries : string
+(** counter: fragment retries after backing off on a still-pending
+    in-doubt transaction *)
+
+val snapshot_hedged_fragments : string
+(** counter: multi-shard read fragments hedged on a second replica
+    after the slow-primary threshold *)
+
+val snapshot_fragment_hedge_wins : string
+(** counter: fragment hedges where the second replica answered first *)
+
 (** {2 Distributed deadlock detector} *)
 
 val deadlock_rounds : string
@@ -137,6 +167,10 @@ val rebalance_repairs_failed : string
 
 val rebalance_placements_repaired : string
 (** counter: inactive placements re-activated by the repair daemon *)
+
+val rebalance_move_timeouts : string
+(** counter: shard-group moves abandoned at their per-move deadline
+    ([citus.move_timeout]) *)
 
 (** {2 Health / circuit breaker} *)
 

@@ -12,6 +12,7 @@ type event =
   | Ev_partition of { from_ : string; to_ : string; heal_after : float option }
   | Ev_heal of { from_ : string; to_ : string }
   | Ev_stall of { node : string; extra : float; duration : float }
+  | Ev_skew of { node : string; offset : float; drift : float }
 
 type t = {
   fault_seed : int;
@@ -31,6 +32,9 @@ type t = {
   mutable default_latency : float * float;  (** (mean, jitter) *)
   stalls : (string, float * float) Hashtbl.t;
       (** node -> (stalled until, extra seconds per round trip) *)
+  skews : (string, float * float * float) Hashtbl.t;
+      (** node -> (offset, drift, since): the node's physical clock reads
+          [now + offset + drift * (now - since)] *)
   mutable susp_hazard : float * float;  (** (probability, micro-stall) *)
   armed : (string, armed) Hashtbl.t;
   mutable pending : (float * int * event) list;  (** sorted by (time, seq) *)
@@ -55,6 +59,7 @@ let create ?(seed = 0) ~clock () =
     latency = Hashtbl.create 4;
     default_latency = (0.0, 0.0);
     stalls = Hashtbl.create 4;
+    skews = Hashtbl.create 4;
     susp_hazard = (0.0, 0.0);
     armed = Hashtbl.create 4;
     pending = [];
@@ -157,6 +162,26 @@ let stalled_extra t node =
 
 let node_stalled t node = stalled_extra t node > 0.0
 
+(* --- clock skew --- *)
+
+let set_clock_skew t ~node ~offset ~drift =
+  Hashtbl.replace t.skews node (offset, drift, Clock.now t.clock);
+  note t "clock-skew %s offset=%+.3fs drift=%+.6f" node offset drift
+
+let clear_clock_skew t ~node =
+  if Hashtbl.mem t.skews node then begin
+    Hashtbl.remove t.skews node;
+    note t "clock-skew %s cleared" node
+  end
+
+let node_skew t node =
+  match Hashtbl.find_opt t.skews node with
+  | Some (offset, drift, since) ->
+    offset +. (drift *. (Clock.now t.clock -. since))
+  | None -> 0.0
+
+let skewed_now t node = Clock.now t.clock +. node_skew t node
+
 let set_suspension_hazard t ~p ~stall =
   t.susp_hazard <- (p, stall);
   note t "suspension hazard p=%.3f stall=%.3fs" p stall
@@ -208,6 +233,9 @@ let schedule_partition ?heal_after t ~at ~from_ ~to_ =
 let schedule_stall t ~at ~extra ~duration node =
   enqueue t ~at (Ev_stall { node; extra; duration })
 
+let schedule_skew t ~at ~offset ~drift node =
+  enqueue t ~at (Ev_skew { node; offset; drift })
+
 let fire t at = function
   | Ev_crash { node; down_for } ->
     crash_now t node;
@@ -223,6 +251,7 @@ let fire t at = function
   | Ev_heal { from_; to_ } -> heal_link t ~from_ ~to_
   | Ev_stall { node; extra; duration } ->
     stall_now t ~node ~extra ~until_:(at +. duration)
+  | Ev_skew { node; offset; drift } -> set_clock_skew t ~node ~offset ~drift
 
 let rec tick t =
   match t.pending with
@@ -297,6 +326,7 @@ let quiesce t =
   t.default_latency <- (0.0, 0.0);
   Hashtbl.reset t.latency;
   Hashtbl.reset t.stalls;
+  Hashtbl.reset t.skews;
   t.susp_hazard <- (0.0, 0.0);
   Hashtbl.reset t.armed;
   let downed = Hashtbl.fold (fun n () acc -> n :: acc) t.down [] in

@@ -108,6 +108,27 @@ val stalled_extra : t -> string -> float
 
 val node_stalled : t -> string -> bool
 
+(** {2 Clock skew}
+
+    Skew never fails or delays anything by itself: it only bends what a
+    node {e believes} the time is. The HLC layer (see
+    [Cluster.Topology]) reads {!skewed_now} as its physical component,
+    so skew stresses exactly the hybrid-logical-clock machinery — a
+    skewed node issues timestamps from the future or the past, and the
+    logical component must absorb it. *)
+
+(** [set_clock_skew t ~node ~offset ~drift] makes [node]'s physical
+    clock read [true_now + offset + drift * elapsed_since_set]. *)
+val set_clock_skew : t -> node:string -> offset:float -> drift:float -> unit
+
+val clear_clock_skew : t -> node:string -> unit
+
+(** Current skew in seconds charged against [node] (0.0 when none). *)
+val node_skew : t -> string -> float
+
+(** [node]'s view of the current time: virtual clock plus skew. *)
+val skewed_now : t -> string -> float
+
 (** With probability [p], a fiber suspension point on any node takes an
     extra [stall] virtual seconds — scheduler-level jitter that shifts
     interleavings without failing anything. Draws are burnt at every
@@ -137,6 +158,11 @@ val schedule_partition :
 val schedule_stall :
   t -> at:float -> extra:float -> duration:float -> string -> unit
 
+(** [schedule_skew t ~at ~offset ~drift node] starts skewing [node]'s
+    clock when the virtual clock reaches [at]. *)
+val schedule_skew :
+  t -> at:float -> offset:float -> drift:float -> string -> unit
+
 (** Fire every scheduled event whose time has come (called by the
     cluster layer before each connect / round trip). *)
 val tick : t -> unit
@@ -160,8 +186,8 @@ val after_statement :
 
 (** End the storm so invariants can be checked: cancel scheduled events,
     heal all links, zero all drop rates and latency distributions, clear
-    stalls and the suspension hazard, disarm triggers, and restart every
-    down node (replaying WALs). *)
+    stalls, clock skews and the suspension hazard, disarm triggers, and
+    restart every down node (replaying WALs). *)
 val quiesce : t -> unit
 
 (** Every fault event so far, oldest first, timestamped with virtual

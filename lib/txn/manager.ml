@@ -4,11 +4,23 @@ type status = In_progress | Committed | Aborted
 
 exception No_such_prepared of string
 
+exception In_doubt of { gid : string; xid : xid }
+(** raised by timestamp-based visibility when a scan hits a prepared
+    transaction that may commit at or before the read timestamp *)
+
 type t = {
   mutable next_xid : xid;
   clog : (xid, status) Hashtbl.t;
   mutable running : xid list;  (** begun, not yet finished or prepared *)
   prepared : (string, xid) Hashtbl.t;
+  commit_ts : (xid, Hlc.timestamp) Hashtbl.t;
+      (** HLC commit timestamp of every committed xid (WAL-durable) *)
+  prepare_ts : (xid, Hlc.timestamp) Hashtbl.t;
+      (** HLC stamp taken at PREPARE: a lower bound on the eventual
+          commit timestamp, pruning which readers must block *)
+  mutable hlc : Hlc.t;
+      (** this node's clock; a pure logical clock until the cluster
+          layer installs one wired to the simulated physical clock *)
   wal : Wal.t;
   locks : Lock.t;
 }
@@ -19,9 +31,15 @@ let create () =
     clog = Hashtbl.create 256;
     running = [];
     prepared = Hashtbl.create 16;
+    commit_ts = Hashtbl.create 256;
+    prepare_ts = Hashtbl.create 16;
+    hlc = Hlc.create ~physical:(fun () -> 0.0) ();
     wal = Wal.create ();
     locks = Lock.create ();
   }
+
+let set_hlc t hlc = t.hlc <- hlc
+let hlc t = t.hlc
 
 let wal t = t.wal
 
@@ -62,7 +80,15 @@ let finish t xid st record =
   t.running <- List.filter (fun x -> x <> xid) t.running;
   Lock.release_all t.locks ~owner:xid
 
-let commit t xid = finish t xid Committed (Wal.Commit xid)
+(* Every commit gets an HLC stamp, WAL-logged right after the commit
+   record so snapshot visibility survives a crash. *)
+let stamp_commit t xid ts =
+  Hashtbl.replace t.commit_ts xid ts;
+  ignore (Wal.append t.wal (Wal.Commit_ts { xid; ts }))
+
+let commit t xid =
+  finish t xid Committed (Wal.Commit xid);
+  stamp_commit t xid (Hlc.now t.hlc)
 
 let abort t xid = finish t xid Aborted (Wal.Abort xid)
 
@@ -74,23 +100,39 @@ let prepare t xid ~gid =
   (* Detach from the session: no longer "running" but still in progress,
      and its locks stay held. *)
   t.running <- List.filter (fun x -> x <> xid) t.running;
-  Hashtbl.replace t.prepared gid xid
+  Hashtbl.replace t.prepared gid xid;
+  (* The eventual commit timestamp is assigned at the coordinator after
+     this PREPARE's reply lands, so it must exceed this stamp: readers
+     at an older snapshot need not block on us. *)
+  Hashtbl.replace t.prepare_ts xid (Hlc.now t.hlc)
 
 let take_prepared t gid =
   match Hashtbl.find_opt t.prepared gid with
   | Some xid -> Hashtbl.remove t.prepared gid; xid
   | None -> raise (No_such_prepared gid)
 
-let commit_prepared t ~gid =
+let commit_prepared ?ts t ~gid =
   let xid = take_prepared t gid in
   ignore (Wal.append t.wal (Wal.Commit_prepared { xid; gid }));
   Hashtbl.replace t.clog xid Committed;
+  let ts =
+    match ts with
+    | Some ts ->
+      (* coordinator-assigned distributed commit timestamp: merge it so
+         this node's clock can never re-issue anything at or below it *)
+      ignore (Hlc.observe t.hlc ts);
+      ts
+    | None -> Hlc.now t.hlc
+  in
+  stamp_commit t xid ts;
+  Hashtbl.remove t.prepare_ts xid;
   Lock.release_all t.locks ~owner:xid
 
 let rollback_prepared t ~gid =
   let xid = take_prepared t gid in
   ignore (Wal.append t.wal (Wal.Rollback_prepared { xid; gid }));
   Hashtbl.replace t.clog xid Aborted;
+  Hashtbl.remove t.prepare_ts xid;
   Lock.release_all t.locks ~owner:xid
 
 (* Rebuild all in-memory transaction state from the WAL after a crash.
@@ -107,6 +149,11 @@ let rollback_prepared t ~gid =
 let crash_recover t =
   Hashtbl.reset t.clog;
   Hashtbl.reset t.prepared;
+  Hashtbl.reset t.commit_ts;
+  (* prepare stamps are volatile: a prepared transaction recovered from
+     the WAL has no known lower bound on its commit timestamp, so every
+     snapshot reader conservatively treats it as in-doubt *)
+  Hashtbl.reset t.prepare_ts;
   t.running <- [];
   Lock.reset t.locks;
   let max_xid = ref 0 in
@@ -134,6 +181,9 @@ let crash_recover t =
       see_xid xid;
       Hashtbl.remove t.prepared gid;
       Hashtbl.replace t.clog xid Aborted
+    | Wal.Commit_ts { xid; ts } ->
+      see_xid xid;
+      Hashtbl.replace t.commit_ts xid ts
     | Wal.Truncate _ | Wal.Restore_point _ | Wal.Checkpoint -> ()
   in
   List.iter apply (Wal.records t.wal);
@@ -141,6 +191,48 @@ let crash_recover t =
 
 let prepared_transactions t =
   Hashtbl.fold (fun gid xid acc -> (gid, xid) :: acc) t.prepared []
+
+(* --- timestamp-based visibility (distributed snapshots) --- *)
+
+let commit_ts_of t xid = Hashtbl.find_opt t.commit_ts xid
+
+let prepared_gid_of t xid =
+  Hashtbl.fold
+    (fun gid x acc -> if x = xid then Some gid else acc)
+    t.prepared None
+
+let xid_in_doubt t ~ts xid =
+  match prepared_gid_of t xid with
+  | None -> None
+  | Some gid -> (
+    match Hashtbl.find_opt t.prepare_ts xid with
+    | Some pts when Hlc.compare_ts pts ts > 0 ->
+      (* prepared after the snapshot: its commit timestamp will exceed
+         [ts], so this reader can safely skip it *)
+      None
+    | _ -> Some gid)
+
+let status_at t ~ts xid =
+  match status t xid with
+  | Committed -> (
+    match Hashtbl.find_opt t.commit_ts xid with
+    | Some cts when Hlc.compare_ts cts ts > 0 ->
+      (* committed, but after this reader's snapshot *)
+      In_progress
+    | _ -> Committed)
+  | In_progress -> (
+    match xid_in_doubt t ~ts xid with
+    | Some gid -> raise (In_doubt { gid; xid })
+    | None -> In_progress)
+  | Aborted -> Aborted
+
+let status_resolving t xid =
+  match status t xid with
+  | In_progress -> (
+    match prepared_gid_of t xid with
+    | Some gid -> raise (In_doubt { gid; xid })
+    | None -> In_progress)
+  | st -> st
 
 let oldest_active_xid t =
   match active_xids t with [] -> t.next_xid | x :: _ -> x

@@ -40,7 +40,13 @@ val abort : t -> xid -> unit
     prepared record is WAL-logged so it survives restart. *)
 val prepare : t -> xid -> gid:string -> unit
 
-val commit_prepared : t -> gid:string -> unit
+(** [commit_prepared ?ts t ~gid] commits a prepared transaction. With
+    [?ts] — the coordinator-assigned distributed commit timestamp — the
+    commit is stamped at exactly that time on every participant (the
+    timestamp is also merged into this node's clock so it can never
+    re-issue an equal or earlier stamp); without it, a local stamp is
+    drawn. *)
+val commit_prepared : ?ts:Hlc.timestamp -> t -> gid:string -> unit
 
 val rollback_prepared : t -> gid:string -> unit
 
@@ -62,3 +68,43 @@ val active_xids : t -> xid list
 
 (** Oldest xid that any snapshot could still need, for vacuum. *)
 val oldest_active_xid : t -> xid
+
+(** {2 Hybrid-logical-clock commit timestamps (distributed snapshots)}
+
+    Every commit is stamped with this node's {!Hlc.t} and the stamp is
+    WAL-logged ([Wal.Commit_ts]), so timestamp visibility survives a
+    crash. The default clock is purely logical; the cluster layer
+    installs one whose physical component reads the simulated (possibly
+    skewed) node clock. *)
+
+val set_hlc : t -> Hlc.t -> unit
+
+val hlc : t -> Hlc.t
+
+(** HLC commit timestamp of a committed xid ([None] when unknown — an
+    aborted or still-running transaction). *)
+val commit_ts_of : t -> xid -> Hlc.timestamp option
+
+(** The gid of a prepared (in-doubt) xid, if any. *)
+val prepared_gid_of : t -> xid -> string option
+
+(** [xid_in_doubt t ~ts xid] is [Some gid] when [xid] is prepared and
+    might yet commit at or before [ts] — a reader at snapshot [ts] must
+    not guess. Prepared transactions whose PREPARE stamp already exceeds
+    [ts] are excluded: their commit timestamp is provably later. *)
+val xid_in_doubt : t -> ts:Hlc.timestamp -> xid -> string option
+
+exception In_doubt of { gid : string; xid : xid }
+
+(** [status_at t ~ts xid] is transaction status as of snapshot [ts]:
+    commits stamped after [ts] read as [In_progress] (invisible), and an
+    in-doubt xid (per {!xid_in_doubt}) raises {!In_doubt} — the caller
+    resolves the 2PC outcome and retries rather than guess. *)
+val status_at : t -> ts:Hlc.timestamp -> xid -> status
+
+(** Latest-visibility status that refuses to skip prepared transactions:
+    raises {!In_doubt} where {!status} would report [In_progress] for a
+    prepared xid. Backs read-your-writes mode — the session's own
+    distributed commit may still be in its in-doubt window on a
+    participant, and skipping it would un-happen an acknowledged write. *)
+val status_resolving : t -> xid -> status

@@ -7,6 +7,13 @@ let sees t xid =
   else if xid < t.xmin then true
   else not (List.mem xid t.active)
 
+type read_mode = Latest | Resolving | At of Hlc.timestamp
+
+let pp_read_mode fmt = function
+  | Latest -> Format.pp_print_string fmt "latest"
+  | Resolving -> Format.pp_print_string fmt "resolving"
+  | At ts -> Format.fprintf fmt "at(%a)" Hlc.pp ts
+
 let pp fmt t =
   Format.fprintf fmt "snapshot{xmin=%d;xmax=%d;active=[%s]}" t.xmin t.xmax
     (String.concat ";" (List.map string_of_int t.active))

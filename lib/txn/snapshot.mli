@@ -18,3 +18,20 @@ type t = {
 val sees : t -> xid -> bool
 
 val pp : Format.formatter -> t -> unit
+
+(** How a session resolves {e distributed} visibility, on top of the
+    xid snapshot above (which always governs local concurrency):
+
+    - [Latest]: plain local MVCC. Prepared (in-doubt) transactions read
+      as invisible — a cross-node read can be torn.
+    - [Resolving]: latest, but an in-doubt transaction blocks the read
+      until its 2PC outcome is resolved ([Manager.status_resolving]).
+      Gives read-your-writes across nodes.
+    - [At ts]: visibility frozen at HLC timestamp [ts]
+      ([Manager.status_at]): commits after [ts] are invisible, in-doubt
+      transactions that might commit at or before [ts] block. One [ts]
+      carried to every fragment of a multi-shard read yields a
+      consistent distributed snapshot. *)
+type read_mode = Latest | Resolving | At of Hlc.timestamp
+
+val pp_read_mode : Format.formatter -> read_mode -> unit

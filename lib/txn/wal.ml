@@ -16,6 +16,7 @@ type record =
   | Prepare of { xid : int; gid : string }
   | Commit_prepared of { xid : int; gid : string }
   | Rollback_prepared of { xid : int; gid : string }
+  | Commit_ts of { xid : int; ts : Hlc.timestamp }
   | Truncate of string
   | Restore_point of string
   | Checkpoint

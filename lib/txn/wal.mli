@@ -24,6 +24,9 @@ type record =
   | Prepare of { xid : int; gid : string }
   | Commit_prepared of { xid : int; gid : string }
   | Rollback_prepared of { xid : int; gid : string }
+  | Commit_ts of { xid : int; ts : Hlc.timestamp }
+      (** HLC commit timestamp, appended right after the commit record;
+          distributed snapshot visibility is rebuilt from these *)
   | Truncate of string  (** table name; TRUNCATE is not MVCC, logged as-is *)
   | Restore_point of string
   | Checkpoint

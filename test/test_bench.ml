@@ -99,6 +99,38 @@ let test_tail_hedging_shape () =
     Alcotest.(check bool) "no hedges when disabled" true (off.Tail.hedged = 0)
   | _ -> Alcotest.fail "expected two modes"
 
+let test_consistency_shape () =
+  (* the BENCH_consistency experiment end-to-end: four (mode, skew)
+     cells, reads answered everywhere; snapshot readers really hit
+     in-doubt windows (the measurement is not vacuous) and never tear,
+     while eventual readers tear somewhere under the fumbled commits;
+     overhead is whatever it is — measured, not asserted small *)
+  match Consistency.measure_modes () with
+  | [ ev; snap; ev_skew; snap_skew ] as all ->
+    Alcotest.(check (list string))
+      "cells in order"
+      [ "eventual"; "snapshot"; "eventual"; "snapshot" ]
+      (List.map (fun r -> r.Consistency.mode) all);
+    Alcotest.(check (list bool))
+      "skew flags in order" [ false; false; true; true ]
+      (List.map (fun r -> r.Consistency.skewed) all);
+    List.iter
+      (fun r ->
+        Alcotest.(check bool) "reads took time" true (r.Consistency.p50 > 0.0);
+        Alcotest.(check bool) "p95 >= p50" true
+          (r.Consistency.p95 >= r.Consistency.p50))
+      all;
+    Alcotest.(check bool) "snapshot readers hit in-doubt windows" true
+      (snap.Consistency.indoubt_waits > 0
+      && snap_skew.Consistency.indoubt_waits > 0);
+    Alcotest.(check bool) "snapshot reads never torn" true
+      (snap.Consistency.torn_reads = 0 && snap_skew.Consistency.torn_reads = 0);
+    Alcotest.(check bool) "eventual reads tear under fumbled commits" true
+      (ev.Consistency.torn_reads + ev_skew.Consistency.torn_reads > 0);
+    Alcotest.(check bool) "eventual pays no snapshot machinery" true
+      (ev.Consistency.indoubt_waits = 0 && ev_skew.Consistency.indoubt_waits = 0)
+  | _ -> Alcotest.fail "expected four (mode, skew) cells"
+
 let () =
   Alcotest.run "bench"
     [
@@ -116,5 +148,6 @@ let () =
             test_ablation_slow_start_shape;
           Alcotest.test_case "tail hedging shape" `Quick
             test_tail_hedging_shape;
+          Alcotest.test_case "consistency shape" `Quick test_consistency_shape;
         ] );
     ]

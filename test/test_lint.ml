@@ -580,6 +580,103 @@ let test_l13_scope () =
   let fs = run "L13" [ ("lib/obs/metrics.ml", l13_violating) ] in
   Alcotest.(check int) "lib/obs is out of scope" 0 (List.length fs)
 
+(* --- L14 snapshot-discipline --- *)
+
+(* the dispatch primitives must be defined for the resolver: the rule
+   checks resolved targets, not syntactic paths *)
+let l14_exec_stub =
+  {|let ast_on_conn_exn ?deadline ?snapshot t conn stmt =
+  ignore (deadline, snapshot, t, conn, stmt)
+
+let on_conn_exn ?deadline t conn sql = ignore (deadline, t, conn, sql)
+|}
+
+let l14_violating =
+  {|let dispatch t conn stmt = Exec.ast_on_conn_exn t conn stmt
+
+let execute t conn stmt =
+  ignore (Exec.ast_on_conn_exn ~deadline:1.0 t conn stmt);
+  dispatch t conn stmt
+|}
+
+let l14_clean =
+  {|let dispatch t conn snap stmt = Exec.ast_on_conn_exn ~snapshot:snap t conn stmt
+
+let execute t conn snap stmt =
+  ignore (Exec.ast_on_conn_exn ?snapshot:snap t conn stmt);
+  dispatch t conn snap stmt
+|}
+
+let l14_annotated =
+  {|let execute t conn gid =
+  ignore
+    ((Exec.ast_on_conn_exn t conn (Sqlfront.Ast.Commit_prepared gid))
+     [@lint.latest])
+|}
+
+let l14_control =
+  {|let execute t conn = ignore (Exec.on_conn_exn t conn "BEGIN")
+|}
+
+let test_l14_violating () =
+  let fs =
+    run "L14"
+      [
+        ("lib/core/exec.ml", l14_exec_stub);
+        ("lib/core/adaptive_executor.ml", l14_violating);
+      ]
+  in
+  (* the deadline-only dispatch in execute, and helper's dispatch —
+     reachable from the entry point — both omit ?snapshot *)
+  Alcotest.(check int) "both dispatches flagged" 2 (List.length fs);
+  Alcotest.(check (list string)) "all L14" [ "L14"; "L14" ] (ids fs);
+  Alcotest.(check (list int)) "dispatch locations" [ 1; 4 ] (lines fs)
+
+let test_l14_clean () =
+  let fs =
+    run "L14"
+      [
+        ("lib/core/exec.ml", l14_exec_stub);
+        ("lib/core/adaptive_executor.ml", l14_clean);
+      ]
+  in
+  Alcotest.(check int) "?snapshot everywhere passes" 0 (List.length fs)
+
+let test_l14_escape () =
+  let fs =
+    run "L14"
+      [
+        ("lib/core/exec.ml", l14_exec_stub);
+        ("lib/core/adaptive_executor.ml", l14_annotated);
+      ]
+  in
+  Alcotest.(check int) "[@lint.latest] is trusted" 0 (List.length fs)
+
+let test_l14_unreachable () =
+  (* the same dispatches in a module the entry point does not reach are
+     not on the statement path *)
+  let fs =
+    run "L14"
+      [
+        ("lib/core/exec.ml", l14_exec_stub);
+        ("lib/core/maintenance.ml", l14_violating);
+      ]
+  in
+  Alcotest.(check int) "unreachable dispatches are not findings" 0
+    (List.length fs)
+
+let test_l14_control_statements () =
+  (* string-form control statements (BEGIN, SET) are not planned
+     fragments; only the AST dispatch primitives are in scope *)
+  let fs =
+    run "L14"
+      [
+        ("lib/core/exec.ml", l14_exec_stub);
+        ("lib/core/adaptive_executor.ml", l14_control);
+      ]
+  in
+  Alcotest.(check int) "on_conn_exn is out of scope" 0 (List.length fs)
+
 (* --- call-graph builder --- *)
 
 let build sources =
@@ -608,7 +705,7 @@ let test_cg_cross_module () =
      | Some { Callgraph.m = "A"; v = "target" } -> ()
      | _ -> Alcotest.fail "cross-module edge not resolved");
     (match s.Callgraph.s_kind with
-     | Callgraph.Call { deadline = false } -> ()
+     | Callgraph.Call { labels = [] } -> ()
      | _ -> Alcotest.fail "expected an application site")
   | sites -> Alcotest.failf "expected one site, got %d" (List.length sites)
 
@@ -699,16 +796,17 @@ let test_sexp_rendering () =
 (* --- registry and baseline --- *)
 
 let test_registry () =
-  Alcotest.(check int) "thirteen rules" 13 (List.length Registry.all);
+  Alcotest.(check int) "fourteen rules" 14 (List.length Registry.all);
   List.iter
     (fun id ->
       match Registry.find id with
       | Some _ -> ()
       | None -> Alcotest.failf "rule %s not registered" id)
     [ "L1"; "L2"; "L3"; "L4"; "L5"; "L6"; "L7"; "L8"; "L9"; "L10"; "L11";
-      "L12"; "L13"; "sql-injection"; "determinism"; "lock-order";
+      "L12"; "L13"; "L14"; "sql-injection"; "determinism"; "lock-order";
       "span-conservation"; "fiber-blocking"; "transitive-blocking";
-      "cancel-safety"; "deadline-propagation"; "metric-registry" ]
+      "cancel-safety"; "deadline-propagation"; "metric-registry";
+      "snapshot-discipline" ]
 
 let test_explanations () =
   (* --explain depends on every rule shipping a non-trivial rationale *)
@@ -808,6 +906,15 @@ let () =
           Alcotest.test_case "violating" `Quick test_l13_violating;
           Alcotest.test_case "clean" `Quick test_l13_clean;
           Alcotest.test_case "scope" `Quick test_l13_scope;
+        ] );
+      ( "l14-snapshot-discipline",
+        [
+          Alcotest.test_case "violating" `Quick test_l14_violating;
+          Alcotest.test_case "clean" `Quick test_l14_clean;
+          Alcotest.test_case "escape" `Quick test_l14_escape;
+          Alcotest.test_case "unreachable" `Quick test_l14_unreachable;
+          Alcotest.test_case "control statements" `Quick
+            test_l14_control_statements;
         ] );
       ( "callgraph",
         [

@@ -43,9 +43,11 @@ type fn_id = { m : string; v : string }
 let id_str { m; v } = m ^ "." ^ v
 
 type kind =
-  | Call of { deadline : bool }
-      (** head of an application; [deadline] when a [~deadline] /
-          [?deadline] argument is passed *)
+  | Call of { labels : string list }
+      (** head of an application; [labels] holds the names of the
+          labelled / optional arguments passed ([~deadline],
+          [?snapshot], …) so argument-threading rules can check any
+          label without re-walking the AST *)
   | Value  (** alias target, higher-order argument, stored closure *)
 
 type site = {
@@ -299,17 +301,15 @@ let walk_binding defined ~file ~cur_module (vb : Parsetree.value_binding) :
          let comps = ident_comps head in
          if comps <> [] then begin
            consumed := head :: !consumed;
-           let deadline =
-             List.exists
+           let labels =
+             List.filter_map
                (fun (lbl, _) ->
                  match lbl with
-                 | Asttypes.Labelled "deadline" | Asttypes.Optional "deadline"
-                   ->
-                   true
-                 | _ -> false)
+                 | Asttypes.Labelled l | Asttypes.Optional l -> Some l
+                 | Asttypes.Nolabel -> None)
                args
            in
-           record head ~kind:(Call { deadline }) comps
+           record head ~kind:(Call { labels }) comps
          end;
          if grants_scope comps then ctx.in_scope <- true;
          if installs_handler comps then ctx.stopped <- true;

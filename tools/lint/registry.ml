@@ -16,6 +16,7 @@ let all : Rule.t list =
     (module Rule_cancel_safety);
     (module Rule_deadline);
     (module Rule_metric_registry);
+    (module Rule_snapshot_discipline);
   ]
 
 let find id =

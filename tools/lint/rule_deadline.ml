@@ -91,7 +91,8 @@ let check_program (files : (string * Parsetree.structure) list) =
                 && (not (List.mem escape_hatch s.Callgraph.s_attrs))
                 &&
                 match s.Callgraph.s_kind with
-                | Callgraph.Call { deadline } -> not deadline
+                | Callgraph.Call { labels } ->
+                  not (List.mem "deadline" labels)
                 | Callgraph.Value -> true
               then
                 Some
