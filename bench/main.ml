@@ -23,6 +23,7 @@ let experiments =
     ("exec", "Adaptive executor: measured makespans on the virtual clock", fun () -> Exec_bench.run ());
     ("tail", "Tail latency under a brownout: hedging off vs on", fun () -> ignore (Tail.run ()));
     ("consistency", "Read consistency overhead: eventual vs snapshot, clock skew", fun () -> ignore (Consistency.run ()));
+    ("prepared", "Prepared statements: plan-cache hit vs re-plan, cold vs warm", fun () -> ignore (Prepared.run ()));
     ("micro", "Bechamel wall-clock microbenchmarks", fun () -> Micro.run ());
   ]
 

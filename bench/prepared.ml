@@ -1,0 +1,165 @@
+(* Prepared statements and the distributed plan cache (DESIGN.md §4i):
+   per-EXECUTE cost on the coordinator, cached vs uncached
+   ([citus.plan_cache_size] 0), cold vs warm, for both cacheable tiers
+   (fast path and router).
+
+   Two quantities per mode:
+
+   - the {e coordinator cost} per EXECUTE — the meter's CPU demand on
+     the coordinator converted to seconds. This is what the plan cache
+     optimizes (a warm hit binds + hashes instead of re-planning), and
+     what the shape guard in test_bench holds to >= 2x.
+   - the {e end-to-end} virtual latency (clock delta + coordinator
+     CPU), for context: it includes the worker's modeled execution
+     time, which is identical in both modes by design.
+
+   Writes BENCH_prepared.json. *)
+
+let n_keys = 32
+let n_execs = 160
+let seed = 11
+
+type summary = {
+  mode : string;  (** "cached" | "uncached" *)
+  tier : string;  (** "fast_path" | "router" *)
+  cold : float;  (** first EXECUTE: cache build (cached) or re-plan *)
+  p50 : float;  (** warm coordinator cost per EXECUTE *)
+  p95 : float;
+  mean : float;
+  e2e_p50 : float;  (** warm end-to-end virtual latency *)
+  e2e_p95 : float;
+}
+
+(* nearest-rank percentile over a sorted array *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  let rank = int_of_float (Float.ceil (p *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) rank))
+
+(* one shape per cacheable tier: a single-table point read (fast path)
+   and a co-located two-table join pinned to one shard group (router) *)
+let shapes =
+  [
+    ("fast_path", "getv", "SELECT val FROM items WHERE key = $1");
+    ( "router",
+      "getj",
+      "SELECT items.val FROM items JOIN orders ON items.key = orders.key \
+       WHERE items.key = $1 AND orders.key = $1" );
+  ]
+
+let run_mode ~mode ~cache_size ~tier ~name ~sql () =
+  let cluster =
+    Cluster.Topology.create ~workers:3 ~fault_seed:seed ~sched_seed:seed ()
+  in
+  let citus = Citus.Api.install ~shard_count:8 cluster in
+  let s = Citus.Api.connect citus in
+  let exec sql = ignore (Engine.Instance.exec s sql) in
+  exec "CREATE TABLE items (key bigint PRIMARY KEY, val text)";
+  exec "SELECT create_distributed_table('items', 'key')";
+  exec "CREATE TABLE orders (key bigint PRIMARY KEY, amount bigint)";
+  exec "SELECT create_distributed_table('orders', 'key', 'items')";
+  for k = 0 to n_keys - 1 do
+    exec (Printf.sprintf "INSERT INTO items (key, val) VALUES (%d, 'v%d')" k k);
+    exec
+      (Printf.sprintf "INSERT INTO orders (key, amount) VALUES (%d, %d)" k
+         (k * 10))
+  done;
+  exec
+    (Printf.sprintf "SELECT citus_set_config('plan_cache_size', '%d')"
+       cache_size);
+  Citus.Session.prepare s ~name sql;
+  let st = Citus.Api.coordinator_state citus in
+  let node = st.Citus.State.local in
+  let meter = Engine.Instance.meter node.Cluster.Topology.instance in
+  let clock = cluster.Cluster.Topology.clock in
+  (* one EXECUTE: (coordinator CPU seconds, end-to-end virtual seconds) *)
+  let one k =
+    let m0 = Engine.Meter.read meter in
+    let t0 = Sim.Clock.now clock in
+    ignore (Citus.Session.execute s name [ Datum.Int k ]);
+    let cpu =
+      Engine.Meter.total_cpu_units
+        (Engine.Meter.diff ~after:(Engine.Meter.read meter) ~before:m0)
+      *. node.Cluster.Topology.spec.Sim.Cost.cpu_unit
+    in
+    (cpu, Sim.Clock.now clock -. t0 +. cpu)
+  in
+  let cold, _ = one 0 in
+  let samples = Array.init n_execs (fun i -> one (i mod n_keys)) in
+  let coord = Array.map fst samples and e2e = Array.map snd samples in
+  Array.sort compare coord;
+  Array.sort compare e2e;
+  let mean =
+    Array.fold_left ( +. ) 0.0 coord /. float_of_int (Array.length coord)
+  in
+  {
+    mode;
+    tier;
+    cold;
+    p50 = percentile coord 0.50;
+    p95 = percentile coord 0.95;
+    mean;
+    e2e_p50 = percentile e2e 0.50;
+    e2e_p95 = percentile e2e 0.95;
+  }
+
+(* The full matrix, same seed everywhere — what test_bench guards. *)
+let measure_modes () =
+  List.concat_map
+    (fun (tier, name, sql) ->
+      [
+        run_mode ~mode:"cached" ~cache_size:128 ~tier ~name ~sql ();
+        run_mode ~mode:"uncached" ~cache_size:0 ~tier ~name ~sql ();
+      ])
+    shapes
+
+let fmt_us s = Printf.sprintf "%.0fus" (s *. 1e6)
+
+let run () =
+  Report.section
+    "Prepared statements: per-EXECUTE coordinator cost, plan cache on vs off";
+  let summaries = measure_modes () in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "%d warm EXECUTEs per mode over %d keys (cold = first EXECUTE)"
+         n_execs n_keys)
+    ~headers:
+      [ "tier"; "mode"; "cold"; "p50"; "p95"; "mean"; "e2e p50"; "e2e p95" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.tier;
+             r.mode;
+             fmt_us r.cold;
+             fmt_us r.p50;
+             fmt_us r.p95;
+             fmt_us r.mean;
+             fmt_us r.e2e_p50;
+             fmt_us r.e2e_p95;
+           ])
+         summaries);
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"bench\": \"prepared_statements\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"execs\": %d, \"keys\": %d, \"plan_cache_size\": 128,\n"
+       n_execs n_keys);
+  Buffer.add_string buf "  \"modes\": [\n";
+  let n = List.length summaries in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"tier\": %S, \"mode\": %S, \"cold_s\": %.6f, \"p50_s\": \
+            %.6f, \"p95_s\": %.6f, \"mean_s\": %.6f, \"e2e_p50_s\": %.6f, \
+            \"e2e_p95_s\": %.6f}%s\n"
+           r.tier r.mode r.cold r.p50 r.p95 r.mean r.e2e_p50 r.e2e_p95
+           (if i = n - 1 then "" else ",")))
+    summaries;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_prepared.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Report.note "  wrote BENCH_prepared.json";
+  summaries

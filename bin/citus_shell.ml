@@ -10,13 +10,19 @@
      \maintenance      run the maintenance daemon once
      \partition <node> cut a node off the network (failure injection)
      \heal <node>      reconnect a partitioned node
+     \prepared         prepared statements in this session
      \q                quit
 
-   Everything else is SQL, including the Citus UDFs:
+   Everything else is SQL, including the Citus UDFs and the prepared
+   statement lifecycle (served from the distributed plan cache):
      SELECT create_distributed_table('t', 'col');
      SELECT create_reference_table('d');
      SELECT rebalance_table_shards();
-*)
+     PREPARE get AS SELECT * FROM t WHERE col = $1;
+     EXECUTE get(42);
+
+   SQL goes through [Citus.Session] — the typed prepared-statement
+   surface — rather than the engine-internal [Instance.exec]. *)
 
 let print_result (r : Engine.Instance.result) =
   match r.Engine.Instance.rows with
@@ -112,6 +118,11 @@ let () =
          Printf.printf "%s reconnected\n" node
        | exception Invalid_argument m -> Printf.printf "%s\n" m);
       loop ()
+    | {|\prepared|} ->
+      (match Citus.Session.prepared_names session with
+       | [] -> print_endline "  (none)"
+       | names -> List.iter (Printf.printf "  %s\n") names);
+      loop ()
     | {|\maintenance|} ->
       Citus.Api.maintenance citus;
       print_endline "maintenance daemon ran (recovery, deadlock check, autovacuum)";
@@ -122,7 +133,7 @@ let () =
        with e -> Printf.printf "error: %s\n" (Printexc.to_string e));
       loop ()
     | sql ->
-      (try print_result (Engine.Instance.exec session sql) with
+      (try print_result (Citus.Session.exec session sql) with
        | Engine.Instance.Session_error m -> Printf.printf "ERROR: %s\n" m
        | Sqlfront.Parser.Parse_error m -> Printf.printf "syntax error: %s\n" m
        | Engine.Executor.Would_block _ ->

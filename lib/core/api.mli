@@ -28,6 +28,9 @@ type t = {
           (citus.shard_replication_factor); capped at the node count *)
   procedures : (string, int * string) Hashtbl.t;
       (** delegated procedures: name -> (1-based dist arg position, table) *)
+  plancache : Plancache.t;
+      (** cluster-wide distributed plan cache, validated against
+          {!Metadata.version} at every cached EXECUTE *)
 }
 
 (** Install on the coordinator. [active_workers] limits initial shard

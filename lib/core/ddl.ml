@@ -49,7 +49,10 @@ let utility_hook (t : State.t) session (stmt : Ast.statement) =
     let apply_local () = Engine.Instance.exec_utility_local session stmt in
     match stmt with
     | Ast.Create_index ci ->
-      (* local schema copy first, then one index per shard *)
+      (* local schema copy first, then one index per shard. Schema DDL
+         lives outside [Metadata], so it must bump the metadata version
+         by hand: cached prepared-statement plans revalidate. *)
+      Metadata.bump_version meta;
       let local = apply_local () in
       let make_stmt (s : Metadata.shard) =
         Ast.Create_index
@@ -62,6 +65,8 @@ let utility_hook (t : State.t) session (stmt : Ast.statement) =
       ignore (run_tasks t session (tasks_for t ci.table ~make_stmt));
       Some local
     | Ast.Alter_table_add_column a ->
+      (* schema DDL: bump by hand, as for CREATE INDEX *)
+      Metadata.bump_version meta;
       let local = apply_local () in
       let make_stmt (s : Metadata.shard) =
         Ast.Alter_table_add_column { a with table = Metadata.shard_name s }

@@ -29,6 +29,11 @@ type exec_error =
   | Timed_out of { node : string }
       (* statement deadline expired waiting on the node — a gray
          failure: the node is alive, the statement may have executed *)
+  | Bind_error of { stmt_name : string; param : int }
+      (* EXECUTE did not supply a value for parameter $n of the
+         prepared statement *)
+
+exception Bind_failure of { stmt_name : string; param : int }
 
 let error_message = function
   | Node_unavailable { node; reason } ->
@@ -45,6 +50,9 @@ let error_message = function
       "canceling statement due to statement timeout: node %s did not answer \
        before the deadline"
       node
+  | Bind_error { stmt_name; param } ->
+    Printf.sprintf "no value for parameter $%d in prepared statement %s" param
+      stmt_name
 
 let wrap f =
   match f () with
@@ -56,6 +64,8 @@ let wrap f =
   | exception State.Network_error m -> Error (Network_error m)
   | exception State.Txn_replica_lost node -> Error (Txn_replica_lost node)
   | exception Metadata.Catalog_error m -> Error (Catalog_error m)
+  | exception Bind_failure { stmt_name; param } ->
+    Error (Bind_error { stmt_name; param })
 
 (* Execute on a connection, simulating the network: partition and
    injected-failure checks up front, then the split submit/await round

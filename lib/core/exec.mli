@@ -27,6 +27,15 @@ type exec_error =
       (** the statement deadline expired waiting on the node — a gray
           failure: the node is alive and the statement {e may} have
           executed remotely (same ambiguity as a lost reply) *)
+  | Bind_error of { stmt_name : string; param : int }
+      (** EXECUTE supplied no value for parameter [$param] of prepared
+          statement [stmt_name] — a client protocol error, typed so the
+          prepared-statement dispatch can report the exact parameter
+          instead of a bare [Invalid_argument] *)
+
+(** Raised by the prepared-statement bind step; {!wrap} maps it to
+    [Error (Bind_error _)]. *)
+exception Bind_failure of { stmt_name : string; param : int }
 
 (** Human-readable rendering, used for session error messages. *)
 val error_message : exec_error -> string

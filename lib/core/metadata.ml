@@ -28,6 +28,10 @@ type t = {
   placement_tbl : (int, placement list) Hashtbl.t;
   mutable next_shard_id : int;
   mutable next_colocation_id : int;
+  mutable version : int;
+      (* monotonic metadata version: bumped by every mutation that can
+         invalidate a cached distributed plan (DDL, placement changes,
+         shard splits). The plan cache revalidates against it. *)
 }
 
 exception Not_distributed of string
@@ -48,9 +52,14 @@ let create ?(shard_count = 32) () =
     placement_tbl = Hashtbl.create 64;
     next_shard_id = 102008;
     next_colocation_id = 1;
+    version = 0;
   }
 
 let default_shard_count t = t.shard_count
+
+let version t = t.version
+
+let bump_version t = t.version <- t.version + 1
 
 let find t name =
   List.find_opt (fun dt -> String.equal dt.dt_name name) t.tables
@@ -148,6 +157,7 @@ let register_distributed ?(replication_factor = 1) t ~table ~column ~ty
         other_shards
     in
     t.shards <- t.shards @ new_shards;
+    bump_version t;
     new_shards
   | None ->
     let colocation_id = t.next_colocation_id in
@@ -187,6 +197,7 @@ let register_distributed ?(replication_factor = 1) t ~table ~column ~ty
         (hash_ranges t.shard_count)
     in
     t.shards <- t.shards @ new_shards;
+    bump_version t;
     new_shards
 
 let register_reference t ~table ~nodes =
@@ -215,6 +226,7 @@ let register_reference t ~table ~nodes =
   Hashtbl.replace t.placement_tbl s.shard_id
     (List.map (fun n -> { pl_node = n; pl_state = Active }) nodes);
   t.shards <- t.shards @ [ s ];
+  bump_version t;
   s
 
 let drop_table t name =
@@ -223,7 +235,8 @@ let drop_table t name =
     List.partition (fun s -> String.equal s.shard_of name) t.shards
   in
   List.iter (fun s -> Hashtbl.remove t.placement_tbl s.shard_id) dropped;
-  t.shards <- kept
+  t.shards <- kept;
+  bump_version t
 
 let shards_of t name =
   if find t name = None then raise (Not_distributed name);
@@ -252,7 +265,9 @@ let mark_placement t ~shard_id ~node state =
     List.find_opt (fun p -> String.equal p.pl_node node)
       (all_placements t shard_id)
   with
-  | Some p -> p.pl_state <- state
+  | Some p ->
+    p.pl_state <- state;
+    bump_version t
   | None ->
     invalid_arg
       (Printf.sprintf "shard %d has no placement on %s" shard_id node)
@@ -297,13 +312,16 @@ let update_placement t ~shard_id ~from_node ~to_node =
          if String.equal p.pl_node from_node then
            { pl_node = to_node; pl_state = Active }
          else p)
-       (all_placements t shard_id))
+       (all_placements t shard_id));
+  bump_version t
 
 let add_placement t ~shard_id ~node =
   let pls = all_placements t shard_id in
-  if not (List.exists (fun p -> String.equal p.pl_node node) pls) then
+  if not (List.exists (fun p -> String.equal p.pl_node node) pls) then begin
     Hashtbl.replace t.placement_tbl shard_id
-      (pls @ [ { pl_node = node; pl_state = Active } ])
+      (pls @ [ { pl_node = node; pl_state = Active } ]);
+    bump_version t
+  end
 
 let colocated t names =
   let ids =
@@ -403,6 +421,7 @@ let replace_shard t ~shard_id ~ranges =
   Hashtbl.remove t.placement_tbl shard_id;
   t.shards <-
     List.filter (fun s -> s.shard_id <> shard_id) t.shards @ news;
+  bump_version t;
   news
 
 (* Reassign index_in_colocation consistently across every table of a
@@ -426,4 +445,5 @@ let renumber_colocation t ~colocation_id =
       t.shards <-
         List.filter (fun s -> not (String.equal s.shard_of dt.dt_name)) t.shards
         @ renumbered)
-    tables
+    tables;
+  bump_version t

@@ -37,6 +37,20 @@ val create : ?shard_count:int -> unit -> t
 
 val default_shard_count : t -> int
 
+(** {2 Metadata version}
+
+    A monotonic counter bumped by every mutation that can invalidate a
+    cached distributed plan: table registration and drop, placement
+    moves / additions / health flips, shard splits and renumbering.
+    Layers that change placement-relevant state outside this module
+    (schema DDL, replication-factor knob) call {!bump_version}
+    explicitly. The plan cache records the version at plan time and
+    revalidates on mismatch — a stale cached deparse must never run. *)
+
+val version : t -> int
+
+val bump_version : t -> unit
+
 (** {2 Registration} *)
 
 exception Not_distributed of string

@@ -1,0 +1,106 @@
+(* The distributed plan cache: query shape -> memoized plan skeleton.
+   See the .mli for the design; this module is the data structure only —
+   shape analysis lives in [Planner], skeleton construction and cached
+   dispatch in [Api], which also emits the plancache.* metrics. *)
+
+open Sqlfront
+
+type group_plan = {
+  gp_shard : int;  (** anchor shard id of this group *)
+  gp_stmt : Ast.statement;  (** shape rewritten to this group's shard names *)
+  gp_sql : string;  (** cached deparse of [gp_stmt] (params unbound) *)
+}
+
+type entry = {
+  e_key : string;
+  e_shape : Planner.shape;
+  e_version : int;
+  e_groups : (int * group_plan) list;
+  mutable e_tick : int;
+}
+
+type stat = {
+  st_fingerprint : string;
+  mutable st_tier : string;
+  mutable st_calls : int;
+  mutable st_hits : int;
+  mutable st_builds : int;
+  mutable st_bypass : int;
+}
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  stat_tbl : (string, stat) Hashtbl.t;
+  mutable tick : int;  (** LRU clock: bumped on every hit and store *)
+}
+
+let create () =
+  { entries = Hashtbl.create 32; stat_tbl = Hashtbl.create 32; tick = 0 }
+
+(* Stable 8-hex shape id: [Hashtbl.hash] of the normalized shape text is
+   deterministic across runs, and bounds the plancache.shape_seconds.*
+   metric family to the set of distinct prepared shapes. *)
+let fingerprint key = Printf.sprintf "%08x" (Hashtbl.hash key)
+
+let size t = Hashtbl.length t.entries
+
+type lookup = Hit of entry | Stale | Miss
+
+let find t ~key ~version =
+  match Hashtbl.find_opt t.entries key with
+  | None -> Miss
+  | Some e when e.e_version <> version ->
+    (* the metadata moved underneath the skeleton: a stale cached
+       deparse must never execute — discard, caller re-plans *)
+    Hashtbl.remove t.entries key;
+    Stale
+  | Some e ->
+    t.tick <- t.tick + 1;
+    e.e_tick <- t.tick;
+    Hit e
+
+let store t ~max_size entry =
+  if max_size <= 0 then 0
+  else begin
+    t.tick <- t.tick + 1;
+    entry.e_tick <- t.tick;
+    Hashtbl.replace t.entries entry.e_key entry;
+    let evicted = ref 0 in
+    while Hashtbl.length t.entries > max_size do
+      let victim =
+        Hashtbl.fold
+          (fun _ e acc ->
+            match acc with
+            | Some b when b.e_tick <= e.e_tick -> acc
+            | _ -> Some e)
+          t.entries None
+      in
+      match victim with
+      | Some v ->
+        Hashtbl.remove t.entries v.e_key;
+        incr evicted
+      | None -> ()
+    done;
+    !evicted
+  end
+
+let stat t ~key =
+  match Hashtbl.find_opt t.stat_tbl key with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        st_fingerprint = fingerprint key;
+        st_tier = "-";
+        st_calls = 0;
+        st_hits = 0;
+        st_builds = 0;
+        st_bypass = 0;
+      }
+    in
+    Hashtbl.replace t.stat_tbl key s;
+    s
+
+let stats t =
+  Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.stat_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -284,9 +284,10 @@ let rewrite_reference_only meta stmt =
 
 (* --- fast path --- *)
 
-(* Simple CRUD on one distributed table with a distribution-column value:
-   single-table SELECT / UPDATE / DELETE, no subqueries. *)
-let try_fast_path ?node_ok meta stmt : Plan.task option =
+(* Simple CRUD on one distributed table: single-table SELECT / UPDATE /
+   DELETE, no subqueries — the statement shapes the fast path (and the
+   plan cache's fast tier) accepts. Returns the target table. *)
+let fast_path_target (stmt : Ast.statement) : string option =
   let simple_select sel =
     match sel.Ast.from with
     | [ Ast.Table { name; _ } ] ->
@@ -305,13 +306,14 @@ let try_fast_path ?node_ok meta stmt : Plan.task option =
       if no_subqueries then Some name else None
     | _ -> None
   in
-  let target =
-    match stmt with
-    | Ast.Select_stmt sel -> simple_select sel
-    | Ast.Update { table; _ } | Ast.Delete { table; _ } -> Some table
-    | _ -> None
-  in
-  match target with
+  match stmt with
+  | Ast.Select_stmt sel -> simple_select sel
+  | Ast.Update { table; _ } | Ast.Delete { table; _ } -> Some table
+  | _ -> None
+
+(* Fast path proper: the distribution-column value must be a constant. *)
+let try_fast_path ?node_ok meta stmt : Plan.task option =
+  match fast_path_target stmt with
   | None -> None
   | Some table ->
     (match Metadata.find meta table with
@@ -386,6 +388,131 @@ let try_router ?node_ok meta ~local_name stmt : Plan.task option =
                task_shard = shard.Metadata.shard_id;
              }
          | _, _ -> None)
+
+(* --- shape analysis for the distributed plan cache --- *)
+
+type dist_key = Key_param of int | Key_const of Datum.t
+
+type shape = {
+  sh_anchor : string;  (** distributed table whose shards drive pruning *)
+  sh_tier : tier;  (** [Tier_fast_path] or [Tier_router] *)
+  sh_key : dist_key;  (** where the routing value comes from at bind time *)
+}
+
+let key_equal a b =
+  match a, b with
+  | Key_param i, Key_param j -> i = j
+  | Key_const u, Key_const v -> u = v
+  | Key_param _, Key_const _ | Key_const _, Key_param _ -> false
+
+(* Like [dist_filters], but the comparand may be an unbound parameter:
+   (table, key) pairs for conjuncts [dist_col = $k] / [dist_col = const]. *)
+let dist_key_filters meta stmt : (string * dist_key) list =
+  let aliases = alias_map meta stmt in
+  let conjs = conjuncts_of_statement stmt in
+  let match_column q c =
+    List.filter_map
+      (fun (table, alias) ->
+        match Metadata.find meta table with
+        | Some { Metadata.dist_column = Some dc; _ } when String.equal dc c ->
+          (match q with
+           | None -> Some table
+           | Some q when String.equal q alias || String.equal q table ->
+             Some table
+           | Some _ -> None)
+        | _ -> None)
+      aliases
+  in
+  let key_of e =
+    match e with
+    | Ast.Param k -> Some (Key_param k)
+    | _ ->
+      (match eval_const e with
+       | Some v when not (Datum.is_null v) -> Some (Key_const v)
+       | _ -> None)
+  in
+  List.concat_map
+    (fun conj ->
+      match conj with
+      | Ast.Cmp (Ast.Eq, Ast.Column (q, c), rhs) -> (
+        match key_of rhs with
+        | Some k -> List.map (fun t -> (t, k)) (match_column q c)
+        | None -> [])
+      | Ast.Cmp (Ast.Eq, lhs, Ast.Column (q, c)) -> (
+        match key_of lhs with
+        | Some k -> List.map (fun t -> (t, k)) (match_column q c)
+        | None -> [])
+      | _ -> [])
+    conjs
+
+(* Can this (normalized, params unbound) statement's plan be cached with
+   shard pruning deferred to bind time? Yes iff the plan is single-group
+   whichever value the routing parameter takes: every referenced table is
+   a co-located Citus table and every distributed table carries an
+   equality filter on its distribution column against the {e same}
+   parameter (or the same constant). Anything else — multi-shard,
+   reference-only, local tables, multi-row inserts — re-plans per
+   EXECUTE (the cache's bypass path), so being conservative here costs
+   latency, never correctness. *)
+let analyze_shape meta ~catalog (stmt : Ast.statement) : shape option =
+  match stmt with
+  | Ast.Insert { table; columns; source = Ast.Values [ tuple ]; _ } ->
+    (match Metadata.find meta table with
+     | Some
+         {
+           Metadata.kind = Metadata.Distributed;
+           dist_column = Some dist_col;
+           _;
+         } ->
+       let dist_pos =
+         match columns with
+         | Some cols -> List.find_index (String.equal dist_col) cols
+         | None ->
+           (match Engine.Catalog.find_table_opt catalog table with
+            | Some tbl ->
+              List.find_index
+                (fun (c : Ast.column_def) -> String.equal c.col_name dist_col)
+                tbl.Engine.Catalog.columns
+            | None -> None)
+       in
+       (match Option.bind dist_pos (List.nth_opt tuple) with
+        | Some (Ast.Param k) ->
+          Some { sh_anchor = table; sh_tier = Tier_fast_path; sh_key = Key_param k }
+        | Some e ->
+          (match eval_const e with
+           | Some v when not (Datum.is_null v) ->
+             Some
+               { sh_anchor = table; sh_tier = Tier_fast_path; sh_key = Key_const v }
+           | _ -> None)
+        | None -> None)
+     | _ -> None)
+  | Ast.Select_stmt _ | Ast.Update _ | Ast.Delete _ ->
+    let names =
+      List.sort_uniq String.compare (List.map fst (tables_in_statement stmt))
+    in
+    (match dist_tables_of meta names with
+     | [] -> None
+     | anchor :: _ as dists ->
+       if
+         (not (List.for_all (Metadata.is_citus_table meta) names))
+         || not (Metadata.colocated meta names)
+       then None
+       else begin
+         let filters = dist_key_filters meta stmt in
+         let keys = List.filter_map (fun t -> List.assoc_opt t filters) dists in
+         match keys with
+         | k :: rest
+           when List.compare_lengths keys dists = 0
+                && List.for_all (key_equal k) rest ->
+           let tier =
+             match fast_path_target stmt with
+             | Some t when String.equal t anchor -> Tier_fast_path
+             | _ -> Tier_router
+           in
+           Some { sh_anchor = anchor; sh_tier = tier; sh_key = k }
+         | _ -> None
+       end)
+  | _ -> None
 
 (* --- pushdown validation --- *)
 

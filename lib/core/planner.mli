@@ -87,3 +87,35 @@ val intermediate_relation : string
     reference tables go to their (single) shard name. *)
 val rewrite_to_group :
   Metadata.t -> group_index:int -> Sqlfront.Ast.statement -> Sqlfront.Ast.statement
+
+(** {2 Shape analysis for the distributed plan cache}
+
+    A prepared statement's stored AST (parameters unbound) is a {e query
+    shape}. [analyze_shape] decides whether its plan can be memoized
+    with shard pruning deferred to bind time: the statement must be
+    single-group for {e any} value of the routing parameter — every
+    referenced table a co-located Citus table, every distributed table
+    filtered by equality on its distribution column against the same
+    [$k] (or the same constant), or a single-row INSERT whose
+    distribution-column position holds [$k] / a constant. The cache then
+    stores one pre-rewritten statement per shard group; at EXECUTE time
+    the bound value hashes to a group index and placements are looked up
+    fresh. Shapes that fail analysis take the cache's bypass path
+    (re-planned per EXECUTE) — conservatism costs latency, never
+    correctness. *)
+
+type dist_key =
+  | Key_param of int  (** routing value is [$k] of the EXECUTE arguments *)
+  | Key_const of Datum.t  (** routing value is baked into the shape *)
+
+type shape = {
+  sh_anchor : string;  (** distributed table whose shards drive pruning *)
+  sh_tier : tier;  (** [Tier_fast_path] or [Tier_router] *)
+  sh_key : dist_key;
+}
+
+val analyze_shape :
+  Metadata.t ->
+  catalog:Engine.Catalog.t ->
+  Sqlfront.Ast.statement ->
+  shape option

@@ -1,0 +1,35 @@
+(* Typed client surface over a coordinator session.
+
+   The prepared-statement lifecycle used to require hand-assembling SQL
+   text ("EXECUTE s(1, 'x')") or calling the engine-internal
+   [Instance.exec_params], which re-parses and re-plans every call.
+   This module is the supported path: [prepare] parses once, [execute]
+   ships typed datums straight to the plan-cache dispatch in [Api]
+   without any string round trip, so the OLTP hot path never touches
+   the parser. *)
+
+open Sqlfront
+
+type t = Engine.Instance.session
+
+let exec session sql = Engine.Instance.exec session sql
+
+let prepare session ~name sql =
+  (* the one sanctioned parse: statement birth, not the execute path *)
+  let stmt = Parser.parse_statement sql in
+  ignore
+    (Engine.Instance.exec_ast session (Ast.Prepare_stmt { pname = name; pstmt = stmt }))
+
+let execute session name datums =
+  (* no SQL text is built: constants carry the datums, so the cached
+     dispatch binds them without quoting/unquoting round trips *)
+  let eargs = List.map (fun d -> Ast.Const d) datums in
+  Engine.Instance.exec_ast session (Ast.Execute_stmt { ename = name; eargs })
+
+let deallocate session name =
+  ignore (Engine.Instance.exec_ast session (Ast.Deallocate_stmt (Some name)))
+
+let deallocate_all session =
+  ignore (Engine.Instance.exec_ast session (Ast.Deallocate_stmt None))
+
+let prepared_names = Engine.Instance.prepared_names

@@ -24,6 +24,9 @@ type config = {
           time; 0 = unbounded) *)
   mutable consistency : consistency;
       (** distributed read consistency level (citus.consistency) *)
+  mutable plan_cache_size : int;
+      (** LRU bound on cached prepared-statement plan shapes
+          (citus.plan_cache_size; 0 disables the cache) *)
 }
 
 type session_state = {
@@ -68,6 +71,7 @@ let default_config () =
     hedge_threshold = 0.0;
     move_timeout = 0.0;
     consistency = Eventual;
+    plan_cache_size = 128;
   }
 
 let create ~cluster ~metadata ~local ~registry ~coordinator_id =

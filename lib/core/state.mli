@@ -49,6 +49,10 @@ type config = {
           the move slot for the stall's duration *)
   mutable consistency : consistency;
       (** distributed read consistency level; default [Eventual] *)
+  mutable plan_cache_size : int;
+      (** LRU bound on cached prepared-statement plan shapes
+          ([citus.plan_cache_size]); [0] disables the distributed plan
+          cache — every EXECUTE then re-plans; default 128 *)
 }
 
 type session_state = {

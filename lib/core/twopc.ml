@@ -77,7 +77,9 @@ let delete_commit_record (t : State.t) gid =
   (* direct executor call: commit-record maintenance is lightweight, not a
      full planned statement *)
   let s = admin_session t in
-  ignore (Engine.Instance.exec s "BEGIN");
+  (* pre-built txn AST nodes: this runs on the commit path of every
+     multi-shard write, so it must not parse ("BEGIN" strings included) *)
+  ignore (Engine.Instance.exec_ast s Sqlfront.Ast.Begin_txn);
   let ctx = Engine.Instance.make_ctx s in
   (try
      ignore
@@ -89,9 +91,9 @@ let delete_commit_record (t : State.t) gid =
                     Sqlfront.Ast.Column (None, "gid"),
                     Sqlfront.Ast.Const (Datum.Text gid) ))))
    with e ->
-     ignore (Engine.Instance.exec s "ROLLBACK");
+     ignore (Engine.Instance.exec_ast s Sqlfront.Ast.Rollback_txn);
      raise e);
-  ignore (Engine.Instance.exec s "COMMIT")
+  ignore (Engine.Instance.exec_ast s Sqlfront.Ast.Commit_txn)
 
 (* Gids reach this query verbatim; going through the executor with a
    [Datum.Text] constant keeps a hostile gid from escaping the string

@@ -53,6 +53,9 @@ and session = {
   mutable pending_commit_ts : Txn.Hlc.timestamp option;
       (** coordinator-assigned commit timestamp for the next
           COMMIT PREPARED on this session (out-of-band 2PC channel) *)
+  prepared : (string, Ast.statement) Hashtbl.t;
+      (** session-scoped PREPARE registry: name -> shape with [$n]
+          placeholders unbound (PostgreSQL prepared statements) *)
 }
 
 let err fmt = Printf.ksprintf (fun m -> raise (Session_error m)) fmt
@@ -111,6 +114,7 @@ let connect t =
     failed = false;
     read_mode = Txn.Snapshot.Latest;
     pending_commit_ts = None;
+    prepared = Hashtbl.create 4;
   }
 
 let session_instance s = s.inst
@@ -460,12 +464,69 @@ let udf_call (t : t) (stmt : Ast.statement) =
 let charge_statement (s : session) (stmt : Ast.statement) =
   let t = s.inst in
   match stmt with
-  | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn ->
+  | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn
+  | Ast.Prepare_stmt _ | Ast.Deallocate_stmt _ ->
     Meter.add_light_statement t.meter
   | Ast.Prepare_transaction _ | Ast.Commit_prepared _ | Ast.Rollback_prepared _
     ->
     Meter.add_twopc_statement t.meter
   | _ -> ()
+
+(* --- prepared statements (session-scoped, PostgreSQL semantics) --- *)
+
+let preparable = function
+  | Ast.Select_stmt _ | Ast.Insert _ | Ast.Update _ | Ast.Delete _ | Ast.Call _
+    ->
+    true
+  | _ -> false
+
+let prepare_statement (s : session) ~name (stmt : Ast.statement) =
+  if Hashtbl.mem s.prepared name then
+    err "prepared statement %s already exists" name;
+  if not (preparable stmt) then
+    err "PREPARE supports SELECT, INSERT, UPDATE, DELETE and CALL statements";
+  Hashtbl.replace s.prepared name stmt
+
+let deallocate_statement (s : session) = function
+  | None -> Hashtbl.reset s.prepared
+  | Some name ->
+    if not (Hashtbl.mem s.prepared name) then
+      err "prepared statement %s does not exist" name;
+    Hashtbl.remove s.prepared name
+
+let prepared_lookup (s : session) name = Hashtbl.find_opt s.prepared name
+
+let prepared_names (s : session) =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) s.prepared [])
+
+(* Resolve EXECUTE to the stored shape plus evaluated argument datums.
+   Hooks call this too, so name resolution and argument evaluation have
+   exactly one implementation. *)
+let resolve_execute (s : session) ~name ~(args : Ast.expr list) :
+    Ast.statement * Datum.t list =
+  let stmt =
+    match prepared_lookup s name with
+    | Some stmt -> stmt
+    | None -> err "prepared statement %s does not exist" name
+  in
+  let values =
+    List.map
+      (function
+        | Ast.Const d -> d
+        | e ->
+          (* arbitrary constant expressions: evaluate against an empty row *)
+          let env =
+            {
+              Expr_eval.rng = s.inst.rng;
+              now = s.inst.clock;
+              subquery =
+                (fun _ -> err "EXECUTE arguments cannot contain subqueries");
+            }
+          in
+          Expr_eval.compile [] env e [||])
+      args
+  in
+  (stmt, values)
 
 let rec exec_ast_unspanned (s : session) (stmt : Ast.statement) : result =
   let t = s.inst in
@@ -519,6 +580,12 @@ let rec exec_ast_unspanned (s : session) (stmt : Ast.statement) : result =
       ignore table;
       ignore columns;
       err "COPY FROM STDIN requires copy_in with data"
+    | Ast.Prepare_stmt { pname; pstmt } ->
+      prepare_statement s ~name:pname pstmt;
+      ok_result "PREPARE"
+    | Ast.Deallocate_stmt target ->
+      deallocate_statement s target;
+      ok_result "DEALLOCATE"
     | stmt -> exec_data_stmt s stmt
 
 and exec_data_stmt s stmt =
@@ -553,13 +620,25 @@ and exec_data_stmt s stmt =
         | Some hook ->
           (match hook s stmt with
            | Some r ->
-             Meter.add_routed_statement t.meter;
+             (match stmt with
+              | Ast.Execute_stmt _ ->
+                (* the plan-cache dispatch meters itself: a cache hit
+                   charges a bound execute, a build/bypass a routed
+                   statement *)
+                ()
+              | _ -> Meter.add_routed_statement t.meter);
              r
            | None ->
-             Meter.add_statement t.meter;
+             (match stmt with
+              | Ast.Execute_stmt _ ->
+                (* no parse either way: the AST was stored at PREPARE *)
+                Meter.add_light_statement t.meter
+              | _ -> Meter.add_statement t.meter);
              exec_builtin s stmt)
         | None ->
-          Meter.add_statement t.meter;
+          (match stmt with
+           | Ast.Execute_stmt _ -> Meter.add_light_statement t.meter
+           | _ -> Meter.add_statement t.meter);
           exec_builtin s stmt
       end
   in
@@ -623,6 +702,15 @@ and exec_builtin s stmt : result =
        ignore (f s values);
        ok_result "CALL"
      | None -> err "procedure %s does not exist" proc)
+  | Ast.Execute_stmt { ename; eargs } ->
+    (* no extension hook claimed it: bind and run the shape locally *)
+    let shape, values = resolve_execute s ~name:ename ~args:eargs in
+    let bound =
+      try Ast.bind_params values shape
+      with Ast.Unbound_param i ->
+        err "no value for parameter $%d in prepared statement %s" i ename
+    in
+    exec_builtin s bound
   | _ -> err "unsupported statement"
 
 let exec_utility_local s stmt = exec_utility s stmt
@@ -646,6 +734,9 @@ let stmt_kind : Ast.statement -> string = function
   | Ast.Alter_table_add_column _ -> "alter_table"
   | Ast.Truncate _ -> "truncate"
   | Ast.Vacuum _ -> "vacuum"
+  | Ast.Prepare_stmt _ -> "prepare"
+  | Ast.Execute_stmt _ -> "execute"
+  | Ast.Deallocate_stmt _ -> "deallocate"
 
 (* Every statement an instance executes — coordinator or worker, client-
    or extension-issued — nests under the shared trace stack. One branch
@@ -663,7 +754,10 @@ let exec_ast (s : session) (stmt : Ast.statement) : result =
 let exec s sql = exec_ast s (Parser.parse_statement sql)
 
 let exec_params s sql params =
-  exec_ast s (Ast.bind_params params (Parser.parse_statement sql))
+  let stmt = Parser.parse_statement sql in
+  match Ast.bind_params params stmt with
+  | bound -> exec_ast s bound
+  | exception Ast.Unbound_param i -> err "no value for parameter $%d" i
 
 let copy_in s ~table ~columns lines =
   let t = s.inst in

@@ -73,8 +73,37 @@ val exec : session -> string -> result
 
 val exec_ast : session -> Sqlfront.Ast.statement -> result
 
-(** Execute with [$n] parameters bound. *)
+(** Execute with [$n] parameters bound.
+
+    @deprecated Re-parses and re-plans on every call. Use the typed
+    [Citus.Session] surface ([prepare] / [execute]) instead: it keeps the
+    shape in the session's prepared-statement registry and lets the
+    distributed plan cache skip re-planning on the OLTP hot path. *)
 val exec_params : session -> string -> Datum.t list -> result
+
+(** {2 Prepared statements}
+
+    [PREPARE name AS stmt] / [EXECUTE name(args)] / [DEALLOCATE] are
+    handled by {!exec_ast} with PostgreSQL semantics: the registry is
+    session-scoped, duplicate PREPARE and unknown EXECUTE / DEALLOCATE
+    names raise {!Session_error}. Extension hooks see the raw
+    [Execute_stmt] node and use {!resolve_execute} to resolve the name
+    and evaluate argument expressions (one implementation for hook and
+    built-in paths). *)
+
+(** Stored shape for a prepared name, placeholders unbound. *)
+val prepared_lookup : session -> string -> Sqlfront.Ast.statement option
+
+(** Names prepared in this session, sorted. *)
+val prepared_names : session -> string list
+
+(** Resolve an EXECUTE: stored shape + evaluated argument datums. Raises
+    {!Session_error} if the name is unknown. *)
+val resolve_execute :
+  session ->
+  name:string ->
+  args:Sqlfront.Ast.expr list ->
+  Sqlfront.Ast.statement * Datum.t list
 
 (** Feed COPY data rows (tab-separated text format, [\N] = NULL) into a
     table, inside the session's transaction. *)

@@ -8,6 +8,7 @@ type snapshot = {
   statements : int;
   light_statements : int;
   routed_statements : int;
+  bound_executes : int;
   twopc_statements : int;
   copy_rows : int;
   merge_rows : int;
@@ -26,6 +27,7 @@ let zero =
     statements = 0;
     light_statements = 0;
     routed_statements = 0;
+    bound_executes = 0;
     twopc_statements = 0;
     copy_rows = 0;
     merge_rows = 0;
@@ -46,6 +48,7 @@ let diff ~after ~before =
     statements = after.statements - before.statements;
     light_statements = after.light_statements - before.light_statements;
     routed_statements = after.routed_statements - before.routed_statements;
+    bound_executes = after.bound_executes - before.bound_executes;
     twopc_statements = after.twopc_statements - before.twopc_statements;
     copy_rows = after.copy_rows - before.copy_rows;
     merge_rows = after.merge_rows - before.merge_rows;
@@ -71,6 +74,9 @@ let add_light_statement t =
 let add_routed_statement t =
   t.s <- { t.s with routed_statements = t.s.routed_statements + 1 }
 
+let add_bound_execute t =
+  t.s <- { t.s with bound_executes = t.s.bound_executes + 1 }
+
 let add_twopc_statement t =
   t.s <- { t.s with twopc_statements = t.s.twopc_statements + 1 }
 let add_copy_rows t n = t.s <- { t.s with copy_rows = t.s.copy_rows + n }
@@ -89,6 +95,7 @@ let to_assoc s =
     ("statements", s.statements);
     ("light_statements", s.light_statements);
     ("routed_statements", s.routed_statements);
+    ("bound_executes", s.bound_executes);
     ("twopc_statements", s.twopc_statements);
     ("copy_rows", s.copy_rows);
     ("merge_rows", s.merge_rows);
@@ -111,6 +118,7 @@ let total_cpu_units s =
   +. (20.0 *. float_of_int s.statements)
   +. (2.0 *. float_of_int s.light_statements)
   +. (3.0 *. float_of_int s.routed_statements)
+  +. (1.0 *. float_of_int s.bound_executes)
   +. (5.0 *. float_of_int s.twopc_statements)
   +. (1.5 *. float_of_int s.copy_rows)
   +. (merge_row_weight *. float_of_int s.merge_rows)

@@ -19,6 +19,10 @@ type snapshot = {
   routed_statements : int;
       (** statements the extension routed elsewhere: the local node only
           paid parse + shard pruning *)
+  bound_executes : int;
+      (** EXECUTEs of a prepared statement served from the distributed
+          plan cache: the local node only paid parameter binding plus a
+          hash — no parse, no planning *)
   twopc_statements : int;
       (** PREPARE TRANSACTION / COMMIT PREPARED / ROLLBACK PREPARED:
           moderately expensive (durable transaction state) *)
@@ -57,6 +61,8 @@ val add_statement : t -> unit
 val add_light_statement : t -> unit
 
 val add_routed_statement : t -> unit
+
+val add_bound_execute : t -> unit
 
 val add_twopc_statement : t -> unit
 

@@ -30,6 +30,16 @@ let exec_stale_txn_resets = "exec.stale_txn_resets"
 let planner_tier slug = "planner.tier." ^ slug
 let planner_tier_join_order = "planner.tier.join_order"
 
+(* distributed plan cache *)
+let plancache_hits = "plancache.hits"
+let plancache_misses = "plancache.misses"
+let plancache_invalidations = "plancache.invalidations"
+let plancache_evictions = "plancache.evictions"
+let plancache_bypass = "plancache.bypass"
+let plancache_entries = "plancache.entries"
+let plancache_exec_seconds = "plancache.exec_seconds"
+let plancache_shape_seconds fp = "plancache.shape_seconds." ^ fp
+
 (* 2PC *)
 let twopc_started = "twopc.started"
 let twopc_delegated_commits = "twopc.delegated_commits"

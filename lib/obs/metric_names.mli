@@ -78,6 +78,38 @@ val planner_tier : string -> string
 val planner_tier_join_order : string
 (** counter: statements that took the dynamic join-order path *)
 
+(** {2 Distributed plan cache} *)
+
+val plancache_hits : string
+(** counter: EXECUTEs served from a valid cached plan skeleton *)
+
+val plancache_misses : string
+(** counter: EXECUTEs that planned the shape and filled the cache *)
+
+val plancache_invalidations : string
+(** counter: cached entries discarded because the metadata version
+    moved underneath them (DDL, shard move, rebalance, replication
+    change, tenant isolation) *)
+
+val plancache_evictions : string
+(** counter: entries dropped by the LRU bound ([citus.plan_cache_size]) *)
+
+val plancache_bypass : string
+(** counter: EXECUTEs of shapes the cache cannot hold (multi-shard,
+    reference writes, local tables) — planned per call *)
+
+val plancache_entries : string
+(** gauge: shapes currently cached *)
+
+val plancache_exec_seconds : string
+(** histogram: end-to-end EXECUTE time through the cached dispatch *)
+
+val plancache_shape_seconds : string -> string
+(** histogram family: per-shape EXECUTE time,
+    [plancache.shape_seconds.<fingerprint>] — the fingerprint is the
+    stable 8-hex-digit shape id reported by [citus_stat_statements()];
+    cardinality is bounded by the number of distinct prepared shapes *)
+
 (** {2 Two-phase commit} *)
 
 val twopc_started : string

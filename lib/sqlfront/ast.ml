@@ -121,6 +121,12 @@ type statement =
   | Rollback_prepared of string
   | Vacuum of string option
   | Call of { proc : string; args : expr list }
+  | Prepare_stmt of { pname : string; pstmt : statement }
+      (** [PREPARE name AS statement]: session-scoped named statement,
+          parameter placeholders left unbound *)
+  | Execute_stmt of { ename : string; eargs : expr list }
+      (** [EXECUTE name(args)]: run a prepared statement with arguments *)
+  | Deallocate_stmt of string option  (** [None] = DEALLOCATE ALL *)
 
 (** Structural helpers used across planners. *)
 
@@ -249,22 +255,43 @@ let map_statement_exprs (f : expr -> expr) (st : statement) : statement =
       }
   | Delete d -> Delete { d with where = Option.map me d.where }
   | Call c -> Call { c with args = List.map me c.args }
+  | Execute_stmt e -> Execute_stmt { e with eargs = List.map me e.eargs }
   | Create_table _ | Create_index _ | Drop_table _ | Alter_table_add_column _
   | Truncate _ | Copy_from _ | Begin_txn | Commit_txn | Rollback_txn
   | Prepare_transaction _ | Commit_prepared _ | Rollback_prepared _ | Vacuum _
-    ->
+  (* a stored prepared statement keeps its placeholders until EXECUTE *)
+  | Prepare_stmt _ | Deallocate_stmt _ ->
     st
 
-(** Substitute [$n] parameters with constants. *)
+exception Unbound_param of int
+(** [$n] had no binding. Raised with the parameter index so executor
+    layers can attach the statement name and surface a typed error
+    instead of a bare [Invalid_argument]. *)
+
+(** Substitute [$n] parameters with constants. Raises {!Unbound_param}
+    when the list is too short for some [$n] in the tree. *)
 let bind_params (params : Datum.t list) (st : statement) : statement =
   map_statement_exprs
     (function
       | Param i ->
         (match List.nth_opt params (i - 1) with
          | Some d -> Const d
-         | None -> invalid_arg (Printf.sprintf "no value for parameter $%d" i))
+         | None -> raise (Unbound_param i))
       | e -> e)
     st
+
+(** Highest [$n] referenced anywhere in the statement (0 = none). *)
+let max_param (st : statement) : int =
+  let m = ref 0 in
+  ignore
+    (map_statement_exprs
+       (function
+         | Param i as e ->
+           if i > !m then m := i;
+           e
+         | e -> e)
+       st);
+  !m
 
 (** Rename table references (FROM items, DML targets) via [f] — the core
     mechanism of shard-name rewriting in the Citus planners. *)

@@ -122,6 +122,12 @@ type statement =
   | Rollback_prepared of string
   | Vacuum of string option
   | Call of { proc : string; args : expr list }
+  | Prepare_stmt of { pname : string; pstmt : statement }
+      (** [PREPARE name AS statement]: session-scoped named statement,
+          parameter placeholders left unbound *)
+  | Execute_stmt of { ename : string; eargs : expr list }
+      (** [EXECUTE name(args)]: run a prepared statement with arguments *)
+  | Deallocate_stmt of string option  (** [None] = DEALLOCATE ALL *)
 
 (** {2 Structural helpers used across planners} *)
 
@@ -152,9 +158,17 @@ val map_from_item_exprs : (expr -> expr) -> from_item -> from_item
 
 val map_statement_exprs : (expr -> expr) -> statement -> statement
 
-(** Substitute [$n] parameters with constants. Raises [Invalid_argument]
+exception Unbound_param of int
+(** A [$n] placeholder had no binding. Carries the parameter index so
+    executor layers can attach the statement name and surface a typed
+    error (see [Citus.Exec]) instead of a bare [Invalid_argument]. *)
+
+(** Substitute [$n] parameters with constants. Raises {!Unbound_param}
     when the statement references a parameter with no value. *)
 val bind_params : Datum.t list -> statement -> statement
+
+(** Highest [$n] referenced anywhere in the statement (0 = none). *)
+val max_param : statement -> int
 
 (** {2 Table renaming}
 

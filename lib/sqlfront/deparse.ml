@@ -150,7 +150,7 @@ let column_def (c : column_def) =
   in
   String.concat " " parts
 
-let statement (st : Ast.statement) : string =
+let rec statement (st : Ast.statement) : string =
   match st with
   | Select_stmt s -> select s
   | Insert { table; columns; source; on_conflict_do_nothing } ->
@@ -239,3 +239,11 @@ let statement (st : Ast.statement) : string =
   | Vacuum (Some t) -> "VACUUM " ^ t
   | Call { proc; args } ->
     Printf.sprintf "CALL %s(%s)" proc (String.concat ", " (List.map expr args))
+  | Prepare_stmt { pname; pstmt } ->
+    Printf.sprintf "PREPARE %s AS %s" pname (statement pstmt)
+  | Execute_stmt { ename; eargs = [] } -> "EXECUTE " ^ ename
+  | Execute_stmt { ename; eargs } ->
+    Printf.sprintf "EXECUTE %s(%s)" ename
+      (String.concat ", " (List.map expr eargs))
+  | Deallocate_stmt None -> "DEALLOCATE ALL"
+  | Deallocate_stmt (Some n) -> "DEALLOCATE " ^ n

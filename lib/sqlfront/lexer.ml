@@ -25,7 +25,8 @@ let keywords =
     "VALUES"; "UPDATE"; "SET"; "DELETE"; "CREATE"; "TABLE"; "INDEX"; "DROP";
     "ALTER"; "ADD"; "COLUMN"; "PRIMARY"; "KEY"; "DEFAULT"; "USING";
     "TRUNCATE"; "COPY"; "STDIN"; "BEGIN"; "COMMIT"; "ROLLBACK"; "ABORT";
-    "PREPARE"; "PREPARED"; "TRANSACTION"; "VACUUM"; "CALL"; "IF"; "CASE";
+    "PREPARE"; "PREPARED"; "TRANSACTION"; "EXECUTE"; "DEALLOCATE"; "VACUUM";
+    "CALL"; "IF"; "CASE";
     "WHEN"; "THEN"; "ELSE"; "END"; "CAST"; "COUNT"; "SUM"; "AVG"; "MIN";
     "MAX"; "CONFLICT"; "DO"; "NOTHING"; "COLUMNAR"; "GIN"; "BTREE"; "WITH";
     "RECURSIVE";

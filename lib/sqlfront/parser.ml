@@ -35,7 +35,7 @@ let expect_kw st k = eat st (Lexer.Keyword k)
    an identifier is expected (e.g. a column named "key"). *)
 let unreserved =
   [ "KEY"; "COLUMN"; "INDEX"; "DO"; "NOTHING"; "STDIN"; "TRANSACTION";
-    "PREPARED"; "BTREE"; "GIN"; "COLUMNAR"; "BY" ]
+    "PREPARED"; "BTREE"; "GIN"; "COLUMNAR"; "BY"; "EXECUTE"; "DEALLOCATE" ]
 
 let ident_of_token = function
   | Lexer.Ident s -> Some s
@@ -708,7 +708,7 @@ let parse_insert st =
   in
   Insert { table; columns; source; on_conflict_do_nothing }
 
-let parse_statement_body st =
+let rec parse_statement_body st =
   match peek st with
   | Lexer.Keyword "SELECT" | Lexer.Keyword "WITH" ->
     Select_stmt (parse_select_body st)
@@ -797,8 +797,41 @@ let parse_statement_body st =
     else Rollback_txn
   | Lexer.Keyword "PREPARE" ->
     advance st;
-    expect_kw st "TRANSACTION";
-    Prepare_transaction (expect_string st)
+    if kw st "TRANSACTION" then Prepare_transaction (expect_string st)
+    else begin
+      (* PREPARE name AS statement *)
+      let pname = expect_ident st in
+      expect_kw st "AS";
+      Prepare_stmt { pname; pstmt = parse_statement_body st }
+    end
+  | Lexer.Keyword "EXECUTE" ->
+    advance st;
+    let ename = expect_ident st in
+    let eargs =
+      if accept st Lexer.Lparen then begin
+        if accept st Lexer.Rparen then []
+        else begin
+          let rec args acc =
+            let e = parse_expr st in
+            if accept st Lexer.Comma then args (e :: acc)
+            else begin
+              eat st Lexer.Rparen;
+              List.rev (e :: acc)
+            end
+          in
+          args []
+        end
+      end
+      else []
+    in
+    Execute_stmt { ename; eargs }
+  | Lexer.Keyword "DEALLOCATE" ->
+    advance st;
+    ignore (kw st "PREPARE");
+    (match ident_of_token (peek st) with
+     | Some "all" -> advance st; Deallocate_stmt None
+     | Some n -> advance st; Deallocate_stmt (Some n)
+     | None -> fail st "expected a prepared statement name or ALL")
   | Lexer.Keyword "VACUUM" ->
     advance st;
     (match peek st with

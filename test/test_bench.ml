@@ -131,6 +131,31 @@ let test_consistency_shape () =
       (ev.Consistency.indoubt_waits = 0 && ev_skew.Consistency.indoubt_waits = 0)
   | _ -> Alcotest.fail "expected four (mode, skew) cells"
 
+let test_prepared_shape () =
+  (* the BENCH_prepared experiment end-to-end: for both cacheable tiers,
+     a warm plan-cache hit must cost the coordinator at least 2x less
+     than an uncached EXECUTE (which re-enters the planner every time),
+     and the cold first EXECUTE — which builds the cache entry — must be
+     at least as expensive as a warm hit *)
+  match Prepared.measure_modes () with
+  | [ fp_cached; fp_uncached; r_cached; r_uncached ] as all ->
+    Alcotest.(check (list string))
+      "cells in order"
+      [ "fast_path"; "fast_path"; "router"; "router" ]
+      (List.map (fun r -> r.Prepared.tier) all);
+    List.iter
+      (fun (cached, uncached) ->
+        Alcotest.(check bool) "warm hit costs something" true
+          (cached.Prepared.p50 > 0.0);
+        Alcotest.(check bool) "uncached p50 >= 2x cached p50" true
+          (uncached.Prepared.p50 >= 2.0 *. cached.Prepared.p50);
+        Alcotest.(check bool) "cold build >= warm hit" true
+          (cached.Prepared.cold >= cached.Prepared.p50);
+        Alcotest.(check bool) "e2e reflects the saving" true
+          (uncached.Prepared.e2e_p50 >= cached.Prepared.e2e_p50))
+      [ (fp_cached, fp_uncached); (r_cached, r_uncached) ]
+  | _ -> Alcotest.fail "expected four (tier, mode) cells"
+
 let () =
   Alcotest.run "bench"
     [
@@ -149,5 +174,6 @@ let () =
           Alcotest.test_case "tail hedging shape" `Quick
             test_tail_hedging_shape;
           Alcotest.test_case "consistency shape" `Quick test_consistency_shape;
+          Alcotest.test_case "prepared shape" `Quick test_prepared_shape;
         ] );
     ]

@@ -899,7 +899,9 @@ let test_exec_params_distributed () =
     Engine.Instance.exec_params s "SELECT val FROM items WHERE key = $2"
       [ Datum.Int 3 ]
   with
-  | exception Invalid_argument _ -> ()
+  | exception Engine.Instance.Session_error m ->
+    (* typed error naming the parameter, not a bare Invalid_argument *)
+    Alcotest.(check string) "bind error" "no value for parameter $2" m
   | _ -> Alcotest.fail "missing param should fail"
 
 (* --- DDL propagation --- *)

@@ -796,17 +796,17 @@ let test_sexp_rendering () =
 (* --- registry and baseline --- *)
 
 let test_registry () =
-  Alcotest.(check int) "fourteen rules" 14 (List.length Registry.all);
+  Alcotest.(check int) "fifteen rules" 15 (List.length Registry.all);
   List.iter
     (fun id ->
       match Registry.find id with
       | Some _ -> ()
       | None -> Alcotest.failf "rule %s not registered" id)
     [ "L1"; "L2"; "L3"; "L4"; "L5"; "L6"; "L7"; "L8"; "L9"; "L10"; "L11";
-      "L12"; "L13"; "L14"; "sql-injection"; "determinism"; "lock-order";
+      "L12"; "L13"; "L14"; "L15"; "sql-injection"; "determinism"; "lock-order";
       "span-conservation"; "fiber-blocking"; "transitive-blocking";
       "cancel-safety"; "deadline-propagation"; "metric-registry";
-      "snapshot-discipline" ]
+      "snapshot-discipline"; "no-reparse" ]
 
 let test_explanations () =
   (* --explain depends on every rule shipping a non-trivial rationale *)

@@ -1,0 +1,488 @@
+(* Prepared statements and the distributed plan cache (DESIGN.md §4i).
+
+   The targeted groups pin the mechanism down deterministically: the
+   PREPARE / EXECUTE / DEALLOCATE lifecycle (SQL and the typed
+   [Citus.Session] surface), the typed bind error, cache hit/miss/
+   bypass accounting, the LRU bound ([citus.plan_cache_size]), and —
+   correctness-critical — the invalidation matrix: schema DDL, a shard
+   move, a rebalance after node addition, and a replication-factor
+   change between two EXECUTEs must each revalidate the cached plan;
+   a stale deparse string must never execute.
+
+   The chaos group then replays the story under a seeded storm:
+   prepared executes run across crashes, partitions, dropped round
+   trips and a mid-storm [citus_move_shard_placement]. Every execute
+   that succeeds must return the row the key maps to (zero wrong-shard
+   reads — the invariant a stale plan would break), and the same seed
+   replays bit-for-bit. *)
+
+let exec s sql = Engine.Instance.exec s sql
+
+let counter cluster name =
+  Obs.Metrics.counter_value (Cluster.Topology.metrics cluster) name
+
+let gauge cluster name =
+  Obs.Metrics.gauge_value (Cluster.Topology.metrics cluster) name
+
+let make ?(workers = 3) ?(shard_count = 8) ?active_workers ?seed () =
+  let cluster =
+    match seed with
+    | None -> Cluster.Topology.create ~workers ()
+    | Some sd ->
+      Cluster.Topology.create ~workers ~fault_seed:sd ~sched_seed:sd ()
+  in
+  let citus = Citus.Api.install ~shard_count ?active_workers cluster in
+  let s = Citus.Api.connect citus in
+  (cluster, citus, s)
+
+let n_items = 8
+
+let setup_items ?(n = n_items) s =
+  ignore (exec s "CREATE TABLE items (key bigint PRIMARY KEY, val text)");
+  ignore (exec s "SELECT create_distributed_table('items', 'key')");
+  for k = 0 to n - 1 do
+    ignore
+      (exec s
+         (Printf.sprintf "INSERT INTO items (key, val) VALUES (%d, 'v%d')" k k))
+  done
+
+let check_val s ~name k =
+  match (Citus.Session.execute s name [ Datum.Int k ]).Engine.Instance.rows with
+  | [ [| Datum.Text v |] ] ->
+    Alcotest.(check string)
+      (Printf.sprintf "EXECUTE %s(%d)" name k)
+      (Printf.sprintf "v%d" k) v
+  | rows ->
+    Alcotest.failf "EXECUTE %s(%d): expected one row, got %d" name k
+      (List.length rows)
+
+let prepare_getv s =
+  Citus.Session.prepare s ~name:"getv" "SELECT val FROM items WHERE key = $1"
+
+(* --- lifecycle --- *)
+
+let test_sql_lifecycle () =
+  let _, _, s = make () in
+  setup_items s;
+  ignore (exec s "PREPARE getv AS SELECT val FROM items WHERE key = $1");
+  (match (exec s "EXECUTE getv(3)").Engine.Instance.rows with
+   | [ [| Datum.Text "v3" |] ] -> ()
+   | _ -> Alcotest.fail "EXECUTE getv(3) wrong result");
+  (* PostgreSQL semantics: duplicate names error, the registry is
+     session-local, DEALLOCATE drops *)
+  (match exec s "PREPARE getv AS SELECT 1" with
+   | exception Engine.Instance.Session_error _ -> ()
+   | _ -> Alcotest.fail "duplicate PREPARE must fail");
+  (match exec s "EXECUTE nosuch(1)" with
+   | exception Engine.Instance.Session_error _ -> ()
+   | _ -> Alcotest.fail "EXECUTE of unknown name must fail");
+  Alcotest.(check (list string)) "prepared_names" [ "getv" ]
+    (Engine.Instance.prepared_names s);
+  ignore (exec s "DEALLOCATE getv");
+  (match exec s "EXECUTE getv(3)" with
+   | exception Engine.Instance.Session_error _ -> ()
+   | _ -> Alcotest.fail "EXECUTE after DEALLOCATE must fail")
+
+let test_session_surface () =
+  let _, citus, s = make () in
+  setup_items s;
+  prepare_getv s;
+  for k = 0 to n_items - 1 do
+    check_val s ~name:"getv" k
+  done;
+  (* a second session has its own registry but shares the plan cache *)
+  let s2 = Citus.Api.connect citus in
+  Alcotest.(check (list string)) "registry is session-local" []
+    (Citus.Session.prepared_names s2);
+  Citus.Session.prepare s2 ~name:"getv" "SELECT val FROM items WHERE key = $1";
+  check_val s2 ~name:"getv" 5;
+  Citus.Session.deallocate s "getv";
+  Alcotest.(check (list string)) "deallocate" []
+    (Citus.Session.prepared_names s);
+  Citus.Session.prepare s ~name:"a" "SELECT val FROM items WHERE key = $1";
+  Citus.Session.prepare s ~name:"b" "SELECT key FROM items WHERE key = $1";
+  Citus.Session.deallocate_all s;
+  Alcotest.(check (list string)) "deallocate all" []
+    (Citus.Session.prepared_names s)
+
+let test_typed_bind_error () =
+  let _, _, s = make () in
+  setup_items s;
+  Citus.Session.prepare s ~name:"skip"
+    "SELECT val FROM items WHERE key = $2";
+  match Citus.Session.execute s "skip" [ Datum.Int 3 ] with
+  | exception Engine.Instance.Session_error m ->
+    Alcotest.(check string) "typed bind error"
+      "no value for parameter $2 in prepared statement skip" m
+  | _ -> Alcotest.fail "missing $2 must fail with the typed bind error"
+
+(* --- cache accounting --- *)
+
+let test_cache_hits () =
+  let cluster, _, s = make () in
+  setup_items s;
+  prepare_getv s;
+  let rounds = 3 in
+  for _ = 1 to rounds do
+    for k = 0 to n_items - 1 do
+      check_val s ~name:"getv" k
+    done
+  done;
+  (* one shape: the first execute builds, every later one (any key)
+     reuses the entry — bind-time pruning re-selects the shard *)
+  Alcotest.(check int) "one build"
+    1
+    (counter cluster Obs.Metric_names.plancache_misses);
+  Alcotest.(check int) "rest are hits"
+    ((rounds * n_items) - 1)
+    (counter cluster Obs.Metric_names.plancache_hits);
+  Alcotest.(check int) "one entry" 1
+    (int_of_float (gauge cluster Obs.Metric_names.plancache_entries))
+
+let test_prepared_insert () =
+  let cluster, _, s = make () in
+  setup_items s;
+  Citus.Session.prepare s ~name:"ins"
+    "INSERT INTO items (key, val) VALUES ($1, $2)";
+  for k = n_items to n_items + 5 do
+    ignore
+      (Citus.Session.execute s "ins"
+         [ Datum.Int k; Datum.Text (Printf.sprintf "v%d" k) ])
+  done;
+  prepare_getv s;
+  for k = n_items to n_items + 5 do
+    check_val s ~name:"getv" k
+  done;
+  (* the INSERT shape was cached too: 6 executes, 1 build *)
+  Alcotest.(check bool) "insert shape cached" true
+    (counter cluster Obs.Metric_names.plancache_hits >= 5)
+
+let test_uncacheable_bypass () =
+  let cluster, _, s = make () in
+  setup_items s;
+  (* no distribution-column equality: scatter-gather every time *)
+  Citus.Session.prepare s ~name:"scan" "SELECT count(*) FROM items";
+  let count () =
+    match (Citus.Session.execute s "scan" []).Engine.Instance.rows with
+    | [ [| Datum.Int n |] ] -> Int64.to_int (Int64.of_int n)
+    | _ -> Alcotest.fail "count(*) shape"
+  in
+  Alcotest.(check int) "first scan" n_items (count ());
+  Alcotest.(check int) "second scan" n_items (count ());
+  Alcotest.(check int) "both bypassed" 2
+    (counter cluster Obs.Metric_names.plancache_bypass);
+  Alcotest.(check int) "no hits"
+    0
+    (counter cluster Obs.Metric_names.plancache_hits)
+
+let test_lru_bound () =
+  let cluster, _, s = make () in
+  setup_items s;
+  ignore (exec s "SELECT citus_set_config('plan_cache_size', '2')");
+  Citus.Session.prepare s ~name:"a" "SELECT val FROM items WHERE key = $1";
+  Citus.Session.prepare s ~name:"b" "SELECT key FROM items WHERE key = $1";
+  Citus.Session.prepare s ~name:"c"
+    "SELECT key, val FROM items WHERE key = $1";
+  List.iter
+    (fun n -> ignore (Citus.Session.execute s n [ Datum.Int 1 ]))
+    [ "a"; "b"; "c" ];
+  Alcotest.(check bool) "evicted" true
+    (counter cluster Obs.Metric_names.plancache_evictions >= 1);
+  Alcotest.(check bool) "bounded" true
+    (int_of_float (gauge cluster Obs.Metric_names.plancache_entries) <= 2);
+  (* the evicted shape still executes correctly — it just rebuilds *)
+  check_val s ~name:"a" 4
+
+let test_cache_disabled () =
+  let cluster, _, s = make () in
+  setup_items s;
+  ignore (exec s "SELECT citus_set_config('plan_cache_size', '0')");
+  prepare_getv s;
+  for k = 0 to n_items - 1 do
+    check_val s ~name:"getv" k
+  done;
+  Alcotest.(check int) "no hits" 0
+    (counter cluster Obs.Metric_names.plancache_hits);
+  Alcotest.(check int) "no builds" 0
+    (counter cluster Obs.Metric_names.plancache_misses);
+  Alcotest.(check bool) "counted as bypass" true
+    (counter cluster Obs.Metric_names.plancache_bypass >= n_items)
+
+let test_stat_statements () =
+  let _, _, s = make () in
+  setup_items s;
+  prepare_getv s;
+  for k = 0 to 4 do
+    check_val s ~name:"getv" k
+  done;
+  match (exec s "SELECT citus_stat_statements()").Engine.Instance.rows with
+  | [ [| Datum.Json (Json.Arr rows) |] ] ->
+    let shape =
+      List.find_map
+        (function
+          | Json.Obj fields -> (
+            match List.assoc_opt "query" fields with
+            (* the shape key is the normalized (deparsed) text, params
+               unbound — not the client's original spelling *)
+            | Some (Json.Str q)
+              when q = "SELECT val FROM items WHERE (key = $1)" -> Some fields
+            | _ -> None)
+          | _ -> None)
+        rows
+    in
+    (match shape with
+     | None -> Alcotest.fail "citus_stat_statements: shape row missing"
+     | Some fields ->
+       Alcotest.(check bool) "calls" true
+         (List.assoc_opt "calls" fields = Some (Json.Num 5.0));
+       Alcotest.(check bool) "hits" true
+         (List.assoc_opt "cache_hits" fields = Some (Json.Num 4.0));
+       Alcotest.(check bool) "misses" true
+         (List.assoc_opt "cache_misses" fields = Some (Json.Num 1.0));
+       Alcotest.(check bool) "tier recorded" true
+         (match List.assoc_opt "tier" fields with
+          | Some (Json.Str ("fast_path" | "router")) -> true
+          | _ -> false))
+  | _ -> Alcotest.fail "citus_stat_statements must return one json row"
+
+(* --- the invalidation matrix ---
+
+   Each leg executes, changes the world, executes again, and checks
+   both that the answer is still the one the key maps to and that the
+   cache noticed (an invalidation was counted). *)
+
+let invalidations cluster =
+  counter cluster Obs.Metric_names.plancache_invalidations
+
+let test_invalidate_ddl () =
+  let cluster, _, s = make () in
+  setup_items s;
+  prepare_getv s;
+  check_val s ~name:"getv" 2;
+  ignore (exec s "CREATE INDEX items_val ON items USING BTREE (val)");
+  check_val s ~name:"getv" 2;
+  Alcotest.(check int) "DDL invalidated the plan" 1 (invalidations cluster)
+
+let test_invalidate_move () =
+  let cluster, citus, s = make () in
+  setup_items s;
+  prepare_getv s;
+  for k = 0 to n_items - 1 do
+    check_val s ~name:"getv" k
+  done;
+  (* move the shard holding key 3 to a different worker *)
+  let meta = citus.Citus.Api.metadata in
+  let shard = Citus.Metadata.shard_for_value meta ~table:"items" (Datum.Int 3) in
+  let home = Citus.Metadata.placement meta shard.Citus.Metadata.shard_id in
+  let to_node =
+    match
+      List.find_opt
+        (fun (n : Cluster.Topology.node) ->
+          not (String.equal n.Cluster.Topology.node_name home))
+        cluster.Cluster.Topology.workers
+    with
+    | Some n -> n.Cluster.Topology.node_name
+    | None -> Alcotest.fail "no second worker"
+  in
+  ignore
+    (exec s
+       (Printf.sprintf "SELECT citus_move_shard_placement(%d, '%s')"
+          shard.Citus.Metadata.shard_id to_node));
+  (* every key still reads its own row — the cached plan must not
+     route to the old placement *)
+  for k = 0 to n_items - 1 do
+    check_val s ~name:"getv" k
+  done;
+  Alcotest.(check bool) "move invalidated the plan" true
+    (invalidations cluster >= 1)
+
+let test_invalidate_rebalance () =
+  (* start with shards packed on fewer workers, then add a node and
+     rebalance between two EXECUTEs *)
+  let cluster, _, s = make ~workers:3 ~active_workers:2 () in
+  setup_items s;
+  prepare_getv s;
+  check_val s ~name:"getv" 1;
+  ignore (exec s "SELECT citus_add_node('worker3')");
+  ignore (exec s "SELECT rebalance_table_shards()");
+  for k = 0 to n_items - 1 do
+    check_val s ~name:"getv" k
+  done;
+  Alcotest.(check bool) "rebalance invalidated the plan" true
+    (invalidations cluster >= 1)
+
+let test_invalidate_replication_factor () =
+  let cluster, _, s = make () in
+  setup_items s;
+  prepare_getv s;
+  check_val s ~name:"getv" 1;
+  ignore (exec s "SELECT citus_set_replication_factor(2)");
+  check_val s ~name:"getv" 1;
+  Alcotest.(check int) "factor change invalidated the plan" 1
+    (invalidations cluster)
+
+(* --- seeded chaos: prepared executes across a mid-storm shard move ---
+
+   A lighter storm than test_chaos (reads only), aimed at the one
+   invariant a stale cached plan would break: an EXECUTE that succeeds
+   must return the row its key hashes to. Crashes, partitions and
+   dropped round trips make placements fail over; two mid-storm
+   citus_move_shard_placement calls change the placement map while
+   cached plans are hot. *)
+
+type outcome = Good of int | Wrong of string | Failed
+
+let n_ops = 120
+let chaos_step = 0.05
+
+let schedule_storm cluster rng =
+  let fault =
+    match Cluster.Topology.fault cluster with
+    | Some f -> f
+    | None -> Alcotest.fail "cluster has no fault plan"
+  in
+  let workers =
+    List.map
+      (fun (n : Cluster.Topology.node) -> n.Cluster.Topology.node_name)
+      cluster.Cluster.Topology.workers
+  in
+  let horizon = float_of_int n_ops *. chaos_step in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  for _ = 1 to 2 do
+    let at = Random.State.float rng (horizon *. 0.8) in
+    let down_for = 0.3 +. Random.State.float rng 1.0 in
+    Sim.Fault.schedule_crash fault ~at ~down_for (pick workers)
+  done;
+  let at = Random.State.float rng (horizon *. 0.8) in
+  Sim.Fault.schedule_partition
+    ~heal_after:(0.5 +. Random.State.float rng 1.0)
+    fault ~at ~from_:"coordinator" ~to_:(pick workers);
+  Sim.Fault.set_drop_rate fault
+    ~request:(Random.State.float rng 0.02)
+    ~reply:(Random.State.float rng 0.02)
+
+let ensure_prepared citus sref =
+  if not (Engine.Instance.session_alive !sref) then begin
+    sref := Citus.Api.connect citus;
+    prepare_getv !sref
+  end
+
+let fire_move citus rng sref =
+  ensure_prepared citus sref;
+  let meta = citus.Citus.Api.metadata in
+  let shards = Citus.Metadata.shards_of meta "items" in
+  let sh = List.nth shards (Random.State.int rng (List.length shards)) in
+  let workers =
+    List.map
+      (fun (n : Cluster.Topology.node) -> n.Cluster.Topology.node_name)
+      citus.Citus.Api.cluster.Cluster.Topology.workers
+  in
+  let to_node = List.nth workers (Random.State.int rng (List.length workers)) in
+  try
+    ignore
+      (exec !sref
+         (Printf.sprintf "SELECT citus_move_shard_placement(%d, '%s')"
+            sh.Citus.Metadata.shard_id to_node))
+  with _ -> ()
+
+let run_prepared_chaos ~seed =
+  let cluster, citus, s = make ~seed () in
+  Citus.Api.set_replication_factor citus 2;
+  setup_items s;
+  prepare_getv s;
+  let clock = cluster.Cluster.Topology.clock in
+  let sched_rng = Random.State.make [| seed; 0xfa07 |] in
+  let wl_rng = Random.State.make [| seed; 0x0b5e |] in
+  schedule_storm cluster sched_rng;
+  let sref = ref s in
+  let outcomes = ref [] in
+  for i = 1 to n_ops do
+    Sim.Clock.advance clock chaos_step;
+    let k = Random.State.int wl_rng n_items in
+    ensure_prepared citus sref;
+    let o =
+      match (Citus.Session.execute !sref "getv" [ Datum.Int k ]).rows with
+      | [ [| Datum.Text v |] ] when String.equal v (Printf.sprintf "v%d" k) ->
+        Good k
+      | rows ->
+        Wrong
+          (Printf.sprintf "key %d got %d row(s): %s" k (List.length rows)
+             (String.concat ";"
+                (List.concat_map
+                   (fun r -> Array.to_list (Array.map Datum.to_display r))
+                   rows)))
+      | exception _ -> Failed
+    in
+    outcomes := o :: !outcomes;
+    if i mod 40 = 17 then fire_move citus wl_rng sref
+  done;
+  (cluster, List.rev !outcomes)
+
+let test_chaos_seed seed () =
+  let cluster, outcomes = run_prepared_chaos ~seed in
+  List.iter
+    (function
+      | Wrong m -> Alcotest.failf "seed %d: wrong-shard read: %s" seed m
+      | Good _ | Failed -> ())
+    outcomes;
+  let good = List.length (List.filter (function Good _ -> true | _ -> false) outcomes) in
+  (* the storm must not drown the workload: most executes succeed *)
+  Alcotest.(check bool)
+    (Printf.sprintf "seed %d: %d/%d executes returned rows" seed good n_ops)
+    true
+    (good > n_ops / 2);
+  (* and the cache must actually have been in play *)
+  Alcotest.(check bool) "cache served hits under the storm" true
+    (counter cluster Obs.Metric_names.plancache_hits > 0)
+
+let seed_matrix = [ 1; 2; 3; 4 ]
+
+let test_reproducible () =
+  let _, a = run_prepared_chaos ~seed:7 in
+  let _, b = run_prepared_chaos ~seed:7 in
+  Alcotest.(check bool) "same seed, same outcome stream" true (a = b)
+
+let () =
+  Alcotest.run "prepared"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "sql PREPARE/EXECUTE/DEALLOCATE" `Quick
+            test_sql_lifecycle;
+          Alcotest.test_case "typed Session surface" `Quick
+            test_session_surface;
+          Alcotest.test_case "typed bind error" `Quick test_typed_bind_error;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hits after one build" `Quick test_cache_hits;
+          Alcotest.test_case "prepared insert" `Quick test_prepared_insert;
+          Alcotest.test_case "uncacheable shapes bypass" `Quick
+            test_uncacheable_bypass;
+          Alcotest.test_case "lru bound" `Quick test_lru_bound;
+          Alcotest.test_case "plan_cache_size=0 disables" `Quick
+            test_cache_disabled;
+          Alcotest.test_case "citus_stat_statements" `Quick
+            test_stat_statements;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "schema DDL" `Quick test_invalidate_ddl;
+          Alcotest.test_case "shard move" `Quick test_invalidate_move;
+          Alcotest.test_case "add node + rebalance" `Quick
+            test_invalidate_rebalance;
+          Alcotest.test_case "replication factor" `Quick
+            test_invalidate_replication_factor;
+        ] );
+      ( "chaos",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "seed %d" seed)
+              `Quick (test_chaos_seed seed))
+          seed_matrix
+        @ [
+            Alcotest.test_case "same seed, same storm" `Quick
+              test_reproducible;
+          ] );
+    ]

@@ -17,6 +17,7 @@ let all : Rule.t list =
     (module Rule_deadline);
     (module Rule_metric_registry);
     (module Rule_snapshot_discipline);
+    (module Rule_no_reparse);
   ]
 
 let find id =

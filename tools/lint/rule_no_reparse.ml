@@ -1,0 +1,115 @@
+(** L15 no-reparse: the cached-execute path never touches the parser.
+
+    The whole point of the prepared-statement plan cache is that an
+    [EXECUTE] on the OLTP hot path reuses a memoized AST and deparse
+    string — if anything reachable from [Api.execute_prepared] calls
+    [Parser.parse*] on the coordinator, the cache is silently paying
+    the parse cost it exists to eliminate (and, worse, may diverge from
+    the AST the plan was built from). A forward reachability fixpoint
+    over the call graph marks everything the cached dispatch can reach
+    and flags every parser entry point inside the reachable set.
+
+    The wire boundary is excluded by design: [Connection.exec_ast]
+    deparses to SQL and the {e remote} engine re-parses it — exactly
+    like a real Citus worker receiving text over libpq. Reachability
+    therefore does not propagate through any call into [Connection]:
+    what happens past the wire is the remote node's parse, not a
+    coordinator re-parse.
+
+    Escape hatch: [[\@lint.reparse]] on the call, asserting the parse
+    is off the per-execute path (e.g. a lazily-built, cached artifact). *)
+
+let id = "L15"
+let name = "no-reparse"
+
+let doc =
+  "Parser.parse* must be unreachable from Api.execute_prepared (the \
+   cached-execute path); remote re-parse past the Connection wire \
+   boundary is by design (escape hatch: [@lint.reparse])"
+
+let explain =
+  "a prepared statement promises parse-once/execute-many: the plan \
+   cache memoizes the AST, tier decision, and per-shard deparse at \
+   PREPARE/first-EXECUTE, so the hot path only binds parameters and \
+   re-prunes the target shard. One Parser.parse* call reachable from \
+   Api.execute_prepared re-introduces the very per-call parse the API \
+   exists to remove — a silent performance regression the benchmarks \
+   would catch late and attribute wrongly — and risks executing an AST \
+   that differs from the one the cached plan was validated against. \
+   L15 computes forward reachability from Api.execute_prepared over \
+   the whole-program call graph, cutting every edge into Connection \
+   (the wire boundary: Connection.exec_ast deparses to SQL and the \
+   remote engine re-parses by design, like a Citus worker receiving \
+   text over libpq), and flags any reachable Parser.parse* site. \
+   Escape hatch: [@lint.reparse] for parses provably off the \
+   per-execute path."
+
+let applies _ = false
+let check ~path:_ _ = []
+let check_tree _ = []
+
+let is_entry (fn : Callgraph.fn) =
+  let { Callgraph.m; v } = fn.Callgraph.f_id in
+  String.equal m "Api" && String.equal v "execute_prepared"
+
+let is_parse comps =
+  match List.rev comps with
+  | last :: prev :: _ ->
+    String.equal prev "Parser" && Rule.starts_with "parse" last
+  | _ -> false
+
+(* the wire boundary: a call into Connection ships deparsed SQL to the
+   remote engine, whose parse is its own business, not a coordinator
+   re-parse. Matched on the resolved target (local opens leave the
+   written path bare), falling back to the written path. *)
+let crosses_wire (s : Callgraph.site) =
+  match s.Callgraph.s_target with
+  | Some { Callgraph.m; _ } -> String.equal m "Connection"
+  | None -> List.exists (String.equal "Connection") s.Callgraph.s_path
+
+let escape_hatch = "lint.reparse"
+
+let in_scope_file path =
+  Rule.starts_with "lib/" path && not (Rule.starts_with "lib/sim/" path)
+
+let check_program (files : (string * Parsetree.structure) list) =
+  let g = Callgraph.build files in
+  let reachable =
+    Dataflow.solve g ~dir:Dataflow.Forward ~bottom:false ~equal:Bool.equal
+      ~join:( || ) ~init:is_entry
+      ~transfer:(fun ~site ~dep:_ fact -> fact && not (crosses_wire site))
+  in
+  let findings =
+    List.concat_map
+      (fun (fn : Callgraph.fn) ->
+        if
+          (not (in_scope_file fn.Callgraph.f_file))
+          || not (is_entry fn || reachable fn.Callgraph.f_id)
+        then []
+        else
+          List.filter_map
+            (fun (s : Callgraph.site) ->
+              if
+                is_parse s.Callgraph.s_path
+                && not (List.mem escape_hatch s.Callgraph.s_attrs)
+              then
+                Some
+                  (Rule.finding ~id ~file:fn.Callgraph.f_file
+                     ~loc:s.Callgraph.s_loc
+                     (Printf.sprintf
+                        "%s is reachable from the cached-execute path (via \
+                         %s) — a prepared EXECUTE must bind into the \
+                         memoized AST, never re-parse on the coordinator; \
+                         move the parse to PREPARE time, or annotate \
+                         [@lint.reparse] if it is provably off the \
+                         per-execute path"
+                        (String.concat "." s.Callgraph.s_path)
+                        (Callgraph.id_str fn.Callgraph.f_id)))
+              else None)
+            fn.Callgraph.f_sites)
+      g.Callgraph.fns
+  in
+  List.sort
+    (fun (a : Rule.finding) b ->
+      compare (a.file, a.line, a.col) (b.file, b.line, b.col))
+    findings
