@@ -24,6 +24,7 @@ let experiments =
     ("tail", "Tail latency under a brownout: hedging off vs on", fun () -> ignore (Tail.run ()));
     ("consistency", "Read consistency overhead: eventual vs snapshot, clock skew", fun () -> ignore (Consistency.run ()));
     ("prepared", "Prepared statements: plan-cache hit vs re-plan, cold vs warm", fun () -> ignore (Prepared.run ()));
+    ("mx", "Citus MX: aggregate YCSB-A throughput, 1 vs N coordinators", fun () -> ignore (Mx.run ()));
     ("micro", "Bechamel wall-clock microbenchmarks", fun () -> Micro.run ());
   ]
 

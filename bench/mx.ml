@@ -1,0 +1,134 @@
+(* Citus MX (DESIGN.md §4j): aggregate YCSB-A throughput with one
+   coordinator vs every node coordinating.
+
+   Same cluster, same workload, same seed; the only change is
+   [citus_enable_metadata_sync]. In single-coordinator mode every
+   session runs through the bootstrap coordinator, so its CPU carries
+   all planning + fan-out work; in MX mode the catalog is replicated to
+   every worker, each session connects to a different node, and the
+   same per-transaction coordination cost spreads across N demand
+   centers. The cluster is sized so the coordination bottleneck is
+   real: a worker re-plans + executes its fragment, so per-node
+   execution demand only drops below the lone coordinator's planning
+   demand once enough workers share it (the paper's clusters are this
+   shape — many workers behind one coordinator). MX then wins exactly
+   the gap between the concentrated planning center and the spread
+   per-worker centers.
+
+   Writes BENCH_mx.json. *)
+
+let cfg = { Workloads.Ycsb.rows = 12_000; fields = 10; field_length = 40 }
+
+let buffer_pages = 220
+
+let clients = 2048
+
+let measured = 600
+
+let workers = 12
+
+let shard_count = 48 (* 4 per worker: placement skew would mask the shape *)
+
+type summary = {
+  mode : string;  (** "single" | "mx" *)
+  coordinators : int;  (** nodes accepting sessions in this mode *)
+  tps : float;
+  response : float;
+  bottleneck : string;
+}
+
+let run_mode ~mx () =
+  let db = Workloads.Db.citus ~buffer_pages ~shard_count ~workers () in
+  Workloads.Ycsb.setup db cfg;
+  let api =
+    match db.Workloads.Db.citus with
+    | Some api -> api
+    | None -> invalid_arg "mx bench needs a citus setup"
+  in
+  let sessions =
+    if mx then begin
+      (* replicate the catalog; every data node now plans + opens 2PC *)
+      Citus.Api.enable_metadata_sync api;
+      List.map
+        (fun (n : Cluster.Topology.node) -> Citus.Api.connect_via api n)
+        (Cluster.Topology.data_nodes db.Workloads.Db.cluster)
+    end
+    else [ db.Workloads.Db.session ]
+  in
+  let n_sessions = List.length sessions in
+  let rng = Random.State.make [| 29 |] in
+  (* warmup: populate the buffer pools to steady state *)
+  for i = 1 to 400 do
+    ignore (Workloads.Ycsb.run_one (List.nth sessions (i mod n_sessions)) cfg rng)
+  done;
+  let (), u =
+    Harness.measure db (fun () ->
+        for i = 1 to measured do
+          ignore
+            (Workloads.Ycsb.run_one (List.nth sessions (i mod n_sessions)) cfg
+               rng)
+        done)
+  in
+  let closed =
+    Harness.closed_throughput db u ~n_txns:measured ~clients ~think_s:0.0
+  in
+  {
+    mode = (if mx then "mx" else "single");
+    coordinators = n_sessions;
+    tps = closed.Harness.tps;
+    response = closed.Harness.response;
+    bottleneck = closed.Harness.bottleneck;
+  }
+
+(* Both modes, same seed — what test_bench guards. *)
+let measure_modes () = [ run_mode ~mx:false (); run_mode ~mx:true () ]
+
+let run () =
+  Report.section
+    "Citus MX: YCSB workload A, one coordinator vs every node coordinating";
+  let summaries = measure_modes () in
+  let baseline =
+    match summaries with s :: _ -> s.tps | [] -> 1.0
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf "YCSB workload A (uniform, %d threads, %d workers)"
+         clients workers)
+    ~headers:
+      [ "mode"; "coordinators"; "ops/s"; "vs single"; "response"; "bottleneck" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.mode;
+             string_of_int r.coordinators;
+             Report.fmt_rate r.tps;
+             Report.fmt_x (r.tps /. baseline);
+             Report.fmt_ms r.response;
+             r.bottleneck;
+           ])
+         summaries);
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"bench\": \"mx\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"workload\": \"ycsb_a\", \"txns\": %d, \"clients\": %d, \
+        \"workers\": %d,\n"
+       measured clients workers);
+  Buffer.add_string buf "  \"modes\": [\n";
+  let n = List.length summaries in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"mode\": %S, \"coordinators\": %d, \"tps\": %.2f, \
+            \"response_s\": %.6f, \"bottleneck\": %S}%s\n"
+           r.mode r.coordinators r.tps r.response r.bottleneck
+           (if i = n - 1 then "" else ",")))
+    summaries;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_mx.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Report.note "  wrote BENCH_mx.json";
+  summaries

@@ -1,7 +1,10 @@
+type role = Coordinator | Worker
+
 type node = {
   node_name : string;
   instance : Engine.Instance.t;
   spec : Sim.Cost.node_spec;
+  mutable role : role;
 }
 
 type net_stats = {
@@ -56,16 +59,18 @@ let hlc t name =
 let create ?(buffer_pages = 100_000) ?(spec = Sim.Cost.default_spec)
     ?(rtt = Sim.Cost.default_rtt) ?fault_seed ?sched_seed ~workers () =
   let obs = Obs.create () in
-  let make name seed =
+  let make name seed role =
     {
       node_name = name;
       instance = Engine.Instance.create ~seed ~buffer_pages ~obs ~name ();
       spec;
+      role;
     }
   in
-  let coordinator = make "coordinator" 1 in
+  let coordinator = make "coordinator" 1 Coordinator in
   let workers =
-    List.init workers (fun i -> make (Printf.sprintf "worker%d" (i + 1)) (i + 2))
+    List.init workers (fun i ->
+        make (Printf.sprintf "worker%d" (i + 1)) (i + 2) Worker)
   in
   let clock = Sim.Clock.create () in
   let fault =
@@ -166,6 +171,14 @@ let route_up t ~from_ ~to_ =
 let data_nodes t = match t.workers with [] -> [ t.coordinator ] | ws -> ws
 
 let all_nodes t = t.coordinator :: t.workers
+
+let set_role n role = n.role <- role
+
+(* Nodes allowed to plan queries and open 2PC. The bootstrap
+   coordinator always qualifies; workers join once metadata sync
+   promotes them (Citus MX). *)
+let coordinators t =
+  List.filter (fun n -> n.role = Coordinator) (all_nodes t)
 
 let find_node t name =
   match List.find_opt (fun n -> String.equal n.node_name name) (all_nodes t) with

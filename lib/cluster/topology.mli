@@ -6,10 +6,17 @@
     harness prices via {!Sim.Cost}. A shared virtual {!Sim.Clock.t} drives
     time-based behavior (slow-start, deadlock polling). *)
 
+(** Whether a node may plan distributed queries and open 2PC. The
+    bootstrap node starts as [Coordinator]; workers start as [Worker]
+    and are promoted by metadata sync (Citus MX: any synced node can
+    coordinate). *)
+type role = Coordinator | Worker
+
 type node = {
   node_name : string;
   instance : Engine.Instance.t;
   spec : Sim.Cost.node_spec;
+  mutable role : role;
 }
 
 type net_stats = {
@@ -117,6 +124,12 @@ val data_nodes : t -> node list
 val all_nodes : t -> node list
 
 val find_node : t -> string -> node
+
+val set_role : node -> role -> unit
+
+(** Nodes whose current role is [Coordinator], in topology order
+    (bootstrap coordinator first). *)
+val coordinators : t -> node list
 
 (** Copy of the network counters (for before/after diffs). *)
 val net_snapshot : t -> net_stats

@@ -88,8 +88,8 @@ let mark_placement_lost (t : State.t) ~shard_id ~node =
           Metadata.placement_state_of meta ~shard_id:s.Metadata.shard_id ~node
         with
         | Some Metadata.Active ->
-          Metadata.mark_placement meta ~shard_id:s.Metadata.shard_id ~node
-            Metadata.Inactive
+          Metasync.mark_placement t.State.metasync
+            ~shard_id:s.Metadata.shard_id ~node Metadata.Inactive
         | _ -> ())
       (Metadata.colocated_shards meta shard)
 

@@ -3,6 +3,12 @@ open Sqlfront
 type t = {
   cluster : Cluster.Topology.t;
   metadata : Metadata.t;
+      (** the bootstrap coordinator's catalog — the metasync origin;
+          each installed node reads its own replica via
+          [State.metadata] *)
+  metasync : Metasync.t;
+      (** the metadata-sync layer: every catalog mutation is applied to
+          all node replicas in lockstep (MX) *)
   registry : ((string * int), string * int) Hashtbl.t;
   mutable states : State.t list;
   mutable active_data_nodes : string list;
@@ -11,7 +17,8 @@ type t = {
   plancache : Plancache.t;
       (** cluster-wide distributed plan cache: shared across every node
           the extension is installed on, validated against
-          {!Metadata.version} (the metadata is shared too) *)
+          {!Metadata.version} — replicas bump versions in lockstep, so
+          one entry is valid or stale everywhere at once *)
 }
 
 let err fmt =
@@ -35,10 +42,10 @@ let state_for t session =
 
 (* --- shard DDL helpers --- *)
 
-let admin_conn t node_name =
-  Cluster.Connection.open_
-    ~origin:t.cluster.Cluster.Topology.coordinator.Cluster.Topology.node_name
-    t.cluster
+(* [origin] is the node running the DDL — with MX any coordinator, not
+   necessarily the bootstrap one. *)
+let admin_conn t ~origin node_name =
+  Cluster.Connection.open_ ~origin t.cluster
     (Cluster.Topology.find_node t.cluster node_name)
 
 let table_def_of catalog name =
@@ -231,13 +238,14 @@ let sync_shells_to_installed_nodes t =
 
 let do_create_distributed_table t session ~table ~column ~colocate_with =
   let inst = Engine.Instance.session_instance session in
+  let origin = Engine.Instance.name inst in
   let catalog = Engine.Instance.catalog inst in
   let tbl = table_def_of catalog table in
   let dist_ty =
     (Engine.Catalog.column_tys tbl).(Engine.Catalog.column_index tbl column)
   in
   let shards =
-    Metadata.register_distributed t.metadata
+    Metasync.register_distributed t.metasync
       ~replication_factor:t.replication_factor ~table ~column ~ty:dist_ty
       ~colocate_with ~nodes:t.active_data_nodes
   in
@@ -249,7 +257,7 @@ let do_create_distributed_table t session ~table ~column ~colocate_with =
            Metadata.placements t.metadata s.Metadata.shard_id)
          shards)
   in
-  let conns = List.map (fun n -> (n, admin_conn t n)) node_names in
+  let conns = List.map (fun n -> (n, admin_conn t ~origin n)) node_names in
   let conn_for node =
     match List.assoc_opt node conns with
     | Some c -> c
@@ -268,6 +276,7 @@ let do_create_distributed_table t session ~table ~column ~colocate_with =
 
 let do_create_reference_table t session ~table =
   let inst = Engine.Instance.session_instance session in
+  let origin = Engine.Instance.name inst in
   let catalog = Engine.Instance.catalog inst in
   let tbl = table_def_of catalog table in
   let nodes =
@@ -275,8 +284,8 @@ let do_create_reference_table t session ~table =
       (t.cluster.Cluster.Topology.coordinator.Cluster.Topology.node_name
        :: t.active_data_nodes)
   in
-  let shard = Metadata.register_reference t.metadata ~table ~nodes in
-  let conns = List.map (fun n -> (n, admin_conn t n)) nodes in
+  let shard = Metasync.register_reference t.metasync ~table ~nodes in
+  let conns = List.map (fun n -> (n, admin_conn t ~origin n)) nodes in
   List.iter
     (fun (node, conn) ->
       ignore node;
@@ -579,11 +588,21 @@ and cached_execute (t : t) (st : State.t) session ~name ~values shape :
 
 (* --- extension installation --- *)
 
-let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
-    ~is_coordinator =
+let rec install_on_node t (node : Cluster.Topology.node) =
+  let node_name = node.Cluster.Topology.node_name in
+  (* each node reads its own catalog replica (MX); the bootstrap
+     coordinator's is the metasync origin, everyone else attaches a
+     replica caught up from the op log *)
+  let metadata =
+    if
+      String.equal node_name
+        t.cluster.Cluster.Topology.coordinator.Cluster.Topology.node_name
+    then t.metadata
+    else Metasync.attach t.metasync node_name
+  in
   let st =
-    State.create ~cluster:t.cluster ~metadata:t.metadata ~local:node
-      ~registry:t.registry ~coordinator_id
+    State.create ~cluster:t.cluster ~metadata ~metasync:t.metasync ~local:node
+      ~registry:t.registry
   in
   t.states <- t.states @ [ st ];
   let inst = node.Cluster.Topology.instance in
@@ -609,13 +628,19 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
       Twopc.post_commit st session);
   Engine.Instance.on_abort inst (fun session -> Twopc.on_abort st session);
   Engine.Instance.add_maintenance inst (fun _ -> ignore (Twopc.recover st));
-  if is_coordinator then begin
-    Engine.Instance.add_maintenance inst (fun _ ->
+  (* coordinator duties, gated on the node's {e current} role so a
+     worker promoted by metadata sync picks them up on its next tick:
+     deadlock detection merges every node's wait edges into one global
+     graph (concurrent coordinators each run the same merged check — the
+     first to see a cycle cancels the victim, later rounds find the
+     graph already broken), and placement repair self-heals Inactive
+     placements from healthy replicas *)
+  Engine.Instance.add_maintenance inst (fun _ ->
+      if node.Cluster.Topology.role = Cluster.Topology.Coordinator then
         ignore (Deadlock.detect_and_cancel st));
-    (* self-healing: re-copy Inactive placements from healthy replicas *)
-    Engine.Instance.add_maintenance inst (fun _ ->
-        ignore (Rebalancer.repair_inactive st))
-  end;
+  Engine.Instance.add_maintenance inst (fun _ ->
+      if node.Cluster.Topology.role = Cluster.Topology.Coordinator then
+        ignore (Rebalancer.repair_inactive st));
   (* UDFs — all declared through the typed signature combinators in
      {!Udf}; each usage error is rendered from the signature itself. *)
   Udf.register inst "create_distributed_table"
@@ -718,61 +743,93 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
       if n < 1 then err "replication factor must be >= 1";
       t.replication_factor <- n;
       (* future registrations place differently: cached plans revalidate *)
-      Metadata.bump_version t.metadata);
+      Metasync.bump_version t.metasync);
+  Udf.register inst "citus_enable_metadata_sync"
+    Udf.(returning text_result)
+    (fun _session () ->
+      enable_metadata_sync t;
+      Printf.sprintf "metadata synced to %d nodes"
+        (List.length (Cluster.Topology.data_nodes t.cluster)));
   (* the engine has no SET/GUC machinery, so runtime knobs flow through
-     a UDF instead; values apply to this node's extension state *)
+     a UDF instead; the value propagates to every metadata-synced node's
+     extension state (MX: a knob set anywhere applies cluster-wide,
+     like a synced ALTER SYSTEM), not just the node that ran it *)
   Udf.register inst "citus_set_config"
     Udf.(text "name" @-> text "value" @-> returning text_result)
     (fun _session name value () ->
-      let cfg = st.State.config in
+      if String.equal name "enable_metadata_sync" then begin
+        (* not a per-node State.config field: flipping it on replicates
+           the catalog and promotes the workers, cluster-wide by nature *)
+        (match String.lowercase_ascii value with
+         | "on" | "true" | "1" -> enable_metadata_sync t
+         | "off" | "false" | "0" ->
+           err
+             "citus_set_config: metadata sync cannot be disabled — workers \
+              already hold catalog replicas and coordinate transactions"
+         | _ ->
+           err "citus_set_config: enable_metadata_sync expects on|off, got '%s'"
+             value);
+        Printf.sprintf "%s = %s" name value
+      end
+      else
       let float_knob set =
         match float_of_string_opt value with
-        | Some v when v >= 0.0 -> set v
+        | Some v when v >= 0.0 -> fun cfg -> set cfg v
         | _ ->
           err "citus_set_config: %s expects a non-negative number, got '%s'"
             name value
       in
       let int_knob set =
         match int_of_string_opt value with
-        | Some v when v > 0 -> set v
+        | Some v when v > 0 -> fun cfg -> set cfg v
         | _ ->
           err "citus_set_config: %s expects a positive integer, got '%s'" name
             value
       in
-      (match name with
-       | "statement_timeout" ->
-         float_knob (fun v -> cfg.State.statement_timeout <- v)
-       | "hedge_threshold" ->
-         float_knob (fun v -> cfg.State.hedge_threshold <- v)
-       | "slow_start_interval" ->
-         float_knob (fun v -> cfg.State.slow_start_interval <- v)
-       | "pool_size_per_node" ->
-         int_knob (fun v -> cfg.State.pool_size_per_node <- v)
-       | "shared_connection_limit" ->
-         int_knob (fun v -> cfg.State.shared_connection_limit <- v)
-       | "max_parallel_moves" ->
-         int_knob (fun v -> cfg.State.max_parallel_moves <- v)
-       | "move_timeout" ->
-         float_knob (fun v -> cfg.State.move_timeout <- v)
-       | "consistency" ->
-         (match State.consistency_of_string value with
-          | Some c -> cfg.State.consistency <- c
-          | None ->
-            err
-              "citus_set_config: consistency expects \
-               eventual|read_your_writes|snapshot, got '%s'"
-              value)
-       | "plan_cache_size" ->
-         (* 0 legitimately disables the cache, so int_knob (positive
-            only) does not fit *)
-         (match int_of_string_opt value with
-          | Some v when v >= 0 -> cfg.State.plan_cache_size <- v
-          | _ ->
-            err
-              "citus_set_config: plan_cache_size expects a non-negative \
-               integer, got '%s'"
-              value)
-       | other -> err "citus_set_config: unknown setting '%s'" other);
+      (* validate once, {e then} apply everywhere: a bad value must not
+         leave the cluster half-updated *)
+      let apply : State.config -> unit =
+        match name with
+        | "statement_timeout" ->
+          float_knob (fun cfg v -> cfg.State.statement_timeout <- v)
+        | "hedge_threshold" ->
+          float_knob (fun cfg v -> cfg.State.hedge_threshold <- v)
+        | "slow_start_interval" ->
+          float_knob (fun cfg v -> cfg.State.slow_start_interval <- v)
+        | "pool_size_per_node" ->
+          int_knob (fun cfg v -> cfg.State.pool_size_per_node <- v)
+        | "shared_connection_limit" ->
+          int_knob (fun cfg v -> cfg.State.shared_connection_limit <- v)
+        | "max_parallel_moves" ->
+          int_knob (fun cfg v -> cfg.State.max_parallel_moves <- v)
+        | "move_timeout" ->
+          float_knob (fun cfg v -> cfg.State.move_timeout <- v)
+        | "consistency" ->
+          (match State.consistency_of_string value with
+           | Some c -> fun cfg -> cfg.State.consistency <- c
+           | None ->
+             err
+               "citus_set_config: consistency expects \
+                eventual|read_your_writes|snapshot, got '%s'"
+               value)
+        | "plan_cache_size" ->
+          (* 0 legitimately disables the cache, so int_knob (positive
+             only) does not fit *)
+          (match int_of_string_opt value with
+           | Some v when v >= 0 -> fun cfg -> cfg.State.plan_cache_size <- v
+           | _ ->
+             err
+               "citus_set_config: plan_cache_size expects a non-negative \
+                integer, got '%s'"
+               value)
+        | other -> err "citus_set_config: unknown setting '%s'" other
+      in
+      List.iter (fun (other : State.t) -> apply other.State.config) t.states;
+      let remote = List.length t.states - 1 in
+      if remote > 0 then
+        Obs.Metrics.inc ~by:remote
+          (Cluster.Topology.metrics t.cluster)
+          Obs.Metric_names.mx_config_syncs;
       Printf.sprintf "%s = %s" name value);
   Udf.register inst "citus_health_report"
     Udf.(returning rows)
@@ -826,7 +883,9 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
                  in
                  let catalog = Engine.Instance.catalog inst in
                  let tbl = table_def_of catalog dt.Metadata.dt_name in
-                 let conn = admin_conn t name in
+                 let conn =
+                   admin_conn t ~origin:(Engine.Instance.name inst) name
+                 in
                  create_shard_table ~conn ~src:tbl
                    ~shard_table:(Metadata.shard_name shard);
                  (* copy current contents from the local replica *)
@@ -854,7 +913,7 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
                              on_conflict_do_nothing = false;
                            }))
                  end;
-                 Metadata.add_placement t.metadata
+                 Metasync.add_placement t.metasync
                    ~shard_id:shard.Metadata.shard_id ~node:name
                end)
              (Metadata.all_tables t.metadata)
@@ -870,9 +929,13 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
   Udf.register inst "citus_stat_activity"
     Udf.(returning rows)
     (fun _session () ->
-      (* what the cluster is doing right now: the open spans, outermost
-         first (includes the statement span of this very call when
-         tracing is on) *)
+      (* what the whole cluster is doing right now: the open spans of
+         every node, outermost first (includes the statement span of
+         this very call when tracing is on). The view answers
+         identically from any metadata-synced node — the trace sink is
+         cluster-wide — and each row is tagged with the coordinator
+         that opened the span (fragments and 2PC phases span on their
+         coordinating node). *)
       let trace = Cluster.Topology.trace t.cluster in
       let spans =
         List.map
@@ -882,6 +945,7 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
                 ("id", Json.Num (float_of_int sp.Obs.Trace.id));
                 ("kind", Json.Str sp.Obs.Trace.kind);
                 ("node", Json.Str sp.Obs.Trace.node);
+                ("coordinator", Json.Str sp.Obs.Trace.node);
                 ("start", Json.Num sp.Obs.Trace.start);
                 ( "tags",
                   Json.Obj
@@ -893,6 +957,13 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
       in
       Json.Obj
         [
+          ("origin", Json.Str node_name);
+          ( "coordinators",
+            Json.Arr
+              (List.map
+                 (fun (n : Cluster.Topology.node) ->
+                   Json.Str n.Cluster.Topology.node_name)
+                 (Cluster.Topology.coordinators t.cluster)) );
           ("tracing_enabled", Json.Bool (Obs.Trace.enabled trace));
           ("spans_started", Json.Num (float_of_int (Obs.Trace.started trace)));
           ("spans_finished", Json.Num (float_of_int (Obs.Trace.finished trace)));
@@ -901,9 +972,13 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
   Udf.register inst "citus_stat_counters"
     Udf.(returning rows)
     (fun _session () ->
+      (* cluster-wide aggregation: the metrics registry folds every
+         node's series, so the same totals answer from any coordinator;
+         [origin] records which one served this call *)
       let snap = Obs.Metrics.snapshot (Cluster.Topology.metrics t.cluster) in
       Json.Obj
         [
+          ("origin", Json.Str node_name);
           ( "counters",
             Json.Obj
               (List.map
@@ -966,6 +1041,25 @@ let install_on_node t (node : Cluster.Topology.node) ~coordinator_id
       in
       Json.Arr rows)
 
+and enable_metadata_sync t =
+  List.iter
+    (fun (node : Cluster.Topology.node) ->
+      let installed =
+        List.exists
+          (fun (st : State.t) ->
+            String.equal st.State.local.Cluster.Topology.node_name
+              node.Cluster.Topology.node_name)
+          t.states
+      in
+      if not installed then install_on_node t node;
+      (* promote: a metadata-synced node plans and coordinates like the
+         bootstrap coordinator — including running the coordinator-only
+         maintenance passes (deadlock detection, placement repair),
+         which are gated on the role at tick time *)
+      Cluster.Topology.set_role node Cluster.Topology.Coordinator)
+    (Cluster.Topology.data_nodes t.cluster);
+  sync_shells_to_installed_nodes t
+
 let install ?(shard_count = 32) ?active_workers cluster =
   let metadata = Metadata.create ~shard_count () in
   let data =
@@ -982,6 +1076,8 @@ let install ?(shard_count = 32) ?active_workers cluster =
     {
       cluster;
       metadata;
+      metasync =
+        Metasync.create ~metrics:(Cluster.Topology.metrics cluster) metadata;
       registry = Hashtbl.create 64;
       states = [];
       active_data_nodes = active;
@@ -990,24 +1086,8 @@ let install ?(shard_count = 32) ?active_workers cluster =
       plancache = Plancache.create ();
     }
   in
-  install_on_node t cluster.Cluster.Topology.coordinator ~coordinator_id:0
-    ~is_coordinator:true;
+  install_on_node t cluster.Cluster.Topology.coordinator;
   t
-
-let enable_metadata_sync t =
-  List.iteri
-    (fun i (node : Cluster.Topology.node) ->
-      let installed =
-        List.exists
-          (fun (st : State.t) ->
-            String.equal st.State.local.Cluster.Topology.node_name
-              node.Cluster.Topology.node_name)
-          t.states
-      in
-      if not installed then
-        install_on_node t node ~coordinator_id:(i + 1) ~is_coordinator:false)
-    (Cluster.Topology.data_nodes t.cluster);
-  sync_shells_to_installed_nodes t
 
 let connect t =
   Engine.Instance.connect
@@ -1049,7 +1129,7 @@ let create_distributed_function t ~proc ~arg_position ~table =
 let set_replication_factor t n =
   if n < 1 then err "replication factor must be >= 1";
   t.replication_factor <- n;
-  Metadata.bump_version t.metadata
+  Metasync.bump_version t.metasync
 
 let health_report t =
   let st = coordinator_state t in

@@ -20,6 +20,10 @@
 type t = {
   cluster : Cluster.Topology.t;
   metadata : Metadata.t;
+      (** the bootstrap coordinator's catalog — the metasync origin *)
+  metasync : Metasync.t;
+      (** metadata-sync layer: every catalog mutation flows through it and
+          fans out to all node replicas in lockstep (MX, §3.2.1) *)
   registry : ((string * int), string * int) Hashtbl.t;
   mutable states : State.t list;  (** one per node running the extension *)
   mutable active_data_nodes : string list;

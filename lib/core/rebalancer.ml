@@ -236,7 +236,7 @@ let move_one ?deadline (t : State.t) (shard : Metadata.shard) ~from_node
     ~to_node =
   copy_shard_to t shard ~from_node ~to_node ~drop_source:true ?deadline
     ~finish_metadata:(fun () ->
-      Metadata.update_placement t.State.metadata
+      Metasync.update_placement t.State.metasync
         ~shard_id:shard.Metadata.shard_id ~from_node ~to_node)
     ()
 
@@ -370,7 +370,7 @@ let repair_placement (t : State.t) ~shard_id ~node =
   in
   copy_shard_to t shard ~from_node:source ~to_node:node ~drop_source:false
     ~finish_metadata:(fun () ->
-      Metadata.mark_placement meta ~shard_id ~node Metadata.Active)
+      Metasync.mark_placement t.State.metasync ~shard_id ~node Metadata.Active)
     ()
 
 (* Maintenance pass: walk every Inactive placement and repair the ones on

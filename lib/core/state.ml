@@ -44,6 +44,7 @@ type session_state = {
 type t = {
   cluster : Cluster.Topology.t;
   metadata : Metadata.t;
+  metasync : Metasync.t;
   local : Cluster.Topology.node;
   config : config;
   health : Health.t;
@@ -53,7 +54,6 @@ type t = {
   mutable partitioned : string list;
   mutable injected_failures : (string * string) list;
   mutable next_gid_seq : int;
-  mutable coordinator_id : int;
 }
 
 exception Network_error of string
@@ -74,10 +74,11 @@ let default_config () =
     plan_cache_size = 128;
   }
 
-let create ~cluster ~metadata ~local ~registry ~coordinator_id =
+let create ~cluster ~metadata ~metasync ~local ~registry =
   {
     cluster;
     metadata;
+    metasync;
     local;
     config = default_config ();
     health =
@@ -90,7 +91,6 @@ let create ~cluster ~metadata ~local ~registry ~coordinator_id =
     partitioned = [];
     injected_failures = [];
     next_gid_seq = 1;
-    coordinator_id;
   }
 
 let session_state t (s : Engine.Instance.session) =
@@ -212,17 +212,23 @@ let with_retry ?(attempts = 3) t ~node f =
   in
   go (max 1 attempts)
 
+(* Per-node gid namespaces (MX): the coordinating node's name is baked
+   into the gid, so any node can tell from a prepared transaction alone
+   which coordinator's commit records decide it. Node names
+   ("coordinator", "workerN", …) contain no underscores, keeping the
+   4-component split unambiguous. *)
 let fresh_gid t ~coord_xid =
   let seq = t.next_gid_seq in
   t.next_gid_seq <- seq + 1;
-  Printf.sprintf "citus_%d_%d_%d" t.coordinator_id coord_xid seq
+  Printf.sprintf "citus_%s_%d_%d" t.local.Cluster.Topology.node_name coord_xid
+    seq
 
 let parse_gid gid =
   match String.split_on_char '_' gid with
-  | [ "citus"; cid; xid; _seq ] ->
-    (match int_of_string_opt cid, int_of_string_opt xid with
-     | Some c, Some x -> Some (c, x)
-     | _ -> None)
+  | [ "citus"; node; xid; _seq ] ->
+    (match int_of_string_opt xid with
+     | Some x -> Some (node, x)
+     | None -> None)
   | _ -> None
 
 let inject_failure t ~node ~matching =

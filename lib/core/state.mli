@@ -79,6 +79,12 @@ type session_state = {
 type t = {
   cluster : Cluster.Topology.t;
   metadata : Metadata.t;
+      (** this node's catalog replica — reads are node-local (MX);
+          writes must go through [metasync] (lint rule L16) *)
+  metasync : Metasync.t;
+      (** the metadata-sync layer every catalog mutation flows through,
+          keeping all node replicas (and the plan-cache-invalidating
+          {!Metadata.version}) in lockstep *)
   local : Cluster.Topology.node;  (** node this extension instance runs on *)
   config : config;
   health : Health.t;
@@ -97,7 +103,6 @@ type t = {
       (** (node, SQL substring) pairs: matching statements fail with
           {!Network_error} — lets tests break 2PC at exact points *)
   mutable next_gid_seq : int;
-  mutable coordinator_id : int;  (** distinguishes coordinators in gids *)
 }
 
 exception Network_error of string
@@ -112,9 +117,9 @@ exception Txn_replica_lost of string
 val create :
   cluster:Cluster.Topology.t ->
   metadata:Metadata.t ->
+  metasync:Metasync.t ->
   local:Cluster.Topology.node ->
   registry:((string * int), string * int) Hashtbl.t ->
-  coordinator_id:int ->
   t
 
 val default_config : unit -> config
@@ -163,11 +168,14 @@ val node_available : t -> string -> bool
     the last attempt. *)
 val with_retry : ?attempts:int -> t -> node:string -> (unit -> 'a) -> 'a
 
-(** Fresh global transaction identifier: citus_<coordinator>_<xid>_<seq>. *)
+(** Fresh global transaction identifier in this node's namespace:
+    citus_<node-name>_<xid>_<seq> (MX: every coordinating node mints
+    gids independently; the name identifies whose commit records decide
+    the transaction). *)
 val fresh_gid : t -> coord_xid:int -> string
 
-(** Parse a gid back into (coordinator id, coordinator xid). *)
-val parse_gid : string -> (int * int) option
+(** Parse a gid back into (coordinating node name, coordinator xid). *)
+val parse_gid : string -> (string * int) option
 
 (** Fail statements containing [matching] sent to [node] (tests: break a
     2PC between PREPARE and COMMIT PREPARED, etc.). *)

@@ -59,8 +59,8 @@ let isolate_tenant (t : State.t) ~table ~value =
               ~max_hash:old_shard.Metadata.max_hash h
           in
           let news =
-            Metadata.replace_shard meta ~shard_id:old_shard.Metadata.shard_id
-              ~ranges
+            Metasync.replace_shard t.State.metasync
+              ~shard_id:old_shard.Metadata.shard_id ~ranges
           in
           (* physical tables on the same node *)
           let conn =
@@ -140,7 +140,7 @@ let isolate_tenant (t : State.t) ~table ~value =
             .Metadata.shard_id)
         group_tables
     in
-    Metadata.renumber_colocation meta
+    Metasync.renumber_colocation t.State.metasync
       ~colocation_id:dt.Metadata.colocation_id;
     tenant_ids
   end

@@ -73,10 +73,26 @@ let insert_commit_records (t : State.t) coord_session ~ts records =
        ~on_conflict_do_nothing:false);
   ignore t
 
-let delete_commit_record (t : State.t) gid =
-  (* direct executor call: commit-record maintenance is lightweight, not a
-     full planned statement *)
-  let s = admin_session t in
+(* MX: a gid's commit records live on its {e origin} coordinator — the
+   node named in the gid, which ran the 2PC and wrote the records in its
+   local commit transaction. [origin_node] resolves that node when it is
+   safe to consult: always for the local node, and for a foreign
+   coordinator only while it is reachable (reading a crashed node's
+   table would leak durability the network cannot provide — recovery
+   leaves those gids pending until the origin returns). *)
+let origin_node (t : State.t) origin =
+  if String.equal origin t.State.local.Cluster.Topology.node_name then
+    Some t.State.local
+  else if State.reachable t origin then
+    match Cluster.Topology.find_node t.State.cluster origin with
+    | node -> Some node
+    | exception Invalid_argument _ -> None
+  else None
+
+let node_session (node : Cluster.Topology.node) =
+  Engine.Instance.connect node.Cluster.Topology.instance
+
+let delete_record_in s gid =
   (* pre-built txn AST nodes: this runs on the commit path of every
      multi-shard write, so it must not parse ("BEGIN" strings included) *)
   ignore (Engine.Instance.exec_ast s Sqlfront.Ast.Begin_txn);
@@ -95,11 +111,14 @@ let delete_commit_record (t : State.t) gid =
      raise e);
   ignore (Engine.Instance.exec_ast s Sqlfront.Ast.Commit_txn)
 
+(* direct executor call: commit-record maintenance is lightweight, not a
+   full planned statement *)
+let delete_commit_record (t : State.t) gid = delete_record_in (admin_session t) gid
+
 (* Gids reach this query verbatim; going through the executor with a
    [Datum.Text] constant keeps a hostile gid from escaping the string
    literal (no SQL re-parse of interpolated input). *)
-let commit_record_exists (t : State.t) gid =
-  let s = admin_session t in
+let record_exists_in s gid =
   let ctx = Engine.Instance.make_ctx s in
   let _, rows =
     Engine.Executor.run_select ctx
@@ -127,8 +146,7 @@ let commit_record_exists (t : State.t) gid =
 (* The commit record's HLC timestamp (any participant's row — they all
    carry the same stamp). [None] when no record is visible, or for
    legacy rows without one. *)
-let commit_record_ts (t : State.t) gid =
-  let s = admin_session t in
+let record_ts_in s gid =
   let ctx = Engine.Instance.make_ctx s in
   let _, rows =
     Engine.Executor.run_select ctx
@@ -205,6 +223,15 @@ let phase_deadline (t : State.t) =
 
 let pre_commit (t : State.t) coord_session =
   let st = State.session_state t coord_session in
+  (* MX accounting: this distributed transaction is being coordinated by
+     a node other than the bootstrap coordinator *)
+  if
+    st.State.txn_conns <> []
+    && not
+         (String.equal t.State.local.Cluster.Topology.node_name
+            t.State.cluster.Cluster.Topology.coordinator
+              .Cluster.Topology.node_name)
+  then Obs.Metrics.inc (metrics t) Obs.Metric_names.mx_worker_coordinated_txns;
   match st.State.txn_conns with
   | [] -> ()
   | [ conn ] ->
@@ -451,18 +478,20 @@ let gc_resolved_records (t : State.t) =
       end)
     (all_commit_records t)
 
-(* §3.7.2: compare each node's pending prepared transactions against the
-   local commit records. A visible record means the coordinator committed,
-   so the prepared transaction must commit; a missing record for an ended
-   coordinator transaction means it must abort. Resolution runs over real
-   connections, so an injected fault can kill any step — every step is
-   therefore idempotent and simply retried by the next pass. *)
+(* §3.7.2, MX flavor: compare each node's pending prepared transactions
+   against the {e origin} coordinator's commit records — the node named
+   in the gid, not necessarily us. A visible record means that
+   coordinator committed, so the prepared transaction must commit at the
+   recorded timestamp; a missing record for an ended origin transaction
+   means it must abort. Any coordinator's recovery pass can therefore
+   resolve any namespace whose origin it can consult; gids whose origin
+   is crashed or unreachable stay in doubt until it returns. Resolution
+   runs over real connections, so an injected fault can kill any step —
+   every step is therefore idempotent and simply retried by the next
+   pass. *)
 let recover (t : State.t) =
   span t ~kind:"2pc.recover" @@ fun recover_sp ->
   let committed = ref 0 and rolled_back = ref 0 in
-  let local_mgr =
-    Engine.Instance.txn_manager t.State.local.Cluster.Topology.instance
-  in
   let local_name = t.State.local.Cluster.Topology.node_name in
   List.iter
     (fun (node : Cluster.Topology.node) ->
@@ -485,38 +514,61 @@ let recover (t : State.t) =
              List.iter
                (fun (gid, _xid) ->
                  match State.parse_gid gid with
-                 | Some (cid, coord_xid) when cid = t.State.coordinator_id ->
-                   if commit_record_exists t gid then begin
-                     (* deferred commit: re-stamp at the recorded
-                        timestamp, so late resolution lands at the same
-                        instant the live fan-out would have *)
-                     (match commit_record_ts t gid with
-                      | Some ts ->
-                        Cluster.Connection.set_next_commit_ts conn ts
-                      | None -> ());
-                     match
-                       Exec.ast_on_conn_exn t conn
-                         (Sqlfront.Ast.Commit_prepared gid)
-                     with
-                     | _ ->
-                       delete_commit_record t gid;
-                       incr committed
-                     | exception _ ->
-                       (* lost round trip or fresh crash; the commit
-                          record survives, so a later pass retries *)
-                       Health.record_ignored t.State.health name
-                   end
-                   else if not (Txn.Manager.is_active local_mgr coord_xid)
-                   then begin
-                     match
-                       Exec.ast_on_conn_exn t conn
-                         (Sqlfront.Ast.Rollback_prepared gid)
-                     with
-                     | _ -> incr rolled_back
-                     | exception _ ->
-                       Health.record_ignored t.State.health name
-                   end
-                 | _ -> ())
+                 | None -> ()
+                 | Some (origin, coord_xid) ->
+                   (match origin_node t origin with
+                    | None ->
+                      (* origin coordinator crashed or unreachable: its
+                         commit records decide this gid, so it stays in
+                         doubt until the origin is back *)
+                      ()
+                    | Some onode ->
+                      let os = node_session onode in
+                      let foreign = not (String.equal origin local_name) in
+                      let resolved () =
+                        if foreign then
+                          Obs.Metrics.inc (metrics t)
+                            Obs.Metric_names.mx_foreign_gids_resolved
+                      in
+                      if record_exists_in os gid then begin
+                        (* deferred commit: re-stamp at the recorded
+                           timestamp, so late resolution lands at the
+                           same instant the live fan-out would have *)
+                        (match record_ts_in os gid with
+                         | Some ts ->
+                           Cluster.Connection.set_next_commit_ts conn ts
+                         | None -> ());
+                        match
+                          Exec.ast_on_conn_exn t conn
+                            (Sqlfront.Ast.Commit_prepared gid)
+                        with
+                        | _ ->
+                          delete_record_in os gid;
+                          resolved ();
+                          incr committed
+                        | exception _ ->
+                          (* lost round trip or fresh crash; the commit
+                             record survives, so a later pass retries *)
+                          Health.record_ignored t.State.health name
+                      end
+                      else begin
+                        let origin_mgr =
+                          Engine.Instance.txn_manager
+                            onode.Cluster.Topology.instance
+                        in
+                        if not (Txn.Manager.is_active origin_mgr coord_xid)
+                        then begin
+                          match
+                            Exec.ast_on_conn_exn t conn
+                              (Sqlfront.Ast.Rollback_prepared gid)
+                          with
+                          | _ ->
+                            resolved ();
+                            incr rolled_back
+                          | exception _ ->
+                            Health.record_ignored t.State.health name
+                        end
+                      end))
                (Txn.Manager.prepared_transactions mgr)
            | exception _ ->
              (* poll lost; Exec already recorded the failure *)
@@ -535,53 +587,58 @@ let recover (t : State.t) =
 
 (* Read-triggered resolution of one in-doubt gid: a snapshot reader that
    hit the window between PREPARE and COMMIT PREPARED consults the
-   coordinator's commit records instead of waiting for the next
-   maintenance pass. A visible record means the distributed transaction
-   committed — finish it here at its recorded timestamp; no record with
-   the coordinator transaction ended means it aborted — roll it back;
-   otherwise the 2PC is still in flight and the reader must wait.
-   Every step is idempotent and best effort, exactly like [recover]. *)
+   {e origin} coordinator's commit records instead of waiting for the
+   next maintenance pass — any coordinator's gid, not just our own (MX).
+   A visible record means the distributed transaction committed — finish
+   it here at its recorded timestamp; no record with the origin
+   transaction ended means it aborted — roll it back; otherwise the 2PC
+   is still in flight (or its origin unreachable) and the reader must
+   wait. Every step is idempotent and best effort, exactly like
+   [recover]. *)
 let resolve_in_doubt (t : State.t) conn ~gid =
-  match commit_record_ts t gid with
-  | Some ts ->
-    Cluster.Connection.set_next_commit_ts conn ts;
-    (try
-       ignore
-         ((Exec.ast_on_conn_exn t conn (Sqlfront.Ast.Commit_prepared gid))
-          [@lint.latest])
-     with _ -> Health.record_ignored t.State.health (node_name conn));
-    Obs.Metrics.inc (metrics t) Obs.Metric_names.snapshot_indoubt_commits;
-    `Resolved
-  | None when commit_record_exists t gid ->
-    (* record present but stampless (should not happen): still commit *)
-    (try
-       ignore
-         ((Exec.ast_on_conn_exn t conn (Sqlfront.Ast.Commit_prepared gid))
-          [@lint.latest])
-     with _ -> Health.record_ignored t.State.health (node_name conn));
-    Obs.Metrics.inc (metrics t) Obs.Metric_names.snapshot_indoubt_commits;
-    `Resolved
-  | None -> (
-    match State.parse_gid gid with
-    | Some (cid, coord_xid) when cid = t.State.coordinator_id ->
-      let local_mgr =
-        Engine.Instance.txn_manager t.State.local.Cluster.Topology.instance
-      in
-      if Txn.Manager.is_active local_mgr coord_xid then
-        (* commit records not yet durable: the writer is still between
-           PREPARE and its coordinator-local commit *)
-        `Pending
-      else begin
-        (* the coordinator transaction ended without leaving a commit
-           record: the distributed transaction aborted *)
+  match State.parse_gid gid with
+  | None -> `Pending
+  | Some (origin, coord_xid) -> (
+    match origin_node t origin with
+    | None ->
+      (* the deciding coordinator is crashed or unreachable: wait *)
+      `Pending
+    | Some onode -> (
+      let os = node_session onode in
+      let commit () =
         (try
            ignore
-             ((Exec.ast_on_conn_exn t conn (Sqlfront.Ast.Rollback_prepared gid))
+             ((Exec.ast_on_conn_exn t conn (Sqlfront.Ast.Commit_prepared gid))
               [@lint.latest])
          with _ -> Health.record_ignored t.State.health (node_name conn));
-        Obs.Metrics.inc (metrics t) Obs.Metric_names.snapshot_indoubt_rollbacks;
+        Obs.Metrics.inc (metrics t) Obs.Metric_names.snapshot_indoubt_commits;
         `Resolved
-      end
-    | _ ->
-      (* foreign coordinator's gid: not ours to decide *)
-      `Pending)
+      in
+      match record_ts_in os gid with
+      | Some ts ->
+        Cluster.Connection.set_next_commit_ts conn ts;
+        commit ()
+      | None when record_exists_in os gid ->
+        (* record present but stampless (should not happen): still commit *)
+        commit ()
+      | None ->
+        let origin_mgr =
+          Engine.Instance.txn_manager onode.Cluster.Topology.instance
+        in
+        if Txn.Manager.is_active origin_mgr coord_xid then
+          (* commit records not yet durable: the writer is still between
+             PREPARE and its coordinator-local commit *)
+          `Pending
+        else begin
+          (* the origin transaction ended without leaving a commit
+             record: the distributed transaction aborted *)
+          (try
+             ignore
+               ((Exec.ast_on_conn_exn t conn
+                   (Sqlfront.Ast.Rollback_prepared gid))
+                [@lint.latest])
+           with _ -> Health.record_ignored t.State.health (node_name conn));
+          Obs.Metrics.inc (metrics t)
+            Obs.Metric_names.snapshot_indoubt_rollbacks;
+          `Resolved
+        end))

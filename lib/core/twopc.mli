@@ -3,13 +3,16 @@
     Transactions touching one worker are delegated to it (plain COMMIT).
     Transactions touching several nodes run two-phase commit: at
     pre-commit, every participating connection gets [PREPARE TRANSACTION
-    'citus_<coordinator>_<xid>_<seq>'] and a commit record is inserted into
-    the local [pg_dist_transaction] table inside the coordinator's own
-    transaction — so the records become durable exactly when the
-    coordinator commit does. After local commit, [COMMIT PREPARED] is sent
-    on a best-effort basis; {!recover} (run from the maintenance daemon)
+    'citus_<node-name>_<xid>_<seq>'] — the gid namespace of whichever
+    node is coordinating (MX: any metadata-synced node can) — and a
+    commit record is inserted into that node's local
+    [pg_dist_transaction] table inside the coordinator's own transaction
+    — so the records become durable exactly when the coordinator commit
+    does. After local commit, [COMMIT PREPARED] is sent on a best-effort
+    basis; {!recover} (run from the maintenance daemon on every node)
     finishes the job after failures by comparing each node's pending
-    prepared transactions against the commit records. *)
+    prepared transactions against the {e origin} coordinator's commit
+    records — scanning every namespace, not just its own. *)
 
 val commit_records_table : string
 
@@ -24,7 +27,11 @@ val post_commit : State.t -> Engine.Instance.session -> unit
 val on_abort : State.t -> Engine.Instance.session -> unit
 
 (** 2PC recovery pass: resolve prepared transactions left behind by
-    failures. Returns (committed, rolled back) counts. *)
+    failures, in {e every} gid namespace — each gid is decided by its
+    origin coordinator's commit records (consulted remotely for foreign
+    namespaces while the origin is reachable; an unreachable origin
+    leaves its gids in doubt until it returns). Returns
+    (committed, rolled back) counts. *)
 val recover : State.t -> int * int
 
 (** Number of commit records currently stored (tests/monitoring). *)
@@ -32,10 +39,11 @@ val commit_record_count : State.t -> int
 
 (** [resolve_in_doubt t conn ~gid] resolves one in-doubt prepared
     transaction encountered by a reader on [conn]'s node, consulting the
-    local commit records: record visible → [COMMIT PREPARED] at its
-    recorded HLC timestamp; no record and the coordinator transaction
-    ended → [ROLLBACK PREPARED]; otherwise [`Pending] — the 2PC is still
-    in flight and the reader should back off and retry. Idempotent and
-    best effort, like {!recover}. *)
+    {e origin} coordinator's commit records (any namespace): record
+    visible → [COMMIT PREPARED] at its recorded HLC timestamp; no record
+    and the origin transaction ended → [ROLLBACK PREPARED]; otherwise
+    [`Pending] — the 2PC is still in flight (or its origin unreachable)
+    and the reader should back off and retry. Idempotent and best
+    effort, like {!recover}. *)
 val resolve_in_doubt :
   State.t -> Cluster.Connection.t -> gid:string -> [ `Resolved | `Pending ]

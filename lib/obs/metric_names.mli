@@ -169,6 +169,26 @@ val snapshot_hedged_fragments : string
 val snapshot_fragment_hedge_wins : string
 (** counter: fragment hedges where the second replica answered first *)
 
+(** {2 Citus MX (replicated metadata, multi-coordinator)} *)
+
+val mx_metadata_syncs : string
+(** counter: catalog writes applied to a synced worker replica (one per
+    remote replica per sanctioned mutation, including catch-up replay
+    when a node first attaches) *)
+
+val mx_config_syncs : string
+(** counter: knob values [citus_set_config] propagated to another
+    metadata-synced node's extension state *)
+
+val mx_worker_coordinated_txns : string
+(** counter: distributed transactions whose 2PC was coordinated by a
+    node other than the bootstrap coordinator *)
+
+val mx_foreign_gids_resolved : string
+(** counter: prepared transactions from {e another} coordinator's gid
+    namespace that a recovery pass resolved by consulting the origin
+    node's commit records *)
+
 (** {2 Distributed deadlock detector} *)
 
 val deadlock_rounds : string

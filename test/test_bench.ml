@@ -156,6 +156,29 @@ let test_prepared_shape () =
       [ (fp_cached, fp_uncached); (r_cached, r_uncached) ]
   | _ -> Alcotest.fail "expected four (tier, mode) cells"
 
+let test_mx_shape () =
+  (* the BENCH_mx experiment end-to-end: same cluster, same YCSB-A
+     workload, same seed — metadata sync alone must lift aggregate
+     throughput strictly, because planning + fan-out demand moves off
+     the lone coordinator's CPU and spreads across every node *)
+  match Mx.measure_modes () with
+  | [ single; mx ] ->
+    Alcotest.(check string) "single mode first" "single" single.Mx.mode;
+    Alcotest.(check string) "mx mode second" "mx" mx.Mx.mode;
+    Alcotest.(check int) "one coordinator without sync" 1
+      single.Mx.coordinators;
+    Alcotest.(check bool) "several coordinators with sync" true
+      (mx.Mx.coordinators > 1);
+    Alcotest.(check bool) "both modes make progress" true
+      (single.Mx.tps > 0.0 && mx.Mx.tps > 0.0);
+    Alcotest.(check bool) "MX aggregate throughput strictly above single"
+      true
+      (mx.Mx.tps > single.Mx.tps);
+    Alcotest.(check bool) "single mode bottlenecks on the coordinator" true
+      (single.Mx.bottleneck = "coordinator/cpu"
+      || single.Mx.bottleneck = "coordinator/disk")
+  | _ -> Alcotest.fail "expected two modes"
+
 let () =
   Alcotest.run "bench"
     [
@@ -175,5 +198,6 @@ let () =
             test_tail_hedging_shape;
           Alcotest.test_case "consistency shape" `Quick test_consistency_shape;
           Alcotest.test_case "prepared shape" `Quick test_prepared_shape;
+          Alcotest.test_case "mx shape" `Quick test_mx_shape;
         ] );
     ]

@@ -677,6 +677,137 @@ let test_l14_control_statements () =
   in
   Alcotest.(check int) "on_conn_exn is out of scope" 0 (List.length fs)
 
+(* --- L16 metadata-write discipline --- *)
+
+(* sites resolve against real definitions: stub the catalog layer's two
+   files so Metasync is a known module the boundary cut can see *)
+let l16_metasync_stub =
+  {|let apply t op = op t
+
+let update_placement t ~shard_id ~from_node ~to_node =
+  apply t (fun m -> Metadata.update_placement m ~shard_id ~from_node ~to_node)
+
+let bump_version t = apply t Metadata.bump_version
+|}
+
+let l16_metadata_stub =
+  {|let update_placement t ~shard_id ~from_node ~to_node =
+  ignore (t, shard_id, from_node, to_node)
+
+let bump_version t = ignore t
+|}
+
+let l16_violating =
+  {|let move t ~shard_id ~from_node ~to_node =
+  Metadata.update_placement t ~shard_id ~from_node ~to_node
+
+let ddl t = Metadata.bump_version t
+|}
+
+let l16_clean =
+  {|let move t ~shard_id ~from_node ~to_node =
+  Metasync.update_placement t ~shard_id ~from_node ~to_node
+
+let ddl t = Metasync.bump_version t
+|}
+
+let l16_annotated =
+  {|let whatif t ~shard_id ~from_node ~to_node =
+  (Metadata.update_placement t ~shard_id ~from_node ~to_node
+   [@lint.metadata_write])
+|}
+
+let test_l16_violating () =
+  let fs =
+    run "L16"
+      [
+        ("lib/core/metadata.ml", l16_metadata_stub);
+        ("lib/core/metasync.ml", l16_metasync_stub);
+        ("lib/core/rebalancer.ml", l16_violating);
+      ]
+  in
+  Alcotest.(check int) "both direct mutations flagged" 2 (List.length fs);
+  Alcotest.(check (list string)) "all L16" [ "L16"; "L16" ] (ids fs);
+  Alcotest.(check (list int)) "mutator locations" [ 2; 4 ] (lines fs)
+
+let test_l16_clean () =
+  let fs =
+    run "L16"
+      [
+        ("lib/core/metadata.ml", l16_metadata_stub);
+        ("lib/core/metasync.ml", l16_metasync_stub);
+        ("lib/core/rebalancer.ml", l16_clean);
+      ]
+  in
+  Alcotest.(check int) "Metasync wrappers pass" 0 (List.length fs)
+
+let test_l16_sync_layer () =
+  (* the sync layer's own fan-out calls the mutators by design *)
+  let fs =
+    run "L16"
+      [
+        ("lib/core/metadata.ml", l16_metadata_stub);
+        ("lib/core/metasync.ml", l16_metasync_stub);
+      ]
+  in
+  Alcotest.(check int) "metasync.ml is the sanctioned caller" 0
+    (List.length fs)
+
+let test_l16_escape () =
+  let fs =
+    run "L16"
+      [
+        ("lib/core/metadata.ml", l16_metadata_stub);
+        ("lib/core/metasync.ml", l16_metasync_stub);
+        ("lib/core/planner.ml", l16_annotated);
+      ]
+  in
+  Alcotest.(check int) "[@lint.metadata_write] is trusted" 0 (List.length fs)
+
+let test_l16_helper_reachability () =
+  (* interprocedural: the same helper wrapping a mutator is legal when
+     the sync layer is its only caller, flagged when reachable from an
+     unsanctioned root *)
+  let helper =
+    {|let flip t ~shard_id ~from_node ~to_node =
+  Metadata.update_placement t ~shard_id ~from_node ~to_node
+|}
+  in
+  let sync_only_caller =
+    {|let apply t op = op t
+
+let cutover t ~shard_id ~from_node ~to_node =
+  apply t (fun _ -> Catutil.flip t ~shard_id ~from_node ~to_node)
+|}
+  in
+  let outside_caller =
+    {|let move t ~shard_id ~from_node ~to_node =
+  Catutil.flip t ~shard_id ~from_node ~to_node
+|}
+  in
+  let fs =
+    run "L16"
+      [
+        ("lib/core/metadata.ml", l16_metadata_stub);
+        ("lib/core/metasync.ml", sync_only_caller);
+        ("lib/core/catutil.ml", helper);
+      ]
+  in
+  Alcotest.(check int) "helper with only sync-layer callers passes" 0
+    (List.length fs);
+  let fs =
+    run "L16"
+      [
+        ("lib/core/metadata.ml", l16_metadata_stub);
+        ("lib/core/metasync.ml", sync_only_caller);
+        ("lib/core/catutil.ml", helper);
+        ("lib/core/rebalancer.ml", outside_caller);
+      ]
+  in
+  Alcotest.(check int) "helper reachable from outside is flagged" 1
+    (List.length fs);
+  Alcotest.(check (list string)) "the L16 is in the helper" [ "L16" ] (ids fs)
+
 (* --- call-graph builder --- *)
 
 let build sources =
@@ -796,17 +927,18 @@ let test_sexp_rendering () =
 (* --- registry and baseline --- *)
 
 let test_registry () =
-  Alcotest.(check int) "fifteen rules" 15 (List.length Registry.all);
+  Alcotest.(check int) "sixteen rules" 16 (List.length Registry.all);
   List.iter
     (fun id ->
       match Registry.find id with
       | Some _ -> ()
       | None -> Alcotest.failf "rule %s not registered" id)
     [ "L1"; "L2"; "L3"; "L4"; "L5"; "L6"; "L7"; "L8"; "L9"; "L10"; "L11";
-      "L12"; "L13"; "L14"; "L15"; "sql-injection"; "determinism"; "lock-order";
-      "span-conservation"; "fiber-blocking"; "transitive-blocking";
-      "cancel-safety"; "deadline-propagation"; "metric-registry";
-      "snapshot-discipline"; "no-reparse" ]
+      "L12"; "L13"; "L14"; "L15"; "L16"; "sql-injection"; "determinism";
+      "lock-order"; "span-conservation"; "fiber-blocking";
+      "transitive-blocking"; "cancel-safety"; "deadline-propagation";
+      "metric-registry"; "snapshot-discipline"; "no-reparse";
+      "metadata-write" ]
 
 let test_explanations () =
   (* --explain depends on every rule shipping a non-trivial rationale *)
@@ -915,6 +1047,15 @@ let () =
           Alcotest.test_case "unreachable" `Quick test_l14_unreachable;
           Alcotest.test_case "control statements" `Quick
             test_l14_control_statements;
+        ] );
+      ( "l16-metadata-write",
+        [
+          Alcotest.test_case "violating" `Quick test_l16_violating;
+          Alcotest.test_case "clean" `Quick test_l16_clean;
+          Alcotest.test_case "sync layer" `Quick test_l16_sync_layer;
+          Alcotest.test_case "escape" `Quick test_l16_escape;
+          Alcotest.test_case "helper reachability" `Quick
+            test_l16_helper_reachability;
         ] );
       ( "callgraph",
         [

@@ -1,0 +1,158 @@
+(** L16 metadata-write discipline: catalog mutations flow through the
+    sync layer.
+
+    MX replicates the distributed catalog: every installed node holds
+    its own [Metadata.t], kept bit-identical by [Metasync] applying each
+    mutation to the origin and every replica in one deterministic order.
+    A direct call to a [Metadata] mutator anywhere else updates exactly
+    one replica — the other nodes keep planning against stale shard
+    maps, their plan caches never invalidate (the synced [version] stops
+    advancing in lockstep), and the divergence only surfaces as a
+    wrong-node query much later.
+
+    A forward reachability fixpoint marks every function reachable from
+    a call-graph root (a function no scanned code calls — the library's
+    effective entry points) outside the catalog layer
+    ([lib/core/metasync.ml] + [lib/core/metadata.ml]) without passing
+    through a [Metasync.*] call — crossing into the sync layer is the
+    sanctioned route, so edges into [Metasync] are cut. Any
+    [Metadata.<mutator>] site inside a marked function is a finding:
+    helpers are allowed to wrap mutators only if the sync layer is
+    their sole caller.
+
+    Escape hatch: [[\@lint.metadata_write]] on the call, asserting the
+    target catalog is a standalone/scratch instance that no node
+    replicates (e.g. a planner what-if copy). *)
+
+let id = "L16"
+let name = "metadata-write"
+
+let doc =
+  "Metadata mutators (register_*, drop_table, *_placement, \
+   replace_shard, renumber_colocation, bump_version) may only run \
+   inside the Metasync layer, which fans them out to every node's \
+   catalog replica (escape hatch: [@lint.metadata_write])"
+
+let explain =
+  "the MX catalog is replicated: each metadata-synced node plans \
+   against its own Metadata.t, and Metasync keeps all replicas \
+   bit-identical by applying every mutation to the origin and each \
+   replica in the same order (id sequences advance in lockstep, and \
+   the shared version counter — which validates the distributed plan \
+   cache — bumps everywhere at once). One direct Metadata mutator call \
+   outside the sync layer silently forks the catalog: the mutated \
+   replica disagrees with every other node about shard placement, \
+   stale cached plans keep validating on the nodes that missed the \
+   bump, and queries route to dropped or moved shards. L16 computes \
+   forward reachability from the call-graph roots (functions no \
+   scanned code calls — the effective entry points) outside the \
+   catalog layer (lib/core/metasync.ml + lib/core/metadata.ml), \
+   cutting edges that cross into Metasync (the sanctioned boundary), \
+   and flags each reachable Metadata mutator site — so a wrapper \
+   helper is legal exactly when the sync layer is its only caller. \
+   Escape hatch: \
+   [@lint.metadata_write] for mutations of standalone catalogs no \
+   node replicates (scratch copies, tests)."
+
+let applies _ = false
+let check ~path:_ _ = []
+let check_tree _ = []
+
+let catalog_layer_file path =
+  String.equal path "lib/core/metasync.ml"
+  || String.equal path "lib/core/metadata.ml"
+
+let mutators =
+  [
+    "bump_version";
+    "register_distributed";
+    "register_reference";
+    "drop_table";
+    "mark_placement";
+    "update_placement";
+    "add_placement";
+    "replace_shard";
+    "renumber_colocation";
+  ]
+
+let is_mutator comps =
+  match List.rev comps with
+  | last :: prev :: _ ->
+    String.equal prev "Metadata" && List.mem last mutators
+  | _ -> false
+
+(* the sanctioned boundary: a call into Metasync hands the mutation to
+   the sync layer, which owns fan-out to every replica. Matched on the
+   resolved target, falling back to the written path. *)
+let enters_sync (s : Callgraph.site) =
+  match s.Callgraph.s_target with
+  | Some { Callgraph.m; _ } -> String.equal m "Metasync"
+  | None -> List.exists (String.equal "Metasync") s.Callgraph.s_path
+
+let escape_hatch = "lint.metadata_write"
+
+let in_scope_file path =
+  Rule.starts_with "lib/" path && not (catalog_layer_file path)
+
+let check_program (files : (string * Parsetree.structure) list) =
+  let g = Callgraph.build files in
+  (* call-graph roots: functions nothing in the scanned tree (lib, bin
+     AND test) calls — the program's effective entry points. Facts flow
+     from these so a helper whose only caller is the sync layer stays
+     sanctioned. *)
+  let called : (string * string, unit) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (fn : Callgraph.fn) ->
+      List.iter
+        (fun (s : Callgraph.site) ->
+          match Callgraph.resolved g s with
+          | Some { Callgraph.m; v } -> Hashtbl.replace called (m, v) ()
+          | None -> ())
+        fn.Callgraph.f_sites)
+    g.Callgraph.fns;
+  let is_entry (fn : Callgraph.fn) =
+    (not (catalog_layer_file fn.Callgraph.f_file))
+    && not
+         (Hashtbl.mem called
+            (fn.Callgraph.f_id.Callgraph.m, fn.Callgraph.f_id.Callgraph.v))
+  in
+  let outside_reachable =
+    Dataflow.solve g ~dir:Dataflow.Forward ~bottom:false ~equal:Bool.equal
+      ~join:( || ) ~init:is_entry
+      ~transfer:(fun ~site ~dep:_ fact -> fact && not (enters_sync site))
+  in
+  let findings =
+    List.concat_map
+      (fun (fn : Callgraph.fn) ->
+        if
+          (not (in_scope_file fn.Callgraph.f_file))
+          || not (is_entry fn || outside_reachable fn.Callgraph.f_id)
+        then []
+        else
+          List.filter_map
+            (fun (s : Callgraph.site) ->
+              if
+                is_mutator s.Callgraph.s_path
+                && not (List.mem escape_hatch s.Callgraph.s_attrs)
+              then
+                Some
+                  (Rule.finding ~id ~file:fn.Callgraph.f_file
+                     ~loc:s.Callgraph.s_loc
+                     (Printf.sprintf
+                        "%s mutates one catalog replica directly (in %s, \
+                         reachable from outside the sync layer) — MX \
+                         replicates the catalog, so every mutation must go \
+                         through Metasync to reach all node replicas in \
+                         lockstep; call the Metasync wrapper, or annotate \
+                         [@lint.metadata_write] if this catalog is a \
+                         standalone instance no node replicates"
+                        (String.concat "." s.Callgraph.s_path)
+                        (Callgraph.id_str fn.Callgraph.f_id)))
+              else None)
+            fn.Callgraph.f_sites)
+      g.Callgraph.fns
+  in
+  List.sort
+    (fun (a : Rule.finding) b ->
+      compare (a.file, a.line, a.col) (b.file, b.line, b.col))
+    findings
